@@ -1,0 +1,59 @@
+"""Benchmark fixtures: one shared survey, each bench regenerates one
+table or figure from it.
+
+The crawl itself is the expensive part and identical for every
+table/figure, so it runs once per benchmark session (150 sites, all
+four browsing conditions, the paper's five visit rounds).  Each
+benchmark then measures its analysis and prints the paper-vs-measured
+series (run with ``-s`` to see them).
+
+Scale note: 150 sites is 1.5% of the paper's web.  All reported
+quantities are fractions/rates, so the *shapes* are comparable; the
+absolute counts in Table 1 scale linearly with the site count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blocking.extension import BrowsingCondition
+from repro.core.survey import SurveyConfig, run_survey
+from repro.webgen.sitegen import build_web
+from repro.webidl.registry import default_registry
+
+BENCH_SITES = 150
+BENCH_SEED = 2016
+
+
+@pytest.fixture(scope="session")
+def bench_registry():
+    return default_registry()
+
+
+@pytest.fixture(scope="session")
+def bench_web(bench_registry):
+    return build_web(bench_registry, n_sites=BENCH_SITES, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def bench_survey(bench_registry, bench_web):
+    config = SurveyConfig(
+        conditions=(
+            BrowsingCondition.DEFAULT,
+            BrowsingCondition.BLOCKING,
+            BrowsingCondition.ABP_ONLY,
+            BrowsingCondition.GHOSTERY_ONLY,
+        ),
+        visits_per_site=5,
+        seed=BENCH_SEED,
+    )
+    return run_survey(bench_web, bench_registry, config)
+
+
+def emit(title: str, body: str) -> None:
+    """Print a bench's regenerated series (visible with -s)."""
+    print()
+    print("=" * 70)
+    print(title)
+    print("=" * 70)
+    print(body)

@@ -1,0 +1,146 @@
+"""Ablations of the measurement methodology (DESIGN.md section 5).
+
+Each ablation removes one design choice and quantifies what it bought:
+
+1. visit rounds (1 vs 5) — round saturation, the basis of Table 3;
+2. crawl breadth (home page only vs the 13-page walk);
+3. URL selection (unseen-path preference vs uniform);
+4. instrumentation completeness (methods-only vs methods+properties).
+"""
+
+import pytest
+
+from repro.browser.browser import Browser, BrowserConfig
+from repro.monkey.crawler import CrawlConfig, SiteCrawler
+from repro.net.fetcher import Fetcher
+
+from conftest import BENCH_SEED, emit
+
+ABLATION_SITES = 25
+
+
+@pytest.fixture(scope="module")
+def ablation_web(bench_registry):
+    from repro.webgen.sitegen import build_web
+
+    return build_web(bench_registry, n_sites=ABLATION_SITES,
+                     seed=BENCH_SEED + 1)
+
+
+def crawl_standards(registry, web, crawl_config=None, browser_config=None,
+                    rounds=1):
+    """Standards discovered per site under a crawler configuration."""
+    browser = Browser(registry, Fetcher(web),
+                      config=browser_config or BrowserConfig())
+    crawler = SiteCrawler(browser, crawl_config or CrawlConfig())
+    discovered = {}
+    for ranked in web.ranking.all():
+        found = set()
+        for round_index in range(1, rounds + 1):
+            result = crawler.visit_site(
+                ranked.domain, round_index, seed=BENCH_SEED
+            )
+            for feature in result.feature_counts:
+                found.add(registry.standard_of(feature))
+        discovered[ranked.domain] = found
+    return discovered
+
+
+def total(discovered):
+    return sum(len(v) for v in discovered.values())
+
+
+def test_bench_ablation_visit_rounds(benchmark, bench_registry,
+                                     ablation_web):
+    """Rounds 1 vs 5: repeated visits must add coverage, saturating."""
+    one = crawl_standards(bench_registry, ablation_web, rounds=1)
+    five = benchmark.pedantic(
+        crawl_standards,
+        args=(bench_registry, ablation_web),
+        kwargs={"rounds": 5},
+        rounds=1, iterations=1,
+    )
+    gain = total(five) - total(one)
+    emit(
+        "Ablation 1 — visit rounds",
+        "standards found: 1 round = %d, 5 rounds = %d (gain %d)"
+        % (total(one), total(five), gain),
+    )
+    assert gain > 0
+    assert total(five) >= total(one)
+
+
+def test_bench_ablation_crawl_breadth(benchmark, bench_registry,
+                                      ablation_web):
+    """Home page only vs the full 13-page walk."""
+    shallow = benchmark.pedantic(
+        crawl_standards,
+        args=(bench_registry, ablation_web),
+        kwargs={"crawl_config": CrawlConfig(depth=0), "rounds": 2},
+        rounds=1, iterations=1,
+    )
+    deep = crawl_standards(
+        bench_registry, ablation_web,
+        crawl_config=CrawlConfig(depth=2), rounds=2,
+    )
+    emit(
+        "Ablation 2 — crawl breadth",
+        "standards found: home-only = %d, 13-page walk = %d"
+        % (total(shallow), total(deep)),
+    )
+    # Deep-page functionality exists, so the walk must add coverage.
+    assert total(deep) >= total(shallow)
+
+
+def test_bench_ablation_url_selection(benchmark, bench_registry,
+                                      ablation_web):
+    """Unseen-path-structure preference vs uniform link picking."""
+    novel = benchmark.pedantic(
+        crawl_standards,
+        args=(bench_registry, ablation_web),
+        kwargs={
+            "crawl_config": CrawlConfig(prefer_novel_paths=True),
+            "rounds": 2,
+        },
+        rounds=1, iterations=1,
+    )
+    uniform = crawl_standards(
+        bench_registry, ablation_web,
+        crawl_config=CrawlConfig(prefer_novel_paths=False), rounds=2,
+    )
+    emit(
+        "Ablation 3 — URL selection policy",
+        "standards found: novelty-first = %d, uniform = %d"
+        % (total(novel), total(uniform)),
+    )
+    # Novelty preference should never do meaningfully worse.
+    assert total(novel) >= total(uniform) * 0.9
+
+
+def test_bench_ablation_property_instrumentation(benchmark, bench_registry,
+                                                 ablation_web):
+    """Methods-only vs methods+property-write instrumentation."""
+    full = crawl_standards(
+        bench_registry, ablation_web,
+        browser_config=BrowserConfig(instrument_property_writes=True),
+        rounds=1,
+    )
+    methods_only = benchmark.pedantic(
+        crawl_standards,
+        args=(bench_registry, ablation_web),
+        kwargs={
+            "browser_config": BrowserConfig(
+                instrument_property_writes=False
+            ),
+            "rounds": 1,
+        },
+        rounds=1, iterations=1,
+    )
+    emit(
+        "Ablation 4 — property-write instrumentation (section 4.2.2)",
+        "standard observations: methods+properties = %d, methods-only = %d"
+        % (total(full), total(methods_only)),
+    )
+    # Property writes are measurable signal: dropping them must lose
+    # observations (ALS, PV, DO usage is property-write-only).
+    assert total(methods_only) <= total(full)

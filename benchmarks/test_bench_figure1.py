@@ -1,0 +1,29 @@
+"""Figure 1: standards available and browser LoC over time.
+
+Paper: four browsers' code bases grow steadily 2009-2015, Chrome drops
+~8.8 MLoC at the 2013 WebKit->Blink split, and the number of available
+web standards climbs toward the full catalog.
+"""
+
+from repro.core import analysis, reporting
+from repro.standards import history
+
+from conftest import emit
+
+
+def test_bench_figure1(benchmark):
+    points = benchmark(analysis.figure1_browser_evolution)
+    assert len(points) == 28
+    drop = history.chrome_blink_drop()
+    emit(
+        "Figure 1 — browser evolution (paper: Blink split removes "
+        ">=8.8 MLoC; measured drop: %.1f MLoC)" % drop,
+        reporting.figure1_series(),
+    )
+    assert drop >= 8.8
+    firefox = sorted(
+        (p for p in points if p.browser == "Firefox"),
+        key=lambda p: p.year,
+    )
+    assert firefox[-1].million_loc > firefox[0].million_loc
+    assert firefox[-1].web_standards > firefox[0].web_standards

@@ -1,0 +1,28 @@
+"""Figure 3: cumulative distribution of standard popularity.
+
+Paper: six standards on >90% of sites; 28 of 75 on <=1%; eleven never
+used — a heavily bimodal CDF with a long middle.
+"""
+
+from repro.core import analysis, reporting
+
+from conftest import emit
+
+
+def test_bench_figure3(benchmark, bench_survey):
+    points = benchmark(
+        analysis.figure3_standard_popularity_cdf, bench_survey
+    )
+    emit(
+        "Figure 3 — standard popularity CDF (paper: 6 standards >90%, "
+        "28 of 75 at <=1%, 11 never used)",
+        reporting.figure3_series(bench_survey),
+    )
+    measured = len(bench_survey.measured_domains("default"))
+    never = sum(1 for sites, _ in points if sites == 0)
+    top = sum(1 for sites, _ in points if sites / measured > 0.90)
+    assert len(points) == 75
+    assert never >= 11
+    assert 2 <= top <= 12  # paper: 6
+    fractions = [fraction for _, fraction in points]
+    assert fractions == sorted(fractions)

@@ -1,0 +1,47 @@
+"""Figure 4: standard popularity vs block rate (the four quadrants).
+
+Paper's representative points: CSS-OM popular & unblocked (8,193 sites,
+12.6%); H-CM popular & blocked (5,018 sites, 77.4%); ALS unpopular &
+fully blocked (14 sites, 100%); E unpopular & unblocked (1 site, 0%).
+"""
+
+import pytest
+
+from repro.core import analysis, reporting
+
+from conftest import emit
+
+#: (abbrev, paper sites/10k, paper block rate) for the quadrant examples
+#: plus the table's headliners.
+PAPER_POINTS = [
+    ("CSS-OM", 0.8193, 0.126),
+    ("H-CM", 0.5018, 0.774),
+    ("SVG", 0.1554, 0.868),
+    ("DOM1", 0.9139, 0.018),
+    ("BE", 0.2373, 0.836),
+    ("AJAX", 0.7957, 0.139),
+]
+
+
+def test_bench_figure4(benchmark, bench_survey):
+    points = benchmark(
+        analysis.figure4_popularity_vs_block_rate, bench_survey
+    )
+    emit(
+        "Figure 4 — popularity vs block rate (paper quadrants: CSS-OM "
+        "popular/unblocked, H-CM popular/blocked, ALS rare/blocked, E "
+        "rare/unblocked)",
+        reporting.figure4_series(bench_survey),
+    )
+    measured = len(bench_survey.measured_domains("default"))
+    by_abbrev = {p.abbrev: p for p in points}
+    for abbrev, paper_pop, paper_rate in PAPER_POINTS:
+        point = by_abbrev.get(abbrev)
+        assert point is not None, abbrev
+        assert point.sites / measured == pytest.approx(
+            paper_pop, abs=0.18
+        ), abbrev
+        if point.block_rate is not None:
+            assert point.block_rate == pytest.approx(
+                paper_rate, abs=0.25
+            ), abbrev

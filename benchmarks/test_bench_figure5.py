@@ -1,0 +1,28 @@
+"""Figure 5: % of sites vs % of traffic-weighted visits per standard.
+
+Paper: standards cluster around the x=y diagonal — popularity by site
+count and by visit count mostly agree — with a few off-diagonal
+outliers (DOM4, DOM-PS, H-HI above; TC below).
+"""
+
+from repro.core import analysis, reporting
+
+from conftest import emit
+
+
+def test_bench_figure5(benchmark, bench_survey):
+    points = benchmark(
+        analysis.figure5_site_vs_traffic_popularity, bench_survey
+    )
+    emit(
+        "Figure 5 — site vs traffic popularity (paper: clustered on the "
+        "diagonal; DOM4/DOM-PS/H-HI above, TC below)",
+        reporting.figure5_series(bench_survey),
+    )
+    assert points
+    # The clustering claim: most standards sit near the diagonal.
+    near_diagonal = sum(1 for p in points if abs(p.skew) < 0.25)
+    assert near_diagonal / len(points) > 0.6
+    for p in points:
+        assert 0.0 <= p.site_fraction <= 1.0
+        assert 0.0 <= p.visit_fraction <= 1.0

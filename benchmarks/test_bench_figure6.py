@@ -1,0 +1,42 @@
+"""Figure 6: standard introduction date vs popularity.
+
+Paper's four corners: AJAX old & popular (in the browser since 2004,
+on ~80% of sites); H-P old & unpopular (2005, ~1%); SLC new & popular
+(2013, >80%); V new & unpopular (2012, one site).  Age alone does not
+predict popularity.
+"""
+
+import datetime
+
+from repro.core import analysis, reporting
+
+from conftest import emit
+
+
+def test_bench_figure6(benchmark, bench_survey):
+    points = benchmark(analysis.figure6_age_vs_popularity, bench_survey)
+    emit(
+        "Figure 6 — introduction date vs popularity (paper corners: "
+        "AJAX old+popular, H-P old+rare, SLC new+popular, V new+rare)",
+        reporting.figure6_series(bench_survey),
+    )
+    by_abbrev = {p.abbrev: p for p in points}
+    measured = len(bench_survey.measured_domains("default"))
+
+    ajax, h_p = by_abbrev["AJAX"], by_abbrev["H-P"]
+    slc, vibration = by_abbrev["SLC"], by_abbrev["V"]
+
+    # Old standards.
+    assert ajax.introduced <= datetime.date(2006, 1, 1)
+    assert h_p.introduced <= datetime.date(2006, 12, 31)
+    # New standards.
+    assert slc.introduced >= datetime.date(2012, 1, 1)
+    assert vibration.introduced >= datetime.date(2011, 1, 1)
+    # Popularity split within each age group.
+    assert ajax.sites / measured > 0.5
+    assert h_p.sites / measured < 0.1
+    assert slc.sites / measured > 0.5
+    assert vibration.sites <= 1
+    # Age does not determine popularity: both corners exist on each side.
+    assert ajax.sites > h_p.sites
+    assert slc.sites > vibration.sites

@@ -1,0 +1,38 @@
+"""Figure 7: block rate under an ad blocker alone vs a tracking blocker
+alone.
+
+Paper: WebRTC, WebCrypto and Performance Timeline 2 sit above the
+diagonal (tracker-blocked); UI Events sits below (ad-blocked); most
+standards hug the diagonal.
+"""
+
+from repro.core import analysis, reporting
+
+from conftest import emit
+
+TRACKER_BIASED = ("WRTC", "WCR", "PT2")
+AD_BIASED = ("UIE",)
+
+
+def test_bench_figure7(benchmark, bench_survey):
+    points = benchmark(analysis.figure7_ad_vs_tracking_block, bench_survey)
+    emit(
+        "Figure 7 — ad vs tracking block rates (paper: WRTC/WCR/PT2 "
+        "tracker-blocked, UIE ad-blocked)",
+        reporting.figure7_series(bench_survey),
+    )
+    by_abbrev = {p.abbrev: p for p in points}
+    for abbrev in TRACKER_BIASED:
+        point = by_abbrev.get(abbrev)
+        if point is None or point.sites < 5:
+            continue  # too rare at bench scale to call
+        assert point.tracking_block_rate >= point.ad_block_rate, abbrev
+    for abbrev in AD_BIASED:
+        point = by_abbrev.get(abbrev)
+        if point is None or point.sites < 5:
+            continue
+        assert point.ad_block_rate >= point.tracking_block_rate, abbrev
+    # Every rate is a valid probability.
+    for p in points:
+        for rate in (p.ad_block_rate, p.tracking_block_rate):
+            assert rate is None or 0.0 <= rate <= 1.0

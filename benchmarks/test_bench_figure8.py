@@ -1,0 +1,29 @@
+"""Figure 8: the site-complexity probability density function.
+
+Paper: most sites use 14-32 of the 75 standards, no site exceeds 41,
+and a small second mode sits at zero (sites with little or no
+JavaScript).
+"""
+
+from repro.core import analysis, reporting, metrics
+
+from conftest import emit
+
+
+def test_bench_figure8(benchmark, bench_survey):
+    pdf = benchmark(analysis.figure8_site_complexity_pdf, bench_survey)
+    emit(
+        "Figure 8 — standards-per-site PDF (paper: bulk within 14-32, "
+        "max 41, second mode at 0)",
+        reporting.figure8_series(bench_survey),
+    )
+    assert sum(pdf.values()) > 0.999
+    assert max(pdf) <= 41
+    bulk = sum(fraction for count, fraction in pdf.items()
+               if 10 <= count <= 36)
+    assert bulk > 0.5
+    assert pdf.get(0, 0) > 0  # the no-JS mode
+
+    complexity = metrics.site_complexity(bench_survey, "default")
+    mean = sum(complexity.values()) / len(complexity)
+    assert 12 <= mean <= 30  # paper's visual center ~ low twenties

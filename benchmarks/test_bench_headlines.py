@@ -1,0 +1,31 @@
+"""Section 5.3 headline statistics.
+
+Paper: 689 of 1,392 features (~50%) never used; 79% used on <1% of
+sites; ~10% of features blocked >90% of the time; 83% of features on
+<1% of sites once blockers are installed.
+"""
+
+from repro.core import analysis, reporting
+
+from conftest import emit
+
+
+def test_bench_headlines(benchmark, bench_survey):
+    stats = benchmark(analysis.headline_feature_statistics, bench_survey)
+    emit(
+        "Headline statistics (paper: 49.5% never used / 79% <1% / "
+        "10% blocked>90% / 83% <1% with blocking)",
+        reporting.headline_text(bench_survey),
+    )
+    assert stats.total_features == 1392
+    # Small webs see MORE never-used features than the paper (long-tail
+    # features need thousands of sites to appear); the floor stands.
+    assert stats.never_used_fraction >= 0.49
+    assert stats.under_one_percent_fraction >= 0.60
+    assert stats.blocked_under_one_percent_fraction >= (
+        stats.under_one_percent_fraction
+    )
+    assert stats.blocked_over_90_features > 0
+    # Standards-level: 11+ never used, ~28 at <=1%.
+    assert stats.never_used_standards >= 11
+    assert stats.under_one_percent_standards >= 20

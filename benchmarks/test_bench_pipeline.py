@@ -1,0 +1,85 @@
+"""Microbenchmarks of the measurement pipeline's moving parts.
+
+Not tied to a paper table — these track the cost of the substrates so
+performance regressions show up: script interpretation, page loads,
+filter matching, corpus/registry construction.
+"""
+
+from repro.blocking.lists import builtin_filter_list
+from repro.browser.browser import Browser
+from repro.minijs import Interpreter, parse
+from repro.net.fetcher import Fetcher
+from repro.net.resources import Request, ResourceKind
+from repro.net.url import Url
+from repro.webidl.corpus import build_corpus
+from repro.webidl.registry import build_registry
+
+from conftest import BENCH_SEED
+
+FIB = """
+function fib(n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
+fib(14);
+"""
+
+
+def test_bench_minijs_parse(benchmark):
+    source = FIB * 5
+    program = benchmark(parse, source)
+    assert program.body
+
+
+def test_bench_minijs_execute(benchmark):
+    program = parse(FIB)
+
+    def run():
+        interp = Interpreter(seed=1, step_limit=5_000_000)
+        return interp.run(program)
+
+    result = benchmark(run)
+    assert result == 377.0
+
+
+def test_bench_page_visit(benchmark, bench_registry, bench_web):
+    browser = Browser(bench_registry, Fetcher(bench_web))
+    url = Url.parse(
+        "https://%s/" % bench_web.ranking.top(1)[0].domain
+    )
+
+    def visit():
+        return browser.visit_page(url, seed=BENCH_SEED)
+
+    page = benchmark(visit)
+    assert page.ok
+
+
+def test_bench_abp_matching(benchmark):
+    filters = builtin_filter_list()
+    page = Url.parse("https://site.com/")
+    requests = [
+        Request(url=Url.parse(url), kind=ResourceKind.SCRIPT,
+                first_party=page)
+        for url in (
+            "https://static.pixelads.net/tag.js?site=1",
+            "https://cdnlib.net/lib.js",
+            "https://site.com/static/app.js",
+            "https://t.trackpath.io/collect.js?sid=1",
+            "https://beacon.metricsbeacon.com/collect.js?sid=1",
+        )
+    ] * 20
+
+    def match_all():
+        return sum(1 for r in requests if filters.should_block(r))
+
+    blocked = benchmark(match_all)
+    assert blocked == 40  # pixelads + metricsbeacon, 20 each
+
+
+def test_bench_corpus_build(benchmark):
+    corpus = benchmark(build_corpus)
+    assert len(corpus.features) == 1392
+
+
+def test_bench_registry_build(benchmark):
+    corpus = build_corpus()
+    registry = benchmark(build_registry, corpus)
+    assert len(registry) == 1392

@@ -1,0 +1,31 @@
+"""Table 1: crawl summary.
+
+Paper (10,000 sites): 9,733 domains measured, 2,240,484 pages visited,
+480 days of interaction, 21.5 billion invocations.  At bench scale the
+counts shrink linearly with the site count; the *rates* must match:
+~97% of domains measurable, ~10 pages per site per visit round, 30
+seconds of interaction per page.
+"""
+
+from repro.core import analysis, reporting
+
+from conftest import BENCH_SITES, emit
+
+
+def test_bench_table1(benchmark, bench_survey):
+    summary = benchmark(analysis.table1_crawl_summary, bench_survey)
+    emit(
+        "Table 1 — crawl summary (paper at 10k sites: 9,733 measured / "
+        "2.24M pages / 480 days / 21.5G invocations)",
+        reporting.table1_text(bench_survey),
+    )
+    measured_rate = summary.domains_measured / BENCH_SITES
+    assert 0.90 <= measured_rate <= 1.0  # paper: 97.3%
+    # Pages per (site x round x condition): paper visits up to 13.
+    rounds = bench_survey.visits_per_site * len(bench_survey.conditions)
+    pages_per_visit = summary.pages_visited / (
+        summary.domains_measured * rounds
+    )
+    assert 3.0 <= pages_per_visit <= 13.0
+    assert summary.feature_invocations > 0
+    assert summary.interaction_seconds == summary.pages_visited * 30

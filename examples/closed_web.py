@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Measuring the closed web with credentials (section 7.3).
+
+The paper's survey measures only the *open* web: "Users may encounter
+different types of functionality when interacting with websites that
+they have created accounts for."  Its future-work section proposes the
+fix this example implements: give the monkey-testing harness the right
+credentials and let it measure the logged-in experience too.
+
+The script finds every gated site in a synthetic web, measures each
+with and without credentials, and reports the "closed-web premium":
+how many standards only members ever see.
+
+Run:  python examples/closed_web.py [--sites N] [--seed S]
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections import Counter
+
+from repro.browser import Browser
+from repro.monkey import AuthenticatedCrawler, SiteCrawler
+from repro.net.fetcher import Fetcher
+from repro.webgen.sitegen import build_web
+from repro.webidl.registry import default_registry
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sites", type=int, default=300)
+    parser.add_argument("--seed", type=int, default=99)
+    args = parser.parse_args()
+
+    registry = default_registry()
+    web = build_web(registry, n_sites=args.sites, seed=args.seed)
+    gated_sites = [s for s in web.sites.values() if s.plan.gated]
+    print("Web of %d sites; %d have login-gated functionality.\n"
+          % (args.sites, len(gated_sites)))
+
+    browser = Browser(registry, Fetcher(web))
+    open_crawler = SiteCrawler(browser)
+    authenticated = AuthenticatedCrawler(browser)
+
+    premium: Counter = Counter()
+    logged_in = 0
+    for site in gated_sites:
+        open_result = open_crawler.visit_site(site.domain, 1,
+                                              seed=args.seed)
+        measurement = authenticated.measure(
+            site.domain, site.plan.credentials, open_result,
+            seed=args.seed,
+        )
+        if not measurement.logged_in:
+            print("  %-28s login FAILED" % site.domain)
+            continue
+        logged_in += 1
+        found = sorted(measurement.closed_web_standards)
+        premium.update(found)
+        print("  %-28s +%d standards behind the login (%s)"
+              % (site.domain, len(found), ", ".join(found) or "none"))
+
+    print("\nLogged in to %d/%d gated sites." % (logged_in,
+                                                 len(gated_sites)))
+    if premium:
+        print("Standards most often hidden behind logins:")
+        for abbrev, count in premium.most_common(8):
+            print("  %-8s %-44s on %d gated site(s)"
+                  % (abbrev, registry.standard(abbrev).name[:44], count))
+        print("\nThe paper's conjecture holds here: the closed web "
+              "exercises a broader\nfeature set than the open crawl "
+              "alone can see.")
+
+
+if __name__ == "__main__":
+    main()

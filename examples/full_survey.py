@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""The full paper reproduction driver.
+
+Runs the complete measurement — all four browsing conditions (default,
+blocking, ad-block-only, tracking-block-only), five visit rounds each —
+and regenerates every table and figure of the paper's evaluation as
+text output.
+
+At the paper's full scale this is a long run:
+
+    python examples/full_survey.py --sites 10000          # hours
+    python examples/full_survey.py --sites 1000           # ~25 min
+    python examples/full_survey.py --sites 200            # ~5 min
+
+All analyses are fractions/rates, so smaller webs reproduce the same
+shapes.  Deterministic in --seed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.blocking.extension import BrowsingCondition
+from repro.core import reporting
+from repro.core.survey import SurveyConfig, run_survey
+from repro.core.validation import external_validation, internal_validation
+from repro.webgen.sitegen import build_web
+from repro.webidl.registry import default_registry
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sites", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=2016)
+    parser.add_argument("--visits", type=int, default=5)
+    args = parser.parse_args()
+
+    registry = default_registry()
+    print("Registry: %d features across %d standards"
+          % (registry.feature_count(), registry.standard_count()))
+    web = build_web(registry, n_sites=args.sites, seed=args.seed)
+    print("Synthetic web: %d sites (%d fail to measure, as on the "
+          "real web)" % (args.sites, len(web.failed_sites())))
+
+    config = SurveyConfig(
+        conditions=(
+            BrowsingCondition.DEFAULT,
+            BrowsingCondition.BLOCKING,
+            BrowsingCondition.ABP_ONLY,
+            BrowsingCondition.GHOSTERY_ONLY,
+        ),
+        visits_per_site=args.visits,
+        seed=args.seed,
+    )
+    started = time.time()
+
+    def progress(condition: str, done: int, total: int) -> None:
+        if done % 200 == 0:
+            print("  [%s] %d/%d" % (condition, done, total))
+
+    result = run_survey(web, registry, config, progress=progress)
+    print("Survey complete in %.1f minutes\n" % ((time.time() - started) / 60))
+
+    sections = [
+        ("Figure 1 - browser evolution (static data sources)",
+         reporting.figure1_series()),
+        ("Table 1 - crawl summary", reporting.table1_text(result)),
+        ("Headline statistics (section 5.3)",
+         reporting.headline_text(result)),
+        ("Figure 3 - standard popularity CDF",
+         reporting.figure3_series(result)),
+        ("Figure 4 - popularity vs block rate",
+         reporting.figure4_series(result)),
+        ("Figure 5 - site vs traffic-weighted popularity",
+         reporting.figure5_series(result)),
+        ("Figure 6 - introduction date vs popularity",
+         reporting.figure6_series(result)),
+        ("Figure 7 - ad vs tracking block rates",
+         reporting.figure7_series(result)),
+        ("Table 2 - per-standard summary", reporting.table2_text(result)),
+        ("Figure 8 - site complexity PDF", reporting.figure8_series(result)),
+        ("Table 3 - internal validation",
+         reporting.table3_text(internal_validation(result))),
+    ]
+    for title, body in sections:
+        print("=" * 72)
+        print(title)
+        print("=" * 72)
+        print(body)
+        print()
+
+    print("=" * 72)
+    print("Figure 9 - external validation (manual vs automated)")
+    print("=" * 72)
+    outcome = external_validation(result, web, seed=args.seed)
+    print(reporting.figure9_series(outcome))
+
+
+if __name__ == "__main__":
+    main()

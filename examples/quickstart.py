@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Quickstart: measure browser feature usage on a small synthetic web.
+
+Builds a 150-site web, crawls it under the default and blocking
+conditions (3 visit rounds each to keep this snappy), and prints the
+crawl summary plus the headline feature statistics — the numbers behind
+the paper's abstract ("over 50% of provided features never used", "83%
+executed on less than 1% of sites in the presence of blockers").
+
+Run:  python examples/quickstart.py [n_sites] [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro import api
+
+
+def main() -> None:
+    n_sites = int(sys.argv[1]) if len(sys.argv) > 1 else 150
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 2016
+
+    print("Building a %d-site synthetic web (seed %d) and crawling it..."
+          % (n_sites, seed))
+    started = time.time()
+
+    def progress(condition: str, done: int, total: int) -> None:
+        print("  [%s] %d/%d sites" % (condition, done, total))
+
+    result = api.run_small_survey(
+        n_sites=n_sites, seed=seed, visits_per_site=3, progress=progress
+    )
+    print("Crawl finished in %.1fs\n" % (time.time() - started))
+    print(api.summarize(result))
+
+    # A taste of the per-standard view (full table: examples/full_survey.py).
+    from repro.core import metrics
+
+    popularity = metrics.standard_site_counts(result, "default")
+    rates = metrics.standard_block_rates(result)
+    measured = max(1, len(result.measured_domains("default")))
+    print("\n== Five most popular standards ==")
+    top = sorted(popularity.items(), key=lambda kv: -kv[1])[:5]
+    for abbrev, sites in top:
+        spec = result.registry.standard(abbrev)
+        rate = rates.get(abbrev)
+        print(
+            "  %-8s %-45s %5.1f%% of sites, block rate %s"
+            % (
+                abbrev,
+                spec.name,
+                100.0 * sites / measured,
+                "-" if rate is None else "%.1f%%" % (rate * 100),
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

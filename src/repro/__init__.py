@@ -1,0 +1,46 @@
+"""repro — reproduction of "Browser Feature Usage on the Modern Web" (IMC 2016).
+
+The package implements, end to end, the measurement platform the paper
+describes:
+
+* ``repro.webidl`` — WebIDL parsing and the browser feature registry
+  (1,392 features across 75 standards, mirroring Firefox 46.0.1).
+* ``repro.standards`` — standard metadata, historical Firefox builds, and
+  the CVE corpus used for the security analysis.
+* ``repro.minijs`` — a small JavaScript-subset interpreter with prototype
+  chains, closures and ``Object.watch``; the substrate that makes the
+  paper's prototype-shimming instrumentation technique literal.
+* ``repro.dom`` — the DOM tree and ``window`` singletons exposed to MiniJS.
+* ``repro.net`` — URLs, resources, the simulated network and the
+  instrumentation-injecting proxy.
+* ``repro.blocking`` — an AdBlock Plus filter engine and a Ghostery-style
+  tracker blocker.
+* ``repro.webgen`` — the deterministic synthetic "Alexa 10k" web the crawl
+  measures (the offline stand-in for the live web; see DESIGN.md).
+* ``repro.browser`` / ``repro.monkey`` — the instrumented browser, the
+  measuring extension, gremlins-style monkey testing and the crawler.
+* ``repro.core`` — the survey runner, metrics, per-figure/table analyses,
+  validation and reporting: the paper's primary contribution.
+
+Quickstart::
+
+    from repro import api
+    result = api.run_small_survey(n_sites=100, seed=7)
+    print(api.summarize(result))
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "webidl",
+    "standards",
+    "minijs",
+    "dom",
+    "net",
+    "blocking",
+    "webgen",
+    "browser",
+    "monkey",
+    "core",
+    "api",
+]

@@ -1,0 +1,61 @@
+"""Convenience entry points tying the whole pipeline together."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.blocking.extension import BrowsingCondition
+from repro.core import reporting
+from repro.core.survey import (
+    ProgressCallback,
+    SurveyConfig,
+    SurveyResult,
+    run_survey,
+)
+from repro.webgen.sitegen import SyntheticWeb, build_web
+from repro.webidl.registry import FeatureRegistry, default_registry
+
+
+def build_default_web(
+    n_sites: int = 10_000, seed: int = 2016
+) -> Tuple[FeatureRegistry, SyntheticWeb]:
+    """The standard registry + a synthetic web over it."""
+    registry = default_registry()
+    return registry, build_web(registry, n_sites=n_sites, seed=seed)
+
+
+def run_small_survey(
+    n_sites: int = 200,
+    seed: int = 2016,
+    conditions: Sequence[str] = (
+        BrowsingCondition.DEFAULT,
+        BrowsingCondition.BLOCKING,
+    ),
+    visits_per_site: int = 5,
+    progress: Optional[ProgressCallback] = None,
+) -> SurveyResult:
+    """Build a scaled-down web and run the full survey over it.
+
+    All analyses are resolution-independent (fractions and rates), so a
+    few hundred sites reproduce the paper's shapes; raise ``n_sites``
+    toward 10,000 for the full-scale run.
+    """
+    registry, web = build_default_web(n_sites=n_sites, seed=seed)
+    config = SurveyConfig(
+        conditions=tuple(conditions),
+        visits_per_site=visits_per_site,
+        seed=seed,
+    )
+    return run_survey(web, registry, config, progress=progress)
+
+
+def summarize(result: SurveyResult) -> str:
+    """A human-readable digest of a survey's headline findings."""
+    parts = [
+        "== Crawl summary (Table 1) ==",
+        reporting.table1_text(result),
+        "",
+        "== Headline feature statistics (section 5.3) ==",
+        reporting.headline_text(result),
+    ]
+    return "\n".join(parts)

@@ -1,0 +1,41 @@
+"""Content-blocking extensions: AdBlock Plus and Ghostery equivalents.
+
+The paper measures every site twice — once stock, once with AdBlock
+Plus (crowd-sourced URL filter rules + element hiding) and Ghostery
+(curated tracker database) installed (sections 3.6, 4.3.2).  This
+subpackage implements both mechanisms:
+
+* :mod:`repro.blocking.abp` — a parser/matcher for the AdBlock Plus
+  filter syntax subset real lists use (anchors, wildcards, separators,
+  resource-type and party options, ``@@`` exceptions, ``##`` element
+  hiding).
+* :mod:`repro.blocking.ghostery` — a tracker "bug" database keyed by
+  host suffixes, with categories.
+* :mod:`repro.blocking.lists` — the built-in filter list and tracker
+  database written against the synthetic web's ad/tracker ecosystem.
+* :mod:`repro.blocking.extension` — the request-gate interface the
+  browser installs as a fetcher observer, plus the four browsing
+  conditions the study uses (default / ABP-only / Ghostery-only /
+  both).
+"""
+
+from repro.blocking.abp import AbpFilter, FilterList, FilterParseError
+from repro.blocking.ghostery import TrackerDatabase, TrackerEntry
+from repro.blocking.extension import (
+    AdBlockPlus,
+    BlockingExtension,
+    BrowsingCondition,
+    Ghostery,
+)
+
+__all__ = [
+    "AbpFilter",
+    "FilterList",
+    "FilterParseError",
+    "TrackerDatabase",
+    "TrackerEntry",
+    "AdBlockPlus",
+    "BlockingExtension",
+    "BrowsingCondition",
+    "Ghostery",
+]

@@ -1,0 +1,262 @@
+"""AdBlock Plus filter syntax: parsing and matching.
+
+Implements the subset of the ABP filter language that real lists
+(EasyList and friends) lean on:
+
+* plain substring patterns, with ``*`` wildcards
+* ``||example.com^`` — domain-anchor: matches the host or any subdomain
+* ``|...`` / ``...|`` — start / end anchors
+* ``^`` — separator placeholder (any non-alphanumeric, non-``%_-.``
+  character, or the end of the URL)
+* ``$`` options: resource types (``script``, ``image``, ``stylesheet``,
+  ``xmlhttprequest``, ``subdocument``, ``beacon``, ``other``), their
+  ``~`` negations, ``third-party`` / ``~third-party``, and
+  ``domain=a.com|~b.com`` restrictions
+* ``@@`` exception rules
+* ``##selector`` element-hiding rules (global or per-domain)
+* ``!`` comments and blank lines
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.net.resources import Request, ResourceKind
+from repro.net.url import Url
+
+
+class FilterParseError(ValueError):
+    """A filter line that cannot be understood."""
+
+
+_TYPE_OPTIONS = {
+    "script": ResourceKind.SCRIPT,
+    "image": ResourceKind.IMAGE,
+    "stylesheet": ResourceKind.STYLESHEET,
+    "xmlhttprequest": ResourceKind.XHR,
+    "subdocument": ResourceKind.SUBDOCUMENT,
+    "beacon": ResourceKind.BEACON,
+    "document": ResourceKind.DOCUMENT,
+    "other": ResourceKind.OTHER,
+}
+
+_SEPARATOR_CLASS = r"(?:[^0-9a-zA-Z%_.\-]|$)"
+
+
+@dataclass(frozen=True)
+class AbpFilter:
+    """One compiled network filter rule."""
+
+    raw: str
+    pattern: "re.Pattern[str]"
+    is_exception: bool
+    include_types: Optional[FrozenSet[str]]
+    exclude_types: FrozenSet[str]
+    third_party: Optional[bool]
+    include_domains: FrozenSet[str]
+    exclude_domains: FrozenSet[str]
+
+    def matches(self, request: Request) -> bool:
+        if self.include_types is not None and (
+            request.kind not in self.include_types
+        ):
+            return False
+        if request.kind in self.exclude_types:
+            return False
+        if self.third_party is not None and (
+            request.is_third_party != self.third_party
+        ):
+            return False
+        if self.include_domains or self.exclude_domains:
+            page = request.first_party
+            page_domain = page.registrable_domain if page else ""
+            if self.include_domains and page_domain not in self.include_domains:
+                return False
+            if page_domain in self.exclude_domains:
+                return False
+        return self.pattern.search(str(request.url)) is not None
+
+
+@dataclass(frozen=True)
+class HidingRule:
+    """One element-hiding rule: ``domains##selector``."""
+
+    selector: str
+    domains: FrozenSet[str] = frozenset()
+
+    def applies_to(self, page: Url) -> bool:
+        if not self.domains:
+            return True
+        return page.registrable_domain in self.domains
+
+
+def _compile_pattern(pattern: str) -> "re.Pattern[str]":
+    """Translate an ABP URL pattern into a regex."""
+    anchored_start = False
+    anchored_end = False
+    domain_anchor = False
+    if pattern.startswith("||"):
+        domain_anchor = True
+        pattern = pattern[2:]
+    elif pattern.startswith("|"):
+        anchored_start = True
+        pattern = pattern[1:]
+    if pattern.endswith("|"):
+        anchored_end = True
+        pattern = pattern[:-1]
+
+    parts: List[str] = []
+    for ch in pattern:
+        if ch == "*":
+            parts.append(".*")
+        elif ch == "^":
+            parts.append(_SEPARATOR_CLASS)
+        else:
+            parts.append(re.escape(ch))
+    body = "".join(parts)
+
+    if domain_anchor:
+        # Match at a host-label boundary within the URL's authority.
+        prefix = r"^[a-z]+://([^/]*\.)?"
+    elif anchored_start:
+        prefix = "^"
+    else:
+        prefix = ""
+    suffix = "$" if anchored_end else ""
+    return re.compile(prefix + body + suffix)
+
+
+def parse_filter(line: str) -> Optional[object]:
+    """Parse one list line into an AbpFilter / HidingRule / None.
+
+    None for comments and blanks; raises FilterParseError for garbage.
+    """
+    text = line.strip()
+    if not text or text.startswith("!") or text.startswith("["):
+        return None
+    if "##" in text:
+        domains_part, selector = text.split("##", 1)
+        if not selector.strip():
+            raise FilterParseError("empty hiding selector: %r" % line)
+        domains = frozenset(
+            d.strip().lower()
+            for d in domains_part.split(",")
+            if d.strip()
+        )
+        return HidingRule(selector=selector.strip(), domains=domains)
+
+    is_exception = text.startswith("@@")
+    if is_exception:
+        text = text[2:]
+
+    options_text = ""
+    dollar = text.rfind("$")
+    if dollar >= 0:
+        options_text = text[dollar + 1:]
+        text = text[:dollar]
+    if not text:
+        raise FilterParseError("empty pattern: %r" % line)
+
+    include_types: Optional[set] = None
+    exclude_types: set = set()
+    third_party: Optional[bool] = None
+    include_domains: set = set()
+    exclude_domains: set = set()
+
+    for option in filter(None, options_text.split(",")):
+        option = option.strip().lower()
+        if option == "third-party":
+            third_party = True
+        elif option == "~third-party":
+            third_party = False
+        elif option.startswith("domain="):
+            for domain in option[len("domain="):].split("|"):
+                domain = domain.strip()
+                if domain.startswith("~"):
+                    exclude_domains.add(domain[1:])
+                elif domain:
+                    include_domains.add(domain)
+        elif option in _TYPE_OPTIONS:
+            if include_types is None:
+                include_types = set()
+            include_types.add(_TYPE_OPTIONS[option])
+        elif option.startswith("~") and option[1:] in _TYPE_OPTIONS:
+            exclude_types.add(_TYPE_OPTIONS[option[1:]])
+        else:
+            raise FilterParseError(
+                "unsupported option %r in %r" % (option, line)
+            )
+
+    return AbpFilter(
+        raw=line.strip(),
+        pattern=_compile_pattern(text),
+        is_exception=is_exception,
+        include_types=(
+            frozenset(include_types) if include_types is not None else None
+        ),
+        exclude_types=frozenset(exclude_types),
+        third_party=third_party,
+        include_domains=frozenset(include_domains),
+        exclude_domains=frozenset(exclude_domains),
+    )
+
+
+class FilterList:
+    """A parsed filter list with ABP decision semantics.
+
+    Decision: a request is blocked iff some block rule matches and no
+    exception (``@@``) rule matches.
+    """
+
+    def __init__(self, lines: Optional[Sequence[str]] = None) -> None:
+        self.block_filters: List[AbpFilter] = []
+        self.exception_filters: List[AbpFilter] = []
+        self.hiding_rules: List[HidingRule] = []
+        self.skipped: List[Tuple[str, str]] = []
+        if lines:
+            self.extend(lines)
+
+    def extend(self, lines: Sequence[str]) -> None:
+        for line in lines:
+            try:
+                rule = parse_filter(line)
+            except FilterParseError as error:
+                # Real ad blockers skip unparseable rules, loudly.
+                self.skipped.append((line, str(error)))
+                continue
+            if rule is None:
+                continue
+            if isinstance(rule, HidingRule):
+                self.hiding_rules.append(rule)
+            elif rule.is_exception:
+                self.exception_filters.append(rule)
+            else:
+                self.block_filters.append(rule)
+
+    def should_block(self, request: Request) -> bool:
+        if not any(f.matches(request) for f in self.block_filters):
+            return False
+        return not any(f.matches(request) for f in self.exception_filters)
+
+    def matching_filter(self, request: Request) -> Optional[AbpFilter]:
+        """The first block rule matching, for diagnostics."""
+        for rule in self.block_filters:
+            if rule.matches(request):
+                return rule
+        return None
+
+    def hiding_selectors_for(self, page: Url) -> List[str]:
+        return [
+            rule.selector
+            for rule in self.hiding_rules
+            if rule.applies_to(page)
+        ]
+
+    def __len__(self) -> int:
+        return (
+            len(self.block_filters)
+            + len(self.exception_filters)
+            + len(self.hiding_rules)
+        )

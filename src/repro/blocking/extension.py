@@ -1,0 +1,93 @@
+"""The browser-extension interface and the study's browsing conditions."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.blocking.abp import FilterList
+from repro.blocking.ghostery import TrackerDatabase
+from repro.net.resources import Request
+
+
+class BlockingExtension:
+    """Base class: a request gate installed into the browser's fetcher."""
+
+    name = "extension"
+
+    def should_block(self, request: Request) -> bool:
+        raise NotImplementedError
+
+    #: Requests this extension vetoed (diagnostics / stats).
+    def __init__(self) -> None:
+        self.blocked_count = 0
+
+    def gate(self, request: Request) -> bool:
+        """Fetcher-observer adapter: True = allow, False = block."""
+        if self.should_block(request):
+            self.blocked_count += 1
+            return False
+        return True
+
+
+class AdBlockPlus(BlockingExtension):
+    """AdBlock Plus: crowd-sourced URL filters + element hiding."""
+
+    name = "adblock-plus"
+
+    def __init__(self, filter_list: FilterList) -> None:
+        super().__init__()
+        self.filter_list = filter_list
+
+    def should_block(self, request: Request) -> bool:
+        return self.filter_list.should_block(request)
+
+
+class Ghostery(BlockingExtension):
+    """Ghostery: curated tracker database."""
+
+    name = "ghostery"
+
+    def __init__(self, database: TrackerDatabase) -> None:
+        super().__init__()
+        self.database = database
+
+    def should_block(self, request: Request) -> bool:
+        return self.database.should_block(request)
+
+
+class BrowsingCondition:
+    """Which extensions are installed for a crawl pass.
+
+    The paper's two headline conditions are DEFAULT and BLOCKING (both
+    extensions); the Figure 7 analysis additionally runs each extension
+    alone.
+    """
+
+    DEFAULT = "default"
+    BLOCKING = "blocking"
+    ABP_ONLY = "abp-only"
+    GHOSTERY_ONLY = "ghostery-only"
+
+    ALL = (DEFAULT, BLOCKING, ABP_ONLY, GHOSTERY_ONLY)
+
+    @staticmethod
+    def extensions_for(
+        condition: str,
+        filter_list: Optional[FilterList] = None,
+        tracker_db: Optional[TrackerDatabase] = None,
+    ) -> List[BlockingExtension]:
+        """Instantiate the extension set for a condition."""
+        if condition not in BrowsingCondition.ALL:
+            raise ValueError("unknown browsing condition %r" % condition)
+        extensions: List[BlockingExtension] = []
+        if condition in (BrowsingCondition.BLOCKING,
+                         BrowsingCondition.ABP_ONLY):
+            if filter_list is None:
+                raise ValueError("condition %r needs a filter list" % condition)
+            extensions.append(AdBlockPlus(filter_list))
+        if condition in (BrowsingCondition.BLOCKING,
+                         BrowsingCondition.GHOSTERY_ONLY):
+            if tracker_db is None:
+                raise ValueError("condition %r needs a tracker db" % condition)
+            extensions.append(Ghostery(tracker_db))
+        return extensions

@@ -1,0 +1,74 @@
+"""A Ghostery-style tracker database.
+
+Ghostery ships a curated database of tracker "bugs": known analytics,
+advertising-tracking and beacon endpoints, each identified by host (and
+optionally path) patterns and grouped into categories.  When a page
+requests a resource matching a bug, the extension prevents the load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.net.resources import Request
+from repro.net.url import Url
+
+
+@dataclass(frozen=True)
+class TrackerEntry:
+    """One tracker in the database."""
+
+    name: str
+    category: str  # "site-analytics" | "advertising" | "social" | ...
+    host_suffixes: tuple
+    path_substring: str = ""
+
+    def matches(self, url: Url) -> bool:
+        host = url.host
+        for suffix in self.host_suffixes:
+            if host == suffix or host.endswith("." + suffix):
+                if self.path_substring and (
+                    self.path_substring not in url.path
+                ):
+                    continue
+                return True
+        return False
+
+
+class TrackerDatabase:
+    """The bug database plus matching, with per-category toggles."""
+
+    def __init__(self, entries: Optional[Sequence[TrackerEntry]] = None) -> None:
+        self.entries: List[TrackerEntry] = list(entries or [])
+        #: category -> enabled; users can un-block categories in the UI.
+        self.enabled_categories: Dict[str, bool] = {}
+
+    def add(self, entry: TrackerEntry) -> None:
+        self.entries.append(entry)
+
+    def set_category_enabled(self, category: str, enabled: bool) -> None:
+        self.enabled_categories[category] = enabled
+
+    def _category_active(self, category: str) -> bool:
+        return self.enabled_categories.get(category, True)
+
+    def match(self, url: Url) -> Optional[TrackerEntry]:
+        for entry in self.entries:
+            if self._category_active(entry.category) and entry.matches(url):
+                return entry
+        return None
+
+    def should_block(self, request: Request) -> bool:
+        """Block matching tracker resources.
+
+        First-party analytics (the site measuring itself on its own
+        domain) is out of scope for Ghostery's cross-site tracking
+        model, so only third-party requests are considered.
+        """
+        if not request.is_third_party:
+            return False
+        return self.match(request.url) is not None
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,99 @@
+"""The built-in filter list and tracker database.
+
+These play the role of EasyList (for AdBlock Plus) and the Ghostery bug
+database: hand-maintained rules that recognize the ad/tracker ecosystem
+of :mod:`repro.webgen.thirdparty`.  As on the real web, the two tools
+overlap: the ad filter list also carries a few tracker rules, and the
+tracker database knows about ad-network beacons — which is why the
+paper's Figure 7 finds standards blocked by both kinds of extension.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.blocking.abp import FilterList
+from repro.blocking.ghostery import TrackerDatabase, TrackerEntry
+from repro.webgen.thirdparty import (
+    AD_CATEGORY,
+    TRACKER_CATEGORY,
+    ThirdPartyEcosystem,
+)
+
+
+def builtin_filter_list(
+    ecosystem: ThirdPartyEcosystem = None,
+) -> FilterList:
+    """An EasyList-style list covering the synthetic ad networks.
+
+    Includes domain-anchored script rules for every ad network, generic
+    path rules (``/banner/``, ``/popunder.``), element-hiding rules for
+    ad containers, one exception rule (a "acceptable ads"-style
+    carve-out for a CDN that a broad rule would otherwise catch), and —
+    as in the real EasyList privacy sections — rules for a couple of
+    the most notorious trackers.
+    """
+    ecosystem = ecosystem or ThirdPartyEcosystem()
+    lines: List[str] = [
+        "! repro synthetic easylist",
+        "! ---- ad networks ----",
+    ]
+    for network in ecosystem.ad_networks:
+        lines.append("||%s^$third-party" % _registrable(network.host))
+    lines.extend(
+        [
+            "! ---- generic ad paths ----",
+            "/banner/*$image,third-party",
+            "/popunder.",
+            "&ad_slot=",
+            "! ---- easyprivacy-style tracker rules ----",
+            "||%s^$script,third-party" % _registrable(
+                ecosystem.trackers[0].host
+            ),
+            "! ---- exceptions ----",
+            "@@||cdnlib.net^$script",
+            "! ---- element hiding ----",
+            "##.ad-banner",
+            "##.sponsored-box",
+            "###ad-container",
+        ]
+    )
+    return FilterList(lines)
+
+
+def builtin_tracker_database(
+    ecosystem: ThirdPartyEcosystem = None,
+) -> TrackerDatabase:
+    """A Ghostery-style database covering the synthetic trackers.
+
+    Every tracker host is a bug; additionally the ad networks' beacon
+    endpoints are known (Ghostery's advertising category), giving the
+    realistic overlap where a tracking blocker also suppresses some
+    advertising resources.
+    """
+    ecosystem = ecosystem or ThirdPartyEcosystem()
+    entries: List[TrackerEntry] = []
+    for tracker in ecosystem.trackers:
+        entries.append(
+            TrackerEntry(
+                name=tracker.name,
+                category=TRACKER_CATEGORY,
+                host_suffixes=(_registrable(tracker.host), tracker.host),
+            )
+        )
+    # Ad networks' measurement beacons are in the advertising category.
+    for network in ecosystem.ad_networks[:2]:
+        entries.append(
+            TrackerEntry(
+                name=network.name + " Beacon",
+                category=AD_CATEGORY,
+                host_suffixes=(network.host,),
+                path_substring="/px",
+            )
+        )
+    return TrackerDatabase(entries)
+
+
+def _registrable(host: str) -> str:
+    labels = host.split(".")
+    return ".".join(labels[-2:])

@@ -1,0 +1,23 @@
+"""The instrumented browser.
+
+* :mod:`repro.browser.extension` — the measuring extension: generates
+  and installs the prototype-shim / ``Object.watch`` instrumentation of
+  section 4.2 and records every feature invocation.
+* :mod:`repro.browser.browser` — the page-load pipeline: fetch through
+  the injecting proxy, parse HTML, build the DOM realm, execute scripts
+  in document order (instrumentation first), load subresources, flush
+  timers.
+* :mod:`repro.browser.session` — per-visit bookkeeping shared by the
+  crawler and the analyses.
+"""
+
+from repro.browser.extension import FeatureRecorder, MeasuringExtension
+from repro.browser.browser import Browser, BrowserConfig, PageVisit
+
+__all__ = [
+    "FeatureRecorder",
+    "MeasuringExtension",
+    "Browser",
+    "BrowserConfig",
+    "PageVisit",
+]

@@ -1,0 +1,292 @@
+"""The measuring extension (section 4.2 of the paper).
+
+The extension counts, per page, every invocation of an instrumented
+feature.  Two installation modes implement the *same* semantics:
+
+* ``pure-js`` — the extension emits a MiniJS program (injected by the
+  proxy at the start of ``<head>``) that overwrites every feature
+  method on its prototype with a logging shim, keeps the original in a
+  closure, forwards via ``apply``, and ``watch()``-es every writable
+  property of every singleton.  This is literally the paper's
+  technique, running in the page's own script engine.
+
+* ``accelerated`` — the same shims are installed by host code (Python
+  closures instead of interpreted MiniJS closures).  Used for large
+  crawls; a regression test pins both modes to identical measurements
+  on the same pages (see tests/test_browser.py).
+
+Either way, pages cannot reach the originals: they only ever see the
+instrumented prototype slots.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.dom.bindings import DomRealm
+from repro.minijs.objects import JSFunction, JSObject, UNDEFINED
+from repro.webidl.registry import Feature, FeatureRegistry
+
+MODE_ACCELERATED = "accelerated"
+MODE_PURE_JS = "pure-js"
+
+
+class FeatureRecorder:
+    """Per-page-visit feature invocation counts."""
+
+    __slots__ = ("counts",)
+
+    def __init__(self) -> None:
+        self.counts: Dict[str, int] = {}
+
+    def record(self, feature_name: str) -> None:
+        self.counts[feature_name] = self.counts.get(feature_name, 0) + 1
+
+    def total_invocations(self) -> int:
+        return sum(self.counts.values())
+
+    def features_used(self) -> List[str]:
+        return sorted(self.counts)
+
+    def merge_into(self, other: "FeatureRecorder") -> None:
+        self.merge_into_counts(other.counts)
+
+    def merge_into_counts(self, counts: Dict[str, int]) -> None:
+        for name, count in self.counts.items():
+            counts[name] = counts.get(name, 0) + count
+
+
+class MeasuringExtension:
+    """Builds and installs the instrumentation for page realms."""
+
+    def __init__(
+        self,
+        registry: FeatureRegistry,
+        mode: str = MODE_ACCELERATED,
+        include_property_writes: bool = True,
+    ) -> None:
+        if mode not in (MODE_ACCELERATED, MODE_PURE_JS):
+            raise ValueError("unknown instrumentation mode %r" % mode)
+        self.registry = registry
+        self.mode = mode
+        #: False = methods-only instrumentation (no Object.watch), the
+        #: ablation showing what section 4.2.2's property coverage buys.
+        self.include_property_writes = include_property_writes
+        self._pure_source: Optional[str] = None
+        self._plan: Optional["_ShimPlan"] = None
+
+    # ------------------------------------------------------------------
+    # Injected script (what the proxy places at the head of every page)
+    # ------------------------------------------------------------------
+
+    def injected_script(self) -> str:
+        """The script the proxy injects into every HTML document."""
+        if self.mode == MODE_ACCELERATED:
+            # The hook performs the full shim installation host-side.
+            return "__instrumentAll();"
+        if self._pure_source is None:
+            self._pure_source = self._generate_pure_source()
+        return self._pure_source
+
+    def _generate_pure_source(self) -> str:
+        """The full MiniJS instrumentation program."""
+        lines: List[str] = [
+            "(function () {",
+            "  var report = __report;",
+        ]
+        for feature in self.registry.features():
+            if not feature.observable:
+                continue  # the paper's extension cannot see these either
+            if feature.kind == "attribute":
+                if not self.include_property_writes:
+                    continue
+                singleton = _singleton_global(feature.interface)
+                lines.append(
+                    "  %s.watch(%s, function (p, o, n) { report(%s); "
+                    "return n; });"
+                    % (singleton, _js_str(feature.member),
+                       _js_str(feature.name))
+                )
+                continue
+            owner = (
+                feature.interface
+                if feature.static
+                else "%s.prototype" % feature.interface
+            )
+            lines.append(
+                "  (function () {"
+                " var t = %(owner)s;"
+                " var orig = t.%(member)s;"
+                " if (typeof orig === 'function') {"
+                " t.%(member)s = function () { report(%(name)s);"
+                " return orig.apply(this, arguments); };"
+                " } })();"
+                % {
+                    "owner": owner,
+                    "member": feature.member,
+                    "name": _js_str(feature.name),
+                }
+            )
+        lines.append("})();")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Realm installation
+    # ------------------------------------------------------------------
+
+    def install(self, realm: DomRealm, recorder: FeatureRecorder) -> None:
+        """Attach the reporting hooks to a fresh page realm.
+
+        Must run before any page script executes.  In both modes this
+        only installs the *hooks* (``__report`` and, accelerated,
+        ``__instrumentAll``); the wrapping itself happens when the
+        injected script runs, preserving the injection ordering of the
+        real pipeline.
+        """
+        interp = realm.interp
+        interp.recorder = recorder
+
+        def report(interp_, this, args):
+            if args:
+                recorder.record(str(args[0]))
+            return UNDEFINED
+
+        interp.global_object.properties["__report"] = interp.host_function(
+            "__report", report
+        )
+
+        if self.mode == MODE_ACCELERATED:
+            def instrument_all(interp_, this, args):
+                self._install_accelerated(realm, recorder)
+                return UNDEFINED
+
+            interp.global_object.properties["__instrumentAll"] = (
+                interp.host_function("__instrumentAll", instrument_all)
+            )
+
+    def _install_accelerated(
+        self, realm: DomRealm, recorder: FeatureRecorder
+    ) -> None:
+        """Wrap every observable feature with a recording shim.
+
+        Shims read the recorder off the interpreter they execute in, so
+        shims over the realm-independent stub implementations are built
+        once and bulk-assigned; only behavioral (per-realm)
+        implementations get per-realm shims.
+        """
+        plan = self._shim_plan(realm)
+        for interface, members in plan.instance_shims.items():
+            realm.prototypes[interface].properties.update(members)
+        for interface, members in plan.static_shims.items():
+            realm.constructors[interface].properties.update(members)
+        for interface, member, handler in plan.watches:
+            singleton = realm.singleton_for(interface)
+            if singleton is not None:
+                singleton.watch(member, handler)
+        for feature in plan.behavioral:
+            if feature.name not in realm.behavior_features:
+                continue
+            owner: JSObject = (
+                realm.constructors[feature.interface]
+                if feature.static
+                else realm.prototypes[feature.interface]
+            )
+            original = owner.properties.get(feature.member)
+            if isinstance(original, JSFunction):
+                owner.properties[feature.member] = _method_shim(
+                    feature.name, original, cache=False
+                )
+
+    def _shim_plan(self, realm: DomRealm) -> "_ShimPlan":
+        """The precomputed, realm-independent part of the shim install.
+
+        Built lazily against the first realm's behavioral-feature set;
+        that set is a pure function of the registry, so it is identical
+        for every subsequent realm (asserted cheaply here).
+        """
+        if getattr(self, "_plan", None) is not None:
+            return self._plan
+        behavioral_names = set(realm.behavior_features)
+        plan = _ShimPlan()
+        for feature in self.registry.features():
+            if not feature.observable:
+                continue
+            if feature.kind == "attribute":
+                if self.include_property_writes:
+                    plan.watches.append(
+                        (feature.interface, feature.member,
+                         _watch_handler(feature.name))
+                    )
+                continue
+            if feature.name in behavioral_names:
+                plan.behavioral.append(feature)
+                continue
+            from repro.dom.bindings import _stub_for
+
+            shim = _method_shim(feature.name, _stub_for(feature.name))
+            bucket = (
+                plan.static_shims if feature.static else plan.instance_shims
+            )
+            bucket.setdefault(feature.interface, {})[feature.member] = shim
+        self._plan = plan
+        return plan
+
+
+def _watch_handler(feature_name: str):
+    def handler(interp, prop, old, new):
+        if interp is not None and interp.recorder is not None:
+            interp.recorder.record(feature_name)
+        return new
+
+    return handler
+
+
+class _ShimPlan:
+    """Precomputed shim assignments (see _shim_plan)."""
+
+    __slots__ = ("instance_shims", "static_shims", "watches", "behavioral")
+
+    def __init__(self) -> None:
+        self.instance_shims: Dict[str, Dict[str, JSFunction]] = {}
+        self.static_shims: Dict[str, Dict[str, JSFunction]] = {}
+        self.watches: List[tuple] = []
+        self.behavioral: List[Feature] = []
+
+
+#: (feature name, id(original)) -> shared shim.  Stub originals are
+#: process-wide singletons, so their shims can be too.
+_SHIM_CACHE: Dict[tuple, JSFunction] = {}
+
+
+def _method_shim(
+    feature_name: str, original: JSFunction, cache: bool = True
+) -> JSFunction:
+    key = (feature_name, id(original))
+    if cache:
+        cached = _SHIM_CACHE.get(key)
+        if cached is not None and cached.host_data is original:
+            return cached
+
+    def shim(interp, this, args):
+        recorder = interp.recorder
+        if recorder is not None:
+            recorder.record(feature_name)
+        return interp.call_function(original, this, args)
+
+    wrapper = JSFunction(name=feature_name, host_call=shim)
+    wrapper.host_data = original
+    if cache:
+        if len(_SHIM_CACHE) > 65536:
+            _SHIM_CACHE.clear()
+        _SHIM_CACHE[key] = wrapper
+    return wrapper
+
+
+def _singleton_global(interface: str) -> str:
+    from repro.webidl.corpus import SINGLETON_GLOBALS
+
+    return SINGLETON_GLOBALS[interface]
+
+
+def _js_str(text: str) -> str:
+    return '"%s"' % text.replace("\\", "\\\\").replace('"', '\\"')

@@ -1,0 +1,98 @@
+"""Per-site visit bookkeeping shared by the crawler and analyses.
+
+A full crawl is 10,000 sites x 2+ conditions x 5 rounds x 13 pages;
+keeping raw per-round feature counts would dominate memory, so
+:class:`SiteMeasurement` compresses each round as it lands: the
+feature *union* per condition (what popularity and block rates need),
+per-round *standard* sets (what the Table 3 validation needs), and
+scalar totals (what Table 1 needs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.webidl.registry import FeatureRegistry
+
+
+@dataclass
+class VisitResult:
+    """One full 13-page automated visit round of one site."""
+
+    domain: str
+    round_index: int  # 1-based visit round (1..5)
+    condition: str
+    ok: bool
+    failure_reason: Optional[str] = None
+    pages_visited: int = 0
+    feature_counts: Dict[str, int] = field(default_factory=dict)
+    scripts_blocked: int = 0
+    requests_blocked: int = 0
+    interaction_events: int = 0
+
+    def features_used(self) -> Set[str]:
+        return set(self.feature_counts)
+
+    def total_invocations(self) -> int:
+        return sum(self.feature_counts.values())
+
+
+@dataclass
+class SiteMeasurement:
+    """All rounds of one site under one condition (compressed)."""
+
+    domain: str
+    condition: str
+    rounds_completed: int = 0
+    rounds_ok: int = 0
+    features: Set[str] = field(default_factory=set)
+    standards_by_round: List[Set[str]] = field(default_factory=list)
+    invocations: int = 0
+    pages: int = 0
+    scripts_blocked: int = 0
+    requests_blocked: int = 0
+    interaction_events: int = 0
+    failure_reason: Optional[str] = None
+
+    def add_round(
+        self, result: VisitResult, registry: FeatureRegistry
+    ) -> None:
+        """Fold one visit round into the measurement."""
+        self.rounds_completed += 1
+        if not result.ok:
+            if self.failure_reason is None:
+                self.failure_reason = result.failure_reason
+            self.standards_by_round.append(set())
+            return
+        self.rounds_ok += 1
+        used = result.features_used()
+        self.features |= used
+        self.standards_by_round.append(
+            {registry.standard_of(name) for name in used}
+        )
+        self.invocations += result.total_invocations()
+        self.pages += result.pages_visited
+        self.scripts_blocked += result.scripts_blocked
+        self.requests_blocked += result.requests_blocked
+        self.interaction_events += result.interaction_events
+
+    @property
+    def measured(self) -> bool:
+        """The paper's measurability: at least one successful round."""
+        return self.rounds_ok > 0
+
+    def standards_used(self) -> Set[str]:
+        used: Set[str] = set()
+        for standards in self.standards_by_round:
+            used |= standards
+        return used
+
+    def new_standards_in_round(self, round_index: int) -> Set[str]:
+        """Standards first observed in a given (1-based) round."""
+        if not 1 <= round_index <= len(self.standards_by_round):
+            return set()
+        seen: Set[str] = set()
+        for earlier in self.standards_by_round[: round_index - 1]:
+            seen |= earlier
+        return self.standards_by_round[round_index - 1] - seen

@@ -1,0 +1,346 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``survey``   — crawl a synthetic web and print the chosen reports
+* ``corpus``   — inspect the WebIDL corpus / feature registry
+* ``standards``— print the standards catalog (the study's targets)
+* ``debloat``  — run the crawl and evaluate debloating policies
+* ``validate`` — run the section 6 internal/external validation
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.blocking.extension import BrowsingCondition
+from repro.core import debloat, reporting
+from repro.core.survey import SurveyConfig, SurveyResult, run_survey
+from repro.core.validation import external_validation, internal_validation
+from repro.webgen.sitegen import SyntheticWeb, build_web
+from repro.webidl.registry import default_registry
+
+_REPORTS = {
+    "table1": reporting.table1_text,
+    "table2": reporting.table2_text,
+    "headlines": reporting.headline_text,
+    "figure3": reporting.figure3_series,
+    "figure4": reporting.figure4_series,
+    "figure5": reporting.figure5_series,
+    "figure6": reporting.figure6_series,
+    "figure7": reporting.figure7_series,
+    "figure8": reporting.figure8_series,
+}
+
+#: Reports that need the two single-extension conditions.
+_NEEDS_QUAD = frozenset(["figure7"])
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Browser Feature Usage on the "
+        "Modern Web' (IMC 2016)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    survey = commands.add_parser(
+        "survey", help="crawl a synthetic web and print reports"
+    )
+    _crawl_arguments(survey)
+    survey.add_argument(
+        "--report",
+        action="append",
+        choices=sorted(_REPORTS) + ["all"],
+        default=None,
+        help="which report(s) to print (default: table1 + headlines)",
+    )
+    survey.add_argument(
+        "--save", metavar="PATH",
+        help="write the measured survey to a JSON file",
+    )
+    survey.add_argument(
+        "--load", metavar="PATH",
+        help="analyze a previously saved survey instead of crawling",
+    )
+
+    figures = commands.add_parser(
+        "figures", help="render the paper's figures as SVG files"
+    )
+    _crawl_arguments(figures)
+    figures.add_argument("--out", default="figures")
+    figures.add_argument(
+        "--load", metavar="PATH",
+        help="render from a previously saved survey instead of crawling",
+    )
+
+    corpus = commands.add_parser(
+        "corpus", help="inspect the WebIDL corpus / registry"
+    )
+    corpus.add_argument("--standard", help="list one standard's features")
+    corpus.add_argument(
+        "--summary", action="store_true",
+        help="print corpus-level statistics",
+    )
+
+    standards = commands.add_parser(
+        "standards", help="print the standards catalog"
+    )
+    standards.add_argument(
+        "--never-used", action="store_true",
+        help="only the standards no site uses",
+    )
+
+    debloat_cmd = commands.add_parser(
+        "debloat", help="evaluate browser-debloating policies"
+    )
+    _crawl_arguments(debloat_cmd)
+    debloat_cmd.add_argument(
+        "--threshold", type=float, default=0.01,
+        help="usage threshold for the popularity policy",
+    )
+    debloat_cmd.add_argument(
+        "--max-breakage", type=float, default=0.05,
+        help="site-breakage budget for the CVE-greedy policy",
+    )
+
+    validate = commands.add_parser(
+        "validate", help="run the section 6 validations"
+    )
+    _crawl_arguments(validate)
+
+    export_cmd = commands.add_parser(
+        "export", help="export every analysis as CSV datasets"
+    )
+    _crawl_arguments(export_cmd)
+    export_cmd.add_argument("--out", default="data")
+    export_cmd.add_argument(
+        "--load", metavar="PATH",
+        help="export a previously saved survey instead of crawling",
+    )
+
+    compare = commands.add_parser(
+        "compare", help="score the crawl against the paper's numbers"
+    )
+    _crawl_arguments(compare)
+    compare.add_argument(
+        "--load", metavar="PATH",
+        help="score a previously saved survey instead of crawling",
+    )
+    compare.add_argument(
+        "--failures-only", action="store_true",
+        help="only print the rows that miss their tolerance",
+    )
+    return parser
+
+
+def _crawl_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--sites", type=int, default=150)
+    parser.add_argument("--seed", type=int, default=2016)
+    parser.add_argument("--visits", type=int, default=3)
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="parallel crawl workers (results are identical at any "
+        "worker count; speedup needs multiple cores)",
+    )
+
+
+def _run_crawl(args, quad: bool) -> tuple:
+    registry = default_registry()
+    web = build_web(registry, n_sites=args.sites, seed=args.seed)
+    conditions = [BrowsingCondition.DEFAULT, BrowsingCondition.BLOCKING]
+    if quad:
+        conditions += [
+            BrowsingCondition.ABP_ONLY,
+            BrowsingCondition.GHOSTERY_ONLY,
+        ]
+    config = SurveyConfig(
+        conditions=tuple(conditions),
+        visits_per_site=args.visits,
+        seed=args.seed,
+        workers=max(1, args.workers),
+    )
+    result = run_survey(web, registry, config)
+    return web, result
+
+
+def _command_survey(args, out) -> int:
+    from repro.core import persistence
+
+    wanted: List[str] = args.report or ["table1", "headlines"]
+    if "all" in wanted:
+        wanted = sorted(_REPORTS)
+    if args.load:
+        result = persistence.load_survey(args.load)
+    else:
+        quad = bool(set(wanted) & _NEEDS_QUAD)
+        _, result = _run_crawl(args, quad=quad)
+    if args.save:
+        persistence.save_survey(result, args.save)
+        out.write("saved survey to %s\n" % args.save)
+    for name in wanted:
+        if name in _NEEDS_QUAD and not set(
+            result.conditions
+        ) >= {"abp-only", "ghostery-only"}:
+            out.write("== %s == (skipped: survey lacks the "
+                      "single-extension conditions)\n\n" % name)
+            continue
+        out.write("== %s ==\n" % name)
+        out.write(_REPORTS[name](result))
+        out.write("\n\n")
+    return 0
+
+
+def _command_figures(args, out) -> int:
+    from repro.core import charts, persistence
+    from repro.core.validation import external_validation
+
+    if args.load:
+        result = persistence.load_survey(args.load)
+        web = None
+    else:
+        web, result = _run_crawl(args, quad=True)
+    external = None
+    if web is not None:
+        external = external_validation(
+            result, web,
+            n_target=min(100, args.sites),
+            n_completed=min(92, max(1, args.sites - 8)),
+            seed=args.seed,
+        )
+    paths = charts.render_all(result, args.out, external=external)
+    for name in sorted(paths):
+        out.write("%s -> %s\n" % (name, paths[name]))
+    return 0
+
+
+def _command_corpus(args, out) -> int:
+    registry = default_registry()
+    if args.standard:
+        try:
+            features = registry.features_of_standard(args.standard)
+        except KeyError:
+            out.write("unknown standard %r\n" % args.standard)
+            return 1
+        spec = registry.standard(args.standard)
+        out.write("%s (%s): %d features\n"
+                  % (spec.name, spec.abbrev, len(features)))
+        for feature in features:
+            marker = " " if feature.usage_rank is None else "*"
+            out.write("  %s %s [%s]\n"
+                      % (marker, feature.name, feature.kind))
+        out.write("(* = observed in use on the Alexa 10k)\n")
+        return 0
+    # Summary (also the --summary default when nothing else asked).
+    out.write("features:   %d\n" % registry.feature_count())
+    out.write("standards:  %d\n" % registry.standard_count())
+    out.write("never used: %d\n" % registry.never_used_feature_count())
+    out.write("interfaces: %d\n" % len(registry.interfaces()))
+    return 0
+
+
+def _command_standards(args, out) -> int:
+    registry = default_registry()
+    rows = []
+    for spec in registry.standards():
+        if args.never_used and not spec.never_used:
+            continue
+        rows.append(
+            (spec.abbrev, spec.name, str(spec.n_features),
+             str(spec.sites), "%.1f%%" % (spec.block_rate * 100))
+        )
+    out.write(reporting.render_table(
+        ("Abbrev", "Name", "Features", "Sites (paper)", "Block rate"),
+        rows,
+    ))
+    out.write("\n")
+    return 0
+
+
+def _command_debloat(args, out) -> int:
+    _, result = _run_crawl(args, quad=False)
+    policies = [
+        debloat.usage_threshold_policy(result, threshold=args.threshold),
+        debloat.blocked_anyway_policy(result),
+        debloat.cve_weighted_policy(result, max_breakage=args.max_breakage),
+    ]
+    for policy in policies:
+        evaluation = debloat.evaluate_policy(result, policy)
+        out.write(debloat.render_evaluation(evaluation))
+        out.write("\n\n")
+    return 0
+
+
+def _command_export(args, out) -> int:
+    from repro.core import export, persistence
+    from repro.core.validation import external_validation
+
+    if args.load:
+        result = persistence.load_survey(args.load)
+        external = None
+    else:
+        web, result = _run_crawl(args, quad=True)
+        external = external_validation(
+            result, web,
+            n_target=min(100, args.sites),
+            n_completed=min(92, max(1, args.sites - 8)),
+            seed=args.seed,
+        )
+    paths = export.export_all(result, args.out, external=external)
+    for name in sorted(paths):
+        out.write("%s -> %s\n" % (name, paths[name]))
+    return 0
+
+
+def _command_compare(args, out) -> int:
+    from repro.core import comparison, persistence
+
+    if args.load:
+        result = persistence.load_survey(args.load)
+    else:
+        _, result = _run_crawl(args, quad=False)
+    rows = comparison.compare_to_paper(result)
+    out.write(comparison.render_comparison(
+        rows, failures_only=args.failures_only
+    ))
+    out.write("\n")
+    passing, total = comparison.scorecard(result)
+    return 0 if passing / max(1, total) >= 0.8 else 1
+
+
+def _command_validate(args, out) -> int:
+    web, result = _run_crawl(args, quad=False)
+    out.write("== Internal validation (Table 3) ==\n")
+    out.write(reporting.table3_text(internal_validation(result)))
+    out.write("\n\n== External validation (Figure 9) ==\n")
+    outcome = external_validation(
+        result, web,
+        n_target=min(100, args.sites),
+        n_completed=min(92, max(1, args.sites - 8)),
+        seed=args.seed,
+    )
+    out.write(reporting.figure9_series(outcome))
+    out.write("\n")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    handler = {
+        "survey": _command_survey,
+        "figures": _command_figures,
+        "corpus": _command_corpus,
+        "standards": _command_standards,
+        "debloat": _command_debloat,
+        "validate": _command_validate,
+        "compare": _command_compare,
+        "export": _command_export,
+    }[args.command]
+    return handler(args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

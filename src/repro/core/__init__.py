@@ -1,0 +1,25 @@
+"""The paper's primary contribution: the feature-usage survey.
+
+* :mod:`repro.core.survey` — orchestrates the full crawl: every site,
+  every browsing condition, five rounds each, through the instrumented
+  browser.
+* :mod:`repro.core.metrics` — the paper's section 5.1 definitions:
+  feature popularity, standard popularity, block rate, site complexity.
+* :mod:`repro.core.analysis` — one function per table and figure of the
+  evaluation (Figures 1, 3-9; Tables 1-2; headline statistics).
+* :mod:`repro.core.validation` — section 6: internal (Table 3) and
+  external (Figure 9) validation of the monkey-testing methodology.
+* :mod:`repro.core.reporting` — renders the analyses as paper-style
+  text tables and plot-ready series.
+* :mod:`repro.core.charts` — SVG renderings of the figures.
+* :mod:`repro.core.export` — CSV datasets for every table and figure.
+* :mod:`repro.core.persistence` — save/load crawls as JSON.
+* :mod:`repro.core.comparison` — the automated paper-vs-measured
+  scorecard (100+ checks).
+* :mod:`repro.core.debloat` — least-privilege feature policies built
+  from the measurements (section 7.2 turned into a tool).
+"""
+
+from repro.core.survey import SurveyConfig, SurveyResult, run_survey
+
+__all__ = ["SurveyConfig", "SurveyResult", "run_survey"]

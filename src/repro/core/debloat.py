@@ -1,0 +1,232 @@
+"""Browser debloating: turning the measurements into a feature policy.
+
+Section 7.2 of the paper observes that shipping hundreds of never-used
+features "seems to contradict the common security principle of least
+privilege", and section 7.3 calls for "a more complete treatment of the
+security implications of these broad APIs".  Follow-up work (browser
+debloating) did exactly that: use feature-usage measurements to decide
+which Web APIs a hardened browser profile can disable, and at what
+compatibility cost.
+
+This module is that treatment, built on the survey:
+
+* :func:`usage_threshold_policy` — disable every standard used by less
+  than a popularity threshold;
+* :func:`cve_weighted_policy` — greedily disable the standards with the
+  best CVEs-avoided per site-broken ratio;
+* :func:`evaluate_policy` — measure any policy's cost/benefit against
+  the crawl: features removed, CVEs avoided, sites affected (a site is
+  *affected* if it used at least one disabled standard; *broken-by-N*
+  if it used at least N).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.blocking.extension import BrowsingCondition
+from repro.core import metrics
+from repro.core.survey import SurveyResult
+from repro.standards.cves import CveRecord, build_cve_corpus, cves_by_standard
+
+
+@dataclass(frozen=True)
+class DebloatPolicy:
+    """A set of standards a hardened profile disables."""
+
+    name: str
+    disabled: FrozenSet[str]
+
+    def disables(self, abbrev: str) -> bool:
+        return abbrev in self.disabled
+
+
+@dataclass(frozen=True)
+class PolicyEvaluation:
+    """Cost/benefit of a policy against a measured crawl."""
+
+    policy: DebloatPolicy
+    features_removed: int
+    total_features: int
+    cves_avoided: int
+    total_mapped_cves: int
+    sites_affected: int
+    sites_measured: int
+    #: affected site -> how many of its used standards were disabled
+    affected_breakdown: Dict[str, int]
+
+    @property
+    def feature_reduction(self) -> float:
+        return self.features_removed / max(1, self.total_features)
+
+    @property
+    def cve_reduction(self) -> float:
+        return self.cves_avoided / max(1, self.total_mapped_cves)
+
+    @property
+    def site_breakage(self) -> float:
+        return self.sites_affected / max(1, self.sites_measured)
+
+
+def usage_threshold_policy(
+    result: SurveyResult,
+    threshold: float = 0.01,
+    condition: str = BrowsingCondition.DEFAULT,
+    name: Optional[str] = None,
+) -> DebloatPolicy:
+    """Disable every standard used by < ``threshold`` of sites.
+
+    ``threshold=0.01`` encodes the paper's repeated "<1% of sites"
+    boundary; with the paper's numbers it disables 28 standards.
+    """
+    popularity = metrics.standard_popularity(result, condition)
+    disabled = frozenset(
+        abbrev for abbrev, fraction in popularity.items()
+        if fraction < threshold
+    )
+    return DebloatPolicy(
+        name=name or ("usage<%.2g" % threshold), disabled=disabled
+    )
+
+
+def blocked_anyway_policy(
+    result: SurveyResult,
+    block_threshold: float = 0.75,
+    name: Optional[str] = None,
+) -> DebloatPolicy:
+    """Disable standards that blocking-extension users already lose.
+
+    The paper's circumstantial-evidence argument (section 7.2): if a
+    standard is prevented from executing more than ``block_threshold``
+    of the time by content blockers, its functionality is evidently not
+    "necessary to the millions of people who use content blocking
+    extensions" — a hardened profile can disable it outright.
+    """
+    rates = metrics.standard_block_rates(result)
+    disabled = frozenset(
+        abbrev for abbrev, rate in rates.items()
+        if rate is not None and rate >= block_threshold
+    )
+    return DebloatPolicy(
+        name=name or ("blocked>=%d%%" % round(block_threshold * 100)),
+        disabled=disabled,
+    )
+
+
+def cve_weighted_policy(
+    result: SurveyResult,
+    max_breakage: float = 0.05,
+    condition: str = BrowsingCondition.DEFAULT,
+    cve_corpus: Optional[List[CveRecord]] = None,
+    name: Optional[str] = None,
+) -> DebloatPolicy:
+    """Greedy CVE-per-breakage knapsack under a breakage budget.
+
+    Repeatedly disables the standard with the highest
+    ``CVEs avoided / additional sites affected`` ratio until disabling
+    anything more would push the affected-site fraction past
+    ``max_breakage``.  Zero-cost standards (used by no measured site)
+    are always taken, whatever their CVE count — free attack surface.
+    """
+    corpus = cve_corpus if cve_corpus is not None else build_cve_corpus()
+    cves = cves_by_standard(corpus)
+    standard_sites = result.standard_sites(condition)
+    measured = result.measured_domains(condition)
+    budget = int(max_breakage * len(measured))
+
+    disabled: Set[str] = set()
+    affected: Set[str] = set()
+    # Free wins first.
+    for abbrev, sites in standard_sites.items():
+        if not sites:
+            disabled.add(abbrev)
+
+    while True:
+        best: Optional[Tuple[float, str, Set[str]]] = None
+        for abbrev, sites in standard_sites.items():
+            if abbrev in disabled:
+                continue
+            extra = set(sites) - affected
+            if len(affected) + len(extra) > budget:
+                continue
+            gain = cves.get(abbrev, 0)
+            if gain == 0:
+                continue
+            ratio = gain / (len(extra) + 1.0)
+            candidate = (ratio, abbrev, extra)
+            if best is None or candidate[0] > best[0]:
+                best = candidate
+        if best is None:
+            break
+        _, abbrev, extra = best
+        disabled.add(abbrev)
+        affected |= extra
+    return DebloatPolicy(
+        name=name or ("cve-greedy<=%d%%" % round(max_breakage * 100)),
+        disabled=frozenset(disabled),
+    )
+
+
+def evaluate_policy(
+    result: SurveyResult,
+    policy: DebloatPolicy,
+    condition: str = BrowsingCondition.DEFAULT,
+    cve_corpus: Optional[List[CveRecord]] = None,
+) -> PolicyEvaluation:
+    """Measure a policy's cost and benefit against the crawl."""
+    registry = result.registry
+    corpus = cve_corpus if cve_corpus is not None else build_cve_corpus()
+    cves = cves_by_standard(corpus)
+
+    features_removed = sum(
+        len(registry.features_of_standard(abbrev))
+        for abbrev in policy.disabled
+    )
+    cves_avoided = sum(cves.get(abbrev, 0) for abbrev in policy.disabled)
+
+    affected_breakdown: Dict[str, int] = {}
+    measured = result.measured_domains(condition)
+    for domain in measured:
+        used = result.measurement(condition, domain).standards_used()
+        hit = len(used & policy.disabled)
+        if hit:
+            affected_breakdown[domain] = hit
+
+    return PolicyEvaluation(
+        policy=policy,
+        features_removed=features_removed,
+        total_features=registry.feature_count(),
+        cves_avoided=cves_avoided,
+        total_mapped_cves=sum(cves.values()),
+        sites_affected=len(affected_breakdown),
+        sites_measured=len(measured),
+        affected_breakdown=affected_breakdown,
+    )
+
+
+def render_evaluation(evaluation: PolicyEvaluation) -> str:
+    """A one-screen report for a policy evaluation."""
+    lines = [
+        "Policy: %s" % evaluation.policy.name,
+        "  standards disabled:  %d" % len(evaluation.policy.disabled),
+        "  features removed:    %d of %d (%.1f%%)"
+        % (
+            evaluation.features_removed,
+            evaluation.total_features,
+            100 * evaluation.feature_reduction,
+        ),
+        "  CVEs avoided:        %d of %d (%.1f%%)"
+        % (
+            evaluation.cves_avoided,
+            evaluation.total_mapped_cves,
+            100 * evaluation.cve_reduction,
+        ),
+        "  sites affected:      %d of %d (%.1f%%)"
+        % (
+            evaluation.sites_affected,
+            evaluation.sites_measured,
+            100 * evaluation.site_breakage,
+        ),
+    ]
+    return "\n".join(lines)

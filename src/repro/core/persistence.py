@@ -1,0 +1,149 @@
+"""Saving and loading survey results.
+
+A 10,000-site crawl takes hours; its analyses take milliseconds.  This
+module serializes a :class:`~repro.core.survey.SurveyResult` to a JSON
+document (and back) so a crawl can be measured once and analyzed many
+times — or shipped alongside a paper the way measurement studies
+publish their datasets.
+
+The format is versioned and self-describing; loading validates the
+feature names against the running registry so a result saved against a
+different corpus fails loudly instead of mis-attributing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.browser.session import SiteMeasurement
+from repro.core.survey import SurveyResult
+from repro.webidl.registry import FeatureRegistry, default_registry
+
+FORMAT_VERSION = 1
+
+
+class PersistenceError(ValueError):
+    """Unusable or incompatible serialized survey."""
+
+
+def survey_to_dict(result: SurveyResult) -> Dict[str, Any]:
+    """A JSON-ready representation of a survey result."""
+    measurements: Dict[str, Dict[str, Any]] = {}
+    for condition, by_domain in result.measurements.items():
+        serialized: Dict[str, Any] = {}
+        for domain, m in by_domain.items():
+            serialized[domain] = {
+                "rounds_completed": m.rounds_completed,
+                "rounds_ok": m.rounds_ok,
+                "features": sorted(m.features),
+                "standards_by_round": [
+                    sorted(s) for s in m.standards_by_round
+                ],
+                "invocations": m.invocations,
+                "pages": m.pages,
+                "scripts_blocked": m.scripts_blocked,
+                "requests_blocked": m.requests_blocked,
+                "interaction_events": m.interaction_events,
+                "failure_reason": m.failure_reason,
+            }
+        measurements[condition] = serialized
+    return {
+        "format_version": FORMAT_VERSION,
+        "registry_fingerprint": registry_fingerprint(result.registry),
+        "conditions": list(result.conditions),
+        "visits_per_site": result.visits_per_site,
+        "domains": list(result.domains),
+        "visit_weights": dict(result.visit_weights),
+        "manual_only": {
+            domain: list(standards)
+            for domain, standards in result.manual_only.items()
+        },
+        "wall_seconds": result.wall_seconds,
+        "measurements": measurements,
+    }
+
+
+def survey_from_dict(
+    data: Dict[str, Any], registry: Optional[FeatureRegistry] = None
+) -> SurveyResult:
+    """Rebuild a SurveyResult; validates format and registry identity."""
+    registry = registry or default_registry()
+    if data.get("format_version") != FORMAT_VERSION:
+        raise PersistenceError(
+            "unsupported format version %r" % data.get("format_version")
+        )
+    fingerprint = registry_fingerprint(registry)
+    if data.get("registry_fingerprint") != fingerprint:
+        raise PersistenceError(
+            "survey was recorded against a different feature registry"
+        )
+    measurements: Dict[str, Dict[str, SiteMeasurement]] = {}
+    for condition, by_domain in data["measurements"].items():
+        rebuilt: Dict[str, SiteMeasurement] = {}
+        for domain, raw in by_domain.items():
+            unknown = [f for f in raw["features"] if f not in registry]
+            if unknown:
+                raise PersistenceError(
+                    "unknown features in stored survey: %s" % unknown[:3]
+                )
+            m = SiteMeasurement(domain=domain, condition=condition)
+            m.rounds_completed = raw["rounds_completed"]
+            m.rounds_ok = raw["rounds_ok"]
+            m.features = set(raw["features"])
+            m.standards_by_round = [
+                set(s) for s in raw["standards_by_round"]
+            ]
+            m.invocations = raw["invocations"]
+            m.pages = raw["pages"]
+            m.scripts_blocked = raw["scripts_blocked"]
+            m.requests_blocked = raw["requests_blocked"]
+            m.interaction_events = raw["interaction_events"]
+            m.failure_reason = raw["failure_reason"]
+            rebuilt[domain] = m
+        measurements[condition] = rebuilt
+    return SurveyResult(
+        conditions=tuple(data["conditions"]),
+        visits_per_site=data["visits_per_site"],
+        domains=list(data["domains"]),
+        measurements=measurements,
+        visit_weights=dict(data["visit_weights"]),
+        manual_only={
+            domain: list(standards)
+            for domain, standards in data["manual_only"].items()
+        },
+        registry=registry,
+        wall_seconds=data.get("wall_seconds", 0.0),
+    )
+
+
+def registry_fingerprint(registry: FeatureRegistry) -> str:
+    """A stable identity for the feature surface a survey measured."""
+    import hashlib
+
+    hasher = hashlib.sha256()
+    for feature in sorted(registry.features(), key=lambda f: f.name):
+        hasher.update(feature.name.encode("utf-8"))
+        hasher.update(b"\x1f")
+        hasher.update(feature.standard.encode("utf-8"))
+        hasher.update(b"\x1e")
+    return hasher.hexdigest()[:16]
+
+
+def save_survey(result: SurveyResult, path: str) -> None:
+    """Write a survey result to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(survey_to_dict(result), handle, indent=None,
+                  separators=(",", ":"))
+
+
+def load_survey(
+    path: str, registry: Optional[FeatureRegistry] = None
+) -> SurveyResult:
+    """Read a survey result back from a JSON file."""
+    with open(path, encoding="utf-8") as handle:
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise PersistenceError("not a survey file: %s" % error)
+    return survey_from_dict(data, registry=registry)

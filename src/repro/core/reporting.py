@@ -1,0 +1,205 @@
+"""Render analyses as paper-style text tables and plot-ready series."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core import analysis
+from repro.core.survey import SurveyResult
+from repro.core.validation import ExternalValidationOutcome
+
+
+def _format_rate(rate: Optional[float]) -> str:
+    if rate is None:
+        return "-"
+    return "%.1f%%" % (rate * 100.0)
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[str]]
+) -> str:
+    """A plain, aligned text table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def table1_text(result: SurveyResult) -> str:
+    summary = analysis.table1_crawl_summary(result)
+    rows = [
+        ("Domains measured", "{:,}".format(summary.domains_measured)),
+        ("Domains failed", "{:,}".format(summary.domains_failed)),
+        ("Total website interaction time",
+         "%.1f days" % summary.interaction_days),
+        ("Web pages visited", "{:,}".format(summary.pages_visited)),
+        ("Feature invocations recorded",
+         "{:,}".format(summary.feature_invocations)),
+    ]
+    return render_table(("Quantity", "Value"), rows)
+
+
+def table2_text(result: SurveyResult) -> str:
+    rows = [
+        (
+            row.name,
+            row.abbrev,
+            str(row.features),
+            "{:,}".format(row.sites),
+            _format_rate(row.block_rate),
+            str(row.cves),
+        )
+        for row in analysis.table2_standard_summary(result)
+    ]
+    return render_table(
+        ("Standard Name", "Abbrev", "# Features", "# Sites", "Block Rate",
+         "# CVEs"),
+        rows,
+    )
+
+
+def table3_text(rows: List[Tuple[int, float]]) -> str:
+    return render_table(
+        ("Round #", "Avg. New Standards"),
+        [(str(round_index), "%.2f" % avg) for round_index, avg in rows],
+    )
+
+
+def headline_text(result: SurveyResult) -> str:
+    stats = analysis.headline_feature_statistics(result)
+    lines = [
+        "Features instrumented:        %d" % stats.total_features,
+        "Never used:                   %d (%.1f%%)"
+        % (stats.never_used_features, 100 * stats.never_used_fraction),
+        "Used on <1%% of sites:         %d (cumulative %.1f%%)"
+        % (
+            stats.under_one_percent_features,
+            100 * stats.under_one_percent_fraction,
+        ),
+        "Blocked >90%% of the time:     %d (%.1f%%)"
+        % (
+            stats.blocked_over_90_features,
+            100 * stats.blocked_over_90_features / stats.total_features,
+        ),
+        "On <1%% of sites w/ blocking:  %d (%.1f%%)"
+        % (
+            stats.under_one_percent_with_blocking,
+            100 * stats.blocked_under_one_percent_fraction,
+        ),
+        "Standards:                    %d (%d never used, %d on <=1%%)"
+        % (
+            stats.total_standards,
+            stats.never_used_standards,
+            stats.under_one_percent_standards,
+        ),
+    ]
+    return "\n".join(lines)
+
+
+def figure3_series(result: SurveyResult) -> str:
+    points = analysis.figure3_standard_popularity_cdf(result)
+    rows = [
+        (str(sites), "%.1f%%" % (fraction * 100)) for sites, fraction in points
+    ]
+    return render_table(("Sites using standard", "Portion of standards"),
+                        rows)
+
+
+def figure4_series(result: SurveyResult) -> str:
+    points = analysis.figure4_popularity_vs_block_rate(result)
+    rows = [
+        (p.abbrev, "{:,}".format(p.sites), _format_rate(p.block_rate))
+        for p in sorted(points, key=lambda p: -p.sites)
+    ]
+    return render_table(("Standard", "Sites", "Block rate"), rows)
+
+
+def figure5_series(result: SurveyResult) -> str:
+    points = analysis.figure5_site_vs_traffic_popularity(result)
+    rows = [
+        (
+            p.abbrev,
+            "%.1f%%" % (p.site_fraction * 100),
+            "%.1f%%" % (p.visit_fraction * 100),
+            "%+.1f%%" % (p.skew * 100),
+        )
+        for p in sorted(points, key=lambda p: -abs(p.skew))
+    ]
+    return render_table(
+        ("Standard", "% of sites", "% of visits", "Skew"), rows
+    )
+
+
+def figure6_series(result: SurveyResult) -> str:
+    points = analysis.figure6_age_vs_popularity(result)
+    rows = [
+        (
+            p.abbrev,
+            p.introduced.isoformat(),
+            "{:,}".format(p.sites),
+            p.block_band,
+        )
+        for p in sorted(points, key=lambda p: p.introduced)
+    ]
+    return render_table(
+        ("Standard", "Introduced", "Sites", "Block band"), rows
+    )
+
+
+def figure7_series(result: SurveyResult) -> str:
+    points = analysis.figure7_ad_vs_tracking_block(result)
+    rows = [
+        (
+            p.abbrev,
+            "{:,}".format(p.sites),
+            _format_rate(p.ad_block_rate),
+            _format_rate(p.tracking_block_rate),
+        )
+        for p in sorted(points, key=lambda p: -p.sites)
+    ]
+    return render_table(
+        ("Standard", "Sites", "Ad block rate", "Tracking block rate"), rows
+    )
+
+
+def figure8_series(result: SurveyResult) -> str:
+    pdf = analysis.figure8_site_complexity_pdf(result)
+    rows = [
+        (str(count), "%.1f%%" % (fraction * 100))
+        for count, fraction in pdf.items()
+    ]
+    return render_table(("Standards used", "Portion of sites"), rows)
+
+
+def figure9_series(outcome: ExternalValidationOutcome) -> str:
+    rows = [
+        (str(new_count), str(domains))
+        for new_count, domains in outcome.histogram.items()
+    ]
+    table = render_table(
+        ("New standards observed", "Number of domains"), rows
+    )
+    return "%s\n(%d sites compared, %.1f%% with nothing new)" % (
+        table, outcome.sites_compared, outcome.zero_fraction * 100
+    )
+
+
+def figure1_series() -> str:
+    points = analysis.figure1_browser_evolution()
+    rows = [
+        (str(p.year), p.browser, "%.1f" % p.million_loc,
+         str(p.web_standards))
+        for p in points
+    ]
+    return render_table(
+        ("Year", "Browser", "MLoC", "Standards available"), rows
+    )

@@ -1,0 +1,270 @@
+"""Survey orchestration: the full automated crawl (section 4.3.3).
+
+``run_survey`` visits every ranked site under every requested browsing
+condition, five rounds each, through the instrumented browser, and
+returns a :class:`SurveyResult` the analysis layer consumes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.blocking.extension import BrowsingCondition
+from repro.blocking.lists import builtin_filter_list, builtin_tracker_database
+from repro.browser.browser import Browser, BrowserConfig
+from repro.browser.session import SiteMeasurement
+from repro.monkey.crawler import CrawlConfig, SiteCrawler
+from repro.net.fetcher import Fetcher
+from repro.webgen.sitegen import SyntheticWeb
+from repro.webidl.registry import FeatureRegistry
+
+ProgressCallback = Callable[[str, int, int], None]
+
+
+@dataclass
+class SurveyConfig:
+    """What to crawl and how."""
+
+    #: browsing conditions to run (paper: default + blocking; add the
+    #: single-extension conditions for the Figure 7 analysis)
+    conditions: Tuple[str, ...] = (
+        BrowsingCondition.DEFAULT,
+        BrowsingCondition.BLOCKING,
+    )
+    #: visit rounds per site per condition (the paper uses five)
+    visits_per_site: int = 5
+    #: master seed for the crawl's randomness
+    seed: int = 606
+    crawl: CrawlConfig = field(default_factory=CrawlConfig)
+    browser: BrowserConfig = field(default_factory=BrowserConfig)
+    #: crawl only the first N ranked sites (None = all)
+    max_sites: Optional[int] = None
+    #: parallel crawl workers (1 = in-process).  Per-site randomness is
+    #: derived from (seed, domain, round), so worker count and schedule
+    #: cannot change the measurements — parallel and serial runs are
+    #: bit-identical.
+    workers: int = 1
+
+
+@dataclass
+class SurveyResult:
+    """Everything the crawl measured, ready for analysis."""
+
+    conditions: Tuple[str, ...]
+    visits_per_site: int
+    domains: List[str]
+    #: condition -> domain -> measurement
+    measurements: Dict[str, Dict[str, SiteMeasurement]]
+    #: traffic weight per domain (Figure 5)
+    visit_weights: Dict[str, float]
+    #: ground truth for the external validation (Figure 9)
+    manual_only: Dict[str, List[str]]
+    registry: FeatureRegistry
+    wall_seconds: float = 0.0
+
+    # -- views -----------------------------------------------------------
+
+    def measurement(self, condition: str, domain: str) -> SiteMeasurement:
+        return self.measurements[condition][domain]
+
+    def measured_domains(self, condition: str) -> List[str]:
+        return [
+            d for d in self.domains
+            if self.measurements[condition][d].measured
+        ]
+
+    def failed_domains(self, condition: str) -> List[str]:
+        return [
+            d for d in self.domains
+            if not self.measurements[condition][d].measured
+        ]
+
+    def commonly_measured_domains(self) -> List[str]:
+        """Domains measured under every condition (block-rate joins)."""
+        out = []
+        for domain in self.domains:
+            if all(
+                self.measurements[c][domain].measured
+                for c in self.conditions
+            ):
+                out.append(domain)
+        return out
+
+    def feature_sites(self, condition: str) -> Dict[str, Set[str]]:
+        """feature name -> set of domains using it."""
+        index: Dict[str, Set[str]] = {}
+        for domain in self.measured_domains(condition):
+            for feature in self.measurements[condition][domain].features:
+                index.setdefault(feature, set()).add(domain)
+        return index
+
+    def standard_sites(self, condition: str) -> Dict[str, Set[str]]:
+        """standard abbrev -> set of domains using it."""
+        index: Dict[str, Set[str]] = {
+            s.abbrev: set() for s in self.registry.standards()
+        }
+        for domain in self.measured_domains(condition):
+            measurement = self.measurements[condition][domain]
+            for abbrev in measurement.standards_used():
+                index[abbrev].add(domain)
+        return index
+
+    def total_pages_visited(self) -> int:
+        return sum(
+            m.pages
+            for by_domain in self.measurements.values()
+            for m in by_domain.values()
+        )
+
+    def total_invocations(self) -> int:
+        return sum(
+            m.invocations
+            for by_domain in self.measurements.values()
+            for m in by_domain.values()
+        )
+
+
+def _build_crawler(
+    web: SyntheticWeb,
+    registry: FeatureRegistry,
+    config: SurveyConfig,
+    condition: str,
+) -> SiteCrawler:
+    extensions = BrowsingCondition.extensions_for(
+        condition,
+        filter_list=builtin_filter_list(web.ecosystem),
+        tracker_db=builtin_tracker_database(web.ecosystem),
+    )
+    browser = Browser(
+        registry,
+        Fetcher(web),
+        blocking_extensions=extensions,
+        config=config.browser,
+    )
+    return SiteCrawler(browser, config.crawl, condition=condition)
+
+
+def _measure_site(
+    crawler: SiteCrawler,
+    registry: FeatureRegistry,
+    config: SurveyConfig,
+    condition: str,
+    domain: str,
+) -> SiteMeasurement:
+    measurement = SiteMeasurement(domain=domain, condition=condition)
+    for round_index in range(1, config.visits_per_site + 1):
+        result = crawler.visit_site(domain, round_index, seed=config.seed)
+        measurement.add_round(result, registry)
+    return measurement
+
+
+# Worker-process state for the parallel crawl.  The parent stashes the
+# shared inputs in _parent_args before forking; children inherit the
+# memory image, so nothing is pickled (webs can be hundreds of MB).
+_parent_args: Dict[str, object] = {}
+_worker_state: Dict[str, object] = {}
+
+
+def _parallel_worker_init() -> None:
+    web = _parent_args["web"]
+    registry = _parent_args["registry"]
+    config = _parent_args["config"]
+    condition = _parent_args["condition"]
+    _worker_state["crawler"] = _build_crawler(
+        web, registry, config, condition
+    )
+    _worker_state["registry"] = registry
+    _worker_state["config"] = config
+    _worker_state["condition"] = condition
+
+
+def _parallel_measure(domain: str) -> SiteMeasurement:
+    return _measure_site(
+        _worker_state["crawler"],
+        _worker_state["registry"],
+        _worker_state["config"],
+        _worker_state["condition"],
+        domain,
+    )
+
+
+def _crawl_condition_parallel(
+    web: SyntheticWeb,
+    registry: FeatureRegistry,
+    config: SurveyConfig,
+    condition: str,
+    domains: List[str],
+    progress: Optional[ProgressCallback],
+) -> Dict[str, SiteMeasurement]:
+    import multiprocessing
+
+    context = multiprocessing.get_context("fork")
+    _parent_args.update(
+        web=web, registry=registry, config=config, condition=condition
+    )
+    by_domain: Dict[str, SiteMeasurement] = {}
+    with context.Pool(
+        processes=config.workers,
+        initializer=_parallel_worker_init,
+    ) as pool:
+        for index, measurement in enumerate(
+            pool.imap(_parallel_measure, domains, chunksize=8)
+        ):
+            by_domain[measurement.domain] = measurement
+            if progress is not None and (index + 1) % 50 == 0:
+                progress(condition, index + 1, len(domains))
+    return by_domain
+
+
+def run_survey(
+    web: SyntheticWeb,
+    registry: FeatureRegistry,
+    config: Optional[SurveyConfig] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> SurveyResult:
+    """Crawl the web under every condition and collect the result."""
+    config = config or SurveyConfig()
+    started = time.time()
+
+    ranked = web.ranking.all()
+    if config.max_sites is not None:
+        ranked = ranked[: config.max_sites]
+    domains = [r.domain for r in ranked]
+
+    measurements: Dict[str, Dict[str, SiteMeasurement]] = {}
+    for condition in config.conditions:
+        if config.workers > 1:
+            measurements[condition] = _crawl_condition_parallel(
+                web, registry, config, condition, domains, progress
+            )
+            continue
+        crawler = _build_crawler(web, registry, config, condition)
+        by_domain: Dict[str, SiteMeasurement] = {}
+        for index, domain in enumerate(domains):
+            by_domain[domain] = _measure_site(
+                crawler, registry, config, condition, domain
+            )
+            if progress is not None and (index + 1) % 50 == 0:
+                progress(condition, index + 1, len(domains))
+        measurements[condition] = by_domain
+
+    manual_only = {
+        site.domain: list(site.plan.manual_only)
+        for site in web.sites.values()
+        if site.plan.manual_only and site.domain in set(domains)
+    }
+    weights = {
+        domain: web.ranking.visit_weight(domain) for domain in domains
+    }
+    return SurveyResult(
+        conditions=tuple(config.conditions),
+        visits_per_site=config.visits_per_site,
+        domains=domains,
+        measurements=measurements,
+        visit_weights=weights,
+        manual_only=manual_only,
+        registry=registry,
+        wall_seconds=time.time() - started,
+    )

@@ -1,0 +1,26 @@
+"""The DOM substrate: HTML parsing, the node tree, events, JS bindings.
+
+Pages in the synthetic web are HTML documents.  The browser parses them
+with :mod:`repro.dom.html` into a :class:`repro.dom.node.DomNode` tree,
+wraps nodes in MiniJS objects whose prototype chains come from the
+WebIDL registry (:mod:`repro.dom.bindings`), and routes user interaction
+through :mod:`repro.dom.events` (capturing both ``addEventListener``
+registrations and legacy DOM0 ``onclick``-style handlers — the paper
+notes the latter cannot be observed by the measuring extension, and in
+this substrate they indeed bypass all instrumented features).
+"""
+
+from repro.dom.node import DomNode, TEXT_NODE, ELEMENT_NODE
+from repro.dom.html import parse_html, HtmlParseError
+from repro.dom.events import EventManager
+from repro.dom.bindings import DomRealm
+
+__all__ = [
+    "DomNode",
+    "TEXT_NODE",
+    "ELEMENT_NODE",
+    "parse_html",
+    "HtmlParseError",
+    "EventManager",
+    "DomRealm",
+]

@@ -1,0 +1,170 @@
+"""A forgiving HTML parser producing :class:`DomNode` trees.
+
+Real pages are malformed; a crawler's parser must not be strict.  This
+parser recovers from unclosed tags, stray close tags and unquoted
+attributes, and treats ``<script>`` contents as raw text (the browser
+later executes them).  Only genuinely hopeless input (e.g. an
+unterminated ``<script`` open tag at EOF) raises
+:class:`HtmlParseError`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.dom.node import DomNode, ELEMENT_NODE, TEXT_NODE, VOID_TAGS
+
+
+class HtmlParseError(ValueError):
+    """Unrecoverably malformed HTML."""
+
+
+_ATTR_RE = re.compile(
+    r"""([a-zA-Z_:][-a-zA-Z0-9_:.]*)\s*(?:=\s*("[^"]*"|'[^']*'|[^\s>]+))?"""
+)
+
+_RAW_TEXT_TAGS = ("script", "style")
+
+
+def parse_html(text: str) -> DomNode:
+    """Parse an HTML document into a tree rooted at ``<html>``.
+
+    Always returns a root with ``head`` and ``body`` children, creating
+    them when the document omits them — matching how browsers normalize
+    documents before scripts run.
+    """
+    root = DomNode(ELEMENT_NODE, "html")
+    stack: List[DomNode] = [root]
+    pos = 0
+    length = len(text)
+
+    def current() -> DomNode:
+        return stack[-1]
+
+    while pos < length:
+        lt = text.find("<", pos)
+        if lt == -1:
+            _append_text(current(), text[pos:])
+            break
+        if lt > pos:
+            _append_text(current(), text[pos:lt])
+        if text.startswith("<!--", lt):
+            end = text.find("-->", lt + 4)
+            if end == -1:
+                break  # unterminated comment: drop the tail
+            pos = end + 3
+            continue
+        if text.startswith("<!", lt):  # doctype and friends
+            end = text.find(">", lt)
+            if end == -1:
+                break
+            pos = end + 1
+            continue
+        if text.startswith("</", lt):
+            end = text.find(">", lt)
+            if end == -1:
+                break
+            tag = text[lt + 2:end].strip().lower()
+            _close_tag(stack, tag)
+            pos = end + 1
+            continue
+        tag, attrs, self_closing, end = _read_open_tag(text, lt)
+        if tag is None:
+            _append_text(current(), "<")
+            pos = lt + 1
+            continue
+        node = DomNode(ELEMENT_NODE, tag, attrs)
+        if tag == "html":
+            # Merge attributes onto the existing root instead of nesting.
+            root.attributes.update(attrs)
+            pos = end
+            continue
+        current().append_child(node)
+        pos = end
+        if tag in _RAW_TEXT_TAGS and not self_closing:
+            close = "</%s>" % tag
+            close_at = text.lower().find(close, pos)
+            if close_at == -1:
+                raise HtmlParseError("unterminated <%s> element" % tag)
+            raw = text[pos:close_at]
+            if raw:
+                node.append_child(DomNode(TEXT_NODE, text=raw))
+            pos = close_at + len(close)
+            continue
+        if not self_closing and tag not in VOID_TAGS:
+            stack.append(node)
+
+    _ensure_structure(root)
+    return root
+
+
+def _append_text(parent: DomNode, raw: str) -> None:
+    if raw.strip():
+        parent.append_child(DomNode(TEXT_NODE, text=raw))
+
+
+def _close_tag(stack: List[DomNode], tag: str) -> None:
+    """Pop to the matching open tag; ignore stray close tags."""
+    for index in range(len(stack) - 1, 0, -1):
+        if stack[index].tag == tag:
+            del stack[index:]
+            return
+
+
+def _read_open_tag(
+    text: str, lt: int
+) -> Tuple[Optional[str], Dict[str, str], bool, int]:
+    """Parse ``<tag attr=...>`` starting at ``lt``.
+
+    Returns (tag, attributes, self_closing, position-after-``>``); tag is
+    None when the ``<`` does not begin a tag (left angle in prose).
+    """
+    match = re.compile(r"<([a-zA-Z][-a-zA-Z0-9]*)").match(text, lt)
+    if match is None:
+        return None, {}, False, lt + 1
+    tag = match.group(1).lower()
+    pos = match.end()
+    gt = text.find(">", pos)
+    if gt == -1:
+        raise HtmlParseError("unterminated <%s> open tag" % tag)
+    inner = text[pos:gt]
+    self_closing = inner.rstrip().endswith("/")
+    if self_closing:
+        inner = inner.rstrip()[:-1]
+    attrs: Dict[str, str] = {}
+    for attr_match in _ATTR_RE.finditer(inner):
+        name = attr_match.group(1).lower()
+        value = attr_match.group(2)
+        if value is None:
+            attrs[name] = ""
+        elif value[:1] in "\"'":
+            attrs[name] = value[1:-1]
+        else:
+            attrs[name] = value
+    return tag, attrs, self_closing, gt + 1
+
+
+def _ensure_structure(root: DomNode) -> None:
+    """Guarantee <head> and <body> exist and own stray content."""
+    head = None
+    body = None
+    for child in list(root.children):
+        if child.node_type == ELEMENT_NODE and child.tag == "head":
+            head = child
+        elif child.node_type == ELEMENT_NODE and child.tag == "body":
+            body = child
+    if head is None:
+        head = DomNode(ELEMENT_NODE, "head")
+        root.children.insert(0, head)
+        head.parent = root
+    if body is None:
+        body = DomNode(ELEMENT_NODE, "body")
+        root.append_child(body)
+    # Re-home top-level strays (text or elements outside head/body).
+    for child in list(root.children):
+        if child in (head, body):
+            continue
+        root.children.remove(child)
+        child.parent = None
+        body.append_child(child)

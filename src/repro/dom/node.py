@@ -1,0 +1,194 @@
+"""The DOM node tree (engine side, independent of MiniJS wrappers)."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional
+
+ELEMENT_NODE = 1
+TEXT_NODE = 3
+
+#: Tags that never have children and need no closing tag.
+VOID_TAGS = frozenset(
+    ["br", "img", "meta", "link", "input", "hr", "area", "base", "col",
+     "embed", "param", "source", "track", "wbr"]
+)
+
+#: Tags a user can plausibly interact with (monkey-testing targets).
+INTERACTIVE_TAGS = frozenset(
+    ["a", "button", "input", "select", "textarea", "form", "label", "div",
+     "span", "li", "img"]
+)
+
+
+class DomNode:
+    """One node of the document tree.
+
+    The same object backs both the engine's view (parsing, event
+    dispatch, crawling) and the MiniJS wrapper's ``host_data``.
+    """
+
+    __slots__ = (
+        "node_type", "tag", "attributes", "children", "parent", "text",
+        "listeners", "wrapper", "compiled_attr_handlers",
+    )
+
+    def __init__(
+        self,
+        node_type: int = ELEMENT_NODE,
+        tag: str = "",
+        attributes: Optional[Dict[str, str]] = None,
+        text: str = "",
+    ) -> None:
+        self.node_type = node_type
+        self.tag = tag.lower()
+        self.attributes: Dict[str, str] = dict(attributes or {})
+        self.children: List[DomNode] = []
+        self.parent: Optional[DomNode] = None
+        self.text = text
+        #: event type -> list of MiniJS handler functions
+        self.listeners: Dict[str, List[Any]] = {}
+        #: cached MiniJS wrapper (set by the bindings layer)
+        self.wrapper: Any = None
+        #: event type -> compiled DOM0 attribute handler (lazy cache)
+        self.compiled_attr_handlers: Dict[str, Any] = {}
+
+    # -- tree editing -------------------------------------------------------
+
+    def append_child(self, child: "DomNode") -> "DomNode":
+        if child.parent is not None:
+            child.parent.remove_child(child)
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def insert_before(
+        self, child: "DomNode", reference: Optional["DomNode"]
+    ) -> "DomNode":
+        if child.parent is not None:
+            child.parent.remove_child(child)
+        child.parent = self
+        if reference is None or reference not in self.children:
+            self.children.append(child)
+        else:
+            self.children.insert(self.children.index(reference), child)
+        return child
+
+    def remove_child(self, child: "DomNode") -> "DomNode":
+        if child in self.children:
+            self.children.remove(child)
+            child.parent = None
+        return child
+
+    def clone(self, deep: bool = False) -> "DomNode":
+        copy = DomNode(self.node_type, self.tag, dict(self.attributes),
+                       self.text)
+        if deep:
+            for child in self.children:
+                copy.append_child(child.clone(deep=True))
+        return copy
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def id(self) -> str:
+        return self.attributes.get("id", "")
+
+    @property
+    def class_list(self) -> List[str]:
+        return self.attributes.get("class", "").split()
+
+    def walk(self) -> Iterator["DomNode"]:
+        """Depth-first traversal including self."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def elements(self) -> Iterator["DomNode"]:
+        for node in self.walk():
+            if node.node_type == ELEMENT_NODE:
+                yield node
+
+    def find_first(self, tag: str) -> Optional["DomNode"]:
+        for node in self.elements():
+            if node.tag == tag:
+                return node
+        return None
+
+    def find_all(self, tag: str) -> List["DomNode"]:
+        return [n for n in self.elements() if n.tag == tag]
+
+    def get_element_by_id(self, element_id: str) -> Optional["DomNode"]:
+        for node in self.elements():
+            if node.id == element_id:
+                return node
+        return None
+
+    def matches_selector(self, selector: str) -> bool:
+        """Match one simple selector: ``tag``, ``#id``, ``.class``,
+        ``tag.class`` or ``tag#id``."""
+        selector = selector.strip()
+        if not selector or self.node_type != ELEMENT_NODE:
+            return False
+        tag_part = ""
+        rest = selector
+        if selector[0] not in "#.":
+            for i, ch in enumerate(selector):
+                if ch in "#.":
+                    tag_part, rest = selector[:i], selector[i:]
+                    break
+            else:
+                tag_part, rest = selector, ""
+        if tag_part and tag_part != "*" and self.tag != tag_part.lower():
+            return False
+        while rest:
+            marker, rest = rest[0], rest[1:]
+            name = ""
+            for i, ch in enumerate(rest):
+                if ch in "#.":
+                    name, rest = rest[:i], rest[i:]
+                    break
+            else:
+                name, rest = rest, ""
+            if marker == "#" and self.id != name:
+                return False
+            if marker == "." and name not in self.class_list:
+                return False
+        return True
+
+    def query_selector_all(self, selector: str) -> List["DomNode"]:
+        """Simple selector list matching (comma-separated alternatives)."""
+        alternatives = [s.strip() for s in selector.split(",") if s.strip()]
+        found: List[DomNode] = []
+        for node in self.elements():
+            if any(node.matches_selector(alt) for alt in alternatives):
+                found.append(node)
+        return found
+
+    def text_content(self) -> str:
+        parts: List[str] = []
+        for node in self.walk():
+            if node.node_type == TEXT_NODE:
+                parts.append(node.text)
+        return "".join(parts)
+
+    def outer_html(self) -> str:
+        """Re-serialize the subtree to HTML."""
+        if self.node_type == TEXT_NODE:
+            return self.text
+        attrs = "".join(
+            ' %s="%s"' % (k, v) for k, v in self.attributes.items()
+        )
+        if self.tag in VOID_TAGS:
+            return "<%s%s>" % (self.tag, attrs)
+        inner = "".join(c.outer_html() for c in self.children)
+        return "<%s%s>%s</%s>" % (self.tag, attrs, inner, self.tag)
+
+    def __repr__(self) -> str:
+        if self.node_type == TEXT_NODE:
+            snippet = self.text[:20]
+            return "<#text %r>" % snippet
+        return "<%s%s children=%d>" % (
+            self.tag,
+            "#" + self.id if self.id else "",
+            len(self.children),
+        )

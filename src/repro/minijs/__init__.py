@@ -1,0 +1,66 @@
+"""MiniJS — a small JavaScript-subset interpreter.
+
+The paper's measuring extension works by *rewriting the page's
+JavaScript environment*: it overwrites DOM prototype methods with
+logging shims, hides the originals inside closures so pages cannot
+reach around the instrumentation, and uses Firefox's non-standard
+``Object.watch`` to catch property writes on singleton objects
+(section 4.2).  Reproducing that mechanism honestly requires a real
+script engine with:
+
+* prototype chains and mutable prototypes,
+* first-class functions and closures,
+* ``this`` binding, ``new``, ``call``/``apply`` and ``arguments``,
+* ``watch``/``unwatch`` on objects (the Firefox extension API),
+* exceptions (pages with syntax/runtime errors must fail the way the
+  paper reports 267 domains failing).
+
+MiniJS implements exactly that subset.  Scripts in the synthetic web
+and the injected instrumentation are both MiniJS source text; the
+instrumentation shims pages the same way the paper's extension shims
+real Firefox.
+
+Public API::
+
+    from repro.minijs import Interpreter, parse
+    interp = Interpreter(seed=1)
+    interp.run(parse("var x = 1 + 2;"))
+"""
+
+from repro.minijs.errors import (
+    MiniJSError,
+    JSLexError,
+    JSParseError,
+    JSRuntimeError,
+    JSThrownValue,
+    StepLimitExceeded,
+)
+from repro.minijs.lexer import tokenize
+from repro.minijs.parser import parse
+from repro.minijs.objects import (
+    JSArray,
+    JSFunction,
+    JSObject,
+    UNDEFINED,
+    NULL,
+    js_repr,
+)
+from repro.minijs.interpreter import Interpreter
+
+__all__ = [
+    "MiniJSError",
+    "JSLexError",
+    "JSParseError",
+    "JSRuntimeError",
+    "JSThrownValue",
+    "StepLimitExceeded",
+    "tokenize",
+    "parse",
+    "JSArray",
+    "JSFunction",
+    "JSObject",
+    "UNDEFINED",
+    "NULL",
+    "js_repr",
+    "Interpreter",
+]

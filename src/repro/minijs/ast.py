@@ -1,0 +1,227 @@
+"""AST node types for MiniJS.
+
+Plain dataclasses; the parser builds them, the interpreter walks them.
+Every node carries the source line for error reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+Node = Union["Statement", "Expression"]
+
+
+@dataclass
+class Statement:
+    line: int = 0
+
+
+@dataclass
+class Expression:
+    line: int = 0
+
+
+# -- expressions -----------------------------------------------------------
+
+@dataclass
+class Literal(Expression):
+    value: object = None  # float | str | bool | None (null) | UNDEFINED
+
+
+@dataclass
+class Identifier(Expression):
+    name: str = ""
+
+
+@dataclass
+class ThisExpr(Expression):
+    pass
+
+
+@dataclass
+class ArrayLiteral(Expression):
+    elements: List[Expression] = field(default_factory=list)
+
+
+@dataclass
+class ObjectLiteral(Expression):
+    entries: List[Tuple[str, Expression]] = field(default_factory=list)
+
+
+@dataclass
+class FunctionExpr(Expression):
+    name: Optional[str] = None
+    params: List[str] = field(default_factory=list)
+    body: List[Statement] = field(default_factory=list)
+
+
+@dataclass
+class Member(Expression):
+    """Property access: ``obj.name``."""
+
+    obj: Expression = None  # type: ignore[assignment]
+    name: str = ""
+
+
+@dataclass
+class Index(Expression):
+    """Computed access: ``obj[expr]``."""
+
+    obj: Expression = None  # type: ignore[assignment]
+    index: Expression = None  # type: ignore[assignment]
+
+
+@dataclass
+class Call(Expression):
+    callee: Expression = None  # type: ignore[assignment]
+    args: List[Expression] = field(default_factory=list)
+
+
+@dataclass
+class New(Expression):
+    callee: Expression = None  # type: ignore[assignment]
+    args: List[Expression] = field(default_factory=list)
+
+
+@dataclass
+class Unary(Expression):
+    op: str = ""
+    operand: Expression = None  # type: ignore[assignment]
+
+
+@dataclass
+class Postfix(Expression):
+    """``x++`` / ``x--`` on an assignable target."""
+
+    op: str = ""
+    target: Expression = None  # type: ignore[assignment]
+
+
+@dataclass
+class Binary(Expression):
+    op: str = ""
+    left: Expression = None  # type: ignore[assignment]
+    right: Expression = None  # type: ignore[assignment]
+
+
+@dataclass
+class Logical(Expression):
+    op: str = ""  # "&&" | "||"
+    left: Expression = None  # type: ignore[assignment]
+    right: Expression = None  # type: ignore[assignment]
+
+
+@dataclass
+class Conditional(Expression):
+    test: Expression = None  # type: ignore[assignment]
+    consequent: Expression = None  # type: ignore[assignment]
+    alternate: Expression = None  # type: ignore[assignment]
+
+
+@dataclass
+class Assign(Expression):
+    """``target op= value``; target is Identifier, Member or Index."""
+
+    op: str = "="
+    target: Expression = None  # type: ignore[assignment]
+    value: Expression = None  # type: ignore[assignment]
+
+
+# -- statements ------------------------------------------------------------
+
+@dataclass
+class Program(Statement):
+    body: List[Statement] = field(default_factory=list)
+
+
+@dataclass
+class ExpressionStmt(Statement):
+    expression: Expression = None  # type: ignore[assignment]
+
+
+@dataclass
+class VarDecl(Statement):
+    declarations: List[Tuple[str, Optional[Expression]]] = field(
+        default_factory=list
+    )
+
+
+@dataclass
+class FunctionDecl(Statement):
+    name: str = ""
+    params: List[str] = field(default_factory=list)
+    body: List[Statement] = field(default_factory=list)
+
+
+@dataclass
+class Return(Statement):
+    value: Optional[Expression] = None
+
+
+@dataclass
+class If(Statement):
+    test: Expression = None  # type: ignore[assignment]
+    consequent: Statement = None  # type: ignore[assignment]
+    alternate: Optional[Statement] = None
+
+
+@dataclass
+class While(Statement):
+    test: Expression = None  # type: ignore[assignment]
+    body: Statement = None  # type: ignore[assignment]
+
+
+@dataclass
+class DoWhile(Statement):
+    test: Expression = None  # type: ignore[assignment]
+    body: Statement = None  # type: ignore[assignment]
+
+
+@dataclass
+class For(Statement):
+    init: Optional[Statement] = None
+    test: Optional[Expression] = None
+    update: Optional[Expression] = None
+    body: Statement = None  # type: ignore[assignment]
+
+
+@dataclass
+class ForIn(Statement):
+    var_name: str = ""
+    declares: bool = False
+    obj: Expression = None  # type: ignore[assignment]
+    body: Statement = None  # type: ignore[assignment]
+
+
+@dataclass
+class Block(Statement):
+    body: List[Statement] = field(default_factory=list)
+
+
+@dataclass
+class Break(Statement):
+    pass
+
+
+@dataclass
+class Continue(Statement):
+    pass
+
+
+@dataclass
+class Throw(Statement):
+    value: Expression = None  # type: ignore[assignment]
+
+
+@dataclass
+class Try(Statement):
+    block: Block = None  # type: ignore[assignment]
+    catch_name: Optional[str] = None
+    catch_block: Optional[Block] = None
+    finally_block: Optional[Block] = None
+
+
+@dataclass
+class Empty(Statement):
+    pass

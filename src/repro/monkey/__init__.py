@@ -1,0 +1,26 @@
+"""Monkey testing and the per-site crawl procedure.
+
+* :mod:`repro.monkey.gremlins` — the gremlins.js-equivalent random
+  interaction engine: clicks, text entry, scrolling, form submission,
+  with navigation interception.
+* :mod:`repro.monkey.crawler` — the paper's crawl schedule: home page
+  plus a breadth-first walk through monkey-harvested links (3 then 9
+  more pages, 13 total per visit, preferring unseen URL path
+  structures), repeated five times per browsing condition.
+"""
+
+from repro.monkey.gremlins import Gremlins, MonkeyConfig
+from repro.monkey.crawler import CrawlConfig, SiteCrawler
+from repro.monkey.authenticated import (
+    AuthenticatedCrawler,
+    AuthenticatedMeasurement,
+)
+
+__all__ = [
+    "Gremlins",
+    "MonkeyConfig",
+    "CrawlConfig",
+    "SiteCrawler",
+    "AuthenticatedCrawler",
+    "AuthenticatedMeasurement",
+]

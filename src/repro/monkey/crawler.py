@@ -1,0 +1,179 @@
+"""The per-site crawl schedule (section 4.3.1).
+
+One *visit round* of a site:
+
+1. load the home page, monkey-test it for "30 seconds";
+2. from the intercepted navigations, keep same-site URLs and pick 3,
+   preferring URLs whose directory structure (path minus the last
+   segment) has not been seen this round;
+3. visit each, monkey-test, pick 3 more from each — 1 + 3 + 9 = 13
+   pages, 390 interaction-seconds per site per round;
+4. record every feature invocation along the way.
+
+Each site gets five rounds per browsing condition; the union captures
+interaction-dependent functionality (validated in section 6 / Table 3).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from repro.browser.browser import Browser
+from repro.browser.session import VisitResult
+from repro.monkey.gremlins import Gremlins, MonkeyConfig
+from repro.net.url import Url
+from repro.seeding import derive_seed
+
+
+@dataclass(frozen=True)
+class CrawlConfig:
+    """The paper's crawl-shape parameters."""
+
+    #: links selected per visited page (breadth-first fan-out)
+    links_per_page: int = 3
+    #: crawl depth beyond the home page (2 -> 1 + 3 + 9 = 13 pages)
+    depth: int = 2
+    #: prefer URLs whose directory structure is unseen (section 4.3.1);
+    #: False picks uniformly — the ablation baseline
+    prefer_novel_paths: bool = True
+    #: start each visit round from a fresh browser profile (cleared
+    #: localStorage).  Authenticated crawling turns this off so a login
+    #: performed before the round survives it.
+    fresh_profile_per_round: bool = True
+    monkey: MonkeyConfig = MonkeyConfig()
+
+    @property
+    def max_pages(self) -> int:
+        total, layer = 1, 1
+        for _ in range(self.depth):
+            layer *= self.links_per_page
+            total += layer
+        return total
+
+
+class SiteCrawler:
+    """Runs visit rounds against one browser/extension configuration."""
+
+    def __init__(
+        self,
+        browser: Browser,
+        config: Optional[CrawlConfig] = None,
+        condition: str = "default",
+    ) -> None:
+        self.browser = browser
+        self.config = config or CrawlConfig()
+        self.condition = condition
+
+    # ------------------------------------------------------------------
+
+    def visit_site(
+        self, domain: str, round_index: int, seed: int
+    ) -> VisitResult:
+        """One full visit round of one site."""
+        result = VisitResult(
+            domain=domain,
+            round_index=round_index,
+            condition=self.condition,
+            ok=False,
+        )
+        rng = random.Random(
+            derive_seed(seed, domain, round_index, self.condition)
+        )
+        if self.config.fresh_profile_per_round:
+            self.browser.reset_storage()
+        home = Url.parse("https://%s/" % domain)
+        seen_signatures: Set[Tuple[str, ...]] = set()
+        visited_paths: Set[str] = set()
+
+        frontier = [home]
+        executed_any = False
+        for depth in range(self.config.depth + 1):
+            next_frontier: List[Url] = []
+            for url in frontier:
+                page = self._visit_one(url, rng, result)
+                if page is None:
+                    continue
+                visited_paths.add(url.path)
+                seen_signatures.add(url.directory_signature)
+                executed_any = executed_any or page[1]
+                harvested = page[0]
+                chosen = self._select_links(
+                    harvested, home, seen_signatures, visited_paths, rng
+                )
+                next_frontier.extend(chosen)
+            frontier = next_frontier
+            if not frontier:
+                break
+
+        if result.pages_visited == 0:
+            result.failure_reason = result.failure_reason or "unreachable"
+            return result
+        if not executed_any and not result.feature_counts:
+            # The home page loaded but no script ever ran (fatal syntax
+            # errors): the paper counts such domains as unmeasurable.
+            result.failure_reason = "no script executed"
+            return result
+        result.ok = True
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _visit_one(
+        self, url: Url, rng: random.Random, result: VisitResult
+    ) -> Optional[Tuple[List[Url], bool]]:
+        page = self.browser.visit_page(url, seed=rng.randrange(1 << 30))
+        if not page.ok:
+            if result.failure_reason is None:
+                result.failure_reason = page.failure_reason
+            return None
+        result.pages_visited += 1
+        result.scripts_blocked += page.scripts_blocked
+        result.requests_blocked += page.requests_blocked
+        gremlins = Gremlins(page, rng, self.config.monkey)
+        gremlins.run()
+        result.interaction_events += gremlins.events_fired
+        page.recorder.merge_into_counts(result.feature_counts)
+        return gremlins.harvested_urls, page.executed_any_script
+
+    def _select_links(
+        self,
+        harvested: List[Url],
+        home: Url,
+        seen_signatures: Set[Tuple[str, ...]],
+        visited_paths: Set[str],
+        rng: random.Random,
+    ) -> List[Url]:
+        """Pick up to ``links_per_page`` same-site URLs, novelty first."""
+        candidates: List[Url] = []
+        seen_paths: Set[str] = set()
+        for url in harvested:
+            if not url.same_site(home):
+                continue  # never leave the domain (or related domains)
+            if url.path in visited_paths or url.path in seen_paths:
+                continue
+            seen_paths.add(url.path)
+            candidates.append(url)
+        if not candidates:
+            return []
+        if self.config.prefer_novel_paths:
+            novel = [
+                u for u in candidates
+                if u.directory_signature not in seen_signatures
+            ]
+            familiar = [
+                u for u in candidates
+                if u.directory_signature in seen_signatures
+            ]
+            rng.shuffle(novel)
+            rng.shuffle(familiar)
+            ordered = novel + familiar
+        else:
+            ordered = list(candidates)
+            rng.shuffle(ordered)
+        chosen = ordered[: self.config.links_per_page]
+        for url in chosen:
+            visited_paths.add(url.path)
+            seen_signatures.add(url.directory_signature)
+        return chosen

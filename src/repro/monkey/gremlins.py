@@ -1,0 +1,178 @@
+"""Random page interaction ("monkey testing", section 4.3.1).
+
+The paper uses a modified gremlins.js to "click, touch, scroll, and
+enter text on random elements or locations on the page" for 30 seconds
+per page, intercepting any interaction that would navigate away.  This
+module is that engine for the simulated browser:
+
+* **clicks** on random visible elements (dispatched as bubbling DOM
+  events, so both ``addEventListener`` listeners and DOM0 ``onclick``
+  handlers fire);
+* **navigation interception**: a click that reaches a link records the
+  URL the browser *would have* visited and suppresses the navigation —
+  these URLs feed the crawler's breadth-first walk;
+* **text entry** into inputs/textareas (with ``change`` events);
+* **scrolling** (a ``scroll`` event on the document);
+* **form submission** attempts (intercepted like navigations).
+
+One "30-second" page session is ``events_per_page`` random events; the
+ratio mirrors gremlins' default distribution.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+from repro.browser.browser import PageVisit
+from repro.dom.node import DomNode, ELEMENT_NODE
+from repro.net.url import Url, UrlError
+
+_TYPEABLE = ("input", "textarea")
+_WORDS = ["hello", "test", "cats", "weather", "42", "query", "lorem"]
+
+
+@dataclass(frozen=True)
+class MonkeyConfig:
+    """Interaction volume and mix (the 30-second budget)."""
+
+    events_per_page: int = 18
+    click_weight: float = 0.70
+    type_weight: float = 0.15
+    scroll_weight: float = 0.15
+
+
+class Gremlins:
+    """Monkey-tests one live page."""
+
+    def __init__(
+        self,
+        visit: PageVisit,
+        rng: random.Random,
+        config: Optional[MonkeyConfig] = None,
+    ) -> None:
+        if visit.realm is None or visit.root is None:
+            raise ValueError("cannot monkey-test a failed page load")
+        self._visit = visit
+        self._realm = visit.realm
+        self._root = visit.root
+        self._rng = rng
+        self._config = config or MonkeyConfig()
+        #: URLs (absolute) whose navigation was intercepted.
+        self.harvested_urls: List[Url] = []
+        self.events_fired = 0
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> int:
+        """Run one page session; returns the number of events fired."""
+        targets = self._visible_elements()
+        if not targets:
+            return 0
+        weights = [self._target_weight(t) for t in targets]
+        config = self._config
+        total = config.click_weight + config.type_weight + config.scroll_weight
+        for _ in range(config.events_per_page):
+            roll = self._rng.random() * total
+            if roll < config.click_weight:
+                self._click(targets, weights)
+            elif roll < config.click_weight + config.type_weight:
+                self._type(targets)
+            else:
+                self._scroll()
+            self.events_fired += 1
+        return self.events_fired
+
+    @staticmethod
+    def _target_weight(node: DomNode) -> float:
+        """Click-target weight: screen area stands in for probability.
+
+        Links and controls are what most of a page's clickable surface
+        routes to (and what a coordinate-uniform monkey ends up
+        activating via bubbling), so they weigh more than inert text.
+        """
+        if node.tag == "a":
+            return 5.0
+        if node.tag in ("button", "input", "select", "textarea"):
+            return 3.0
+        if node.tag in ("div", "form"):
+            return 1.5
+        return 1.0
+
+    # ------------------------------------------------------------------
+
+    def _visible_elements(self) -> List[DomNode]:
+        """Interactable elements: visible, inside <body>."""
+        body = self._root.find_first("body")
+        if body is None:
+            return []
+        elements: List[DomNode] = []
+        for node in body.elements():
+            if node.attributes.get("data-hidden"):
+                continue
+            if node.tag in ("script", "style"):
+                continue
+            elements.append(node)
+        return elements
+
+    def _click(
+        self, targets: List[DomNode], weights: Optional[List[float]] = None
+    ) -> None:
+        if weights is not None:
+            node = self._rng.choices(targets, weights=weights, k=1)[0]
+        else:
+            node = self._rng.choice(targets)
+        event = self._realm.events.dispatch(node, "click")
+        link = self._enclosing_link(node)
+        if link is not None and not event.properties.get("defaultPrevented"):
+            self._intercept_navigation(link.attributes.get("href", ""))
+        if node.tag == "button" or (
+            node.tag == "input"
+            and node.attributes.get("type") in ("submit", None)
+        ):
+            form = self._enclosing(node, "form")
+            if form is not None:
+                self._realm.events.dispatch(form, "submit")
+                self._intercept_navigation(
+                    form.attributes.get("action", "")
+                )
+
+    def _type(self, targets: List[DomNode]) -> None:
+        typeable = [t for t in targets if t.tag in _TYPEABLE]
+        if not typeable:
+            self._click(targets)
+            return
+        node = self._rng.choice(typeable)
+        node.attributes["value"] = self._rng.choice(_WORDS)
+        self._realm.events.dispatch(node, "change")
+
+    def _scroll(self) -> None:
+        self._realm.events.dispatch(self._realm.document_node, "scroll")
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _enclosing(node: DomNode, tag: str) -> Optional[DomNode]:
+        current: Optional[DomNode] = node
+        while current is not None:
+            if current.node_type == ELEMENT_NODE and current.tag == tag:
+                return current
+            current = current.parent
+        return None
+
+    def _enclosing_link(self, node: DomNode) -> Optional[DomNode]:
+        link = self._enclosing(node, "a")
+        if link is not None and link.attributes.get("href"):
+            return link
+        return None
+
+    def _intercept_navigation(self, href: str) -> None:
+        """Record where the click would have gone; never actually go."""
+        if not href:
+            return
+        try:
+            target = self._visit.url.join(href)
+        except UrlError:
+            return
+        self.harvested_urls.append(target)

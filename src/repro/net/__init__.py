@@ -1,0 +1,26 @@
+"""The simulated network: URLs, resources, fetching, the injecting proxy.
+
+The crawl never leaves the process: :class:`repro.net.fetcher.Fetcher`
+serves the synthetic web's documents and scripts, and
+:class:`repro.net.proxy.InjectingProxy` rewrites HTML responses to place
+the measuring extension's instrumentation at the very beginning of
+``<head>`` — before any page content loads, exactly the injection point
+the paper describes (section 4.2, Figure 2).
+"""
+
+from repro.net.url import Url, UrlError
+from repro.net.resources import Request, Response, ResourceKind
+from repro.net.fetcher import Fetcher, NetworkError, WebSource
+from repro.net.proxy import InjectingProxy
+
+__all__ = [
+    "Url",
+    "UrlError",
+    "Request",
+    "Response",
+    "ResourceKind",
+    "Fetcher",
+    "NetworkError",
+    "WebSource",
+    "InjectingProxy",
+]

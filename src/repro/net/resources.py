@@ -1,0 +1,65 @@
+"""Requests, responses and resource classification."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.net.url import Url
+
+
+class ResourceKind:
+    """What a request is fetching — the axis blockers filter on."""
+
+    DOCUMENT = "document"
+    SCRIPT = "script"
+    IMAGE = "image"
+    STYLESHEET = "stylesheet"
+    XHR = "xhr"
+    BEACON = "beacon"
+    SUBDOCUMENT = "subdocument"
+    OTHER = "other"
+
+    ALL = (DOCUMENT, SCRIPT, IMAGE, STYLESHEET, XHR, BEACON, SUBDOCUMENT,
+           OTHER)
+
+
+@dataclass(frozen=True)
+class Request:
+    """One outgoing request, with the context blockers need."""
+
+    url: Url
+    kind: str = ResourceKind.DOCUMENT
+    #: The page (first party) on whose behalf the request happens.
+    first_party: Optional[Url] = None
+
+    @property
+    def is_third_party(self) -> bool:
+        if self.first_party is None:
+            return False
+        return not self.url.same_site(self.first_party)
+
+
+@dataclass
+class Response:
+    """One response from the simulated network."""
+
+    url: Url
+    status: int = 200
+    content_type: str = "text/html"
+    body: str = ""
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    @property
+    def is_html(self) -> bool:
+        return self.content_type.startswith("text/html")
+
+    @property
+    def is_script(self) -> bool:
+        return self.content_type in (
+            "application/javascript", "text/javascript"
+        )

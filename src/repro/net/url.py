@@ -1,0 +1,145 @@
+"""URL parsing, joining and domain classification.
+
+Blocking extensions and the crawler both reason about URLs constantly:
+AdBlock Plus filters match on URL substrings and registrable domains,
+Ghostery matches tracker host suffixes, and the crawler's breadth-first
+walk needs path segments ("prefer URLs whose directory structure has
+not been seen") and same-site checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+class UrlError(ValueError):
+    """Unparseable URL."""
+
+
+#: Multi-label public suffixes the synthetic web uses (a tiny PSL).
+_TWO_LABEL_SUFFIXES = frozenset(
+    ["co.uk", "com.br", "co.jp", "com.cn", "org.uk", "com.au", "co.in"]
+)
+
+
+@dataclass(frozen=True)
+class Url:
+    """An absolute http(s) URL, normalized."""
+
+    scheme: str
+    host: str
+    port: Optional[int]
+    path: str
+    query: str
+
+    @classmethod
+    def parse(cls, text: str) -> "Url":
+        raw = text.strip()
+        if "://" not in raw:
+            raise UrlError("not an absolute URL: %r" % text)
+        scheme, rest = raw.split("://", 1)
+        scheme = scheme.lower()
+        if scheme not in ("http", "https", "ws", "wss"):
+            raise UrlError("unsupported scheme %r" % scheme)
+        fragment_split = rest.split("#", 1)
+        rest = fragment_split[0]
+        if "/" in rest:
+            authority, path_query = rest.split("/", 1)
+            path_query = "/" + path_query
+        else:
+            authority, path_query = rest, "/"
+        if "?" in path_query:
+            path, query = path_query.split("?", 1)
+        else:
+            path, query = path_query, ""
+        authority = authority.lower()
+        port: Optional[int] = None
+        if ":" in authority:
+            host, port_text = authority.rsplit(":", 1)
+            try:
+                port = int(port_text)
+            except ValueError:
+                raise UrlError("bad port in %r" % text)
+        else:
+            host = authority
+        if not host:
+            raise UrlError("empty host in %r" % text)
+        return cls(scheme=scheme, host=host, port=port,
+                   path=_normalize_path(path), query=query)
+
+    def join(self, reference: str) -> "Url":
+        """Resolve a (possibly relative) reference against this URL."""
+        reference = reference.strip()
+        if "://" in reference:
+            return Url.parse(reference)
+        if reference.startswith("//"):
+            return Url.parse(self.scheme + ":" + reference)
+        if reference.startswith("/"):
+            return Url(self.scheme, self.host, self.port,
+                       *_split_path_query(reference))
+        if reference.startswith("?"):
+            return Url(self.scheme, self.host, self.port, self.path,
+                       reference[1:])
+        if not reference:
+            return self
+        base_dir = self.path.rsplit("/", 1)[0]
+        combined = base_dir + "/" + reference
+        return Url(self.scheme, self.host, self.port,
+                   *_split_path_query(combined))
+
+    # -- domain reasoning --------------------------------------------------
+
+    @property
+    def registrable_domain(self) -> str:
+        """eTLD+1 under the miniature public-suffix list."""
+        labels = self.host.split(".")
+        if len(labels) <= 2:
+            return self.host
+        two_label_suffix = ".".join(labels[-2:])
+        if two_label_suffix in _TWO_LABEL_SUFFIXES:
+            return ".".join(labels[-3:])
+        return two_label_suffix
+
+    def same_site(self, other: "Url") -> bool:
+        return self.registrable_domain == other.registrable_domain
+
+    @property
+    def path_segments(self) -> Tuple[str, ...]:
+        return tuple(s for s in self.path.split("/") if s)
+
+    @property
+    def directory_signature(self) -> Tuple[str, ...]:
+        """The path minus its last segment: the crawl's novelty key."""
+        segments = self.path_segments
+        return segments[:-1] if segments else ()
+
+    def __str__(self) -> str:
+        port = "" if self.port is None else ":%d" % self.port
+        query = "?" + self.query if self.query else ""
+        return "%s://%s%s%s%s" % (self.scheme, self.host, port, self.path,
+                                  query)
+
+
+def _normalize_path(path: str) -> str:
+    if not path.startswith("/"):
+        path = "/" + path
+    segments: List[str] = []
+    for segment in path.split("/"):
+        if segment == "..":
+            if segments:
+                segments.pop()
+        elif segment not in ("", "."):
+            segments.append(segment)
+    normalized = "/" + "/".join(segments)
+    if path.endswith("/") and normalized != "/":
+        normalized += "/"
+    return normalized
+
+
+def _split_path_query(path_query: str) -> Tuple[str, str]:
+    if "?" in path_query:
+        path, query = path_query.split("?", 1)
+    else:
+        path, query = path_query, ""
+    return _normalize_path(path), query

@@ -1,0 +1,34 @@
+"""Stable seed derivation.
+
+``hash()`` on strings is randomized per process (PYTHONHASHSEED), so
+``random.Random(("a", 1))`` is NOT reproducible across runs.  Every
+component of the pipeline derives child seeds through this module
+instead, keeping the whole crawl bit-for-bit deterministic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Union
+
+Part = Union[int, str, bytes, float]
+
+
+def derive_seed(*parts: Part) -> int:
+    """A 63-bit seed deterministically derived from the parts."""
+    hasher = hashlib.sha256()
+    for part in parts:
+        if isinstance(part, bytes):
+            hasher.update(b"b" + part)
+        elif isinstance(part, str):
+            hasher.update(b"s" + part.encode("utf-8"))
+        elif isinstance(part, bool):
+            hasher.update(b"o1" if part else b"o0")
+        elif isinstance(part, int):
+            hasher.update(b"i" + str(part).encode("ascii"))
+        elif isinstance(part, float):
+            hasher.update(b"f" + repr(part).encode("ascii"))
+        else:
+            raise TypeError("unsupported seed part %r" % (part,))
+        hasher.update(b"\x00")
+    return int.from_bytes(hasher.digest()[:8], "big") >> 1

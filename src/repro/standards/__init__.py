@@ -1,0 +1,31 @@
+"""Standard metadata, historical Firefox builds and the CVE corpus.
+
+This subpackage holds everything the paper derives from sources *other*
+than the crawl itself:
+
+* :mod:`repro.standards.catalog` — the 75 web standards (74 real plus the
+  "Non-Standard" bucket) with names, abbreviations, feature counts and the
+  published Table 2 observations used to calibrate the synthetic web.
+* :mod:`repro.standards.history` — the 186 historical Firefox releases
+  (2004-2016), per-feature implementation dates, and the browser-evolution
+  series behind Figure 1.
+* :mod:`repro.standards.cves` — the CVE corpus (470 records, 456 genuine
+  Firefox issues, 111 attributable to a specific standard) behind Table 2
+  column 6.
+"""
+
+from repro.standards.catalog import (
+    StandardSpec,
+    all_standards,
+    get_standard,
+    standard_abbrevs,
+    NON_STANDARD_ABBREV,
+)
+
+__all__ = [
+    "StandardSpec",
+    "all_standards",
+    "get_standard",
+    "standard_abbrevs",
+    "NON_STANDARD_ABBREV",
+]

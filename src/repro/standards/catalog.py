@@ -1,0 +1,388 @@
+"""The catalog of Web API standards measured by the study.
+
+The paper identifies 74 standards implemented in Firefox 46.0.1 plus a
+"Non-Standard" bucket for the 65 WebIDL endpoints that appear in no
+standards document (1,392 features in total).  Table 2 publishes, for the
+53 standards that were either used on at least 1% of the Alexa 10k or had
+at least one associated CVE: the number of instrumented features, the
+number of sites using the standard, the block rate under AdBlock Plus +
+Ghostery, and the CVE count.
+
+This module transcribes Table 2 verbatim and fills in the remaining 21
+long-tail standards from the paper's aggregate statements (eleven
+standards never used at all; roughly 28 of 75 used on <= 1% of sites).
+The per-standard targets recorded here drive the synthetic-web generator
+(:mod:`repro.webgen.profiles`); the crawl then *measures* the generated
+web with the full pipeline, and the analyses should recover these
+marginals.
+
+Note on abbreviations: the paper's Table 2 prints "H-WS" for both
+"HTML: Web Sockets" and "HTML: Web Storage" (a typo); Figure 4 uses
+distinct labels H-WB / H-WS, which we adopt (H-WB = Web Sockets).
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: Abbreviation of the catch-all bucket for WebIDL endpoints that belong
+#: to no published standards document (65 endpoints in Firefox 46.0.1).
+NON_STANDARD_ABBREV = "NS"
+
+#: Total JavaScript-exposed features the paper instruments (section 3.2).
+TOTAL_FEATURE_COUNT = 1392
+
+#: Total standards categories (74 published standards + Non-Standard).
+TOTAL_STANDARD_COUNT = 75
+
+
+@dataclass(frozen=True)
+class StandardSpec:
+    """One Web API standard and its published (or inferred) observations.
+
+    Attributes
+    ----------
+    abbrev:
+        Short label used throughout the paper's figures (e.g. ``"AJAX"``).
+    name:
+        Full standard name (e.g. ``"XMLHttpRequest"``).
+    n_features:
+        Number of WebIDL methods/properties the study instruments for
+        this standard (Table 2 column 3).
+    n_used_features:
+        How many of those features are ever observed on the Alexa 10k.
+        Zero for the eleven never-used standards.  Drives the paper's
+        headline "50% of features are never used".
+    sites:
+        Number of Alexa 10k sites using at least one feature of the
+        standard in the default (unblocked) condition (Table 2 column 4).
+    block_rate:
+        Fraction of those sites on which *no* feature of the standard
+        executes once AdBlock Plus + Ghostery are installed (Table 2
+        column 5).
+    ad_block_rate / tracking_block_rate:
+        Block rates under only an ad blocker / only a tracking blocker
+        (Figure 7).  ``None`` means "derive a neutral split from
+        block_rate" (see :func:`derived_condition_block_rates`).
+    cves:
+        Firefox CVEs from the preceding three years attributed to the
+        standard's implementation (Table 2 column 6).
+    introduced:
+        Date the standard's most popular feature first shipped in a
+        Firefox release (section 3.4; x-axis of Figure 6).
+    rank_bias:
+        Whether the standard skews toward high-traffic sites (+1), is
+        neutral (0), or skews toward the long tail (-1).  Produces the
+        off-diagonal points of Figure 5 (DOM4 / DOM-PS / H-HI above the
+        diagonal, TC below).
+    in_table2:
+        Whether the standard appears in the paper's Table 2.
+    """
+
+    abbrev: str
+    name: str
+    n_features: int
+    n_used_features: int
+    sites: int
+    block_rate: float
+    cves: int
+    introduced: datetime.date
+    ad_block_rate: Optional[float] = None
+    tracking_block_rate: Optional[float] = None
+    rank_bias: int = 0
+    in_table2: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.n_used_features <= self.n_features:
+            raise ValueError(
+                "n_used_features must be within [0, n_features] for %s"
+                % self.abbrev
+            )
+        if not 0.0 <= self.block_rate <= 1.0:
+            raise ValueError("block_rate out of range for %s" % self.abbrev)
+        if self.sites == 0 and self.n_used_features:
+            raise ValueError(
+                "standard %s has used features but zero sites" % self.abbrev
+            )
+
+    @property
+    def never_used(self) -> bool:
+        """True if no site on the Alexa 10k uses the standard."""
+        return self.sites == 0
+
+    @property
+    def popularity(self) -> float:
+        """Fraction of the Alexa 10k using the standard (0..1)."""
+        return self.sites / 10000.0
+
+
+def _d(year: int, month: int, day: int = 1) -> datetime.date:
+    return datetime.date(year, month, day)
+
+
+def _spec(
+    abbrev: str,
+    name: str,
+    n_features: int,
+    n_used: int,
+    sites: int,
+    block_rate_pct: float,
+    cves: int,
+    intro: Tuple[int, int],
+    ad: Optional[float] = None,
+    tr: Optional[float] = None,
+    rank_bias: int = 0,
+    in_table2: bool = True,
+) -> StandardSpec:
+    return StandardSpec(
+        abbrev=abbrev,
+        name=name,
+        n_features=n_features,
+        n_used_features=n_used,
+        sites=sites,
+        block_rate=block_rate_pct / 100.0,
+        cves=cves,
+        introduced=_d(intro[0], intro[1]),
+        ad_block_rate=None if ad is None else ad / 100.0,
+        tracking_block_rate=None if tr is None else tr / 100.0,
+        rank_bias=rank_bias,
+        in_table2=in_table2,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 2 of the paper, transcribed.  Columns: abbrev, name, #features,
+# #used features (calibration choice, see module docstring), #sites,
+# block rate %, #CVEs, Firefox implementation date (year, month).
+# ---------------------------------------------------------------------------
+
+_TABLE2: List[StandardSpec] = [
+    _spec("H-C", "HTML: Canvas", 54, 30, 7061, 33.1, 15, (2005, 11)),
+    _spec("SVG", "Scalable Vector Graphics 1.1 (2nd Edition)", 138, 40, 1554,
+          86.8, 14, (2005, 11), ad=70.0, tr=75.0),
+    _spec("WEBGL", "WebGL", 136, 30, 913, 60.7, 13, (2011, 3)),
+    _spec("H-WW", "HTML: Web Workers", 2, 2, 952, 59.9, 11, (2009, 6)),
+    _spec("HTML5", "HTML 5", 69, 45, 7077, 26.2, 10, (2009, 6)),
+    _spec("WEBA", "Web Audio API", 52, 20, 157, 81.1, 10, (2013, 10)),
+    _spec("WRTC", "WebRTC 1.0", 28, 12, 30, 29.2, 8, (2013, 6),
+          ad=5.0, tr=27.0),
+    _spec("AJAX", "XMLHttpRequest", 13, 12, 7957, 13.9, 8, (2004, 11)),
+    _spec("DOM", "DOM", 36, 30, 9088, 2.0, 4, (2004, 11)),
+    _spec("IDB", "Indexed Database API", 48, 20, 302, 56.3, 3, (2011, 3)),
+    _spec("BE", "Beacon", 1, 1, 2373, 83.6, 2, (2014, 12),
+          ad=40.0, tr=78.0),
+    _spec("MCS", "Media Capture and Streams", 4, 3, 54, 49.0, 2, (2013, 6)),
+    _spec("WCR", "Web Cryptography API", 14, 8, 7113, 67.8, 2, (2014, 7),
+          ad=22.0, tr=62.0),
+    _spec("CSS-VM", "CSSOM View Module", 28, 20, 4833, 19.0, 1, (2008, 6)),
+    _spec("F", "Fetch", 21, 8, 77, 33.3, 1, (2015, 5)),
+    _spec("GP", "Gamepad", 1, 1, 3, 0.0, 1, (2014, 4)),
+    _spec("HRT", "High Resolution Time, Level 2", 1, 1, 5769, 50.2, 1,
+          (2015, 1), ad=18.0, tr=44.0),
+    _spec("H-WB", "HTML: Web Sockets", 2, 2, 544, 64.6, 1, (2010, 7)),
+    _spec("H-P", "HTML: Plugins", 10, 5, 129, 29.3, 1, (2005, 11)),
+    _spec("WN", "Web Notifications", 5, 3, 16, 0.0, 1, (2012, 8)),
+    _spec("RT", "Resource Timing", 3, 3, 786, 57.5, 1, (2015, 5)),
+    _spec("V", "Vibration API", 1, 1, 1, 0.0, 1, (2012, 8)),
+    _spec("BA", "Battery Status API", 2, 2, 2579, 37.3, 0, (2012, 4),
+          ad=12.0, tr=33.0),
+    _spec("CSS-CR", "CSS Conditional Rules Module, Level 3", 1, 1, 449,
+          36.5, 0, (2014, 3)),
+    _spec("CSS-FO", "CSS Font Loading Module, Level 3", 12, 7, 2560, 33.5,
+          0, (2015, 8)),
+    _spec("CSS-OM", "CSS Object Model (CSSOM)", 15, 13, 8193, 12.6, 0,
+          (2006, 10)),
+    _spec("DOM1", "DOM, Level 1 - Specification", 47, 40, 9139, 1.8, 0,
+          (2004, 11)),
+    _spec("DOM2-C", "DOM, Level 2 - Core Specification", 31, 26, 8951, 3.0,
+          0, (2004, 11)),
+    _spec("DOM2-E", "DOM, Level 2 - Events Specification", 7, 7, 9077, 2.7,
+          0, (2004, 11)),
+    _spec("DOM2-H", "DOM, Level 2 - HTML Specification", 11, 10, 9003, 4.5,
+          0, (2004, 11)),
+    _spec("DOM2-S", "DOM, Level 2 - Style Specification", 19, 15, 8835, 4.3,
+          0, (2004, 11)),
+    _spec("DOM2-T", "DOM, Level 2 - Traversal and Range Specification", 36,
+          18, 4590, 33.4, 0, (2004, 11)),
+    _spec("DOM3-C", "DOM, Level 3 - Core Specification", 10, 9, 8495, 3.9,
+          0, (2006, 10)),
+    _spec("DOM3-X", "DOM, Level 3 - XPath Specification", 9, 5, 381, 79.1,
+          0, (2006, 10)),
+    _spec("DOM-PS", "DOM Parsing and Serialization", 3, 3, 2922, 60.7, 0,
+          (2012, 1), rank_bias=1),
+    _spec("EC", "execCommand", 12, 8, 2730, 24.0, 0, (2006, 10)),
+    _spec("FA", "File API", 9, 7, 1991, 58.0, 0, (2010, 7)),
+    _spec("FULL", "Fullscreen API", 9, 5, 383, 79.9, 0, (2011, 11)),
+    _spec("GEO", "Geolocation API", 4, 3, 174, 13.1, 0, (2009, 6)),
+    _spec("H-CM", "HTML: Channel Messaging", 4, 4, 5018, 77.4, 0, (2010, 7),
+          ad=72.0, tr=45.0),
+    _spec("H-WS", "HTML: Web Storage", 8, 8, 7875, 29.2, 0, (2009, 6)),
+    _spec("HTML", "HTML", 195, 92, 8980, 4.3, 0, (2004, 11)),
+    _spec("H-HI", "HTML: History Interface", 6, 5, 1729, 18.7, 0, (2011, 3),
+          rank_bias=1),
+    _spec("MSE", "Media Source Extensions", 8, 5, 1616, 37.5, 0, (2015, 2)),
+    _spec("PT", "Performance Timeline", 2, 2, 4690, 75.8, 0, (2014, 4),
+          ad=35.0, tr=70.0),
+    _spec("PT2", "Performance Timeline, Level 2", 1, 1, 1728, 93.7, 0,
+          (2015, 9), ad=30.0, tr=90.0),
+    _spec("SEL", "Selection API", 14, 9, 2575, 36.6, 0, (2007, 5)),
+    _spec("SLC", "Selectors API, Level 1", 6, 6, 8674, 7.7, 0, (2013, 1)),
+    _spec("TC", "Timing control for script-based animations", 1, 1, 3568,
+          76.9, 0, (2011, 3), rank_bias=-1),
+    _spec("UIE", "UI Events Specification", 8, 6, 1137, 56.8, 0, (2012, 6),
+          ad=52.0, tr=20.0),
+    _spec("UTL", "User Timing, Level 2", 4, 4, 3325, 33.7, 0, (2015, 10)),
+    _spec("DOM4", "DOM4", 3, 3, 5747, 37.6, 0, (2012, 6), rank_bias=1),
+    _spec(NON_STANDARD_ABBREV, "Non-Standard", 65, 35, 8669, 24.5, 0,
+          (2004, 11)),
+]
+
+
+# ---------------------------------------------------------------------------
+# The 21 long-tail standards the paper aggregates but does not tabulate.
+# Eleven are never used at all; the rest sit at or below 1% of sites.
+# Names follow the Figure 4 abbreviation labels; observations are inferred
+# from the paper's prose (ALS: 14 sites / 100% blocked; E: 1 site / 0%).
+# ---------------------------------------------------------------------------
+
+_LONG_TAIL: List[StandardSpec] = [
+    _spec("ALS", "Ambient Light Events", 2, 2, 14, 100.0, 0, (2013, 2),
+          in_table2=False),
+    _spec("CO", "Custom Elements", 8, 0, 0, 0.0, 0, (2014, 9),
+          in_table2=False),
+    _spec("DO", "DeviceOrientation Event Specification", 6, 4, 44, 50.0, 0,
+          (2011, 9), in_table2=False),
+    _spec("DU", "Directory Upload", 8, 0, 0, 0.0, 0, (2015, 8),
+          in_table2=False),
+    _spec("E", "Encoding Standard", 6, 2, 1, 0.0, 0, (2014, 10),
+          in_table2=False),
+    _spec("EME", "Encrypted Media Extensions", 16, 0, 0, 0.0, 0, (2015, 5),
+          in_table2=False),
+    _spec("GIM", "ImageBitmap and Animations", 4, 0, 0, 0.0, 0, (2014, 12),
+          in_table2=False),
+    _spec("H-B", "HTML: Broadcast Channel", 4, 0, 0, 0.0, 0, (2015, 3),
+          in_table2=False),
+    _spec("HTML51", "HTML 5.1", 15, 8, 22, 45.0, 0, (2015, 6),
+          in_table2=False),
+    _spec("MCD", "Media Capture Depth Stream Extensions", 4, 0, 0, 0.0, 0,
+          (2015, 11), in_table2=False),
+    _spec("MSR", "MediaStream Recording", 6, 0, 0, 0.0, 0, (2014, 6),
+          in_table2=False),
+    _spec("NT", "Navigation Timing", 8, 6, 85, 55.0, 0, (2011, 3),
+          in_table2=False),
+    _spec("PE", "Pointer Events", 10, 4, 9, 22.0, 0, (2015, 7),
+          in_table2=False),
+    _spec("PL", "Pointer Lock", 6, 0, 0, 0.0, 0, (2012, 10),
+          in_table2=False),
+    _spec("PV", "Page Visibility, Level 2", 2, 2, 61, 72.0, 0, (2011, 12),
+          in_table2=False),
+    _spec("PERM", "Permissions API", 4, 2, 5, 20.0, 0, (2015, 10),
+          in_table2=False),
+    _spec("SD", "Service Discovery", 6, 0, 0, 0.0, 0, (2013, 5),
+          in_table2=False),
+    _spec("SO", "Screen Orientation", 4, 0, 0, 0.0, 0, (2014, 6),
+          in_table2=False),
+    _spec("SW", "Service Workers", 16, 6, 31, 25.0, 0, (2015, 9),
+          in_table2=False),
+    _spec("TPE", "Touch Events", 10, 4, 88, 40.0, 0, (2012, 1),
+          in_table2=False),
+    _spec("URL", "URL Standard", 8, 6, 92, 35.0, 0, (2013, 3),
+          in_table2=False),
+    _spec("WEBVTT", "WebVTT: The Web Video Text Tracks Format", 10, 0, 0,
+          0.0, 0, (2014, 2), in_table2=False),
+]
+
+
+_ALL: List[StandardSpec] = _TABLE2 + _LONG_TAIL
+_BY_ABBREV: Dict[str, StandardSpec] = {s.abbrev: s for s in _ALL}
+
+
+def all_standards() -> List[StandardSpec]:
+    """Return all 75 standard specs, Table 2 entries first."""
+    return list(_ALL)
+
+
+def get_standard(abbrev: str) -> StandardSpec:
+    """Look up a standard by its abbreviation.
+
+    Raises ``KeyError`` with the unknown abbreviation for typos.
+    """
+    return _BY_ABBREV[abbrev]
+
+
+def standard_abbrevs() -> List[str]:
+    """All standard abbreviations, in catalog order."""
+    return [s.abbrev for s in _ALL]
+
+
+def table2_standards() -> List[StandardSpec]:
+    """The 54 catalog rows printed in the paper's Table 2 (incl. NS)."""
+    return [s for s in _ALL if s.in_table2]
+
+
+def never_used_standards() -> List[StandardSpec]:
+    """The standards no Alexa 10k site uses (eleven, per section 5.2)."""
+    return [s for s in _ALL if s.never_used]
+
+
+def derived_condition_block_rates(spec: StandardSpec) -> Tuple[float, float]:
+    """Ad-only and tracking-only block rates for a standard.
+
+    Standards with explicit Figure 7 overrides report those; otherwise
+    the combined rate is split into a neutral (ad, tracking) pair, with
+    each single-extension rate a little below the combined rate, matching
+    the Figure 7 cluster along the diagonal.
+    """
+    if spec.ad_block_rate is not None and spec.tracking_block_rate is not None:
+        return spec.ad_block_rate, spec.tracking_block_rate
+    neutral = spec.block_rate * 0.62
+    return neutral, neutral
+
+
+def context_mixture(spec: StandardSpec) -> Dict[str, float]:
+    """Decompose a standard's block rate into usage-context probabilities.
+
+    When a site uses a standard, the usage lives in one of four script
+    contexts; whether blocking extensions suppress the standard on that
+    site follows mechanically:
+
+    * ``"ad"`` — used only by advertising scripts: blocked by the ad
+      blocker alone and by the combined condition.
+    * ``"tracker"`` — used only by tracking scripts: blocked by the
+      tracking blocker alone and by the combined condition.
+    * ``"ad+tracker"`` — used by both an ad script *and* a tracker script
+      (but no first-party script): blocked only in the combined condition.
+    * ``"first"`` — at least one first-party use: never fully blocked.
+
+    The returned probabilities reproduce the standard's combined block
+    rate exactly and its per-extension block rates as closely as the
+    constraint ``ad + tracker <= combined`` allows.
+    """
+    ad_rate, tr_rate = derived_condition_block_rates(spec)
+    combined = spec.block_rate
+    total_single = ad_rate + tr_rate
+    if total_single > combined and total_single > 0:
+        scale = combined / total_single
+        ad_rate *= scale
+        tr_rate *= scale
+    both = max(0.0, combined - ad_rate - tr_rate)
+    first = max(0.0, 1.0 - ad_rate - tr_rate - both)
+    return {
+        "ad": ad_rate,
+        "tracker": tr_rate,
+        "ad+tracker": both,
+        "first": first,
+    }
+
+
+def catalog_feature_totals() -> Tuple[int, int]:
+    """(total features, ever-used features) across the whole catalog.
+
+    The totals are pinned by tests to the paper's 1,392 features, of
+    which 689 are never used (section 5.3).
+    """
+    total = sum(s.n_features for s in _ALL)
+    used = sum(s.n_used_features for s in _ALL)
+    return total, used

@@ -1,0 +1,31 @@
+"""The deterministic synthetic web the crawl measures.
+
+The paper crawls the live Alexa 10k; offline, this subpackage generates
+a web with the same *measurable structure*: ranked domains with Zipf
+traffic (:mod:`alexa`), an advertising/tracking third-party ecosystem
+(:mod:`thirdparty`), per-standard usage profiles calibrated to the
+paper's published Table 2 marginals (:mod:`profiles`), MiniJS script
+synthesis (:mod:`scripts`) and site/page generation plus the
+:class:`~repro.webgen.sitegen.SyntheticWeb` WebSource the network layer
+serves from (:mod:`sitegen`).
+
+Nothing downstream of this package knows the web is synthetic: the
+browser, extension, blockers, monkey testing and analyses all operate
+on served HTML and JavaScript, exactly as they would against the live
+web.
+"""
+
+from repro.webgen.alexa import AlexaRanking
+from repro.webgen.thirdparty import ThirdPartyEcosystem
+from repro.webgen.profiles import GeneratorConfig, UsageProfiles
+from repro.webgen.sitegen import Site, SyntheticWeb, build_web
+
+__all__ = [
+    "AlexaRanking",
+    "ThirdPartyEcosystem",
+    "GeneratorConfig",
+    "UsageProfiles",
+    "Site",
+    "SyntheticWeb",
+    "build_web",
+]

@@ -1,0 +1,122 @@
+"""The Alexa-style site ranking with traffic estimates.
+
+The paper uses the Alexa top 10,000, which "collectively represent
+approximately one third of all web visits", plus Alexa's per-site
+monthly visit estimates for the traffic-weighted analysis of Figure 5.
+Web traffic is famously Zipf-distributed; the ranking here assigns
+visits(rank) ∝ 1/rank^0.9, which reproduces both the one-third-of-
+the-web concentration and the long tail.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+_ZIPF_EXPONENT = 0.9
+_BASE_MONTHLY_VISITS = 2_800_000_000.0  # rank-1 site, visits/month
+
+_WORDS_A = [
+    "news", "shop", "cloud", "media", "game", "tech", "travel", "food",
+    "sport", "video", "music", "home", "auto", "health", "book", "photo",
+    "social", "market", "bank", "learn", "movie", "daily", "web", "live",
+    "data", "play", "world", "smart", "fast", "metro",
+]
+_WORDS_B = [
+    "hub", "zone", "spot", "base", "port", "press", "point", "center",
+    "direct", "link", "line", "werks", "nation", "scape", "villa",
+    "stream", "sphere", "craft", "space", "gram", "city", "verse",
+    "forge", "deck", "mill", "dock", "field", "peak", "ridge", "vault",
+]
+_TLDS = [".com", ".com", ".com", ".net", ".org", ".io", ".co.uk",
+         ".com.br", ".co.jp", ".info"]
+
+
+@dataclass(frozen=True)
+class RankedSite:
+    """One entry of the ranking."""
+
+    rank: int  # 1-based
+    domain: str
+    monthly_visits: float
+
+
+class AlexaRanking:
+    """A deterministic ranking of ``n`` synthetic domains."""
+
+    def __init__(self, n_sites: int = 10_000, seed: int = 10) -> None:
+        if n_sites <= 0:
+            raise ValueError("n_sites must be positive")
+        self.n_sites = n_sites
+        rng = random.Random(seed)
+        used = set()
+        self._sites: List[RankedSite] = []
+        for rank in range(1, n_sites + 1):
+            domain = self._make_domain(rng, used)
+            visits = _BASE_MONTHLY_VISITS / (rank ** _ZIPF_EXPONENT)
+            self._sites.append(RankedSite(rank, domain, visits))
+        self._by_domain: Dict[str, RankedSite] = {
+            s.domain: s for s in self._sites
+        }
+        self._total_visits = sum(s.monthly_visits for s in self._sites)
+
+    @staticmethod
+    def _make_domain(rng: random.Random, used: set) -> str:
+        for _ in range(1000):
+            name = rng.choice(_WORDS_A) + rng.choice(_WORDS_B)
+            if rng.random() < 0.25:
+                name += str(rng.randrange(2, 99))
+            domain = name + rng.choice(_TLDS)
+            if domain not in used:
+                used.add(domain)
+                return domain
+        raise RuntimeError("domain namespace exhausted")
+
+    # -- access -------------------------------------------------------------
+
+    def top(self, n: int) -> List[RankedSite]:
+        return self._sites[:n]
+
+    def all(self) -> List[RankedSite]:
+        return list(self._sites)
+
+    def site(self, domain: str) -> RankedSite:
+        return self._by_domain[domain]
+
+    def __len__(self) -> int:
+        return self.n_sites
+
+    def __contains__(self, domain: str) -> bool:
+        return domain in self._by_domain
+
+    # -- traffic weighting ----------------------------------------------------
+
+    def visit_weight(self, domain: str) -> float:
+        """The fraction of all ranking traffic this site receives."""
+        return self._by_domain[domain].monthly_visits / self._total_visits
+
+    def weights(self) -> Dict[str, float]:
+        return {s.domain: self.visit_weight(s.domain) for s in self._sites}
+
+    def sample_by_traffic(
+        self, rng: random.Random, n_distinct: int
+    ) -> List[str]:
+        """Sample distinct domains proportionally to visits.
+
+        This is how the paper picked its 92 manual-validation sites:
+        "chose 100 sites to visit randomly, but weighted each choice
+        according to the proportion of visits that site gets".
+        """
+        if n_distinct > self.n_sites:
+            raise ValueError("cannot sample more sites than exist")
+        chosen: List[str] = []
+        seen = set()
+        domains = [s.domain for s in self._sites]
+        weights = [s.monthly_visits for s in self._sites]
+        while len(chosen) < n_distinct:
+            domain = rng.choices(domains, weights=weights, k=1)[0]
+            if domain not in seen:
+                seen.add(domain)
+                chosen.append(domain)
+        return chosen

@@ -1,0 +1,383 @@
+"""Per-standard usage profiles and per-site plan sampling.
+
+This is the calibration heart of the synthetic web.  For every standard
+the catalog records the paper's published observations (sites using it,
+block rate, per-extension block rates); this module turns those into a
+*generative* model and samples a :class:`SitePlan` for each ranked site:
+
+* whether the site uses each standard (Bernoulli with a per-site
+  richness factor producing Figure 8's wide complexity spread and
+  zero-JS mode, solved per standard so the marginal still hits the
+  catalog target);
+* through which script **context** — first-party / ad-only /
+  tracker-only / ad+tracker — sampled from the catalog's block-rate
+  decomposition, which is what makes block rates *emerge* from actual
+  resource blocking;
+* which **features** of the standard (the most popular feature always,
+  the rest Zipf-decaying — reproducing "79% of features used on <1% of
+  sites");
+* with which **trigger** — page load, easy interaction (body-level
+  handler), hard interaction (a specific element), or a deep page —
+  whose stochastic elicitation produces the internal-validation decay
+  of Table 3.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.standards.catalog import StandardSpec, context_mixture
+from repro.webidl.registry import FeatureRegistry
+
+# Trigger classes.
+TRIGGER_LOAD = "load"
+TRIGGER_EASY = "interaction-easy"
+TRIGGER_HARD = "interaction-hard"
+TRIGGER_DEEP = "deep-page"
+
+TRIGGERS = (TRIGGER_LOAD, TRIGGER_EASY, TRIGGER_HARD, TRIGGER_DEEP)
+
+# Context classes (see repro.standards.catalog.context_mixture).
+CONTEXT_FIRST = "first"
+CONTEXT_AD = "ad"
+CONTEXT_TRACKER = "tracker"
+CONTEXT_BOTH = "ad+tracker"
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Tunable knobs of the synthetic web."""
+
+    #: Probability a planned usage is elicited only by interaction or
+    #: deep navigation rather than on page load.  The split across the
+    #: three flaky classes is below.
+    trigger_mix: Tuple[float, float, float, float] = (0.72, 0.10, 0.11, 0.07)
+    #: Zipf decay for within-standard feature sampling: feature at used
+    #: rank k (k >= 1) is used with probability head / (k+1)**alpha.
+    feature_head: float = 0.80
+    feature_alpha: float = 1.15
+    #: Fraction of sites that are essentially JavaScript-free (Figure
+    #: 8's mode at zero).
+    no_js_fraction: float = 0.035
+    #: Fraction of sites that fail to measure (Table 1: 267 of 10,000),
+    #: split evenly between unresponsive hosts and fatally broken JS.
+    failure_fraction: float = 0.0267
+    #: Richness spread (Figure 8): site factor s in [1-spread, 1+spread].
+    richness_spread: float = 0.55
+    #: Pages per site bounds.
+    min_pages: int = 6
+    max_pages: int = 28
+    #: Elements per page bounds (monkey-testing target density).
+    min_elements: int = 18
+    max_elements: int = 48
+
+
+@dataclass(frozen=True)
+class StandardUsage:
+    """One (site, standard) usage: the unit the crawl measures."""
+
+    standard: str
+    context: str
+    features: Tuple[str, ...]
+    trigger: str
+
+
+@dataclass
+class SitePlan:
+    """Everything the generator decided about one site."""
+
+    domain: str
+    rank: int
+    richness: float
+    no_js: bool
+    failure_mode: Optional[str]  # None | "unresponsive" | "syntax-error"
+    usages: List[StandardUsage] = field(default_factory=list)
+    #: Standards only a human-style session elicits (login walls, hover
+    #: menus, media players the monkey cannot reach) — the source of the
+    #: Figure 9 external-validation outliers.
+    manual_only: List[str] = field(default_factory=list)
+    #: Functionality behind a login wall (the paper's "closed web",
+    #: section 7.3): realized as a gated account page whose script only
+    #: runs with a valid session token in localStorage.
+    gated: List[StandardUsage] = field(default_factory=list)
+    #: The credential that unlocks the gated content (None = open site).
+    credentials: Optional[str] = None
+
+    def standards_used(self) -> List[str]:
+        return sorted({u.standard for u in self.usages})
+
+    def usages_in_context(self, context: str) -> List[StandardUsage]:
+        return [u for u in self.usages if u.context == context]
+
+
+class UsageProfiles:
+    """Solved per-standard sampling parameters for a ranking of N sites."""
+
+    def __init__(
+        self,
+        registry: FeatureRegistry,
+        n_sites: int,
+        config: Optional[GeneratorConfig] = None,
+        seed: int = 77,
+    ) -> None:
+        self.registry = registry
+        self.n_sites = n_sites
+        self.config = config or GeneratorConfig()
+        self._seed = seed
+        self._richness = self._assign_richness()
+        self._no_js = self._assign_no_js()
+        self._exponents = self._assign_exponents()
+        self._base_probability: Dict[str, float] = {}
+        self._probabilities: Dict[str, "np.ndarray"] = {}
+        self._mixtures: Dict[str, Dict[str, float]] = {}
+        for spec in registry.standards():
+            if spec.never_used:
+                continue
+            base = self._solve_base_probability(spec)
+            self._base_probability[spec.abbrev] = base
+            self._probabilities[spec.abbrev] = self._probability_array(
+                spec, base
+            )
+            self._mixtures[spec.abbrev] = context_mixture(spec)
+
+    # -- per-site factors ----------------------------------------------------
+
+    def _assign_richness(self) -> List[float]:
+        """Deterministic per-rank richness factors with mean 1."""
+        rng = random.Random(self._seed)
+        spread = self.config.richness_spread
+        factors = [
+            1.0 + spread * (2.0 * rng.random() - 1.0)
+            for _ in range(self.n_sites)
+        ]
+        mean = sum(factors) / len(factors)
+        return [f / mean for f in factors]
+
+    def _assign_no_js(self) -> List[bool]:
+        rng = random.Random(self._seed + 1)
+        return [
+            rng.random() < self.config.no_js_fraction
+            for _ in range(self.n_sites)
+        ]
+
+    def richness(self, rank: int) -> float:
+        return self._richness[rank - 1]
+
+    def is_no_js(self, rank: int) -> bool:
+        return self._no_js[rank - 1]
+
+    # -- probability solving ---------------------------------------------------
+
+    def _assign_exponents(self) -> Dict[int, "np.ndarray"]:
+        """Per-rank sampling exponents for each rank_bias class.
+
+        The exponent combines the site's richness factor with Figure 5's
+        rank skew; ``1-(1-p)^exponent`` keeps small probabilities
+        proportional to the exponent while saturating gracefully for
+        popular standards.
+        """
+        n = self.n_sites
+        richness = np.asarray(self._richness)
+        position = np.linspace(0.0, 1.0, n) if n > 1 else np.zeros(1)
+        multipliers = {
+            0: np.ones(n),
+            1: 1.9 - 1.8 * position,
+            -1: 0.1 + 1.8 * position,
+        }
+        return {
+            bias: np.maximum(0.05, richness * mult)
+            for bias, mult in multipliers.items()
+        }
+
+    def _probability_array(
+        self, spec: StandardSpec, base: float
+    ) -> "np.ndarray":
+        """P(site uses the standard), indexed by rank-1."""
+        exponents = self._exponents[spec.rank_bias]
+        base = min(max(base, 0.0), 1.0 - 1e-12)
+        probabilities = 1.0 - (1.0 - base) ** exponents
+        no_js = np.asarray(self._no_js, dtype=bool)
+        probabilities[no_js] = 0.0
+        return probabilities
+
+    def _expected_sites(self, spec: StandardSpec, base: float) -> float:
+        return float(self._probability_array(spec, base).sum())
+
+    def _solve_base_probability(self, spec: StandardSpec) -> float:
+        """Binary-search the base probability hitting the catalog target."""
+        target = spec.popularity * self.n_sites
+        low, high = 0.0, 1.0
+        for _ in range(48):
+            mid = (low + high) / 2.0
+            if self._expected_sites(spec, mid) < target:
+                low = mid
+            else:
+                high = mid
+        return (low + high) / 2.0
+
+    def _site_probability(
+        self, spec: StandardSpec, base: float, rank: int
+    ) -> float:
+        """P(site at ``rank`` uses the standard) (solved probabilities)."""
+        cached = self._probabilities.get(spec.abbrev)
+        if cached is not None:
+            return float(cached[rank - 1])
+        array = self._probability_array(spec, base)
+        return float(array[rank - 1])
+
+    # -- plan sampling -----------------------------------------------------------
+
+    def sample_plan(
+        self, domain: str, rank: int, rng: random.Random
+    ) -> SitePlan:
+        """Sample the full usage plan for one site."""
+        config = self.config
+        failure_mode: Optional[str] = None
+        if rng.random() < config.failure_fraction:
+            failure_mode = (
+                "unresponsive" if rng.random() < 0.5 else "syntax-error"
+            )
+        plan = SitePlan(
+            domain=domain,
+            rank=rank,
+            richness=self.richness(rank),
+            no_js=self.is_no_js(rank),
+            failure_mode=failure_mode,
+        )
+        if plan.no_js:
+            return plan
+        for spec in self.registry.standards():
+            if spec.never_used:
+                continue
+            base = self._base_probability[spec.abbrev]
+            if rng.random() >= self._site_probability(spec, base, rank):
+                continue
+            context = self._sample_context(spec, rng)
+            features = self._sample_features(spec, rng)
+            trigger = self._sample_trigger(rng)
+            plan.usages.append(
+                StandardUsage(
+                    standard=spec.abbrev,
+                    context=context,
+                    features=features,
+                    trigger=trigger,
+                )
+            )
+        self._sample_manual_only(plan, rng)
+        self._sample_gated(plan, rng)
+        return plan
+
+    def _sample_gated(self, plan: SitePlan, rng: random.Random) -> None:
+        """Plant login-gated functionality on a slice of the web.
+
+        Only sites that already use DOM Level 1 and Web Storage host a
+        login flow (the gate itself needs getElementById and
+        localStorage, and must not perturb the open-web calibration).
+        The gated standards are drawn from ones the open pages do not
+        use, so authenticated crawling has something real to find.
+        """
+        if plan.failure_mode is not None or plan.no_js:
+            return
+        used = set(plan.standards_used())
+        if "DOM1" not in used or "H-WS" not in used:
+            return
+        if rng.random() >= 0.08:
+            return
+        candidates = [
+            s for s in self.registry.standards()
+            if not s.never_used and s.abbrev not in used
+        ]
+        rng.shuffle(candidates)
+        count = rng.randint(1, 3)
+        for spec in candidates[:count]:
+            plan.gated.append(
+                StandardUsage(
+                    standard=spec.abbrev,
+                    context=CONTEXT_FIRST,
+                    features=self._sample_features(spec, rng),
+                    trigger=TRIGGER_LOAD,
+                )
+            )
+        if plan.gated:
+            plan.credentials = "user-%d" % plan.rank
+
+    def _sample_manual_only(self, plan: SitePlan, rng: random.Random) -> None:
+        """Plant human-only functionality on a small set of sites.
+
+        Section 6.2: manual interaction found standards the monkey
+        missed on 15 of 92 traffic-weighted sites — mostly one or two,
+        with rare large outliers (one site at 17).  Top-ranked sites are
+        likelier to carry such depth (login-gated apps, media players).
+        """
+        if plan.failure_mode is not None or plan.no_js:
+            return
+        position = (plan.rank - 1) / max(1, self.n_sites - 1)
+        probability = 0.11 * (1.6 - 1.2 * position)
+        if rng.random() >= probability:
+            return
+        used = set(plan.standards_used())
+        candidates = [
+            s.abbrev
+            for s in self.registry.standards()
+            if not s.never_used and s.abbrev not in used
+        ]
+        if not candidates:
+            return
+        roll = rng.random()
+        if roll < 0.70:
+            count = 1
+        elif roll < 0.90:
+            count = 2
+        elif roll < 0.97:
+            count = rng.randint(4, 7)
+        else:
+            count = rng.randint(12, min(17, len(candidates)))
+        rng.shuffle(candidates)
+        plan.manual_only = sorted(candidates[:count])
+
+    def _sample_context(
+        self, spec: StandardSpec, rng: random.Random
+    ) -> str:
+        mixture = self._mixtures[spec.abbrev]
+        roll = rng.random()
+        cumulative = 0.0
+        for context in (CONTEXT_AD, CONTEXT_TRACKER, CONTEXT_BOTH):
+            cumulative += mixture[context]
+            if roll < cumulative:
+                return context
+        return CONTEXT_FIRST
+
+    def _sample_features(
+        self, spec: StandardSpec, rng: random.Random
+    ) -> Tuple[str, ...]:
+        used_pool = self.registry.used_features_of_standard(spec.abbrev)
+        if not used_pool:
+            return ()
+        chosen = [used_pool[0].name]  # the top feature, always
+        head = self.config.feature_head
+        alpha = self.config.feature_alpha
+        for k, feature in enumerate(used_pool[1:], start=1):
+            if rng.random() < head / ((k + 1) ** alpha):
+                chosen.append(feature.name)
+        return tuple(chosen)
+
+    def _sample_trigger(self, rng: random.Random) -> str:
+        roll = rng.random()
+        cumulative = 0.0
+        for trigger, weight in zip(TRIGGERS, self.config.trigger_mix):
+            cumulative += weight
+            if roll < cumulative:
+                return trigger
+        return TRIGGER_LOAD
+
+    # -- introspection (used by calibration tests) --------------------------------
+
+    def expected_sites_for(self, abbrev: str) -> float:
+        spec = self.registry.standard(abbrev)
+        if spec.never_used:
+            return 0.0
+        return self._expected_sites(spec, self._base_probability[abbrev])

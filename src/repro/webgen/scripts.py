@@ -1,0 +1,140 @@
+"""MiniJS source synthesis for the synthetic web's scripts.
+
+Every planned feature use must become real JavaScript the page executes
+— only then does the measuring extension's prototype shim fire.  The
+synthesizer knows, for each registry feature, how to obtain a receiver
+(a singleton global, a constructed instance, or the interface object
+for statics) and emits one call/assignment statement per use, grouped
+per standard inside ``try``/``catch`` so one broken API cannot silence
+the rest of the script (pages on the real web are equally defensive,
+and equally broken).
+
+Interaction-triggered usage is emitted as a global handler function
+(``function __h12() { ... }``); the page HTML wires it to elements via
+DOM0 ``onclick`` attributes — which is faithful to the paper's note
+that DOM0 registrations are invisible to the instrumentation: the
+wiring itself touches no instrumented feature.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.webgen.profiles import (
+    StandardUsage,
+    TRIGGER_EASY,
+    TRIGGER_HARD,
+    TRIGGER_LOAD,
+)
+from repro.webidl.corpus import SINGLETON_GLOBALS
+from repro.webidl.registry import Feature, FeatureRegistry
+
+_SAMPLE_STRINGS = ('"div"', '"main"', '"x"', '"data"', '"GET"', '"/api/v1"',
+                   '"click"', '"en"', '"0"')
+_SAMPLE_NUMBERS = ("0", "1", "10", "100", "0.5")
+
+
+class ScriptSynthesizer:
+    """Generates MiniJS source realizing planned feature usage."""
+
+    def __init__(self, registry: FeatureRegistry) -> None:
+        self._registry = registry
+
+    # -- per-feature snippets -----------------------------------------------
+
+    def receiver_expression(self, feature: Feature) -> str:
+        """An expression evaluating to a suitable receiver."""
+        singleton = SINGLETON_GLOBALS.get(feature.interface)
+        if singleton is not None:
+            return singleton
+        return "new %s()" % feature.interface
+
+    def _arguments(self, rng: random.Random, count: int) -> str:
+        parts: List[str] = []
+        for _ in range(count):
+            if rng.random() < 0.6:
+                parts.append(rng.choice(_SAMPLE_STRINGS))
+            else:
+                parts.append(rng.choice(_SAMPLE_NUMBERS))
+        return ", ".join(parts)
+
+    def feature_statement(self, feature: Feature, rng: random.Random) -> str:
+        """One statement that uses the feature."""
+        if feature.kind == "attribute":
+            receiver = self.receiver_expression(feature)
+            value = (
+                rng.choice(_SAMPLE_STRINGS)
+                if rng.random() < 0.7
+                else rng.choice(_SAMPLE_NUMBERS)
+            )
+            return "%s.%s = %s;" % (receiver, feature.member, value)
+        if feature.static:
+            args = self._arguments(rng, rng.randrange(0, 3))
+            return "%s.%s(%s);" % (feature.interface, feature.member, args)
+        receiver = self.receiver_expression(feature)
+        args = self._arguments(rng, rng.randrange(0, 3))
+        if receiver.startswith("new "):
+            return "(%s).%s(%s);" % (receiver, feature.member, args)
+        return "%s.%s(%s);" % (receiver, feature.member, args)
+
+    def usage_block(self, usage: StandardUsage, rng: random.Random) -> str:
+        """All of one usage's feature statements, defensively wrapped."""
+        statements: List[str] = []
+        for name in usage.features:
+            feature = self._registry.feature(name)
+            statements.append("  " + self.feature_statement(feature, rng))
+        body = "\n".join(statements)
+        return "try {\n%s\n} catch (e) {}" % body
+
+    # -- whole scripts -------------------------------------------------------
+
+    def compose_script(
+        self,
+        load_usages: Sequence[StandardUsage],
+        handler_usages: Sequence[Tuple[int, StandardUsage]],
+        rng: random.Random,
+        banner: str = "",
+    ) -> str:
+        """A complete script: load-time blocks plus handler functions.
+
+        ``handler_usages`` pairs each interaction usage with its handler
+        id; the page HTML (built elsewhere) carries matching
+        ``onclick="__h<id>()"`` attributes.
+        """
+        parts: List[str] = []
+        if banner:
+            parts.append("// %s" % banner)
+        for usage in load_usages:
+            parts.append(self.usage_block(usage, rng))
+        for handler_id, usage in handler_usages:
+            parts.append(
+                "function __h%d() {\n%s\n}"
+                % (handler_id, _indent(self.usage_block(usage, rng)))
+            )
+        return "\n".join(parts) + ("\n" if parts else "")
+
+    def library_script(self, rng: random.Random) -> str:
+        """A benign CDN 'framework' script using no instrumented feature."""
+        helpers = []
+        for index in range(rng.randrange(2, 5)):
+            helpers.append(
+                "  fn%d: function (a, b) { return (a || 0) + (b || 0) + %d; }"
+                % (index, index)
+            )
+        return (
+            "var __lib = {\n%s\n};\n"
+            "var __libVersion = \"%d.%d.%d\";\n"
+            % (",\n".join(helpers), rng.randrange(1, 4),
+               rng.randrange(0, 10), rng.randrange(0, 10))
+        )
+
+    def broken_script(self) -> str:
+        """A script with a fatal syntax error (the 267-domain failure
+        class: 'sites that contained syntax errors in their JavaScript
+        code that prevented execution')."""
+        return "function busted( { return ;;; <<garbage>>\n"
+
+
+def _indent(text: str, prefix: str = "  ") -> str:
+    return "\n".join(prefix + line for line in text.splitlines())

@@ -1,0 +1,620 @@
+"""Site generation and the SyntheticWeb web source.
+
+Each ranked domain becomes a :class:`Site`: a page tree (home, section
+and article pages), a first-party script, third-party ad/tracker tags,
+and HTML that wires interaction handlers to elements.  The
+:class:`SyntheticWeb` serves all of it through the
+:class:`repro.net.fetcher.WebSource` protocol, so the browser, proxy
+and blockers see an ordinary web.
+
+Placement rules (how a plan becomes bytes on the wire):
+
+* ``first``-context usage -> the site's own ``/static/app.js`` (load
+  triggers at top level, interaction triggers as handler functions),
+  or an inline ``<script>`` on one page for deep-page usage;
+* ``ad``-context -> the site's ad network tag
+  (``https://<network>/tag.js?site=R&pg=K``);
+* ``tracker``-context -> the tracker tag
+  (``https://<tracker>/collect.js?sid=R&pg=K``);
+* ``ad+tracker`` -> the same usage emitted into *both* tags, so it
+  survives either extension alone but not the pair — the mechanism
+  behind the paper's combined-vs-single block rates (Figure 7);
+* interaction handlers get ``onclick="__hN()"`` elements on every page
+  (a content-wrapping container for "easy" handlers, a small discrete
+  element for "hard" ones).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.net.resources import Request, Response
+from repro.seeding import derive_seed
+from repro.webgen.alexa import AlexaRanking
+from repro.webgen.profiles import (
+    CONTEXT_AD,
+    CONTEXT_BOTH,
+    CONTEXT_FIRST,
+    CONTEXT_TRACKER,
+    GeneratorConfig,
+    SitePlan,
+    StandardUsage,
+    TRIGGER_DEEP,
+    TRIGGER_EASY,
+    TRIGGER_HARD,
+    TRIGGER_LOAD,
+    UsageProfiles,
+)
+from repro.webgen.scripts import ScriptSynthesizer
+from repro.webgen.thirdparty import ThirdParty, ThirdPartyEcosystem
+from repro.webidl.registry import FeatureRegistry
+
+_SECTION_WORDS = ["news", "products", "blog", "reviews", "guides", "videos",
+                  "deals", "community", "events", "support"]
+
+_PARAGRAPHS = [
+    "Fresh updates every morning from our editorial desk.",
+    "Explore our hand-picked selection for this season.",
+    "Independent analysis you will not find anywhere else.",
+    "Thousands of readers join the discussion every day.",
+    "A closer look at what everyone is talking about.",
+    "Practical tips from people who actually use it.",
+]
+
+
+@dataclass
+class PlacedHandler:
+    """One interaction handler: id, the usage, easy/hard class."""
+
+    handler_id: int
+    usage: StandardUsage
+    easy: bool
+
+
+@dataclass
+class Site:
+    """One generated site: pages, scripts, handler wiring."""
+
+    domain: str
+    rank: int
+    plan: SitePlan
+    seed: int
+    pages: List[str] = field(default_factory=list)
+    ad_network: Optional[ThirdParty] = None
+    tracker: Optional[ThirdParty] = None
+    include_cdn: bool = False
+    #: context -> load usages placed in that context's site-wide script
+    load_usages: Dict[str, List[StandardUsage]] = field(default_factory=dict)
+    #: context -> interaction handlers in that context's script
+    handlers: Dict[str, List[PlacedHandler]] = field(default_factory=dict)
+    #: page index -> context -> deep usages realized on that page
+    deep_usages: Dict[int, Dict[str, List[StandardUsage]]] = field(
+        default_factory=dict
+    )
+    #: login/account paths when the site has gated content (section 7.3)
+    login_path: Optional[str] = None
+    account_path: Optional[str] = None
+
+    @property
+    def session_token(self) -> str:
+        """The localStorage value a successful login stores."""
+        return "tok-%d" % self.rank
+
+    @property
+    def failed(self) -> bool:
+        return self.plan.failure_mode is not None
+
+    def page_index(self, path: str) -> Optional[int]:
+        try:
+            return self.pages.index(path)
+        except ValueError:
+            return None
+
+    def all_handlers(self) -> List[PlacedHandler]:
+        out: List[PlacedHandler] = []
+        for handlers in self.handlers.values():
+            out.extend(handlers)
+        return out
+
+
+def _contexts_of(usage: StandardUsage) -> List[str]:
+    """The script context(s) a usage is emitted into."""
+    if usage.context == CONTEXT_BOTH:
+        return [CONTEXT_AD, CONTEXT_TRACKER]
+    return [usage.context]
+
+
+def build_site(
+    domain: str,
+    rank: int,
+    plan: SitePlan,
+    ecosystem: ThirdPartyEcosystem,
+    config: GeneratorConfig,
+    seed: int,
+) -> Site:
+    """Materialize a sampled plan into a site layout."""
+    rng = random.Random(seed)
+    site = Site(domain=domain, rank=rank, plan=plan, seed=seed)
+
+    # Page tree: home + sections + articles.
+    n_pages = rng.randint(config.min_pages, config.max_pages)
+    sections = rng.sample(_SECTION_WORDS, k=min(len(_SECTION_WORDS),
+                                                max(2, n_pages // 5)))
+    pages = ["/"]
+    for section in sections:
+        pages.append("/%s/" % section)
+    article = 1
+    while len(pages) < n_pages:
+        section = sections[(article - 1) % len(sections)]
+        pages.append("/%s/a%d/" % (section, article))
+        article += 1
+    site.pages = pages[:n_pages]
+
+    # Gated sites carry a login flow and an account area; the account
+    # page is public but its functionality only runs with a session.
+    if plan.gated:
+        site.login_path = "/login/"
+        site.account_path = "/account/"
+        site.pages.extend([site.login_path, site.account_path])
+
+    # Third parties: planned ad/tracker usage forces a tag; otherwise
+    # most sites still carry one (ads are everywhere).
+    wants_ads = any(
+        CONTEXT_AD in _contexts_of(u) for u in plan.usages
+    )
+    wants_tracker = any(
+        CONTEXT_TRACKER in _contexts_of(u) for u in plan.usages
+    )
+    if wants_ads or rng.random() < 0.70:
+        site.ad_network = ecosystem.pick_ad_network(rng)
+    if wants_tracker or rng.random() < 0.60:
+        # trackers[0] also sits on the ad filter list (EasyPrivacy-style
+        # overlap); planned tracker usage routes around it so the
+        # calibrated single-extension block rates stay exact.
+        pool = ecosystem.trackers[1:] if wants_tracker else ecosystem.trackers
+        site.tracker = rng.choice(pool)
+    site.include_cdn = rng.random() < 0.5
+
+    # Place usages.
+    handler_seq = 0
+    for usage in plan.usages:
+        contexts = _contexts_of(usage)
+        if usage.trigger == TRIGGER_DEEP and len(site.pages) > 1:
+            page_idx = rng.randrange(1, len(site.pages))
+            for context in contexts:
+                site.deep_usages.setdefault(page_idx, {}).setdefault(
+                    context, []
+                ).append(usage)
+        elif usage.trigger in (TRIGGER_EASY, TRIGGER_HARD):
+            easy = usage.trigger == TRIGGER_EASY
+            for context in contexts:
+                handler_seq += 1
+                site.handlers.setdefault(context, []).append(
+                    PlacedHandler(
+                        handler_id=handler_seq, usage=usage, easy=easy
+                    )
+                )
+        else:  # load (or deep on a single-page site)
+            for context in contexts:
+                site.load_usages.setdefault(context, []).append(usage)
+    return site
+
+
+class SyntheticWeb:
+    """The full synthetic web: a WebSource over all generated sites."""
+
+    def __init__(
+        self,
+        registry: FeatureRegistry,
+        n_sites: int = 10_000,
+        seed: int = 2016,
+        config: Optional[GeneratorConfig] = None,
+    ) -> None:
+        self.registry = registry
+        self.config = config or GeneratorConfig()
+        self.seed = seed
+        self.ranking = AlexaRanking(n_sites=n_sites, seed=seed)
+        self.ecosystem = ThirdPartyEcosystem()
+        self.profiles = UsageProfiles(
+            registry, n_sites=n_sites, config=self.config, seed=seed + 1
+        )
+        self.synth = ScriptSynthesizer(registry)
+        self.sites: Dict[str, Site] = {}
+        for ranked in self.ranking.all():
+            plan_rng = random.Random(derive_seed(seed, ranked.rank, "plan"))
+            plan = self.profiles.sample_plan(
+                ranked.domain, ranked.rank, plan_rng
+            )
+            self.sites[ranked.domain] = build_site(
+                ranked.domain,
+                ranked.rank,
+                plan,
+                self.ecosystem,
+                self.config,
+                seed=derive_seed(seed, ranked.rank, "site"),
+            )
+        self._domains_by_rank = [r.domain for r in self.ranking.all()]
+        self._third_party_hosts = {
+            tp.host: tp for tp in self.ecosystem.all_parties()
+        }
+        self._html_cache: "OrderedDict[Tuple[str, str], str]" = OrderedDict()
+        self._script_cache: "OrderedDict[Tuple, str]" = OrderedDict()
+        self._cache_limit = 8192
+        self._cdn_script = self.synth.library_script(random.Random(seed + 9))
+
+    # -- WebSource ------------------------------------------------------------
+
+    def respond(self, request: Request) -> Optional[Response]:
+        host = request.url.host
+        site = self.sites.get(host)
+        if site is not None:
+            return self._respond_site(site, request)
+        party = self._third_party_hosts.get(host)
+        if party is not None:
+            return self._respond_third_party(party, request)
+        return None
+
+    # -- site responses ----------------------------------------------------------
+
+    def _respond_site(self, site: Site, request: Request) -> Optional[Response]:
+        if site.plan.failure_mode == "unresponsive":
+            return None
+        path = request.url.path
+        if path == "/static/app.js":
+            return Response(
+                url=request.url,
+                content_type="application/javascript",
+                body=self._first_party_script(site),
+            )
+        if path.startswith("/img/"):
+            return Response(
+                url=request.url, content_type="image/png", body=""
+            )
+        if path in site.pages or path == "/":
+            return Response(
+                url=request.url,
+                content_type="text/html",
+                body=self._page_html(site, path if path in site.pages else "/"),
+            )
+        return Response(url=request.url, status=404, body="not found")
+
+    def _respond_third_party(
+        self, party: ThirdParty, request: Request
+    ) -> Optional[Response]:
+        path = request.url.path
+        if path == "/lib.js":
+            return Response(
+                url=request.url,
+                content_type="application/javascript",
+                body=self._cdn_script,
+            )
+        if path in ("/tag.js", "/collect.js"):
+            params = _parse_query(request.url.query)
+            rank = int(params.get("site", params.get("sid", "0")) or 0)
+            page_idx = int(params.get("pg", "0") or 0)
+            context = CONTEXT_AD if path == "/tag.js" else CONTEXT_TRACKER
+            body = self._third_party_script(party, rank, page_idx, context)
+            return Response(
+                url=request.url,
+                content_type="application/javascript",
+                body=body,
+            )
+        if "/banner/" in path or "/px" in path:
+            return Response(url=request.url, content_type="image/png",
+                            body="")
+        return Response(url=request.url, status=404, body="not found")
+
+    # -- script assembly ------------------------------------------------------------
+
+    def _first_party_script(self, site: Site) -> str:
+        key = ("fp", site.domain)
+        cached = self._cache_get(self._script_cache, key)
+        if cached is not None:
+            return cached
+        if site.plan.failure_mode == "syntax-error":
+            body = self.synth.broken_script()
+        else:
+            rng = random.Random(derive_seed(site.seed, "fp"))
+            handlers = [
+                (h.handler_id, h.usage)
+                for h in site.handlers.get(CONTEXT_FIRST, [])
+            ]
+            body = self.synth.compose_script(
+                site.load_usages.get(CONTEXT_FIRST, []),
+                handlers,
+                rng,
+                banner="%s site bundle" % site.domain,
+            )
+        self._cache_put(self._script_cache, key, body)
+        return body
+
+    def _third_party_script(
+        self, party: ThirdParty, rank: int, page_idx: int, context: str
+    ) -> str:
+        key = ("tp", party.host, rank, page_idx, context)
+        cached = self._cache_get(self._script_cache, key)
+        if cached is not None:
+            return cached
+        site = self._site_by_rank(rank)
+        if site is None or site.plan.failure_mode is not None:
+            body = "// %s tag\n" % party.name
+        else:
+            expected = site.ad_network if context == CONTEXT_AD else site.tracker
+            if expected is None or expected.host != party.host:
+                body = "// %s tag (unmatched)\n" % party.name
+            else:
+                rng = random.Random(derive_seed(site.seed, party.host, page_idx))
+                loads = list(site.load_usages.get(context, []))
+                deep = site.deep_usages.get(page_idx, {}).get(context, [])
+                loads.extend(deep)
+                handlers = [
+                    (h.handler_id, h.usage)
+                    for h in site.handlers.get(context, [])
+                ]
+                body = self.synth.compose_script(
+                    loads, handlers, rng,
+                    banner="%s tag for site %d" % (party.name, rank),
+                )
+        self._cache_put(self._script_cache, key, body)
+        return body
+
+    def _site_by_rank(self, rank: int) -> Optional[Site]:
+        if 1 <= rank <= len(self._domains_by_rank):
+            return self.sites.get(self._domains_by_rank[rank - 1])
+        return None
+
+    # -- HTML assembly ------------------------------------------------------------
+
+    def _page_html(self, site: Site, path: str) -> str:
+        key = (site.domain, path)
+        cached = self._cache_get(self._html_cache, key)
+        if cached is not None:
+            return cached
+        html = self._render_page(site, path)
+        self._cache_put(self._html_cache, key, html)
+        return html
+
+    def _render_page(self, site: Site, path: str) -> str:
+        page_idx = site.page_index(path) or 0
+        rng = random.Random(derive_seed(site.seed, "page", path))
+        head_parts: List[str] = [
+            "<title>%s - %s</title>" % (site.domain, path),
+            '<meta charset="utf-8">',
+            '<script src="/static/app.js"></script>',
+        ]
+        if site.plan.failure_mode != "syntax-error":
+            if site.include_cdn:
+                head_parts.append(
+                    '<script src="https://cdnlib.net/lib.js"></script>'
+                )
+            if site.ad_network is not None:
+                head_parts.append(
+                    '<script src="%s&pg=%d"></script>'
+                    % (site.ad_network.tag_url(site.rank), page_idx)
+                )
+            if site.tracker is not None:
+                head_parts.append(
+                    '<script src="%s&pg=%d"></script>'
+                    % (site.tracker.tag_url(site.rank), page_idx)
+                )
+
+        body_parts: List[str] = []
+        # Navigation links drive the crawler's breadth-first walk.
+        nav_links = self._nav_links(site, path, rng)
+        body_parts.append(
+            "<ul id='nav'>%s</ul>"
+            % "".join(
+                '<li><a href="%s">%s</a></li>' % (href, label)
+                for href, label in nav_links
+            )
+        )
+
+        content = self._content_elements(site, page_idx, rng)
+        # Easy handlers wrap the content in nested containers: a click
+        # anywhere inside bubbles through all of them.
+        easy = [h for h in site.all_handlers() if h.easy]
+        opening = "".join(
+            '<div class="zone" onclick="__h%d()">' % h.handler_id
+            for h in easy
+        )
+        closing = "</div>" * len(easy)
+        body_parts.append(
+            '<div id="content">%s%s%s</div>' % (opening, content, closing)
+        )
+
+        # Hard handlers: one small discrete element each.
+        for handler in site.all_handlers():
+            if not handler.easy:
+                body_parts.append(
+                    '<span class="hotspot" id="act-%d" '
+                    'onclick="__h%d()">more</span>'
+                    % (handler.handler_id, handler.handler_id)
+                )
+
+        # Ad furniture for the blockers to chew on.
+        if site.ad_network is not None and (
+            site.plan.failure_mode != "syntax-error"
+        ):
+            body_parts.append(
+                '<div class="ad-banner">'
+                '<img src="https://%s/banner/b%d.png" alt="ad"></div>'
+                % (site.ad_network.host, rng.randrange(1, 9))
+            )
+        body_parts.append(
+            '<form action="/search"><input name="q" type="text">'
+            '<button id="go">Search</button></form>'
+        )
+
+        # Deep first-party usage rides an inline script on its page.
+        inline = ""
+        deep_first = site.deep_usages.get(page_idx, {}).get(CONTEXT_FIRST, [])
+        if deep_first and site.plan.failure_mode is None:
+            script_rng = random.Random(derive_seed(site.seed, "deep", page_idx))
+            inline = "<script>%s</script>" % self.synth.compose_script(
+                deep_first, [], script_rng
+            )
+
+        # Gated-site special pages (section 7.3: the closed web).
+        if path == site.login_path:
+            body_parts.append(self._login_markup(site))
+        elif path == site.account_path:
+            inline += "<script>%s</script>" % self._gated_script(site)
+
+        html = (
+            "<!DOCTYPE html>\n<html>\n<head>%s</head>\n"
+            "<body>%s%s</body>\n</html>\n"
+            % ("\n".join(head_parts), "\n".join(body_parts), inline)
+        )
+        return html
+
+    def _login_markup(self, site: Site) -> str:
+        """The login form plus its validation script.
+
+        Every API the gate touches (getElementById, getAttribute,
+        localStorage.setItem) belongs to a standard the site's open
+        pages already use, so the gate itself never perturbs the
+        open-web measurements.
+        """
+        script = (
+            "function __login() {\n"
+            "  try {\n"
+            "    var u = document.getElementById('login-user');\n"
+            "    if (u && u.getAttribute('value') === %s) {\n"
+            "      localStorage.setItem('session', %s);\n"
+            "    }\n"
+            "  } catch (e) {}\n"
+            "}\n"
+        ) % (
+            _js_string(site.plan.credentials or ""),
+            _js_string(site.session_token),
+        )
+        return (
+            '<form id="login-form">'
+            '<input type="text" id="login-user" name="user">'
+            '<button id="login-btn" onclick="__login()">Sign in</button>'
+            "</form><script>%s</script>" % script
+        )
+
+    def _gated_script(self, site: Site) -> str:
+        """The account page's session-guarded functionality."""
+        rng = random.Random(derive_seed(site.seed, "gated"))
+        blocks = "\n".join(
+            _indent(self.synth.usage_block(usage, rng))
+            for usage in site.plan.gated
+        )
+        return (
+            "try {\n"
+            "  var tok = localStorage.getItem('session');\n"
+            "  if (tok === %s) {\n"
+            "%s\n"
+            "  }\n"
+            "} catch (e) {}\n"
+        ) % (_js_string(site.session_token), blocks)
+
+    def _nav_links(
+        self, site: Site, path: str, rng: random.Random
+    ) -> List[Tuple[str, str]]:
+        links: List[Tuple[str, str]] = []
+        # Home knows every section; sections know their articles; every
+        # page links home and to a few random siblings.
+        for candidate in site.pages:
+            if candidate == path:
+                continue
+            is_child = candidate.startswith(path) and candidate != "/"
+            if path == "/" and candidate.count("/") <= 2:
+                links.append((candidate, candidate.strip("/") or "home"))
+            elif is_child:
+                links.append((candidate, candidate.strip("/")))
+        others = [p for p in site.pages if p not in (path,)]
+        rng.shuffle(others)
+        for candidate in others[:3]:
+            entry = (candidate, candidate.strip("/") or "home")
+            if entry not in links:
+                links.append(entry)
+        if path != "/":
+            links.append(("/", "home"))
+        # One external link for realism (the crawler must ignore it).
+        if rng.random() < 0.4:
+            links.append(("https://cdnlib.net/about/", "partner"))
+        return links
+
+    def _content_elements(
+        self, site: Site, page_idx: int, rng: random.Random
+    ) -> str:
+        n_elements = rng.randint(
+            self.config.min_elements, self.config.max_elements
+        )
+        parts: List[str] = []
+        for index in range(n_elements):
+            roll = rng.random()
+            if roll < 0.45:
+                parts.append(
+                    "<p>%s</p>" % rng.choice(_PARAGRAPHS)
+                )
+            elif roll < 0.70:
+                parts.append(
+                    '<div class="card" id="c%d-%d"><span>%s</span></div>'
+                    % (page_idx, index, rng.choice(_PARAGRAPHS)[:24])
+                )
+            elif roll < 0.85:
+                parts.append(
+                    '<li class="item">entry %d</li>' % index
+                )
+            else:
+                parts.append(
+                    '<img src="/img/p%d.png" alt="photo %d">'
+                    % (rng.randrange(1, 30), index)
+                )
+        return "".join(parts)
+
+    # -- cache helpers ------------------------------------------------------------
+
+    def _cache_get(self, cache: "OrderedDict", key) -> Optional[str]:
+        value = cache.get(key)
+        if value is not None:
+            cache.move_to_end(key)
+        return value
+
+    def _cache_put(self, cache: "OrderedDict", key, value: str) -> None:
+        cache[key] = value
+        cache.move_to_end(key)
+        while len(cache) > self._cache_limit:
+            cache.popitem(last=False)
+
+    # -- statistics ------------------------------------------------------------
+
+    def measurable_sites(self) -> List[Site]:
+        return [s for s in self.sites.values() if not s.failed]
+
+    def failed_sites(self) -> List[Site]:
+        return [s for s in self.sites.values() if s.failed]
+
+
+def build_web(
+    registry: FeatureRegistry,
+    n_sites: int = 10_000,
+    seed: int = 2016,
+    config: Optional[GeneratorConfig] = None,
+) -> SyntheticWeb:
+    """Convenience constructor used by examples and benchmarks."""
+    return SyntheticWeb(registry, n_sites=n_sites, seed=seed, config=config)
+
+
+def _js_string(text: str) -> str:
+    return "'%s'" % text.replace("\\", "\\\\").replace("'", "\\'")
+
+
+def _indent(text: str, prefix: str = "    ") -> str:
+    return "\n".join(prefix + line for line in text.splitlines())
+
+
+def _parse_query(query: str) -> Dict[str, str]:
+    params: Dict[str, str] = {}
+    for pair in query.split("&"):
+        if "=" in pair:
+            key, value = pair.split("=", 1)
+            params[key] = value
+    return params

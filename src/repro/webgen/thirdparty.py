@@ -1,0 +1,106 @@
+"""The synthetic third-party ecosystem: ad networks, trackers, CDNs.
+
+Blocking extensions work by recognizing third-party hosts and URL
+patterns, so the synthetic web needs a realistic supporting cast:
+
+* **ad networks** — serve per-site ad tags (``/tag.js?site=N``) and
+  banner assets; targeted by the AdBlock Plus list.
+* **trackers** — analytics and behavioral-tracking scripts; targeted by
+  the Ghostery database (and some overlap with ad filters, as in
+  reality).
+* **CDNs** — benign static-asset hosts (frameworks, fonts) nobody
+  blocks; they keep the blockers honest by giving them something they
+  must NOT match.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+AD_CATEGORY = "advertising"
+TRACKER_CATEGORY = "site-analytics"
+CDN_CATEGORY = "cdn"
+
+
+@dataclass(frozen=True)
+class ThirdParty:
+    """One third-party service."""
+
+    name: str
+    host: str
+    category: str
+
+    def tag_url(self, site_rank: int) -> str:
+        """The per-site script URL sites embed."""
+        if self.category == AD_CATEGORY:
+            return "https://%s/tag.js?site=%d" % (self.host, site_rank)
+        if self.category == TRACKER_CATEGORY:
+            return "https://%s/collect.js?sid=%d" % (self.host, site_rank)
+        return "https://%s/lib.js" % self.host
+
+
+_AD_NETWORKS = [
+    ("PixelAds", "static.pixelads.net"),
+    ("BannerXchange", "cdn.bannerxchange.com"),
+    ("ClickForward", "js.clickfwd.net"),
+    ("AdMesh", "tags.admesh.io"),
+    ("PopReach", "serve.popreach.org"),
+    ("MediaBid", "bid.mediabid.net"),
+]
+
+_TRACKERS = [
+    ("MetricsBeacon", "beacon.metricsbeacon.com"),
+    ("UserInsight", "js.userinsight.net"),
+    ("TrackPath", "t.trackpath.io"),
+    ("StatWare", "stats.statware.org"),
+    ("SessionGraph", "collect.sessiongraph.com"),
+]
+
+_CDNS = [
+    ("LibCDN", "cdnlib.net"),
+    ("FontHub", "fonts.fonthub.org"),
+]
+
+
+class ThirdPartyEcosystem:
+    """The fixed cast of third parties plus lookup utilities."""
+
+    def __init__(self) -> None:
+        self.ad_networks: List[ThirdParty] = [
+            ThirdParty(name, host, AD_CATEGORY) for name, host in _AD_NETWORKS
+        ]
+        self.trackers: List[ThirdParty] = [
+            ThirdParty(name, host, TRACKER_CATEGORY)
+            for name, host in _TRACKERS
+        ]
+        self.cdns: List[ThirdParty] = [
+            ThirdParty(name, host, CDN_CATEGORY) for name, host in _CDNS
+        ]
+        self._by_host: Dict[str, ThirdParty] = {
+            tp.host: tp for tp in self.all_parties()
+        }
+
+    def all_parties(self) -> List[ThirdParty]:
+        return self.ad_networks + self.trackers + self.cdns
+
+    def by_host(self, host: str) -> Optional[ThirdParty]:
+        return self._by_host.get(host)
+
+    def is_ad_host(self, host: str) -> bool:
+        party = self.by_host(host)
+        return party is not None and party.category == AD_CATEGORY
+
+    def is_tracker_host(self, host: str) -> bool:
+        party = self.by_host(host)
+        return party is not None and party.category == TRACKER_CATEGORY
+
+    def pick_ad_network(self, rng: random.Random) -> ThirdParty:
+        return rng.choice(self.ad_networks)
+
+    def pick_tracker(self, rng: random.Random) -> ThirdParty:
+        return rng.choice(self.trackers)
+
+    def pick_cdn(self, rng: random.Random) -> ThirdParty:
+        return rng.choice(self.cdns)

@@ -1,0 +1,39 @@
+"""WebIDL parsing and the browser feature registry.
+
+The paper determines the JavaScript-exposed browser surface by reading
+the 757 WebIDL files shipped in the Firefox 46.0.1 source and extracting
+1,392 methods and properties (section 3.2), then attributing each to one
+of 74 standards documents — the earliest, when a feature appears in
+several (section 3.3) — or to a catch-all "Non-Standard" bucket.
+
+This subpackage reproduces that path:
+
+* :mod:`repro.webidl.parser` — a parser for the WebIDL subset Firefox's
+  DOM bindings use (interfaces, partial interfaces, inheritance,
+  operations, attributes, extended attributes).
+* :mod:`repro.webidl.corpus` — the synthetic 757-file WebIDL corpus whose
+  parse yields exactly the catalog's 1,392 features.
+* :mod:`repro.webidl.registry` — the feature registry: feature <->
+  standard attribution (earliest-standard rule), interface metadata,
+  lookup utilities.
+"""
+
+from repro.webidl.parser import (
+    IdlAttribute,
+    IdlInterface,
+    IdlOperation,
+    ParseError,
+    parse_webidl,
+)
+from repro.webidl.registry import Feature, FeatureRegistry, build_registry
+
+__all__ = [
+    "IdlAttribute",
+    "IdlInterface",
+    "IdlOperation",
+    "ParseError",
+    "parse_webidl",
+    "Feature",
+    "FeatureRegistry",
+    "build_registry",
+]

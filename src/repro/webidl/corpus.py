@@ -1,0 +1,896 @@
+"""The synthetic WebIDL corpus mirroring Firefox 46.0.1's feature surface.
+
+The paper extracts 1,392 JavaScript-exposed methods and properties from
+the 757 WebIDL files in the Firefox source (section 3.2).  Offline, we
+rebuild an equivalent corpus deterministically:
+
+* every feature the paper names is pinned verbatim
+  (``Document.prototype.createElement``, ``XMLHttpRequest.prototype.open``,
+  ``Navigator.prototype.vibrate``, ``PluginArray.prototype.refresh``,
+  ``SVGTextContentElement.prototype.getComputedTextLength``, ...);
+* each standard's remaining features are synthesized from themed
+  interface and member-name pools, seeded, so the corpus is identical on
+  every run;
+* the corpus serializes to exactly 757 ``.webidl`` files which
+  :func:`repro.webidl.parser.parse_webidl` parses back, and the registry
+  extracts exactly 1,392 features from the parse;
+* a handful of features are *mentioned* by several standards documents
+  (the DOM level specs), exercising the paper's earliest-standard
+  attribution rule (section 3.3).
+
+The corpus also records, for each feature, its *usage rank* within the
+standard (``None`` for never-used features) — the calibration hook the
+synthetic-web generator samples from.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.standards.catalog import StandardSpec, all_standards
+from repro.webidl.parser import (
+    IdlAttribute,
+    IdlInterface,
+    IdlOperation,
+    render_interface,
+)
+
+#: Number of WebIDL files in the Firefox 46.0.1 source (section 3.2).
+WEBIDL_FILE_COUNT = 757
+
+#: Globals that hold singleton instances of their interface; property
+#: writes are only observable (via Object.watch) on these (section 4.2.2).
+SINGLETON_GLOBALS: Dict[str, str] = {
+    "Window": "window",
+    "Document": "document",
+    "Navigator": "navigator",
+    "Screen": "screen",
+    "History": "history",
+    "Location": "location",
+    "Performance": "performance",
+    "Crypto": "crypto",
+    "Storage": "localStorage",
+}
+
+
+@dataclass(frozen=True)
+class FeatureSpec:
+    """Ground truth for one corpus feature.
+
+    ``usage_rank`` is the feature's popularity rank within its standard
+    (0 = the standard's most popular feature) or ``None`` when no Alexa
+    10k site ever uses it.
+    """
+
+    name: str
+    interface: str
+    member: str
+    kind: str  # "method" | "attribute"
+    static: bool
+    standard: str
+    usage_rank: Optional[int]
+
+    @property
+    def observable(self) -> bool:
+        """Can the measuring extension see uses of this feature?
+
+        Methods are shimmed on prototypes; property writes are only
+        caught on singleton objects (section 4.2.2).
+        """
+        if self.kind == "method":
+            return True
+        return self.interface in SINGLETON_GLOBALS
+
+
+@dataclass(frozen=True)
+class CorpusFile:
+    """One synthesized ``.webidl`` source file."""
+
+    name: str
+    text: str
+
+
+@dataclass
+class Corpus:
+    """The full synthesized WebIDL surface."""
+
+    files: List[CorpusFile]
+    features: List[FeatureSpec]
+    interfaces: Dict[str, IdlInterface]
+    #: standard abbrev -> feature names its document mentions (includes
+    #: re-publications of earlier standards' features).
+    mentions: Dict[str, List[str]]
+    #: standard abbrev -> document publication year (attribution tiebreak).
+    publication_years: Dict[str, int]
+
+    def features_of(self, abbrev: str) -> List[FeatureSpec]:
+        return [f for f in self.features if f.standard == abbrev]
+
+    def used_features_of(self, abbrev: str) -> List[FeatureSpec]:
+        ranked = [f for f in self.features_of(abbrev) if f.usage_rank is not None]
+        return sorted(ranked, key=lambda f: f.usage_rank)
+
+
+# ---------------------------------------------------------------------------
+# Interface rosters and pinned features per standard.
+#
+# Each entry: list of interface names the standard defines members on.
+# _PINNED lists (interface, member, kind) triples in popularity order;
+# the paper-named features come first.
+# ---------------------------------------------------------------------------
+
+_INTERFACES: Dict[str, List[str]] = {
+    "H-C": ["HTMLCanvasElement", "CanvasRenderingContext2D", "CanvasGradient",
+            "CanvasPattern", "TextMetrics", "Path2D"],
+    "SVG": ["SVGElement", "SVGSVGElement", "SVGTextContentElement",
+            "SVGPathElement", "SVGAnimationElement", "SVGLengthList",
+            "SVGTransform", "SVGMatrix", "SVGPoint", "SVGStringList",
+            "SVGAngle", "SVGPreserveAspectRatio"],
+    "WEBGL": ["WebGLRenderingContext", "WebGLShader", "WebGLProgram",
+              "WebGLTexture", "WebGLFramebuffer", "WebGLRenderbuffer"],
+    "H-WW": ["Worker"],
+    "HTML5": ["HTMLElement", "HTMLInputElement", "HTMLMediaElement",
+              "HTMLVideoElement", "HTMLAudioElement", "DataTransfer",
+              "HTMLTrackElement", "HTMLProgressElement"],
+    "WEBA": ["AudioContext", "AudioNode", "OscillatorNode", "GainNode",
+             "AudioParam", "AudioBufferSourceNode", "AnalyserNode",
+             "BiquadFilterNode"],
+    "WRTC": ["RTCPeerConnection", "RTCDataChannel", "RTCSessionDescription",
+             "RTCIceCandidate"],
+    "AJAX": ["XMLHttpRequest", "XMLHttpRequestUpload", "FormData"],
+    "DOM": ["Node", "Element", "Event", "CharacterData"],
+    "IDB": ["IDBFactory", "IDBDatabase", "IDBObjectStore", "IDBTransaction",
+            "IDBRequest", "IDBCursor", "IDBIndex", "IDBKeyRange"],
+    "BE": ["Navigator"],
+    "MCS": ["MediaStream", "MediaStreamTrack", "MediaDevices"],
+    "WCR": ["Crypto", "SubtleCrypto", "CryptoKey"],
+    "CSS-VM": ["Element", "Window", "Screen", "MouseEvent"],
+    "F": ["Request", "Response", "Headers", "Window"],
+    "GP": ["Navigator"],
+    "HRT": ["Performance"],
+    "H-WB": ["WebSocket"],
+    "H-P": ["PluginArray", "Plugin", "MimeTypeArray", "MimeType"],
+    "WN": ["Notification"],
+    "RT": ["Performance", "PerformanceResourceTiming"],
+    "V": ["Navigator"],
+    "BA": ["Navigator", "BatteryManager"],
+    "CSS-CR": ["CSS"],
+    "CSS-FO": ["FontFace", "FontFaceSet"],
+    "CSS-OM": ["CSSStyleSheet", "CSSStyleDeclaration", "CSSRule",
+               "StyleSheetList", "MediaList"],
+    "DOM1": ["Document", "Node", "Element", "NodeList", "NamedNodeMap",
+             "DocumentFragment", "Attr", "Text", "DOMImplementation"],
+    "DOM2-C": ["Document", "Node", "Element", "NamedNodeMap"],
+    "DOM2-E": ["EventTarget", "Event", "Document", "MouseEvent"],
+    "DOM2-H": ["Document", "HTMLSelectElement", "HTMLOptionsCollection"],
+    "DOM2-S": ["Window", "Document", "StyleSheet", "CSSMediaRule"],
+    "DOM2-T": ["Range", "NodeIterator", "TreeWalker", "Document"],
+    "DOM3-C": ["Node", "Document", "Element"],
+    "DOM3-X": ["XPathEvaluator", "XPathResult", "XPathExpression",
+               "Document"],
+    "DOM-PS": ["DOMParser", "XMLSerializer", "Element"],
+    "EC": ["Document"],
+    "FA": ["File", "FileReader", "Blob", "FileList"],
+    "FULL": ["Element", "Document"],
+    "GEO": ["Geolocation", "GeolocationCoordinates"],
+    "H-CM": ["MessagePort", "MessageChannel", "Window"],
+    "H-WS": ["Storage"],
+    "HTML": ["HTMLElement", "HTMLAnchorElement", "HTMLImageElement",
+             "HTMLTableElement", "HTMLTextAreaElement", "HTMLButtonElement",
+             "HTMLIFrameElement", "HTMLScriptElement", "HTMLLinkElement",
+             "HTMLMetaElement", "HTMLOListElement", "HTMLLabelElement",
+             "HTMLFieldSetElement", "HTMLObjectElement", "HTMLMapElement",
+             "HTMLAreaElement", "HTMLTableRowElement", "HTMLTableCellElement",
+             "HTMLTableSectionElement", "HTMLModElement", "HTMLQuoteElement",
+             "HTMLPreElement", "HTMLParagraphElement", "HTMLHeadingElement",
+             "HTMLHRElement", "HTMLDivElement", "HTMLDListElement",
+             "HTMLBodyElement", "HTMLBRElement", "HTMLBaseElement"],
+    "H-HI": ["History", "PopStateEvent"],
+    "MSE": ["MediaSource", "SourceBuffer"],
+    "PT": ["Performance"],
+    "PT2": ["PerformanceObserver"],
+    "SEL": ["Selection", "Window", "Document"],
+    "SLC": ["Document", "Element", "DocumentFragment"],
+    "TC": ["Window"],
+    "UIE": ["UIEvent", "KeyboardEvent", "WheelEvent", "FocusEvent"],
+    "UTL": ["Performance"],
+    "DOM4": ["MutationObserver"],
+    "NS": ["Window", "Navigator", "Document", "InstallTriggerImpl",
+           "BarProp"],
+    # Long-tail standards.
+    "ALS": ["Window", "DeviceLightEvent"],
+    "CO": ["Document", "CustomElementRegistry"],
+    "DO": ["DeviceOrientationEvent", "DeviceMotionEvent", "Window"],
+    "DU": ["Directory", "HTMLInputElement"],
+    "E": ["TextEncoder", "TextDecoder"],
+    "EME": ["MediaKeys", "MediaKeySession", "MediaKeySystemAccess",
+            "Navigator"],
+    "GIM": ["ImageBitmap", "Window"],
+    "H-B": ["BroadcastChannel"],
+    "HTML51": ["HTMLElement", "Document", "HTMLPictureElement"],
+    "MCD": ["MediaStreamTrack", "DepthStreamTrack"],
+    "MSR": ["MediaRecorder", "BlobEvent"],
+    "NT": ["PerformanceTiming", "PerformanceNavigation"],
+    "PE": ["PointerEvent", "Element"],
+    "PERM": ["Permissions", "PermissionStatus"],
+    "PL": ["Element", "Document"],
+    "PV": ["Document"],
+    "SD": ["NetworkService", "NetworkServices"],
+    "SO": ["ScreenOrientation"],
+    "SW": ["ServiceWorkerContainer", "ServiceWorkerRegistration",
+           "ServiceWorker", "Cache"],
+    "TPE": ["Touch", "TouchList", "TouchEvent", "Document"],
+    "URL": ["URL", "URLSearchParams"],
+    "WEBVTT": ["VTTCue", "VTTRegion", "TextTrack"],
+}
+
+# (interface, member, kind) in popularity order; paper-named features
+# first.  kind: "m" method, "a" attribute, "s" static method.
+_PINNED: Dict[str, List[Tuple[str, str, str]]] = {
+    "DOM1": [
+        ("Document", "createElement", "m"),
+        ("Document", "getElementById", "m"),
+        ("Node", "appendChild", "m"),
+        ("Element", "getAttribute", "m"),
+        ("Element", "setAttribute", "m"),
+        ("Node", "insertBefore", "m"),
+        ("Node", "cloneNode", "m"),
+        ("Node", "removeChild", "m"),
+        ("Document", "createTextNode", "m"),
+        ("Node", "replaceChild", "m"),
+        ("Document", "title", "a"),
+        ("Element", "removeAttribute", "m"),
+        ("Node", "hasChildNodes", "m"),
+        ("NamedNodeMap", "getNamedItem", "m"),
+        ("DocumentFragment", "normalize", "m"),
+        ("DOMImplementation", "hasFeature", "m"),
+        ("Text", "splitText", "m"),
+        ("NodeList", "item", "m"),
+    ],
+    "AJAX": [
+        ("XMLHttpRequest", "open", "m"),
+        ("XMLHttpRequest", "send", "m"),
+        ("XMLHttpRequest", "setRequestHeader", "m"),
+        ("XMLHttpRequest", "getResponseHeader", "m"),
+        ("XMLHttpRequest", "abort", "m"),
+        ("XMLHttpRequest", "getAllResponseHeaders", "m"),
+        ("XMLHttpRequest", "overrideMimeType", "m"),
+        ("FormData", "append", "m"),
+    ],
+    "SLC": [
+        ("Document", "querySelectorAll", "m"),
+        ("Document", "querySelector", "m"),
+        ("Element", "querySelectorAll", "m"),
+        ("Element", "querySelector", "m"),
+        ("DocumentFragment", "querySelectorAll", "m"),
+        ("DocumentFragment", "querySelector", "m"),
+    ],
+    "V": [("Navigator", "vibrate", "m")],
+    "BE": [("Navigator", "sendBeacon", "m")],
+    "TC": [("Window", "requestAnimationFrame", "m")],
+    "HRT": [("Performance", "now", "m")],
+    "GP": [("Navigator", "getGamepads", "m")],
+    "PT": [
+        ("Performance", "getEntries", "m"),
+        ("Performance", "getEntriesByName", "m"),
+    ],
+    "PT2": [("PerformanceObserver", "observe", "m")],
+    "UTL": [
+        ("Performance", "mark", "m"),
+        ("Performance", "measure", "m"),
+        ("Performance", "clearMarks", "m"),
+        ("Performance", "clearMeasures", "m"),
+    ],
+    "H-P": [
+        ("PluginArray", "refresh", "m"),
+        ("PluginArray", "item", "m"),
+        ("PluginArray", "namedItem", "m"),
+        ("Plugin", "item", "m"),
+        ("MimeTypeArray", "namedItem", "m"),
+    ],
+    "SVG": [
+        ("SVGTextContentElement", "getComputedTextLength", "m"),
+        ("SVGSVGElement", "createSVGMatrix", "m"),
+        ("SVGSVGElement", "getBBox", "m"),
+        ("SVGPathElement", "getTotalLength", "m"),
+    ],
+    "WCR": [
+        ("Crypto", "getRandomValues", "m"),
+        ("SubtleCrypto", "digest", "m"),
+        ("SubtleCrypto", "encrypt", "m"),
+        ("SubtleCrypto", "generateKey", "m"),
+    ],
+    "H-WW": [
+        ("Worker", "postMessage", "m"),
+        ("Worker", "terminate", "m"),
+    ],
+    "H-WB": [
+        ("WebSocket", "send", "m"),
+        ("WebSocket", "close", "m"),
+    ],
+    "H-CM": [
+        ("Window", "postMessage", "m"),
+        ("MessagePort", "postMessage", "m"),
+        ("MessagePort", "start", "m"),
+        ("MessagePort", "close", "m"),
+    ],
+    "H-WS": [
+        ("Storage", "getItem", "m"),
+        ("Storage", "setItem", "m"),
+        ("Storage", "removeItem", "m"),
+        ("Storage", "key", "m"),
+        ("Storage", "clear", "m"),
+    ],
+    "DOM2-E": [
+        ("EventTarget", "addEventListener", "m"),
+        ("EventTarget", "removeEventListener", "m"),
+        ("EventTarget", "dispatchEvent", "m"),
+        ("Document", "createEvent", "m"),
+        ("Event", "initEvent", "m"),
+        ("Event", "preventDefault", "m"),
+        ("Event", "stopPropagation", "m"),
+    ],
+    "H-HI": [
+        ("History", "pushState", "m"),
+        ("History", "replaceState", "m"),
+        ("History", "go", "m"),
+        ("History", "back", "m"),
+        ("History", "forward", "m"),
+        ("PopStateEvent", "initPopStateEvent", "m"),
+    ],
+    "H-C": [
+        ("HTMLCanvasElement", "getContext", "m"),
+        ("HTMLCanvasElement", "toDataURL", "m"),
+        ("CanvasRenderingContext2D", "fillRect", "m"),
+        ("CanvasRenderingContext2D", "drawImage", "m"),
+        ("CanvasRenderingContext2D", "getImageData", "m"),
+        ("CanvasRenderingContext2D", "fillText", "m"),
+        ("CanvasRenderingContext2D", "measureText", "m"),
+    ],
+    "DOM2-S": [
+        ("Window", "getComputedStyle", "m"),
+        ("Document", "createStyleSheet", "m"),
+    ],
+    "DOM2-T": [
+        ("Document", "createRange", "m"),
+        ("Range", "selectNode", "m"),
+        ("Range", "deleteContents", "m"),
+        ("Document", "createNodeIterator", "m"),
+        ("Document", "createTreeWalker", "m"),
+        ("TreeWalker", "nextNode", "m"),
+    ],
+    "DOM3-X": [
+        ("Document", "evaluate", "m"),
+        ("XPathEvaluator", "createExpression", "m"),
+        ("XPathResult", "iterateNext", "m"),
+    ],
+    "DOM-PS": [
+        ("DOMParser", "parseFromString", "m"),
+        ("XMLSerializer", "serializeToString", "m"),
+        ("Element", "insertAdjacentHTML", "m"),
+    ],
+    "EC": [
+        ("Document", "execCommand", "m"),
+        ("Document", "queryCommandState", "m"),
+        ("Document", "queryCommandEnabled", "m"),
+    ],
+    "DOM4": [
+        ("MutationObserver", "observe", "m"),
+        ("MutationObserver", "disconnect", "m"),
+        ("MutationObserver", "takeRecords", "m"),
+    ],
+    "CSS-CR": [("CSS", "supports", "s")],
+    "CSS-VM": [
+        ("Element", "getBoundingClientRect", "m"),
+        ("Element", "scrollIntoView", "m"),
+        ("Window", "scrollTo", "m"),
+        ("Window", "scrollBy", "m"),
+        ("Element", "getClientRects", "m"),
+    ],
+    "SEL": [
+        ("Window", "getSelection", "m"),
+        ("Document", "getSelection", "m"),
+        ("Selection", "removeAllRanges", "m"),
+        ("Selection", "addRange", "m"),
+        ("Selection", "toString", "m"),
+    ],
+    "F": [
+        ("Window", "fetch", "m"),
+        ("Headers", "append", "m"),
+        ("Response", "json", "m"),
+        ("Request", "clone", "m"),
+    ],
+    "GEO": [
+        ("Geolocation", "getCurrentPosition", "m"),
+        ("Geolocation", "watchPosition", "m"),
+        ("Geolocation", "clearWatch", "m"),
+    ],
+    "FULL": [
+        ("Element", "requestFullscreen", "m"),
+        ("Document", "exitFullscreen", "m"),
+    ],
+    "FA": [
+        ("FileReader", "readAsDataURL", "m"),
+        ("FileReader", "readAsText", "m"),
+        ("Blob", "slice", "m"),
+    ],
+    "BA": [("Navigator", "getBattery", "m"),
+           ("BatteryManager", "requestLevelUpdates", "m")],
+    "WN": [
+        ("Notification", "requestPermission", "s"),
+        ("Notification", "close", "m"),
+    ],
+    "WEBGL": [
+        ("WebGLRenderingContext", "getParameter", "m"),
+        ("WebGLRenderingContext", "createShader", "m"),
+        ("WebGLRenderingContext", "getExtension", "m"),
+        ("WebGLRenderingContext", "drawArrays", "m"),
+    ],
+    "WEBA": [
+        ("AudioContext", "createOscillator", "m"),
+        ("AudioContext", "createGain", "m"),
+        ("AudioContext", "createAnalyser", "m"),
+        ("OscillatorNode", "start", "m"),
+    ],
+    "WRTC": [
+        ("RTCPeerConnection", "createOffer", "m"),
+        ("RTCPeerConnection", "createDataChannel", "m"),
+        ("RTCPeerConnection", "setLocalDescription", "m"),
+        ("RTCPeerConnection", "addIceCandidate", "m"),
+    ],
+    "IDB": [
+        ("IDBFactory", "open", "m"),
+        ("IDBDatabase", "transaction", "m"),
+        ("IDBObjectStore", "put", "m"),
+        ("IDBObjectStore", "get", "m"),
+    ],
+    "MCS": [
+        ("MediaDevices", "getUserMedia", "m"),
+        ("MediaStream", "getTracks", "m"),
+        ("MediaStreamTrack", "stop", "m"),
+    ],
+    "MSE": [
+        ("MediaSource", "addSourceBuffer", "m"),
+        ("SourceBuffer", "appendBuffer", "m"),
+    ],
+    "RT": [
+        ("Performance", "clearResourceTimings", "m"),
+        ("Performance", "setResourceTimingBufferSize", "m"),
+        ("PerformanceResourceTiming", "toJSON", "m"),
+    ],
+    "DOM": [
+        ("Event", "stopImmediatePropagation", "m"),
+        ("Node", "contains", "m"),
+        ("Element", "matches", "m"),
+        ("Element", "closest", "m"),
+        ("CharacterData", "substringData", "m"),
+    ],
+    "DOM2-C": [
+        ("Document", "importNode", "m"),
+        ("Document", "createElementNS", "m"),
+        ("Element", "getAttributeNS", "m"),
+        ("Element", "setAttributeNS", "m"),
+        ("Node", "isSupported", "m"),
+        ("NamedNodeMap", "getNamedItemNS", "m"),
+    ],
+    "DOM2-H": [
+        ("Document", "write", "m"),
+        ("Document", "writeln", "m"),
+        ("Document", "open", "m"),
+        ("Document", "close", "m"),
+        ("Document", "getElementsByName", "m"),
+        ("HTMLSelectElement", "add", "m"),
+    ],
+    "DOM3-C": [
+        ("Node", "compareDocumentPosition", "m"),
+        ("Node", "isSameNode", "m"),
+        ("Node", "isEqualNode", "m"),
+        ("Node", "lookupPrefix", "m"),
+        ("Document", "adoptNode", "m"),
+        ("Node", "setUserData", "m"),
+    ],
+    "CSS-OM": [
+        ("CSSStyleDeclaration", "getPropertyValue", "m"),
+        ("CSSStyleDeclaration", "setProperty", "m"),
+        ("CSSStyleSheet", "insertRule", "m"),
+        ("CSSStyleSheet", "deleteRule", "m"),
+        ("CSSStyleDeclaration", "removeProperty", "m"),
+    ],
+    "CSS-FO": [
+        ("FontFace", "load", "m"),
+        ("FontFaceSet", "check", "m"),
+        ("FontFaceSet", "load", "m"),
+    ],
+    "HTML5": [
+        ("HTMLElement", "click", "m"),
+        ("HTMLElement", "focus", "m"),
+        ("HTMLElement", "blur", "m"),
+        ("HTMLMediaElement", "play", "m"),
+        ("HTMLMediaElement", "pause", "m"),
+        ("HTMLInputElement", "checkValidity", "m"),
+        ("HTMLMediaElement", "canPlayType", "m"),
+        ("DataTransfer", "setData", "m"),
+    ],
+    "HTML": [
+        ("HTMLElement", "insertAdjacentElement", "m"),
+        ("HTMLTableElement", "insertRow", "m"),
+        ("HTMLTableRowElement", "insertCell", "m"),
+        ("HTMLTextAreaElement", "select", "m"),
+        ("HTMLButtonElement", "setCustomValidity", "m"),
+        ("HTMLFieldSetElement", "checkValidity", "m"),
+        ("HTMLTableElement", "createCaption", "m"),
+        ("HTMLTableSectionElement", "deleteRow", "m"),
+    ],
+    "UIE": [
+        ("UIEvent", "initUIEvent", "m"),
+        ("KeyboardEvent", "getModifierState", "m"),
+        ("WheelEvent", "initWheelEvent", "m"),
+    ],
+    "NS": [
+        ("Window", "dump", "m"),
+        ("Window", "setResizable", "m"),
+        ("Navigator", "mozIsLocallyAvailable", "m"),
+        ("Document", "loadOverlay", "m"),
+        ("InstallTriggerImpl", "install", "m"),
+    ],
+    # Long tail.
+    "ALS": [("Window", "ondevicelight", "a"),
+            ("DeviceLightEvent", "initDeviceLightEvent", "m")],
+    "E": [("TextDecoder", "decode", "m"), ("TextEncoder", "encode", "m")],
+    "NT": [("PerformanceTiming", "toJSON", "m"),
+           ("PerformanceNavigation", "toJSON", "m")],
+    "TPE": [("Document", "createTouch", "m"),
+            ("Document", "createTouchList", "m"),
+            ("TouchList", "item", "m")],
+    "URL": [("URL", "createObjectURL", "s"),
+            ("URL", "revokeObjectURL", "s"),
+            ("URLSearchParams", "get", "m"),
+            ("URLSearchParams", "append", "m")],
+    "SW": [("ServiceWorkerContainer", "register", "m"),
+           ("ServiceWorkerContainer", "getRegistration", "m"),
+           ("Cache", "match", "m")],
+    "PV": [("Document", "onvisibilitychange", "a"),
+           ("Document", "releaseVisibility", "m")],
+    "DO": [("Window", "ondeviceorientation", "a"),
+           ("DeviceOrientationEvent", "initDeviceOrientationEvent", "m")],
+    "PE": [("Element", "setPointerCapture", "m"),
+           ("Element", "releasePointerCapture", "m")],
+    "PERM": [("Permissions", "query", "m"),
+             ("Permissions", "revoke", "m")],
+    "HTML51": [("Document", "createExpression", "m"),
+               ("HTMLElement", "forceSpellCheck", "m")],
+    "MCD": [("DepthStreamTrack", "getDepthMap", "m")],
+    "MSR": [("MediaRecorder", "start", "m"), ("MediaRecorder", "stop", "m")],
+    "EME": [("Navigator", "requestMediaKeySystemAccess", "m"),
+            ("MediaKeys", "createSession", "m")],
+    "H-B": [("BroadcastChannel", "postMessage", "m")],
+    "CO": [("Document", "registerElement", "m")],
+    "GIM": [("Window", "createImageBitmap", "m")],
+    "DU": [("Directory", "getFilesAndDirectories", "m")],
+    "SD": [("NetworkServices", "getNetworkServices", "m")],
+    "SO": [("ScreenOrientation", "lock", "m"),
+           ("ScreenOrientation", "unlock", "m")],
+    "PL": [("Element", "requestPointerLock", "m"),
+           ("Document", "exitPointerLock", "m")],
+    "WEBVTT": [("VTTCue", "getCueAsHTML", "m")],
+}
+
+# Publication years of the standards documents, used only to resolve
+# features mentioned by several documents to the earliest one.
+_PUBLICATION_YEARS: Dict[str, int] = {
+    "DOM1": 1998, "DOM2-C": 2000, "DOM2-E": 2000, "DOM2-H": 2003,
+    "DOM2-S": 2000, "DOM2-T": 2000, "DOM3-C": 2004, "DOM3-X": 2004,
+    "DOM4": 2015, "DOM": 2015, "HTML": 1999, "HTML5": 2014, "HTML51": 2016,
+    "AJAX": 2006, "SLC": 2013, "CSS-OM": 2016,
+}
+
+# Cross-document mentions: later specs that re-publish earlier features.
+# Attribution must keep the feature with the earliest document.
+_CROSS_MENTIONS: Dict[str, List[Tuple[str, str]]] = {
+    # DOM Level 2 Core re-publishes these DOM Level 1 features.
+    "DOM2-C": [("Node", "insertBefore"), ("Node", "appendChild"),
+               ("Document", "createElement"), ("Element", "getAttribute")],
+    # DOM Level 3 Core re-publishes DOM 1 + DOM 2 features.
+    "DOM3-C": [("Node", "insertBefore"), ("Document", "importNode"),
+               ("Document", "createElementNS")],
+    # The DOM living standard re-publishes the older event surface.
+    "DOM": [("EventTarget", "addEventListener"),
+            ("EventTarget", "dispatchEvent")],
+    # HTML5 re-publishes parts of the classic HTML surface.
+    "HTML5": [("HTMLElement", "insertAdjacentElement"),
+              ("HTMLTableElement", "insertRow")],
+}
+
+_METHOD_VERBS = [
+    "get", "set", "create", "update", "remove", "insert", "append", "init",
+    "register", "unregister", "request", "cancel", "query", "observe",
+    "load", "reset", "resolve", "enumerate", "normalize", "clone",
+    "attach", "detach", "lookup", "restore", "snapshot", "merge", "split",
+    "activate", "deactivate", "refresh",
+]
+
+_MEMBER_NOUNS = [
+    "State", "Buffer", "Context", "Handle", "Item", "Entry", "Node",
+    "Value", "Range", "Region", "Channel", "Stream", "Track", "Frame",
+    "Metrics", "Options", "Descriptor", "Source", "Target", "Snapshot",
+    "Record", "Segment", "Token", "Profile", "Binding", "Quota", "Hint",
+    "Policy", "Variant", "Slot",
+]
+
+_ATTR_NOUNS = [
+    "mode", "status", "label", "hint", "quality", "ratio", "threshold",
+    "interval", "capacity", "priority", "variant", "scope", "origin",
+    "profile", "encoding", "alignment", "weight", "duration", "offset",
+    "density",
+]
+
+
+def _synthesize_member(
+    rng: random.Random,
+    interface: str,
+    kind: str,
+    taken: Set[Tuple[str, str]],
+) -> str:
+    """Generate a plausible, unused member name for an interface."""
+    for _ in range(1000):
+        if kind == "method":
+            name = rng.choice(_METHOD_VERBS) + rng.choice(_MEMBER_NOUNS)
+        else:
+            noun = rng.choice(_ATTR_NOUNS)
+            qualifier = rng.choice(_ATTR_NOUNS)
+            name = noun if rng.random() < 0.5 else (
+                noun + qualifier[0].upper() + qualifier[1:]
+            )
+        if (interface, name) not in taken:
+            return name
+    raise RuntimeError("member name pool exhausted for %s" % interface)
+
+
+_ARG_TYPES = ["DOMString", "long", "boolean", "double", "any", "object"]
+_RETURN_TYPES = [
+    "void", "DOMString", "long", "boolean", "double", "any",
+    "Promise<void>",
+]
+
+
+def _feature_name(interface: str, member: str, static: bool) -> str:
+    if static:
+        return "%s.%s" % (interface, member)
+    return "%s.prototype.%s" % (interface, member)
+
+
+def build_corpus(seed: int = 46) -> Corpus:
+    """Build the deterministic WebIDL corpus for the whole catalog.
+
+    Guarantees (enforced by tests):
+
+    * exactly 1,392 features overall, with each standard's feature count
+      matching its catalog row;
+    * each standard's first ``n_used_features`` features (its *used
+      pool*, in popularity order) are observable by the measuring
+      extension — methods anywhere, attributes only on singletons;
+    * the serialized corpus is exactly 757 files that parse back to the
+      same surface.
+    """
+    rng = random.Random(seed)
+    specs = all_standards()
+    features: List[FeatureSpec] = []
+    taken: Set[Tuple[str, str]] = set()
+    interfaces: Dict[str, IdlInterface] = {}
+    standard_members: Dict[str, List[FeatureSpec]] = {}
+
+    for spec in specs:
+        roster = _INTERFACES[spec.abbrev]
+        pinned = list(_PINNED.get(spec.abbrev, ()))
+        if len(pinned) > spec.n_features:
+            pinned = pinned[: spec.n_features]
+        standard_features: List[FeatureSpec] = []
+
+        def add_feature(interface: str, member: str, kind: str,
+                        static: bool, rank: Optional[int]) -> None:
+            taken.add((interface, member))
+            feature = FeatureSpec(
+                name=_feature_name(interface, member, static),
+                interface=interface,
+                member=member,
+                kind=kind,
+                static=static,
+                standard=spec.abbrev,
+                usage_rank=rank,
+            )
+            standard_features.append(feature)
+            features.append(feature)
+
+        # Pinned features first (they are the popularity-ranked head).
+        for position, (interface, member, kind_code) in enumerate(pinned):
+            kind = "attribute" if kind_code == "a" else "method"
+            static = kind_code == "s"
+            rank = position if position < spec.n_used_features else None
+            add_feature(interface, member, kind, static, rank)
+
+        # Synthesize the remainder of the used pool: must be observable.
+        position = len(pinned)
+        singleton_roster = [i for i in roster if i in SINGLETON_GLOBALS]
+        while position < spec.n_used_features:
+            interface = roster[position % len(roster)]
+            if rng.random() < 0.2 and singleton_roster:
+                interface = rng.choice(singleton_roster)
+                kind = "attribute" if rng.random() < 0.5 else "method"
+            else:
+                kind = "method"
+            member = _synthesize_member(rng, interface, kind, taken)
+            add_feature(interface, member, kind, False, position)
+            position += 1
+
+        # Never-used features: any interface, any kind.
+        while position < spec.n_features:
+            interface = roster[position % len(roster)]
+            kind = "attribute" if rng.random() < 0.3 else "method"
+            member = _synthesize_member(rng, interface, kind, taken)
+            add_feature(interface, member, kind, False, None)
+            position += 1
+
+        standard_members[spec.abbrev] = standard_features
+
+    # Materialize IdlInterface objects (merged across standards).
+    for feature in features:
+        interface = interfaces.get(feature.interface)
+        if interface is None:
+            parent = _parent_of(feature.interface)
+            interface = IdlInterface(name=feature.interface, parent=parent)
+            interfaces[feature.interface] = interface
+        if feature.kind == "method":
+            n_args = rng.randrange(0, 4)
+            args = tuple(
+                _make_arg(rng, i) for i in range(n_args)
+            )
+            interfaces[feature.interface].operations.append(
+                IdlOperation(
+                    name=feature.member,
+                    return_type=rng.choice(_RETURN_TYPES),
+                    arguments=args,
+                    static=feature.static,
+                )
+            )
+        else:
+            interfaces[feature.interface].attributes.append(
+                IdlAttribute(name=feature.member, type=rng.choice(_ARG_TYPES))
+            )
+
+    mentions = {
+        abbrev: [f.name for f in standard_members[abbrev]]
+        for abbrev in standard_members
+    }
+    for abbrev, extra in _CROSS_MENTIONS.items():
+        for interface, member in extra:
+            mentions[abbrev].append(_feature_name(interface, member, False))
+
+    publication_years = dict(_PUBLICATION_YEARS)
+    for spec in specs:
+        publication_years.setdefault(spec.abbrev, spec.introduced.year)
+
+    files = _serialize(interfaces, rng)
+    return Corpus(
+        files=files,
+        features=features,
+        interfaces=interfaces,
+        mentions=mentions,
+        publication_years=publication_years,
+    )
+
+
+def _make_arg(rng: random.Random, index: int) -> "IdlArgument":
+    from repro.webidl.parser import IdlArgument
+
+    return IdlArgument(
+        name="arg%d" % index,
+        type=rng.choice(_ARG_TYPES),
+        optional=index > 0 and rng.random() < 0.3,
+    )
+
+
+_ELEMENT_PREFIXES = ("HTML", "SVG")
+
+
+def _parent_of(interface: str) -> Optional[str]:
+    """Derive a plausible parent interface for the prototype chain."""
+    if interface in ("Node", "Window", "EventTarget"):
+        return None
+    if interface == "Element":
+        return "Node"
+    if interface in ("Document", "DocumentFragment", "Attr", "Text",
+                     "CharacterData"):
+        return "Node"
+    if interface.startswith(_ELEMENT_PREFIXES) and interface.endswith(
+        "Element"
+    ):
+        return "Element"
+    if interface.endswith("Event") and interface != "Event":
+        return "Event"
+    return None
+
+
+def _serialize(
+    interfaces: Dict[str, IdlInterface], rng: random.Random
+) -> List[CorpusFile]:
+    """Split the interfaces into exactly WEBIDL_FILE_COUNT files.
+
+    Firefox spreads its DOM surface over many small WebIDL files (the
+    main definition plus partial-interface extensions); we mimic that by
+    chunking each interface's members into partial definitions, then
+    merging or splitting chunks until the file count is exactly 757.
+    """
+    chunks: List[IdlInterface] = []
+    for name in sorted(interfaces):
+        source = interfaces[name]
+        members: List[Tuple[str, object]] = (
+            [("op", op) for op in source.operations]
+            + [("attr", attr) for attr in source.attributes]
+        )
+        if not members:
+            continue
+        for start in range(0, len(members), 2):
+            part = members[start:start + 2]
+            chunk = IdlInterface(
+                name=name,
+                parent=source.parent if start == 0 else None,
+                partial=start > 0,
+            )
+            for kind, member in part:
+                if kind == "op":
+                    chunk.operations.append(member)  # type: ignore[arg-type]
+                else:
+                    chunk.attributes.append(member)  # type: ignore[arg-type]
+            chunks.append(chunk)
+
+    # Merge adjacent same-interface chunks while too many; split
+    # two-member chunks while too few.
+    index = 0
+    while len(chunks) > WEBIDL_FILE_COUNT:
+        merged = False
+        for i in range(index, len(chunks) - 1):
+            if chunks[i].name == chunks[i + 1].name:
+                chunks[i].operations.extend(chunks[i + 1].operations)
+                chunks[i].attributes.extend(chunks[i + 1].attributes)
+                del chunks[i + 1]
+                index = i + 1
+                merged = True
+                break
+        if not merged:
+            index = 0
+            if all(
+                chunks[i].name != chunks[i + 1].name
+                for i in range(len(chunks) - 1)
+            ):
+                raise RuntimeError("cannot reach target file count by merging")
+    while len(chunks) < WEBIDL_FILE_COUNT:
+        for i, chunk in enumerate(chunks):
+            if chunk.member_count >= 2:
+                moved_ops = chunk.operations[1:]
+                moved_attrs = chunk.attributes[:]
+                if len(chunk.operations) >= 2:
+                    extra = IdlInterface(name=chunk.name, partial=True)
+                    extra.operations.append(chunk.operations.pop())
+                else:
+                    extra = IdlInterface(name=chunk.name, partial=True)
+                    extra.attributes.append(chunk.attributes.pop())
+                del moved_ops, moved_attrs
+                chunks.insert(i + 1, extra)
+                break
+        else:
+            raise RuntimeError("cannot reach target file count by splitting")
+
+    files: List[CorpusFile] = []
+    counters: Dict[str, int] = {}
+    for chunk in chunks:
+        counters[chunk.name] = counters.get(chunk.name, 0) + 1
+        suffix = "" if counters[chunk.name] == 1 else str(counters[chunk.name])
+        files.append(
+            CorpusFile(
+                name="%s%s.webidl" % (chunk.name, suffix),
+                text=render_interface(chunk),
+            )
+        )
+    return files

@@ -1,0 +1,360 @@
+"""A parser for the WebIDL subset used by Firefox's DOM bindings.
+
+WebIDL is the interface-definition language browsers use to describe the
+JavaScript surface they expose; in Firefox it maps JavaScript endpoints
+onto the C++ implementations (section 3.2 of the paper).  This parser
+covers the constructs that matter for feature extraction:
+
+* ``interface Name : Parent { ... };`` and ``partial interface``
+* regular and static **operations** (methods)
+* ``attribute`` / ``readonly attribute`` declarations
+* extended-attribute lists (``[Constructor, Pref="..."]``) on interfaces
+  and members — recorded, not interpreted
+* ``const`` members (skipped: they are not callable features)
+* comments (``//`` and ``/* */``) and generic types (``Promise<void>``)
+
+The grammar is deliberately small but strict: malformed input raises
+:class:`ParseError` with a line number, because silently mis-parsing an
+IDL file would silently drop instrumented features.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+class ParseError(ValueError):
+    """Raised when WebIDL input does not match the supported grammar."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__("line %d: %s" % (line, message))
+        self.line = line
+
+
+@dataclass(frozen=True)
+class IdlArgument:
+    """One operation argument: ``optional DOMString name``."""
+
+    name: str
+    type: str
+    optional: bool = False
+    variadic: bool = False
+
+
+@dataclass(frozen=True)
+class IdlOperation:
+    """A WebIDL operation (a JavaScript-callable method)."""
+
+    name: str
+    return_type: str
+    arguments: Tuple[IdlArgument, ...] = ()
+    static: bool = False
+    extended_attributes: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class IdlAttribute:
+    """A WebIDL attribute (a JavaScript property)."""
+
+    name: str
+    type: str
+    readonly: bool = False
+    static: bool = False
+    extended_attributes: Tuple[str, ...] = ()
+
+
+@dataclass
+class IdlInterface:
+    """A (possibly partial) WebIDL interface definition."""
+
+    name: str
+    parent: Optional[str] = None
+    partial: bool = False
+    extended_attributes: Tuple[str, ...] = ()
+    operations: List[IdlOperation] = field(default_factory=list)
+    attributes: List[IdlAttribute] = field(default_factory=list)
+
+    @property
+    def member_count(self) -> int:
+        return len(self.operations) + len(self.attributes)
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<extattrs>\[[^\]]*\])
+  | (?P<word>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<generic><[^<>]*(?:<[^<>]*>[^<>]*)?>)
+  | (?P<punct>[{};:,()=?]|\.\.\.)
+  | (?P<string>"[^"]*")
+  | (?P<number>-?\d+(?:\.\d+)?)
+  | (?P<space>\s+)
+  | (?P<bad>.)
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str, int]]:
+    """Split WebIDL text into (kind, value, line) tokens, dropping trivia."""
+    tokens: List[Tuple[str, str, int]] = []
+    line = 1
+    for match in _TOKEN_RE.finditer(text):
+        kind = match.lastgroup or "bad"
+        value = match.group()
+        if kind == "bad":
+            raise ParseError("unexpected character %r" % value, line)
+        if kind not in ("space", "comment"):
+            tokens.append((kind, value, line))
+        line += value.count("\n")
+    return tokens
+
+
+class _TokenStream:
+    """Cursor over the token list with one-token lookahead."""
+
+    def __init__(self, tokens: List[Tuple[str, str, int]]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    @property
+    def line(self) -> int:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos][2]
+        return self._tokens[-1][2] if self._tokens else 0
+
+    def peek(self) -> Optional[Tuple[str, str, int]]:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def next(self) -> Tuple[str, str, int]:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of input", self.line)
+        self._pos += 1
+        return token
+
+    def expect(self, value: str) -> Tuple[str, str, int]:
+        token = self.next()
+        if token[1] != value:
+            raise ParseError(
+                "expected %r, found %r" % (value, token[1]), token[2]
+            )
+        return token
+
+    def accept(self, value: str) -> bool:
+        token = self.peek()
+        if token is not None and token[1] == value:
+            self._pos += 1
+            return True
+        return False
+
+    def at_end(self) -> bool:
+        return self._pos >= len(self._tokens)
+
+
+def _parse_extended_attributes(raw: str) -> Tuple[str, ...]:
+    inner = raw[1:-1].strip()
+    if not inner:
+        return ()
+    parts = [p.strip() for p in re.split(r",(?![^()]*\))", inner)]
+    return tuple(p for p in parts if p)
+
+
+_TYPE_KEYWORDS = {
+    "unsigned", "unrestricted", "long", "short", "float", "double",
+    "byte", "octet", "boolean", "any", "object", "void", "sequence",
+}
+
+
+def _parse_type(stream: _TokenStream) -> str:
+    """Parse a (possibly multi-word or generic) WebIDL type."""
+    parts: List[str] = []
+    kind, value, line = stream.next()
+    if kind != "word":
+        raise ParseError("expected a type, found %r" % value, line)
+    parts.append(value)
+    # Multi-word primitive types: "unsigned long long".
+    while value in _TYPE_KEYWORDS:
+        nxt = stream.peek()
+        if nxt is None or nxt[0] != "word" or nxt[1] not in _TYPE_KEYWORDS:
+            break
+        kind, value, line = stream.next()
+        parts.append(value)
+    # Generic arguments: Promise<void>, sequence<DOMString>.
+    nxt = stream.peek()
+    if nxt is not None and nxt[0] == "generic":
+        stream.next()
+        parts[-1] = parts[-1] + nxt[1]
+    # Nullable marker.
+    if stream.accept("?"):
+        parts[-1] = parts[-1] + "?"
+    return " ".join(parts)
+
+
+def _parse_arguments(stream: _TokenStream) -> Tuple[IdlArgument, ...]:
+    stream.expect("(")
+    arguments: List[IdlArgument] = []
+    if stream.accept(")"):
+        return tuple(arguments)
+    while True:
+        optional = stream.accept("optional")
+        arg_type = _parse_type(stream)
+        variadic = stream.accept("...")
+        kind, name, line = stream.next()
+        if kind != "word":
+            raise ParseError("expected argument name, found %r" % name, line)
+        # Default values: "optional DOMString s = ''" — skip the value.
+        if stream.accept("="):
+            stream.next()
+        arguments.append(
+            IdlArgument(
+                name=name, type=arg_type, optional=optional, variadic=variadic
+            )
+        )
+        if stream.accept(")"):
+            return tuple(arguments)
+        stream.expect(",")
+
+
+def _parse_member(
+    stream: _TokenStream, interface: IdlInterface
+) -> None:
+    ext_attrs: Tuple[str, ...] = ()
+    token = stream.peek()
+    if token is not None and token[0] == "extattrs":
+        stream.next()
+        ext_attrs = _parse_extended_attributes(token[1])
+
+    static = stream.accept("static")
+    if stream.accept("const"):
+        # Constants are not callable features; consume through ';'.
+        while stream.next()[1] != ";":
+            pass
+        return
+    readonly = stream.accept("readonly")
+    if stream.accept("attribute"):
+        attr_type = _parse_type(stream)
+        kind, name, line = stream.next()
+        if kind != "word":
+            raise ParseError("expected attribute name, found %r" % name, line)
+        stream.expect(";")
+        interface.attributes.append(
+            IdlAttribute(
+                name=name,
+                type=attr_type,
+                readonly=readonly,
+                static=static,
+                extended_attributes=ext_attrs,
+            )
+        )
+        return
+    if readonly:
+        raise ParseError("'readonly' must precede 'attribute'", stream.line)
+
+    return_type = _parse_type(stream)
+    kind, name, line = stream.next()
+    if kind != "word":
+        raise ParseError("expected operation name, found %r" % name, line)
+    arguments = _parse_arguments(stream)
+    stream.expect(";")
+    interface.operations.append(
+        IdlOperation(
+            name=name,
+            return_type=return_type,
+            arguments=arguments,
+            static=static,
+            extended_attributes=ext_attrs,
+        )
+    )
+
+
+def parse_webidl(text: str) -> List[IdlInterface]:
+    """Parse WebIDL source text into interface definitions.
+
+    Returns one :class:`IdlInterface` per ``interface`` / ``partial
+    interface`` block, in source order.  Raises :class:`ParseError` on
+    any construct outside the supported grammar.
+    """
+    stream = _TokenStream(_tokenize(text))
+    interfaces: List[IdlInterface] = []
+    while not stream.at_end():
+        ext_attrs: Tuple[str, ...] = ()
+        token = stream.peek()
+        if token is not None and token[0] == "extattrs":
+            stream.next()
+            ext_attrs = _parse_extended_attributes(token[1])
+        partial = stream.accept("partial")
+        kind, value, line = stream.next()
+        if value != "interface":
+            raise ParseError(
+                "expected 'interface', found %r" % value, line
+            )
+        kind, name, line = stream.next()
+        if kind != "word":
+            raise ParseError("expected interface name, found %r" % name, line)
+        parent: Optional[str] = None
+        if stream.accept(":"):
+            kind, parent_name, line = stream.next()
+            if kind != "word":
+                raise ParseError(
+                    "expected parent interface name, found %r" % parent_name,
+                    line,
+                )
+            parent = parent_name
+        interface = IdlInterface(
+            name=name,
+            parent=parent,
+            partial=partial,
+            extended_attributes=ext_attrs,
+        )
+        stream.expect("{")
+        while not stream.accept("}"):
+            _parse_member(stream, interface)
+        stream.expect(";")
+        interfaces.append(interface)
+    return interfaces
+
+
+def render_interface(interface: IdlInterface) -> str:
+    """Render an interface back to WebIDL text (corpus serialization)."""
+    lines: List[str] = []
+    if interface.extended_attributes:
+        lines.append("[%s]" % ", ".join(interface.extended_attributes))
+    head = "interface %s" % interface.name
+    if interface.partial:
+        head = "partial " + head
+    if interface.parent:
+        head += " : %s" % interface.parent
+    lines.append(head + " {")
+    for attr in interface.attributes:
+        prefix = "  "
+        if attr.extended_attributes:
+            lines.append("  [%s]" % ", ".join(attr.extended_attributes))
+        if attr.static:
+            prefix += "static "
+        if attr.readonly:
+            prefix += "readonly "
+        lines.append("%sattribute %s %s;" % (prefix, attr.type, attr.name))
+    for op in interface.operations:
+        if op.extended_attributes:
+            lines.append("  [%s]" % ", ".join(op.extended_attributes))
+        args = ", ".join(
+            "%s%s%s %s"
+            % (
+                "optional " if a.optional else "",
+                a.type,
+                "..." if a.variadic else "",
+                a.name,
+            )
+            for a in op.arguments
+        )
+        static = "static " if op.static else ""
+        lines.append(
+            "  %s%s %s(%s);" % (static, op.return_type, op.name, args)
+        )
+    lines.append("};")
+    return "\n".join(lines)

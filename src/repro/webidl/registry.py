@@ -1,0 +1,263 @@
+"""The browser feature registry: features, interfaces, attribution.
+
+The registry is the study's model of the browser surface (sections 3.2
+and 3.3): every JavaScript-exposed method and writable property, which
+interface exposes it, and which standard it belongs to.  It is built by
+*parsing the WebIDL corpus* — the same extraction path the paper takes
+through Firefox's source — and then attributing each feature to the
+earliest standards document that mentions it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.standards.catalog import StandardSpec, all_standards
+from repro.webidl.corpus import (
+    Corpus,
+    FeatureSpec,
+    SINGLETON_GLOBALS,
+    build_corpus,
+)
+from repro.webidl.parser import IdlInterface, parse_webidl
+
+
+@dataclass(frozen=True)
+class Feature:
+    """One instrumentable browser feature.
+
+    ``name`` is the canonical identifier used everywhere downstream:
+    ``Interface.prototype.member`` for instance members and
+    ``Interface.member`` for statics, matching the paper's notation
+    (e.g. ``Document.prototype.createElement``).
+    """
+
+    name: str
+    interface: str
+    member: str
+    kind: str  # "method" | "attribute"
+    static: bool
+    standard: str
+    usage_rank: Optional[int]
+
+    @property
+    def observable(self) -> bool:
+        """Whether the measuring extension can record uses (section 4.2).
+
+        Method calls are caught by prototype shims everywhere; property
+        writes only on the singleton objects ``Object.watch`` covers.
+        """
+        if self.kind == "method":
+            return True
+        return self.interface in SINGLETON_GLOBALS
+
+
+class RegistryError(ValueError):
+    """Raised when the corpus and the catalog disagree."""
+
+
+class FeatureRegistry:
+    """All features, indexed every way the pipeline needs.
+
+    Built via :func:`build_registry`; treat instances as immutable.
+    """
+
+    def __init__(
+        self,
+        features: Sequence[Feature],
+        interfaces: Mapping[str, IdlInterface],
+        specs: Sequence[StandardSpec],
+    ) -> None:
+        self._features = list(features)
+        self._interfaces = dict(interfaces)
+        self._specs = list(specs)
+        self._by_name: Dict[str, Feature] = {}
+        for feature in self._features:
+            if feature.name in self._by_name:
+                raise RegistryError("duplicate feature %s" % feature.name)
+            self._by_name[feature.name] = feature
+        self._by_standard: Dict[str, List[Feature]] = {
+            s.abbrev: [] for s in self._specs
+        }
+        for feature in self._features:
+            self._by_standard[feature.standard].append(feature)
+        self._spec_by_abbrev = {s.abbrev: s for s in self._specs}
+
+    # -- lookups ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._features)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def feature(self, name: str) -> Feature:
+        return self._by_name[name]
+
+    def features(self) -> List[Feature]:
+        return list(self._features)
+
+    def features_of_standard(self, abbrev: str) -> List[Feature]:
+        return list(self._by_standard[abbrev])
+
+    def used_features_of_standard(self, abbrev: str) -> List[Feature]:
+        """The standard's used pool, most popular first."""
+        used = [
+            f for f in self._by_standard[abbrev] if f.usage_rank is not None
+        ]
+        return sorted(used, key=lambda f: f.usage_rank)
+
+    def standards(self) -> List[StandardSpec]:
+        return list(self._specs)
+
+    def standard(self, abbrev: str) -> StandardSpec:
+        return self._spec_by_abbrev[abbrev]
+
+    def standard_of(self, feature_name: str) -> str:
+        return self._by_name[feature_name].standard
+
+    def interfaces(self) -> Dict[str, IdlInterface]:
+        return dict(self._interfaces)
+
+    def interface(self, name: str) -> IdlInterface:
+        return self._interfaces[name]
+
+    def interface_chain(self, name: str) -> List[str]:
+        """The prototype chain for an interface, leaf first."""
+        chain = [name]
+        current = self._interfaces.get(name)
+        while current is not None and current.parent:
+            chain.append(current.parent)
+            current = self._interfaces.get(current.parent)
+        return chain
+
+    def features_of_interface(self, interface: str) -> List[Feature]:
+        return [f for f in self._features if f.interface == interface]
+
+    def singleton_global(self, interface: str) -> Optional[str]:
+        return SINGLETON_GLOBALS.get(interface)
+
+    # -- statistics -------------------------------------------------------
+
+    def feature_count(self) -> int:
+        return len(self._features)
+
+    def standard_count(self) -> int:
+        return len(self._specs)
+
+    def never_used_feature_count(self) -> int:
+        return sum(1 for f in self._features if f.usage_rank is None)
+
+
+def attribute_features(
+    mentions: Mapping[str, Sequence[str]],
+    publication_years: Mapping[str, int],
+) -> Dict[str, str]:
+    """Resolve multi-standard mentions to a single owner per feature.
+
+    Implements the paper's rule (section 3.3): a feature mentioned by
+    several standards documents belongs to the earliest-published one
+    (e.g. ``Node.prototype.insertBefore`` appears in DOM Levels 1-3 and
+    is attributed to DOM Level 1).
+    """
+    owner: Dict[str, Tuple[int, str]] = {}
+    for abbrev, names in mentions.items():
+        year = publication_years[abbrev]
+        for name in names:
+            current = owner.get(name)
+            if current is None or (year, abbrev) < current:
+                owner[name] = (year, abbrev)
+    return {name: abbrev for name, (year, abbrev) in owner.items()}
+
+
+def build_registry(corpus: Optional[Corpus] = None) -> FeatureRegistry:
+    """Parse the corpus and assemble the registry.
+
+    The pipeline is deliberately the paper's: serialize → parse all 757
+    WebIDL files → extract operations and writable attributes → resolve
+    standard attribution.  The parsed surface is cross-checked against
+    the corpus ground truth; any disagreement raises
+    :class:`RegistryError` rather than producing a silently skewed
+    feature set.
+    """
+    if corpus is None:
+        corpus = build_corpus()
+
+    # Parse every file and merge partial interfaces.
+    parsed: Dict[str, IdlInterface] = {}
+    for corpus_file in corpus.files:
+        for interface in parse_webidl(corpus_file.text):
+            merged = parsed.get(interface.name)
+            if merged is None:
+                merged = IdlInterface(
+                    name=interface.name, parent=interface.parent
+                )
+                parsed[interface.name] = merged
+            elif interface.parent and not merged.parent:
+                merged.parent = interface.parent
+            merged.operations.extend(interface.operations)
+            merged.attributes.extend(interface.attributes)
+
+    # Extract the feature surface from the parse.
+    extracted: Dict[str, Tuple[str, str, str, bool]] = {}
+    for interface in parsed.values():
+        for op in interface.operations:
+            name = (
+                "%s.%s" % (interface.name, op.name)
+                if op.static
+                else "%s.prototype.%s" % (interface.name, op.name)
+            )
+            extracted[name] = (interface.name, op.name, "method", op.static)
+        for attr in interface.attributes:
+            if attr.readonly:
+                continue  # not settable: not a property-write feature
+            name = "%s.prototype.%s" % (interface.name, attr.name)
+            extracted[name] = (interface.name, attr.name, "attribute", False)
+
+    # Resolve standard attribution from document mentions.
+    attribution = attribute_features(
+        corpus.mentions, corpus.publication_years
+    )
+
+    truth = {f.name: f for f in corpus.features}
+    if set(extracted) != set(truth):
+        missing = sorted(set(truth) - set(extracted))[:5]
+        extra = sorted(set(extracted) - set(truth))[:5]
+        raise RegistryError(
+            "parsed surface mismatch: missing=%s extra=%s" % (missing, extra)
+        )
+
+    features: List[Feature] = []
+    for spec_feature in corpus.features:
+        interface, member, kind, static = extracted[spec_feature.name]
+        standard = attribution[spec_feature.name]
+        if standard != spec_feature.standard:
+            raise RegistryError(
+                "attribution disagrees for %s: %s vs %s"
+                % (spec_feature.name, standard, spec_feature.standard)
+            )
+        features.append(
+            Feature(
+                name=spec_feature.name,
+                interface=interface,
+                member=member,
+                kind=kind,
+                static=static,
+                standard=standard,
+                usage_rank=spec_feature.usage_rank,
+            )
+        )
+
+    return FeatureRegistry(features, parsed, all_standards())
+
+
+_default_registry: Optional[FeatureRegistry] = None
+
+
+def default_registry() -> FeatureRegistry:
+    """The lazily-built, cached registry for the default corpus."""
+    global _default_registry
+    if _default_registry is None:
+        _default_registry = build_registry()
+    return _default_registry

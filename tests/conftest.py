@@ -1,0 +1,58 @@
+"""Shared fixtures: the registry, small webs, and pre-run surveys.
+
+Surveys are expensive (every page load spins a script engine), so the
+suite runs them once per session at small scale and shares the results.
+All fixtures are seeded; the whole suite is deterministic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blocking.extension import BrowsingCondition
+from repro.core.survey import SurveyConfig, run_survey
+from repro.webgen.sitegen import SyntheticWeb, build_web
+from repro.webidl.corpus import build_corpus
+from repro.webidl.registry import FeatureRegistry, build_registry
+
+
+@pytest.fixture(scope="session")
+def registry() -> FeatureRegistry:
+    return build_registry(build_corpus())
+
+
+@pytest.fixture(scope="session")
+def small_web(registry) -> SyntheticWeb:
+    return build_web(registry, n_sites=60, seed=1207)
+
+
+@pytest.fixture(scope="session")
+def survey(registry, small_web):
+    """A two-condition survey over the 60-site web (3 rounds)."""
+    config = SurveyConfig(
+        conditions=(BrowsingCondition.DEFAULT, BrowsingCondition.BLOCKING),
+        visits_per_site=3,
+        seed=99,
+    )
+    return run_survey(small_web, registry, config)
+
+
+@pytest.fixture(scope="session")
+def quad_web(registry) -> SyntheticWeb:
+    return build_web(registry, n_sites=50, seed=414)
+
+
+@pytest.fixture(scope="session")
+def quad_survey(registry, quad_web):
+    """All four browsing conditions (for the Figure 7 analyses)."""
+    config = SurveyConfig(
+        conditions=(
+            BrowsingCondition.DEFAULT,
+            BrowsingCondition.BLOCKING,
+            BrowsingCondition.ABP_ONLY,
+            BrowsingCondition.GHOSTERY_ONLY,
+        ),
+        visits_per_site=2,
+        seed=515,
+    )
+    return run_survey(quad_web, registry, config)

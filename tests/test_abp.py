@@ -1,0 +1,185 @@
+"""Tests for the AdBlock Plus filter engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.blocking.abp import (
+    AbpFilter,
+    FilterList,
+    FilterParseError,
+    HidingRule,
+    parse_filter,
+)
+from repro.net.resources import Request, ResourceKind
+from repro.net.url import Url
+
+
+def req(url, kind=ResourceKind.SCRIPT, page="https://site.com/"):
+    return Request(
+        url=Url.parse(url), kind=kind, first_party=Url.parse(page)
+    )
+
+
+def blocks(filter_text, request) -> bool:
+    return FilterList([filter_text]).should_block(request)
+
+
+class TestPatternMatching:
+    def test_plain_substring(self):
+        assert blocks("/ads/", req("https://x.com/ads/banner.js"))
+        assert not blocks("/ads/", req("https://x.com/news/"))
+
+    def test_wildcard(self):
+        assert blocks("/banner/*/img", req("https://x.com/banner/12/img"))
+        assert not blocks("/banner/*/img", req("https://x.com/banner/12"))
+
+    def test_domain_anchor_matches_domain_and_subdomains(self):
+        rule = "||ads.net^"
+        assert blocks(rule, req("https://ads.net/x.js"))
+        assert blocks(rule, req("https://static.ads.net/x.js"))
+        assert not blocks(rule, req("https://notads.net/x.js"))
+        assert not blocks(rule, req("https://x.com/ads.net/"))
+
+    def test_separator_caret(self):
+        assert blocks("||ads.net^", req("https://ads.net/"))
+        assert blocks("^ad_slot=", req("https://x.com/page?ad_slot=3"))
+
+    def test_start_anchor(self):
+        assert blocks("|https://exact", req("https://exact.com/"))
+        assert not blocks("|exact", req("https://exact.com/"))
+
+    def test_end_anchor(self):
+        assert blocks("tracker.js|", req("https://x.com/tracker.js"))
+        assert not blocks("tracker.js|", req("https://x.com/tracker.js?v=2"))
+
+
+class TestOptions:
+    def test_resource_type_filter(self):
+        rule = "/tag$script"
+        assert blocks(rule, req("https://x.com/tag", ResourceKind.SCRIPT))
+        assert not blocks(rule, req("https://x.com/tag", ResourceKind.IMAGE))
+
+    def test_negated_type(self):
+        rule = "/tag$~script"
+        assert not blocks(rule, req("https://x.com/tag", ResourceKind.SCRIPT))
+        assert blocks(rule, req("https://x.com/tag", ResourceKind.IMAGE))
+
+    def test_multiple_types(self):
+        rule = "/m$script,image"
+        assert blocks(rule, req("https://x.com/m", ResourceKind.SCRIPT))
+        assert blocks(rule, req("https://x.com/m", ResourceKind.IMAGE))
+        assert not blocks(rule, req("https://x.com/m", ResourceKind.XHR))
+
+    def test_third_party_option(self):
+        rule = "||ads.net^$third-party"
+        third = req("https://ads.net/t.js", page="https://site.com/")
+        first = req("https://ads.net/t.js", page="https://ads.net/")
+        assert blocks(rule, third)
+        assert not blocks(rule, first)
+
+    def test_first_party_only(self):
+        rule = "/self$~third-party"
+        own = req("https://site.com/self", page="https://site.com/")
+        other = req("https://x.net/self", page="https://site.com/")
+        assert blocks(rule, own)
+        assert not blocks(rule, other)
+
+    def test_domain_restriction(self):
+        rule = "/w$domain=site.com"
+        assert blocks(rule, req("https://t.net/w", page="https://site.com/"))
+        assert not blocks(
+            rule, req("https://t.net/w", page="https://other.org/")
+        )
+
+    def test_domain_exclusion(self):
+        rule = "/w$domain=~site.com"
+        assert not blocks(
+            rule, req("https://t.net/w", page="https://site.com/")
+        )
+        assert blocks(
+            rule, req("https://t.net/w", page="https://other.org/")
+        )
+
+    def test_unknown_option_skipped_loudly(self):
+        filters = FilterList(["/x$websocket-frames"])
+        assert len(filters) == 0
+        assert filters.skipped
+
+
+class TestExceptions:
+    def test_exception_rule_unblocks(self):
+        filters = FilterList(["||cdn.net^", "@@||cdn.net^$script"])
+        script = req("https://cdn.net/lib.js", ResourceKind.SCRIPT)
+        image = req("https://cdn.net/pic.png", ResourceKind.IMAGE)
+        assert not filters.should_block(script)
+        assert filters.should_block(image)
+
+    def test_exception_without_block_is_noop(self):
+        filters = FilterList(["@@||fine.net^"])
+        assert not filters.should_block(req("https://fine.net/x"))
+
+
+class TestElementHiding:
+    def test_global_hiding_rule(self):
+        filters = FilterList(["##.ad-banner"])
+        selectors = filters.hiding_selectors_for(Url.parse("https://a.com/"))
+        assert selectors == [".ad-banner"]
+
+    def test_domain_specific_hiding(self):
+        filters = FilterList(["site.com##.promo"])
+        assert filters.hiding_selectors_for(
+            Url.parse("https://www.site.com/")
+        ) == [".promo"]
+        assert filters.hiding_selectors_for(
+            Url.parse("https://other.net/")
+        ) == []
+
+    def test_empty_selector_rejected(self):
+        filters = FilterList(["##   "])
+        assert filters.skipped
+
+
+class TestListParsing:
+    def test_comments_and_blanks_skipped(self):
+        filters = FilterList(["! comment", "", "[Adblock Plus 2.0]", "/x"])
+        assert len(filters.block_filters) == 1
+
+    def test_parse_filter_returns_none_for_comment(self):
+        assert parse_filter("! note") is None
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(FilterParseError):
+            parse_filter("$script")
+
+    def test_matching_filter_diagnostic(self):
+        filters = FilterList(["/ads/"])
+        found = filters.matching_filter(req("https://x.com/ads/a.js"))
+        assert found is not None
+        assert found.raw == "/ads/"
+        assert filters.matching_filter(req("https://x.com/ok")) is None
+
+    def test_len_counts_all_rule_kinds(self):
+        filters = FilterList(["/a", "@@/b", "##.c"])
+        assert len(filters) == 3
+
+
+class TestAbpProperties:
+    _PATTERN_CHARS = st.text(
+        alphabet="abc/.*^|", min_size=1, max_size=12
+    )
+
+    @given(_PATTERN_CHARS)
+    def test_compile_never_crashes(self, pattern):
+        """Any pattern from the filter alphabet parses or is skipped."""
+        try:
+            rule = parse_filter(pattern)
+        except FilterParseError:
+            return
+        if isinstance(rule, (AbpFilter, HidingRule)):
+            return
+        assert rule is None
+
+    @given(st.from_regex(r"[a-z]{1,8}\.(com|net)", fullmatch=True))
+    def test_domain_anchor_always_blocks_own_host(self, host):
+        rule = parse_filter("||%s^" % host)
+        assert rule.matches(req("https://%s/x.js" % host))

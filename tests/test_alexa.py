@@ -1,0 +1,75 @@
+"""Tests for the Alexa-style ranking."""
+
+import random
+
+import pytest
+
+from repro.webgen.alexa import AlexaRanking
+
+
+@pytest.fixture(scope="module")
+def ranking():
+    return AlexaRanking(n_sites=500, seed=3)
+
+
+class TestRanking:
+    def test_size_and_ordering(self, ranking):
+        sites = ranking.all()
+        assert len(sites) == len(ranking) == 500
+        assert [s.rank for s in sites] == list(range(1, 501))
+
+    def test_domains_unique(self, ranking):
+        domains = [s.domain for s in ranking.all()]
+        assert len(domains) == len(set(domains))
+
+    def test_top_n(self, ranking):
+        top = ranking.top(10)
+        assert len(top) == 10
+        assert top[0].rank == 1
+
+    def test_lookup(self, ranking):
+        first = ranking.top(1)[0]
+        assert ranking.site(first.domain) is first
+        assert first.domain in ranking
+        assert "not-a-site.example" not in ranking
+
+    def test_zipf_traffic(self, ranking):
+        sites = ranking.all()
+        visits = [s.monthly_visits for s in sites]
+        assert visits == sorted(visits, reverse=True)
+        # 1/r^0.9: rank1/rank2 ratio ~ 2^0.9.
+        assert visits[0] / visits[1] == pytest.approx(2 ** 0.9)
+
+    def test_deterministic(self):
+        a = AlexaRanking(n_sites=50, seed=9)
+        b = AlexaRanking(n_sites=50, seed=9)
+        assert [s.domain for s in a.all()] == [s.domain for s in b.all()]
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            AlexaRanking(n_sites=0)
+
+
+class TestTrafficWeights:
+    def test_weights_sum_to_one(self, ranking):
+        assert sum(ranking.weights().values()) == pytest.approx(1.0)
+
+    def test_top_site_weight_dominates(self, ranking):
+        first = ranking.top(1)[0]
+        last = ranking.all()[-1]
+        assert ranking.visit_weight(first.domain) > 50 * (
+            ranking.visit_weight(last.domain)
+        )
+
+    def test_sample_by_traffic_distinct(self, ranking):
+        sample = ranking.sample_by_traffic(random.Random(1), 40)
+        assert len(sample) == len(set(sample)) == 40
+
+    def test_sample_skews_toward_top(self, ranking):
+        sample = ranking.sample_by_traffic(random.Random(1), 50)
+        mean_rank = sum(ranking.site(d).rank for d in sample) / 50
+        assert mean_rank < 200  # uniform sampling would give ~250
+
+    def test_sample_too_large_rejected(self, ranking):
+        with pytest.raises(ValueError):
+            ranking.sample_by_traffic(random.Random(1), 501)

@@ -1,0 +1,202 @@
+"""Tests for the per-figure/table analysis functions (on real surveys)."""
+
+import datetime
+
+import pytest
+
+from repro.core import analysis, reporting
+from repro.core.validation import internal_validation
+
+
+class TestFigure1:
+    def test_series_shape(self):
+        points = analysis.figure1_browser_evolution()
+        assert len(points) == 28
+        assert {p.browser for p in points} == {
+            "Chrome", "Firefox", "Safari", "IE",
+        }
+
+    def test_rendering(self):
+        text = reporting.figure1_series()
+        assert "Chrome" in text and "2013" in text
+
+
+class TestTable1:
+    def test_summary_consistency(self, survey):
+        summary = analysis.table1_crawl_summary(survey)
+        assert summary.domains_measured + summary.domains_failed == len(
+            survey.domains
+        )
+        assert summary.pages_visited > 0
+        assert summary.feature_invocations > 0
+        assert summary.interaction_seconds == summary.pages_visited * 30
+        assert summary.interaction_days == pytest.approx(
+            summary.interaction_seconds / 86400
+        )
+
+    def test_rendering(self, survey):
+        text = reporting.table1_text(survey)
+        assert "Domains measured" in text
+        assert "Feature invocations recorded" in text
+
+
+class TestFigure3:
+    def test_cdf_monotone_and_complete(self, survey):
+        points = analysis.figure3_standard_popularity_cdf(survey)
+        assert len(points) == 75
+        sites = [p[0] for p in points]
+        fractions = [p[1] for p in points]
+        assert sites == sorted(sites)
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == pytest.approx(1.0)
+
+    def test_never_used_standards_at_zero(self, survey):
+        points = analysis.figure3_standard_popularity_cdf(survey)
+        zero_fraction = max(f for s, f in points if s == 0)
+        assert zero_fraction >= 11 / 75  # the never-used standards
+
+
+class TestFigure4:
+    def test_points_shape(self, survey):
+        points = analysis.figure4_popularity_vs_block_rate(survey)
+        assert points
+        for p in points:
+            assert p.sites > 0
+            assert p.block_rate is None or 0 <= p.block_rate <= 1
+
+    def test_used_standards_only(self, survey):
+        points = analysis.figure4_popularity_vs_block_rate(survey)
+        abbrevs = {p.abbrev for p in points}
+        assert "EME" not in abbrevs  # never used
+
+
+class TestFigure5:
+    def test_fractions_bounded(self, survey):
+        points = analysis.figure5_site_vs_traffic_popularity(survey)
+        for p in points:
+            assert 0 <= p.site_fraction <= 1
+            assert 0 <= p.visit_fraction <= 1
+            assert p.skew == pytest.approx(
+                p.visit_fraction - p.site_fraction
+            )
+
+
+class TestFigure6:
+    def test_every_standard_has_a_point(self, survey):
+        points = analysis.figure6_age_vs_popularity(survey)
+        assert len(points) == 75
+
+    def test_dates_within_study_window(self, survey):
+        points = analysis.figure6_age_vs_popularity(survey)
+        for p in points:
+            assert datetime.date(2004, 1, 1) <= p.introduced
+            assert p.introduced <= datetime.date(2016, 5, 3)
+
+    def test_block_bands_valid(self, survey):
+        points = analysis.figure6_age_vs_popularity(survey)
+        assert {p.block_band for p in points} <= {"low", "mid", "high"}
+
+    def test_old_popular_standard_example(self, survey):
+        ajax = next(
+            p for p in analysis.figure6_age_vs_popularity(survey)
+            if p.abbrev == "AJAX"
+        )
+        assert ajax.introduced.year <= 2006
+        assert ajax.block_band == "low"
+
+
+class TestFigure7:
+    def test_requires_all_conditions(self, survey):
+        with pytest.raises(ValueError):
+            analysis.figure7_ad_vs_tracking_block(survey)
+
+    def test_per_extension_rates(self, quad_survey):
+        points = analysis.figure7_ad_vs_tracking_block(quad_survey)
+        assert points
+        for p in points:
+            for rate in (p.ad_block_rate, p.tracking_block_rate):
+                assert rate is None or 0 <= rate <= 1
+
+    def test_tracker_biased_standard(self, quad_survey):
+        """PT2 (93.7% combined, tracker-heavy) must skew tracker-ward."""
+        point = next(
+            (p for p in analysis.figure7_ad_vs_tracking_block(quad_survey)
+             if p.abbrev == "PT2" and p.sites >= 3),
+            None,
+        )
+        if point is None:
+            pytest.skip("PT2 too rare at this scale")
+        assert point.tracking_block_rate >= point.ad_block_rate
+
+
+class TestTable2:
+    def test_inclusion_rule(self, survey):
+        rows = analysis.table2_standard_summary(survey)
+        measured = len(survey.measured_domains("default"))
+        for row in rows:
+            assert row.sites / measured >= 0.01 or row.cves > 0
+
+    def test_cve_columns_from_corpus(self, survey):
+        rows = analysis.table2_standard_summary(survey)
+        by_abbrev = {r.abbrev: r for r in rows}
+        assert by_abbrev["H-C"].cves == 15
+        assert by_abbrev["SVG"].cves == 14
+
+    def test_sorted_by_cves_then_sites(self, survey):
+        rows = analysis.table2_standard_summary(survey)
+        keys = [(-r.cves, -r.sites) for r in rows]
+        assert keys == sorted(keys)
+
+    def test_rendering(self, survey):
+        text = reporting.table2_text(survey)
+        assert "Standard Name" in text
+        assert "HTML: Canvas" in text
+
+
+class TestFigure8:
+    def test_pdf_sums_to_one(self, survey):
+        pdf = analysis.figure8_site_complexity_pdf(survey)
+        assert sum(pdf.values()) == pytest.approx(1.0)
+
+    def test_keys_are_standard_counts(self, survey):
+        pdf = analysis.figure8_site_complexity_pdf(survey)
+        assert all(isinstance(k, int) and k >= 0 for k in pdf)
+        assert max(pdf) <= 75
+
+
+class TestHeadlines:
+    def test_statistics_consistent(self, survey):
+        stats = analysis.headline_feature_statistics(survey)
+        assert stats.total_features == 1392
+        assert stats.never_used_features >= 689  # scaled webs only add
+        assert 0 <= stats.never_used_fraction <= 1
+        assert stats.under_one_percent_fraction >= stats.never_used_fraction
+        assert stats.total_standards == 75
+        assert stats.never_used_standards >= 11
+
+    def test_blocking_reduces_usage(self, survey):
+        stats = analysis.headline_feature_statistics(survey)
+        assert stats.under_one_percent_with_blocking >= (
+            stats.never_used_features + stats.under_one_percent_features
+        )
+
+    def test_rendering(self, survey):
+        text = reporting.headline_text(survey)
+        assert "Never used" in text
+
+
+class TestInternalValidationAnalysis:
+    def test_rows_cover_rounds_2_to_n(self, survey):
+        rows = internal_validation(survey)
+        assert [r[0] for r in rows] == list(
+            range(2, survey.visits_per_site + 1)
+        )
+
+    def test_new_standards_decline(self, survey):
+        rows = internal_validation(survey)
+        values = [v for _, v in rows]
+        assert values[0] >= values[-1]
+
+    def test_rendering(self, survey):
+        text = reporting.table3_text(internal_validation(survey))
+        assert "Round #" in text

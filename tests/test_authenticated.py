@@ -1,0 +1,165 @@
+"""Tests for authenticated (closed-web) crawling — section 7.3."""
+
+import pytest
+
+from repro.browser import Browser
+from repro.monkey import AuthenticatedCrawler, SiteCrawler
+from repro.net.fetcher import Fetcher
+from repro.net.url import Url
+from repro.webgen.sitegen import build_web
+
+
+@pytest.fixture(scope="module")
+def gated_world(registry):
+    """A web large enough to contain gated sites, plus one such site."""
+    web = build_web(registry, n_sites=250, seed=99)
+    gated = [s for s in web.sites.values() if s.plan.gated]
+    assert gated, "expected gated sites at n=250"
+    return web, gated[0]
+
+
+@pytest.fixture()
+def browser(registry, gated_world):
+    web, _ = gated_world
+    return Browser(registry, Fetcher(web))
+
+
+class TestGatedGeneration:
+    def test_gated_sites_exist_at_scale(self, gated_world):
+        web, _ = gated_world
+        gated = [s for s in web.sites.values() if s.plan.gated]
+        # ~8% of DOM1+H-WS sites.
+        assert 2 <= len(gated) <= 60
+
+    def test_gated_sites_have_login_and_account_pages(self, gated_world):
+        _, site = gated_world
+        assert site.login_path in site.pages
+        assert site.account_path in site.pages
+        assert site.plan.credentials
+
+    def test_gated_standards_not_in_open_plan(self, gated_world):
+        _, site = gated_world
+        open_standards = set(site.plan.standards_used())
+        for usage in site.plan.gated:
+            assert usage.standard not in open_standards
+
+    def test_non_gated_sites_have_no_login_page(self, gated_world):
+        web, _ = gated_world
+        plain = next(
+            s for s in web.sites.values()
+            if not s.plan.gated and not s.failed
+        )
+        assert plain.login_path is None
+        assert "/login/" not in plain.pages
+
+
+class TestLoginFlow:
+    def test_correct_credential_logs_in(self, gated_world, browser):
+        _, site = gated_world
+        crawler = AuthenticatedCrawler(browser)
+        assert crawler.login(site.domain, site.plan.credentials)
+        jar = browser.storage_for(Url.parse("https://%s/" % site.domain))
+        assert jar.get("session") == site.session_token
+
+    def test_wrong_credential_rejected(self, gated_world, browser):
+        _, site = gated_world
+        browser.reset_storage()
+        crawler = AuthenticatedCrawler(browser)
+        assert not crawler.login(site.domain, "hunter2")
+
+    def test_login_on_non_gated_site_fails(self, gated_world, browser):
+        web, _ = gated_world
+        plain = next(
+            s for s in web.sites.values()
+            if not s.plan.gated and not s.failed
+        )
+        crawler = AuthenticatedCrawler(browser)
+        assert not crawler.login(plain.domain, "anything")
+
+
+class TestClosedWebMeasurement:
+    def test_open_crawl_misses_gated_standards(self, gated_world, browser):
+        _, site = gated_world
+        open_result = SiteCrawler(browser).visit_site(site.domain, 1, seed=5)
+        registry = browser.registry
+        open_standards = {
+            registry.standard_of(f) for f in open_result.feature_counts
+        }
+        gated = {u.standard for u in site.plan.gated}
+        assert not (gated & open_standards)
+
+    def test_authenticated_crawl_finds_them(self, gated_world, browser):
+        _, site = gated_world
+        open_result = SiteCrawler(browser).visit_site(site.domain, 1, seed=5)
+        crawler = AuthenticatedCrawler(browser)
+        measurement = crawler.measure(
+            site.domain, site.plan.credentials, open_result, seed=5
+        )
+        assert measurement.logged_in
+        gated = {u.standard for u in site.plan.gated}
+        assert gated <= measurement.closed_web_standards
+
+    def test_wrong_credentials_find_nothing_gated(self, gated_world,
+                                                  browser):
+        _, site = gated_world
+        open_result = SiteCrawler(browser).visit_site(site.domain, 1, seed=5)
+        crawler = AuthenticatedCrawler(browser)
+        measurement = crawler.measure(
+            site.domain, "wrong", open_result, seed=5
+        )
+        assert not measurement.logged_in
+        gated = {u.standard for u in site.plan.gated}
+        assert not (gated & measurement.closed_web_standards)
+
+
+class TestStoragePersistence:
+    def test_storage_persists_across_pages(self, registry):
+        from repro.net.fetcher import DictWebSource
+
+        web = DictWebSource()
+        web.add_html(
+            "https://p.test/",
+            "<html><body><script>localStorage.setItem('k', 'v');"
+            "</script></body></html>",
+        )
+        web.add_html(
+            "https://p.test/next/",
+            "<html><body><script>"
+            "window.__seen = localStorage.getItem('k');"
+            "</script></body></html>",
+        )
+        browser = Browser(registry, Fetcher(web))
+        browser.visit_page(Url.parse("https://p.test/"), seed=1)
+        second = browser.visit_page(Url.parse("https://p.test/next/"),
+                                    seed=2)
+        assert second.realm.interp.global_object.get("__seen") == "v"
+
+    def test_reset_storage_clears(self, registry):
+        from repro.net.fetcher import DictWebSource
+
+        web = DictWebSource()
+        web.add_html(
+            "https://p.test/",
+            "<html><body><script>"
+            "window.__seen = localStorage.getItem('k');"
+            "</script></body></html>",
+        )
+        browser = Browser(registry, Fetcher(web))
+        browser.storage_for(Url.parse("https://p.test/"))["k"] = "stale"
+        browser.reset_storage()
+        page = browser.visit_page(Url.parse("https://p.test/"), seed=1)
+        from repro.minijs.objects import NULL
+
+        assert page.realm.interp.global_object.get("__seen") is NULL
+
+    def test_jars_are_per_domain(self, registry):
+        from repro.net.fetcher import DictWebSource
+
+        browser = Browser(registry, Fetcher(DictWebSource()))
+        a = browser.storage_for(Url.parse("https://a.test/"))
+        b = browser.storage_for(Url.parse("https://b.test/"))
+        a["x"] = "1"
+        assert "x" not in b
+        # Subdomains share the registrable domain's jar.
+        sub = browser.storage_for(Url.parse("https://www.a.test/"))
+        assert sub is a

@@ -1,0 +1,162 @@
+"""Tests for the Ghostery database, extensions and built-in lists."""
+
+import pytest
+
+from repro.blocking.extension import (
+    AdBlockPlus,
+    BrowsingCondition,
+    Ghostery,
+)
+from repro.blocking.ghostery import TrackerDatabase, TrackerEntry
+from repro.blocking.lists import builtin_filter_list, builtin_tracker_database
+from repro.net.resources import Request, ResourceKind
+from repro.net.url import Url
+from repro.webgen.thirdparty import ThirdPartyEcosystem
+
+
+def req(url, kind=ResourceKind.SCRIPT, page="https://site.com/"):
+    return Request(url=Url.parse(url), kind=kind,
+                   first_party=Url.parse(page))
+
+
+class TestTrackerDatabase:
+    @pytest.fixture()
+    def db(self):
+        return TrackerDatabase([
+            TrackerEntry("Spy", "site-analytics", ("spy.net",)),
+            TrackerEntry("PathSpy", "site-analytics", ("tp.io",), "/collect"),
+            TrackerEntry("AdPix", "advertising", ("pix.com",)),
+        ])
+
+    def test_host_suffix_match(self, db):
+        assert db.should_block(req("https://spy.net/t.js"))
+        assert db.should_block(req("https://cdn.spy.net/t.js"))
+        assert not db.should_block(req("https://notspy.net/t.js"))
+
+    def test_path_substring_required(self, db):
+        assert db.should_block(req("https://tp.io/collect.js"))
+        assert not db.should_block(req("https://tp.io/other.js"))
+
+    def test_first_party_exempt(self, db):
+        own = req("https://spy.net/t.js", page="https://spy.net/")
+        assert not db.should_block(own)
+
+    def test_category_toggle(self, db):
+        request = req("https://pix.com/p.js")
+        assert db.should_block(request)
+        db.set_category_enabled("advertising", False)
+        assert not db.should_block(request)
+        db.set_category_enabled("advertising", True)
+        assert db.should_block(request)
+
+    def test_match_returns_entry(self, db):
+        entry = db.match(Url.parse("https://spy.net/x"))
+        assert entry is not None and entry.name == "Spy"
+        assert db.match(Url.parse("https://clean.org/")) is None
+
+
+class TestExtensions:
+    def test_gate_semantics_and_counter(self):
+        db = TrackerDatabase([
+            TrackerEntry("Spy", "site-analytics", ("spy.net",)),
+        ])
+        extension = Ghostery(db)
+        assert extension.gate(req("https://fine.org/a.js")) is True
+        assert extension.gate(req("https://spy.net/t.js")) is False
+        assert extension.blocked_count == 1
+
+    def test_condition_default_installs_nothing(self):
+        assert BrowsingCondition.extensions_for("default") == []
+
+    def test_condition_blocking_installs_both(self):
+        extensions = BrowsingCondition.extensions_for(
+            "blocking",
+            filter_list=builtin_filter_list(),
+            tracker_db=builtin_tracker_database(),
+        )
+        names = {e.name for e in extensions}
+        assert names == {"adblock-plus", "ghostery"}
+
+    def test_single_extension_conditions(self):
+        abp = BrowsingCondition.extensions_for(
+            "abp-only", filter_list=builtin_filter_list()
+        )
+        ghostery = BrowsingCondition.extensions_for(
+            "ghostery-only", tracker_db=builtin_tracker_database()
+        )
+        assert [e.name for e in abp] == ["adblock-plus"]
+        assert [e.name for e in ghostery] == ["ghostery"]
+
+    def test_unknown_condition_rejected(self):
+        with pytest.raises(ValueError):
+            BrowsingCondition.extensions_for("incognito")
+
+    def test_missing_list_rejected(self):
+        with pytest.raises(ValueError):
+            BrowsingCondition.extensions_for("abp-only")
+
+
+class TestBuiltinLists:
+    @pytest.fixture(scope="class")
+    def ecosystem(self):
+        return ThirdPartyEcosystem()
+
+    @pytest.fixture(scope="class")
+    def abp(self, ecosystem):
+        return AdBlockPlus(builtin_filter_list(ecosystem))
+
+    @pytest.fixture(scope="class")
+    def ghostery(self, ecosystem):
+        return Ghostery(builtin_tracker_database(ecosystem))
+
+    def test_all_ad_networks_blocked(self, ecosystem, abp):
+        for network in ecosystem.ad_networks:
+            tag = req("https://%s/tag.js?site=5" % network.host)
+            assert abp.should_block(tag), network.host
+
+    def test_all_trackers_blocked_by_ghostery(self, ecosystem, ghostery):
+        for tracker in ecosystem.trackers:
+            tag = req("https://%s/collect.js?sid=5" % tracker.host)
+            assert ghostery.should_block(tag), tracker.host
+
+    def test_cdn_never_blocked(self, ecosystem, abp, ghostery):
+        lib = req("https://cdnlib.net/lib.js")
+        assert not abp.should_block(lib)
+        assert not ghostery.should_block(lib)
+
+    def test_first_party_scripts_never_blocked(self, abp, ghostery):
+        own = req("https://site.com/static/app.js",
+                  page="https://site.com/")
+        assert not abp.should_block(own)
+        assert not ghostery.should_block(own)
+
+    def test_abp_does_not_block_most_trackers(self, ecosystem, abp):
+        # Only the EasyPrivacy-style overlap entry is on the ad list.
+        blocked = [
+            tracker.host
+            for tracker in ecosystem.trackers
+            if abp.should_block(
+                req("https://%s/collect.js?sid=1" % tracker.host)
+            )
+        ]
+        assert blocked == [ecosystem.trackers[0].host]
+
+    def test_ghostery_knows_ad_beacons_only_by_path(self, ecosystem,
+                                                    ghostery):
+        network = ecosystem.ad_networks[0]
+        beacon = req("https://%s/px?x=1" % network.host,
+                     kind=ResourceKind.IMAGE)
+        script = req("https://%s/tag.js?site=1" % network.host)
+        assert ghostery.should_block(beacon)
+        assert not ghostery.should_block(script)
+
+    def test_element_hiding_rules_present(self, ecosystem):
+        filters = builtin_filter_list(ecosystem)
+        selectors = filters.hiding_selectors_for(
+            Url.parse("https://any.com/")
+        )
+        assert ".ad-banner" in selectors
+
+    def test_no_rules_were_skipped(self, ecosystem):
+        filters = builtin_filter_list(ecosystem)
+        assert filters.skipped == []

@@ -1,0 +1,234 @@
+"""Tests for the browser page-load pipeline and measuring extension."""
+
+import pytest
+
+from repro.blocking.abp import FilterList
+from repro.blocking.extension import AdBlockPlus
+from repro.browser.browser import Browser, BrowserConfig
+from repro.browser.extension import (
+    FeatureRecorder,
+    MeasuringExtension,
+    MODE_ACCELERATED,
+    MODE_PURE_JS,
+)
+from repro.net.fetcher import DictWebSource, Fetcher
+from repro.net.url import Url
+
+
+@pytest.fixture()
+def tiny_web():
+    web = DictWebSource()
+    web.add_html(
+        "https://page.test/",
+        "<html><head><title>t</title>"
+        '<script src="/app.js"></script></head>'
+        "<body><div id='x'></div>"
+        "<script>document.title = 'inline';</script>"
+        "</body></html>",
+    )
+    web.add_script(
+        "https://page.test/app.js",
+        "var el = document.createElement('div');"
+        "document.body.appendChild(el);",
+    )
+    return web
+
+
+def visit(registry, web, url="https://page.test/", mode=MODE_ACCELERATED,
+          extensions=None):
+    browser = Browser(
+        registry,
+        Fetcher(web),
+        blocking_extensions=extensions,
+        config=BrowserConfig(instrumentation_mode=mode,
+                             step_limit=3_000_000),
+    )
+    return browser.visit_page(Url.parse(url), seed=9)
+
+
+class TestPageLoad:
+    def test_successful_visit(self, registry, tiny_web):
+        page = visit(registry, tiny_web)
+        assert page.ok
+        assert page.scripts_executed >= 3  # injected + external + inline
+        assert page.realm is not None
+
+    def test_features_recorded(self, registry, tiny_web):
+        page = visit(registry, tiny_web)
+        counts = page.recorder.counts
+        assert counts["Document.prototype.createElement"] == 1
+        assert counts["Node.prototype.appendChild"] == 1
+        assert counts["Document.prototype.title"] == 1  # property write
+
+    def test_dead_host_fails(self, registry, tiny_web):
+        page = visit(registry, tiny_web, url="https://nothere.test/")
+        assert not page.ok
+        assert page.failure_reason == "host not found"
+
+    def test_non_html_fails(self, registry, tiny_web):
+        page = visit(registry, tiny_web, url="https://page.test/app.js")
+        assert not page.ok
+        assert page.failure_reason == "not html"
+
+    def test_script_errors_recorded_not_fatal(self, registry):
+        web = DictWebSource()
+        web.add_html(
+            "https://s.test/",
+            "<html><head></head><body>"
+            "<script>var broken = (;</script>"
+            "<script>document.title = 'after';</script>"
+            "</body></html>",
+        )
+        page = visit(registry, web, url="https://s.test/")
+        assert page.ok
+        assert any("syntax error" in e for e in page.script_errors)
+        # Later scripts still ran.
+        assert "Document.prototype.title" in page.recorder.counts
+
+    def test_runtime_error_does_not_lose_earlier_features(self, registry):
+        web = DictWebSource()
+        web.add_html(
+            "https://s.test/",
+            "<html><head></head><body><script>"
+            "document.createElement('div');"
+            "null.explode();"
+            "document.createElement('span');"  # never reached
+            "</script></body></html>",
+        )
+        page = visit(registry, web, url="https://s.test/")
+        assert page.recorder.counts[
+            "Document.prototype.createElement"
+        ] == 1
+
+    def test_missing_external_script_skipped(self, registry):
+        web = DictWebSource()
+        web.add_html(
+            "https://s.test/",
+            "<html><head><script src='https://gone.test/x.js'></script>"
+            "</head><body></body></html>",
+        )
+        page = visit(registry, web, url="https://s.test/")
+        assert page.ok
+        assert any("host not found" in e for e in page.script_errors)
+
+    def test_pages_visited_counter(self, registry, tiny_web):
+        browser = Browser(registry, Fetcher(tiny_web))
+        browser.visit_page(Url.parse("https://page.test/"), seed=1)
+        browser.visit_page(Url.parse("https://page.test/"), seed=2)
+        assert browser.pages_visited == 2
+
+
+class TestInstrumentationModes:
+    def test_modes_agree(self, registry, tiny_web):
+        accelerated = visit(registry, tiny_web, mode=MODE_ACCELERATED)
+        pure = visit(registry, tiny_web, mode=MODE_PURE_JS)
+        assert accelerated.recorder.counts == pure.recorder.counts
+
+    def test_pure_source_parses(self, registry):
+        from repro.minijs.parser import parse
+
+        extension = MeasuringExtension(registry, mode=MODE_PURE_JS)
+        parse(extension.injected_script())
+
+    def test_unknown_mode_rejected(self, registry):
+        with pytest.raises(ValueError):
+            MeasuringExtension(registry, mode="turbo")
+
+    def test_shims_preserve_return_values(self, registry, tiny_web):
+        web = DictWebSource()
+        web.add_html(
+            "https://s.test/",
+            "<html><head></head><body><script>"
+            "var el = document.createElement('canvas');"
+            "window.__ok = el instanceof HTMLCanvasElement;"
+            "</script></body></html>",
+        )
+        page = visit(registry, web, url="https://s.test/")
+        assert page.realm.interp.global_object.get("__ok") is True
+
+    def test_evasion_by_grabbing_prototype_fails(self, registry):
+        web = DictWebSource()
+        web.add_html(
+            "https://s.test/",
+            "<html><head></head><body><script>"
+            "var grabbed = Document.prototype.createElement;"
+            "grabbed.call(document, 'div');"
+            "</script></body></html>",
+        )
+        page = visit(registry, web, url="https://s.test/")
+        assert page.recorder.counts[
+            "Document.prototype.createElement"
+        ] == 1
+
+
+class TestRecorder:
+    def test_counts_accumulate(self):
+        recorder = FeatureRecorder()
+        recorder.record("a")
+        recorder.record("a")
+        recorder.record("b")
+        assert recorder.counts == {"a": 2, "b": 1}
+        assert recorder.total_invocations() == 3
+        assert recorder.features_used() == ["a", "b"]
+
+    def test_merge(self):
+        first = FeatureRecorder()
+        first.record("a")
+        second = FeatureRecorder()
+        second.record("a")
+        second.record("b")
+        second.merge_into(first)
+        assert first.counts == {"a": 2, "b": 1}
+
+
+class TestBlockingIntegration:
+    def test_blocked_script_features_vanish(self, registry):
+        web = DictWebSource()
+        web.add_html(
+            "https://s.test/",
+            "<html><head>"
+            '<script src="https://ads.evil/tag.js"></script>'
+            "</head><body></body></html>",
+        )
+        web.add_script(
+            "https://ads.evil/tag.js",
+            "navigator.sendBeacon('/px');",
+        )
+        unblocked = visit(registry, web, url="https://s.test/")
+        assert "Navigator.prototype.sendBeacon" in unblocked.recorder.counts
+
+        abp = AdBlockPlus(FilterList(["||ads.evil^"]))
+        blocked = visit(registry, web, url="https://s.test/",
+                        extensions=[abp])
+        assert blocked.ok
+        assert blocked.scripts_blocked == 1
+        assert "Navigator.prototype.sendBeacon" not in (
+            blocked.recorder.counts
+        )
+
+    def test_element_hiding_applied(self, registry):
+        web = DictWebSource()
+        web.add_html(
+            "https://s.test/",
+            "<html><head></head><body>"
+            '<div class="ad-banner">ad</div><p>content</p>'
+            "</body></html>",
+        )
+        abp = AdBlockPlus(FilterList(["##.ad-banner"]))
+        page = visit(registry, web, url="https://s.test/",
+                     extensions=[abp])
+        banner = page.root.query_selector_all(".ad-banner")[0]
+        assert banner.attributes.get("data-hidden") == "1"
+
+    def test_blocked_image_marked(self, registry):
+        web = DictWebSource()
+        web.add_html(
+            "https://s.test/",
+            "<html><head></head><body>"
+            '<img src="https://ads.evil/banner/x.png">'
+            "</body></html>",
+        )
+        abp = AdBlockPlus(FilterList(["||ads.evil^"]))
+        page = visit(registry, web, url="https://s.test/",
+                     extensions=[abp])
+        assert page.requests_blocked >= 1

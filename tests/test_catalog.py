@@ -1,0 +1,153 @@
+"""Tests for the standards catalog: the paper's published invariants."""
+
+import datetime
+
+import pytest
+
+from repro.standards import catalog
+
+
+class TestCatalogInvariants:
+    """Numbers the paper states outright; the catalog must pin them."""
+
+    def test_seventy_five_standards(self):
+        assert len(catalog.all_standards()) == catalog.TOTAL_STANDARD_COUNT
+        assert catalog.TOTAL_STANDARD_COUNT == 75
+
+    def test_feature_total_is_1392(self):
+        total, _ = catalog.catalog_feature_totals()
+        assert total == catalog.TOTAL_FEATURE_COUNT == 1392
+
+    def test_689_features_never_used(self):
+        total, used = catalog.catalog_feature_totals()
+        assert total - used == 689  # "almost 50% ... never used once"
+
+    def test_eleven_standards_never_used(self):
+        assert len(catalog.never_used_standards()) == 11
+
+    def test_28_standards_at_or_below_one_percent(self):
+        low = [
+            s for s in catalog.all_standards() if 0 <= s.sites <= 100
+        ]
+        assert len(low) == 28
+
+    def test_table2_row_count(self):
+        # 52 published standards + the Non-Standard bucket.
+        assert len(catalog.table2_standards()) == 53
+
+    def test_abbreviations_unique(self):
+        abbrevs = catalog.standard_abbrevs()
+        assert len(abbrevs) == len(set(abbrevs))
+
+
+class TestTable2Transcription:
+    """Spot checks against the printed table."""
+
+    @pytest.mark.parametrize(
+        "abbrev,features,sites,block_pct,cves",
+        [
+            ("H-C", 54, 7061, 33.1, 15),
+            ("SVG", 138, 1554, 86.8, 14),
+            ("WEBGL", 136, 913, 60.7, 13),
+            ("AJAX", 13, 7957, 13.9, 8),
+            ("DOM1", 47, 9139, 1.8, 0),
+            ("PT2", 1, 1728, 93.7, 0),
+            ("V", 1, 1, 0.0, 1),
+            ("NS", 65, 8669, 24.5, 0),
+            ("H-CM", 4, 5018, 77.4, 0),
+            ("SLC", 6, 8674, 7.7, 0),
+        ],
+    )
+    def test_row(self, abbrev, features, sites, block_pct, cves):
+        spec = catalog.get_standard(abbrev)
+        assert spec.n_features == features
+        assert spec.sites == sites
+        assert spec.block_rate == pytest.approx(block_pct / 100)
+        assert spec.cves == cves
+
+    def test_websocket_storage_disambiguation(self):
+        # The paper's table prints H-WS twice; we follow Figure 4.
+        assert catalog.get_standard("H-WB").name == "HTML: Web Sockets"
+        assert catalog.get_standard("H-WS").name == "HTML: Web Storage"
+
+    def test_total_cves_mapped_is_111(self):
+        assert sum(s.cves for s in catalog.all_standards()) == 111
+
+    def test_unknown_abbreviation_raises(self):
+        with pytest.raises(KeyError):
+            catalog.get_standard("NOPE")
+
+
+class TestSpecValidation:
+    def test_used_features_bounded(self):
+        with pytest.raises(ValueError):
+            catalog.StandardSpec(
+                abbrev="X", name="X", n_features=2, n_used_features=3,
+                sites=10, block_rate=0.1, cves=0,
+                introduced=datetime.date(2010, 1, 1),
+            )
+
+    def test_block_rate_bounded(self):
+        with pytest.raises(ValueError):
+            catalog.StandardSpec(
+                abbrev="X", name="X", n_features=2, n_used_features=1,
+                sites=10, block_rate=1.5, cves=0,
+                introduced=datetime.date(2010, 1, 1),
+            )
+
+    def test_zero_sites_means_zero_used_features(self):
+        with pytest.raises(ValueError):
+            catalog.StandardSpec(
+                abbrev="X", name="X", n_features=2, n_used_features=1,
+                sites=0, block_rate=0.0, cves=0,
+                introduced=datetime.date(2010, 1, 1),
+            )
+
+    def test_popularity_property(self):
+        spec = catalog.get_standard("DOM1")
+        assert spec.popularity == pytest.approx(0.9139)
+        assert not spec.never_used
+        assert catalog.get_standard("EME").never_used
+
+
+class TestContextMixture:
+    """The block-rate decomposition that drives the generator."""
+
+    def test_probabilities_sum_to_one(self):
+        for spec in catalog.all_standards():
+            mixture = catalog.context_mixture(spec)
+            assert sum(mixture.values()) == pytest.approx(1.0)
+            assert all(0 <= p <= 1.0001 for p in mixture.values())
+
+    def test_combined_rate_reproduced(self):
+        # ad + tracker + both must equal the catalog block rate.
+        for spec in catalog.all_standards():
+            mixture = catalog.context_mixture(spec)
+            combined = (
+                mixture["ad"] + mixture["tracker"] + mixture["ad+tracker"]
+            )
+            assert combined == pytest.approx(spec.block_rate, abs=1e-9)
+
+    def test_explicit_figure7_overrides(self):
+        # WRTC is tracker-biased in Figure 7.
+        ad, tracker = catalog.derived_condition_block_rates(
+            catalog.get_standard("WRTC")
+        )
+        assert tracker > ad
+        # UIE is ad-biased.
+        ad, tracker = catalog.derived_condition_block_rates(
+            catalog.get_standard("UIE")
+        )
+        assert ad > tracker
+
+    def test_neutral_split_below_combined(self):
+        spec = catalog.get_standard("H-C")  # no explicit override
+        ad, tracker = catalog.derived_condition_block_rates(spec)
+        assert ad == tracker
+        assert ad < spec.block_rate
+
+    def test_single_rates_never_exceed_combined_in_mixture(self):
+        for spec in catalog.all_standards():
+            mixture = catalog.context_mixture(spec)
+            assert mixture["ad"] <= spec.block_rate + 1e-9
+            assert mixture["tracker"] <= spec.block_rate + 1e-9

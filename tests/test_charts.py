@@ -1,0 +1,130 @@
+"""Tests for the SVG figure renderers."""
+
+import xml.etree.ElementTree as ElementTree
+
+import pytest
+
+from repro.core import charts
+from repro.core.validation import external_validation
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse_svg(svg_text):
+    root = ElementTree.fromstring(svg_text)
+    assert root.tag == SVG_NS + "svg"
+    return root
+
+
+def marks(root, tag):
+    return root.findall(".//%s%s" % (SVG_NS, tag))
+
+
+class TestFigureSvgs:
+    def test_figure1_two_panels_four_browsers(self):
+        root = parse_svg(charts.figure1_svg())
+        lines = marks(root, "polyline")
+        # 1 standards series + 4 browser LoC series.
+        assert len(lines) == 5
+        text = charts.figure1_svg()
+        for browser in ("Chrome", "Firefox", "Safari", "IE"):
+            assert browser in text  # legend + direct labels
+
+    def test_figure3_is_single_step_line(self, survey):
+        root = parse_svg(charts.figure3_svg(survey))
+        assert len(marks(root, "polyline")) == 1
+
+    def test_figure4_one_dot_per_used_standard(self, survey):
+        from repro.core import analysis
+
+        root = parse_svg(charts.figure4_svg(survey))
+        expected = len(analysis.figure4_popularity_vs_block_rate(survey))
+        assert len(marks(root, "circle")) == expected
+
+    def test_figure4_tooltips_carry_data(self, survey):
+        svg = charts.figure4_svg(survey)
+        assert "<title>" in svg
+        assert "sites, blocked" in svg
+
+    def test_figure5_has_reference_diagonal(self, survey):
+        svg = charts.figure5_svg(survey)
+        assert "stroke-dasharray" in svg
+
+    def test_figure6_uses_ordinal_ramp(self, survey):
+        svg = charts.figure6_svg(survey)
+        for color in charts.ORDINAL_BLUE:
+            assert color in svg
+        assert "block rate" in svg  # band legend
+
+    def test_figure7_requires_quad_conditions(self, survey, quad_survey):
+        with pytest.raises(ValueError):
+            charts.figure7_svg(survey)
+        root = parse_svg(charts.figure7_svg(quad_survey))
+        assert marks(root, "circle")
+
+    def test_figure8_column_count_matches_pdf(self, survey):
+        from repro.core import analysis
+
+        root = parse_svg(charts.figure8_svg(survey))
+        pdf = analysis.figure8_site_complexity_pdf(survey)
+        rects = marks(root, "rect")
+        # background + legendless columns
+        assert len(rects) == 1 + len(pdf)
+
+    def test_figure9_histogram(self, survey, small_web):
+        outcome = external_validation(
+            survey, small_web, n_target=20, n_completed=15, seed=2
+        )
+        root = parse_svg(charts.figure9_svg(outcome))
+        assert len(marks(root, "rect")) == 1 + len(outcome.histogram)
+
+    def test_text_uses_ink_tokens_not_series_color(self, survey):
+        svg = charts.figure4_svg(survey)
+        for element in parse_svg(svg).iter(SVG_NS + "text"):
+            assert element.get("fill") in (
+                charts.TEXT_PRIMARY, charts.TEXT_SECONDARY
+            )
+
+
+class TestRenderAll:
+    def test_writes_files(self, survey, small_web, tmp_path):
+        outcome = external_validation(
+            survey, small_web, n_target=10, n_completed=8, seed=2
+        )
+        paths = charts.render_all(survey, str(tmp_path), external=outcome)
+        assert set(paths) == {
+            "figure1", "figure3", "figure4", "figure5", "figure6",
+            "figure8", "figure9",
+        }
+        for path in paths.values():
+            with open(path, encoding="utf-8") as handle:
+                parse_svg(handle.read())
+
+    def test_quad_survey_includes_figure7(self, quad_survey, tmp_path):
+        paths = charts.render_all(quad_survey, str(tmp_path))
+        assert "figure7" in paths
+
+
+class TestScales:
+    def test_linear_scale_endpoints(self):
+        scale = charts.LinearScale((0, 10), (100, 200))
+        assert scale(0) == 100
+        assert scale(10) == 200
+        assert scale(5) == 150
+
+    def test_linear_ticks_cover_domain(self):
+        scale = charts.LinearScale((0, 97), (0, 1))
+        ticks = scale.ticks()
+        assert ticks[0] >= 0
+        assert ticks[-1] <= 97
+
+    def test_log_scale_decades(self):
+        scale = charts.LogScale((1, 1000), (300, 0))
+        assert scale(1) == pytest.approx(300)
+        assert scale(1000) == pytest.approx(0)
+        assert scale(10) == pytest.approx(200)
+        assert scale.ticks() == [1, 10, 100, 1000]
+
+    def test_degenerate_domain_safe(self):
+        scale = charts.LinearScale((5, 5), (0, 100))
+        scale(5)  # must not divide by zero

@@ -1,0 +1,146 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_survey_defaults(self):
+        args = build_parser().parse_args(["survey"])
+        assert args.sites == 150
+        assert args.visits == 3
+        assert args.report is None
+
+
+class TestCorpusCommand:
+    def test_summary(self):
+        code, output = run_cli("corpus", "--summary")
+        assert code == 0
+        assert "features:   1392" in output
+        assert "standards:  75" in output
+
+    def test_standard_listing(self):
+        code, output = run_cli("corpus", "--standard", "AJAX")
+        assert code == 0
+        assert "XMLHttpRequest" in output
+        assert "XMLHttpRequest.prototype.open" in output
+
+    def test_unknown_standard(self):
+        code, output = run_cli("corpus", "--standard", "NOPE")
+        assert code == 1
+        assert "unknown standard" in output
+
+
+class TestStandardsCommand:
+    def test_full_catalog(self):
+        code, output = run_cli("standards")
+        assert code == 0
+        assert "HTML: Canvas" in output
+        assert "Vibration API" in output
+
+    def test_never_used_filter(self):
+        code, output = run_cli("standards", "--never-used")
+        assert code == 0
+        assert "Encrypted Media Extensions" in output
+        assert "HTML: Canvas" not in output
+
+
+class TestCrawlCommands:
+    """Small crawls through the CLI: slowish but end-to-end."""
+
+    def test_survey_default_reports(self):
+        code, output = run_cli(
+            "survey", "--sites", "15", "--visits", "1", "--seed", "4",
+        )
+        assert code == 0
+        assert "Domains measured" in output
+        assert "Features instrumented" in output
+
+    def test_survey_named_report(self):
+        code, output = run_cli(
+            "survey", "--sites", "15", "--visits", "1", "--seed", "4",
+            "--report", "figure8",
+        )
+        assert code == 0
+        assert "Standards used" in output
+
+    def test_debloat(self):
+        code, output = run_cli(
+            "debloat", "--sites", "15", "--visits", "1", "--seed", "4",
+        )
+        assert code == 0
+        assert "CVEs avoided" in output
+        assert output.count("Policy:") == 3
+
+    def test_validate(self):
+        code, output = run_cli(
+            "validate", "--sites", "15", "--visits", "2", "--seed", "4",
+        )
+        assert code == 0
+        assert "Internal validation" in output
+        assert "External validation" in output
+
+    def test_save_then_load(self, tmp_path):
+        saved = str(tmp_path / "crawl.json")
+        code, output = run_cli(
+            "survey", "--sites", "12", "--visits", "1", "--seed", "4",
+            "--save", saved,
+        )
+        assert code == 0
+        assert "saved survey" in output
+        code, output = run_cli(
+            "survey", "--load", saved, "--report", "headlines",
+        )
+        assert code == 0
+        assert "Features instrumented" in output
+
+    def test_loaded_survey_skips_unavailable_reports(self, tmp_path):
+        saved = str(tmp_path / "crawl.json")
+        run_cli("survey", "--sites", "12", "--visits", "1", "--seed", "4",
+                "--save", saved)
+        code, output = run_cli(
+            "survey", "--load", saved, "--report", "figure7",
+        )
+        assert code == 0
+        assert "skipped" in output
+
+    def test_export_command(self, tmp_path):
+        out_dir = str(tmp_path / "data")
+        code, output = run_cli(
+            "export", "--sites", "12", "--visits", "1", "--seed", "4",
+            "--out", out_dir,
+        )
+        assert code == 0
+        import os
+
+        assert os.path.exists(os.path.join(out_dir, "features.csv"))
+        assert os.path.exists(os.path.join(out_dir, "figure7.csv"))
+
+    def test_figures_command(self, tmp_path):
+        out_dir = str(tmp_path / "figs")
+        code, output = run_cli(
+            "figures", "--sites", "12", "--visits", "1", "--seed", "4",
+            "--out", out_dir,
+        )
+        assert code == 0
+        assert "figure4" in output
+        import os
+
+        assert os.path.exists(os.path.join(out_dir, "figure8.svg"))

@@ -1,0 +1,66 @@
+"""Tests for the automated paper-comparison scorecard."""
+
+import pytest
+
+from repro.core import comparison
+
+
+@pytest.fixture(scope="module")
+def rows(survey):
+    return comparison.compare_to_paper(survey)
+
+
+class TestScorecard:
+    def test_structural_rows_always_pass(self, rows):
+        structural = [
+            r for r in rows
+            if r.metric in ("features instrumented",
+                            "standards identified")
+            or r.metric.startswith("CVE attribution")
+        ]
+        assert len(structural) == 3
+        assert all(r.ok for r in structural)
+
+    def test_headline_rows_pass_at_fixture_scale(self, rows):
+        headlines = [
+            r for r in rows
+            if not r.metric.startswith(("popularity", "block rate"))
+        ]
+        failures = [r for r in headlines if not r.ok]
+        assert not failures, failures
+
+    def test_popularity_rows_mostly_pass(self, rows):
+        popularity = [r for r in rows if r.metric.startswith("popularity")]
+        assert popularity
+        passing = sum(1 for r in popularity if r.ok)
+        assert passing / len(popularity) >= 0.85
+
+    def test_block_rate_rows_mostly_pass(self, rows):
+        block = [r for r in rows if r.metric.startswith("block rate")]
+        assert block
+        passing = sum(1 for r in block if r.ok)
+        assert passing / len(block) >= 0.75
+
+    def test_overall_scorecard(self, survey):
+        passing, total = comparison.scorecard(survey)
+        assert total > 60
+        assert passing / total >= 0.85
+
+    def test_table3_shape_row_present(self, rows):
+        assert any("Table 3" in r.metric for r in rows)
+
+
+class TestRendering:
+    def test_render_full(self, rows):
+        text = comparison.render_comparison(rows)
+        assert "Metric" in text
+        assert "checks pass" in text
+        assert "PASS" in text
+
+    def test_render_failures_only(self, rows):
+        text = comparison.render_comparison(rows, failures_only=True)
+        # Whatever fails is listed; the summary always shows the totals.
+        assert "checks pass" in text
+        for line in text.splitlines()[2:-2]:
+            if line.strip():
+                assert not line.startswith("PASS")

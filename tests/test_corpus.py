@@ -1,0 +1,147 @@
+"""Tests for the synthetic WebIDL corpus."""
+
+import pytest
+
+from repro.standards import catalog
+from repro.webidl.corpus import (
+    Corpus,
+    SINGLETON_GLOBALS,
+    WEBIDL_FILE_COUNT,
+    build_corpus,
+)
+from repro.webidl.parser import parse_webidl
+
+
+@pytest.fixture(scope="module")
+def corpus() -> Corpus:
+    return build_corpus()
+
+
+class TestCorpusShape:
+    def test_757_files(self, corpus):
+        # Section 3.2: "757 WebIDL files in the Firefox [source]".
+        assert len(corpus.files) == WEBIDL_FILE_COUNT == 757
+
+    def test_1392_features(self, corpus):
+        assert len(corpus.features) == 1392
+
+    def test_feature_names_unique(self, corpus):
+        names = [f.name for f in corpus.features]
+        assert len(names) == len(set(names))
+
+    def test_per_standard_counts_match_catalog(self, corpus):
+        for spec in catalog.all_standards():
+            features = corpus.features_of(spec.abbrev)
+            assert len(features) == spec.n_features, spec.abbrev
+            used = [f for f in features if f.usage_rank is not None]
+            assert len(used) == spec.n_used_features, spec.abbrev
+
+    def test_usage_ranks_contiguous(self, corpus):
+        for spec in catalog.all_standards():
+            used = corpus.used_features_of(spec.abbrev)
+            assert [f.usage_rank for f in used] == list(range(len(used)))
+
+    def test_every_file_parses(self, corpus):
+        for corpus_file in corpus.files:
+            interfaces = parse_webidl(corpus_file.text)
+            assert interfaces, corpus_file.name
+
+    def test_deterministic(self):
+        first = build_corpus(seed=46)
+        second = build_corpus(seed=46)
+        assert [f.name for f in first.features] == [
+            f.name for f in second.features
+        ]
+        assert [f.text for f in first.files] == [
+            f.text for f in second.files
+        ]
+
+
+class TestPinnedFeatures:
+    """Features the paper names must exist, attributed correctly."""
+
+    @pytest.mark.parametrize(
+        "name,standard",
+        [
+            ("Document.prototype.createElement", "DOM1"),
+            ("Node.prototype.insertBefore", "DOM1"),
+            ("XMLHttpRequest.prototype.open", "AJAX"),
+            ("Document.prototype.querySelectorAll", "SLC"),
+            ("Navigator.prototype.vibrate", "V"),
+            ("PluginArray.prototype.refresh", "H-P"),
+            ("SVGTextContentElement.prototype.getComputedTextLength", "SVG"),
+            ("Crypto.prototype.getRandomValues", "WCR"),
+            ("Navigator.prototype.sendBeacon", "BE"),
+            ("Window.prototype.requestAnimationFrame", "TC"),
+            ("Performance.prototype.now", "HRT"),
+            ("Navigator.prototype.getGamepads", "GP"),
+        ],
+    )
+    def test_pinned(self, corpus, name, standard):
+        feature = next(f for f in corpus.features if f.name == name)
+        assert feature.standard == standard
+
+    def test_top_features_are_the_paper_named_ones(self, corpus):
+        assert corpus.used_features_of("DOM1")[0].name == (
+            "Document.prototype.createElement"
+        )
+        assert corpus.used_features_of("AJAX")[0].name == (
+            "XMLHttpRequest.prototype.open"
+        )
+        assert corpus.used_features_of("SLC")[0].name == (
+            "Document.prototype.querySelectorAll"
+        )
+
+    def test_static_feature_naming(self, corpus):
+        supports = next(
+            f for f in corpus.features if f.member == "supports"
+        )
+        assert supports.static
+        assert supports.name == "CSS.supports"
+
+
+class TestObservability:
+    """Section 4.2: the extension sees methods everywhere but property
+    writes only on singletons; the used pool must respect that."""
+
+    def test_used_features_are_observable(self, corpus):
+        for feature in corpus.features:
+            if feature.usage_rank is not None:
+                assert feature.observable, feature.name
+
+    def test_non_singleton_attributes_not_observable(self, corpus):
+        hidden = [
+            f for f in corpus.features
+            if f.kind == "attribute"
+            and f.interface not in SINGLETON_GLOBALS
+        ]
+        # Such features exist (realism) and are correctly unobservable.
+        assert hidden
+        assert all(not f.observable for f in hidden)
+        assert all(f.usage_rank is None for f in hidden)
+
+    def test_singleton_map_covers_core_globals(self):
+        assert SINGLETON_GLOBALS["Window"] == "window"
+        assert SINGLETON_GLOBALS["Document"] == "document"
+        assert SINGLETON_GLOBALS["Storage"] == "localStorage"
+
+
+class TestCrossMentions:
+    """The DOM-levels overlap that exercises earliest-standard rule."""
+
+    def test_dom2_mentions_dom1_features(self, corpus):
+        assert "Node.prototype.insertBefore" in corpus.mentions["DOM2-C"]
+
+    def test_mentioned_feature_stays_with_earliest(self, corpus):
+        feature = next(
+            f for f in corpus.features
+            if f.name == "Node.prototype.insertBefore"
+        )
+        assert feature.standard == "DOM1"
+
+    def test_publication_years_cover_all_standards(self, corpus):
+        for spec in catalog.all_standards():
+            assert spec.abbrev in corpus.publication_years
+
+    def test_dom1_published_1998(self, corpus):
+        assert corpus.publication_years["DOM1"] == 1998

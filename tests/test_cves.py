@@ -1,0 +1,87 @@
+"""Tests for the CVE corpus (section 3.5)."""
+
+import datetime
+
+import pytest
+
+from repro.standards import catalog, cves
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return cves.build_cve_corpus()
+
+
+class TestCorpusStatistics:
+    def test_470_records_mention_firefox(self, corpus):
+        assert len(corpus) == cves.TOTAL_MENTIONING_FIREFOX == 470
+
+    def test_14_are_not_firefox_issues(self, corpus):
+        not_firefox = [r for r in corpus if not r.is_firefox_issue]
+        assert len(not_firefox) == cves.NOT_FIREFOX_ISSUES == 14
+
+    def test_456_genuine_firefox_issues(self, corpus):
+        assert len(cves.firefox_issues(corpus)) == cves.FIREFOX_ISSUES == 456
+
+    def test_111_mapped_to_standards(self, corpus):
+        stats = cves.corpus_statistics(corpus)
+        assert stats["standard_mapped"] == cves.STANDARD_MAPPED_ISSUES == 111
+
+    def test_statistics_dict_complete(self, corpus):
+        stats = cves.corpus_statistics(corpus)
+        assert stats["total_mentioning_firefox"] == 470
+        assert stats["not_firefox_issues"] == 14
+        assert stats["firefox_issues"] == 456
+
+
+class TestStandardAttribution:
+    def test_counts_match_table2(self, corpus):
+        counts = cves.cves_by_standard(corpus)
+        for spec in catalog.all_standards():
+            assert counts[spec.abbrev] == spec.cves, spec.abbrev
+
+    def test_non_firefox_records_never_attributed(self, corpus):
+        for record in corpus:
+            if not record.is_firefox_issue:
+                assert record.standard is None
+
+    def test_zero_cve_standards_present_with_zero(self, corpus):
+        counts = cves.cves_by_standard(corpus)
+        assert counts["DOM1"] == 0
+        assert counts["SLC"] == 0
+
+
+class TestPinnedRecords:
+    """The two real CVEs the paper cites must appear verbatim."""
+
+    def test_webgl_rce(self, corpus):
+        record = next(r for r in corpus if r.cve_id == "CVE-2013-0763")
+        assert record.standard == "WEBGL"
+        assert record.is_firefox_issue
+        assert "WebGL" in record.summary
+
+    def test_web_audio_disclosure(self, corpus):
+        record = next(r for r in corpus if r.cve_id == "CVE-2014-1577")
+        assert record.standard == "WEBA"
+        assert "Web Audio" in record.summary
+
+
+class TestCorpusHygiene:
+    def test_cve_ids_unique(self, corpus):
+        ids = [r.cve_id for r in corpus]
+        assert len(ids) == len(set(ids))
+
+    def test_dates_in_three_year_window(self, corpus):
+        for record in corpus:
+            assert datetime.date(2013, 5, 1) <= record.published
+            assert record.published <= datetime.date(2016, 4, 30)
+
+    def test_deterministic(self):
+        first = cves.build_cve_corpus(seed=5)
+        second = cves.build_cve_corpus(seed=5)
+        assert [r.cve_id for r in first] == [r.cve_id for r in second]
+
+    def test_seed_changes_corpus(self):
+        first = cves.build_cve_corpus(seed=5)
+        second = cves.build_cve_corpus(seed=6)
+        assert [r.cve_id for r in first] != [r.cve_id for r in second]

@@ -1,0 +1,124 @@
+"""Tests for the debloating policy engine (the paper's section 7.2/7.3
+least-privilege discussion turned into a tool)."""
+
+import pytest
+
+from repro.core import debloat, metrics
+
+
+class TestUsageThresholdPolicy:
+    def test_never_used_standards_always_disabled(self, survey, registry):
+        policy = debloat.usage_threshold_policy(survey, threshold=0.01)
+        for spec in registry.standards():
+            if spec.never_used:
+                assert policy.disables(spec.abbrev)
+
+    def test_popular_standards_kept(self, survey):
+        policy = debloat.usage_threshold_policy(survey, threshold=0.01)
+        assert not policy.disables("DOM1")
+        assert not policy.disables("AJAX")
+
+    def test_threshold_monotone(self, survey):
+        low = debloat.usage_threshold_policy(survey, threshold=0.01)
+        high = debloat.usage_threshold_policy(survey, threshold=0.30)
+        assert low.disabled <= high.disabled
+
+    def test_policy_name(self, survey):
+        policy = debloat.usage_threshold_policy(survey, threshold=0.05)
+        assert "0.05" in policy.name
+
+
+class TestBlockedAnywayPolicy:
+    def test_heavily_blocked_standards_disabled(self, survey):
+        rates = metrics.standard_block_rates(survey)
+        policy = debloat.blocked_anyway_policy(survey, block_threshold=0.75)
+        for abbrev in policy.disabled:
+            assert rates[abbrev] >= 0.75
+
+    def test_core_dom_never_disabled(self, survey):
+        policy = debloat.blocked_anyway_policy(survey, block_threshold=0.5)
+        assert not policy.disables("DOM1")
+        assert not policy.disables("DOM2-E")
+
+
+class TestCveWeightedPolicy:
+    def test_respects_breakage_budget(self, survey):
+        policy = debloat.cve_weighted_policy(survey, max_breakage=0.05)
+        evaluation = debloat.evaluate_policy(survey, policy)
+        assert evaluation.site_breakage <= 0.05 + 1e-9
+
+    def test_free_standards_always_taken(self, survey, registry):
+        policy = debloat.cve_weighted_policy(survey, max_breakage=0.0)
+        counts = metrics.standard_site_counts(survey, "default")
+        for abbrev, sites in counts.items():
+            if sites == 0:
+                assert policy.disables(abbrev), abbrev
+
+    def test_zero_budget_breaks_nothing(self, survey):
+        policy = debloat.cve_weighted_policy(survey, max_breakage=0.0)
+        evaluation = debloat.evaluate_policy(survey, policy)
+        assert evaluation.sites_affected == 0
+
+    def test_larger_budget_avoids_more_cves(self, survey):
+        small = debloat.evaluate_policy(
+            survey, debloat.cve_weighted_policy(survey, max_breakage=0.02)
+        )
+        large = debloat.evaluate_policy(
+            survey, debloat.cve_weighted_policy(survey, max_breakage=0.30)
+        )
+        assert large.cves_avoided >= small.cves_avoided
+
+
+class TestEvaluation:
+    def test_feature_accounting(self, survey, registry):
+        policy = debloat.DebloatPolicy(
+            name="just-svg", disabled=frozenset(["SVG"])
+        )
+        evaluation = debloat.evaluate_policy(survey, policy)
+        assert evaluation.features_removed == 138  # Table 2
+        assert evaluation.cves_avoided == 14
+        assert evaluation.total_features == 1392
+        assert evaluation.total_mapped_cves == 111
+
+    def test_affected_sites_actually_used_standard(self, survey):
+        policy = debloat.DebloatPolicy(
+            name="just-svg", disabled=frozenset(["SVG"])
+        )
+        evaluation = debloat.evaluate_policy(survey, policy)
+        for domain in evaluation.affected_breakdown:
+            used = survey.measurement("default", domain).standards_used()
+            assert "SVG" in used
+
+    def test_empty_policy_is_free(self, survey):
+        policy = debloat.DebloatPolicy(name="noop", disabled=frozenset())
+        evaluation = debloat.evaluate_policy(survey, policy)
+        assert evaluation.features_removed == 0
+        assert evaluation.cves_avoided == 0
+        assert evaluation.sites_affected == 0
+        assert evaluation.feature_reduction == 0.0
+
+    def test_rates_bounded(self, survey):
+        policy = debloat.usage_threshold_policy(survey, threshold=0.10)
+        evaluation = debloat.evaluate_policy(survey, policy)
+        assert 0.0 <= evaluation.feature_reduction <= 1.0
+        assert 0.0 <= evaluation.cve_reduction <= 1.0
+        assert 0.0 <= evaluation.site_breakage <= 1.0
+
+    def test_rendering(self, survey):
+        policy = debloat.usage_threshold_policy(survey)
+        text = debloat.render_evaluation(
+            debloat.evaluate_policy(survey, policy)
+        )
+        assert "standards disabled" in text
+        assert "CVEs avoided" in text
+
+
+class TestLeastPrivilegeHeadline:
+    def test_under_one_percent_policy_is_cheap_and_effective(self, survey):
+        """The paper's core security point, quantified: disabling the
+        <1% standards removes a large share of features and CVEs while
+        touching few sites."""
+        policy = debloat.usage_threshold_policy(survey, threshold=0.01)
+        evaluation = debloat.evaluate_policy(survey, policy)
+        assert evaluation.feature_reduction > 0.10
+        assert evaluation.site_breakage < 0.25

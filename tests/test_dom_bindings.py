@@ -1,0 +1,289 @@
+"""Tests for DomRealm: the DOM exposed to MiniJS."""
+
+import pytest
+
+from repro.dom.bindings import DomRealm, TAG_INTERFACES
+from repro.dom.html import parse_html
+from repro.minijs.objects import JSObject, NULL, UNDEFINED
+
+PAGE = """<html><head><title>t</title></head>
+<body>
+  <div id="main" class="wrap"><a href="/next">go</a></div>
+  <canvas id="cv"></canvas>
+</body></html>"""
+
+
+@pytest.fixture()
+def realm(registry):
+    return DomRealm(registry, parse_html(PAGE), seed=5,
+                    url="https://site.test/")
+
+
+def js(realm, source):
+    return realm.interp.run_source(source)
+
+
+class TestRealmConstruction:
+    def test_constructors_global(self, realm):
+        assert js(realm, "typeof Document;") == "function"
+        assert js(realm, "typeof XMLHttpRequest;") == "function"
+
+    def test_prototype_chains_follow_idl(self, realm):
+        assert js(
+            realm,
+            "HTMLCanvasElement.prototype.constructor === HTMLCanvasElement;",
+        ) is True
+        canvas_proto = realm.prototypes["HTMLCanvasElement"]
+        assert canvas_proto.prototype is realm.prototypes["Element"]
+        assert realm.prototypes["Element"].prototype is (
+            realm.prototypes["Node"]
+        )
+
+    def test_window_is_global(self, realm):
+        assert js(realm, "window === this;") is True
+        assert js(realm, "window.window === window;") is True
+
+    def test_singletons_exist(self, realm):
+        for name in ("document", "navigator", "screen", "history",
+                     "location", "performance", "localStorage"):
+            assert js(realm, "typeof %s;" % name) == "object", name
+
+    def test_document_convenience_properties(self, realm):
+        assert js(realm, "document.body.constructor === HTMLElement;") is True
+        assert js(realm, "typeof document.documentElement;") == "object"
+
+    def test_new_interface_instances(self, realm):
+        assert js(
+            realm, "new WebSocket() instanceof WebSocket;"
+        ) is True
+
+    def test_location_href(self, realm):
+        assert js(realm, "location.href;") == "https://site.test/"
+
+    def test_navigator_user_agent_is_firefox_46(self, realm):
+        assert "Firefox/46.0" in js(realm, "navigator.userAgent;")
+
+
+class TestNodeWrappers:
+    def test_wrapper_cached(self, realm):
+        node = realm.root.get_element_by_id("main")
+        assert realm.wrap(node) is realm.wrap(node)
+
+    def test_tag_interface_mapping(self, realm):
+        canvas = realm.root.get_element_by_id("cv")
+        assert realm.wrap(canvas).class_name == "HTMLCanvasElement"
+        assert TAG_INTERFACES["canvas"] == "HTMLCanvasElement"
+
+    def test_unknown_tag_falls_back(self, realm):
+        from repro.dom.node import DomNode, ELEMENT_NODE
+
+        node = DomNode(ELEMENT_NODE, "custom-widget")
+        wrapper = realm.wrap(node)
+        assert wrapper.class_name in ("HTMLElement", "Element")
+
+    def test_node_of_inverse(self, realm):
+        node = realm.root.get_element_by_id("main")
+        assert realm.node_of(realm.wrap(node)) is node
+        assert realm.node_of("nope") is None
+
+
+class TestDocumentBehaviors:
+    def test_create_element(self, realm):
+        assert js(
+            realm,
+            "var el = document.createElement('canvas');"
+            "el instanceof HTMLCanvasElement;",
+        ) is True
+
+    def test_get_element_by_id(self, realm):
+        assert js(
+            realm,
+            "document.getElementById('main').getAttribute('class');",
+        ) == "wrap"
+        assert js(realm, "document.getElementById('zzz');") is NULL
+
+    def test_query_selector(self, realm):
+        assert js(
+            realm, "document.querySelector('#main').getAttribute('id');"
+        ) == "main"
+        assert js(
+            realm, "document.querySelectorAll('.wrap').length;"
+        ) == 1.0
+
+    def test_append_and_remove_child(self, realm):
+        count = js(
+            realm,
+            "var d = document.createElement('p');"
+            "document.body.appendChild(d);"
+            "document.querySelectorAll('p').length;",
+        )
+        assert count == 1.0
+        node = realm.root.find_first("p")
+        assert node is not None
+
+    def test_set_attribute_reflected_engine_side(self, realm):
+        js(realm,
+           "document.getElementById('main').setAttribute('data-k', 'v');")
+        node = realm.root.get_element_by_id("main")
+        assert node.attributes["data-k"] == "v"
+
+    def test_closest_walks_ancestors(self, realm):
+        assert js(
+            realm,
+            "var a = document.querySelector('a');"
+            "a.closest('#main').getAttribute('id');",
+        ) == "main"
+        assert js(
+            realm,
+            "document.querySelector('a').closest('.nothing');",
+        ) is NULL
+
+    def test_insert_adjacent_html_parses_and_inserts(self, realm):
+        js(realm,
+           "document.getElementById('main').insertAdjacentHTML("
+           "'beforeend', '<p id=\"frag\">hi</p>');")
+        node = realm.root.get_element_by_id("frag")
+        assert node is not None
+        assert node.parent is realm.root.get_element_by_id("main")
+        assert node.text_content() == "hi"
+
+    def test_insert_adjacent_html_positions(self, realm):
+        js(realm,
+           "var m = document.getElementById('main');"
+           "m.insertAdjacentHTML('beforebegin', '<div id=\"bb\"></div>');"
+           "m.insertAdjacentHTML('afterend', '<div id=\"ae\"></div>');")
+        main = realm.root.get_element_by_id("main")
+        siblings = main.parent.children
+        ids = [c.attributes.get("id") for c in siblings
+               if c.node_type == 1]
+        assert ids.index("bb") < ids.index("main") < ids.index("ae")
+
+    def test_clone_node(self, realm):
+        assert js(
+            realm,
+            "var c = document.getElementById('main').cloneNode(true);"
+            "c.hasChildNodes();",
+        ) is True
+
+
+class TestStorageBehaviors:
+    def test_set_get_remove(self, realm):
+        assert js(
+            realm,
+            "localStorage.setItem('k', 'v');"
+            "localStorage.getItem('k');",
+        ) == "v"
+        assert realm.storage == {"k": "v"}
+        assert js(
+            realm,
+            "localStorage.removeItem('k'); localStorage.getItem('k');",
+        ) is NULL
+
+    def test_clear_and_key(self, realm):
+        js(realm, "localStorage.setItem('a', '1');"
+                  "localStorage.setItem('b', '2');")
+        assert js(realm, "localStorage.key(1);") == "b"
+        js(realm, "localStorage.clear();")
+        assert realm.storage == {}
+
+
+class TestNetworkBehaviors:
+    def test_xhr_reaches_network_hook(self, registry):
+        seen = []
+        realm = DomRealm(
+            registry, parse_html(PAGE), seed=1,
+            network_hook=lambda url, kind: seen.append((url, kind)),
+        )
+        realm.interp.run_source(
+            "var x = new XMLHttpRequest();"
+            "x.open('GET', '/api/data'); x.send();"
+        )
+        assert seen == [("/api/data", "xhr")]
+
+    def test_send_beacon_hook(self, registry):
+        seen = []
+        realm = DomRealm(
+            registry, parse_html(PAGE), seed=1,
+            network_hook=lambda url, kind: seen.append(kind),
+        )
+        realm.interp.run_source("navigator.sendBeacon('/px');")
+        assert seen == ["beacon"]
+
+
+class TestTimers:
+    def test_set_timeout_runs_on_flush(self, realm):
+        js(realm, "var fired = false; setTimeout(function () {"
+                  " fired = true; }, 100);")
+        assert js(realm, "fired;") is False
+        realm.flush_timers()
+        assert js(realm, "fired;") is True
+
+    def test_timers_fire_in_time_order(self, realm):
+        js(realm,
+           "var order = [];"
+           "setTimeout(function () { order.push('late'); }, 500);"
+           "setTimeout(function () { order.push('early'); }, 10);")
+        realm.flush_timers()
+        assert js(realm, "order.join(',');") == "early,late"
+
+    def test_clear_timeout(self, realm):
+        js(realm,
+           "var fired = false;"
+           "var id = setTimeout(function () { fired = true; }, 10);"
+           "clearTimeout(id);")
+        realm.flush_timers()
+        assert js(realm, "fired;") is False
+
+    def test_interval_bounded_by_budget(self, realm):
+        js(realm,
+           "var n = 0; setInterval(function () { n += 1; }, 5);")
+        executed = realm.flush_timers(max_tasks=4)
+        assert executed == 4
+        assert js(realm, "n;") == 4.0
+
+    def test_request_animation_frame_schedules(self, realm):
+        js(realm, "var painted = false;"
+                  "window.requestAnimationFrame(function () {"
+                  " painted = true; });")
+        realm.flush_timers()
+        assert js(realm, "painted;") is True
+
+
+class TestMiscBehaviors:
+    def test_get_context_returns_context_object(self, realm):
+        assert js(
+            realm,
+            "var cv = document.getElementById('cv');"
+            "var ctx = cv.getContext('2d');"
+            "ctx instanceof CanvasRenderingContext2D;",
+        ) is True
+
+    def test_performance_now_monotone(self, realm):
+        assert js(
+            realm,
+            "var a = performance.now(); var b = performance.now(); b >= a;",
+        ) is True
+
+    def test_get_computed_style(self, realm):
+        assert js(
+            realm,
+            "window.getComputedStyle(document.body) instanceof "
+            "CSSStyleDeclaration;",
+        ) is True
+
+    def test_get_random_values_fills_array(self, realm):
+        values = js(
+            realm,
+            "var a = [0, 0, 0, 0]; crypto.getRandomValues(a); a;",
+        )
+        assert all(0 <= v <= 255 for v in values.elements)
+
+    def test_console_log_captured(self, realm):
+        js(realm, "console.log('hello', 42);")
+        assert realm.console_log == ["hello 42"]
+
+    def test_stub_features_are_callable_and_inert(self, realm):
+        # A long-tail feature with no behavioral implementation.
+        assert js(
+            realm, "(new MediaRecorder()).start() === undefined;"
+        ) is True

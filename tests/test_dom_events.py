@@ -1,0 +1,160 @@
+"""Tests for event dispatch: bubbling, DOM0, attribute handlers."""
+
+import pytest
+
+from repro.dom.events import EventManager
+from repro.dom.node import DomNode, ELEMENT_NODE
+from repro.minijs.interpreter import Interpreter
+from repro.minijs.objects import JSFunction, UNDEFINED
+from repro.minijs.parser import parse
+
+
+@pytest.fixture()
+def setup():
+    interp = Interpreter(seed=1)
+    manager = EventManager(interp)
+    root = DomNode(ELEMENT_NODE, "html")
+    body = root.append_child(DomNode(ELEMENT_NODE, "body"))
+    button = body.append_child(DomNode(ELEMENT_NODE, "button"))
+    return interp, manager, root, body, button
+
+
+def make_handler(interp, name):
+    """A JS function that appends `name` to the global __log array."""
+    interp.run(parse("if (typeof __log === 'undefined') { __log = []; }"))
+    fn = interp.run(
+        parse("(function (e) { __log.push('%s:' + e.type); });" % name)
+    )
+    return fn
+
+
+def log_of(interp):
+    log = interp.global_object.get("__log")
+    return list(log.elements) if log is not UNDEFINED else []
+
+
+class TestDispatch:
+    def test_listener_fires(self, setup):
+        interp, manager, root, body, button = setup
+        button.listeners.setdefault("click", []).append(
+            make_handler(interp, "btn")
+        )
+        manager.dispatch(button, "click")
+        assert log_of(interp) == ["btn:click"]
+
+    def test_bubbles_to_ancestors(self, setup):
+        interp, manager, root, body, button = setup
+        button.listeners.setdefault("click", []).append(
+            make_handler(interp, "btn")
+        )
+        body.listeners.setdefault("click", []).append(
+            make_handler(interp, "body")
+        )
+        manager.dispatch(button, "click")
+        assert log_of(interp) == ["btn:click", "body:click"]
+
+    def test_wrong_event_type_does_not_fire(self, setup):
+        interp, manager, root, body, button = setup
+        button.listeners.setdefault("click", []).append(
+            make_handler(interp, "btn")
+        )
+        manager.dispatch(button, "change")
+        assert log_of(interp) == []
+
+    def test_stop_propagation(self, setup):
+        interp, manager, root, body, button = setup
+        interp.run(parse("__log = [];"))
+        stopper = interp.run(
+            parse("(function (e) { __log.push('stop'); "
+                  "e.stopPropagation(); });")
+        )
+        button.listeners.setdefault("click", []).append(stopper)
+        body.listeners.setdefault("click", []).append(
+            make_handler(interp, "body")
+        )
+        manager.dispatch(button, "click")
+        assert log_of(interp) == ["stop"]
+
+    def test_prevent_default_flag_returned(self, setup):
+        interp, manager, root, body, button = setup
+        preventer = interp.run(
+            parse("(function (e) { e.preventDefault(); });")
+        )
+        button.listeners.setdefault("click", []).append(preventer)
+        event = manager.dispatch(button, "click")
+        assert event.properties["defaultPrevented"] is True
+
+    def test_dispatch_counts(self, setup):
+        interp, manager, root, body, button = setup
+        manager.dispatch(button, "click")
+        manager.dispatch(body, "scroll")
+        assert manager.dispatched == 2
+
+
+class TestDom0Handlers:
+    def test_wrapper_property_handler(self, setup):
+        interp, manager, root, body, button = setup
+        from repro.minijs.objects import JSObject
+
+        wrapper = JSObject()
+        wrapper.host_data = button
+        button.wrapper = wrapper
+        wrapper.properties["onclick"] = make_handler(interp, "dom0")
+        manager.dispatch(button, "click")
+        assert log_of(interp) == ["dom0:click"]
+
+    def test_attribute_handler_compiled_and_fired(self, setup):
+        interp, manager, root, body, button = setup
+        interp.run(parse("__hits = 0;"))
+        button.attributes["onclick"] = "__hits = __hits + 1;"
+        manager.dispatch(button, "click")
+        manager.dispatch(button, "click")
+        assert interp.global_object.get("__hits") == 2.0
+
+    def test_attribute_handler_compiled_once(self, setup):
+        interp, manager, root, body, button = setup
+        button.attributes["onclick"] = "1;"
+        manager.dispatch(button, "click")
+        first = button.compiled_attr_handlers["click"]
+        manager.dispatch(button, "click")
+        assert button.compiled_attr_handlers["click"] is first
+
+    def test_bad_attribute_handler_inert(self, setup):
+        interp, manager, root, body, button = setup
+        button.attributes["onclick"] = "this is not (valid"
+        manager.dispatch(button, "click")
+        manager.dispatch(button, "click")
+        assert len(manager.handler_errors) == 1  # reported once
+        assert button.compiled_attr_handlers["click"] is False
+
+    def test_attribute_handler_calls_global_function(self, setup):
+        interp, manager, root, body, button = setup
+        interp.run(parse("var fired = false; function go() { fired = true; }"))
+        button.attributes["onclick"] = "go()"
+        manager.dispatch(button, "click")
+        assert interp.global_object.get("fired") is True
+
+
+class TestErrorIsolation:
+    def test_handler_exception_recorded_not_raised(self, setup):
+        interp, manager, root, body, button = setup
+        thrower = interp.run(parse("(function () { throw 'boom'; });"))
+        button.listeners.setdefault("click", []).append(thrower)
+        button.listeners["click"].append(make_handler(interp, "after"))
+        manager.dispatch(button, "click")  # must not raise
+        assert manager.handler_errors
+        assert log_of(interp) == ["after:click"]
+
+    def test_non_function_listener_skipped(self, setup):
+        interp, manager, root, body, button = setup
+        button.listeners.setdefault("click", []).append("not a function")
+        manager.dispatch(button, "click")  # must not raise
+
+
+class TestEventObject:
+    def test_event_shape(self, setup):
+        interp, manager, root, body, button = setup
+        event = manager.make_event("click", None)
+        assert event.properties["type"] == "click"
+        assert event.properties["bubbles"] is True
+        assert isinstance(event.properties["preventDefault"], JSFunction)

@@ -1,0 +1,145 @@
+"""Tests for the forgiving HTML parser."""
+
+import pytest
+
+from repro.dom.html import HtmlParseError, parse_html
+from repro.dom.node import ELEMENT_NODE, TEXT_NODE
+
+
+class TestBasicParsing:
+    def test_minimal_document(self):
+        root = parse_html("<html><head></head><body></body></html>")
+        assert root.tag == "html"
+        assert root.find_first("head") is not None
+        assert root.find_first("body") is not None
+
+    def test_doctype_ignored(self):
+        root = parse_html("<!DOCTYPE html><html><body>x</body></html>")
+        assert root.find_first("body").text_content() == "x"
+
+    def test_comments_ignored(self):
+        root = parse_html("<body><!-- secret --><p>shown</p></body>")
+        assert "secret" not in root.outer_html()
+        assert root.find_first("p") is not None
+
+    def test_attributes(self):
+        root = parse_html('<div id="a" class=\'b c\' data-x=5 hidden></div>')
+        div = root.find_first("div")
+        assert div.attributes == {
+            "id": "a", "class": "b c", "data-x": "5", "hidden": "",
+        }
+
+    def test_nesting(self):
+        root = parse_html("<body><ul><li>1</li><li>2</li></ul></body>")
+        ul = root.find_first("ul")
+        assert [c.tag for c in ul.children] == ["li", "li"]
+
+    def test_text_nodes(self):
+        root = parse_html("<body><p>hello <b>world</b></p></body>")
+        assert root.find_first("p").text_content() == "hello world"
+
+    def test_void_elements_do_not_nest(self):
+        root = parse_html("<body><img src='x'><p>after</p></body>")
+        body = root.find_first("body")
+        assert [c.tag for c in body.children] == ["img", "p"]
+
+    def test_self_closing_syntax(self):
+        root = parse_html("<body><div/><p>next</p></body>")
+        body = root.find_first("body")
+        assert [c.tag for c in body.children] == ["div", "p"]
+
+
+class TestScriptHandling:
+    def test_script_contents_raw(self):
+        root = parse_html(
+            "<head><script>if (a < b) { x = '<div>'; }</script></head>"
+        )
+        script = root.find_first("script")
+        assert script.text_content() == "if (a < b) { x = '<div>'; }"
+        assert root.find_first("div") is None
+
+    def test_script_src_attribute(self):
+        root = parse_html('<head><script src="/app.js"></script></head>')
+        assert root.find_first("script").attributes["src"] == "/app.js"
+
+    def test_multiple_scripts_in_order(self):
+        root = parse_html(
+            "<head><script>one</script><script>two</script></head>"
+        )
+        scripts = root.find_all("script")
+        assert [s.text_content() for s in scripts] == ["one", "two"]
+
+    def test_unterminated_script_raises(self):
+        with pytest.raises(HtmlParseError):
+            parse_html("<body><script>var x = 1;")
+
+    def test_style_contents_raw(self):
+        root = parse_html("<head><style>a > b { color: red }</style></head>")
+        assert ">" in root.find_first("style").text_content()
+
+
+class TestRecovery:
+    def test_unclosed_tags_recovered(self):
+        root = parse_html("<body><div><p>text</body>")
+        assert root.find_first("p").text_content() == "text"
+
+    def test_stray_close_tag_ignored(self):
+        root = parse_html("<body></span><p>ok</p></body>")
+        assert root.find_first("p") is not None
+
+    def test_mismatched_close_pops_to_match(self):
+        root = parse_html("<body><div><span>x</div><p>y</p></body>")
+        body = root.find_first("body")
+        assert body.children[-1].tag == "p"
+
+    def test_lone_angle_bracket_is_text(self):
+        root = parse_html("<body>1 < 2 is true</body>")
+        assert "<" in root.find_first("body").text_content()
+
+    def test_head_and_body_synthesized(self):
+        root = parse_html("<p>bare content</p>")
+        body = root.find_first("body")
+        assert body is not None
+        assert body.find_first("p") is not None
+        assert root.find_first("head") is not None
+
+    def test_head_synthesized_before_body(self):
+        root = parse_html("<div>x</div>")
+        tags = [c.tag for c in root.children if c.node_type == ELEMENT_NODE]
+        assert tags.index("head") < tags.index("body")
+
+    def test_html_attributes_merged_to_root(self):
+        root = parse_html('<html lang="en"><body></body></html>')
+        assert root.attributes.get("lang") == "en"
+
+    def test_unterminated_comment_drops_tail(self):
+        root = parse_html("<body><p>kept</p><!-- open")
+        assert root.find_first("p") is not None
+
+    def test_empty_input(self):
+        root = parse_html("")
+        assert root.find_first("head") is not None
+        assert root.find_first("body") is not None
+
+
+class TestStructuralInvariants:
+    def test_parents_consistent(self):
+        root = parse_html(
+            "<body><div><p>a</p><p>b</p></div><span>c</span></body>"
+        )
+        for node in root.walk():
+            for child in node.children:
+                assert child.parent is node
+
+    def test_reparse_of_serialization_preserves_elements(self):
+        source = (
+            "<html><head><title>t</title></head>"
+            "<body><div id='a'><p>x</p></div><img src='i.png'></body></html>"
+        )
+        first = parse_html(source)
+        second = parse_html(first.outer_html())
+        tags_first = sorted(
+            n.tag for n in first.elements()
+        )
+        tags_second = sorted(n.tag for n in second.elements())
+        assert tags_first == tags_second

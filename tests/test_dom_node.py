@@ -1,0 +1,178 @@
+"""Tests for the DOM node tree."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dom.node import DomNode, ELEMENT_NODE, TEXT_NODE, VOID_TAGS
+
+
+def build_sample():
+    root = DomNode(ELEMENT_NODE, "html")
+    body = root.append_child(DomNode(ELEMENT_NODE, "body"))
+    div = body.append_child(
+        DomNode(ELEMENT_NODE, "div", {"id": "main", "class": "wrap box"})
+    )
+    div.append_child(DomNode(TEXT_NODE, text="hello"))
+    body.append_child(DomNode(ELEMENT_NODE, "p", {"class": "wrap"}))
+    return root, body, div
+
+
+class TestTreeEditing:
+    def test_append_sets_parent(self):
+        root, body, div = build_sample()
+        assert div.parent is body
+
+    def test_append_moves_between_parents(self):
+        root, body, div = build_sample()
+        other = DomNode(ELEMENT_NODE, "section")
+        other.append_child(div)
+        assert div.parent is other
+        assert div not in body.children
+
+    def test_insert_before(self):
+        parent = DomNode(ELEMENT_NODE, "ul")
+        a = parent.append_child(DomNode(ELEMENT_NODE, "li"))
+        b = DomNode(ELEMENT_NODE, "li")
+        parent.insert_before(b, a)
+        assert parent.children == [b, a]
+
+    def test_insert_before_missing_reference_appends(self):
+        parent = DomNode(ELEMENT_NODE, "ul")
+        a = parent.append_child(DomNode(ELEMENT_NODE, "li"))
+        c = DomNode(ELEMENT_NODE, "li")
+        parent.insert_before(c, DomNode(ELEMENT_NODE, "li"))
+        assert parent.children == [a, c]
+
+    def test_remove_child(self):
+        root, body, div = build_sample()
+        body.remove_child(div)
+        assert div.parent is None
+        assert div not in body.children
+
+    def test_remove_non_child_is_noop(self):
+        root, body, div = build_sample()
+        stranger = DomNode(ELEMENT_NODE, "div")
+        body.remove_child(stranger)
+        assert len(body.children) == 2
+
+    def test_clone_shallow(self):
+        root, body, div = build_sample()
+        copy = div.clone()
+        assert copy.tag == "div"
+        assert copy.attributes == div.attributes
+        assert copy.attributes is not div.attributes
+        assert copy.children == []
+
+    def test_clone_deep(self):
+        root, body, div = build_sample()
+        copy = div.clone(deep=True)
+        assert len(copy.children) == 1
+        assert copy.children[0].text == "hello"
+        assert copy.children[0] is not div.children[0]
+
+
+class TestQueries:
+    def test_walk_order(self):
+        root, body, div = build_sample()
+        tags = [n.tag for n in root.walk() if n.node_type == ELEMENT_NODE]
+        assert tags == ["html", "body", "div", "p"]
+
+    def test_find_first_and_all(self):
+        root, body, div = build_sample()
+        assert root.find_first("div") is div
+        assert root.find_first("nav") is None
+        assert len(root.find_all("p")) == 1
+
+    def test_get_element_by_id(self):
+        root, body, div = build_sample()
+        assert root.get_element_by_id("main") is div
+        assert root.get_element_by_id("nope") is None
+
+    def test_text_content(self):
+        root, body, div = build_sample()
+        assert root.text_content() == "hello"
+
+    def test_class_list(self):
+        root, body, div = build_sample()
+        assert div.class_list == ["wrap", "box"]
+
+
+class TestSelectors:
+    @pytest.fixture()
+    def tree(self):
+        return build_sample()
+
+    def test_tag_selector(self, tree):
+        root, _, div = tree
+        assert div.matches_selector("div")
+        assert not div.matches_selector("p")
+
+    def test_id_selector(self, tree):
+        root, _, div = tree
+        assert div.matches_selector("#main")
+        assert not div.matches_selector("#other")
+
+    def test_class_selector(self, tree):
+        root, _, div = tree
+        assert div.matches_selector(".wrap")
+        assert div.matches_selector(".box")
+        assert not div.matches_selector(".missing")
+
+    def test_compound_selectors(self, tree):
+        root, _, div = tree
+        assert div.matches_selector("div.wrap")
+        assert div.matches_selector("div#main")
+        assert div.matches_selector("div.wrap.box")
+        assert not div.matches_selector("p.wrap")
+
+    def test_universal_selector(self, tree):
+        root, _, div = tree
+        assert div.matches_selector("*")
+
+    def test_query_selector_all(self, tree):
+        root, _, _ = tree
+        assert len(root.query_selector_all(".wrap")) == 2
+        assert len(root.query_selector_all("div, p")) == 2
+        assert root.query_selector_all("#main")[0].tag == "div"
+
+    def test_text_nodes_never_match(self, tree):
+        root, _, div = tree
+        text = div.children[0]
+        assert not text.matches_selector("*")
+
+    def test_empty_selector_matches_nothing(self, tree):
+        root, _, div = tree
+        assert not div.matches_selector("")
+        assert root.query_selector_all("  ,  ") == []
+
+
+class TestSerialization:
+    def test_outer_html_roundtrippable_shape(self):
+        root, _, _ = build_sample()
+        html = root.outer_html()
+        assert html.startswith("<html>")
+        assert '<div id="main" class="wrap box">hello</div>' in html
+
+    def test_void_tags_not_closed(self):
+        img = DomNode(ELEMENT_NODE, "img", {"src": "x.png"})
+        assert img.outer_html() == '<img src="x.png">'
+        assert "img" in VOID_TAGS
+
+    def test_text_node_renders_raw(self):
+        assert DomNode(TEXT_NODE, text="plain").outer_html() == "plain"
+
+
+class TestWalkProperty:
+    @given(st.integers(min_value=0, max_value=30))
+    def test_walk_visits_every_node_once(self, n_children):
+        root = DomNode(ELEMENT_NODE, "root")
+        for i in range(n_children):
+            child = root.append_child(DomNode(ELEMENT_NODE, "c%d" % i))
+            if i % 3 == 0:
+                child.append_child(DomNode(TEXT_NODE, text=str(i)))
+        visited = list(root.walk())
+        assert len(visited) == len(set(map(id, visited)))
+        expected = 1 + n_children + sum(
+            1 for i in range(n_children) if i % 3 == 0
+        )
+        assert len(visited) == expected

@@ -1,0 +1,86 @@
+"""Tests for CSV export."""
+
+import csv
+import io
+
+import pytest
+
+from repro.core import export
+from repro.core.validation import external_validation
+
+
+def parse_csv(text):
+    return list(csv.reader(io.StringIO(text)))
+
+
+class TestIndividualExports:
+    def test_figure1(self):
+        rows = parse_csv(export.figure1_csv())
+        assert rows[0] == ["year", "browser", "million_loc",
+                           "web_standards"]
+        assert len(rows) == 29  # header + 28 points
+
+    def test_table1(self, survey):
+        rows = parse_csv(export.table1_csv(survey))
+        quantities = {row[0] for row in rows[1:]}
+        assert "domains_measured" in quantities
+        assert "feature_invocations" in quantities
+
+    def test_figure3_covers_all_standards(self, survey):
+        rows = parse_csv(export.figure3_csv(survey))
+        assert len(rows) == 76  # header + 75 standards
+
+    def test_figure4_numeric_columns(self, survey):
+        rows = parse_csv(export.figure4_csv(survey))
+        for row in rows[1:]:
+            int(row[1])
+            if row[2]:
+                assert 0.0 <= float(row[2]) <= 1.0
+
+    def test_table2_matches_analysis(self, survey):
+        from repro.core import analysis
+
+        rows = parse_csv(export.table2_csv(survey))
+        expected = analysis.table2_standard_summary(survey)
+        assert len(rows) - 1 == len(expected)
+        assert rows[1][1] == expected[0].abbrev
+
+    def test_features_full_dataset(self, survey):
+        rows = parse_csv(export.features_csv(survey))
+        assert len(rows) == 1393  # header + every feature
+        header = rows[0]
+        assert header == ["feature", "standard", "kind", "sites",
+                          "block_rate"]
+        by_name = {row[0]: row for row in rows[1:]}
+        create = by_name["Document.prototype.createElement"]
+        assert create[1] == "DOM1"
+        assert int(create[3]) > 0
+
+    def test_figure7_requires_quad(self, survey, quad_survey):
+        with pytest.raises(ValueError):
+            export.figure7_csv(survey)
+        rows = parse_csv(export.figure7_csv(quad_survey))
+        assert rows[0][2] == "ad_block_rate"
+
+    def test_table3(self, survey):
+        rows = parse_csv(export.table3_csv(survey))
+        assert [row[0] for row in rows[1:]] == ["2", "3"]
+
+
+class TestExportAll:
+    def test_writes_all_files(self, survey, small_web, tmp_path):
+        outcome = external_validation(
+            survey, small_web, n_target=10, n_completed=8, seed=1
+        )
+        paths = export.export_all(survey, str(tmp_path), external=outcome)
+        assert "figure9" in paths
+        assert "features" in paths
+        assert "figure7" not in paths  # two-condition survey
+        for path in paths.values():
+            with open(path, encoding="utf-8") as handle:
+                rows = parse_csv(handle.read())
+            assert len(rows) >= 2
+
+    def test_quad_survey_exports_figure7(self, quad_survey, tmp_path):
+        paths = export.export_all(quad_survey, str(tmp_path))
+        assert "figure7" in paths

@@ -1,0 +1,191 @@
+"""Failure-injection tests: the crawl must survive a hostile web.
+
+The paper's pipeline ran for 480 interaction-days against the real web
+— pages that throw, loop, define broken handlers, serve garbage HTML
+or die mid-crawl.  Each test here injects one failure class and checks
+the crawler degrades exactly as designed: record what ran, skip what
+did not, never crash, never mis-attribute.
+"""
+
+import pytest
+
+from repro.browser import Browser, BrowserConfig
+from repro.monkey import Gremlins, MonkeyConfig, SiteCrawler
+from repro.net.fetcher import DictWebSource, Fetcher, NetworkError
+from repro.net.resources import Request, Response
+from repro.net.url import Url
+
+import random
+
+
+def page(body_html, script=""):
+    script_tag = "<script>%s</script>" % script if script else ""
+    return (
+        "<html><head></head><body>%s%s</body></html>"
+        % (body_html, script_tag)
+    )
+
+
+def browse(registry, web, url, **config_kwargs):
+    browser = Browser(
+        registry, Fetcher(web),
+        config=BrowserConfig(**config_kwargs) if config_kwargs else None,
+    )
+    return browser.visit_page(Url.parse(url), seed=7)
+
+
+class TestHostileScripts:
+    def test_infinite_loop_contained(self, registry):
+        web = DictWebSource()
+        web.add_html("https://evil.test/", page(
+            "<p>x</p>",
+            "while (true) { var burn = 1 + 1; }"
+            ,
+        ))
+        visit = browse(registry, web, "https://evil.test/",
+                       step_limit=20_000)
+        assert visit.ok
+        assert any("step budget" in e for e in visit.script_errors)
+
+    def test_next_script_runs_after_runaway(self, registry):
+        web = DictWebSource()
+        web.add_html(
+            "https://evil.test/",
+            "<html><head></head><body>"
+            "<script>while (true) {}</script>"
+            "<script>document.title = 'survived';</script>"
+            "</body></html>",
+        )
+        visit = browse(registry, web, "https://evil.test/",
+                       step_limit=20_000)
+        assert "Document.prototype.title" in visit.recorder.counts
+
+    def test_deep_recursion_contained(self, registry):
+        web = DictWebSource()
+        web.add_html("https://evil.test/", page(
+            "<p>x</p>", "function r(n) { return r(n + 1); } r(0);"
+        ))
+        visit = browse(registry, web, "https://evil.test/",
+                       step_limit=50_000)
+        assert visit.ok
+
+    def test_throwing_top_level_script(self, registry):
+        web = DictWebSource()
+        web.add_html("https://evil.test/", page(
+            "<p>x</p>",
+            "document.createElement('div'); throw 'chaos';",
+        ))
+        visit = browse(registry, web, "https://evil.test/")
+        assert visit.ok
+        assert visit.recorder.counts[
+            "Document.prototype.createElement"
+        ] == 1
+
+    def test_throwing_event_handler_does_not_stop_monkey(self, registry):
+        web = DictWebSource()
+        web.add_html(
+            "https://evil.test/",
+            page('<button onclick="throw 1;">a</button>'
+                 '<a href="/next">link</a><p>x</p>'),
+        )
+        browser = Browser(registry, Fetcher(web))
+        visit = browser.visit_page(Url.parse("https://evil.test/"), seed=7)
+        gremlins = Gremlins(visit, random.Random(1),
+                            MonkeyConfig(events_per_page=40))
+        assert gremlins.run() == 40
+
+    def test_script_redefining_globals(self, registry):
+        """Pages that clobber their own environment stay measurable."""
+        web = DictWebSource()
+        web.add_html("https://evil.test/", page(
+            "<p>x</p>",
+            "document.createElement('div');"
+            "Document = null; document = null;"
+            "window.XMLHttpRequest = 5;",
+        ))
+        visit = browse(registry, web, "https://evil.test/")
+        assert visit.ok
+        assert "Document.prototype.createElement" in visit.recorder.counts
+
+
+class TestHostileMarkup:
+    @pytest.mark.parametrize(
+        "html",
+        [
+            "<html><body><div><div><div><p>unclosed everywhere",
+            "<body></span></div></p>only closers</body>",
+            "<!DOCTYPE html><body><p>< 1 2 3 ><<<</body>",
+            "",
+        ],
+    )
+    def test_malformed_html_still_loads(self, registry, html):
+        web = DictWebSource()
+        web.add_html("https://ugly.test/", html)
+        visit = browse(registry, web, "https://ugly.test/")
+        assert visit.ok
+
+    def test_deeply_nested_markup(self, registry):
+        html = "<body>%s fin %s</body>" % ("<div>" * 120, "</div>" * 120)
+        web = DictWebSource()
+        web.add_html("https://deep.test/", html)
+        visit = browse(registry, web, "https://deep.test/")
+        assert visit.ok
+
+
+class TestFlakyNetwork:
+    class FlakySource:
+        """Serves the home page, dies on everything else."""
+
+        def __init__(self):
+            self.inner = DictWebSource()
+            self.inner.add_html(
+                "https://flaky.test/",
+                page('<a href="/gone/">next</a><p>x</p>',
+                     "document.title = 't';"),
+            )
+
+        def respond(self, request):
+            if request.url.path == "/":
+                return self.inner.respond(request)
+            return None
+
+    def test_crawl_survives_dead_subpages(self, registry):
+        browser = Browser(registry, Fetcher(self.FlakySource()))
+        crawler = SiteCrawler(browser)
+        result = crawler.visit_site("flaky.test", 1, seed=4)
+        assert result.ok
+        assert result.pages_visited == 1
+        assert "Document.prototype.title" in result.feature_counts
+
+    class ErrorSource:
+        """Responds 500 to every request."""
+
+        def respond(self, request):
+            return Response(url=request.url, status=500, body="oops")
+
+    def test_http_errors_reported_as_failure(self, registry):
+        browser = Browser(registry, Fetcher(self.ErrorSource()))
+        crawler = SiteCrawler(browser)
+        result = crawler.visit_site("err.test", 1, seed=4)
+        assert not result.ok
+        assert "500" in (result.failure_reason or "")
+
+
+class TestMeasurementIntegrity:
+    def test_counts_unaffected_by_failures_elsewhere(self, registry):
+        """A broken site must not contaminate the next site's counts."""
+        web = DictWebSource()
+        web.add_html("https://bad.test/", page(
+            "<p>x</p>", "while (true) {}"
+        ))
+        web.add_html("https://good.test/", page(
+            "<p>x</p>", "navigator.vibrate(10);"
+        ))
+        browser = Browser(registry, Fetcher(web),
+                          config=BrowserConfig(step_limit=20_000))
+        bad = browser.visit_page(Url.parse("https://bad.test/"), seed=1)
+        good = browser.visit_page(Url.parse("https://good.test/"), seed=2)
+        assert good.recorder.counts == {
+            "Navigator.prototype.vibrate": 1,
+        }
+        assert "Navigator.prototype.vibrate" not in bad.recorder.counts

@@ -1,0 +1,113 @@
+"""Full-scale generation invariants (the 10,000-site web, uncrawled).
+
+Crawling 10k sites is an hours-long job, but *generating* the web is
+seconds — so the calibration invariants the paper states at full scale
+can be asserted directly against the generator's output.
+"""
+
+import statistics
+
+import pytest
+
+from repro.webgen.profiles import UsageProfiles
+from repro.webgen.sitegen import build_web
+
+
+@pytest.fixture(scope="module")
+def full_web(registry):
+    return build_web(registry, n_sites=10_000, seed=2016)
+
+
+class TestFullScaleCalibration:
+    def test_profile_solver_hits_every_target(self, registry):
+        profiles = UsageProfiles(registry, n_sites=10_000, seed=2017)
+        for spec in registry.standards():
+            if spec.never_used:
+                continue
+            expected = profiles.expected_sites_for(spec.abbrev)
+            assert expected == pytest.approx(
+                spec.sites, rel=0.02, abs=2.0
+            ), spec.abbrev
+
+    def test_failure_count_near_267(self, full_web):
+        # Paper: 267 of 10,000 domains unmeasurable.
+        failed = len(full_web.failed_sites())
+        assert 200 <= failed <= 340
+
+    def test_planned_popularity_matches_table2(self, full_web, registry):
+        """Sampled counts sit inside ~3-sigma Poisson bands of targets."""
+        planned = {s.abbrev: 0 for s in registry.standards()}
+        for site in full_web.sites.values():
+            for abbrev in site.plan.standards_used():
+                planned[abbrev] += 1
+        for spec in registry.standards():
+            if spec.never_used:
+                assert planned[spec.abbrev] == 0, spec.abbrev
+                continue
+            tolerance = 3.2 * (spec.sites ** 0.5) + 3
+            assert abs(planned[spec.abbrev] - spec.sites) <= tolerance, (
+                "%s: target %d planned %d"
+                % (spec.abbrev, spec.sites, planned[spec.abbrev])
+            )
+
+    def test_rare_standards_present_at_full_scale(self, full_web):
+        """The long tail (V at 1 site/10k, GP at 3, WN at 16, ...)
+        materializes at this scale — the very standards a 1k-site crawl
+        misses.  Individually Poisson-noisy, so assert on the group."""
+        planned = {}
+        for site in full_web.sites.values():
+            for abbrev in site.plan.standards_used():
+                planned[abbrev] = planned.get(abbrev, 0) + 1
+        rare = {"V": 1, "GP": 3, "WN": 16, "E": 1, "PE": 9, "WRTC": 30,
+                "PERM": 5, "HTML51": 22, "ALS": 14}
+        total_target = sum(rare.values())
+        total_planned = sum(planned.get(a, 0) for a in rare)
+        assert total_planned == pytest.approx(total_target, rel=0.35)
+        present = sum(1 for a in rare if planned.get(a, 0) > 0)
+        assert present >= 6  # most of the tail exists
+
+    def test_complexity_distribution_shape(self, full_web):
+        counts = [
+            len(site.plan.standards_used())
+            for site in full_web.sites.values()
+            if not site.plan.no_js
+        ]
+        mean = statistics.mean(counts)
+        assert 16 <= mean <= 26
+        assert max(counts) <= 41  # the paper's ceiling
+        in_band = sum(1 for c in counts if 14 <= c <= 32)
+        assert in_band / len(counts) > 0.6
+
+    def test_no_js_mode_size(self, full_web):
+        no_js = sum(1 for s in full_web.sites.values() if s.plan.no_js)
+        assert 200 <= no_js <= 500  # config: 3.5%
+
+    def test_gated_sites_fraction(self, full_web):
+        gated = sum(1 for s in full_web.sites.values() if s.plan.gated)
+        # ~8% of DOM1+H-WS sites ~ 5-7% of the web.
+        assert 300 <= gated <= 900
+
+    def test_manual_only_fraction(self, full_web):
+        planted = sum(
+            1 for s in full_web.sites.values() if s.plan.manual_only
+        )
+        assert 400 <= planted <= 1800
+
+    def test_block_context_decomposition_full_scale(self, full_web,
+                                                    registry):
+        """Planned block exposure must track Table 2's block rates."""
+        exposure = {}
+        for site in full_web.sites.values():
+            for usage in site.plan.usages:
+                total, blocked = exposure.get(usage.standard, (0, 0))
+                exposure[usage.standard] = (
+                    total + 1,
+                    blocked + (1 if usage.context != "first" else 0),
+                )
+        for spec in registry.standards():
+            if spec.never_used or spec.sites < 300:
+                continue  # rare standards are too noisy even at 10k
+            total, blocked = exposure[spec.abbrev]
+            assert blocked / total == pytest.approx(
+                spec.block_rate, abs=0.06
+            ), spec.abbrev

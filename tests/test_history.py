@@ -1,0 +1,132 @@
+"""Tests for the Firefox release timeline and browser-evolution data."""
+
+import datetime
+
+import pytest
+
+from repro.standards import catalog, history
+
+
+class TestReleaseTimeline:
+    def test_186_releases(self):
+        # Section 3.4: "the 186 versions of Firefox ... since 2004".
+        assert len(history.release_timeline()) == history.RELEASE_COUNT == 186
+
+    def test_starts_with_firefox_1(self):
+        first = history.release_timeline()[0]
+        assert first.version == "1.0"
+        assert first.released == datetime.date(2004, 11, 9)
+
+    def test_ends_with_instrumented_build(self):
+        last = history.release_timeline()[-1]
+        assert last.version == history.INSTRUMENTED_VERSION == "46.0.1"
+        assert last.released == datetime.date(2016, 5, 3)
+
+    def test_chronological(self):
+        timeline = history.release_timeline()
+        dates = [r.released for r in timeline]
+        assert dates == sorted(dates)
+
+    def test_versions_unique(self):
+        versions = [r.version for r in history.release_timeline()]
+        assert len(versions) == len(set(versions))
+
+    def test_release_for_date_picks_first_at_or_after(self):
+        release = history.release_for_date(datetime.date(2011, 1, 1))
+        assert release.released >= datetime.date(2011, 1, 1)
+
+    def test_release_for_date_past_end_clamps(self):
+        release = history.release_for_date(datetime.date(2030, 1, 1))
+        assert release.version == "46.0.1"
+
+    def test_str_rendering(self):
+        assert "Firefox 1.0" in str(history.release_timeline()[0])
+
+
+class TestImplementationHistory:
+    @pytest.fixture()
+    def impl(self):
+        names = {
+            "AJAX": [
+                "XMLHttpRequest.prototype.open",
+                "XMLHttpRequest.prototype.send",
+                "XMLHttpRequest.prototype.abort",
+            ],
+            "V": ["Navigator.prototype.vibrate"],
+        }
+        return history.ImplementationHistory(names)
+
+    def test_top_feature_pins_standard_date(self, impl):
+        spec = catalog.get_standard("AJAX")
+        date = impl.standard_implementation_date(
+            spec,
+            ["XMLHttpRequest.prototype.open",
+             "XMLHttpRequest.prototype.send"],
+            popularity={"XMLHttpRequest.prototype.open": 100},
+        )
+        assert date == impl.implementation_date(
+            "XMLHttpRequest.prototype.open"
+        )
+
+    def test_rollout_is_monotone(self, impl):
+        # Later-ranked features ship no earlier than the head feature.
+        head = impl.implementation_date("XMLHttpRequest.prototype.open")
+        tail = impl.implementation_date("XMLHttpRequest.prototype.abort")
+        assert tail >= head
+
+    def test_unused_standard_falls_back_to_earliest(self, impl):
+        spec = catalog.get_standard("AJAX")
+        date = impl.standard_implementation_date(
+            spec,
+            ["XMLHttpRequest.prototype.send",
+             "XMLHttpRequest.prototype.open"],
+            popularity={},
+        )
+        earliest = min(
+            impl.implementation_date("XMLHttpRequest.prototype.send"),
+            impl.implementation_date("XMLHttpRequest.prototype.open"),
+        )
+        assert date == earliest
+
+    def test_no_features_falls_back_to_catalog_date(self, impl):
+        spec = catalog.get_standard("V")
+        assert impl.standard_implementation_date(spec, []) == spec.introduced
+
+    def test_implementation_release_consistent(self, impl):
+        name = "Navigator.prototype.vibrate"
+        release = impl.implementation_release(name)
+        assert release.released == impl.implementation_date(name)
+
+
+class TestBrowserEvolution:
+    def test_four_browsers_seven_years(self):
+        points = history.browser_evolution_series()
+        browsers = {p.browser for p in points}
+        years = {p.year for p in points}
+        assert browsers == {"Chrome", "Firefox", "Safari", "IE"}
+        assert years == set(range(2009, 2016))
+        assert len(points) == 28
+
+    def test_chrome_blink_drop_is_8_8_mloc(self):
+        # "removing at least 8.8 million lines of code from Chrome".
+        assert history.chrome_blink_drop() == pytest.approx(8.8)
+        assert history.BLINK_SPLIT_YEAR == 2013
+
+    def test_firefox_loc_grows_monotonically(self):
+        points = [
+            p for p in history.browser_evolution_series()
+            if p.browser == "Firefox"
+        ]
+        locs = [p.million_loc for p in sorted(points, key=lambda p: p.year)]
+        assert locs == sorted(locs)
+
+    def test_standards_available_grows(self):
+        points = [
+            p for p in history.browser_evolution_series()
+            if p.browser == "Firefox"
+        ]
+        counts = [p.web_standards for p in sorted(points,
+                                                  key=lambda p: p.year)]
+        assert counts == sorted(counts)
+        # By 2015 nearly the whole catalog is available.
+        assert counts[-1] >= 70

@@ -1,0 +1,154 @@
+"""Tests for the section 5.1 metric definitions.
+
+These build SurveyResults by hand (no crawling) so each definition can
+be verified against pencil-and-paper expectations.
+"""
+
+import pytest
+
+from repro.browser.session import SiteMeasurement
+from repro.core import metrics
+from repro.core.survey import SurveyResult
+
+
+def make_measurement(registry, domain, condition, features,
+                     measured=True):
+    m = SiteMeasurement(domain=domain, condition=condition)
+    if measured:
+        m.rounds_ok = 1
+        m.rounds_completed = 1
+        m.features = set(features)
+        m.standards_by_round = [
+            {registry.standard_of(f) for f in features}
+        ]
+    else:
+        m.rounds_completed = 1
+        m.standards_by_round = [set()]
+    return m
+
+
+@pytest.fixture()
+def handmade(registry):
+    """Four sites; d uses AJAX only by default and loses it to blocking."""
+    create = "Document.prototype.createElement"
+    xhr = "XMLHttpRequest.prototype.open"
+    sites = {
+        "a.com": {"default": [create, xhr], "blocking": [create, xhr]},
+        "b.com": {"default": [create], "blocking": [create]},
+        "c.com": {"default": [create, xhr], "blocking": [create]},
+        "d.com": {"default": [xhr], "blocking": []},
+    }
+    measurements = {"default": {}, "blocking": {}}
+    for domain, by_condition in sites.items():
+        for condition, features in by_condition.items():
+            measurements[condition][domain] = make_measurement(
+                registry, domain, condition, features
+            )
+    return SurveyResult(
+        conditions=("default", "blocking"),
+        visits_per_site=1,
+        domains=list(sites),
+        measurements=measurements,
+        visit_weights={"a.com": 0.4, "b.com": 0.3, "c.com": 0.2,
+                       "d.com": 0.1},
+        manual_only={},
+        registry=registry,
+    )
+
+
+class TestPopularity:
+    def test_feature_site_counts(self, handmade):
+        counts = metrics.feature_site_counts(handmade, "default")
+        assert counts["Document.prototype.createElement"] == 3
+        assert counts["XMLHttpRequest.prototype.open"] == 3
+        assert counts["Navigator.prototype.vibrate"] == 0
+
+    def test_feature_popularity_fraction(self, handmade):
+        popularity = metrics.feature_popularity(handmade, "default")
+        assert popularity["Document.prototype.createElement"] == 0.75
+
+    def test_standard_site_counts(self, handmade):
+        counts = metrics.standard_site_counts(handmade, "default")
+        assert counts["DOM1"] == 3
+        assert counts["AJAX"] == 3
+        assert counts["SVG"] == 0
+
+    def test_standard_popularity(self, handmade):
+        popularity = metrics.standard_popularity(handmade, "default")
+        assert popularity["AJAX"] == 0.75
+        assert popularity["DOM1"] == 0.75
+
+
+class TestBlockRates:
+    def test_standard_block_rate(self, handmade):
+        rates = metrics.standard_block_rates(handmade)
+        # AJAX used by a, c, d by default; gone from c and d under
+        # blocking -> 2/3.
+        assert rates["AJAX"] == pytest.approx(2 / 3)
+        assert rates["DOM1"] == 0.0
+
+    def test_never_used_standard_has_none(self, handmade):
+        rates = metrics.standard_block_rates(handmade)
+        assert rates["SVG"] is None
+
+    def test_feature_block_rates(self, handmade):
+        rates = metrics.feature_block_rates(handmade)
+        assert rates["XMLHttpRequest.prototype.open"] == pytest.approx(2 / 3)
+        assert rates["Document.prototype.createElement"] == 0.0
+        assert rates["Navigator.prototype.vibrate"] is None
+
+    def test_unmeasured_blocking_domain_excluded(self, registry, handmade):
+        # If d.com cannot be measured under blocking at all, it must not
+        # count as "blocked" — the join is over commonly measured sites.
+        handmade.measurements["blocking"]["d.com"] = make_measurement(
+            registry, "d.com", "blocking", [], measured=False
+        )
+        rates = metrics.standard_block_rates(handmade)
+        assert rates["AJAX"] == pytest.approx(1 / 2)  # only a, c count
+
+
+class TestComplexityAndTraffic:
+    def test_site_complexity(self, handmade):
+        complexity = metrics.site_complexity(handmade, "default")
+        assert complexity["a.com"] == 2
+        assert complexity["b.com"] == 1
+        assert complexity["d.com"] == 1
+
+    def test_traffic_weighted_popularity(self, handmade):
+        weighted = metrics.traffic_weighted_standard_popularity(
+            handmade, "default"
+        )
+        # AJAX on a (0.4), c (0.2), d (0.1) = 0.7 of traffic.
+        assert weighted["AJAX"] == pytest.approx(0.7)
+        # DOM1 on a, b, c = 0.9.
+        assert weighted["DOM1"] == pytest.approx(0.9)
+
+    def test_weighting_vs_site_fraction_differ(self, handmade):
+        by_sites = metrics.standard_popularity(handmade, "default")
+        weighted = metrics.traffic_weighted_standard_popularity(
+            handmade, "default"
+        )
+        assert weighted["DOM1"] > by_sites["DOM1"]  # popular-site skew
+
+
+class TestSurveyResultViews:
+    def test_measured_domains(self, handmade):
+        assert metrics and handmade.measured_domains("default") == [
+            "a.com", "b.com", "c.com", "d.com",
+        ]
+
+    def test_commonly_measured(self, registry, handmade):
+        handmade.measurements["blocking"]["b.com"] = make_measurement(
+            registry, "b.com", "blocking", [], measured=False
+        )
+        assert "b.com" not in handmade.commonly_measured_domains()
+
+    def test_feature_sites_index(self, handmade):
+        index = handmade.feature_sites("default")
+        assert index["XMLHttpRequest.prototype.open"] == {
+            "a.com", "c.com", "d.com",
+        }
+
+    def test_standard_sites_includes_zero_entries(self, handmade):
+        index = handmade.standard_sites("default")
+        assert index["SVG"] == set()

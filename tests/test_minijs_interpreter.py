@@ -1,0 +1,559 @@
+"""Tests for the MiniJS interpreter: language semantics."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.minijs import Interpreter, parse
+from repro.minijs.errors import (
+    JSRuntimeError,
+    JSThrownValue,
+    StepLimitExceeded,
+)
+from repro.minijs.objects import JSArray, JSObject, NULL, UNDEFINED
+
+
+def run(source, **kwargs):
+    return Interpreter(seed=1, **kwargs).run(parse(source))
+
+
+class TestArithmetic:
+    def test_basics(self):
+        assert run("1 + 2 * 3;") == 7.0
+        assert run("(1 + 2) * 3;") == 9.0
+        assert run("7 % 3;") == 1.0
+        assert run("2 - 5;") == -3.0
+
+    def test_division_by_zero(self):
+        assert run("1 / 0;") == float("inf")
+        assert run("-1 / 0;") == float("-inf")
+        assert math.isnan(run("0 / 0;"))
+
+    def test_modulo_by_zero_is_nan(self):
+        assert math.isnan(run("5 % 0;"))
+
+    def test_string_concatenation(self):
+        assert run("'a' + 'b';") == "ab"
+        assert run("'n=' + 5;") == "n=5"
+        assert run("5 + '5';") == "55"
+
+    def test_numeric_coercion_on_minus(self):
+        assert run("'10' - 3;") == 7.0
+
+    def test_nan_propagates(self):
+        assert math.isnan(run("'abc' * 2;"))
+
+    def test_unary(self):
+        assert run("-(3);") == -3.0
+        assert run("+'42';") == 42.0
+        assert run("!0;") is True
+        assert run("!'x';") is False
+        assert run("~5;") == -6.0
+
+    def test_bitwise(self):
+        assert run("12 & 10;") == 8.0
+        assert run("12 | 10;") == 14.0
+        assert run("12 ^ 10;") == 6.0
+        assert run("1 << 4;") == 16.0
+        assert run("-8 >> 1;") == -4.0
+        assert run("-1 >>> 28;") == 15.0
+
+
+class TestEquality:
+    def test_strict(self):
+        assert run("1 === 1;") is True
+        assert run("1 === '1';") is False
+        assert run("null === undefined;") is False
+        assert run("'a' !== 'b';") is True
+
+    def test_loose(self):
+        assert run("1 == '1';") is True
+        assert run("null == undefined;") is True
+        assert run("0 == false;") is True
+        assert run("'' == 0;") is True
+
+    def test_object_identity(self):
+        assert run("var a = {}; var b = {}; a === b;") is False
+        assert run("var a = {}; var b = a; a === b;") is True
+
+    def test_relational(self):
+        assert run("2 < 10;") is True
+        assert run("'2' < '10';") is False  # string comparison
+        assert run("3 >= 3;") is True
+
+
+class TestVariablesAndScope:
+    def test_var_and_assignment(self):
+        assert run("var x = 1; x = x + 2; x;") == 3.0
+
+    def test_compound_assignment(self):
+        assert run("var x = 10; x -= 4; x *= 2; x;") == 12.0
+
+    def test_increment_decrement(self):
+        assert run("var x = 5; x++; ++x; x--; x;") == 6.0
+
+    def test_postfix_returns_old_value(self):
+        assert run("var x = 5; var y = x++; y;") == 5.0
+
+    def test_function_scope_not_block_scope(self):
+        assert run("function f() { if (true) { var x = 1; } return x; } f();") == 1.0
+
+    def test_undeclared_read_raises(self):
+        with pytest.raises(JSRuntimeError):
+            run("missing + 1;")
+
+    def test_implicit_global_assignment(self):
+        assert run("function f() { leaked = 7; } f(); leaked;") == 7.0
+
+    def test_shadowing(self):
+        assert run(
+            "var x = 'outer';"
+            "function f() { var x = 'inner'; return x; }"
+            "f() + ':' + x;"
+        ) == "inner:outer"
+
+
+class TestFunctions:
+    def test_declaration_and_call(self):
+        assert run("function add(a, b) { return a + b; } add(2, 3);") == 5.0
+
+    def test_hoisting(self):
+        assert run("var r = f(); function f() { return 'hoisted'; } r;") == (
+            "hoisted"
+        )
+
+    def test_missing_args_are_undefined(self):
+        assert run("function f(a, b) { return b; } f(1) === undefined;") is True
+
+    def test_extra_args_via_arguments(self):
+        assert run(
+            "function f() { return arguments.length; } f(1, 2, 3);"
+        ) == 3.0
+
+    def test_arguments_indexing(self):
+        assert run("function f() { return arguments[1]; } f('a', 'b');") == "b"
+
+    def test_closures_capture_environment(self):
+        assert run(
+            "function mk(n) { return function (m) { return n + m; }; }"
+            "var add5 = mk(5); add5(3);"
+        ) == 8.0
+
+    def test_closure_state_persists(self):
+        assert run(
+            "function counter() { var n = 0;"
+            "  return function () { n += 1; return n; }; }"
+            "var c = counter(); c(); c(); c();"
+        ) == 3.0
+
+    def test_recursion(self):
+        assert run(
+            "function fib(n) { if (n < 2) return n;"
+            " return fib(n-1) + fib(n-2); } fib(10);"
+        ) == 55.0
+
+    def test_call_and_apply(self):
+        assert run(
+            "function who() { return this.name; }"
+            "var o = { name: 'neo' };"
+            "who.call(o) + ':' + who.apply(o);"
+        ) == "neo:neo"
+
+    def test_apply_spreads_array(self):
+        assert run(
+            "function add(a, b) { return a + b; }"
+            "add.apply(null, [3, 4]);"
+        ) == 7.0
+
+    def test_bind(self):
+        assert run(
+            "function who() { return this.name; }"
+            "var bound = who.bind({ name: 'trinity' });"
+            "bound();"
+        ) == "trinity"
+
+    def test_calling_non_function_raises(self):
+        with pytest.raises(JSRuntimeError):
+            run("var x = 5; x();")
+
+
+class TestObjectsAndPrototypes:
+    def test_object_literal_access(self):
+        assert run("var o = { a: 1, b: { c: 2 } }; o.a + o.b.c;") == 3.0
+
+    def test_index_access(self):
+        assert run("var o = { key: 'v' }; o['key'];") == "v"
+
+    def test_property_write(self):
+        assert run("var o = {}; o.x = 9; o.x;") == 9.0
+
+    def test_missing_property_is_undefined(self):
+        assert run("var o = {}; o.nope === undefined;") is True
+
+    def test_member_of_null_raises(self):
+        with pytest.raises(JSRuntimeError):
+            run("null.x;")
+
+    def test_new_and_this(self):
+        assert run(
+            "function Dog(name) { this.name = name; }"
+            "new Dog('rex').name;"
+        ) == "rex"
+
+    def test_prototype_method(self):
+        assert run(
+            "function A() {} A.prototype.hello = function () {"
+            " return 'hi'; };"
+            "new A().hello();"
+        ) == "hi"
+
+    def test_prototype_mutation_visible_to_existing_instances(self):
+        assert run(
+            "function A() {} var a = new A();"
+            "A.prototype.m = function () { return 1; };"
+            "a.m();"
+        ) == 1.0
+
+    def test_prototype_shim_pattern(self):
+        """The paper's instrumentation idiom must work end to end."""
+        assert run(
+            "function T() {}"
+            "T.prototype.m = function (x) { return x * 2; };"
+            "var calls = 0;"
+            "(function () {"
+            "  var orig = T.prototype.m;"
+            "  T.prototype.m = function () {"
+            "    calls += 1; return orig.apply(this, arguments);"
+            "  };"
+            "})();"
+            "var t = new T();"
+            "var r = t.m(21);"
+            "calls + ':' + r;"
+        ) == "1:42"
+
+    def test_instanceof(self):
+        assert run("function F() {} new F() instanceof F;") is True
+        assert run("function F() {} function G() {} new F() instanceof G;") is False
+
+    def test_in_operator(self):
+        assert run("var o = { a: 1 }; 'a' in o;") is True
+        assert run("var o = { a: 1 }; 'b' in o;") is False
+
+    def test_delete(self):
+        assert run("var o = { a: 1 }; delete o.a; 'a' in o;") is False
+
+    def test_constructor_returning_object_overrides(self):
+        assert run(
+            "function F() { return { custom: true }; }"
+            "new F().custom;"
+        ) is True
+
+    def test_hasownproperty(self):
+        assert run(
+            "function A() {} A.prototype.p = 1;"
+            "var a = new A(); a.own = 2;"
+            "a.hasOwnProperty('own') + ':' + a.hasOwnProperty('p');"
+        ) == "true:false"
+
+
+class TestWatch:
+    def test_watch_sees_writes(self):
+        assert run(
+            "var o = {}; var log = [];"
+            "o.watch('x', function (p, oldv, newv) {"
+            "  log.push(p + ':' + oldv + '>' + newv); return newv; });"
+            "o.x = 1; o.x = 2;"
+            "log.join(',');"
+        ) == "x:undefined>1,x:1>2"
+
+    def test_watch_handler_transforms_value(self):
+        assert run(
+            "var o = {};"
+            "o.watch('x', function (p, oldv, newv) { return newv * 10; });"
+            "o.x = 4; o.x;"
+        ) == 40.0
+
+    def test_unwatch(self):
+        assert run(
+            "var o = {}; var hits = 0;"
+            "o.watch('x', function (p, a, b) { hits += 1; return b; });"
+            "o.x = 1; o.unwatch('x'); o.x = 2;"
+            "hits;"
+        ) == 1.0
+
+    def test_watch_only_named_property(self):
+        assert run(
+            "var o = {}; var hits = 0;"
+            "o.watch('x', function (p, a, b) { hits += 1; return b; });"
+            "o.y = 1; hits;"
+        ) == 0.0
+
+
+class TestControlFlow:
+    def test_while_loop(self):
+        assert run("var s = 0; var i = 0;"
+                   "while (i < 5) { s += i; i += 1; } s;") == 10.0
+
+    def test_do_while_runs_once(self):
+        assert run("var n = 0; do { n += 1; } while (false); n;") == 1.0
+
+    def test_for_loop(self):
+        assert run("var s = 0; for (var i = 1; i <= 4; i++) s += i; s;") == 10.0
+
+    def test_break(self):
+        assert run(
+            "var i = 0; while (true) { i += 1; if (i === 3) break; } i;"
+        ) == 3.0
+
+    def test_continue(self):
+        assert run(
+            "var s = 0; for (var i = 0; i < 6; i++) {"
+            " if (i % 2) continue; s += i; } s;"
+        ) == 6.0
+
+    def test_for_in_iterates_keys(self):
+        assert run(
+            "var o = { a: 1, b: 2, c: 3 }; var ks = [];"
+            "for (var k in o) ks.push(k); ks.join('');"
+        ) == "abc"
+
+    def test_for_in_over_array_indices(self):
+        assert run(
+            "var a = ['x', 'y']; var out = [];"
+            "for (var i in a) out.push(i); out.join(',');"
+        ) == "0,1"
+
+    def test_conditional_expression(self):
+        assert run("var x = 5; x > 3 ? 'big' : 'small';") == "big"
+
+    def test_logical_shortcircuit_values(self):
+        assert run("0 || 'fallback';") == "fallback"
+        assert run("'first' && 'second';") == "second"
+        assert run("null && explodes();") is NULL
+
+
+class TestExceptions:
+    def test_throw_and_catch(self):
+        assert run("try { throw 'oops'; } catch (e) { 'got:' + e; }") == (
+            "got:oops"
+        )
+
+    def test_runtime_error_catchable(self):
+        assert run(
+            "try { null.x; } catch (e) { e.name; }"
+        ) == "TypeError"
+
+    def test_finally_always_runs(self):
+        assert run(
+            "var log = [];"
+            "try { log.push('t'); throw 1; }"
+            "catch (e) { log.push('c'); }"
+            "finally { log.push('f'); }"
+            "log.join('');"
+        ) == "tcf"
+
+    def test_uncaught_throw_escapes(self):
+        with pytest.raises(JSThrownValue) as exc:
+            run("throw 'unhandled';")
+        assert exc.value.value == "unhandled"
+
+    def test_nested_catch(self):
+        assert run(
+            "try { try { throw 'inner'; } catch (e) { throw e + '!'; } }"
+            "catch (e2) { e2; }"
+        ) == "inner!"
+
+
+class TestStepLimit:
+    def test_infinite_loop_stopped(self):
+        with pytest.raises(StepLimitExceeded):
+            run("while (true) {}", step_limit=5000)
+
+    def test_reset_steps_restores_budget(self):
+        interp = Interpreter(seed=1, step_limit=50_000)
+        interp.run(parse("for (var i = 0; i < 1000; i++) {}"))
+        interp.reset_steps()
+        interp.run(parse("for (var i = 0; i < 1000; i++) {}"))
+
+    def test_budget_shared_within_program(self):
+        with pytest.raises(StepLimitExceeded):
+            run(
+                "for (var i = 0; i < 100000; i++) {}"
+                "for (var j = 0; j < 100000; j++) {}",
+                step_limit=100_000,
+            )
+
+
+class TestBuiltins:
+    def test_math(self):
+        assert run("Math.floor(3.7);") == 3.0
+        assert run("Math.ceil(3.2);") == 4.0
+        assert run("Math.abs(-4);") == 4.0
+        assert run("Math.max(1, 9, 4);") == 9.0
+        assert run("Math.min(1, 9, 4);") == 1.0
+        assert run("Math.pow(2, 10);") == 1024.0
+        assert run("Math.sqrt(81);") == 9.0
+
+    def test_math_random_deterministic_per_seed(self):
+        a = Interpreter(seed=7).run(parse("Math.random();"))
+        b = Interpreter(seed=7).run(parse("Math.random();"))
+        c = Interpreter(seed=8).run(parse("Math.random();"))
+        assert a == b
+        assert a != c
+        assert 0.0 <= a < 1.0
+
+    def test_date_now_advances(self):
+        assert run("var a = Date.now(); var b = Date.now(); b >= a;") is True
+
+    def test_parse_int(self):
+        assert run("parseInt('42');") == 42.0
+        assert run("parseInt('  -7px');") == -7.0
+        assert run("parseInt('ff', 16);") == 255.0
+        assert math.isnan(run("parseInt('x');"))
+
+    def test_parse_float(self):
+        assert run("parseFloat('3.5rem');") == 3.5
+        assert math.isnan(run("parseFloat('abc');"))
+
+    def test_is_nan(self):
+        assert run("isNaN('abc');") is True
+        assert run("isNaN('12');") is False
+
+    def test_conversions(self):
+        assert run("String(12);") == "12"
+        assert run("Number('8');") == 8.0
+        assert run("Boolean('');") is False
+
+    def test_string_methods(self):
+        assert run("'Hello'.toUpperCase();") == "HELLO"
+        assert run("'Hello'.charAt(1);") == "e"
+        assert run("'a,b,c'.split(',').length;") == 3.0
+        assert run("'hello'.indexOf('ll');") == 2.0
+        assert run("'  x '.trim();") == "x"
+        assert run("'abcdef'.substring(1, 3);") == "bc"
+        assert run("'abcdef'.slice(2);") == "cdef"
+        assert run("'aXa'.replace('X', 'b');") == "aba"
+        assert run("'word'.length;") == 4.0
+
+    def test_number_methods(self):
+        assert run("(3.14159).toFixed(2);") == "3.14"
+        assert run("(255).toString();") == "255"
+
+    def test_array_methods(self):
+        assert run("var a = [1, 2]; a.push(3); a.length;") == 3.0
+        assert run("[1, 2, 3].pop();") == 3.0
+        assert run("[1, 2, 3].shift();") == 1.0
+        assert run("[1, 2].concat([3]).join('-');") == "1-2-3"
+        assert run("['a','b','c'].indexOf('b');") == 1.0
+        assert run("[0, 1, 2, 3].slice(1, 3).join();") == "1,2"
+
+    def test_array_foreach(self):
+        assert run(
+            "var s = 0; [1, 2, 3].forEach(function (x) { s += x; }); s;"
+        ) == 6.0
+
+    def test_array_length_truncation(self):
+        assert run("var a = [1, 2, 3]; a.length = 1; a.join();") == "1"
+
+    def test_object_keys(self):
+        assert run("Object.keys({ a: 1, b: 2 }).join();") == "a,b"
+
+    def test_error_constructor(self):
+        assert run("var e = Error('bad'); e.message;") == "bad"
+
+    def test_typeof(self):
+        assert run("typeof 1;") == "number"
+        assert run("typeof 'x';") == "string"
+        assert run("typeof true;") == "boolean"
+        assert run("typeof undefined;") == "undefined"
+        assert run("typeof null;") == "object"
+        assert run("typeof {};") == "object"
+        assert run("typeof function () {};") == "function"
+        assert run("typeof not_declared_anywhere;") == "undefined"
+
+
+class TestInterpreterProperties:
+    @given(st.integers(min_value=-10**6, max_value=10**6),
+           st.integers(min_value=-10**6, max_value=10**6))
+    def test_integer_arithmetic_matches_python(self, a, b):
+        assert run("%d + %d;" % (a, b)) == float(a + b)
+        assert run("%d * %d;" % (a, b)) == float(a * b)
+
+    @given(st.integers(min_value=-100, max_value=100))
+    def test_negation_roundtrip(self, n):
+        assert run("-(-(%d));" % n) == float(n)
+
+    @given(st.lists(st.integers(min_value=0, max_value=99), max_size=8))
+    def test_array_join_matches_python(self, values):
+        source = "[%s].join(',');" % ", ".join(str(v) for v in values)
+        assert run(source) == ",".join(str(v) for v in values)
+
+    @given(st.text(alphabet="abcdefgh", max_size=12))
+    def test_string_length(self, text):
+        assert run("'%s'.length;" % text) == float(len(text))
+
+
+class TestJson:
+    def test_stringify_primitives(self):
+        assert run("JSON.stringify(1.5);") == "1.5"
+        assert run("JSON.stringify('x');") == '"x"'
+        assert run("JSON.stringify(true);") == "true"
+        assert run("JSON.stringify(null);") == "null"
+
+    def test_stringify_structures(self):
+        assert run(
+            "JSON.stringify({a: 1, b: [false, 'y']});"
+        ) == '{"a":1,"b":[false,"y"]}'
+
+    def test_stringify_skips_functions(self):
+        assert run("JSON.stringify({f: function () {}, x: 2});") == '{"x":2}'
+        assert run("JSON.stringify([function () {}]);") == "[null]"
+        assert run("JSON.stringify(function () {}) === undefined;") is True
+
+    def test_stringify_nan_and_infinity_become_null(self):
+        assert run("JSON.stringify([0 / 0, 1 / 0]);") == "[null,null]"
+
+    def test_stringify_circular_throws(self):
+        assert run(
+            "var a = []; a.push(a);"
+            "try { JSON.stringify(a); } catch (e) { 'cycle'; }"
+        ) == "cycle"
+
+    def test_parse_roundtrip(self):
+        assert run(
+            "var o = JSON.parse(JSON.stringify({k: [1, {n: 'v'}]}));"
+            "o.k[1].n;"
+        ) == "v"
+
+    def test_parse_invalid_catchable(self):
+        assert run(
+            "try { JSON.parse('{oops'); } catch (e) { 'bad'; }"
+        ) == "bad"
+
+    def test_parse_scalars(self):
+        assert run("JSON.parse('42');") == 42.0
+        assert run("JSON.parse('\"s\"');") == "s"
+        assert run("JSON.parse('true');") is True
+
+
+class TestCallDepth:
+    def test_runaway_recursion_is_catchable(self):
+        assert run(
+            "function r(n) { return r(n + 1); }"
+            "try { r(0); } catch (e) { 'overflow'; }"
+        ) == "overflow"
+
+    def test_depth_restored_after_overflow(self):
+        assert run(
+            "function r() { return r(); }"
+            "try { r(); } catch (e) {}"
+            "function ok() { return 'fine'; }"
+            "ok();"
+        ) == "fine"
+
+    def test_reasonable_recursion_still_works(self):
+        assert run(
+            "function down(n) { if (n === 0) return 'done';"
+            " return down(n - 1); } down(60);"
+        ) == "done"

@@ -1,0 +1,116 @@
+"""Tests for the MiniJS tokenizer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.minijs.errors import JSLexError
+from repro.minijs.lexer import KEYWORDS, Token, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.value) for t in tokenize(source)[:-1]]
+
+
+class TestTokens:
+    def test_empty_input(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind == "eof"
+
+    def test_identifiers_and_keywords(self):
+        assert kinds("var x foo") == [
+            ("keyword", "var"), ("ident", "x"), ("ident", "foo"),
+        ]
+
+    def test_dollar_and_underscore_idents(self):
+        assert kinds("$a _b a$1") == [
+            ("ident", "$a"), ("ident", "_b"), ("ident", "a$1"),
+        ]
+
+    def test_numbers(self):
+        assert kinds("1 2.5 .5 0x1F") == [
+            ("number", "1"), ("number", "2.5"), ("number", ".5"),
+            ("number", "0x1F"),
+        ]
+
+    def test_strings_both_quotes(self):
+        assert kinds("'a' \"b\"") == [("string", "a"), ("string", "b")]
+
+    def test_string_escapes(self):
+        (token,) = tokenize(r"'a\nb\t\\'")[:-1]
+        assert token.value == "a\nb\t\\"
+
+    def test_multi_char_punctuation_longest_match(self):
+        assert kinds("=== == = !== != ++ += >>>") == [
+            ("punct", "==="), ("punct", "=="), ("punct", "="),
+            ("punct", "!=="), ("punct", "!="), ("punct", "++"),
+            ("punct", "+="), ("punct", ">>>"),
+        ]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n\nc")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 4]
+
+    def test_line_comment_dropped(self):
+        assert kinds("a // comment\nb") == [("ident", "a"), ("ident", "b")]
+
+    def test_block_comment_dropped(self):
+        assert kinds("a /* x\ny */ b") == [("ident", "a"), ("ident", "b")]
+
+    def test_block_comment_counts_lines(self):
+        tokens = tokenize("/* a\nb\n*/ x")
+        assert tokens[0].value == "x"
+        assert tokens[0].line == 3
+
+    def test_all_keywords_recognized(self):
+        for keyword in KEYWORDS:
+            (token,) = tokenize(keyword)[:-1]
+            assert token.kind == "keyword"
+
+
+class TestLexErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(JSLexError):
+            tokenize("'abc")
+
+    def test_newline_in_string(self):
+        with pytest.raises(JSLexError):
+            tokenize("'a\nb'")
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(JSLexError):
+            tokenize("/* never closed")
+
+    def test_bad_character(self):
+        with pytest.raises(JSLexError) as exc:
+            tokenize("var x = @;")
+        assert "@" in str(exc.value)
+
+    def test_error_line_number(self):
+        with pytest.raises(JSLexError) as exc:
+            tokenize("ok;\nalso ok;\n#")
+        assert exc.value.line == 3
+
+
+class TestLexerProperties:
+    @given(st.text(alphabet=st.characters(min_codepoint=32,
+                                          max_codepoint=126), max_size=60))
+    def test_total_either_tokens_or_lexerror(self, source):
+        """The lexer never hangs or raises anything but JSLexError."""
+        try:
+            tokens = tokenize(source)
+        except JSLexError:
+            return
+        assert tokens[-1].kind == "eof"
+
+    @given(st.integers(min_value=0, max_value=10 ** 9))
+    def test_integer_roundtrip(self, value):
+        (token,) = tokenize(str(value))[:-1]
+        assert token.kind == "number"
+        assert int(token.value) == value
+
+    @given(st.from_regex(r"[A-Za-z_$][A-Za-z0-9_$]{0,12}", fullmatch=True))
+    def test_identifier_roundtrip(self, name):
+        (token,) = tokenize(name)[:-1]
+        assert token.value == name
+        assert token.kind in ("ident", "keyword")

@@ -1,0 +1,199 @@
+"""Property-based tests over the MiniJS value model and engine.
+
+These target the algebraic laws the measurement relies on: equality
+semantics, conversion totality, environment behavior, and — most
+importantly — that instrumentation shims are semantically transparent
+for arbitrary values.
+"""
+
+import math
+
+from hypothesis import given, strategies as st
+
+from repro.minijs import Interpreter, parse
+from repro.minijs.objects import (
+    JSArray,
+    JSObject,
+    NULL,
+    UNDEFINED,
+    format_number,
+    js_equals_loose,
+    js_equals_strict,
+    to_boolean,
+    to_int,
+    to_number,
+    to_string,
+    type_of,
+)
+
+# A strategy over primitive MiniJS values.
+js_primitives = st.one_of(
+    st.just(UNDEFINED),
+    st.just(NULL),
+    st.booleans(),
+    st.floats(allow_nan=False, allow_infinity=True),
+    st.text(max_size=20),
+)
+
+
+class TestEqualityLaws:
+    @given(js_primitives)
+    def test_strict_equality_reflexive(self, value):
+        assert js_equals_strict(value, value)
+
+    @given(js_primitives, js_primitives)
+    def test_strict_equality_symmetric(self, a, b):
+        assert js_equals_strict(a, b) == js_equals_strict(b, a)
+
+    @given(js_primitives, js_primitives)
+    def test_strict_implies_loose(self, a, b):
+        if js_equals_strict(a, b):
+            assert js_equals_loose(a, b)
+
+    @given(js_primitives, js_primitives)
+    def test_loose_equality_symmetric(self, a, b):
+        assert js_equals_loose(a, b) == js_equals_loose(b, a)
+
+    def test_nan_not_equal_to_itself(self):
+        nan = float("nan")
+        assert not js_equals_strict(nan, nan)
+        assert not js_equals_loose(nan, nan)
+
+
+class TestConversionTotality:
+    @given(js_primitives)
+    def test_to_string_total(self, value):
+        assert isinstance(to_string(value), str)
+
+    @given(js_primitives)
+    def test_to_number_total(self, value):
+        assert isinstance(to_number(value), float)
+
+    @given(js_primitives)
+    def test_to_boolean_total(self, value):
+        assert isinstance(to_boolean(value), bool)
+
+    @given(js_primitives)
+    def test_to_int_total_and_finite(self, value):
+        result = to_int(value, default=7)
+        assert isinstance(result, int)
+
+    @given(st.floats(allow_nan=False, allow_infinity=False,
+                     min_value=-1e15, max_value=1e15))
+    def test_number_string_roundtrip(self, value):
+        # to_number(format_number(x)) == x for representable floats.
+        assert to_number(format_number(value)) == value
+
+    @given(st.integers(min_value=-10**9, max_value=10**9))
+    def test_integers_render_without_decimal_point(self, n):
+        assert format_number(float(n)) == str(n)
+
+    def test_special_number_rendering(self):
+        assert format_number(float("nan")) == "NaN"
+        assert format_number(float("inf")) == "Infinity"
+        assert format_number(float("-inf")) == "-Infinity"
+
+
+class TestObjectModelProperties:
+    @given(st.lists(st.tuples(
+        st.from_regex(r"[a-z]{1,6}", fullmatch=True),
+        st.integers(min_value=0, max_value=99),
+    ), max_size=10))
+    def test_set_then_get(self, entries):
+        obj = JSObject()
+        expected = {}
+        for key, value in entries:
+            obj.set(key, float(value))
+            expected[key] = float(value)
+        for key, value in expected.items():
+            assert obj.get(key) == value
+        assert sorted(obj.own_keys()) == sorted(expected)
+
+    @given(st.lists(st.integers(min_value=-5, max_value=5), max_size=10))
+    def test_array_elements_roundtrip(self, values):
+        array = JSArray([float(v) for v in values])
+        assert array.get("length") == float(len(values))
+        for index, value in enumerate(values):
+            assert array.get(str(index)) == float(value)
+
+    @given(st.integers(min_value=0, max_value=20),
+           st.integers(min_value=0, max_value=20))
+    def test_array_length_assignment(self, initial, new_length):
+        array = JSArray([0.0] * initial)
+        array.set("length", float(new_length))
+        assert len(array.elements) == new_length
+
+    @given(st.from_regex(r"[a-z]{1,6}", fullmatch=True),
+           st.integers(min_value=0, max_value=9))
+    def test_watch_sees_every_write(self, key, writes):
+        obj = JSObject()
+        seen = []
+        obj.watch(key, lambda i, p, old, new: (seen.append(new), new)[1])
+        for value in range(writes):
+            obj.set(key, float(value))
+        assert seen == [float(v) for v in range(writes)]
+        obj.unwatch(key)
+        obj.set(key, 99.0)
+        assert len(seen) == writes
+
+
+class TestShimTransparency:
+    """A logging shim must be a semantic no-op for the wrapped call."""
+
+    @given(st.lists(st.integers(min_value=-100, max_value=100),
+                    max_size=4))
+    def test_shimmed_function_preserves_results(self, args):
+        interp = Interpreter(seed=1)
+        source = """
+        function T() {}
+        T.prototype.sum = function () {
+            var total = 0;
+            for (var i = 0; i < arguments.length; i++) {
+                total += arguments[i];
+            }
+            return total;
+        };
+        var calls = 0;
+        (function () {
+            var orig = T.prototype.sum;
+            T.prototype.sum = function () {
+                calls += 1;
+                return orig.apply(this, arguments);
+            };
+        })();
+        var t = new T();
+        """
+        interp.run(parse(source))
+        call = "t.sum(%s);" % ", ".join(str(a) for a in args)
+        result = interp.run(parse(call))
+        assert result == float(sum(args))
+        assert interp.global_object.get("calls") == 1.0
+
+    @given(st.text(alphabet="abc ", max_size=10))
+    def test_shim_preserves_this_binding(self, tag):
+        interp = Interpreter(seed=1)
+        interp.run(parse("""
+        function T(v) { this.v = v; }
+        T.prototype.get = function () { return this.v; };
+        (function () {
+            var orig = T.prototype.get;
+            T.prototype.get = function () {
+                return orig.apply(this, arguments);
+            };
+        })();
+        """))
+        interp.global_object.set("tag", tag)
+        assert interp.run(parse("new T(tag).get();")) == tag
+
+
+class TestTypeOfLaws:
+    @given(js_primitives)
+    def test_type_of_total_and_valid(self, value):
+        assert type_of(value) in (
+            "undefined", "object", "boolean", "number", "string",
+            "function",
+        )
+
+    @given(st.floats(allow_nan=True, allow_infinity=True))
+    def test_numbers_always_number(self, value):
+        assert type_of(value) == "number"

@@ -1,0 +1,212 @@
+"""Tests for gremlins monkey testing and the site crawler."""
+
+import random
+
+import pytest
+
+from repro.browser.browser import Browser, BrowserConfig
+from repro.monkey.crawler import CrawlConfig, SiteCrawler
+from repro.monkey.gremlins import Gremlins, MonkeyConfig
+from repro.net.fetcher import DictWebSource, Fetcher
+from repro.net.url import Url
+
+PAGE = """<html><head></head><body>
+  <ul>
+    <li><a href="/news/">news</a></li>
+    <li><a href="/about/">about</a></li>
+    <li><a href="https://elsewhere.example/">external</a></li>
+  </ul>
+  <button id="b" onclick="window.__clicks = (window.__clicks || 0) + 1;">
+    go</button>
+  <form action="/search"><input type="text" name="q"></form>
+  <p>text</p>
+</body></html>"""
+
+
+@pytest.fixture()
+def page_visit(registry):
+    web = DictWebSource()
+    web.add_html("https://m.test/", PAGE)
+    browser = Browser(registry, Fetcher(web))
+    visit = browser.visit_page(Url.parse("https://m.test/"), seed=1)
+    assert visit.ok
+    return visit
+
+
+class TestGremlins:
+    def test_fires_configured_number_of_events(self, page_visit):
+        gremlins = Gremlins(page_visit, random.Random(1),
+                            MonkeyConfig(events_per_page=25))
+        assert gremlins.run() == 25
+
+    def test_harvests_link_urls(self, page_visit):
+        gremlins = Gremlins(page_visit, random.Random(2),
+                            MonkeyConfig(events_per_page=60))
+        gremlins.run()
+        harvested = {str(u) for u in gremlins.harvested_urls}
+        assert "https://m.test/news/" in harvested
+
+    def test_navigation_never_actually_happens(self, page_visit):
+        gremlins = Gremlins(page_visit, random.Random(3))
+        gremlins.run()
+        # The page realm is still the original page.
+        assert page_visit.realm.url == "https://m.test/"
+
+    def test_dom0_handlers_fire(self, page_visit):
+        gremlins = Gremlins(page_visit, random.Random(4),
+                            MonkeyConfig(events_per_page=120))
+        gremlins.run()
+        clicks = page_visit.realm.interp.global_object.get("__clicks")
+        assert clicks != 0.0 and clicks  # fired at least once
+
+    def test_typing_fills_inputs(self, page_visit):
+        config = MonkeyConfig(events_per_page=60, click_weight=0.0,
+                              type_weight=1.0, scroll_weight=0.0)
+        Gremlins(page_visit, random.Random(5), config).run()
+        field = page_visit.root.query_selector_all("input")[0]
+        assert field.attributes.get("value")
+
+    def test_hidden_elements_skipped(self, registry):
+        web = DictWebSource()
+        web.add_html(
+            "https://h.test/",
+            "<html><body>"
+            '<a href="/only" data-hidden="1">hidden link</a>'
+            "</body></html>",
+        )
+        browser = Browser(registry, Fetcher(web))
+        visit = browser.visit_page(Url.parse("https://h.test/"), seed=1)
+        gremlins = Gremlins(visit, random.Random(6),
+                            MonkeyConfig(events_per_page=40))
+        gremlins.run()
+        assert gremlins.harvested_urls == []
+
+    def test_failed_visit_rejected(self, registry):
+        web = DictWebSource()
+        browser = Browser(registry, Fetcher(web))
+        visit = browser.visit_page(Url.parse("https://gone.test/"), seed=1)
+        with pytest.raises(ValueError):
+            Gremlins(visit, random.Random(7))
+
+
+class TestCrawlConfig:
+    def test_thirteen_page_budget(self):
+        assert CrawlConfig().max_pages == 13  # 1 + 3 + 9
+
+    def test_custom_shape(self):
+        assert CrawlConfig(links_per_page=2, depth=2).max_pages == 7
+
+
+class TestSiteCrawler:
+    @pytest.fixture()
+    def crawled_web(self, registry):
+        """A hand-built 5-page site with distinct sections."""
+        web = DictWebSource()
+
+        def page(links, body=""):
+            items = "".join(
+                '<li><a href="%s">x</a></li>' % href for href in links
+            )
+            return (
+                "<html><head></head><body><ul>%s</ul>%s"
+                "<p>filler</p><p>more</p></body></html>" % (items, body)
+            )
+
+        web.add_html("https://c.test/", page(
+            ["/a/", "/b/", "/c/"],
+            "<script>document.title = 'home';</script>",
+        ))
+        web.add_html("https://c.test/a/", page(
+            ["/a/1/", "/"],
+            "<script>localStorage.setItem('k', 'v');</script>",
+        ))
+        web.add_html("https://c.test/b/", page(["/"]))
+        web.add_html("https://c.test/c/", page(["/"]))
+        web.add_html("https://c.test/a/1/", page(
+            [], "<script>document.querySelector('p');</script>",
+        ))
+        return web
+
+    def test_visit_collects_features_across_pages(self, registry,
+                                                  crawled_web):
+        browser = Browser(registry, Fetcher(crawled_web))
+        crawler = SiteCrawler(
+            browser,
+            CrawlConfig(monkey=MonkeyConfig(events_per_page=40)),
+        )
+        result = crawler.visit_site("c.test", round_index=1, seed=5)
+        assert result.ok
+        assert result.pages_visited >= 3
+        assert "Document.prototype.title" in result.feature_counts
+
+    def test_unreachable_site_fails(self, registry):
+        web = DictWebSource()
+        browser = Browser(registry, Fetcher(web))
+        crawler = SiteCrawler(browser)
+        result = crawler.visit_site("dead.test", round_index=1, seed=5)
+        assert not result.ok
+        assert result.failure_reason
+
+    def test_no_scripts_executed_marks_unmeasurable(self, registry):
+        web = DictWebSource()
+        web.add_html(
+            "https://broken.test/",
+            "<html><head><script src='/app.js'></script></head>"
+            "<body><p>x</p></body></html>",
+        )
+        web.add_script("https://broken.test/app.js",
+                       "function ( { utterly broken")
+        browser = Browser(registry, Fetcher(web))
+        crawler = SiteCrawler(browser)
+        result = crawler.visit_site("broken.test", round_index=1, seed=5)
+        assert not result.ok
+        assert result.failure_reason == "no script executed"
+
+    def test_deterministic_given_seed(self, registry, crawled_web):
+        browser = Browser(registry, Fetcher(crawled_web))
+        crawler = SiteCrawler(browser)
+        a = crawler.visit_site("c.test", round_index=1, seed=5)
+        b = crawler.visit_site("c.test", round_index=1, seed=5)
+        assert a.feature_counts == b.feature_counts
+        assert a.pages_visited == b.pages_visited
+
+    def test_rounds_differ(self, registry, crawled_web):
+        browser = Browser(registry, Fetcher(crawled_web))
+        crawler = SiteCrawler(
+            browser, CrawlConfig(monkey=MonkeyConfig(events_per_page=6))
+        )
+        results = [
+            crawler.visit_site("c.test", round_index=r, seed=5)
+            for r in (1, 2, 3)
+        ]
+        visited = {r.pages_visited for r in results}
+        events = {r.interaction_events for r in results}
+        # Different rounds take different random walks.
+        assert len(visited) > 1 or len(events) > 1 or len(
+            {frozenset(r.feature_counts) for r in results}
+        ) > 1
+
+    def test_never_leaves_the_site(self, registry):
+        web = DictWebSource()
+        web.add_html(
+            "https://stay.test/",
+            "<html><body>"
+            '<a href="https://other.test/steal">out</a>'
+            '<a href="/in/">in</a><p>x</p>'
+            "<script>document.title='t';</script></body></html>",
+        )
+        web.add_html(
+            "https://stay.test/in/",
+            "<html><body><p>inner</p></body></html>",
+        )
+        web.add_html(
+            "https://other.test/steal",
+            "<html><body><script>navigator.vibrate(1);</script>"
+            "</body></html>",
+        )
+        browser = Browser(registry, Fetcher(web))
+        crawler = SiteCrawler(
+            browser, CrawlConfig(monkey=MonkeyConfig(events_per_page=50))
+        )
+        result = crawler.visit_site("stay.test", round_index=1, seed=1)
+        assert "Navigator.prototype.vibrate" not in result.feature_counts

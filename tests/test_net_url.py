@@ -1,0 +1,139 @@
+"""Tests for URL parsing, joining and domain classification."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.url import Url, UrlError
+
+
+class TestParsing:
+    def test_basic(self):
+        url = Url.parse("https://example.com/path/page?x=1")
+        assert url.scheme == "https"
+        assert url.host == "example.com"
+        assert url.path == "/path/page"
+        assert url.query == "x=1"
+        assert url.port is None
+
+    def test_host_lowercased(self):
+        assert Url.parse("https://EXAMPLE.com/").host == "example.com"
+
+    def test_port(self):
+        assert Url.parse("http://h.io:8080/").port == 8080
+
+    def test_no_path_means_root(self):
+        assert Url.parse("https://example.com").path == "/"
+
+    def test_fragment_stripped(self):
+        url = Url.parse("https://e.com/p#frag")
+        assert url.path == "/p"
+
+    def test_dot_segments_normalized(self):
+        assert Url.parse("https://e.com/a/./b/../c").path == "/a/c"
+
+    def test_trailing_slash_preserved(self):
+        assert Url.parse("https://e.com/dir/").path == "/dir/"
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "not a url", "ftp://x/", "https://", "http://h:port/"],
+    )
+    def test_invalid(self, bad):
+        with pytest.raises(UrlError):
+            Url.parse(bad)
+
+    def test_str_roundtrip(self):
+        for text in [
+            "https://example.com/",
+            "http://a.b.co.uk/x/y?q=1",
+            "https://h.io:444/p/",
+        ]:
+            assert str(Url.parse(text)) == text
+
+
+class TestJoining:
+    BASE = Url.parse("https://site.com/news/story/")
+
+    def test_absolute_reference(self):
+        joined = self.BASE.join("https://other.net/x")
+        assert joined.host == "other.net"
+
+    def test_root_relative(self):
+        assert self.BASE.join("/about").path == "/about"
+
+    def test_document_relative(self):
+        assert self.BASE.join("next").path == "/news/story/next"
+
+    def test_parent_relative(self):
+        assert self.BASE.join("../other/").path == "/news/other/"
+
+    def test_protocol_relative(self):
+        joined = self.BASE.join("//cdn.net/lib.js")
+        assert joined.scheme == "https"
+        assert joined.host == "cdn.net"
+
+    def test_query_only(self):
+        joined = self.BASE.join("?page=2")
+        assert joined.path == self.BASE.path
+        assert joined.query == "page=2"
+
+    def test_empty_reference_is_self(self):
+        assert self.BASE.join("") == self.BASE
+
+
+class TestDomains:
+    def test_registrable_domain_simple(self):
+        assert Url.parse("https://a.b.example.com/").registrable_domain == (
+            "example.com"
+        )
+
+    def test_registrable_domain_two_label_suffix(self):
+        assert Url.parse("https://shop.foo.co.uk/").registrable_domain == (
+            "foo.co.uk"
+        )
+
+    def test_bare_domain(self):
+        assert Url.parse("https://example.com/").registrable_domain == (
+            "example.com"
+        )
+
+    def test_same_site(self):
+        a = Url.parse("https://www.site.com/")
+        b = Url.parse("https://static.site.com/x.js")
+        c = Url.parse("https://evil.com/")
+        assert a.same_site(b)
+        assert not a.same_site(c)
+
+
+class TestPathStructure:
+    def test_path_segments(self):
+        url = Url.parse("https://e.com/a/b/c")
+        assert url.path_segments == ("a", "b", "c")
+
+    def test_directory_signature_drops_last_segment(self):
+        url = Url.parse("https://e.com/news/article-7/")
+        assert url.directory_signature == ("news",)
+
+    def test_root_signature_empty(self):
+        assert Url.parse("https://e.com/").directory_signature == ()
+
+
+class TestUrlProperties:
+    _PATH_SEGMENT = st.from_regex(r"[a-z0-9]{1,8}", fullmatch=True)
+
+    @given(st.lists(_PATH_SEGMENT, max_size=5))
+    def test_parse_str_roundtrip(self, segments):
+        text = "https://example.com/" + "/".join(segments)
+        url = Url.parse(text)
+        assert Url.parse(str(url)) == url
+
+    @given(_PATH_SEGMENT)
+    def test_join_absolute_always_wins(self, segment):
+        base = Url.parse("https://base.com/a/")
+        absolute = "https://other.org/%s" % segment
+        assert str(base.join(absolute)) == absolute
+
+    @given(st.lists(_PATH_SEGMENT, min_size=1, max_size=4))
+    def test_signature_is_prefix_of_segments(self, segments):
+        url = Url.parse("https://e.com/" + "/".join(segments))
+        assert url.directory_signature == url.path_segments[:-1]

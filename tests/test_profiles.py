@@ -1,0 +1,159 @@
+"""Tests for calibration profiles and site-plan sampling."""
+
+import random
+
+import pytest
+
+from repro.webgen.profiles import (
+    CONTEXT_AD,
+    CONTEXT_BOTH,
+    CONTEXT_FIRST,
+    CONTEXT_TRACKER,
+    GeneratorConfig,
+    TRIGGERS,
+    UsageProfiles,
+)
+
+
+@pytest.fixture(scope="module")
+def profiles(registry):
+    return UsageProfiles(registry, n_sites=2000, seed=5)
+
+
+class TestProbabilitySolving:
+    def test_expected_sites_match_catalog_targets(self, profiles, registry):
+        for spec in registry.standards():
+            if spec.never_used:
+                continue
+            expected = profiles.expected_sites_for(spec.abbrev)
+            target = spec.popularity * 2000
+            assert expected == pytest.approx(target, rel=0.02, abs=1.0), (
+                spec.abbrev
+            )
+
+    def test_never_used_standards_have_zero_expectation(self, profiles):
+        assert profiles.expected_sites_for("EME") == 0.0
+
+    def test_richness_mean_one(self, profiles):
+        factors = [profiles.richness(r) for r in range(1, 2001)]
+        assert sum(factors) / len(factors) == pytest.approx(1.0)
+
+    def test_no_js_fraction_approximate(self, profiles):
+        flags = [profiles.is_no_js(r) for r in range(1, 2001)]
+        fraction = sum(flags) / len(flags)
+        assert 0.01 < fraction < 0.07  # config default 0.035
+
+
+class TestPlanSampling:
+    def test_plan_reproducible(self, profiles):
+        a = profiles.sample_plan("x.com", 10, random.Random(1))
+        b = profiles.sample_plan("x.com", 10, random.Random(1))
+        assert [u.standard for u in a.usages] == [
+            u.standard for u in b.usages
+        ]
+
+    def test_no_js_sites_have_empty_plans(self, profiles):
+        no_js_rank = next(
+            r for r in range(1, 2001) if profiles.is_no_js(r)
+        )
+        plan = profiles.sample_plan("x.com", no_js_rank, random.Random(2))
+        assert plan.no_js
+        assert plan.usages == []
+
+    def test_never_used_standards_never_sampled(self, profiles, registry):
+        rng = random.Random(3)
+        never = {s.abbrev for s in registry.standards() if s.never_used}
+        for rank in range(1, 120):
+            plan = profiles.sample_plan("d%d.com" % rank, rank, rng)
+            assert not (set(plan.standards_used()) & never)
+
+    def test_usages_have_valid_shape(self, profiles, registry):
+        rng = random.Random(4)
+        plan = profiles.sample_plan("d.com", 5, rng)
+        contexts = {CONTEXT_FIRST, CONTEXT_AD, CONTEXT_TRACKER, CONTEXT_BOTH}
+        for usage in plan.usages:
+            assert usage.context in contexts
+            assert usage.trigger in TRIGGERS
+            assert usage.features  # at least the top feature
+            top = registry.used_features_of_standard(usage.standard)[0]
+            assert usage.features[0] == top.name
+
+    def test_features_come_from_used_pool(self, profiles, registry):
+        rng = random.Random(5)
+        plan = profiles.sample_plan("d.com", 2, rng)
+        for usage in plan.usages:
+            pool = {
+                f.name
+                for f in registry.used_features_of_standard(usage.standard)
+            }
+            assert set(usage.features) <= pool
+
+    def test_failure_modes_sampled(self, profiles):
+        rng = random.Random(6)
+        modes = set()
+        for rank in range(1, 800):
+            plan = profiles.sample_plan("d%d.com" % rank, rank, rng)
+            modes.add(plan.failure_mode)
+        assert None in modes
+        assert "unresponsive" in modes
+        assert "syntax-error" in modes
+
+    def test_context_distribution_tracks_block_rate(self, profiles,
+                                                    registry):
+        """Heavily-blocked standards must mostly land in ad/tracker
+        contexts; rarely-blocked ones in first-party."""
+        rng = random.Random(7)
+        tallies = {"PT2": {"blocked": 0, "total": 0},
+                   "DOM1": {"blocked": 0, "total": 0}}
+        for rank in range(1, 1500):
+            plan = profiles.sample_plan("d%d.com" % rank, rank, rng)
+            for usage in plan.usages:
+                if usage.standard in tallies:
+                    tallies[usage.standard]["total"] += 1
+                    if usage.context != CONTEXT_FIRST:
+                        tallies[usage.standard]["blocked"] += 1
+        pt2 = tallies["PT2"]
+        dom1 = tallies["DOM1"]
+        assert pt2["total"] > 10 and dom1["total"] > 100
+        assert pt2["blocked"] / pt2["total"] > 0.8      # target 93.7%
+        assert dom1["blocked"] / dom1["total"] < 0.1    # target 1.8%
+
+
+class TestManualOnly:
+    def test_planted_on_a_minority_of_sites(self, profiles):
+        rng = random.Random(8)
+        planted = 0
+        for rank in range(1, 600):
+            plan = profiles.sample_plan("d%d.com" % rank, rank, rng)
+            if plan.manual_only:
+                planted += 1
+        assert 0 < planted < 120
+
+    def test_manual_only_disjoint_from_plan(self, profiles):
+        rng = random.Random(9)
+        for rank in range(1, 400):
+            plan = profiles.sample_plan("d%d.com" % rank, rank, rng)
+            if plan.manual_only:
+                assert not (
+                    set(plan.manual_only) & set(plan.standards_used())
+                )
+
+    def test_failed_sites_never_have_manual_only(self, profiles):
+        rng = random.Random(10)
+        for rank in range(1, 600):
+            plan = profiles.sample_plan("d%d.com" % rank, rank, rng)
+            if plan.failure_mode is not None:
+                assert plan.manual_only == []
+
+
+class TestGeneratorConfig:
+    def test_trigger_mix_sums_to_one(self):
+        config = GeneratorConfig()
+        assert sum(config.trigger_mix) == pytest.approx(1.0)
+
+    def test_custom_config_respected(self, registry):
+        config = GeneratorConfig(no_js_fraction=0.5)
+        profiles = UsageProfiles(registry, n_sites=400, config=config,
+                                 seed=1)
+        flags = [profiles.is_no_js(r) for r in range(1, 401)]
+        assert sum(flags) / len(flags) > 0.35

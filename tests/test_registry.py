@@ -1,0 +1,117 @@
+"""Tests for the feature registry and attribution logic."""
+
+import pytest
+
+from repro.webidl.corpus import build_corpus
+from repro.webidl.registry import (
+    FeatureRegistry,
+    RegistryError,
+    attribute_features,
+    build_registry,
+    default_registry,
+)
+
+
+class TestBuildRegistry:
+    def test_extracts_1392_features(self, registry):
+        assert len(registry) == registry.feature_count() == 1392
+
+    def test_75_standards(self, registry):
+        assert registry.standard_count() == 75
+
+    def test_689_never_used(self, registry):
+        assert registry.never_used_feature_count() == 689
+
+    def test_contains_and_lookup(self, registry):
+        assert "Document.prototype.createElement" in registry
+        feature = registry.feature("Document.prototype.createElement")
+        assert feature.interface == "Document"
+        assert feature.member == "createElement"
+        assert feature.kind == "method"
+
+    def test_standard_of(self, registry):
+        assert registry.standard_of("XMLHttpRequest.prototype.open") == "AJAX"
+
+    def test_features_of_standard_counts(self, registry):
+        assert len(registry.features_of_standard("AJAX")) == 13
+        assert len(registry.features_of_standard("V")) == 1
+
+    def test_used_features_ordered_by_rank(self, registry):
+        used = registry.used_features_of_standard("DOM1")
+        ranks = [f.usage_rank for f in used]
+        assert ranks == sorted(ranks)
+        assert used[0].name == "Document.prototype.createElement"
+
+    def test_interface_chain(self, registry):
+        assert registry.interface_chain("HTMLCanvasElement") == [
+            "HTMLCanvasElement", "Element", "Node",
+        ]
+        assert registry.interface_chain("Node") == ["Node"]
+
+    def test_singleton_global(self, registry):
+        assert registry.singleton_global("Navigator") == "navigator"
+        assert registry.singleton_global("WebSocket") is None
+
+    def test_features_of_interface(self, registry):
+        features = registry.features_of_interface("XMLHttpRequest")
+        assert any(f.member == "open" for f in features)
+
+    def test_default_registry_cached(self):
+        assert default_registry() is default_registry()
+
+
+class TestAttribution:
+    def test_earliest_standard_wins(self):
+        owner = attribute_features(
+            mentions={
+                "DOM1": ["Node.prototype.insertBefore"],
+                "DOM2-C": ["Node.prototype.insertBefore"],
+                "DOM3-C": ["Node.prototype.insertBefore"],
+            },
+            publication_years={"DOM1": 1998, "DOM2-C": 2000, "DOM3-C": 2004},
+        )
+        assert owner["Node.prototype.insertBefore"] == "DOM1"
+
+    def test_tie_breaks_alphabetically(self):
+        owner = attribute_features(
+            mentions={"B": ["f"], "A": ["f"]},
+            publication_years={"A": 2000, "B": 2000},
+        )
+        assert owner["f"] == "A"
+
+    def test_single_mention(self):
+        owner = attribute_features(
+            mentions={"X": ["only.feature"]},
+            publication_years={"X": 2010},
+        )
+        assert owner["only.feature"] == "X"
+
+
+class TestRegistryValidation:
+    def test_duplicate_feature_rejected(self, registry):
+        features = registry.features()
+        with pytest.raises(RegistryError):
+            FeatureRegistry(
+                features + [features[0]],
+                registry.interfaces(),
+                registry.standards(),
+            )
+
+    def test_corrupted_corpus_detected(self):
+        corpus = build_corpus()
+        # Drop a file: the parsed surface no longer matches the truth.
+        corpus.files.pop()
+        with pytest.raises(RegistryError):
+            build_registry(corpus)
+
+
+class TestObservabilityFlags:
+    def test_methods_always_observable(self, registry):
+        for feature in registry.features():
+            if feature.kind == "method":
+                assert feature.observable
+
+    def test_singleton_attribute_observable(self, registry):
+        title = registry.feature("Document.prototype.title")
+        assert title.kind == "attribute"
+        assert title.observable

@@ -1,0 +1,90 @@
+"""Tests for report rendering and the convenience API."""
+
+import pytest
+
+from repro import api
+from repro.core import reporting
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = reporting.render_table(
+            ("A", "Long header"),
+            [("xxxxx", "1"), ("y", "22")],
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        # All rows equally wide (left-justified columns).
+        assert len(set(len(line.rstrip()) for line in lines[0:1])) == 1
+        assert lines[1].startswith("-")
+
+    def test_empty_rows(self):
+        text = reporting.render_table(("A",), [])
+        assert "A" in text
+
+    def test_cell_wider_than_header(self):
+        text = reporting.render_table(
+            ("X",), [("a-very-long-cell-value",)]
+        )
+        header, rule, row = text.splitlines()
+        assert len(rule) == len("a-very-long-cell-value")
+
+
+class TestSeriesRenderers:
+    """Each renderer must produce non-empty, labeled output."""
+
+    @pytest.mark.parametrize(
+        "renderer,marker",
+        [
+            (reporting.table1_text, "Domains measured"),
+            (reporting.table2_text, "Standard Name"),
+            (reporting.headline_text, "Features instrumented"),
+            (reporting.figure3_series, "Portion of standards"),
+            (reporting.figure4_series, "Block rate"),
+            (reporting.figure5_series, "% of visits"),
+            (reporting.figure6_series, "Introduced"),
+            (reporting.figure8_series, "Portion of sites"),
+        ],
+    )
+    def test_renderer(self, survey, renderer, marker):
+        text = renderer(survey)
+        assert marker in text
+        assert len(text.splitlines()) >= 3
+
+    def test_figure7_requires_quad(self, quad_survey):
+        text = reporting.figure7_series(quad_survey)
+        assert "Tracking block rate" in text
+
+    def test_rate_formatting(self):
+        assert reporting._format_rate(None) == "-"
+        assert reporting._format_rate(0.5) == "50.0%"
+        assert reporting._format_rate(0.937) == "93.7%"
+
+
+class TestApi:
+    def test_build_default_web(self):
+        registry, web = api.build_default_web(n_sites=10, seed=3)
+        assert registry.feature_count() == 1392
+        assert len(web.sites) == 10
+
+    def test_summarize(self, survey):
+        text = api.summarize(survey)
+        assert "Crawl summary" in text
+        assert "Headline feature statistics" in text
+
+    def test_run_small_survey_custom_conditions(self):
+        result = api.run_small_survey(
+            n_sites=8, seed=5, conditions=("default",), visits_per_site=1
+        )
+        assert result.conditions == ("default",)
+        assert len(result.domains) == 8
+
+    def test_progress_callback_called(self):
+        calls = []
+        api.run_small_survey(
+            n_sites=50, seed=5, conditions=("default",),
+            visits_per_site=1,
+            progress=lambda c, done, total: calls.append((c, done, total)),
+        )
+        assert calls
+        assert calls[-1][2] == 50

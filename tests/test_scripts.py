@@ -1,0 +1,131 @@
+"""Tests for MiniJS script synthesis."""
+
+import random
+
+import pytest
+
+from repro.dom.bindings import DomRealm
+from repro.dom.html import parse_html
+from repro.minijs.errors import JSParseError
+from repro.minijs.parser import parse
+from repro.webgen.profiles import StandardUsage
+from repro.webgen.scripts import ScriptSynthesizer
+
+
+@pytest.fixture(scope="module")
+def synth(registry):
+    return ScriptSynthesizer(registry)
+
+
+def usage(registry, abbrev, trigger="load", context="first", n_features=2):
+    features = tuple(
+        f.name for f in registry.used_features_of_standard(abbrev)[:n_features]
+    )
+    return StandardUsage(
+        standard=abbrev, context=context, features=features, trigger=trigger
+    )
+
+
+class TestReceivers:
+    def test_singleton_receiver(self, synth, registry):
+        feature = registry.feature("Document.prototype.createElement")
+        assert synth.receiver_expression(feature) == "document"
+
+    def test_constructed_receiver(self, synth, registry):
+        feature = registry.feature("XMLHttpRequest.prototype.open")
+        assert synth.receiver_expression(feature) == "new XMLHttpRequest()"
+
+
+class TestStatements:
+    def test_method_statement_parses(self, synth, registry):
+        rng = random.Random(1)
+        for name in (
+            "Document.prototype.createElement",
+            "XMLHttpRequest.prototype.open",
+            "CSS.supports",
+            "Navigator.prototype.vibrate",
+        ):
+            statement = synth.feature_statement(registry.feature(name), rng)
+            parse(statement)  # must be valid MiniJS
+
+    def test_attribute_statement_is_assignment(self, synth, registry):
+        rng = random.Random(2)
+        statement = synth.feature_statement(
+            registry.feature("Document.prototype.title"), rng
+        )
+        assert statement.startswith("document.title = ")
+        parse(statement)
+
+    def test_static_statement_uses_interface(self, synth, registry):
+        rng = random.Random(3)
+        statement = synth.feature_statement(
+            registry.feature("CSS.supports"), rng
+        )
+        assert statement.startswith("CSS.supports(")
+
+
+class TestComposedScripts:
+    def test_load_script_parses_and_runs(self, synth, registry):
+        rng = random.Random(4)
+        script = synth.compose_script(
+            [usage(registry, "DOM1"), usage(registry, "AJAX")], [], rng
+        )
+        realm = DomRealm(registry, parse_html("<html></html>"), seed=1)
+        realm.interp.run_source(script)  # should not raise
+
+    def test_usage_block_wrapped_in_try(self, synth, registry):
+        rng = random.Random(5)
+        block = synth.usage_block(usage(registry, "DOM1"), rng)
+        assert block.startswith("try {")
+        assert block.endswith("} catch (e) {}")
+
+    def test_handler_functions_defined_globally(self, synth, registry):
+        rng = random.Random(6)
+        script = synth.compose_script(
+            [], [(7, usage(registry, "BE"))], rng
+        )
+        realm = DomRealm(registry, parse_html("<html></html>"), seed=1)
+        realm.interp.run_source(script)
+        assert realm.interp.run_source("typeof __h7;") == "function"
+
+    def test_handler_body_executes_features(self, synth, registry):
+        rng = random.Random(7)
+        script = synth.compose_script(
+            [], [(3, usage(registry, "H-WS"))], rng
+        )
+        realm = DomRealm(registry, parse_html("<html></html>"), seed=1)
+        realm.interp.run_source(script)
+        realm.interp.run_source("__h3();")
+        # Storage features actually ran against the realm's storage.
+        # (setItem may or may not be among the sampled features, but the
+        # call must not raise.)
+
+    def test_banner_comment(self, synth, registry):
+        rng = random.Random(8)
+        script = synth.compose_script([], [], rng, banner="site bundle")
+        assert script == "// site bundle\n"
+
+    def test_empty_script(self, synth, registry):
+        assert synth.compose_script([], [], random.Random(9)) == ""
+
+
+class TestSpecialScripts:
+    def test_library_script_parses_and_uses_no_features(self, synth,
+                                                        registry):
+        rng = random.Random(10)
+        script = synth.library_script(rng)
+        parse(script)
+        # Executing it in an instrumented realm must record nothing.
+        from repro.browser.extension import FeatureRecorder, MeasuringExtension
+
+        realm = DomRealm(registry, parse_html("<html></html>"), seed=2)
+        recorder = FeatureRecorder()
+        extension = MeasuringExtension(registry)
+        extension.install(realm, recorder)
+        realm.interp.run_source("__instrumentAll();")
+        realm.interp.run_source(script)
+        assert recorder.counts == {}
+
+    def test_broken_script_fails_to_parse(self, synth):
+        with pytest.raises(JSParseError):
+            parse(synth.broken_script())

@@ -1,0 +1,238 @@
+"""Tests for site generation and the SyntheticWeb web source."""
+
+import pytest
+
+from repro.dom.html import parse_html
+from repro.net.resources import Request, ResourceKind
+from repro.net.url import Url
+from repro.webgen.profiles import CONTEXT_AD, CONTEXT_FIRST, CONTEXT_TRACKER
+from repro.webgen.sitegen import SyntheticWeb, build_web
+
+
+def get(web, url, kind=ResourceKind.DOCUMENT, page=None):
+    parsed = Url.parse(url)
+    first_party = Url.parse(page) if page else parsed
+    return web.respond(Request(url=parsed, kind=kind,
+                               first_party=first_party))
+
+
+@pytest.fixture(scope="module")
+def web(registry):
+    return build_web(registry, n_sites=80, seed=42)
+
+
+class TestWebStructure:
+    def test_all_ranked_domains_have_sites(self, web):
+        assert len(web.sites) == 80
+        for ranked in web.ranking.all():
+            assert ranked.domain in web.sites
+
+    def test_page_trees_within_bounds(self, web):
+        for site in web.sites.values():
+            assert web.config.min_pages <= len(site.pages)
+            # Gated sites add /login/ and /account/ beyond the bound.
+            assert len(site.pages) <= web.config.max_pages + 2
+            assert site.pages[0] == "/"
+            assert len(set(site.pages)) == len(site.pages)
+
+    def test_failure_fraction_realistic(self, web):
+        # 2.67% target; small webs wobble.
+        assert 0 <= len(web.failed_sites()) <= 8
+
+    def test_deterministic(self, registry):
+        a = build_web(registry, n_sites=30, seed=7)
+        b = build_web(registry, n_sites=30, seed=7)
+        for domain in a.sites:
+            assert [u.standard for u in a.sites[domain].plan.usages] == [
+                u.standard for u in b.sites[domain].plan.usages
+            ]
+        url = "https://%s/" % a.ranking.top(1)[0].domain
+        assert get(a, url).body == get(b, url).body
+
+
+class TestDocumentServing:
+    def test_home_page_html(self, web):
+        domain = next(
+            s.domain for s in web.sites.values() if not s.failed
+        )
+        response = get(web, "https://%s/" % domain)
+        assert response.ok and response.is_html
+        root = parse_html(response.body)
+        assert root.find_first("body") is not None
+
+    def test_subpages_served(self, web):
+        site = next(s for s in web.sites.values() if not s.failed)
+        for path in site.pages[1:3]:
+            response = get(web, "https://%s%s" % (site.domain, path))
+            assert response.ok
+
+    def test_unknown_path_is_404(self, web):
+        site = next(iter(web.sites.values()))
+        response = get(web, "https://%s/definitely/not/here/" % site.domain)
+        assert response.status == 404
+
+    def test_unknown_host_is_none(self, web):
+        assert get(web, "https://unknown-host.example/") is None
+
+    def test_unresponsive_site_returns_none(self, web, registry):
+        unresponsive = [
+            s for s in web.sites.values()
+            if s.plan.failure_mode == "unresponsive"
+        ]
+        if not unresponsive:
+            pytest.skip("no unresponsive site in this web")
+        response = get(web, "https://%s/" % unresponsive[0].domain)
+        assert response is None
+
+    def test_syntax_error_site_serves_broken_bundle(self, registry):
+        web = build_web(registry, n_sites=200, seed=42)
+        broken = [
+            s for s in web.sites.values()
+            if s.plan.failure_mode == "syntax-error"
+        ]
+        assert broken, "expected at least one broken site at n=200"
+        site = broken[0]
+        script = get(
+            web, "https://%s/static/app.js" % site.domain,
+            kind=ResourceKind.SCRIPT,
+        )
+        from repro.minijs.parser import parse
+        from repro.minijs.errors import JSParseError
+
+        with pytest.raises(JSParseError):
+            parse(script.body)
+
+
+class TestScriptServing:
+    def test_first_party_bundle(self, web):
+        site = next(s for s in web.sites.values() if not s.failed)
+        response = get(
+            web, "https://%s/static/app.js" % site.domain,
+            kind=ResourceKind.SCRIPT,
+        )
+        assert response.is_script
+        from repro.minijs.parser import parse
+
+        parse(response.body)
+
+    def test_ad_tag_served_for_matching_site(self, web):
+        site = next(
+            s for s in web.sites.values()
+            if s.ad_network is not None and not s.failed
+        )
+        response = get(
+            web,
+            "%s&pg=0" % site.ad_network.tag_url(site.rank),
+            kind=ResourceKind.SCRIPT,
+            page="https://%s/" % site.domain,
+        )
+        assert response.is_script
+        from repro.minijs.parser import parse
+
+        parse(response.body)
+
+    def test_mismatched_ad_tag_is_empty(self, web):
+        site = next(
+            s for s in web.sites.values()
+            if s.ad_network is not None and not s.failed
+        )
+        other_network = next(
+            n for n in web.ecosystem.ad_networks
+            if n.host != site.ad_network.host
+        )
+        response = get(
+            web,
+            "https://%s/tag.js?site=%d&pg=0" % (other_network.host,
+                                                site.rank),
+            kind=ResourceKind.SCRIPT,
+        )
+        assert "unmatched" in response.body
+
+    def test_cdn_script(self, web):
+        response = get(web, "https://cdnlib.net/lib.js",
+                       kind=ResourceKind.SCRIPT)
+        assert response.is_script
+        assert "__lib" in response.body
+
+    def test_banner_image(self, web):
+        network = web.ecosystem.ad_networks[0]
+        response = get(
+            web, "https://%s/banner/b1.png" % network.host,
+            kind=ResourceKind.IMAGE,
+        )
+        assert response.content_type == "image/png"
+
+
+class TestUsagePlacement:
+    def test_load_usage_reaches_context_script(self, web):
+        for site in web.sites.values():
+            if site.failed:
+                continue
+            first_loads = site.load_usages.get(CONTEXT_FIRST, [])
+            if not first_loads:
+                continue
+            bundle = get(
+                web, "https://%s/static/app.js" % site.domain,
+                kind=ResourceKind.SCRIPT,
+            ).body
+            feature = first_loads[0].features[0]
+            member = feature.rsplit(".", 1)[-1]
+            assert member in bundle
+            break
+        else:
+            pytest.skip("no site with first-party load usage")
+
+    def test_both_context_in_ad_and_tracker_tags(self, registry):
+        web = build_web(registry, n_sites=300, seed=42)
+        for site in web.sites.values():
+            if site.failed:
+                continue
+            ad = {u.standard for u in site.load_usages.get(CONTEXT_AD, [])}
+            tracker = {
+                u.standard
+                for u in site.load_usages.get(CONTEXT_TRACKER, [])
+            }
+            shared = ad & tracker
+            both_planned = {
+                u.standard
+                for u in site.plan.usages
+                if u.context == "ad+tracker" and u.trigger == "load"
+            }
+            if both_planned:
+                assert both_planned <= shared
+                return
+        pytest.skip("no ad+tracker load usage in this web")
+
+    def test_handler_elements_present_in_html(self, web):
+        for site in web.sites.values():
+            if site.failed or not site.all_handlers():
+                continue
+            html = get(web, "https://%s/" % site.domain).body
+            handler = site.all_handlers()[0]
+            assert "__h%d()" % handler.handler_id in html
+            return
+        pytest.skip("no site with handlers")
+
+    def test_pages_reference_per_page_tags(self, web):
+        site = next(
+            s for s in web.sites.values()
+            if s.ad_network is not None and not s.failed
+            and len(s.pages) > 1
+        )
+        page1 = get(web, "https://%s%s" % (site.domain, site.pages[1])).body
+        assert "pg=1" in page1
+
+
+class TestNavigation:
+    def test_pages_link_within_site(self, web):
+        site = next(s for s in web.sites.values() if not s.failed)
+        html = get(web, "https://%s/" % site.domain).body
+        root = parse_html(html)
+        hrefs = [
+            a.attributes.get("href", "")
+            for a in root.find_all("a")
+        ]
+        internal = [h for h in hrefs if h.startswith("/")]
+        assert internal
+        for href in internal:
+            assert href in site.pages or href == "/"

@@ -1,0 +1,169 @@
+"""End-to-end survey integration tests."""
+
+import pytest
+
+from repro.blocking.extension import BrowsingCondition
+from repro.core import metrics
+from repro.core.survey import SurveyConfig, run_survey
+from repro.core.validation import external_validation
+from repro.webgen.sitegen import build_web
+
+
+class TestSurveyMechanics:
+    def test_conditions_present(self, survey):
+        assert set(survey.conditions) == {"default", "blocking"}
+        for condition in survey.conditions:
+            assert len(survey.measurements[condition]) == len(survey.domains)
+
+    def test_rounds_recorded(self, survey):
+        domain = survey.measured_domains("default")[0]
+        measurement = survey.measurement("default", domain)
+        assert measurement.rounds_completed == survey.visits_per_site
+        assert len(measurement.standards_by_round) == survey.visits_per_site
+
+    def test_failed_sites_match_web(self, survey, small_web):
+        failed_domains = set(survey.failed_domains("default"))
+        planned_failures = {
+            s.domain for s in small_web.failed_sites()
+        }
+        assert planned_failures <= failed_domains
+
+    def test_visit_weights_cover_domains(self, survey):
+        assert set(survey.visit_weights) == set(survey.domains)
+        assert sum(survey.visit_weights.values()) == pytest.approx(1.0)
+
+    def test_manual_only_ground_truth_recorded(self, survey, small_web):
+        for domain, standards in survey.manual_only.items():
+            assert standards
+            assert small_web.sites[domain].plan.manual_only == standards
+
+    def test_totals_positive(self, survey):
+        assert survey.total_pages_visited() > 0
+        assert survey.total_invocations() > 0
+        assert survey.wall_seconds > 0
+
+
+class TestBlockingEffects:
+    def test_blocking_never_increases_standard_usage(self, survey):
+        default = metrics.standard_site_counts(survey, "default")
+        blocking = metrics.standard_site_counts(survey, "blocking")
+        # Aggregate monotonicity (per-site randomness can wobble one
+        # standard slightly, but the web must get strictly less rich).
+        assert sum(blocking.values()) < sum(default.values())
+
+    def test_blocking_reduces_invocations(self, survey):
+        default_total = sum(
+            survey.measurement("default", d).invocations
+            for d in survey.measured_domains("default")
+        )
+        blocking_total = sum(
+            survey.measurement("blocking", d).invocations
+            for d in survey.measured_domains("blocking")
+        )
+        assert blocking_total < default_total
+
+    def test_scripts_actually_blocked(self, survey):
+        blocked = sum(
+            survey.measurement("blocking", d).scripts_blocked
+            for d in survey.measured_domains("blocking")
+        )
+        assert blocked > 0
+        unblocked = sum(
+            survey.measurement("default", d).scripts_blocked
+            for d in survey.measured_domains("default")
+        )
+        assert unblocked == 0
+
+    def test_single_extension_block_less_than_both(self, quad_survey):
+        abp = metrics.standard_block_rates(
+            quad_survey, blocking_condition=BrowsingCondition.ABP_ONLY
+        )
+        both = metrics.standard_block_rates(
+            quad_survey, blocking_condition=BrowsingCondition.BLOCKING
+        )
+        # Aggregated over standards, one extension blocks no more than
+        # the pair.
+        abp_total = sum(v for v in abp.values() if v is not None)
+        both_total = sum(v for v in both.values() if v is not None)
+        assert abp_total <= both_total + 1e-9
+
+
+class TestDeterminism:
+    def test_identical_reruns(self, registry):
+        web = build_web(registry, n_sites=12, seed=77)
+        config = SurveyConfig(visits_per_site=2, seed=13)
+        first = run_survey(web, registry, config)
+        second = run_survey(web, registry, config)
+        for condition in first.conditions:
+            for domain in first.domains:
+                a = first.measurement(condition, domain)
+                b = second.measurement(condition, domain)
+                assert a.features == b.features
+                assert a.invocations == b.invocations
+                assert a.standards_by_round == b.standards_by_round
+
+    def test_different_seed_differs(self, registry):
+        web = build_web(registry, n_sites=12, seed=77)
+        first = run_survey(
+            web, registry, SurveyConfig(visits_per_site=1, seed=13)
+        )
+        second = run_survey(
+            web, registry, SurveyConfig(visits_per_site=1, seed=14)
+        )
+        differences = sum(
+            1
+            for domain in first.domains
+            if first.measurement("default", domain).invocations
+            != second.measurement("default", domain).invocations
+        )
+        assert differences > 0
+
+    def test_max_sites_limits_crawl(self, registry, small_web):
+        config = SurveyConfig(visits_per_site=1, seed=1, max_sites=5)
+        result = run_survey(small_web, registry, config)
+        assert len(result.domains) == 5
+
+    def test_parallel_crawl_bit_identical(self, registry):
+        """Worker count must not change measurements: per-site RNG is
+        derived from (seed, domain, round), never from schedule."""
+        web = build_web(registry, n_sites=14, seed=33)
+        serial = run_survey(
+            web, registry, SurveyConfig(visits_per_site=2, seed=3,
+                                        workers=1)
+        )
+        parallel = run_survey(
+            web, registry, SurveyConfig(visits_per_site=2, seed=3,
+                                        workers=2)
+        )
+        for condition in serial.conditions:
+            for domain in serial.domains:
+                a = serial.measurement(condition, domain)
+                b = parallel.measurement(condition, domain)
+                assert a.features == b.features
+                assert a.standards_by_round == b.standards_by_round
+                assert a.invocations == b.invocations
+
+
+class TestExternalValidationIntegration:
+    def test_histogram_structure(self, survey, small_web):
+        outcome = external_validation(
+            survey, small_web, n_target=30, n_completed=25, seed=3
+        )
+        assert outcome.sites_compared <= 25
+        assert sum(outcome.histogram.values()) == outcome.sites_compared
+        assert all(k >= 0 for k in outcome.histogram)
+
+    def test_mostly_nothing_new(self, survey, small_web):
+        outcome = external_validation(
+            survey, small_web, n_target=30, n_completed=25, seed=3
+        )
+        # Section 6.2: "in the majority of cases (83.7%), no new
+        # standards were observed".
+        assert outcome.zero_fraction > 0.5
+
+    def test_deterministic(self, survey, small_web):
+        a = external_validation(survey, small_web, n_target=20,
+                                n_completed=15, seed=9)
+        b = external_validation(survey, small_web, n_target=20,
+                                n_completed=15, seed=9)
+        assert a.histogram == b.histogram

@@ -1,0 +1,254 @@
+"""Tests for the WebIDL parser."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.webidl.parser import (
+    IdlArgument,
+    IdlAttribute,
+    IdlInterface,
+    IdlOperation,
+    ParseError,
+    parse_webidl,
+    render_interface,
+)
+
+
+class TestBasicParsing:
+    def test_empty_interface(self):
+        (iface,) = parse_webidl("interface Foo {};")
+        assert iface.name == "Foo"
+        assert iface.parent is None
+        assert not iface.partial
+        assert iface.member_count == 0
+
+    def test_inheritance(self):
+        (iface,) = parse_webidl("interface Element : Node {};")
+        assert iface.parent == "Node"
+
+    def test_partial_interface(self):
+        (iface,) = parse_webidl("partial interface Window {};")
+        assert iface.partial
+
+    def test_operation(self):
+        (iface,) = parse_webidl(
+            "interface Document { Element createElement(DOMString tag); };"
+        )
+        (op,) = iface.operations
+        assert op.name == "createElement"
+        assert op.return_type == "Element"
+        assert op.arguments[0].name == "tag"
+        assert op.arguments[0].type == "DOMString"
+
+    def test_no_arg_operation(self):
+        (iface,) = parse_webidl("interface A { void go(); };")
+        assert iface.operations[0].arguments == ()
+
+    def test_multiple_arguments(self):
+        (iface,) = parse_webidl(
+            "interface A { void m(long a, DOMString b, boolean c); };"
+        )
+        assert [a.name for a in iface.operations[0].arguments] == [
+            "a", "b", "c",
+        ]
+
+    def test_optional_argument(self):
+        (iface,) = parse_webidl(
+            "interface A { void m(optional DOMString s); };"
+        )
+        assert iface.operations[0].arguments[0].optional
+
+    def test_optional_argument_with_default(self):
+        (iface,) = parse_webidl(
+            'interface A { void m(optional DOMString s = "x"); };'
+        )
+        assert iface.operations[0].arguments[0].optional
+
+    def test_variadic_argument(self):
+        (iface,) = parse_webidl(
+            "interface A { void log(any... data); };"
+        )
+        assert iface.operations[0].arguments[0].variadic
+
+    def test_attribute(self):
+        (iface,) = parse_webidl(
+            "interface A { attribute DOMString title; };"
+        )
+        (attr,) = iface.attributes
+        assert attr.name == "title"
+        assert not attr.readonly
+
+    def test_readonly_attribute(self):
+        (iface,) = parse_webidl(
+            "interface A { readonly attribute unsigned long length; };"
+        )
+        assert iface.attributes[0].readonly
+        assert iface.attributes[0].type == "unsigned long"
+
+    def test_static_operation(self):
+        (iface,) = parse_webidl(
+            "interface CSS { static boolean supports(DOMString q); };"
+        )
+        assert iface.operations[0].static
+
+    def test_const_members_skipped(self):
+        (iface,) = parse_webidl(
+            "interface A { const unsigned short OK = 200; void m(); };"
+        )
+        assert len(iface.operations) == 1
+        assert iface.member_count == 1
+
+    def test_multiple_interfaces(self):
+        interfaces = parse_webidl(
+            "interface A {}; interface B : A { void m(); };"
+        )
+        assert [i.name for i in interfaces] == ["A", "B"]
+
+
+class TestTypes:
+    def test_multiword_primitive(self):
+        (iface,) = parse_webidl(
+            "interface A { unsigned long long big(); };"
+        )
+        assert iface.operations[0].return_type == "unsigned long long"
+
+    def test_generic_type(self):
+        (iface,) = parse_webidl(
+            "interface A { Promise<void> go(); };"
+        )
+        assert iface.operations[0].return_type == "Promise<void>"
+
+    def test_sequence_type_argument(self):
+        (iface,) = parse_webidl(
+            "interface A { void m(sequence<DOMString> items); };"
+        )
+        assert iface.operations[0].arguments[0].type.startswith("sequence")
+
+    def test_nullable_type(self):
+        (iface,) = parse_webidl("interface A { Element? find(); };")
+        assert iface.operations[0].return_type == "Element?"
+
+
+class TestExtendedAttributes:
+    def test_interface_extended_attributes(self):
+        (iface,) = parse_webidl("[Constructor] interface Worker {};")
+        assert iface.extended_attributes == ("Constructor",)
+
+    def test_multiple_extended_attributes(self):
+        (iface,) = parse_webidl(
+            '[Constructor, Pref="dom.enable"] interface A {};'
+        )
+        assert len(iface.extended_attributes) == 2
+
+    def test_member_extended_attributes(self):
+        (iface,) = parse_webidl(
+            "interface A { [Throws] void m(); };"
+        )
+        assert iface.operations[0].extended_attributes == ("Throws",)
+
+
+class TestComments:
+    def test_line_comments(self):
+        (iface,) = parse_webidl(
+            "// header\ninterface A { void m(); // trailing\n };"
+        )
+        assert iface.operations[0].name == "m"
+
+    def test_block_comments(self):
+        (iface,) = parse_webidl(
+            "/* multi\nline */ interface A { /* x */ void m(); };"
+        )
+        assert iface.operations[0].name == "m"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "interface {};",               # missing name
+            "interface A { void; };",      # missing operation name
+            "interface A { void m() };",   # missing semicolon
+            "interface A { void m(; };",   # broken args
+            "notinterface A {};",          # wrong keyword
+            "interface A : {};",           # missing parent name
+            "interface A { readonly void m(); };",  # readonly non-attr
+        ],
+    )
+    def test_malformed_raises(self, source):
+        with pytest.raises(ParseError):
+            parse_webidl(source)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(ParseError) as exc:
+            parse_webidl("interface A {\n  void;\n};")
+        assert exc.value.line == 2
+
+
+# Exclude grammar keywords and multi-word-type keywords: real IDL never
+# uses them as identifiers and the grammar reserves them.  (Module level:
+# lambdas inside a class body cannot see class-scope names.)
+_RESERVED_IDENTS = frozenset(
+    ["interface", "partial", "unsigned", "unrestricted", "long", "short",
+     "float", "double", "byte", "octet", "boolean", "any", "object",
+     "void", "sequence", "const", "static", "readonly", "attribute",
+     "optional"]
+)
+_IDENT_STRATEGY = st.from_regex(
+    r"[A-Za-z][A-Za-z0-9]{0,10}", fullmatch=True
+).filter(lambda s: s not in _RESERVED_IDENTS)
+
+
+class TestRoundTrip:
+    def test_render_then_parse(self):
+        source = (
+            "interface Document : Node {\n"
+            "  attribute DOMString title;\n"
+            "  Element createElement(DOMString tag);\n"
+            "};"
+        )
+        (original,) = parse_webidl(source)
+        (reparsed,) = parse_webidl(render_interface(original))
+        assert reparsed.name == original.name
+        assert reparsed.parent == original.parent
+        assert [o.name for o in reparsed.operations] == ["createElement"]
+        assert [a.name for a in reparsed.attributes] == ["title"]
+
+    @given(
+        name=_IDENT_STRATEGY,
+        members=st.lists(
+            st.tuples(_IDENT_STRATEGY, st.booleans(), st.booleans()),
+            max_size=6,
+            unique_by=lambda t: t[0],
+        ),
+    )
+    def test_roundtrip_property(self, name, members):
+        """render(interface) always parses back to the same surface."""
+        interface = IdlInterface(name=name)
+        for member_name, is_attr, flag in members:
+            if is_attr:
+                interface.attributes.append(
+                    IdlAttribute(name=member_name, type="DOMString",
+                                 readonly=flag)
+                )
+            else:
+                interface.operations.append(
+                    IdlOperation(
+                        name=member_name,
+                        return_type="void",
+                        arguments=(
+                            (IdlArgument(name="a", type="long"),)
+                            if flag else ()
+                        ),
+                    )
+                )
+        (reparsed,) = parse_webidl(render_interface(interface))
+        assert reparsed.name == interface.name
+        assert [o.name for o in reparsed.operations] == [
+            o.name for o in interface.operations
+        ]
+        assert [a.name for a in reparsed.attributes] == [
+            a.name for a in interface.attributes
+        ]
+        assert [a.readonly for a in reparsed.attributes] == [
+            a.readonly for a in interface.attributes
+        ]
