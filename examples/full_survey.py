@@ -12,6 +12,14 @@ At the paper's full scale this is a long run:
     python examples/full_survey.py --sites 1000           # ~25 min
     python examples/full_survey.py --sites 200            # ~5 min
 
+Long runs should checkpoint: with --run-dir every measured site is
+durably recorded as the crawl goes, and an interrupted run picks back
+up with --resume — bit-identical to never having been interrupted:
+
+    python examples/full_survey.py --sites 10000 --run-dir runs/full
+    #  ... SIGKILL / OOM / reboot ...
+    python examples/full_survey.py --sites 10000 --run-dir runs/full --resume
+
 All analyses are fractions/rates, so smaller webs reproduce the same
 shapes.  Deterministic in --seed.
 """
@@ -23,7 +31,7 @@ import time
 
 from repro.blocking.extension import BrowsingCondition
 from repro.core import reporting
-from repro.core.survey import SurveyConfig, run_survey
+from repro.core.survey import RetryPolicy, SurveyConfig, run_survey
 from repro.core.validation import external_validation, internal_validation
 from repro.webgen.sitegen import build_web
 from repro.webidl.registry import default_registry
@@ -34,6 +42,12 @@ def main() -> None:
     parser.add_argument("--sites", type=int, default=200)
     parser.add_argument("--seed", type=int, default=2016)
     parser.add_argument("--visits", type=int, default=5)
+    parser.add_argument("--run-dir", default=None,
+                        help="checkpoint the crawl here")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume an interrupted --run-dir crawl")
+    parser.add_argument("--retries", type=int, default=3,
+                        help="attempts per site on transient failures")
     args = parser.parse_args()
 
     registry = default_registry()
@@ -52,6 +66,7 @@ def main() -> None:
         ),
         visits_per_site=args.visits,
         seed=args.seed,
+        retry=RetryPolicy(attempts=max(1, args.retries)),
     )
     started = time.time()
 
@@ -59,10 +74,17 @@ def main() -> None:
         if done % 200 == 0:
             print("  [%s] %d/%d" % (condition, done, total))
 
-    result = run_survey(web, registry, config, progress=progress)
+    result = run_survey(
+        web, registry, config, progress=progress,
+        run_dir=args.run_dir, resume=args.resume,
+    )
     print("Survey complete in %.1f minutes\n" % ((time.time() - started) / 60))
 
     sections = [
+        ("Crawl health (measured / failed / retried)",
+         reporting.progress_report_text(result)),
+        ("Failure report",
+         reporting.failure_report_text(result)),
         ("Figure 1 - browser evolution (static data sources)",
          reporting.figure1_series()),
         ("Table 1 - crawl summary", reporting.table1_text(result)),

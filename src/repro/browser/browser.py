@@ -64,6 +64,8 @@ class PageVisit:
     url: Url
     ok: bool
     failure_reason: Optional[str] = None
+    #: the failure (if any) was transient — worth retrying the visit
+    transient: bool = False
     recorder: FeatureRecorder = field(default_factory=FeatureRecorder)
     realm: Optional[DomRealm] = None
     root: Optional[DomNode] = None
@@ -141,6 +143,7 @@ class Browser:
             response = self.proxy.fetch(request)
         except NetworkError as error:
             visit.failure_reason = error.reason
+            visit.transient = error.transient
             return visit
         if not response.is_html:
             visit.failure_reason = "not html"

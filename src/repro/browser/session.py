@@ -25,6 +25,8 @@ class VisitResult:
     condition: str
     ok: bool
     failure_reason: Optional[str] = None
+    #: the recorded failure was transient (see NetworkError.transient)
+    transient: bool = False
     pages_visited: int = 0
     feature_counts: Dict[str, int] = field(default_factory=dict)
     scripts_blocked: int = 0
@@ -54,6 +56,10 @@ class SiteMeasurement:
     requests_blocked: int = 0
     interaction_events: int = 0
     failure_reason: Optional[str] = None
+    #: the recorded failure was transient (retry might have succeeded)
+    transient_failure: bool = False
+    #: how many site-measurement attempts the retry policy spent
+    attempts: int = 1
 
     def add_round(
         self, result: VisitResult, registry: FeatureRegistry
@@ -63,6 +69,7 @@ class SiteMeasurement:
         if not result.ok:
             if self.failure_reason is None:
                 self.failure_reason = result.failure_reason
+                self.transient_failure = result.transient
             self.standards_by_round.append(set())
             return
         self.rounds_ok += 1

@@ -17,7 +17,12 @@ from typing import List, Optional, Sequence
 
 from repro.blocking.extension import BrowsingCondition
 from repro.core import debloat, reporting
-from repro.core.survey import SurveyConfig, SurveyResult, run_survey
+from repro.core.survey import (
+    RetryPolicy,
+    SurveyConfig,
+    SurveyResult,
+    run_survey,
+)
 from repro.core.validation import external_validation, internal_validation
 from repro.webgen.sitegen import SyntheticWeb, build_web
 from repro.webidl.registry import default_registry
@@ -32,6 +37,8 @@ _REPORTS = {
     "figure6": reporting.figure6_series,
     "figure7": reporting.figure7_series,
     "figure8": reporting.figure8_series,
+    "failures": reporting.failure_report_text,
+    "progress": reporting.progress_report_text,
 }
 
 #: Reports that need the two single-extension conditions.
@@ -145,6 +152,27 @@ def _crawl_arguments(parser: argparse.ArgumentParser) -> None:
         help="parallel crawl workers (results are identical at any "
         "worker count; speedup needs multiple cores)",
     )
+    parser.add_argument(
+        "--run-dir", metavar="DIR", default=None,
+        help="checkpoint every finished site to this directory; a "
+        "killed run loses at most the site in flight",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume the interrupted crawl in --run-dir, skipping "
+        "already-measured sites (result is bit-identical to an "
+        "uninterrupted run)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=3, metavar="N",
+        help="measurement attempts per site for transient failures "
+        "(default: 3)",
+    )
+    parser.add_argument(
+        "--retry-backoff", type=float, default=0.5, metavar="SECONDS",
+        help="base of the exponential backoff between retries "
+        "(default: 0.5)",
+    )
 
 
 def _run_crawl(args, quad: bool) -> tuple:
@@ -161,8 +189,21 @@ def _run_crawl(args, quad: bool) -> tuple:
         visits_per_site=args.visits,
         seed=args.seed,
         workers=max(1, args.workers),
+        retry=RetryPolicy(
+            attempts=max(1, args.retries),
+            backoff_base=max(0.0, args.retry_backoff),
+        ),
     )
-    result = run_survey(web, registry, config)
+    progress = None
+    if args.run_dir:
+        def progress(condition, done, total):
+            sys.stderr.write(
+                "[%s] %d/%d sites\n" % (condition, done, total)
+            )
+    result = run_survey(
+        web, registry, config, progress=progress,
+        run_dir=args.run_dir, resume=args.resume,
+    )
     return web, result
 
 
@@ -177,6 +218,9 @@ def _command_survey(args, out) -> int:
     else:
         quad = bool(set(wanted) & _NEEDS_QUAD)
         _, result = _run_crawl(args, quad=quad)
+        if args.run_dir and "progress" not in wanted:
+            # Checkpointed runs always surface their crawl health.
+            wanted.append("progress")
     if args.save:
         persistence.save_survey(result, args.save)
         out.write("saved survey to %s\n" % args.save)
@@ -327,6 +371,8 @@ def _command_validate(args, out) -> int:
 
 
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    from repro.core.checkpoint import CheckpointError
+
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
     handler = {
@@ -339,7 +385,11 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "compare": _command_compare,
         "export": _command_export,
     }[args.command]
-    return handler(args, out)
+    try:
+        return handler(args, out)
+    except CheckpointError as error:
+        out.write("checkpoint error: %s\n" % error)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,356 @@
+"""Crash-safe incremental survey persistence (checkpoint/resume).
+
+A full crawl is a multi-hour job; :mod:`repro.core.persistence` only
+serializes a *finished* result, so a crash at site 9,800 used to lose
+everything.  This module gives the survey runner durable intermediate
+state instead:
+
+* a **run directory** holding a ``manifest.json`` (what crawl this is:
+  registry fingerprint, conditions, visits, seed, domain-list digest)
+  and one **append-only JSONL shard per condition**
+  (``shard-<condition>.jsonl``, one record per measured site);
+* every record is written, flushed and fsynced before the crawl moves
+  on, so a SIGKILL can cost at most the site in flight;
+* on resume the shards are re-read, the manifest is validated against
+  the live registry and config (a checkpoint recorded against a
+  different corpus or crawl shape fails loudly), and already-measured
+  (condition, domain) pairs are skipped;
+* a torn trailing write — the classic crash artifact — is detected,
+  dropped (the site is simply re-measured; the crawl is deterministic)
+  and the shard repaired, while corruption *inside* the shard raises
+  :class:`CheckpointError` rather than silently losing data.
+
+Records are keyed by (condition, domain); if a shard somehow holds two
+records for the same site the **last good record wins**, matching
+append-only semantics.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import IO, Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.browser.session import SiteMeasurement
+from repro.core.persistence import (
+    PersistenceError,
+    measurement_from_dict,
+    measurement_to_dict,
+    registry_fingerprint,
+    save_survey,
+)
+from repro.webidl.registry import FeatureRegistry
+
+CHECKPOINT_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+RESULT_NAME = "survey.json"
+
+
+class CheckpointError(ValueError):
+    """Unusable, incompatible or corrupt survey checkpoint."""
+
+
+def shard_name(condition: str) -> str:
+    return "shard-%s.jsonl" % condition
+
+
+def domains_digest(domains: Sequence[str]) -> str:
+    """A stable identity for the crawl's target list."""
+    import hashlib
+
+    hasher = hashlib.sha256()
+    for domain in domains:
+        hasher.update(domain.encode("utf-8"))
+        hasher.update(b"\x1e")
+    return hasher.hexdigest()[:16]
+
+
+def append_record(handle: IO[str], record: Dict[str, Any]) -> None:
+    """Durably append one JSONL record: write, flush, fsync."""
+    handle.write(json.dumps(record, sort_keys=True,
+                            separators=(",", ":")) + "\n")
+    handle.flush()
+    os.fsync(handle.fileno())
+
+
+def _valid_record(record: Any) -> bool:
+    return (
+        isinstance(record, dict)
+        and isinstance(record.get("condition"), str)
+        and isinstance(record.get("domain"), str)
+        and isinstance(record.get("measurement"), dict)
+    )
+
+
+def load_shard_records(
+    path: str, repair: bool = True
+) -> Tuple[List[Dict[str, Any]], int]:
+    """Read a JSONL shard, recovering from a torn trailing write.
+
+    Returns ``(records, dropped)``.  A record line only counts when it
+    is newline-terminated *and* parses as a well-formed record — a
+    crash mid-``write`` leaves a partial line that fails one of the
+    two, and that tail is dropped (and, with ``repair``, truncated off
+    the file so later appends stay parseable).  A bad line *followed by
+    good data* is not a crash artifact; that raises
+    :class:`CheckpointError` instead of guessing.
+    """
+    with open(path, "rb") as handle:
+        raw = handle.read()
+    records: List[Dict[str, Any]] = []
+    offset = 0
+    good_end = 0
+    dropped = 0
+    while offset < len(raw):
+        newline = raw.find(b"\n", offset)
+        terminated = newline != -1
+        end = newline if terminated else len(raw)
+        line = raw[offset:end]
+        next_offset = end + 1 if terminated else len(raw)
+        if not line.strip():
+            offset = next_offset
+            continue
+        record: Optional[Dict[str, Any]] = None
+        if terminated:
+            try:
+                parsed = json.loads(line.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                parsed = None
+            if _valid_record(parsed):
+                record = parsed
+        if record is not None:
+            records.append(record)
+            good_end = next_offset
+            offset = next_offset
+            continue
+        # Bad line: a crash artifact only if nothing follows it.
+        if raw[next_offset:].strip():
+            raise CheckpointError(
+                "corrupt checkpoint shard %s: bad record at byte %d "
+                "followed by further data" % (path, offset)
+            )
+        dropped += 1
+        break
+    if dropped and repair and good_end < len(raw):
+        os.truncate(path, good_end)
+    return records, dropped
+
+
+class SurveyCheckpoint:
+    """Durable intermediate state of one survey run.
+
+    Created by :func:`repro.core.survey.run_survey` when given a
+    ``run_dir``; tests and tools can also drive it directly.
+    """
+
+    def __init__(
+        self,
+        run_dir: str,
+        registry: FeatureRegistry,
+        manifest: Dict[str, Any],
+    ) -> None:
+        self.run_dir = run_dir
+        self.registry = registry
+        self.manifest = manifest
+        #: condition -> domain -> measurement (recovered + appended)
+        self._records: Dict[str, Dict[str, SiteMeasurement]] = {
+            condition: {} for condition in manifest["conditions"]
+        }
+        #: torn trailing lines dropped while loading shards
+        self.recovered_lines = 0
+        self._handles: Dict[str, IO[str]] = {}
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def attach(
+        cls,
+        run_dir: str,
+        registry: FeatureRegistry,
+        config,
+        domains: Sequence[str],
+        resume: bool = False,
+    ) -> "SurveyCheckpoint":
+        """Create a fresh run directory, or resume an existing one.
+
+        Without ``resume`` the directory must not already hold a
+        checkpoint (refusing beats silently clobbering hours of
+        crawl); with it, an empty directory simply starts fresh.
+        """
+        manifest_path = os.path.join(run_dir, MANIFEST_NAME)
+        exists = os.path.exists(manifest_path)
+        if exists and not resume:
+            raise CheckpointError(
+                "%s already holds a survey checkpoint; resume it "
+                "(resume=True / --resume) or choose a new directory"
+                % run_dir
+            )
+        if not exists:
+            return cls.create(run_dir, registry, config, domains)
+        return cls.open(run_dir, registry, config, domains)
+
+    @classmethod
+    def create(
+        cls,
+        run_dir: str,
+        registry: FeatureRegistry,
+        config,
+        domains: Sequence[str],
+    ) -> "SurveyCheckpoint":
+        os.makedirs(run_dir, exist_ok=True)
+        manifest = {
+            "checkpoint_version": CHECKPOINT_VERSION,
+            "registry_fingerprint": registry_fingerprint(registry),
+            "conditions": list(config.conditions),
+            "visits_per_site": config.visits_per_site,
+            "seed": config.seed,
+            "max_sites": config.max_sites,
+            "n_domains": len(domains),
+            "domains_digest": domains_digest(domains),
+        }
+        # Write-then-rename so a crash never leaves a half manifest.
+        tmp_path = os.path.join(run_dir, MANIFEST_NAME + ".tmp")
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, os.path.join(run_dir, MANIFEST_NAME))
+        return cls(run_dir, registry, manifest)
+
+    @classmethod
+    def open(
+        cls,
+        run_dir: str,
+        registry: FeatureRegistry,
+        config,
+        domains: Sequence[str],
+    ) -> "SurveyCheckpoint":
+        """Open an existing checkpoint, validating compatibility."""
+        manifest_path = os.path.join(run_dir, MANIFEST_NAME)
+        try:
+            with open(manifest_path, encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except OSError as error:
+            raise CheckpointError(
+                "cannot read checkpoint manifest: %s" % error
+            )
+        except json.JSONDecodeError as error:
+            raise CheckpointError(
+                "corrupt checkpoint manifest %s: %s"
+                % (manifest_path, error)
+            )
+        cls._validate_manifest(manifest, registry, config, domains)
+        checkpoint = cls(run_dir, registry, manifest)
+        checkpoint._load_shards()
+        return checkpoint
+
+    @staticmethod
+    def _validate_manifest(
+        manifest: Dict[str, Any],
+        registry: FeatureRegistry,
+        config,
+        domains: Sequence[str],
+    ) -> None:
+        def mismatch(what: str, recorded, live) -> CheckpointError:
+            return CheckpointError(
+                "checkpoint %s mismatch: recorded %r, this run has %r "
+                "— a resumed crawl must use the same corpus and "
+                "configuration" % (what, recorded, live)
+            )
+
+        if manifest.get("checkpoint_version") != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                "unsupported checkpoint version %r"
+                % manifest.get("checkpoint_version")
+            )
+        fingerprint = registry_fingerprint(registry)
+        if manifest.get("registry_fingerprint") != fingerprint:
+            raise mismatch(
+                "registry", manifest.get("registry_fingerprint"),
+                fingerprint,
+            )
+        checks = [
+            ("conditions", list(config.conditions)),
+            ("visits_per_site", config.visits_per_site),
+            ("seed", config.seed),
+            ("max_sites", config.max_sites),
+            ("domains_digest", domains_digest(domains)),
+        ]
+        for key, live in checks:
+            if manifest.get(key) != live:
+                raise mismatch(key, manifest.get(key), live)
+
+    # -- shard IO --------------------------------------------------------
+
+    def _shard_path(self, condition: str) -> str:
+        return os.path.join(self.run_dir, shard_name(condition))
+
+    def _load_shards(self) -> None:
+        for condition in self.manifest["conditions"]:
+            path = self._shard_path(condition)
+            if not os.path.exists(path):
+                continue
+            records, dropped = load_shard_records(path)
+            self.recovered_lines += dropped
+            for record in records:
+                if record["condition"] != condition:
+                    raise CheckpointError(
+                        "record for condition %r found in shard %s"
+                        % (record["condition"], path)
+                    )
+                try:
+                    measurement = measurement_from_dict(
+                        record["domain"], condition,
+                        record["measurement"], self.registry,
+                    )
+                except (PersistenceError, KeyError, TypeError) as error:
+                    raise CheckpointError(
+                        "unusable record for %r in %s: %s"
+                        % (record["domain"], path, error)
+                    )
+                # Last good record wins (append-only semantics).
+                self._records[condition][record["domain"]] = measurement
+
+    def append(self, measurement: SiteMeasurement) -> None:
+        """Durably record one finished site-measurement."""
+        condition = measurement.condition
+        handle = self._handles.get(condition)
+        if handle is None:
+            handle = open(
+                self._shard_path(condition), "a", encoding="utf-8"
+            )
+            self._handles[condition] = handle
+        append_record(handle, {
+            "condition": condition,
+            "domain": measurement.domain,
+            "measurement": measurement_to_dict(measurement),
+        })
+        self._records[condition][measurement.domain] = measurement
+
+    def close(self) -> None:
+        for handle in self._handles.values():
+            handle.close()
+        self._handles.clear()
+
+    # -- views -----------------------------------------------------------
+
+    def done(self, condition: str) -> Dict[str, SiteMeasurement]:
+        """Already-measured sites for a condition (a copy)."""
+        return dict(self._records.get(condition, {}))
+
+    def done_counts(self) -> Dict[str, int]:
+        """condition -> number of sites already measured."""
+        return {
+            condition: len(by_domain)
+            for condition, by_domain in self._records.items()
+        }
+
+    @property
+    def n_domains(self) -> int:
+        return self.manifest["n_domains"]
+
+    def write_result(self, result) -> str:
+        """Save the finished survey alongside its shards."""
+        path = os.path.join(self.run_dir, RESULT_NAME)
+        save_survey(result, path)
+        return path

@@ -27,27 +27,68 @@ class PersistenceError(ValueError):
     """Unusable or incompatible serialized survey."""
 
 
+def measurement_to_dict(m: SiteMeasurement) -> Dict[str, Any]:
+    """A JSON-ready representation of one site-under-one-condition."""
+    return {
+        "rounds_completed": m.rounds_completed,
+        "rounds_ok": m.rounds_ok,
+        "features": sorted(m.features),
+        "standards_by_round": [
+            sorted(s) for s in m.standards_by_round
+        ],
+        "invocations": m.invocations,
+        "pages": m.pages,
+        "scripts_blocked": m.scripts_blocked,
+        "requests_blocked": m.requests_blocked,
+        "interaction_events": m.interaction_events,
+        "failure_reason": m.failure_reason,
+        "transient_failure": m.transient_failure,
+        "attempts": m.attempts,
+    }
+
+
+def measurement_from_dict(
+    domain: str,
+    condition: str,
+    raw: Dict[str, Any],
+    registry: FeatureRegistry,
+) -> SiteMeasurement:
+    """Rebuild one measurement; validates features against the registry.
+
+    ``transient_failure`` and ``attempts`` default when absent so
+    surveys saved before the checkpointed runner still load.
+    """
+    unknown = [f for f in raw["features"] if f not in registry]
+    if unknown:
+        raise PersistenceError(
+            "unknown features in stored survey: %s" % unknown[:3]
+        )
+    m = SiteMeasurement(domain=domain, condition=condition)
+    m.rounds_completed = raw["rounds_completed"]
+    m.rounds_ok = raw["rounds_ok"]
+    m.features = set(raw["features"])
+    m.standards_by_round = [
+        set(s) for s in raw["standards_by_round"]
+    ]
+    m.invocations = raw["invocations"]
+    m.pages = raw["pages"]
+    m.scripts_blocked = raw["scripts_blocked"]
+    m.requests_blocked = raw["requests_blocked"]
+    m.interaction_events = raw["interaction_events"]
+    m.failure_reason = raw["failure_reason"]
+    m.transient_failure = raw.get("transient_failure", False)
+    m.attempts = raw.get("attempts", 1)
+    return m
+
+
 def survey_to_dict(result: SurveyResult) -> Dict[str, Any]:
     """A JSON-ready representation of a survey result."""
     measurements: Dict[str, Dict[str, Any]] = {}
     for condition, by_domain in result.measurements.items():
-        serialized: Dict[str, Any] = {}
-        for domain, m in by_domain.items():
-            serialized[domain] = {
-                "rounds_completed": m.rounds_completed,
-                "rounds_ok": m.rounds_ok,
-                "features": sorted(m.features),
-                "standards_by_round": [
-                    sorted(s) for s in m.standards_by_round
-                ],
-                "invocations": m.invocations,
-                "pages": m.pages,
-                "scripts_blocked": m.scripts_blocked,
-                "requests_blocked": m.requests_blocked,
-                "interaction_events": m.interaction_events,
-                "failure_reason": m.failure_reason,
-            }
-        measurements[condition] = serialized
+        measurements[condition] = {
+            domain: measurement_to_dict(m)
+            for domain, m in by_domain.items()
+        }
     return {
         "format_version": FORMAT_VERSION,
         "registry_fingerprint": registry_fingerprint(result.registry),
@@ -80,28 +121,10 @@ def survey_from_dict(
         )
     measurements: Dict[str, Dict[str, SiteMeasurement]] = {}
     for condition, by_domain in data["measurements"].items():
-        rebuilt: Dict[str, SiteMeasurement] = {}
-        for domain, raw in by_domain.items():
-            unknown = [f for f in raw["features"] if f not in registry]
-            if unknown:
-                raise PersistenceError(
-                    "unknown features in stored survey: %s" % unknown[:3]
-                )
-            m = SiteMeasurement(domain=domain, condition=condition)
-            m.rounds_completed = raw["rounds_completed"]
-            m.rounds_ok = raw["rounds_ok"]
-            m.features = set(raw["features"])
-            m.standards_by_round = [
-                set(s) for s in raw["standards_by_round"]
-            ]
-            m.invocations = raw["invocations"]
-            m.pages = raw["pages"]
-            m.scripts_blocked = raw["scripts_blocked"]
-            m.requests_blocked = raw["requests_blocked"]
-            m.interaction_events = raw["interaction_events"]
-            m.failure_reason = raw["failure_reason"]
-            rebuilt[domain] = m
-        measurements[condition] = rebuilt
+        measurements[condition] = {
+            domain: measurement_from_dict(domain, condition, raw, registry)
+            for domain, raw in by_domain.items()
+        }
     return SurveyResult(
         conditions=tuple(data["conditions"]),
         visits_per_site=data["visits_per_site"],
@@ -128,6 +151,23 @@ def registry_fingerprint(registry: FeatureRegistry) -> str:
         hasher.update(feature.standard.encode("utf-8"))
         hasher.update(b"\x1e")
     return hasher.hexdigest()[:16]
+
+
+def survey_digest(result: SurveyResult) -> str:
+    """A content hash of everything a survey *measured*.
+
+    Two runs are bit-identical when their digests match.  Wall-clock
+    time is excluded (it differs run to run); key order is
+    canonicalized, so dict insertion order cannot leak in.  The
+    equivalence tests use this to assert that worker count, retries
+    and checkpoint/resume never change what was measured.
+    """
+    import hashlib
+
+    data = survey_to_dict(result)
+    data.pop("wall_seconds", None)
+    payload = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def save_survey(result: SurveyResult, path: str) -> None:

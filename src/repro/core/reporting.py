@@ -193,6 +193,58 @@ def figure9_series(outcome: ExternalValidationOutcome) -> str:
     )
 
 
+def failure_report_text(result: SurveyResult) -> str:
+    """Every unmeasured (condition, domain) with its cause and attempts.
+
+    ``transient`` marks failures the retry policy gave up on — the
+    candidates worth re-crawling — versus deterministic ones (dead
+    hosts, scriptless sites) that re-running cannot fix.
+    """
+    rows: List[Tuple[str, str, str, str, str]] = []
+    for condition in result.conditions:
+        for failure in result.failed_domains(condition):
+            rows.append((
+                str(failure),
+                condition,
+                failure.cause or "unknown",
+                str(failure.attempts),
+                "yes" if failure.transient else "no",
+            ))
+    if not rows:
+        return "no failed domains"
+    return render_table(
+        ("Domain", "Condition", "Cause", "Attempts", "Transient"), rows
+    )
+
+
+def progress_report_text(result: SurveyResult) -> str:
+    """Per-condition crawl health: done / failed / retried sites."""
+    rows = []
+    for condition in result.conditions:
+        total = len(result.domains)
+        measured = len(result.measured_domains(condition))
+        rows.append((
+            condition,
+            "%d/%d" % (measured, total),
+            str(total - measured),
+            str(len(result.retried_domains(condition))),
+        ))
+    return render_table(
+        ("Condition", "Measured", "Failed", "Retried"), rows
+    )
+
+
+def checkpoint_status_text(
+    done_counts: Dict[str, int], n_domains: int
+) -> str:
+    """Resume-aware progress: sites done / remaining per condition."""
+    rows = [
+        (condition, str(done), str(max(0, n_domains - done)))
+        for condition, done in done_counts.items()
+    ]
+    return render_table(("Condition", "Done", "Remaining"), rows)
+
+
 def figure1_series() -> str:
     points = analysis.figure1_browser_evolution()
     rows = [

@@ -3,6 +3,18 @@
 ``run_survey`` visits every ranked site under every requested browsing
 condition, five rounds each, through the instrumented browser, and
 returns a :class:`SurveyResult` the analysis layer consumes.
+
+The crawl is *streaming and fault-tolerant*: given a run directory it
+checkpoints every finished site-measurement to durable storage as it
+lands (see :mod:`repro.core.checkpoint`), so a crash — OOM, SIGKILL,
+power loss — costs at most the site in flight.  ``resume_survey``
+picks such a run back up, skipping already-measured (condition,
+domain) pairs; because per-site randomness derives only from (seed,
+domain, round, condition), a resumed run is bit-identical to an
+uninterrupted one.  A per-site :class:`RetryPolicy` re-attempts
+transient fetch failures with exponential backoff and records
+exhausted or deterministic failures with their cause instead of
+aborting the run.
 """
 
 from __future__ import annotations
@@ -21,6 +33,63 @@ from repro.webgen.sitegen import SyntheticWeb
 from repro.webidl.registry import FeatureRegistry
 
 ProgressCallback = Callable[[str, int, int], None]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard to try a site before recording it as failed.
+
+    Only *transient* failures (see ``NetworkError.transient``) are
+    retried by default: re-running a deterministic failure — NXDOMAIN,
+    a site whose only script has a fatal syntax error — reproduces it
+    exactly, so retrying wastes crawl time without changing validity.
+    ``retry_deterministic`` flips that for debugging.
+    """
+
+    #: total attempts per (condition, domain), including the first
+    attempts: int = 3
+    #: seconds before the first retry (0 disables sleeping; tests)
+    backoff_base: float = 0.5
+    #: exponential growth factor between retries
+    backoff_factor: float = 2.0
+    #: ceiling on any single backoff sleep
+    backoff_max: float = 60.0
+    #: also retry failures classified as deterministic
+    retry_deterministic: bool = False
+
+    def delay(self, failures_so_far: int) -> float:
+        """Backoff before the next attempt, after N failed ones."""
+        delay = self.backoff_base * (
+            self.backoff_factor ** max(0, failures_so_far - 1)
+        )
+        return min(delay, self.backoff_max)
+
+
+class DomainFailure(str):
+    """A failed domain, str-compatible, carrying its failure record.
+
+    Instances compare/hash as the bare domain (existing set-algebra
+    over ``failed_domains`` keeps working) while ``cause`` holds the
+    failure reason or raising exception class and ``attempts`` how many
+    tries the retry policy spent.
+    """
+
+    cause: Optional[str]
+    attempts: int
+    transient: bool
+
+    def __new__(
+        cls,
+        domain: str,
+        cause: Optional[str] = None,
+        attempts: int = 1,
+        transient: bool = False,
+    ) -> "DomainFailure":
+        self = super().__new__(cls, domain)
+        self.cause = cause
+        self.attempts = attempts
+        self.transient = transient
+        return self
 
 
 @dataclass
@@ -46,6 +115,8 @@ class SurveyConfig:
     #: cannot change the measurements — parallel and serial runs are
     #: bit-identical.
     workers: int = 1
+    #: per-site retry behavior for transient failures
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
 
 
 @dataclass
@@ -75,10 +146,30 @@ class SurveyResult:
             if self.measurements[condition][d].measured
         ]
 
-    def failed_domains(self, condition: str) -> List[str]:
+    def failed_domains(self, condition: str) -> List[DomainFailure]:
+        """Unmeasured domains, each carrying its failure cause.
+
+        The elements are plain strings (``DomainFailure`` subclasses
+        ``str``) annotated with ``cause``, ``attempts`` and
+        ``transient`` for the failure report.
+        """
+        out: List[DomainFailure] = []
+        for d in self.domains:
+            m = self.measurements[condition][d]
+            if not m.measured:
+                out.append(DomainFailure(
+                    d,
+                    cause=m.failure_reason,
+                    attempts=m.attempts,
+                    transient=m.transient_failure,
+                ))
+        return out
+
+    def retried_domains(self, condition: str) -> List[str]:
+        """Domains that needed more than one measurement attempt."""
         return [
             d for d in self.domains
-            if not self.measurements[condition][d].measured
+            if self.measurements[condition][d].attempts > 1
         ]
 
     def commonly_measured_domains(self) -> List[str]:
@@ -146,7 +237,7 @@ def _build_crawler(
     return SiteCrawler(browser, config.crawl, condition=condition)
 
 
-def _measure_site(
+def _measure_site_once(
     crawler: SiteCrawler,
     registry: FeatureRegistry,
     config: SurveyConfig,
@@ -157,6 +248,57 @@ def _measure_site(
     for round_index in range(1, config.visits_per_site + 1):
         result = crawler.visit_site(domain, round_index, seed=config.seed)
         measurement.add_round(result, registry)
+    return measurement
+
+
+def _measure_site(
+    crawler: SiteCrawler,
+    registry: FeatureRegistry,
+    config: SurveyConfig,
+    condition: str,
+    domain: str,
+) -> SiteMeasurement:
+    """Measure one site under the retry policy.
+
+    Re-runs a fully failed measurement when the failure was transient
+    (or always, with ``retry_deterministic``), sleeping the policy's
+    exponential backoff between attempts.  Because each attempt reseeds
+    from (seed, domain, round, condition), a retried site that finally
+    succeeds is bit-identical to one that never failed.  An exception
+    escaping the crawl machinery is recorded as that site's failure
+    cause — one hostile site must not abort a 10,000-site run.
+    (``KeyboardInterrupt``/``SystemExit`` still propagate, so an
+    operator can stop a checkpointed run and resume it later.)
+    """
+    policy = config.retry
+    attempts = max(1, policy.attempts)
+    measurement = SiteMeasurement(domain=domain, condition=condition)
+    for attempt in range(1, attempts + 1):
+        try:
+            measurement = _measure_site_once(
+                crawler, registry, config, condition, domain
+            )
+        except Exception as error:
+            measurement = SiteMeasurement(
+                domain=domain, condition=condition
+            )
+            measurement.failure_reason = "%s: %s" % (
+                type(error).__name__, error
+            )
+            measurement.transient_failure = bool(
+                getattr(error, "transient", False)
+            )
+        measurement.attempts = attempt
+        if measurement.measured:
+            break
+        if attempt >= attempts:
+            break
+        if not (measurement.transient_failure
+                or policy.retry_deterministic):
+            break
+        delay = policy.delay(attempt)
+        if delay > 0:
+            time.sleep(delay)
     return measurement
 
 
@@ -195,27 +337,66 @@ def _crawl_condition_parallel(
     registry: FeatureRegistry,
     config: SurveyConfig,
     condition: str,
-    domains: List[str],
-    progress: Optional[ProgressCallback],
-) -> Dict[str, SiteMeasurement]:
+    pending: List[str],
+    record: Callable[[SiteMeasurement], None],
+) -> None:
     import multiprocessing
 
     context = multiprocessing.get_context("fork")
     _parent_args.update(
         web=web, registry=registry, config=config, condition=condition
     )
-    by_domain: Dict[str, SiteMeasurement] = {}
     with context.Pool(
         processes=config.workers,
         initializer=_parallel_worker_init,
     ) as pool:
-        for index, measurement in enumerate(
-            pool.imap(_parallel_measure, domains, chunksize=8)
+        # Checkpoint appends happen in the parent, in submission order,
+        # as results stream back from the workers.
+        for measurement in pool.imap(
+            _parallel_measure, pending, chunksize=8
         ):
-            by_domain[measurement.domain] = measurement
-            if progress is not None and (index + 1) % 50 == 0:
-                progress(condition, index + 1, len(domains))
-    return by_domain
+            record(measurement)
+
+
+def _crawl_condition(
+    web: SyntheticWeb,
+    registry: FeatureRegistry,
+    config: SurveyConfig,
+    condition: str,
+    domains: List[str],
+    progress: Optional[ProgressCallback],
+    checkpoint=None,
+) -> Dict[str, SiteMeasurement]:
+    """Measure one condition, streaming each site to the checkpoint."""
+    done = checkpoint.done(condition) if checkpoint is not None else {}
+    pending = [d for d in domains if d not in done]
+    by_domain: Dict[str, SiteMeasurement] = dict(done)
+    if done and progress is not None:
+        progress(condition, len(done), len(domains))
+    completed = len(done)
+
+    def record(measurement: SiteMeasurement) -> None:
+        nonlocal completed
+        by_domain[measurement.domain] = measurement
+        if checkpoint is not None:
+            checkpoint.append(measurement)
+        completed += 1
+        if progress is not None and completed % 50 == 0:
+            progress(condition, completed, len(domains))
+
+    if config.workers > 1 and pending:
+        _crawl_condition_parallel(
+            web, registry, config, condition, pending, record
+        )
+    else:
+        crawler = _build_crawler(web, registry, config, condition)
+        for domain in pending:
+            record(_measure_site(
+                crawler, registry, config, condition, domain
+            ))
+    # Canonical domain order: resumed, parallel and serial runs must
+    # serialize identically, so insertion order never leaks in.
+    return {d: by_domain[d] for d in domains}
 
 
 def run_survey(
@@ -223,8 +404,17 @@ def run_survey(
     registry: FeatureRegistry,
     config: Optional[SurveyConfig] = None,
     progress: Optional[ProgressCallback] = None,
+    run_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> SurveyResult:
-    """Crawl the web under every condition and collect the result."""
+    """Crawl the web under every condition and collect the result.
+
+    With ``run_dir``, every finished site-measurement is durably
+    checkpointed there before the crawl moves on, and the finished
+    survey is saved alongside the shards as ``survey.json``.  With
+    ``resume`` (see :func:`resume_survey`), a directory holding a
+    compatible interrupted run is picked back up where it stopped.
+    """
     config = config or SurveyConfig()
     started = time.time()
 
@@ -233,38 +423,67 @@ def run_survey(
         ranked = ranked[: config.max_sites]
     domains = [r.domain for r in ranked]
 
-    measurements: Dict[str, Dict[str, SiteMeasurement]] = {}
-    for condition in config.conditions:
-        if config.workers > 1:
-            measurements[condition] = _crawl_condition_parallel(
-                web, registry, config, condition, domains, progress
-            )
-            continue
-        crawler = _build_crawler(web, registry, config, condition)
-        by_domain: Dict[str, SiteMeasurement] = {}
-        for index, domain in enumerate(domains):
-            by_domain[domain] = _measure_site(
-                crawler, registry, config, condition, domain
-            )
-            if progress is not None and (index + 1) % 50 == 0:
-                progress(condition, index + 1, len(domains))
-        measurements[condition] = by_domain
+    checkpoint = None
+    if run_dir is not None:
+        # Local import: checkpoint -> persistence -> survey.
+        from repro.core.checkpoint import SurveyCheckpoint
 
-    manual_only = {
-        site.domain: list(site.plan.manual_only)
-        for site in web.sites.values()
-        if site.plan.manual_only and site.domain in set(domains)
-    }
-    weights = {
-        domain: web.ranking.visit_weight(domain) for domain in domains
-    }
-    return SurveyResult(
-        conditions=tuple(config.conditions),
-        visits_per_site=config.visits_per_site,
-        domains=domains,
-        measurements=measurements,
-        visit_weights=weights,
-        manual_only=manual_only,
-        registry=registry,
-        wall_seconds=time.time() - started,
+        checkpoint = SurveyCheckpoint.attach(
+            run_dir, registry, config, domains, resume=resume
+        )
+
+    try:
+        measurements: Dict[str, Dict[str, SiteMeasurement]] = {}
+        for condition in config.conditions:
+            measurements[condition] = _crawl_condition(
+                web, registry, config, condition, domains, progress,
+                checkpoint,
+            )
+
+        manual_only = {
+            site.domain: list(site.plan.manual_only)
+            for site in web.sites.values()
+            if site.plan.manual_only and site.domain in set(domains)
+        }
+        weights = {
+            domain: web.ranking.visit_weight(domain)
+            for domain in domains
+        }
+        result = SurveyResult(
+            conditions=tuple(config.conditions),
+            visits_per_site=config.visits_per_site,
+            domains=domains,
+            measurements=measurements,
+            visit_weights=weights,
+            manual_only=manual_only,
+            registry=registry,
+            wall_seconds=time.time() - started,
+        )
+        if checkpoint is not None:
+            checkpoint.write_result(result)
+        return result
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
+
+
+def resume_survey(
+    web: SyntheticWeb,
+    registry: FeatureRegistry,
+    run_dir: str,
+    config: Optional[SurveyConfig] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> SurveyResult:
+    """Resume (or start) a checkpointed survey in ``run_dir``.
+
+    Validates that the directory's manifest matches the live registry
+    fingerprint and crawl configuration (raising
+    :class:`~repro.core.checkpoint.CheckpointError` on any mismatch),
+    skips every (condition, domain) pair already on disk, and crawls
+    the rest.  The returned result is bit-identical to an
+    uninterrupted run of the same configuration.
+    """
+    return run_survey(
+        web, registry, config=config, progress=progress,
+        run_dir=run_dir, resume=True,
     )

@@ -127,6 +127,7 @@ class SiteCrawler:
         if not page.ok:
             if result.failure_reason is None:
                 result.failure_reason = page.failure_reason
+                result.transient = page.transient
             return None
         result.pages_visited += 1
         result.scripts_blocked += page.scripts_blocked

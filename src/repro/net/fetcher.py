@@ -10,19 +10,46 @@ not measure 267 of the Alexa 10k for exactly these reasons.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Protocol
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Set,
+    Tuple,
+)
 
-from repro.net.resources import Request, Response
+from repro.net.resources import Request, ResourceKind, Response
 from repro.net.url import Url
 
 
 class NetworkError(Exception):
-    """Host unreachable / connection refused / timeout."""
+    """Host unreachable / connection refused / timeout.
 
-    def __init__(self, url: Url, reason: str) -> None:
+    ``transient`` distinguishes failures worth retrying (an overloaded
+    host, a dropped connection) from deterministic ones (NXDOMAIN, a
+    page that always serves HTTP 500): the survey's retry policy re-attempts
+    only the former by default, since re-running a deterministic
+    failure just repeats it.
+    """
+
+    def __init__(
+        self, url: Url, reason: str, transient: bool = False
+    ) -> None:
         super().__init__("%s: %s" % (url, reason))
         self.url = url
         self.reason = reason
+        self.transient = transient
+
+
+class TransientNetworkError(NetworkError):
+    """A failure that may succeed on retry (timeout, reset, overload)."""
+
+    def __init__(self, url: Url, reason: str) -> None:
+        super().__init__(url, reason, transient=True)
 
 
 class WebSource(Protocol):
@@ -100,3 +127,64 @@ class DictWebSource:
 
     def respond(self, request: Request) -> Optional[Response]:
         return self.pages.get(str(request.url))
+
+
+class FaultInjectingSource:
+    """A web-source wrapper that fails chosen (domain, attempt) pairs.
+
+    Wraps any :class:`WebSource` (including a full synthetic web —
+    unknown attributes delegate to the wrapped object, so the survey
+    runner can crawl through it unchanged) and injects a site-wide
+    outage for selected *site-measurement attempts*.
+
+    An attempt is one full pass of ``visits_per_site`` rounds over a
+    site; each round issues exactly one document request for the
+    site's home page, so attempt boundaries are recovered by counting
+    home-page document requests: requests ``(k-1)*R+1 .. k*R`` belong
+    to attempt ``k`` (``R`` = ``rounds_per_attempt``).  Tests use this
+    to exercise retry-then-succeed, retry-exhausted and mixed-condition
+    behavior deterministically.
+
+    ``transient=True`` raises :class:`TransientNetworkError` (the
+    retry policy re-attempts); ``transient=False`` answers "host not
+    found" (deterministic — not retried).
+    """
+
+    def __init__(
+        self,
+        inner: WebSource,
+        fail: Mapping[str, Iterable[int]],
+        rounds_per_attempt: int,
+        reason: str = "injected outage",
+        transient: bool = True,
+    ) -> None:
+        if rounds_per_attempt < 1:
+            raise ValueError("rounds_per_attempt must be >= 1")
+        self._inner = inner
+        self._fail: Dict[str, Set[int]] = {
+            domain: set(attempts) for domain, attempts in fail.items()
+        }
+        self._rounds = rounds_per_attempt
+        self.reason = reason
+        self.transient = transient
+        self._home_requests: Dict[str, int] = {}
+        #: every (domain, attempt) this source actually failed
+        self.injected: List[Tuple[str, int]] = []
+
+    def __getattr__(self, name: str):
+        return getattr(self._inner, name)
+
+    def respond(self, request: Request) -> Optional[Response]:
+        url = request.url
+        if request.kind == ResourceKind.DOCUMENT and url.path == "/":
+            domain = url.host
+            if domain in self._fail:
+                count = self._home_requests.get(domain, 0) + 1
+                self._home_requests[domain] = count
+                attempt = (count - 1) // self._rounds + 1
+                if attempt in self._fail[domain]:
+                    self.injected.append((domain, attempt))
+                    if self.transient:
+                        raise TransientNetworkError(url, self.reason)
+                    return None
+        return self._inner.respond(request)

@@ -1,0 +1,285 @@
+"""Unit tests for the crash-safe survey checkpoint layer.
+
+Covers the run-directory lifecycle (create / refuse-to-clobber /
+resume), manifest compatibility validation, shard append/load
+round-trips, last-good-record-wins semantics, and recovery from torn
+trailing writes versus loud failure on mid-shard corruption.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.browser.session import SiteMeasurement
+from repro.core.checkpoint import (
+    CheckpointError,
+    SurveyCheckpoint,
+    domains_digest,
+    load_shard_records,
+    shard_name,
+)
+from repro.core.survey import SurveyConfig
+
+DOMAINS = ["a.test", "b.test", "c.test"]
+
+
+def make_config(**kwargs):
+    kwargs.setdefault("conditions", ("default", "blocking"))
+    kwargs.setdefault("visits_per_site", 2)
+    kwargs.setdefault("seed", 5)
+    return SurveyConfig(**kwargs)
+
+
+def make_measurement(domain, condition="default", features=(),
+                     invocations=0):
+    m = SiteMeasurement(domain=domain, condition=condition)
+    m.rounds_completed = 2
+    m.rounds_ok = 2 if features else 0
+    m.features = set(features)
+    m.standards_by_round = [set(), set()]
+    m.invocations = invocations
+    if not features:
+        m.failure_reason = "host not found"
+    return m
+
+
+@pytest.fixture
+def some_features(registry):
+    return sorted(f.name for f in registry.features())[:4]
+
+
+class TestLifecycle:
+    def test_create_writes_manifest(self, registry, tmp_path):
+        run_dir = str(tmp_path / "run")
+        checkpoint = SurveyCheckpoint.create(
+            run_dir, registry, make_config(), DOMAINS
+        )
+        checkpoint.close()
+        with open(os.path.join(run_dir, "manifest.json")) as handle:
+            manifest = json.load(handle)
+        assert manifest["conditions"] == ["default", "blocking"]
+        assert manifest["n_domains"] == 3
+        assert manifest["domains_digest"] == domains_digest(DOMAINS)
+
+    def test_attach_refuses_to_clobber(self, registry, tmp_path):
+        run_dir = str(tmp_path / "run")
+        SurveyCheckpoint.create(
+            run_dir, registry, make_config(), DOMAINS
+        ).close()
+        with pytest.raises(CheckpointError, match="resume"):
+            SurveyCheckpoint.attach(
+                run_dir, registry, make_config(), DOMAINS, resume=False
+            )
+
+    def test_attach_resume_on_empty_dir_starts_fresh(self, registry,
+                                                     tmp_path):
+        run_dir = str(tmp_path / "fresh")
+        checkpoint = SurveyCheckpoint.attach(
+            run_dir, registry, make_config(), DOMAINS, resume=True
+        )
+        assert checkpoint.done("default") == {}
+        checkpoint.close()
+
+    def test_append_then_reopen(self, registry, tmp_path,
+                                some_features):
+        run_dir = str(tmp_path / "run")
+        config = make_config()
+        checkpoint = SurveyCheckpoint.create(
+            run_dir, registry, config, DOMAINS
+        )
+        checkpoint.append(make_measurement(
+            "a.test", features=some_features[:2], invocations=7
+        ))
+        checkpoint.append(make_measurement("b.test"))
+        checkpoint.close()
+
+        reopened = SurveyCheckpoint.open(
+            run_dir, registry, config, DOMAINS
+        )
+        done = reopened.done("default")
+        assert set(done) == {"a.test", "b.test"}
+        assert done["a.test"].features == set(some_features[:2])
+        assert done["a.test"].invocations == 7
+        assert done["b.test"].failure_reason == "host not found"
+        assert reopened.done_counts() == {"default": 2, "blocking": 0}
+        reopened.close()
+
+    def test_last_good_record_wins(self, registry, tmp_path,
+                                   some_features):
+        run_dir = str(tmp_path / "run")
+        config = make_config()
+        checkpoint = SurveyCheckpoint.create(
+            run_dir, registry, config, DOMAINS
+        )
+        checkpoint.append(make_measurement("a.test", invocations=1))
+        checkpoint.append(make_measurement(
+            "a.test", features=some_features[:1], invocations=99
+        ))
+        checkpoint.close()
+        reopened = SurveyCheckpoint.open(
+            run_dir, registry, config, DOMAINS
+        )
+        assert len(reopened.done("default")) == 1
+        assert reopened.done("default")["a.test"].invocations == 99
+        reopened.close()
+
+
+class TestManifestValidation:
+    @pytest.mark.parametrize("change, match", [
+        (dict(seed=6), "seed"),
+        (dict(visits_per_site=3), "visits_per_site"),
+        (dict(conditions=("default",)), "conditions"),
+        (dict(max_sites=2), "max_sites"),
+    ])
+    def test_config_mismatch_rejected(self, registry, tmp_path, change,
+                                      match):
+        run_dir = str(tmp_path / "run")
+        SurveyCheckpoint.create(
+            run_dir, registry, make_config(), DOMAINS
+        ).close()
+        with pytest.raises(CheckpointError, match=match):
+            SurveyCheckpoint.open(
+                run_dir, registry, make_config(**change), DOMAINS
+            )
+
+    def test_domain_list_mismatch_rejected(self, registry, tmp_path):
+        run_dir = str(tmp_path / "run")
+        SurveyCheckpoint.create(
+            run_dir, registry, make_config(), DOMAINS
+        ).close()
+        with pytest.raises(CheckpointError, match="domains_digest"):
+            SurveyCheckpoint.open(
+                run_dir, registry, make_config(), ["other.test"]
+            )
+
+    def test_registry_mismatch_rejected(self, registry, tmp_path):
+        run_dir = str(tmp_path / "run")
+        SurveyCheckpoint.create(
+            run_dir, registry, make_config(), DOMAINS
+        ).close()
+        manifest_path = os.path.join(run_dir, "manifest.json")
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        manifest["registry_fingerprint"] = "deadbeefdeadbeef"
+        with open(manifest_path, "w") as handle:
+            json.dump(manifest, handle)
+        with pytest.raises(CheckpointError, match="registry"):
+            SurveyCheckpoint.open(
+                run_dir, registry, make_config(), DOMAINS
+            )
+
+    def test_corrupt_manifest_rejected(self, registry, tmp_path):
+        run_dir = str(tmp_path / "run")
+        os.makedirs(run_dir)
+        with open(os.path.join(run_dir, "manifest.json"), "w") as handle:
+            handle.write("{ not json")
+        with pytest.raises(CheckpointError, match="manifest"):
+            SurveyCheckpoint.open(
+                run_dir, registry, make_config(), DOMAINS
+            )
+
+
+class TestShardRecovery:
+    def _seed_shard(self, registry, tmp_path, n=2):
+        run_dir = str(tmp_path / "run")
+        config = make_config()
+        checkpoint = SurveyCheckpoint.create(
+            run_dir, registry, config, DOMAINS
+        )
+        for domain in DOMAINS[:n]:
+            checkpoint.append(make_measurement(domain))
+        checkpoint.close()
+        return run_dir, config, os.path.join(
+            run_dir, shard_name("default")
+        )
+
+    def test_truncated_trailing_line_recovered(self, registry,
+                                               tmp_path):
+        run_dir, config, shard = self._seed_shard(registry, tmp_path)
+        with open(shard, "ab") as handle:
+            handle.write(b'{"condition": "default", "domain": "c.te')
+        checkpoint = SurveyCheckpoint.open(
+            run_dir, registry, config, DOMAINS
+        )
+        assert checkpoint.recovered_lines == 1
+        assert set(checkpoint.done("default")) == {"a.test", "b.test"}
+        checkpoint.close()
+        # The shard was repaired: reopening finds nothing to recover.
+        again = SurveyCheckpoint.open(run_dir, registry, config, DOMAINS)
+        assert again.recovered_lines == 0
+        again.close()
+
+    def test_unterminated_valid_json_tail_dropped(self, registry,
+                                                  tmp_path):
+        """A complete-looking record without its newline is torn too."""
+        run_dir, config, shard = self._seed_shard(registry, tmp_path)
+        with open(shard) as handle:
+            first_line = handle.readline().rstrip("\n")
+        record = json.loads(first_line)
+        record["domain"] = "c.test"
+        with open(shard, "a") as handle:
+            handle.write(json.dumps(record))  # no trailing newline
+        checkpoint = SurveyCheckpoint.open(
+            run_dir, registry, config, DOMAINS
+        )
+        assert checkpoint.recovered_lines == 1
+        assert "c.test" not in checkpoint.done("default")
+        checkpoint.close()
+
+    def test_append_after_recovery_stays_parseable(self, registry,
+                                                   tmp_path):
+        run_dir, config, shard = self._seed_shard(registry, tmp_path)
+        with open(shard, "ab") as handle:
+            handle.write(b'{"half a rec')
+        checkpoint = SurveyCheckpoint.open(
+            run_dir, registry, config, DOMAINS
+        )
+        checkpoint.append(make_measurement("c.test"))
+        checkpoint.close()
+        records, dropped = load_shard_records(shard)
+        assert dropped == 0
+        assert [r["domain"] for r in records] == DOMAINS
+
+    def test_mid_shard_corruption_raises(self, registry, tmp_path):
+        run_dir, config, shard = self._seed_shard(registry, tmp_path)
+        with open(shard) as handle:
+            lines = handle.readlines()
+        lines.insert(1, "GARBAGE NOT JSON\n")
+        with open(shard, "w") as handle:
+            handle.writelines(lines)
+        with pytest.raises(CheckpointError, match="corrupt"):
+            SurveyCheckpoint.open(run_dir, registry, config, DOMAINS)
+
+    def test_unknown_feature_in_shard_rejected(self, registry,
+                                               tmp_path):
+        run_dir, config, shard = self._seed_shard(registry, tmp_path,
+                                                  n=1)
+        record = {
+            "condition": "default",
+            "domain": "c.test",
+            "measurement": {
+                "rounds_completed": 1, "rounds_ok": 1,
+                "features": ["Made.prototype.up"],
+                "standards_by_round": [[]],
+                "invocations": 1, "pages": 1, "scripts_blocked": 0,
+                "requests_blocked": 0, "interaction_events": 0,
+                "failure_reason": None,
+            },
+        }
+        with open(shard, "a") as handle:
+            handle.write(json.dumps(record) + "\n")
+        with pytest.raises(CheckpointError, match="c.test"):
+            SurveyCheckpoint.open(run_dir, registry, config, DOMAINS)
+
+    def test_wrong_condition_in_shard_rejected(self, registry,
+                                               tmp_path):
+        run_dir, config, shard = self._seed_shard(registry, tmp_path,
+                                                  n=1)
+        with open(shard) as handle:
+            record = json.loads(handle.readline())
+        record["condition"] = "blocking"
+        with open(shard, "a") as handle:
+            handle.write(json.dumps(record) + "\n")
+        with pytest.raises(CheckpointError, match="condition"):
+            SurveyCheckpoint.open(run_dir, registry, config, DOMAINS)

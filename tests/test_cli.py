@@ -27,6 +27,20 @@ class TestParser:
         assert args.sites == 150
         assert args.visits == 3
         assert args.report is None
+        assert args.run_dir is None
+        assert args.resume is False
+        assert args.retries == 3
+        assert args.retry_backoff == 0.5
+
+    def test_checkpoint_flags(self):
+        args = build_parser().parse_args([
+            "survey", "--run-dir", "runs/full", "--resume",
+            "--retries", "5", "--retry-backoff", "2",
+        ])
+        assert args.run_dir == "runs/full"
+        assert args.resume is True
+        assert args.retries == 5
+        assert args.retry_backoff == 2.0
 
 
 class TestCorpusCommand:
@@ -132,6 +146,72 @@ class TestCrawlCommands:
 
         assert os.path.exists(os.path.join(out_dir, "features.csv"))
         assert os.path.exists(os.path.join(out_dir, "figure7.csv"))
+
+    def test_survey_run_dir_checkpoints(self, tmp_path):
+        import os
+
+        run_dir = str(tmp_path / "run")
+        code, output = run_cli(
+            "survey", "--sites", "10", "--visits", "1", "--seed", "4",
+            "--run-dir", run_dir,
+        )
+        assert code == 0
+        # Checkpointed runs surface their crawl health...
+        assert "Retried" in output
+        # ...and leave a resumable run directory behind.
+        assert os.path.exists(os.path.join(run_dir, "manifest.json"))
+        assert os.path.exists(
+            os.path.join(run_dir, "shard-default.jsonl")
+        )
+        assert os.path.exists(os.path.join(run_dir, "survey.json"))
+
+    def test_survey_resume_completed_run(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        code, first = run_cli(
+            "survey", "--sites", "10", "--visits", "1", "--seed", "4",
+            "--run-dir", run_dir, "--report", "headlines",
+        )
+        assert code == 0
+        code, second = run_cli(
+            "survey", "--sites", "10", "--visits", "1", "--seed", "4",
+            "--run-dir", run_dir, "--resume", "--report", "headlines",
+        )
+        assert code == 0
+        assert first == second
+
+    def test_survey_run_dir_refuses_clobber(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        run_cli("survey", "--sites", "10", "--visits", "1",
+                "--seed", "4", "--run-dir", run_dir)
+        code, output = run_cli(
+            "survey", "--sites", "10", "--visits", "1", "--seed", "4",
+            "--run-dir", run_dir,
+        )
+        assert code == 2
+        assert "checkpoint error" in output
+        assert "resume" in output
+
+    def test_survey_resume_rejects_other_crawl(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        run_cli("survey", "--sites", "10", "--visits", "1",
+                "--seed", "4", "--run-dir", run_dir)
+        code, output = run_cli(
+            "survey", "--sites", "10", "--visits", "1", "--seed", "5",
+            "--run-dir", run_dir, "--resume",
+        )
+        assert code == 2
+        assert "checkpoint error" in output
+
+    def test_failure_report(self):
+        code, output = run_cli(
+            "survey", "--sites", "15", "--visits", "1", "--seed", "4",
+            "--report", "failures",
+        )
+        assert code == 0
+        # The synthetic web plans some unreachable domains; each failed
+        # row carries a cause and an attempt count.
+        assert "Cause" in output
+        assert "Attempts" in output
 
     def test_figures_command(self, tmp_path):
         out_dir = str(tmp_path / "figs")

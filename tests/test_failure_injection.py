@@ -10,10 +10,18 @@ did not, never crash, never mis-attribute.
 import pytest
 
 from repro.browser import Browser, BrowserConfig
+from repro.core.persistence import measurement_to_dict
+from repro.core.survey import RetryPolicy, SurveyConfig, run_survey
 from repro.monkey import Gremlins, MonkeyConfig, SiteCrawler
-from repro.net.fetcher import DictWebSource, Fetcher, NetworkError
-from repro.net.resources import Request, Response
+from repro.net.fetcher import (
+    DictWebSource,
+    FaultInjectingSource,
+    Fetcher,
+    NetworkError,
+)
+from repro.net.resources import Request, ResourceKind, Response
 from repro.net.url import Url
+from repro.webgen.sitegen import build_web
 
 import random
 
@@ -169,6 +177,164 @@ class TestFlakyNetwork:
         result = crawler.visit_site("err.test", 1, seed=4)
         assert not result.ok
         assert "500" in (result.failure_reason or "")
+
+
+VISITS = 2
+
+
+def _retry_config(attempts=3, **kwargs):
+    kwargs.setdefault("conditions", ("default", "blocking"))
+    kwargs.setdefault("visits_per_site", VISITS)
+    kwargs.setdefault("seed", 17)
+    kwargs.setdefault(
+        "retry", RetryPolicy(attempts=attempts, backoff_base=0.0)
+    )
+    return SurveyConfig(**kwargs)
+
+
+def _without_attempts(measurement):
+    data = measurement_to_dict(measurement)
+    data.pop("attempts")
+    return data
+
+
+class TestRetryPolicy:
+    """The per-site retry matrix, driven by deterministic injection.
+
+    :class:`FaultInjectingSource` fails chosen (domain, attempt)
+    pairs; each test checks one row of the matrix: retry-then-succeed,
+    retry-exhausted, deterministic-not-retried, mixed-condition, and
+    an exception escaping the crawl machinery.
+    """
+
+    @pytest.fixture(scope="class")
+    def flaky_web(self, registry):
+        return build_web(registry, n_sites=6, seed=21)
+
+    @pytest.fixture(scope="class")
+    def clean(self, registry, flaky_web):
+        return run_survey(flaky_web, registry, _retry_config())
+
+    @pytest.fixture(scope="class")
+    def target(self, clean):
+        """A domain that measures fine when nothing is injected."""
+        return clean.measured_domains("default")[0]
+
+    def _assert_others_unaffected(self, clean, result, target):
+        for condition in clean.conditions:
+            for domain in clean.domains:
+                if domain == target:
+                    continue
+                assert _without_attempts(
+                    result.measurement(condition, domain)
+                ) == _without_attempts(
+                    clean.measurement(condition, domain)
+                ), (condition, domain)
+
+    def test_retry_then_succeed(self, registry, flaky_web, clean,
+                                target):
+        source = FaultInjectingSource(
+            flaky_web, {target: {1}}, rounds_per_attempt=VISITS
+        )
+        result = run_survey(source, registry, _retry_config())
+        m = result.measurement("default", target)
+        assert m.measured
+        assert m.attempts == 2
+        assert target in result.retried_domains("default")
+        # The recovered measurement is bit-identical to a never-failed
+        # one: retries reseed from (seed, domain, round, condition).
+        assert _without_attempts(m) == _without_attempts(
+            clean.measurement("default", target)
+        )
+        # One failure per round of attempt 1, none afterwards.
+        assert set(source.injected) == {(target, 1)}
+        assert len(source.injected) == VISITS
+        self._assert_others_unaffected(clean, result, target)
+
+    def test_retry_exhausted_records_cause(self, registry, flaky_web,
+                                           clean, target):
+        source = FaultInjectingSource(
+            flaky_web, {target: {1, 2}}, rounds_per_attempt=VISITS
+        )
+        result = run_survey(source, registry,
+                            _retry_config(attempts=2))
+        m = result.measurement("default", target)
+        assert not m.measured
+        assert m.attempts == 2
+        failures = {
+            str(f): f for f in result.failed_domains("default")
+        }
+        assert target in failures
+        failure = failures[target]
+        assert failure.cause == "injected outage"
+        assert failure.attempts == 2
+        assert failure.transient
+        self._assert_others_unaffected(clean, result, target)
+
+    def test_deterministic_failure_not_retried(self, registry,
+                                               flaky_web, clean,
+                                               target):
+        """NXDOMAIN-style failures burn one attempt, not three."""
+        source = FaultInjectingSource(
+            flaky_web, {target: {1}}, rounds_per_attempt=VISITS,
+            transient=False,
+        )
+        result = run_survey(source, registry, _retry_config())
+        m = result.measurement("default", target)
+        assert not m.measured
+        assert m.attempts == 1
+        assert not m.transient_failure
+        assert m.failure_reason == "host not found"
+
+    def test_mixed_condition_injection(self, registry, flaky_web,
+                                       clean, target):
+        """An outage during one condition leaves the other untouched.
+
+        Attempt numbering is global per domain: the default-condition
+        crawl spends attempt 1, so injecting at attempt 2 hits the
+        blocking-condition crawl only.
+        """
+        source = FaultInjectingSource(
+            flaky_web, {target: {2}}, rounds_per_attempt=VISITS
+        )
+        result = run_survey(source, registry, _retry_config())
+        default_m = result.measurement("default", target)
+        blocking_m = result.measurement("blocking", target)
+        assert default_m.attempts == 1
+        assert blocking_m.attempts == 2
+        assert blocking_m.measured
+        assert _without_attempts(blocking_m) == _without_attempts(
+            clean.measurement("blocking", target)
+        )
+        self._assert_others_unaffected(clean, result, target)
+
+    def test_unexpected_exception_recorded_not_fatal(self, registry,
+                                                     flaky_web, clean,
+                                                     target):
+        """One exploding site must not abort the whole run."""
+        class ExplodingSource:
+            def __init__(self, inner, domain):
+                self._inner = inner
+                self._domain = domain
+
+            def __getattr__(self, name):
+                return getattr(self._inner, name)
+
+            def respond(self, request):
+                if request.url.host == self._domain:
+                    raise RuntimeError("boom")
+                return self._inner.respond(request)
+
+        source = ExplodingSource(flaky_web, target)
+        result = run_survey(source, registry, _retry_config())
+        m = result.measurement("default", target)
+        assert not m.measured
+        assert m.attempts == 1
+        failures = {
+            str(f): f for f in result.failed_domains("default")
+        }
+        assert failures[target].cause == "RuntimeError: boom"
+        self._assert_others_unaffected(clean, result, target)
 
 
 class TestMeasurementIntegrity:

@@ -1,0 +1,172 @@
+"""Property-based tests for survey persistence and checkpoint shards.
+
+Two invariants the crash-safe crawl leans on, checked over seeded
+random inputs rather than a handful of examples:
+
+* any :class:`SurveyResult` survives ``survey_to_dict`` → JSON text →
+  ``survey_from_dict`` unchanged (so a resumed run reading shards back
+  from disk measures *exactly* what the interrupted run wrote);
+* a checkpoint shard whose tail was torn at any byte by a crash
+  recovers every intact record and drops only the torn one.
+"""
+
+import json
+import os
+import tempfile
+
+from hypothesis import given, settings, strategies as st
+
+from repro.browser.session import SiteMeasurement
+from repro.core import persistence
+from repro.core.checkpoint import append_record, load_shard_records
+from repro.core.survey import SurveyResult
+from repro.webidl.corpus import build_corpus
+from repro.webidl.registry import build_registry
+
+REGISTRY = build_registry(build_corpus())
+FEATURE_NAMES = sorted(f.name for f in REGISTRY.features())[:64]
+STANDARD_ABBREVS = sorted(s.abbrev for s in REGISTRY.standards())[:20]
+CONDITION_SETS = [("default",), ("default", "blocking")]
+
+domain_names = st.from_regex(r"[a-z]{3,8}\.test", fullmatch=True)
+
+
+@st.composite
+def site_measurements(draw, domain, condition):
+    rounds = draw(st.integers(min_value=0, max_value=4))
+    m = SiteMeasurement(domain=domain, condition=condition)
+    m.rounds_completed = rounds
+    m.rounds_ok = draw(st.integers(min_value=0, max_value=rounds))
+    m.features = set(draw(st.lists(
+        st.sampled_from(FEATURE_NAMES), max_size=6
+    )))
+    m.standards_by_round = [
+        set(draw(st.lists(st.sampled_from(STANDARD_ABBREVS),
+                          max_size=4)))
+        for _ in range(rounds)
+    ]
+    m.invocations = draw(st.integers(min_value=0, max_value=10**6))
+    m.pages = draw(st.integers(min_value=0, max_value=13))
+    m.scripts_blocked = draw(st.integers(min_value=0, max_value=40))
+    m.requests_blocked = draw(st.integers(min_value=0, max_value=40))
+    m.interaction_events = draw(st.integers(min_value=0,
+                                            max_value=400))
+    m.failure_reason = draw(st.one_of(
+        st.none(), st.text(max_size=20)
+    ))
+    m.transient_failure = draw(st.booleans())
+    m.attempts = draw(st.integers(min_value=1, max_value=5))
+    return m
+
+
+@st.composite
+def survey_results(draw):
+    conditions = draw(st.sampled_from(CONDITION_SETS))
+    domains = draw(st.lists(domain_names, min_size=1, max_size=4,
+                            unique=True))
+    measurements = {
+        condition: {
+            domain: draw(site_measurements(domain, condition))
+            for domain in domains
+        }
+        for condition in conditions
+    }
+    weights = {
+        domain: draw(st.floats(min_value=0.0, max_value=1.0,
+                               allow_nan=False))
+        for domain in domains
+    }
+    manual_domains = draw(st.lists(st.sampled_from(domains),
+                                   unique=True, max_size=2))
+    manual_only = {
+        domain: draw(st.lists(st.sampled_from(STANDARD_ABBREVS),
+                              min_size=1, max_size=3))
+        for domain in manual_domains
+    }
+    return SurveyResult(
+        conditions=tuple(conditions),
+        visits_per_site=draw(st.integers(min_value=1, max_value=5)),
+        domains=list(domains),
+        measurements=measurements,
+        visit_weights=weights,
+        manual_only=manual_only,
+        registry=REGISTRY,
+        wall_seconds=draw(st.floats(min_value=0.0, max_value=1e6,
+                                    allow_nan=False)),
+    )
+
+
+class TestSurveyRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(result=survey_results())
+    def test_dict_json_load_round_trip(self, result):
+        data = persistence.survey_to_dict(result)
+        rehydrated = persistence.survey_from_dict(
+            json.loads(json.dumps(data)), registry=REGISTRY
+        )
+        assert persistence.survey_to_dict(rehydrated) == data
+        assert persistence.survey_digest(rehydrated) == (
+            persistence.survey_digest(result)
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(result=survey_results())
+    def test_digest_ignores_wall_clock(self, result):
+        digest = persistence.survey_digest(result)
+        result.wall_seconds = result.wall_seconds + 1234.5
+        assert persistence.survey_digest(result) == digest
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_measurement_round_trip(self, data):
+        m = data.draw(site_measurements("site.test", "default"))
+        raw = json.loads(json.dumps(
+            persistence.measurement_to_dict(m)
+        ))
+        rebuilt = persistence.measurement_from_dict(
+            "site.test", "default", raw, REGISTRY
+        )
+        assert rebuilt == m
+
+
+class TestShardTornWrites:
+    @settings(max_examples=50, deadline=None)
+    @given(data=st.data())
+    def test_torn_tail_recovers_last_good_record(self, data):
+        """Cutting a shard at any byte keeps every intact record."""
+        measurements = data.draw(st.lists(
+            site_measurements("site.test", "default"),
+            min_size=1, max_size=4,
+        ))
+        records = [
+            {
+                "condition": "default",
+                "domain": "d%d.test" % index,
+                "measurement": persistence.measurement_to_dict(m),
+            }
+            for index, m in enumerate(measurements)
+        ]
+        fd, path = tempfile.mkstemp(suffix=".jsonl")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                for record in records:
+                    append_record(handle, record)
+            size = os.path.getsize(path)
+            # Tear the file anywhere inside the last record.
+            with open(path, "rb") as handle:
+                raw = handle.read()
+            last_start = raw.rstrip(b"\n").rfind(b"\n") + 1
+            cut = data.draw(st.integers(min_value=last_start,
+                                        max_value=size - 1))
+            os.truncate(path, cut)
+
+            loaded, dropped = load_shard_records(path)
+            intact = records[:-1]
+            assert loaded == intact
+            assert dropped == (1 if cut > last_start else 0)
+            # Repair happened: the torn bytes are gone from disk.
+            again, dropped_again = load_shard_records(path)
+            assert again == intact
+            assert dropped_again == 0
+        finally:
+            os.unlink(path)

@@ -61,6 +61,48 @@ class TestSeriesRenderers:
         assert reporting._format_rate(0.937) == "93.7%"
 
 
+class TestFailureReports:
+    def test_failure_report_lists_causes(self, survey):
+        text = reporting.failure_report_text(survey)
+        lines = text.splitlines()
+        assert lines[0].split() == [
+            "Domain", "Condition", "Cause", "Attempts", "Transient",
+        ]
+        # The 60-site web plans at least one unmeasurable site; its
+        # row must carry a cause, not just the bare domain.
+        failed = survey.failed_domains("default")
+        assert failed
+        assert any(str(failed[0]) in line for line in lines[2:])
+        assert all(f.cause for f in failed)
+
+    def test_failure_report_empty(self, survey):
+        from dataclasses import replace
+
+        clean = replace(
+            survey,
+            domains=list(survey.commonly_measured_domains()),
+        )
+        assert "no failed domains" in reporting.failure_report_text(
+            clean
+        )
+
+    def test_progress_report(self, survey):
+        text = reporting.progress_report_text(survey)
+        measured = len(survey.measured_domains("default"))
+        total = len(survey.domains)
+        assert "%d/%d" % (measured, total) in text
+        assert "Retried" in text
+
+    def test_checkpoint_status(self):
+        text = reporting.checkpoint_status_text(
+            {"default": 40, "blocking": 12}, 60
+        )
+        lines = text.splitlines()
+        assert lines[0].split() == ["Condition", "Done", "Remaining"]
+        assert "default" in text and "20" in text
+        assert "blocking" in text and "48" in text
+
+
 class TestApi:
     def test_build_default_web(self):
         registry, web = api.build_default_web(n_sites=10, seed=3)

@@ -1,0 +1,292 @@
+"""Equivalence tests: workers, retries and crash/resume must never
+change what a survey measures.
+
+The guarantees under test (the reason checkpointed crawling is safe to
+use for the paper's numbers):
+
+* ``workers=4`` and ``workers=1`` produce bit-identical results;
+* a run killed after N sites (both a simulated in-process interrupt
+  and a real SIGKILL of a subprocess) resumes from its run directory
+  into a result bit-identical to an uninterrupted run, for any N;
+* resume skips already-measured sites rather than re-crawling them;
+* a torn trailing shard write (the crash artifact) only costs the torn
+  site, which is deterministically re-measured.
+
+"Bit-identical" is checked through :func:`persistence.survey_digest`,
+a canonical content hash of everything measured.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.core import persistence
+from repro.core.checkpoint import CheckpointError, shard_name
+from repro.core.survey import (
+    RetryPolicy,
+    SurveyConfig,
+    resume_survey,
+    run_survey,
+)
+from repro.net.resources import ResourceKind
+from repro.webgen.sitegen import build_web
+
+N_SITES = 14
+WEB_SEED = 33
+VISITS = 2
+SURVEY_SEED = 3
+CONDITIONS = ("default", "blocking")
+#: site-measurements in a full run (every domain under every condition)
+TOTAL_MEASUREMENTS = N_SITES * len(CONDITIONS)
+
+
+def make_config(**kwargs):
+    kwargs.setdefault("conditions", CONDITIONS)
+    kwargs.setdefault("visits_per_site", VISITS)
+    kwargs.setdefault("seed", SURVEY_SEED)
+    kwargs.setdefault("retry", RetryPolicy(backoff_base=0.0))
+    return SurveyConfig(**kwargs)
+
+
+class CountingSource:
+    """Counts home-page document requests (= site-measurement starts).
+
+    Every visit round issues exactly one document request for the
+    site's home page, so ``home_fetches // visits_per_site`` is the
+    number of site-measurements begun through this source.
+    """
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.home_fetches = 0
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def _is_home(self, request):
+        return (request.kind == ResourceKind.DOCUMENT
+                and request.url.path == "/")
+
+    def respond(self, request):
+        if self._is_home(request):
+            self.home_fetches += 1
+        return self._inner.respond(request)
+
+
+class KillSwitchSource(CountingSource):
+    """Simulates a hard crash after N completed site-measurements.
+
+    Raises ``KeyboardInterrupt`` (a BaseException nothing in the crawl
+    stack swallows, mirroring a signal delivery) on the first home
+    fetch of site-measurement N+1 — at that point exactly N sites have
+    been measured and checkpointed.
+    """
+
+    def __init__(self, inner, kill_after_sites, visits_per_site):
+        super().__init__(inner)
+        self._limit = kill_after_sites * visits_per_site
+
+    def respond(self, request):
+        if self._is_home(request) and self.home_fetches >= self._limit:
+            raise KeyboardInterrupt("simulated crash")
+        return super().respond(request)
+
+
+@pytest.fixture(scope="module")
+def resume_web(registry):
+    return build_web(registry, n_sites=N_SITES, seed=WEB_SEED)
+
+
+@pytest.fixture(scope="module")
+def baseline_digest(registry, resume_web):
+    """Digest of the uninterrupted, serial, un-checkpointed run."""
+    result = run_survey(resume_web, registry, make_config())
+    return persistence.survey_digest(result)
+
+
+def shard_records(run_dir, condition="default"):
+    path = os.path.join(run_dir, shard_name(condition))
+    if not os.path.exists(path):
+        return 0
+    with open(path, "rb") as handle:
+        return handle.read().count(b"\n")
+
+
+class TestWorkerEquivalence:
+    def test_workers_4_bit_identical_to_serial(self, registry,
+                                               resume_web,
+                                               baseline_digest):
+        parallel = run_survey(
+            resume_web, registry, make_config(workers=4)
+        )
+        assert persistence.survey_digest(parallel) == baseline_digest
+
+
+class TestCheckpointEquivalence:
+    def test_checkpointed_run_bit_identical(self, registry, resume_web,
+                                            baseline_digest, tmp_path):
+        result = run_survey(
+            resume_web, registry, make_config(),
+            run_dir=str(tmp_path / "run"),
+        )
+        assert persistence.survey_digest(result) == baseline_digest
+
+    def test_result_saved_alongside_shards(self, registry, resume_web,
+                                           baseline_digest, tmp_path):
+        run_dir = str(tmp_path / "run")
+        run_survey(resume_web, registry, make_config(),
+                   run_dir=run_dir)
+        loaded = persistence.load_survey(
+            os.path.join(run_dir, "survey.json"), registry=registry
+        )
+        assert persistence.survey_digest(loaded) == baseline_digest
+
+
+class TestKillAndResume:
+    @pytest.mark.parametrize(
+        "kill_after", [1, 5, N_SITES, TOTAL_MEASUREMENTS - 2]
+    )
+    def test_killed_run_resumes_bit_identical(self, registry,
+                                              resume_web,
+                                              baseline_digest,
+                                              tmp_path, kill_after):
+        run_dir = str(tmp_path / "run")
+        killer = KillSwitchSource(resume_web, kill_after, VISITS)
+        with pytest.raises(KeyboardInterrupt):
+            run_survey(killer, registry, make_config(),
+                       run_dir=run_dir)
+        on_disk = (shard_records(run_dir, "default")
+                   + shard_records(run_dir, "blocking"))
+        assert on_disk == kill_after
+        assert not os.path.exists(os.path.join(run_dir, "survey.json"))
+
+        resumed = resume_survey(
+            resume_web, registry, run_dir, make_config()
+        )
+        assert persistence.survey_digest(resumed) == baseline_digest
+
+    def test_resume_skips_measured_sites(self, registry, resume_web,
+                                         tmp_path):
+        kill_after = 9
+        run_dir = str(tmp_path / "run")
+        with pytest.raises(KeyboardInterrupt):
+            run_survey(
+                KillSwitchSource(resume_web, kill_after, VISITS),
+                registry, make_config(), run_dir=run_dir,
+            )
+        counter = CountingSource(resume_web)
+        resume_survey(counter, registry, run_dir, make_config())
+        remeasured = counter.home_fetches // VISITS
+        assert remeasured == TOTAL_MEASUREMENTS - kill_after
+
+    def test_resume_with_parallel_workers(self, registry, resume_web,
+                                          baseline_digest, tmp_path):
+        run_dir = str(tmp_path / "run")
+        with pytest.raises(KeyboardInterrupt):
+            run_survey(KillSwitchSource(resume_web, 6, VISITS),
+                       registry, make_config(), run_dir=run_dir)
+        resumed = resume_survey(
+            resume_web, registry, run_dir, make_config(workers=2)
+        )
+        assert persistence.survey_digest(resumed) == baseline_digest
+
+    def test_torn_shard_write_recovered_on_resume(self, registry,
+                                                  resume_web,
+                                                  baseline_digest,
+                                                  tmp_path):
+        run_dir = str(tmp_path / "run")
+        with pytest.raises(KeyboardInterrupt):
+            run_survey(KillSwitchSource(resume_web, 4, VISITS),
+                       registry, make_config(), run_dir=run_dir)
+        # Tear the last record in half, as a crash mid-write would.
+        shard = os.path.join(run_dir, shard_name("default"))
+        size = os.path.getsize(shard)
+        os.truncate(shard, size - 37)
+        resumed = resume_survey(
+            resume_web, registry, run_dir, make_config()
+        )
+        assert persistence.survey_digest(resumed) == baseline_digest
+
+    def test_resume_rejects_different_config(self, registry,
+                                             resume_web, tmp_path):
+        run_dir = str(tmp_path / "run")
+        with pytest.raises(KeyboardInterrupt):
+            run_survey(KillSwitchSource(resume_web, 2, VISITS),
+                       registry, make_config(), run_dir=run_dir)
+        with pytest.raises(CheckpointError):
+            resume_survey(resume_web, registry, run_dir,
+                          make_config(seed=SURVEY_SEED + 1))
+
+    def test_fresh_run_refuses_existing_dir(self, registry, resume_web,
+                                            tmp_path):
+        run_dir = str(tmp_path / "run")
+        with pytest.raises(KeyboardInterrupt):
+            run_survey(KillSwitchSource(resume_web, 2, VISITS),
+                       registry, make_config(), run_dir=run_dir)
+        with pytest.raises(CheckpointError):
+            run_survey(resume_web, registry, make_config(),
+                       run_dir=run_dir)
+
+
+_SIGKILL_DRIVER = """
+import sys
+from repro.core.survey import RetryPolicy, SurveyConfig, run_survey
+from repro.webgen.sitegen import build_web
+from repro.webidl.corpus import build_corpus
+from repro.webidl.registry import build_registry
+
+registry = build_registry(build_corpus())
+web = build_web(registry, n_sites=%d, seed=%d)
+config = SurveyConfig(
+    conditions=%r, visits_per_site=%d, seed=%d,
+    retry=RetryPolicy(backoff_base=0.0),
+)
+run_survey(web, registry, config, run_dir=sys.argv[1])
+""" % (N_SITES, WEB_SEED, CONDITIONS, VISITS, SURVEY_SEED)
+
+
+class TestSigkill:
+    def test_sigkilled_subprocess_resumes_bit_identical(
+        self, registry, resume_web, baseline_digest, tmp_path
+    ):
+        """A real SIGKILL — no atexit, no finally — mid-crawl."""
+        run_dir = str(tmp_path / "run")
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + (
+            os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-c", _SIGKILL_DRIVER, run_dir],
+            env=env, stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        killed_midway = False
+        deadline = time.time() + 120
+        try:
+            while proc.poll() is None and time.time() < deadline:
+                if shard_records(run_dir, "default") >= 3:
+                    os.kill(proc.pid, signal.SIGKILL)
+                    killed_midway = True
+                    break
+                time.sleep(0.005)
+            proc.wait(timeout=120)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        if killed_midway:
+            # The run really was interrupted: shards exist, the
+            # finished-survey file does not.
+            assert not os.path.exists(
+                os.path.join(run_dir, "survey.json")
+            )
+        resumed = resume_survey(
+            resume_web, registry, run_dir, make_config()
+        )
+        assert persistence.survey_digest(resumed) == baseline_digest
