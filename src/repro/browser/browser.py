@@ -18,25 +18,25 @@ loop:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.blocking.extension import BlockingExtension
 from repro.browser.extension import FeatureRecorder, MeasuringExtension
 from repro.dom.bindings import DomRealm
 from repro.dom.html import HtmlParseError, parse_html
 from repro.dom.node import DomNode
-from repro.minijs import ast as js_ast
+from repro.minijs.compile import compile_source
 from repro.minijs.errors import (
     JSLexError,
     JSParseError,
     MiniJSError,
     StepLimitExceeded,
 )
-from repro.minijs.parser import parse as parse_js
 from repro.net.fetcher import Fetcher, NetworkError
 from repro.net.proxy import InjectingProxy
 from repro.net.resources import Request, ResourceKind
 from repro.net.url import Url, UrlError
+from repro.timing import phase
 from repro.webidl.registry import FeatureRegistry
 
 
@@ -113,7 +113,6 @@ class Browser:
         self.proxy = InjectingProxy(
             fetcher, injected_script=self.measuring.injected_script()
         )
-        self._ast_cache: Dict[str, js_ast.Program] = {}
         self.pages_visited = 0
         #: per-registrable-domain localStorage jars (persist across the
         #: pages of a visit; the crawler clears them between rounds the
@@ -226,19 +225,18 @@ class Browser:
         visit: PageVisit,
         is_page_script: bool = True,
     ) -> None:
-        program = self._ast_cache.get(source)
-        if program is None:
-            try:
-                program = parse_js(source)
-            except (JSLexError, JSParseError) as error:
-                visit.script_errors.append("syntax error: %s" % error)
-                return
-            if len(self._ast_cache) > 4096:
-                self._ast_cache.clear()
-            self._ast_cache[source] = program
+        # Compilation is content-addressed and process-wide: every
+        # browser (and, after pre-warm, every forked worker) shares one
+        # parse of each distinct script body.
+        try:
+            program = compile_source(source)
+        except (JSLexError, JSParseError) as error:
+            visit.script_errors.append("syntax error: %s" % error)
+            return
         realm.interp.reset_steps()
         try:
-            realm.interp.run(program)
+            with phase("execute"):
+                realm.interp.run(program)
             visit.scripts_executed += 1
             if is_page_script:
                 visit.page_scripts_executed += 1

@@ -39,7 +39,13 @@ _REPORTS = {
     "figure8": reporting.figure8_series,
     "failures": reporting.failure_report_text,
     "progress": reporting.progress_report_text,
+    "timing": reporting.timing_report_text,
+    # Internal: auto-appended to checkpointed runs; not user-selectable
+    # (use "progress", which adds the cache/timing vitals).
+    "crawl-health": reporting.crawl_health_text,
 }
+
+_HIDDEN_REPORTS = frozenset(["crawl-health"])
 
 #: Reports that need the two single-extension conditions.
 _NEEDS_QUAD = frozenset(["figure7"])
@@ -60,7 +66,7 @@ def build_parser() -> argparse.ArgumentParser:
     survey.add_argument(
         "--report",
         action="append",
-        choices=sorted(_REPORTS) + ["all"],
+        choices=sorted(set(_REPORTS) - _HIDDEN_REPORTS) + ["all"],
         default=None,
         help="which report(s) to print (default: table1 + headlines)",
     )
@@ -164,6 +170,13 @@ def _crawl_arguments(parser: argparse.ArgumentParser) -> None:
         "uninterrupted run)",
     )
     parser.add_argument(
+        "--start-method", choices=("fork", "spawn", "forkserver"),
+        default=None,
+        help="multiprocessing start method for --workers > 1 "
+        "(default: fork where available, else spawn; results are "
+        "bit-identical either way)",
+    )
+    parser.add_argument(
         "--retries", type=int, default=3, metavar="N",
         help="measurement attempts per site for transient failures "
         "(default: 3)",
@@ -189,6 +202,7 @@ def _run_crawl(args, quad: bool) -> tuple:
         visits_per_site=args.visits,
         seed=args.seed,
         workers=max(1, args.workers),
+        start_method=args.start_method,
         retry=RetryPolicy(
             attempts=max(1, args.retries),
             backoff_base=max(0.0, args.retry_backoff),
@@ -212,15 +226,19 @@ def _command_survey(args, out) -> int:
 
     wanted: List[str] = args.report or ["table1", "headlines"]
     if "all" in wanted:
-        wanted = sorted(_REPORTS)
+        wanted = sorted(set(_REPORTS) - _HIDDEN_REPORTS)
     if args.load:
         result = persistence.load_survey(args.load)
     else:
         quad = bool(set(wanted) & _NEEDS_QUAD)
         _, result = _run_crawl(args, quad=quad)
         if args.run_dir and "progress" not in wanted:
-            # Checkpointed runs always surface their crawl health.
-            wanted.append("progress")
+            # Checkpointed runs always surface their crawl health —
+            # the deterministic table only, so a resumed run's output
+            # stays byte-identical to the uninterrupted one (the
+            # run-varying cache/timing vitals need --report progress
+            # or --report timing).
+            wanted.append("crawl-health")
     if args.save:
         persistence.save_survey(result, args.save)
         out.write("saved survey to %s\n" % args.save)

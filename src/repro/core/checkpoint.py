@@ -170,6 +170,7 @@ class SurveyCheckpoint:
         config,
         domains: Sequence[str],
         resume: bool = False,
+        started_at: Optional[float] = None,
     ) -> "SurveyCheckpoint":
         """Create a fresh run directory, or resume an existing one.
 
@@ -186,7 +187,9 @@ class SurveyCheckpoint:
                 % run_dir
             )
         if not exists:
-            return cls.create(run_dir, registry, config, domains)
+            return cls.create(
+                run_dir, registry, config, domains, started_at=started_at
+            )
         return cls.open(run_dir, registry, config, domains)
 
     @classmethod
@@ -196,8 +199,15 @@ class SurveyCheckpoint:
         registry: FeatureRegistry,
         config,
         domains: Sequence[str],
+        started_at: Optional[float] = None,
     ) -> "SurveyCheckpoint":
+        import datetime
+        import time
+
         os.makedirs(run_dir, exist_ok=True)
+        # The manifest's start stamp is the run's ONE wall-clock read,
+        # kept human-readable; all duration math uses perf_counter.
+        stamp = time.time() if started_at is None else started_at
         manifest = {
             "checkpoint_version": CHECKPOINT_VERSION,
             "registry_fingerprint": registry_fingerprint(registry),
@@ -207,6 +217,9 @@ class SurveyCheckpoint:
             "max_sites": config.max_sites,
             "n_domains": len(domains),
             "domains_digest": domains_digest(domains),
+            "started_at": datetime.datetime.fromtimestamp(
+                stamp, datetime.timezone.utc
+            ).isoformat(),
         }
         # Write-then-rename so a crash never leaves a half manifest.
         tmp_path = os.path.join(run_dir, MANIFEST_NAME + ".tmp")

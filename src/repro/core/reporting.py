@@ -217,8 +217,77 @@ def failure_report_text(result: SurveyResult) -> str:
     )
 
 
-def progress_report_text(result: SurveyResult) -> str:
-    """Per-condition crawl health: done / failed / retried sites."""
+def compile_cache_text(result: SurveyResult) -> str:
+    """The crawl's compile-cache counters, as a table.
+
+    ``hits``/``misses``/``evictions`` answer "did each distinct script
+    body parse exactly once?" (a healthy crawl shows a hit rate near
+    1.0 and zero evictions); ``parse_seconds`` is the residual cost the
+    cache could not avoid.
+    """
+    cache = result.compile_cache
+    if not cache:
+        return "no compile-cache statistics recorded"
+    hits = cache.get("hits", 0)
+    misses = cache.get("misses", 0)
+    lookups = hits + misses
+    rows = [
+        ("Cache hits", "{:,}".format(int(hits))),
+        ("Cache misses (bodies parsed)", "{:,}".format(int(misses))),
+        ("Hit rate",
+         _format_rate(hits / lookups if lookups else None)),
+        ("Evictions", "{:,}".format(int(cache.get("evictions", 0)))),
+        ("Syntax-error hits",
+         "{:,}".format(int(cache.get("error_hits", 0)))),
+        ("Entries resident", "{:,}".format(int(cache.get("entries", 0)))),
+        ("Source bytes compiled",
+         "{:,}".format(int(cache.get("compiled_bytes", 0)))),
+        ("Parse wall time", "%.2f s" % cache.get("parse_seconds", 0.0)),
+    ]
+    return render_table(("Compile cache", "Value"), rows)
+
+
+def phase_timing_text(result: SurveyResult) -> str:
+    """Exclusive wall time per pipeline phase, as a table.
+
+    Phases nest (an XHR mid-script, a handler compile mid-monkey), but
+    accounting is exclusive, so the rows sum to the instrumented time
+    without double counting.  The share column is of the summed phase
+    time, not of ``wall_seconds`` — uninstrumented work (HTML parsing,
+    realm construction, analysis) accounts for the difference.
+    """
+    phases = result.phase_seconds
+    if not phases:
+        return "no phase timings recorded"
+    from repro.timing import PHASES
+
+    ordered = [name for name in PHASES if name in phases]
+    ordered += sorted(set(phases) - set(PHASES))
+    total = sum(phases.values())
+    rows = [
+        (name, "%.2f s" % phases[name],
+         _format_rate(phases[name] / total if total else None))
+        for name in ordered
+    ]
+    rows.append(("(instrumented total)", "%.2f s" % total, ""))
+    rows.append(("(crawl wall clock)", "%.2f s" % result.wall_seconds, ""))
+    return render_table(("Phase", "Wall time", "Share"), rows)
+
+
+def timing_report_text(result: SurveyResult) -> str:
+    """Compile-cache counters + per-phase wall-time breakdown."""
+    return "%s\n\n%s" % (
+        compile_cache_text(result), phase_timing_text(result)
+    )
+
+
+def crawl_health_text(result: SurveyResult) -> str:
+    """Per-condition crawl health: done / failed / retried sites.
+
+    Depends only on what was *measured*, so a resumed run prints the
+    same table as the uninterrupted one — the CLI appends it to every
+    checkpointed run for exactly that reproducibility.
+    """
     rows = []
     for condition in result.conditions:
         total = len(result.domains)
@@ -232,6 +301,19 @@ def progress_report_text(result: SurveyResult) -> str:
     return render_table(
         ("Condition", "Measured", "Failed", "Retried"), rows
     )
+
+
+def progress_report_text(result: SurveyResult) -> str:
+    """Crawl health plus the run's cache and phase-timing vitals.
+
+    The vitals describe *this process's* work (a resumed or warm-cache
+    run reports different counters for the same data), so they live in
+    the explicitly requested report, not the always-printed health
+    table."""
+    report = crawl_health_text(result)
+    if result.compile_cache or result.phase_seconds:
+        report += "\n\n" + timing_report_text(result)
+    return report
 
 
 def checkpoint_status_text(

@@ -19,6 +19,7 @@ aborting the run.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
@@ -27,8 +28,10 @@ from repro.blocking.extension import BrowsingCondition
 from repro.blocking.lists import builtin_filter_list, builtin_tracker_database
 from repro.browser.browser import Browser, BrowserConfig
 from repro.browser.session import SiteMeasurement
+from repro.minijs.compile import CompileCache, shared_cache
 from repro.monkey.crawler import CrawlConfig, SiteCrawler
 from repro.net.fetcher import Fetcher
+from repro.timing import merge_phases, phase_delta, phase_snapshot
 from repro.webgen.sitegen import SyntheticWeb
 from repro.webidl.registry import FeatureRegistry
 
@@ -115,6 +118,14 @@ class SurveyConfig:
     #: cannot change the measurements — parallel and serial runs are
     #: bit-identical.
     workers: int = 1
+    #: multiprocessing start method for parallel crawls: "fork",
+    #: "spawn", "forkserver", or None to auto-detect (fork where the
+    #: platform offers it — workers inherit the pre-warmed compile
+    #: cache for free — falling back to spawn elsewhere, e.g. Windows,
+    #: macOS defaults, or Python >= 3.14's new default).  Worker state
+    #: is rebuilt from explicitly passed initializer args either way,
+    #: so every start method measures bit-identically.
+    start_method: Optional[str] = None
     #: per-site retry behavior for transient failures
     retry: RetryPolicy = field(default_factory=RetryPolicy)
 
@@ -133,7 +144,16 @@ class SurveyResult:
     #: ground truth for the external validation (Figure 9)
     manual_only: Dict[str, List[str]]
     registry: FeatureRegistry
+    #: crawl duration, measured on the monotonic clock
+    #: (``time.perf_counter``) so NTP adjustments cannot skew it
     wall_seconds: float = 0.0
+    #: compile-cache counters accumulated over the crawl (hits, misses,
+    #: evictions, error_hits, parse_seconds, compiled_bytes, entries),
+    #: summed across the parent and every parallel worker
+    compile_cache: Dict[str, float] = field(default_factory=dict)
+    #: exclusive wall seconds per pipeline phase (fetch / parse /
+    #: execute / monkey), likewise summed across processes
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
 
     # -- views -----------------------------------------------------------
 
@@ -302,18 +322,63 @@ def _measure_site(
     return measurement
 
 
-# Worker-process state for the parallel crawl.  The parent stashes the
-# shared inputs in _parent_args before forking; children inherit the
-# memory image, so nothing is pickled (webs can be hundreds of MB).
-_parent_args: Dict[str, object] = {}
+def resolve_start_method(requested: Optional[str] = None) -> str:
+    """The multiprocessing start method a parallel crawl should use.
+
+    Prefers ``fork`` (workers inherit the pre-warmed compile cache and
+    the generated web through copy-on-write memory, so nothing is
+    pickled), but falls back to ``spawn`` on platforms without fork —
+    and honors an explicit request, validated against what the
+    platform actually offers.
+    """
+    import multiprocessing
+
+    available = multiprocessing.get_all_start_methods()
+    if requested is not None:
+        if requested not in available:
+            raise ValueError(
+                "start method %r unavailable on this platform "
+                "(offers: %s)" % (requested, ", ".join(available))
+            )
+        return requested
+    return "fork" if "fork" in available else "spawn"
+
+
+def _prewarm_compile_cache(
+    web: SyntheticWeb, domains: Sequence[str]
+) -> int:
+    """Compile the crawl's high-reuse script bodies up front.
+
+    Run in the parent before forking (children inherit the hot cache)
+    and again in each spawn-started worker (which inherits nothing).
+    Idempotent: warming an already-warm cache is a hash lookup per
+    body.
+    """
+    return shared_cache().prewarm(web.script_bodies(domains))
+
+
+# Worker-process state for the parallel crawl, rebuilt by the pool
+# initializer from explicitly passed arguments.  Under fork the args
+# are inherited by reference (nothing is pickled — webs can be
+# hundreds of MB); under spawn they are pickled once per worker, which
+# is what makes the fallback correct on fork-less platforms.
 _worker_state: Dict[str, object] = {}
 
+#: Per-worker baseline of the inherited (fork) compile-cache/timing
+#: counters, so each worker reports only its own delta to the parent.
+_worker_baseline: Dict[str, Dict[str, float]] = {}
 
-def _parallel_worker_init() -> None:
-    web = _parent_args["web"]
-    registry = _parent_args["registry"]
-    config = _parent_args["config"]
-    condition = _parent_args["condition"]
+
+def _parallel_worker_init(
+    web: SyntheticWeb,
+    registry: FeatureRegistry,
+    config: SurveyConfig,
+    condition: str,
+    domains: Sequence[str],
+) -> None:
+    _worker_baseline["cache"] = shared_cache().counters()
+    _worker_baseline["phases"] = phase_snapshot()
+    _prewarm_compile_cache(web, domains)
     _worker_state["crawler"] = _build_crawler(
         web, registry, config, condition
     )
@@ -322,14 +387,27 @@ def _parallel_worker_init() -> None:
     _worker_state["condition"] = condition
 
 
-def _parallel_measure(domain: str) -> SiteMeasurement:
-    return _measure_site(
+def _parallel_measure(
+    domain: str,
+) -> Tuple[SiteMeasurement, int, Dict[str, float], Dict[str, float]]:
+    """Measure one site; piggyback this worker's cumulative stats.
+
+    The parent keeps the per-pid elementwise maximum (the counters are
+    monotonic), so whichever result arrives last per worker carries
+    its totals.
+    """
+    measurement = _measure_site(
         _worker_state["crawler"],
         _worker_state["registry"],
         _worker_state["config"],
         _worker_state["condition"],
         domain,
     )
+    cache_delta = CompileCache.counter_delta(
+        shared_cache().counters(), _worker_baseline["cache"]
+    )
+    phases = phase_delta(_worker_baseline["phases"])
+    return measurement, os.getpid(), cache_delta, phases
 
 
 def _crawl_condition_parallel(
@@ -339,23 +417,71 @@ def _crawl_condition_parallel(
     condition: str,
     pending: List[str],
     record: Callable[[SiteMeasurement], None],
+    stats: "_CrawlStats",
 ) -> None:
     import multiprocessing
 
-    context = multiprocessing.get_context("fork")
-    _parent_args.update(
-        web=web, registry=registry, config=config, condition=condition
+    context = multiprocessing.get_context(
+        resolve_start_method(config.start_method)
     )
+    domains_arg = list(pending)
+    worker_cache: Dict[int, Dict[str, float]] = {}
+    worker_phases: Dict[int, Dict[str, float]] = {}
     with context.Pool(
         processes=config.workers,
         initializer=_parallel_worker_init,
+        initargs=(web, registry, config, condition, domains_arg),
     ) as pool:
         # Checkpoint appends happen in the parent, in submission order,
         # as results stream back from the workers.
-        for measurement in pool.imap(
+        for measurement, pid, cache, phases in pool.imap(
             _parallel_measure, pending, chunksize=8
         ):
             record(measurement)
+            worker_cache[pid] = _elementwise_max(
+                worker_cache.get(pid, {}), cache
+            )
+            worker_phases[pid] = _elementwise_max(
+                worker_phases.get(pid, {}), phases
+            )
+    for cache in worker_cache.values():
+        stats.add_cache(cache)
+    for phases in worker_phases.values():
+        stats.add_phases(phases)
+
+
+def _elementwise_max(
+    a: Dict[str, float], b: Dict[str, float]
+) -> Dict[str, float]:
+    out = dict(a)
+    for key, value in b.items():
+        out[key] = max(out.get(key, 0.0), value)
+    return out
+
+
+class _CrawlStats:
+    """Accumulates compile-cache and phase-timing deltas for a run."""
+
+    def __init__(self) -> None:
+        self.cache: Dict[str, float] = {}
+        self.phases: Dict[str, float] = {}
+        self._cache_start = shared_cache().counters()
+        self._phases_start = phase_snapshot()
+
+    def add_cache(self, delta: Dict[str, float]) -> None:
+        for key, value in delta.items():
+            self.cache[key] = self.cache.get(key, 0.0) + value
+
+    def add_phases(self, delta: Dict[str, float]) -> None:
+        merge_phases(self.phases, delta)
+
+    def finish(self) -> None:
+        """Fold in the parent process's own delta since construction."""
+        self.add_cache(CompileCache.counter_delta(
+            shared_cache().counters(), self._cache_start
+        ))
+        self.add_phases(phase_delta(self._phases_start))
+        self.cache["entries"] = float(len(shared_cache()))
 
 
 def _crawl_condition(
@@ -366,6 +492,7 @@ def _crawl_condition(
     domains: List[str],
     progress: Optional[ProgressCallback],
     checkpoint=None,
+    stats: Optional[_CrawlStats] = None,
 ) -> Dict[str, SiteMeasurement]:
     """Measure one condition, streaming each site to the checkpoint."""
     done = checkpoint.done(condition) if checkpoint is not None else {}
@@ -386,7 +513,8 @@ def _crawl_condition(
 
     if config.workers > 1 and pending:
         _crawl_condition_parallel(
-            web, registry, config, condition, pending, record
+            web, registry, config, condition, pending, record,
+            stats or _CrawlStats(),
         )
     else:
         crawler = _build_crawler(web, registry, config, condition)
@@ -416,7 +544,11 @@ def run_survey(
     compatible interrupted run is picked back up where it stopped.
     """
     config = config or SurveyConfig()
-    started = time.time()
+    # Durations come from the monotonic clock (an NTP step mid-crawl
+    # must not corrupt wall_seconds); the one wall-clock read below is
+    # the human-readable start stamp recorded in the run manifest.
+    started = time.perf_counter()
+    started_at = time.time()
 
     ranked = web.ranking.all()
     if config.max_sites is not None:
@@ -429,15 +561,21 @@ def run_survey(
         from repro.core.checkpoint import SurveyCheckpoint
 
         checkpoint = SurveyCheckpoint.attach(
-            run_dir, registry, config, domains, resume=resume
+            run_dir, registry, config, domains, resume=resume,
+            started_at=started_at,
         )
 
     try:
+        stats = _CrawlStats()
+        # Parse the high-reuse script bodies once, up front: the serial
+        # crawl (and every fork-started worker, via copy-on-write) runs
+        # against a hot cache from its first page load.
+        _prewarm_compile_cache(web, domains)
         measurements: Dict[str, Dict[str, SiteMeasurement]] = {}
         for condition in config.conditions:
             measurements[condition] = _crawl_condition(
                 web, registry, config, condition, domains, progress,
-                checkpoint,
+                checkpoint, stats,
             )
 
         manual_only = {
@@ -449,6 +587,7 @@ def run_survey(
             domain: web.ranking.visit_weight(domain)
             for domain in domains
         }
+        stats.finish()
         result = SurveyResult(
             conditions=tuple(config.conditions),
             visits_per_site=config.visits_per_site,
@@ -457,7 +596,9 @@ def run_survey(
             visit_weights=weights,
             manual_only=manual_only,
             registry=registry,
-            wall_seconds=time.time() - started,
+            wall_seconds=time.perf_counter() - started,
+            compile_cache=stats.cache,
+            phase_seconds=stats.phases,
         )
         if checkpoint is not None:
             checkpoint.write_result(result)

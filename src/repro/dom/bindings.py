@@ -708,21 +708,48 @@ class DomRealm:
         interp = self.interp
         realm = self
 
+        def timer_callable(fn: Any) -> Optional[JSFunction]:
+            """A schedulable handler: a function, or a string body.
+
+            String bodies — ``setTimeout("poll()", 500)``, the
+            eval-style legacy form — are compiled through the shared
+            content-addressed cache, so a page re-arming the same
+            string every tick parses it exactly once per process.
+            """
+            if isinstance(fn, JSFunction):
+                return fn
+            if isinstance(fn, str) and fn.strip():
+                from repro.minijs.compile import compile_source
+                from repro.minijs.errors import JSLexError, JSParseError
+
+                try:
+                    program = compile_source(fn)
+                except (JSLexError, JSParseError):
+                    return None  # real browsers throw at fire time; we drop
+                return JSFunction(
+                    name="timeout",
+                    params=[],
+                    body=program.body,
+                    closure=interp.global_env,
+                    function_prototype=interp.function_prototype,
+                )
+            return None
+
         def set_timeout(interp_, this, args):
-            fn = args[0] if args else UNDEFINED
+            fn = timer_callable(args[0] if args else UNDEFINED)
             from repro.minijs.objects import to_int
 
             delay = float(to_int(args[1])) if len(args) > 1 else 0.0
-            if isinstance(fn, JSFunction):
+            if fn is not None:
                 return float(realm.schedule(fn, delay_ms=max(0.0, delay)))
             return -1.0
 
         def set_interval(interp_, this, args):
-            fn = args[0] if args else UNDEFINED
+            fn = timer_callable(args[0] if args else UNDEFINED)
             from repro.minijs.objects import to_int
 
             delay = float(to_int(args[1])) if len(args) > 1 else 0.0
-            if isinstance(fn, JSFunction):
+            if fn is not None:
                 return float(
                     realm.schedule(
                         fn, delay_ms=max(1.0, delay), interval=max(1.0, delay)

@@ -119,10 +119,14 @@ class EventManager:
         cached = node.compiled_attr_handlers.get(event_type)
         if cached is not None:
             return cached if isinstance(cached, JSFunction) else None
-        from repro.minijs.parser import parse
+        # Content-addressed compilation: ten "onclick=trackClick()"
+        # buttons across ten pages share one parse; only the per-realm
+        # JSFunction wrapper (closure over this realm's globals) is
+        # built per node.
+        from repro.minijs.compile import compile_source
 
         try:
-            program = parse(source)
+            program = compile_source(source)
         except MiniJSError as error:
             self.handler_errors.append(
                 "bad on%s attribute: %s" % (event_type, error)

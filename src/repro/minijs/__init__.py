@@ -46,8 +46,18 @@ from repro.minijs.objects import (
     js_repr,
 )
 from repro.minijs.interpreter import Interpreter
+from repro.minijs.compile import (
+    CompileCache,
+    compile_source,
+    configure_shared_cache,
+    shared_cache,
+)
 
 __all__ = [
+    "CompileCache",
+    "compile_source",
+    "configure_shared_cache",
+    "shared_cache",
     "MiniJSError",
     "JSLexError",
     "JSParseError",

@@ -151,10 +151,10 @@ class Interpreter:
         return result
 
     def run_source(self, source: str) -> Any:
-        """Parse and run MiniJS source text."""
-        from repro.minijs.parser import parse
+        """Compile (through the shared cache) and run MiniJS source."""
+        from repro.minijs.compile import compile_source
 
-        return self.run(parse(source))
+        return self.run(compile_source(source))
 
     def reset_steps(self) -> None:
         """Restore the full step budget (called between page scripts)."""

@@ -25,6 +25,7 @@ from repro.browser.session import VisitResult
 from repro.monkey.gremlins import Gremlins, MonkeyConfig
 from repro.net.url import Url
 from repro.seeding import derive_seed
+from repro.timing import phase
 
 
 @dataclass(frozen=True)
@@ -133,7 +134,8 @@ class SiteCrawler:
         result.scripts_blocked += page.scripts_blocked
         result.requests_blocked += page.requests_blocked
         gremlins = Gremlins(page, rng, self.config.monkey)
-        gremlins.run()
+        with phase("monkey"):
+            gremlins.run()
         result.interaction_events += gremlins.events_fired
         page.recorder.merge_into_counts(result.feature_counts)
         return gremlins.harvested_urls, page.executed_any_script

@@ -11,8 +11,11 @@ from __future__ import annotations
 import re
 from typing import Optional
 
+from repro.minijs.compile import shared_cache
+from repro.minijs.errors import JSLexError, JSParseError
 from repro.net.fetcher import Fetcher
 from repro.net.resources import Request, Response
+from repro.timing import phase
 
 _HEAD_OPEN_RE = re.compile(r"<head(\s[^>]*)?>", re.IGNORECASE)
 _HTML_OPEN_RE = re.compile(r"<html(\s[^>]*)?>", re.IGNORECASE)
@@ -26,6 +29,7 @@ class InjectingProxy:
         self._fetcher = fetcher
         self._injected = injected_script
         self.documents_rewritten = 0
+        self._precompile_injected()
 
     @property
     def fetcher(self) -> Fetcher:
@@ -33,9 +37,25 @@ class InjectingProxy:
 
     def set_injected_script(self, source: Optional[str]) -> None:
         self._injected = source
+        self._precompile_injected()
+
+    def _precompile_injected(self) -> None:
+        """Warm the shared compile cache with the instrumentation.
+
+        The injected payload runs on *every* page the proxy rewrites;
+        compiling it once at set time means even the first page load of
+        a crawl executes it from the cache.
+        """
+        if not self._injected:
+            return
+        try:
+            shared_cache().compile(self._injected)
+        except (JSLexError, JSParseError):
+            pass  # surfaced as a script error at execution time
 
     def fetch(self, request: Request) -> Response:
-        response = self._fetcher.fetch(request)
+        with phase("fetch"):
+            response = self._fetcher.fetch(request)
         if self._injected and response.is_html:
             response = Response(
                 url=response.url,

@@ -42,13 +42,21 @@ class Url:
         scheme = scheme.lower()
         if scheme not in ("http", "https", "ws", "wss"):
             raise UrlError("unsupported scheme %r" % scheme)
-        fragment_split = rest.split("#", 1)
-        rest = fragment_split[0]
-        if "/" in rest:
-            authority, path_query = rest.split("/", 1)
+        rest = rest.split("#", 1)[0]
+        # The authority ends at the first "/" OR "?": a URL can carry a
+        # query with no path ("https://example.com?x=1"), and splitting
+        # on "/" first would fold "?x=1" into the host — corrupting
+        # every same-site and blocking decision made about the URL
+        # (tracker pixels are exactly this shape).
+        authority_end = len(rest)
+        for separator in ("/", "?"):
+            index = rest.find(separator)
+            if index != -1:
+                authority_end = min(authority_end, index)
+        authority = rest[:authority_end]
+        path_query = rest[authority_end:]
+        if not path_query.startswith("/"):
             path_query = "/" + path_query
-        else:
-            authority, path_query = rest, "/"
         if "?" in path_query:
             path, query = path_query.split("?", 1)
         else:
@@ -57,10 +65,13 @@ class Url:
         port: Optional[int] = None
         if ":" in authority:
             host, port_text = authority.rsplit(":", 1)
-            try:
-                port = int(port_text)
-            except ValueError:
+            # isdigit() rejects signs and whitespace, so "-80" and
+            # "+80" fail here rather than round-tripping through int().
+            if not port_text.isdigit():
                 raise UrlError("bad port in %r" % text)
+            port = int(port_text)
+            if port > 65535:
+                raise UrlError("port out of range in %r" % text)
         else:
             host = authority
         if not host:

@@ -1,0 +1,116 @@
+"""Per-phase wall-time accounting for the crawl pipeline.
+
+A page visit cycles through four distinguishable kinds of work —
+**fetch** (the simulated network + injecting proxy), **parse** (MiniJS
+compilation), **execute** (running compiled programs) and **monkey**
+(gremlins interaction, which re-enters execute through event handlers).
+Knowing where the wall-clock goes is what makes "the crawl runs as fast
+as the hardware allows" checkable: the compile cache should drive the
+parse share toward zero, and any regression shows up as a phase that
+grew.
+
+Accounting is *exclusive*: entering a nested phase pauses the enclosing
+one, so the per-phase seconds sum to the instrumented wall time with no
+double counting (an XHR issued mid-script bills to ``fetch``, not to
+``execute``).  Timings are process-local; the survey runner snapshots
+them around a crawl (and collects each worker's delta) to report a
+run-wide breakdown.
+
+All measurement uses :func:`time.perf_counter`, which is monotonic —
+wall-clock adjustments (NTP slew, DST) cannot produce negative or
+inflated phase times.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: The canonical phases, in pipeline order (reports use this order).
+PHASES: Tuple[str, ...] = ("fetch", "parse", "execute", "monkey")
+
+
+class PhaseTimings:
+    """An exclusive-time stopwatch over named phases."""
+
+    def __init__(self) -> None:
+        self.seconds: Dict[str, float] = {}
+        #: (phase name, running start or None while paused by a nested
+        #: phase) — a stack because phases re-enter each other.
+        self._stack: List[Tuple[str, Optional[float]]] = []
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a block as ``name``, pausing any enclosing phase."""
+        now = time.perf_counter()
+        if self._stack:
+            outer, outer_start = self._stack[-1]
+            if outer_start is not None:
+                self.seconds[outer] = (
+                    self.seconds.get(outer, 0.0) + now - outer_start
+                )
+            self._stack[-1] = (outer, None)
+        self._stack.append((name, now))
+        try:
+            yield
+        finally:
+            end = time.perf_counter()
+            inner, start = self._stack.pop()
+            if start is not None:
+                self.seconds[inner] = (
+                    self.seconds.get(inner, 0.0) + end - start
+                )
+            if self._stack:
+                outer, _ = self._stack[-1]
+                self._stack[-1] = (outer, end)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Credit time measured elsewhere to a phase."""
+        self.seconds[name] = self.seconds.get(name, 0.0) + seconds
+
+    def snapshot(self) -> Dict[str, float]:
+        """A copy of the accumulated per-phase seconds."""
+        return dict(self.seconds)
+
+    def reset(self) -> None:
+        self.seconds.clear()
+
+
+#: The process-wide timings every pipeline layer reports into.
+_GLOBAL = PhaseTimings()
+
+
+def global_timings() -> PhaseTimings:
+    return _GLOBAL
+
+
+def phase(name: str):
+    """``with phase("fetch"):`` — time a block on the global timings."""
+    return _GLOBAL.phase(name)
+
+
+def phase_snapshot() -> Dict[str, float]:
+    return _GLOBAL.snapshot()
+
+
+def phase_delta(
+    since: Dict[str, float], snapshot: Optional[Dict[str, float]] = None
+) -> Dict[str, float]:
+    """Per-phase seconds accumulated after ``since`` was taken."""
+    now = phase_snapshot() if snapshot is None else snapshot
+    out: Dict[str, float] = {}
+    for name, total in now.items():
+        delta = total - since.get(name, 0.0)
+        if delta > 0.0:
+            out[name] = delta
+    return out
+
+
+def merge_phases(
+    into: Dict[str, float], extra: Dict[str, float]
+) -> Dict[str, float]:
+    """Sum two per-phase breakdowns (worker deltas into the parent's)."""
+    for name, seconds in extra.items():
+        into[name] = into.get(name, 0.0) + seconds
+    return into

@@ -29,7 +29,7 @@ from __future__ import annotations
 import random
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.net.resources import Request, Response
 from repro.seeding import derive_seed
@@ -365,6 +365,28 @@ class SyntheticWeb:
         if 1 <= rank <= len(self._domains_by_rank):
             return self.sites.get(self._domains_by_rank[rank - 1])
         return None
+
+    def script_bodies(
+        self, domains: Optional[Sequence[str]] = None
+    ) -> Iterator[str]:
+        """The high-reuse script bodies of (a slice of) the web.
+
+        Yields the shared CDN library and each site's first-party
+        bundle — the bodies every page of every visit round executes.
+        The survey runner feeds these to the compile cache before
+        forking workers; per-page ad/tracker tags and inline scripts
+        are generated (and cached) lazily at fetch time instead, since
+        enumerating all of them up front would just move the whole
+        generation cost to startup.
+        """
+        yield self._cdn_script
+        if domains is None:
+            domains = self._domains_by_rank
+        for domain in domains:
+            site = self.sites.get(domain)
+            if site is None or site.plan.failure_mode == "unresponsive":
+                continue
+            yield self._first_party_script(site)
 
     # -- HTML assembly ------------------------------------------------------------
 

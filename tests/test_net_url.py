@@ -50,6 +50,50 @@ class TestParsing:
         ]:
             assert str(Url.parse(text)) == text
 
+    def test_query_without_path(self):
+        # Regression: the "?" used to be folded into the host
+        # ("example.com?x=1"), corrupting same-site/blocking decisions
+        # for tracker pixels, which are exactly this shape.
+        url = Url.parse("https://example.com?x=1")
+        assert url.host == "example.com"
+        assert url.path == "/"
+        assert url.query == "x=1"
+
+    def test_query_without_path_same_site(self):
+        pixel = Url.parse("https://t.tracker.io?px=1&sid=9")
+        assert pixel.registrable_domain == "tracker.io"
+        assert not pixel.same_site(Url.parse("https://site.com/"))
+
+    def test_fragment_without_path(self):
+        url = Url.parse("https://example.com#top")
+        assert url.host == "example.com"
+        assert url.path == "/"
+        assert url.query == ""
+
+    def test_query_with_port_no_path(self):
+        url = Url.parse("http://h.io:8080?a=b")
+        assert (url.host, url.port, url.path, url.query) == (
+            "h.io", 8080, "/", "a=b"
+        )
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "https://h:-1/",
+            "https://h:+80/",
+            "https://h:65536/",
+            "https://h:99999/",
+            "https://h: 80/",
+        ],
+    )
+    def test_bad_ports_rejected(self, bad):
+        with pytest.raises(UrlError):
+            Url.parse(bad)
+
+    @pytest.mark.parametrize("port", [0, 1, 80, 65535])
+    def test_port_range_edges_accepted(self, port):
+        assert Url.parse("https://h.io:%d/" % port).port == port
+
 
 class TestJoining:
     BASE = Url.parse("https://site.com/news/story/")
@@ -137,3 +181,27 @@ class TestUrlProperties:
     def test_signature_is_prefix_of_segments(self, segments):
         url = Url.parse("https://e.com/" + "/".join(segments))
         assert url.directory_signature == url.path_segments[:-1]
+
+    _QUERY = st.from_regex(r"[a-z0-9]{1,6}=[a-z0-9]{1,6}", fullmatch=True)
+
+    @given(
+        st.lists(_PATH_SEGMENT, max_size=3),
+        st.one_of(st.none(), _QUERY),
+        st.one_of(st.none(), st.integers(min_value=0, max_value=65535)),
+    )
+    def test_roundtrip_with_query_and_port(self, segments, query, port):
+        # Covers the query-without-path shape (empty segments + query):
+        # parse -> str -> parse must be a fixed point, and the query
+        # must never leak into the host.
+        text = "https://example.com"
+        if port is not None:
+            text += ":%d" % port
+        if segments:
+            text += "/" + "/".join(segments)
+        if query is not None:
+            text += "?" + query
+        url = Url.parse(text)
+        assert url.host == "example.com"
+        assert url.port == port
+        assert url.query == (query or "")
+        assert Url.parse(str(url)) == url

@@ -1,0 +1,130 @@
+"""Start-method portability and wall-clock robustness of the runner.
+
+The seed hard-coded ``get_context("fork")``, which crashes on platforms
+without fork and silently coupled worker correctness to
+inherited-by-accident globals.  These tests pin the fixed contract:
+every available start method produces bit-identical surveys (down to
+the checkpoint shard bytes), and ``wall_seconds`` survives wall-clock
+steps because it comes from the monotonic ``perf_counter``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time as real_time
+import types
+
+import pytest
+
+from repro.core.persistence import survey_digest
+from repro.core.survey import SurveyConfig, resolve_start_method, run_survey
+
+
+def _tiny_config(**overrides):
+    settings = dict(
+        conditions=("default",),
+        visits_per_site=1,
+        seed=77,
+        max_sites=6,
+    )
+    settings.update(overrides)
+    return SurveyConfig(**settings)
+
+
+def _shard_bytes(run_dir):
+    shards = {}
+    for name in sorted(os.listdir(run_dir)):
+        if name.startswith("shard-"):
+            with open(os.path.join(run_dir, name), "rb") as handle:
+                shards[name] = handle.read()
+    assert shards, "survey wrote no checkpoint shards"
+    return shards
+
+
+class TestResolveStartMethod:
+    def test_default_prefers_fork_when_available(self):
+        available = multiprocessing.get_all_start_methods()
+        resolved = resolve_start_method(None)
+        if "fork" in available:
+            assert resolved == "fork"
+        else:
+            assert resolved == "spawn"
+
+    def test_explicit_available_method_is_honored(self):
+        for method in multiprocessing.get_all_start_methods():
+            assert resolve_start_method(method) == method
+
+    def test_unavailable_method_raises(self):
+        with pytest.raises(ValueError):
+            resolve_start_method("not-a-start-method")
+
+
+class TestStartMethodEquivalence:
+    """Serial and every available parallel start method must measure
+    exactly the same thing — worker state is rebuilt from the passed
+    config, never scraped from inherited globals."""
+
+    def test_all_start_methods_bit_identical_to_serial(
+        self, registry, small_web, tmp_path
+    ):
+        serial_dir = tmp_path / "serial"
+        serial = run_survey(
+            small_web, registry, _tiny_config(), run_dir=str(serial_dir)
+        )
+        baseline_digest = survey_digest(serial)
+        baseline_shards = _shard_bytes(serial_dir)
+
+        methods = [
+            m for m in ("fork", "spawn")
+            if m in multiprocessing.get_all_start_methods()
+        ]
+        assert methods, "no multiprocessing start methods available"
+        for method in methods:
+            run_dir = tmp_path / method
+            result = run_survey(
+                small_web,
+                registry,
+                _tiny_config(workers=2, start_method=method),
+                run_dir=str(run_dir),
+            )
+            assert survey_digest(result) == baseline_digest, method
+            assert _shard_bytes(run_dir) == baseline_shards, method
+
+
+class TestMonotonicDuration:
+    def test_wall_seconds_survives_clock_step_backwards(
+        self, registry, small_web, monkeypatch
+    ):
+        # A fake ``time`` module whose wall clock steps 1 hour into the
+        # past mid-run; perf_counter stays real.  Before the fix,
+        # wall_seconds came from time.time() deltas and would go
+        # negative here.
+        fake = types.SimpleNamespace(
+            time=lambda: real_time.time() - 3600.0,
+            perf_counter=real_time.perf_counter,
+            sleep=real_time.sleep,
+        )
+        monkeypatch.setattr("repro.core.survey.time", fake)
+        result = run_survey(small_web, registry, _tiny_config(max_sites=2))
+        assert result.wall_seconds >= 0.0
+        assert result.wall_seconds < 600.0
+
+    def test_manifest_keeps_human_readable_start_time(
+        self, registry, small_web, tmp_path
+    ):
+        import json
+
+        run_dir = tmp_path / "run"
+        before = real_time.time()
+        run_survey(
+            small_web, registry, _tiny_config(max_sites=2),
+            run_dir=str(run_dir),
+        )
+        after = real_time.time()
+        with open(run_dir / "manifest.json", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        import datetime
+
+        stamp = datetime.datetime.fromisoformat(manifest["started_at"])
+        assert before - 1 <= stamp.timestamp() <= after + 1
