@@ -22,9 +22,10 @@ from typing import Dict, List, Optional
 
 from repro.blocking.extension import BlockingExtension
 from repro.browser.extension import FeatureRecorder, MeasuringExtension
+from repro.core.sandbox import BudgetExceeded, BudgetMeter
 from repro.dom.bindings import DomRealm
 from repro.dom.html import HtmlParseError, parse_html
-from repro.dom.node import DomNode
+from repro.dom.node import DomNode, install_dom_meter
 from repro.minijs.compile import compile_source
 from repro.minijs.errors import (
     JSLexError,
@@ -77,6 +78,9 @@ class PageVisit:
     script_errors: List[str] = field(default_factory=list)
     requests_blocked: int = 0
     hidden_selectors: List[str] = field(default_factory=list)
+    #: set when a site-isolation budget blew mid-load; the recorder
+    #: keeps everything observed up to that point (partial measurement)
+    budget_error: Optional[BudgetExceeded] = None
 
     @property
     def executed_any_script(self) -> bool:
@@ -114,6 +118,11 @@ class Browser:
             fetcher, injected_script=self.measuring.injected_script()
         )
         self.pages_visited = 0
+        #: timer tasks still flushable on the *current* page.  Reset at
+        #: the top of every visit_page: each page gets the full dwell
+        #: budget, so a timer-heavy page cannot starve the pages after
+        #: it of their setTimeout work.
+        self._timer_tasks_remaining = self.config.timer_task_budget
         #: per-registrable-domain localStorage jars (persist across the
         #: pages of a visit; the crawler clears them between rounds the
         #: way each of the paper's ten visits starts a fresh profile)
@@ -132,10 +141,52 @@ class Browser:
 
     # ------------------------------------------------------------------
 
-    def visit_page(self, url: Url, seed: int = 0) -> PageVisit:
-        """Load one page; returns a live PageVisit for interaction."""
+    def visit_page(
+        self,
+        url: Url,
+        seed: int = 0,
+        meter: Optional[BudgetMeter] = None,
+    ) -> PageVisit:
+        """Load one page; returns a live PageVisit for interaction.
+
+        ``meter`` (a :class:`repro.core.sandbox.BudgetMeter`) enforces
+        the enclosing site visit's resource budgets across the load.  A
+        blown budget aborts the load into a *partial* visit:
+        ``budget_error`` is set and everything the recorder observed up
+        to that point is kept.
+        """
         self.pages_visited += 1
+        # A fresh page gets the full timer dwell, whatever the previous
+        # page consumed.
+        self._timer_tasks_remaining = self.config.timer_task_budget
         visit = PageVisit(url=url, ok=False)
+        # Route this page's requests and DOM growth through the meter.
+        # Previous values are restored on exit so the crawler (which
+        # installs the same meter around the whole visit round, monkey
+        # phase included) and meterless standalone use both stay
+        # correct.
+        previous_fetch_meter = self.fetcher.budget_meter
+        previous_dom_meter = install_dom_meter(meter)
+        self.fetcher.budget_meter = meter
+        try:
+            if meter is not None:
+                meter.begin_page()
+            return self._load(url, seed, visit, meter)
+        except BudgetExceeded as error:
+            visit.budget_error = error
+            visit.failure_reason = error.failure_reason
+            return visit
+        finally:
+            self.fetcher.budget_meter = previous_fetch_meter
+            install_dom_meter(previous_dom_meter)
+
+    def _load(
+        self,
+        url: Url,
+        seed: int,
+        visit: PageVisit,
+        meter: Optional[BudgetMeter],
+    ) -> PageVisit:
         request = Request(url=url, kind=ResourceKind.DOCUMENT,
                           first_party=url)
         try:
@@ -161,6 +212,7 @@ class Browser:
             network_hook=self._network_hook(url, visit),
             step_limit=self.config.step_limit,
             storage=self.storage_for(url),
+            meter=meter,
         )
         visit.realm = realm
         visit.root = root
@@ -187,7 +239,8 @@ class Browser:
 
         if self.config.load_images:
             self._load_images(root, url, visit)
-        realm.flush_timers(self.config.timer_task_budget)
+        executed = realm.flush_timers(self._timer_tasks_remaining)
+        self._timer_tasks_remaining -= executed
         visit.ok = True
         return visit
 

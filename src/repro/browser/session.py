@@ -32,6 +32,13 @@ class VisitResult:
     scripts_blocked: int = 0
     requests_blocked: int = 0
     interaction_events: int = 0
+    #: the round blew a site-isolation budget mid-visit: features
+    #: recorded before the abort are kept, but the round is not ``ok``
+    partial: bool = False
+    #: which budget blew ("deadline", "steps", "allocation", ...)
+    budget_cause: Optional[str] = None
+    #: used/limit at the moment the budget blew (>= 1.0)
+    budget_overshoot: float = 0.0
 
     def features_used(self) -> Set[str]:
         return set(self.feature_counts)
@@ -60,19 +67,43 @@ class SiteMeasurement:
     transient_failure: bool = False
     #: how many site-measurement attempts the retry policy spent
     attempts: int = 1
+    #: rounds aborted by a resource budget but salvaged as partial data
+    rounds_partial: int = 0
+    #: the first budget cause observed ("deadline", "steps", ...)
+    budget_cause: Optional[str] = None
+    #: worst used/limit ratio across the partial rounds
+    budget_overshoot: float = 0.0
 
     def add_round(
         self, result: VisitResult, registry: FeatureRegistry
     ) -> None:
-        """Fold one visit round into the measurement."""
+        """Fold one visit round into the measurement.
+
+        Budget-aborted (``partial``) rounds contribute everything they
+        observed before the abort — features, invocations, pages — but
+        do not count as ``rounds_ok``: a site whose every round blows a
+        budget is still unmeasured, while a site with one clean round
+        plus four partial ones is measured with extra coverage.
+        """
         self.rounds_completed += 1
-        if not result.ok:
+        if result.partial:
+            self.rounds_partial += 1
+            if self.budget_cause is None:
+                self.budget_cause = result.budget_cause
+            self.budget_overshoot = max(
+                self.budget_overshoot, result.budget_overshoot
+            )
+        if not result.ok and not result.partial:
             if self.failure_reason is None:
                 self.failure_reason = result.failure_reason
                 self.transient_failure = result.transient
             self.standards_by_round.append(set())
             return
-        self.rounds_ok += 1
+        if result.ok:
+            self.rounds_ok += 1
+        elif self.failure_reason is None:
+            # A fully budget-starved site reports its budget cause.
+            self.failure_reason = result.failure_reason
         used = result.features_used()
         self.features |= used
         self.standards_by_round.append(

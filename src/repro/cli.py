@@ -7,6 +7,8 @@ Commands:
 * ``standards``— print the standards catalog (the study's targets)
 * ``debloat``  — run the crawl and evaluate debloating policies
 * ``validate`` — run the section 6 internal/external validation
+* ``chaos``    — crawl the hostile web; verify every resource budget
+  and the worker watchdog contain their designated pathology
 """
 
 from __future__ import annotations
@@ -124,6 +126,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _crawl_arguments(validate)
 
+    chaos = commands.add_parser(
+        "chaos",
+        help="crawl the hostile web and verify every budget class "
+        "fires (robustness smoke test; nonzero exit on any miss)",
+    )
+    chaos.add_argument("--visits", type=int, default=2)
+    chaos.add_argument("--seed", type=int, default=2016)
+    chaos.add_argument(
+        "--workers", type=int, default=2,
+        help="crawl workers; >= 2 also arms the hang/crash poison "
+        "sites the watchdog must quarantine (default: 2)",
+    )
+    chaos.add_argument(
+        "--start-method", choices=("fork", "spawn", "forkserver"),
+        default=None,
+    )
+    chaos.add_argument(
+        "--hang-timeout", type=float, default=20.0,
+        help="watchdog staleness limit for the poison sites "
+        "(default: 20)",
+    )
+    chaos.add_argument(
+        "--quarantine-threshold", type=int, default=2,
+        help="strikes before a poison site is quarantined (default: 2)",
+    )
+    chaos.add_argument(
+        "--run-dir", metavar="DIR", default=None,
+        help="checkpoint the chaos run (strikes persist here too)",
+    )
+    chaos.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="also write the failure report to this file",
+    )
+
     export_cmd = commands.add_parser(
         "export", help="export every analysis as CSV datasets"
     )
@@ -186,6 +222,64 @@ def _crawl_arguments(parser: argparse.ArgumentParser) -> None:
         help="base of the exponential backoff between retries "
         "(default: 0.5)",
     )
+    budgets = parser.add_argument_group(
+        "site isolation budgets",
+        "per-site-visit resource ceilings; a blown budget degrades the "
+        "round into a partial measurement tagged with its cause "
+        "(default: no limits)",
+    )
+    budgets.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock deadline per site visit round (all phases)",
+    )
+    budgets.add_argument(
+        "--max-steps", type=int, default=None, metavar="N",
+        help="interpreter step budget per visit round, across scripts",
+    )
+    budgets.add_argument(
+        "--max-allocations", type=int, default=None, metavar="N",
+        help="MiniJS object/array allocations per visit round",
+    )
+    budgets.add_argument(
+        "--max-string-bytes", type=int, default=None, metavar="BYTES",
+        help="bytes of MiniJS string the scripts may build per round",
+    )
+    budgets.add_argument(
+        "--max-js-depth", type=int, default=None, metavar="N",
+        help="MiniJS call depth before the recursion budget fires",
+    )
+    budgets.add_argument(
+        "--max-dom-nodes", type=int, default=None, metavar="N",
+        help="DOM nodes a visit round may create",
+    )
+    budgets.add_argument(
+        "--max-page-fetches", type=int, default=None, metavar="N",
+        help="subresource fetches a single page may issue",
+    )
+    budgets.add_argument(
+        "--hang-timeout", type=float, default=300.0, metavar="SECONDS",
+        help="parallel crawls: kill a worker whose heartbeat is this "
+        "stale while it holds a site (default: 300; 0 disables)",
+    )
+    budgets.add_argument(
+        "--quarantine-threshold", type=int, default=3, metavar="N",
+        help="strikes (worker kills/hangs) before a site is "
+        "quarantined and never dispatched again (default: 3)",
+    )
+
+
+def _budget_from_args(args) -> "ResourceBudget":
+    from repro.core.sandbox import ResourceBudget
+
+    return ResourceBudget(
+        deadline_seconds=args.deadline,
+        max_steps=args.max_steps,
+        max_allocations=args.max_allocations,
+        max_string_bytes=args.max_string_bytes,
+        max_call_depth=args.max_js_depth,
+        max_dom_nodes=args.max_dom_nodes,
+        max_fetches_per_page=args.max_page_fetches,
+    )
 
 
 def _run_crawl(args, quad: bool) -> tuple:
@@ -207,6 +301,9 @@ def _run_crawl(args, quad: bool) -> tuple:
             attempts=max(1, args.retries),
             backoff_base=max(0.0, args.retry_backoff),
         ),
+        budget=_budget_from_args(args),
+        hang_timeout=args.hang_timeout or None,
+        quarantine_threshold=max(1, args.quarantine_threshold),
     )
     progress = None
     if args.run_dir:
@@ -372,6 +469,85 @@ def _command_compare(args, out) -> int:
     return 0 if passing / max(1, total) >= 0.8 else 1
 
 
+def _command_chaos(args, out) -> int:
+    """Crawl the hostile web; verify every pathology was contained.
+
+    The acceptance harness for site isolation: every budget-class
+    site must degrade into a partial measurement tagged with *its*
+    budget cause, the benign controls must still measure cleanly, and
+    (with workers) the hang/crash sites must end quarantined.  Any
+    miss is a nonzero exit — this is the CI smoke test.
+    """
+    from repro.core.sandbox import QUARANTINE_CAUSE
+    from repro.webgen.hostile import (
+        BUDGET_PATHOLOGIES,
+        EXPECTED_CAUSES,
+        chaos_budget,
+        hostile_web,
+    )
+
+    workers = max(1, args.workers)
+    include_poison = workers > 1
+    web = hostile_web(include_poison=include_poison)
+    registry = default_registry()
+    config = SurveyConfig(
+        conditions=(BrowsingCondition.DEFAULT,),
+        visits_per_site=max(1, args.visits),
+        seed=args.seed,
+        workers=workers,
+        start_method=args.start_method,
+        retry=RetryPolicy(attempts=1, backoff_base=0.0),
+        budget=chaos_budget(),
+        hang_timeout=args.hang_timeout or None,
+        quarantine_threshold=max(1, args.quarantine_threshold),
+    )
+    result = run_survey(
+        web, registry, config,
+        run_dir=args.run_dir, resume=False,
+    )
+    condition = BrowsingCondition.DEFAULT
+    rows = []
+    failures = 0
+
+    def check(domain, ok, got):
+        nonlocal failures
+        if not ok:
+            failures += 1
+        rows.append((domain, got, "ok" if ok else "MISS"))
+
+    for pathology in BUDGET_PATHOLOGIES:
+        domain = "%s.chaos" % pathology
+        m = result.measurement(condition, domain)
+        expected = EXPECTED_CAUSES[pathology]
+        check(domain, m.budget_cause == expected and not m.measured,
+              "budget_cause=%s" % m.budget_cause)
+    for domain in sorted(web.sites):
+        if not domain.startswith("ok-"):
+            continue
+        m = result.measurement(condition, domain)
+        check(domain, m.measured, "rounds_ok=%d" % m.rounds_ok)
+    if include_poison:
+        for domain in web.hang_domains + web.crash_domains:
+            m = result.measurement(condition, domain)
+            check(domain, m.budget_cause == QUARANTINE_CAUSE,
+                  "budget_cause=%s" % m.budget_cause)
+    out.write(reporting.render_table(
+        ("Site", "Outcome", "Verdict"), rows
+    ))
+    out.write("\n\n")
+    report = reporting.failure_report_text(result)
+    out.write("== failures ==\n%s\n" % report)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report)
+            handle.write("\n")
+        out.write("failure report written to %s\n" % args.out)
+    out.write(
+        "chaos: %d checks, %d missed\n" % (len(rows), failures)
+    )
+    return 1 if failures else 0
+
+
 def _command_validate(args, out) -> int:
     web, result = _run_crawl(args, quad=False)
     out.write("== Internal validation (Table 3) ==\n")
@@ -400,6 +576,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "standards": _command_standards,
         "debloat": _command_debloat,
         "validate": _command_validate,
+        "chaos": _command_chaos,
         "compare": _command_compare,
         "export": _command_export,
     }[args.command]

@@ -20,6 +20,20 @@
   from the measurements (section 7.2 turned into a tool).
 """
 
-from repro.core.survey import SurveyConfig, SurveyResult, run_survey
-
 __all__ = ["SurveyConfig", "SurveyResult", "run_survey"]
+
+_LAZY = {"SurveyConfig", "SurveyResult", "run_survey"}
+
+
+def __getattr__(name):
+    # Lazy re-exports (PEP 562): importing the package must stay cheap
+    # and cycle-free, because low layers (minijs, dom, net) import
+    # repro.core.sandbox — eagerly importing the survey here would pull
+    # the whole pipeline back in underneath them.
+    if name in _LAZY:
+        from repro.core import survey
+
+        return getattr(survey, name)
+    raise AttributeError(
+        "module %r has no attribute %r" % (__name__, name)
+    )

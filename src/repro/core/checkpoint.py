@@ -44,6 +44,7 @@ from repro.webidl.registry import FeatureRegistry
 CHECKPOINT_VERSION = 1
 MANIFEST_NAME = "manifest.json"
 RESULT_NAME = "survey.json"
+QUARANTINE_NAME = "quarantine.json"
 
 
 class CheckpointError(ValueError):
@@ -159,6 +160,10 @@ class SurveyCheckpoint:
         #: torn trailing lines dropped while loading shards
         self.recovered_lines = 0
         self._handles: Dict[str, IO[str]] = {}
+        #: domain -> times this site killed or hung a crawl worker
+        #: (the watchdog's poison-site strike counts; persisted so a
+        #: resumed run never re-crawls a quarantined site)
+        self._strikes: Dict[str, int] = {}
 
     # -- construction ----------------------------------------------------
 
@@ -217,6 +222,7 @@ class SurveyCheckpoint:
             "max_sites": config.max_sites,
             "n_domains": len(domains),
             "domains_digest": domains_digest(domains),
+            "budget": cls._budget_fingerprint(config),
             "started_at": datetime.datetime.fromtimestamp(
                 stamp, datetime.timezone.utc
             ).isoformat(),
@@ -255,6 +261,7 @@ class SurveyCheckpoint:
         cls._validate_manifest(manifest, registry, config, domains)
         checkpoint = cls(run_dir, registry, manifest)
         checkpoint._load_shards()
+        checkpoint._load_quarantine()
         return checkpoint
 
     @staticmethod
@@ -289,9 +296,22 @@ class SurveyCheckpoint:
             ("max_sites", config.max_sites),
             ("domains_digest", domains_digest(domains)),
         ]
+        if "budget" in manifest:
+            # Budget limits shape what a measurement contains (partial
+            # rounds); resuming under different limits would mix
+            # incomparable records.  Checkpoints from before the budget
+            # layer simply lack the key and stay resumable.
+            checks.append(
+                ("budget", SurveyCheckpoint._budget_fingerprint(config))
+            )
         for key, live in checks:
             if manifest.get(key) != live:
                 raise mismatch(key, manifest.get(key), live)
+
+    @staticmethod
+    def _budget_fingerprint(config) -> Optional[Dict[str, Any]]:
+        budget = getattr(config, "budget", None)
+        return budget.fingerprint() if budget is not None else None
 
     # -- shard IO --------------------------------------------------------
 
@@ -344,6 +364,51 @@ class SurveyCheckpoint:
         for handle in self._handles.values():
             handle.close()
         self._handles.clear()
+
+    # -- poison-site quarantine ------------------------------------------
+
+    def _quarantine_path(self) -> str:
+        return os.path.join(self.run_dir, QUARANTINE_NAME)
+
+    def _load_quarantine(self) -> None:
+        path = self._quarantine_path()
+        if not os.path.exists(path):
+            return
+        try:
+            with open(path, encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            raise CheckpointError(
+                "corrupt quarantine file %s: %s" % (path, error)
+            )
+        strikes = data.get("strikes")
+        if not isinstance(strikes, dict):
+            raise CheckpointError(
+                "corrupt quarantine file %s: no strikes table" % path
+            )
+        self._strikes = {str(d): int(n) for d, n in strikes.items()}
+
+    def _write_quarantine(self) -> None:
+        # Write-then-rename, like the manifest: a crash mid-strike
+        # leaves the previous strike table, never a torn one (the site
+        # then gets one free retry, which is safe — the threshold just
+        # fires one kill later).
+        tmp_path = self._quarantine_path() + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump({"strikes": self._strikes}, handle,
+                      indent=2, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, self._quarantine_path())
+
+    def add_strike(self, domain: str) -> int:
+        """Record that a site killed or hung a worker; returns total."""
+        self._strikes[domain] = self._strikes.get(domain, 0) + 1
+        self._write_quarantine()
+        return self._strikes[domain]
+
+    def strike_count(self, domain: str) -> int:
+        return self._strikes.get(domain, 0)
 
     # -- views -----------------------------------------------------------
 

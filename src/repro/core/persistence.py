@@ -44,6 +44,9 @@ def measurement_to_dict(m: SiteMeasurement) -> Dict[str, Any]:
         "failure_reason": m.failure_reason,
         "transient_failure": m.transient_failure,
         "attempts": m.attempts,
+        "rounds_partial": m.rounds_partial,
+        "budget_cause": m.budget_cause,
+        "budget_overshoot": m.budget_overshoot,
     }
 
 
@@ -55,8 +58,9 @@ def measurement_from_dict(
 ) -> SiteMeasurement:
     """Rebuild one measurement; validates features against the registry.
 
-    ``transient_failure`` and ``attempts`` default when absent so
-    surveys saved before the checkpointed runner still load.
+    ``transient_failure``/``attempts`` (and the budget fields) default
+    when absent so surveys saved before the checkpointed runner and
+    the site-isolation budgets still load.
     """
     unknown = [f for f in raw["features"] if f not in registry]
     if unknown:
@@ -78,6 +82,9 @@ def measurement_from_dict(
     m.failure_reason = raw["failure_reason"]
     m.transient_failure = raw.get("transient_failure", False)
     m.attempts = raw.get("attempts", 1)
+    m.rounds_partial = raw.get("rounds_partial", 0)
+    m.budget_cause = raw.get("budget_cause")
+    m.budget_overshoot = raw.get("budget_overshoot", 0.0)
     return m
 
 

@@ -198,9 +198,14 @@ def failure_report_text(result: SurveyResult) -> str:
 
     ``transient`` marks failures the retry policy gave up on — the
     candidates worth re-crawling — versus deterministic ones (dead
-    hosts, scriptless sites) that re-running cannot fix.
+    hosts, scriptless sites) that re-running cannot fix.  A summary
+    groups failures by structured cause (the budget class, quarantine,
+    or the failure string) with the worst overshoot per cause, so a
+    budget tuned 10x too tight reads differently from one a site
+    barely grazed.
     """
     rows: List[Tuple[str, str, str, str, str]] = []
+    by_cause: Dict[str, List] = {}
     for condition in result.conditions:
         for failure in result.failed_domains(condition):
             rows.append((
@@ -210,11 +215,25 @@ def failure_report_text(result: SurveyResult) -> str:
                 str(failure.attempts),
                 "yes" if failure.transient else "no",
             ))
+            cause_key = (failure.budget_cause
+                         or failure.cause or "unknown")
+            by_cause.setdefault(cause_key, []).append(failure)
     if not rows:
         return "no failed domains"
-    return render_table(
+    table = render_table(
         ("Domain", "Condition", "Cause", "Attempts", "Transient"), rows
     )
+    summary_lines = ["by cause:"]
+    for cause_key in sorted(by_cause):
+        failures = by_cause[cause_key]
+        line = "  %s: %d site%s" % (
+            cause_key, len(failures), "" if len(failures) == 1 else "s"
+        )
+        worst = max(f.overshoot for f in failures)
+        if worst > 0.0:
+            line += ", worst overshoot %.1fx" % worst
+        summary_lines.append(line)
+    return "%s\n\n%s" % (table, "\n".join(summary_lines))
 
 
 def compile_cache_text(result: SurveyResult) -> str:

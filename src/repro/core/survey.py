@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import os
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
@@ -28,6 +29,11 @@ from repro.blocking.extension import BrowsingCondition
 from repro.blocking.lists import builtin_filter_list, builtin_tracker_database
 from repro.browser.browser import Browser, BrowserConfig
 from repro.browser.session import SiteMeasurement
+from repro.core.sandbox import (
+    QUARANTINE_CAUSE,
+    ResourceBudget,
+    set_heartbeat,
+)
 from repro.minijs.compile import CompileCache, shared_cache
 from repro.monkey.crawler import CrawlConfig, SiteCrawler
 from repro.net.fetcher import Fetcher
@@ -80,6 +86,8 @@ class DomainFailure(str):
     cause: Optional[str]
     attempts: int
     transient: bool
+    budget_cause: Optional[str]
+    overshoot: float
 
     def __new__(
         cls,
@@ -87,11 +95,18 @@ class DomainFailure(str):
         cause: Optional[str] = None,
         attempts: int = 1,
         transient: bool = False,
+        budget_cause: Optional[str] = None,
+        overshoot: float = 0.0,
     ) -> "DomainFailure":
         self = super().__new__(cls, domain)
         self.cause = cause
         self.attempts = attempts
         self.transient = transient
+        #: structured budget cause ("deadline", "steps", "quarantined",
+        #: ...) when a resource budget or the watchdog failed the site
+        self.budget_cause = budget_cause
+        #: worst used/limit ratio the site reached against that budget
+        self.overshoot = overshoot
         return self
 
 
@@ -128,6 +143,18 @@ class SurveyConfig:
     start_method: Optional[str] = None
     #: per-site retry behavior for transient failures
     retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: site-isolation resource budgets (the default enforces nothing);
+    #: a blown budget degrades that round into a partial measurement
+    budget: ResourceBudget = field(default_factory=ResourceBudget)
+    #: strikes (worker kills/hangs) before a site is quarantined and
+    #: never dispatched again
+    quarantine_threshold: int = 3
+    #: seconds a parallel worker may go without a heartbeat while
+    #: holding a site before the supervisor kills and respawns it.
+    #: None disables the watchdog (a hung site then hangs its worker
+    #: forever, as with the plain pool).  Only parallel crawls
+    #: (``workers > 1``) have a supervisor to enforce this.
+    hang_timeout: Optional[float] = 300.0
 
 
 @dataclass
@@ -182,6 +209,8 @@ class SurveyResult:
                     cause=m.failure_reason,
                     attempts=m.attempts,
                     transient=m.transient_failure,
+                    budget_cause=m.budget_cause,
+                    overshoot=m.budget_overshoot,
                 ))
         return out
 
@@ -254,7 +283,9 @@ def _build_crawler(
         blocking_extensions=extensions,
         config=config.browser,
     )
-    return SiteCrawler(browser, config.crawl, condition=condition)
+    return SiteCrawler(
+        browser, config.crawl, condition=condition, budget=config.budget
+    )
 
 
 def _measure_site_once(
@@ -410,6 +441,348 @@ def _parallel_measure(
     return measurement, os.getpid(), cache_delta, phases
 
 
+def _quarantined_measurement(
+    domain: str, condition: str, threshold: int
+) -> SiteMeasurement:
+    """The deterministic record a poison site gets instead of a crawl.
+
+    Depends only on the strike threshold — never on timing — so a
+    killed-and-resumed run synthesizes byte-identical records.
+    """
+    measurement = SiteMeasurement(domain=domain, condition=condition)
+    measurement.failure_reason = (
+        "%s: site killed or hung %d crawl workers"
+        % (QUARANTINE_CAUSE, threshold)
+    )
+    measurement.transient_failure = False
+    measurement.budget_cause = QUARANTINE_CAUSE
+    measurement.attempts = threshold
+    return measurement
+
+
+def _watchdog_worker_main(
+    slot: int,
+    heartbeats,
+    task_conn,
+    result_conn,
+    web: SyntheticWeb,
+    registry: FeatureRegistry,
+    config: SurveyConfig,
+    condition: str,
+    domains: Sequence[str],
+) -> None:
+    """A supervised crawl worker: register heartbeat, init, measure.
+
+    Tasks arrive as ``(index, domain)`` pairs over a dedicated pipe;
+    ``None`` means shut down.  Results go back over the slot's own
+    result pipe as ``(slot, index, domain, payload)`` with the payload
+    matching :func:`_parallel_measure`'s return value.
+
+    Plain one-writer pipes, not ``multiprocessing.Queue``: a queue
+    shares one write-lock semaphore among every producer, and a worker
+    dying (``os._exit`` on a crasher page, or the watchdog's SIGKILL)
+    between writing its bytes and releasing that lock strands the
+    semaphore — every other worker's feeder thread then blocks forever
+    and their results silently never arrive.  With a pipe per slot a
+    dying writer can only tear its *own* channel, which the parent
+    reads as EOF and handles as the worker death it is.
+    """
+
+    def beat() -> None:
+        heartbeats[slot] = time.monotonic()
+
+    set_heartbeat(beat)
+    beat()
+    _parallel_worker_init(web, registry, config, condition, domains)
+    while True:
+        # Poll with a short timeout and beat on every pass, so an
+        # *idle* worker (result sent, next task not yet assigned)
+        # keeps a fresh heartbeat.  A stale heartbeat then means
+        # exactly one thing — stuck inside a measurement — which is
+        # what the watchdog punishes.
+        if not task_conn.poll(0.2):
+            beat()
+            continue
+        try:
+            task = task_conn.recv()
+        except (EOFError, OSError):
+            break  # parent closed our pipe: we are being replaced
+        if task is None:
+            break
+        index, domain = task
+        beat()
+        payload = _parallel_measure(domain)
+        result_conn.send((slot, index, domain, payload))
+        beat()
+
+
+class _CrawlSupervisor:
+    """A watchdog-supervised worker fleet for one condition's crawl.
+
+    Replaces the plain multiprocessing pool: each worker is an owned
+    ``Process`` with its *own* task and result pipes, so the parent
+    always knows exactly which site every worker holds — there is no
+    shared queue whose in-flight items (or write-lock semaphore) a
+    dead worker could strand.  Workers
+    stamp a shared heartbeat array from the fetcher and page-boundary
+    hooks; one whose heartbeat goes stale past ``hang_timeout`` while
+    holding a site (or that dies outright, e.g. a crasher page taking
+    the process down) is SIGKILLed, the site gets a strike, and a
+    fresh worker takes the slot.  A site reaching
+    ``quarantine_threshold`` strikes is quarantined: it gets a
+    deterministic failure record and is never dispatched again —
+    strikes persist in the checkpoint, so a resumed run honors them.
+
+    Results are buffered and recorded strictly in submission order, so
+    checkpoint shards are appended exactly as a serial crawl would
+    append them.
+    """
+
+    _POLL_SECONDS = 0.05
+
+    def __init__(
+        self,
+        web: SyntheticWeb,
+        registry: FeatureRegistry,
+        config: SurveyConfig,
+        condition: str,
+        pending: List[str],
+        checkpoint=None,
+    ) -> None:
+        import multiprocessing
+
+        self.web = web
+        self.registry = registry
+        self.config = config
+        self.condition = condition
+        self.pending = list(pending)
+        self.checkpoint = checkpoint
+        self.context = multiprocessing.get_context(
+            resolve_start_method(config.start_method)
+        )
+        self.n_workers = max(1, min(config.workers, len(self.pending)))
+        self.heartbeats = self.context.Array("d", self.n_workers)
+        self.workers: List = [None] * self.n_workers
+        #: parent-side send end of each slot's task pipe
+        self.task_conns: List = [None] * self.n_workers
+        #: parent-side receive end of each slot's result pipe
+        self.result_conns: List = [None] * self.n_workers
+        #: slot -> (index, domain, assigned_at) while a site is in flight
+        self.assigned: Dict[int, Tuple[int, str, float]] = {}
+        #: strike fallback when no checkpoint persists them
+        self.local_strikes: Dict[str, int] = {}
+        self.worker_cache: Dict[int, Dict[str, float]] = {}
+        self.worker_phases: Dict[int, Dict[str, float]] = {}
+        #: indices already finished — dedupes the race where a struck
+        #: worker's result was in the pipe when it was killed
+        self.finished: Set[int] = set()
+        self.buffered: Dict[int, SiteMeasurement] = {}
+        self.next_flush = 0
+        #: workers killed by the watchdog (observability + tests)
+        self.kills = 0
+
+    # -- strikes ---------------------------------------------------------
+
+    def _strike(self, domain: str) -> int:
+        if self.checkpoint is not None:
+            return self.checkpoint.add_strike(domain)
+        count = self.local_strikes.get(domain, 0) + 1
+        self.local_strikes[domain] = count
+        return count
+
+    def _strike_count(self, domain: str) -> int:
+        if self.checkpoint is not None:
+            return self.checkpoint.strike_count(domain)
+        return self.local_strikes.get(domain, 0)
+
+    # -- worker lifecycle ------------------------------------------------
+
+    def _spawn(self, slot: int) -> None:
+        task_recv, task_send = self.context.Pipe(duplex=False)
+        result_recv, result_send = self.context.Pipe(duplex=False)
+        process = self.context.Process(
+            target=_watchdog_worker_main,
+            args=(
+                slot, self.heartbeats, task_recv, result_send,
+                self.web, self.registry, self.config, self.condition,
+                self.pending,
+            ),
+            daemon=True,
+        )
+        self.heartbeats[slot] = time.monotonic()
+        process.start()
+        # Close the child's ends in the parent right away: later forks
+        # must not inherit them, or a sibling would hold this slot's
+        # write end open and mask the EOF that signals worker death.
+        task_recv.close()
+        result_send.close()
+        self.task_conns[slot] = task_send
+        self.result_conns[slot] = result_recv
+        self.workers[slot] = process
+
+    def _kill(self, slot: int) -> None:
+        process = self.workers[slot]
+        if process is not None:
+            if process.is_alive():
+                process.kill()  # SIGKILL: a hung worker can't be asked
+            process.join()
+        self.workers[slot] = None
+        for conns in (self.task_conns, self.result_conns):
+            if conns[slot] is not None:
+                conns[slot].close()
+                conns[slot] = None
+
+    # -- main loop -------------------------------------------------------
+
+    def run(
+        self,
+        record: Callable[[SiteMeasurement], None],
+        stats: "_CrawlStats",
+    ) -> None:
+        todo = deque(enumerate(self.pending))
+        try:
+            for slot in range(self.n_workers):
+                self._spawn(slot)
+            while self.next_flush < len(self.pending):
+                self._dispatch(todo)
+                self._drain(block=True)
+                self._watchdog(todo)
+                self._flush(record)
+        finally:
+            self._shutdown()
+        for cache in self.worker_cache.values():
+            stats.add_cache(cache)
+        for phases in self.worker_phases.values():
+            stats.add_phases(phases)
+
+    def _dispatch(self, todo) -> None:
+        for slot in range(self.n_workers):
+            if not todo:
+                return
+            process = self.workers[slot]
+            if process is None or not process.is_alive():
+                continue
+            if slot in self.assigned:
+                continue
+            index, domain = todo.popleft()
+            if index in self.finished:
+                continue
+            if (self._strike_count(domain)
+                    >= self.config.quarantine_threshold):
+                # Struck out since it was (re)queued.
+                self.finished.add(index)
+                self.buffered[index] = _quarantined_measurement(
+                    domain, self.condition,
+                    self.config.quarantine_threshold,
+                )
+                continue
+            try:
+                self.task_conns[slot].send((index, domain))
+            except (BrokenPipeError, OSError):
+                # Worker died between the liveness check and the send;
+                # requeue and let the watchdog replace the worker.
+                todo.appendleft((index, domain))
+                continue
+            self.assigned[slot] = (index, domain, time.monotonic())
+
+    def _drain(self, block: bool = False) -> None:
+        from multiprocessing.connection import wait as connection_wait
+
+        conns = [c for c in self.result_conns if c is not None]
+        if not conns:
+            return
+        timeout = self._POLL_SECONDS if block else 0
+        for conn in connection_wait(conns, timeout=timeout):
+            try:
+                item = conn.recv()
+            except (EOFError, OSError):
+                # The worker died (possibly mid-send, tearing its own
+                # pipe — never anyone else's).  Stop polling the
+                # channel; the watchdog handles the corpse.
+                for slot in range(self.n_workers):
+                    if self.result_conns[slot] is conn:
+                        conn.close()
+                        self.result_conns[slot] = None
+                continue
+            slot, index, domain, payload = item
+            self.assigned.pop(slot, None)
+            if index in self.finished:
+                continue  # a requeued duplicate landed first
+            self.finished.add(index)
+            measurement, pid, cache, phases = payload
+            self.buffered[index] = measurement
+            self.worker_cache[pid] = _elementwise_max(
+                self.worker_cache.get(pid, {}), cache
+            )
+            self.worker_phases[pid] = _elementwise_max(
+                self.worker_phases.get(pid, {}), phases
+            )
+
+    def _watchdog(self, todo) -> None:
+        timeout = self.config.hang_timeout
+        now = time.monotonic()
+        for slot in range(self.n_workers):
+            process = self.workers[slot]
+            alive = process is not None and process.is_alive()
+            assignment = self.assigned.get(slot)
+            if assignment is None:
+                if not alive and todo:
+                    # Died idle (e.g. crashed in init): replace it.
+                    self._kill(slot)
+                    self._spawn(slot)
+                continue
+            index, domain, assigned_at = assignment
+            last_beat = max(assigned_at, self.heartbeats[slot])
+            hung = (
+                alive and timeout is not None
+                and now - last_beat > timeout
+            )
+            if alive and not hung:
+                continue
+            # The worker died or hung while holding this site.  Last
+            # chance for an in-flight result to disqualify the strike:
+            self._drain()
+            if slot not in self.assigned:
+                continue  # its result landed after all
+            del self.assigned[slot]
+            self._kill(slot)
+            self.kills += 1
+            strikes = self._strike(domain)
+            if index not in self.finished:
+                if strikes >= self.config.quarantine_threshold:
+                    self.finished.add(index)
+                    self.buffered[index] = _quarantined_measurement(
+                        domain, self.condition,
+                        self.config.quarantine_threshold,
+                    )
+                else:
+                    todo.append((index, domain))
+            self._spawn(slot)
+
+    def _flush(self, record) -> None:
+        while self.next_flush in self.buffered:
+            record(self.buffered.pop(self.next_flush))
+            self.next_flush += 1
+
+    def _shutdown(self) -> None:
+        for slot in range(self.n_workers):
+            process = self.workers[slot]
+            tasks = self.task_conns[slot]
+            if (process is not None and process.is_alive()
+                    and tasks is not None):
+                try:
+                    tasks.send(None)
+                except (BrokenPipeError, OSError, ValueError):
+                    pass
+        deadline = time.monotonic() + 5.0
+        for slot in range(self.n_workers):
+            process = self.workers[slot]
+            if process is None:
+                continue
+            process.join(timeout=max(0.0, deadline - time.monotonic()))
+            self._kill(slot)
+
+
 def _crawl_condition_parallel(
     web: SyntheticWeb,
     registry: FeatureRegistry,
@@ -418,36 +791,12 @@ def _crawl_condition_parallel(
     pending: List[str],
     record: Callable[[SiteMeasurement], None],
     stats: "_CrawlStats",
+    checkpoint=None,
 ) -> None:
-    import multiprocessing
-
-    context = multiprocessing.get_context(
-        resolve_start_method(config.start_method)
+    supervisor = _CrawlSupervisor(
+        web, registry, config, condition, pending, checkpoint
     )
-    domains_arg = list(pending)
-    worker_cache: Dict[int, Dict[str, float]] = {}
-    worker_phases: Dict[int, Dict[str, float]] = {}
-    with context.Pool(
-        processes=config.workers,
-        initializer=_parallel_worker_init,
-        initargs=(web, registry, config, condition, domains_arg),
-    ) as pool:
-        # Checkpoint appends happen in the parent, in submission order,
-        # as results stream back from the workers.
-        for measurement, pid, cache, phases in pool.imap(
-            _parallel_measure, pending, chunksize=8
-        ):
-            record(measurement)
-            worker_cache[pid] = _elementwise_max(
-                worker_cache.get(pid, {}), cache
-            )
-            worker_phases[pid] = _elementwise_max(
-                worker_phases.get(pid, {}), phases
-            )
-    for cache in worker_cache.values():
-        stats.add_cache(cache)
-    for phases in worker_phases.values():
-        stats.add_phases(phases)
+    supervisor.run(record, stats)
 
 
 def _elementwise_max(
@@ -511,10 +860,26 @@ def _crawl_condition(
         if progress is not None and completed % 50 == 0:
             progress(condition, completed, len(domains))
 
+    # Sites already quarantined — in this run (an earlier condition) or
+    # the run being resumed — are never dispatched again: they get the
+    # same deterministic record a live quarantine would synthesize.
+    if checkpoint is not None and pending:
+        threshold = config.quarantine_threshold
+        poisoned = {
+            d for d in pending
+            if checkpoint.strike_count(d) >= threshold
+        }
+        for domain in pending:
+            if domain in poisoned:
+                record(_quarantined_measurement(
+                    domain, condition, threshold
+                ))
+        pending = [d for d in pending if d not in poisoned]
+
     if config.workers > 1 and pending:
         _crawl_condition_parallel(
             web, registry, config, condition, pending, record,
-            stats or _CrawlStats(),
+            stats or _CrawlStats(), checkpoint,
         )
     else:
         crawler = _build_crawler(web, registry, config, condition)

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.core.sandbox import BudgetExceeded
 from repro.dom.events import EventManager
 from repro.dom.node import DomNode, ELEMENT_NODE
 from repro.minijs.interpreter import Interpreter
@@ -148,9 +149,14 @@ class DomRealm:
         network_hook: Optional[Callable[[str, str], None]] = None,
         step_limit: Optional[int] = None,
         storage: Optional[Dict[str, str]] = None,
+        meter: Optional[Any] = None,
     ) -> None:
         kwargs = {} if step_limit is None else {"step_limit": step_limit}
         self.interp = Interpreter(seed=seed, **kwargs)
+        # Site-level resource budgets (repro.core.sandbox): the meter
+        # spans the whole visit and rides on the interpreter so every
+        # script, handler and timer in this realm charges against it.
+        self.interp.meter = meter
         self.registry = registry
         self.url = url
         self.network_hook = network_hook or (lambda url, kind: None)
@@ -834,10 +840,25 @@ class DomRealm:
                         timer_id=timer.timer_id,
                     )
                 )
+            meter = self.interp.meter
+            if meter is not None and timer.fire_at > self.interp.clock_ms:
+                # The clock jump below fast-forwards virtual time; the
+                # deadline budget must see it (a page napping through
+                # `setTimeout(fn, 3600000)` spends an hour of its
+                # deadline in one flush) — and check before running the
+                # callback.
+                meter.advance_clock_ms(
+                    timer.fire_at - self.interp.clock_ms
+                )
+                meter.check_deadline()
             self.interp.clock_ms = max(self.interp.clock_ms, timer.fire_at)
             try:
                 self.interp.call_function(timer.fn, self.interp.global_object,
                                           [])
+            except BudgetExceeded:
+                # Site-isolation budgets must abort the visit; only the
+                # page's own errors are survivable.
+                raise
             except Exception:  # noqa: BLE001 - page errors must not crash
                 pass
             executed += 1

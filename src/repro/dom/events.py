@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Any, List, Optional
 
+from repro.core.sandbox import heartbeat
 from repro.dom.node import DomNode
 from repro.minijs.errors import MiniJSError, StepLimitExceeded
 from repro.minijs.interpreter import Interpreter
@@ -69,6 +70,14 @@ class EventManager:
         decide whether e.g. a link click should navigate).
         """
         self.dispatched += 1
+        # Monkey testing fires hundreds of events per page; each
+        # dispatch signals liveness to the crawl watchdog, and the
+        # visit deadline is re-checked so a hostile page cannot hide a
+        # stall between handlers.
+        heartbeat()
+        meter = self._interp.meter
+        if meter is not None:
+            meter.check_deadline()
         event = self.make_event(event_type, node.wrapper)
         current: Optional[DomNode] = node
         while current is not None:
@@ -102,6 +111,9 @@ class EventManager:
                 raise
             except MiniJSError as error:
                 self.handler_errors.append(str(error))
+            # BudgetExceeded is deliberately not a MiniJSError: a
+            # handler that blows the *site* budget falls through this
+            # recovery and aborts the visit into a partial measurement.
 
     def _attribute_handler(
         self, node: DomNode, event_type: str

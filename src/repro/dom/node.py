@@ -19,6 +19,22 @@ INTERACTIVE_TAGS = frozenset(
      "span", "li", "img"]
 )
 
+#: The active visit's budget meter (see :mod:`repro.core.sandbox`),
+#: charged one DOM node per attach.  Module-level rather than a per-node
+#: slot: a crawl process runs one page visit at a time, and hot-path
+#: tree edits must not pay an extra attribute on every node.  Installed
+#: by the browser around each page visit; ``None`` costs one global
+#: read per attach.
+_DOM_METER = None
+
+
+def install_dom_meter(meter):
+    """Install the visit's budget meter; returns the previous one."""
+    global _DOM_METER
+    previous = _DOM_METER
+    _DOM_METER = meter
+    return previous
+
 
 class DomNode:
     """One node of the document tree.
@@ -55,6 +71,8 @@ class DomNode:
     # -- tree editing -------------------------------------------------------
 
     def append_child(self, child: "DomNode") -> "DomNode":
+        if _DOM_METER is not None:
+            _DOM_METER.charge_dom_node()
         if child.parent is not None:
             child.parent.remove_child(child)
         child.parent = self
@@ -64,6 +82,8 @@ class DomNode:
     def insert_before(
         self, child: "DomNode", reference: Optional["DomNode"]
     ) -> "DomNode":
+        if _DOM_METER is not None:
+            _DOM_METER.charge_dom_node()
         if child.parent is not None:
             child.parent.remove_child(child)
         child.parent = self

@@ -53,11 +53,22 @@ class JSThrownValue(MiniJSError):
 
 
 class StepLimitExceeded(MiniJSError):
-    """The interpreter's step budget ran out (runaway page script).
+    """The interpreter's per-script step budget ran out.
 
     Monkey testing feeds pages random events; a page script stuck in a
     loop must not hang the crawl, so every script runs under a budget.
+
+    This is the *script*-level guard: the browser catches it, records a
+    script error and carries on with the page.  The *site*-level step
+    budget lives in :mod:`repro.core.sandbox`
+    (:class:`~repro.core.sandbox.ScriptBudgetExceeded`, cause
+    ``"steps"``) and is deliberately not a ``MiniJSError`` — it aborts
+    the whole visit into a partial measurement instead of being
+    swallowed per script.  ``cause`` mirrors the sandbox's structured
+    slugs so reports can group both flavors of step exhaustion.
     """
+
+    cause = "steps"
 
     def __init__(self, limit: int) -> None:
         super().__init__("script exceeded the %d-step budget" % limit)

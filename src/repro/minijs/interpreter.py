@@ -119,6 +119,12 @@ class Interpreter:
         self.rng = random.Random(seed)
         self.step_limit = step_limit
         self.steps = 0
+        #: Optional per-visit :class:`repro.core.sandbox.BudgetMeter`.
+        #: Duck-typed (the sandbox never needs importing here): when
+        #: set, every step/allocation/call charges against site-level
+        #: budgets that span all of a visit's scripts — the layer above
+        #: the per-script ``step_limit``.
+        self.meter: Optional[Any] = None
         self.clock_ms = 1_463_500_000_000.0  # mid-May 2016, fittingly
         #: Slot for the measuring extension's per-visit recorder; shared
         #: instrumentation shims reach it through the realm they run in.
@@ -171,10 +177,16 @@ class Interpreter:
         )
 
     def new_object(self, class_name: str = "Object") -> JSObject:
+        if self.meter is not None:
+            self.meter.charge_allocation()
         return JSObject(prototype=self.object_prototype,
                         class_name=class_name)
 
     def new_array(self, elements: Optional[List[Any]] = None) -> JSArray:
+        if self.meter is not None:
+            # An N-element array is N+1 allocations: `new Array(1e6)`
+            # must charge for its payload, not count as one object.
+            self.meter.charge_allocation(1 + len(elements or ()))
         return JSArray(elements, prototype=self.array_prototype)
 
     def call_function(
@@ -185,6 +197,11 @@ class Interpreter:
             raise JSRuntimeError("%s is not a function" % type_of(fn))
         if self.call_depth >= self.max_call_depth:
             raise JSRuntimeError("maximum call stack size exceeded")
+        if self.meter is not None:
+            # The budget's recursion cap sits *below* the engine's
+            # (catchable) one, so a hostile page cannot try/catch its
+            # way around site isolation.
+            self.meter.check_depth(self.call_depth + 1)
         self.call_depth += 1
         try:
             if fn.host_call is not None:
@@ -234,6 +251,8 @@ class Interpreter:
         # The virtual clock advances a hair per step so timing APIs
         # return strictly increasing values.
         self.clock_ms += 0.0001
+        if self.meter is not None:
+            self.meter.tick()
 
     # ------------------------------------------------------------------
     # Statements
@@ -479,6 +498,9 @@ class Interpreter:
         body: List[ast.Statement],
         env: Environment,
     ) -> JSFunction:
+        if self.meter is not None:
+            # A closure plus its prototype object: two allocations.
+            self.meter.charge_allocation(2)
         fn = JSFunction(
             name=name,
             params=params,
@@ -595,10 +617,13 @@ class Interpreter:
             if isinstance(left, str) or isinstance(right, str) or (
                 isinstance(left, JSObject) or isinstance(right, JSObject)
             ):
-                if isinstance(left, JSObject) or isinstance(right, JSObject):
-                    return to_string(left) + to_string(right)
-                if isinstance(left, str) or isinstance(right, str):
-                    return to_string(left) + to_string(right)
+                result = to_string(left) + to_string(right)
+                if self.meter is not None:
+                    # Concatenation is where string memory bombs grow
+                    # (`s = s + s` doubles per iteration); charging the
+                    # result length bounds them geometrically.
+                    self.meter.charge_string_bytes(len(result))
+                return result
             return to_number(left) + to_number(right)
         if op == "-":
             return to_number(left) - to_number(right)
@@ -942,9 +967,15 @@ class Interpreter:
 
         def array_ctor(interp: "Interpreter", this: Any, args: List[Any]) -> Any:
             if len(args) == 1 and isinstance(args[0], float):
-                return interp.new_array(
-                    [UNDEFINED] * max(0, to_int(args[0]))
-                )
+                length = max(0, to_int(args[0]))
+                if interp.meter is not None:
+                    # Charge *before* materializing: `new Array(1e9)`
+                    # must hit the allocation budget, not the OOM
+                    # killer.
+                    interp.meter.charge_allocation(1 + length)
+                    return JSArray([UNDEFINED] * length,
+                                   prototype=interp.array_prototype)
+                return interp.new_array([UNDEFINED] * length)
             return interp.new_array(list(args))
 
         ctor = self.host_function("Array", array_ctor)

@@ -22,6 +22,13 @@ from typing import List, Optional, Set, Tuple
 
 from repro.browser.browser import Browser
 from repro.browser.session import VisitResult
+from repro.core.sandbox import (
+    BudgetExceeded,
+    BudgetMeter,
+    ResourceBudget,
+    heartbeat,
+)
+from repro.dom.node import install_dom_meter
 from repro.monkey.gremlins import Gremlins, MonkeyConfig
 from repro.net.url import Url
 from repro.seeding import derive_seed
@@ -62,10 +69,15 @@ class SiteCrawler:
         browser: Browser,
         config: Optional[CrawlConfig] = None,
         condition: str = "default",
+        budget: Optional[ResourceBudget] = None,
     ) -> None:
         self.browser = browser
         self.config = config or CrawlConfig()
         self.condition = condition
+        #: site-isolation budgets; one fresh meter is drawn per visit
+        #: round, so the deadline and counters span all 13 pages and
+        #: every phase (fetch, parse, execute, monkey) of that round
+        self.budget = budget
 
     # ------------------------------------------------------------------
 
@@ -88,26 +100,48 @@ class SiteCrawler:
         seen_signatures: Set[Tuple[str, ...]] = set()
         visited_paths: Set[str] = set()
 
-        frontier = [home]
-        executed_any = False
-        for depth in range(self.config.depth + 1):
-            next_frontier: List[Url] = []
-            for url in frontier:
-                page = self._visit_one(url, rng, result)
-                if page is None:
-                    continue
-                visited_paths.add(url.path)
-                seen_signatures.add(url.directory_signature)
-                executed_any = executed_any or page[1]
-                harvested = page[0]
-                chosen = self._select_links(
-                    harvested, home, seen_signatures, visited_paths, rng
-                )
-                next_frontier.extend(chosen)
-            frontier = next_frontier
-            if not frontier:
-                break
+        meter: Optional[BudgetMeter] = None
+        if self.budget is not None and self.budget.limited:
+            meter = self.budget.meter()
+        # The meter stays installed for the whole round — the monkey
+        # phase runs page scripts too, and its fetch storms and DOM
+        # growth must charge the same budgets as the load phase.
+        previous_fetch_meter = self.browser.fetcher.budget_meter
+        previous_dom_meter = install_dom_meter(meter)
+        self.browser.fetcher.budget_meter = meter
+        try:
+            frontier = [home]
+            executed_any = False
+            for depth in range(self.config.depth + 1):
+                next_frontier: List[Url] = []
+                for url in frontier:
+                    page = self._visit_one(url, rng, result, meter)
+                    if result.partial:
+                        break
+                    if page is None:
+                        continue
+                    visited_paths.add(url.path)
+                    seen_signatures.add(url.directory_signature)
+                    executed_any = executed_any or page[1]
+                    harvested = page[0]
+                    chosen = self._select_links(
+                        harvested, home, seen_signatures, visited_paths,
+                        rng,
+                    )
+                    next_frontier.extend(chosen)
+                if result.partial:
+                    break
+                frontier = next_frontier
+                if not frontier:
+                    break
+        finally:
+            self.browser.fetcher.budget_meter = previous_fetch_meter
+            install_dom_meter(previous_dom_meter)
 
+        if result.partial:
+            # A blown budget ends the round where it stood: whatever
+            # was recorded up to the abort is the round's contribution.
+            return result
         if result.pages_visited == 0:
             result.failure_reason = result.failure_reason or "unreachable"
             return result
@@ -122,9 +156,21 @@ class SiteCrawler:
     # ------------------------------------------------------------------
 
     def _visit_one(
-        self, url: Url, rng: random.Random, result: VisitResult
+        self,
+        url: Url,
+        rng: random.Random,
+        result: VisitResult,
+        meter: Optional[BudgetMeter] = None,
     ) -> Optional[Tuple[List[Url], bool]]:
-        page = self.browser.visit_page(url, seed=rng.randrange(1 << 30))
+        # Page boundaries are natural liveness points: a worker that
+        # stops reaching them is hung, and the supervisor can tell.
+        heartbeat()
+        page = self.browser.visit_page(
+            url, seed=rng.randrange(1 << 30), meter=meter
+        )
+        if page.budget_error is not None:
+            self._record_budget_abort(result, page, page.budget_error)
+            return None
         if not page.ok:
             if result.failure_reason is None:
                 result.failure_reason = page.failure_reason
@@ -134,11 +180,28 @@ class SiteCrawler:
         result.scripts_blocked += page.scripts_blocked
         result.requests_blocked += page.requests_blocked
         gremlins = Gremlins(page, rng, self.config.monkey)
-        with phase("monkey"):
-            gremlins.run()
+        try:
+            with phase("monkey"):
+                gremlins.run()
+        except BudgetExceeded as error:
+            result.interaction_events += gremlins.events_fired
+            self._record_budget_abort(result, page, error)
+            return None
         result.interaction_events += gremlins.events_fired
         page.recorder.merge_into_counts(result.feature_counts)
         return gremlins.harvested_urls, page.executed_any_script
+
+    def _record_budget_abort(
+        self, result: VisitResult, page, error: BudgetExceeded
+    ) -> None:
+        """Salvage a budget-aborted page into a partial round."""
+        result.partial = True
+        result.budget_cause = error.cause
+        result.budget_overshoot = error.overshoot
+        result.failure_reason = error.failure_reason
+        # Features observed before the abort still count (the partial
+        # measurement the issue calls for).
+        page.recorder.merge_into_counts(result.feature_counts)
 
     def _select_links(
         self,

@@ -1,0 +1,70 @@
+"""Chaos-injecting web sources (the hostile half of the crawl tests).
+
+:class:`ChaosSource` wraps any :class:`~repro.net.fetcher.WebSource`
+and makes chosen domains exhibit the two pathologies a *source-level*
+fault can model:
+
+* **hang** — ``respond()`` blocks in ``time.sleep`` on the domain's
+  document request.  From the crawl's perspective the worker is hung
+  mid-fetch; only the supervisor's watchdog (stale heartbeat → SIGKILL
+  → respawn → quarantine) gets the run moving again.
+* **crash** — ``respond()`` takes the whole worker process down with
+  ``os._exit``, the moral equivalent of a page segfaulting the
+  browser.  The supervisor sees a dead worker holding a site.
+
+Resource-exhaustion pathologies (step storms, allocation bombs, DOM
+floods...) live in :mod:`repro.webgen.hostile` instead — they are
+properties of page *content*, not of the network.
+
+Unknown attributes delegate to the wrapped source (like
+:class:`~repro.net.fetcher.FaultInjectingSource`), so a wrapped
+synthetic web still exposes its ranking, sites and script bodies to
+the survey runner.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Iterable, Optional
+
+from repro.net.resources import Request, ResourceKind, Response
+
+#: exit status a crash-injected worker dies with (visible in tests)
+CRASH_EXIT_CODE = 73
+
+
+class ChaosSource:
+    """A WebSource wrapper that hangs or kills on chosen domains."""
+
+    def __init__(
+        self,
+        inner,
+        hang_domains: Iterable[str] = (),
+        crash_domains: Iterable[str] = (),
+        hang_seconds: float = 3600.0,
+    ) -> None:
+        self._inner = inner
+        self._hang = frozenset(hang_domains)
+        self._crash = frozenset(crash_domains)
+        self.hang_seconds = hang_seconds
+
+    def __getattr__(self, name: str):
+        if name == "_inner":
+            # During unpickling __getattr__ runs before __init__ has
+            # set _inner; without this guard the lookup recurses.
+            raise AttributeError(name)
+        return getattr(self._inner, name)
+
+    def respond(self, request: Request) -> Optional[Response]:
+        if request.kind == ResourceKind.DOCUMENT:
+            host = request.url.host
+            if host in self._hang:
+                # Long enough that only the watchdog ends it; bounded
+                # so an unsupervised (serial) caller that reaches a
+                # hang site by mistake eventually gets control back.
+                time.sleep(self.hang_seconds)
+                return None
+            if host in self._crash:
+                os._exit(CRASH_EXIT_CODE)
+        return self._inner.respond(request)

@@ -22,6 +22,7 @@ from typing import (
     Tuple,
 )
 
+from repro.core.sandbox import heartbeat
 from repro.net.resources import Request, ResourceKind, Response
 from repro.net.url import Url
 
@@ -73,6 +74,10 @@ class Fetcher:
         self.requests_issued = 0
         self.requests_failed = 0
         self._observers: List[Callable[[Request], bool]] = []
+        #: The active visit's budget meter (repro.core.sandbox),
+        #: installed by the browser around each page so fetch storms
+        #: charge the per-page cap.  None = unmetered.
+        self.budget_meter = None
 
     def add_observer(self, observer: Callable[[Request], bool]) -> None:
         """Register a request gate; returning False blocks the request."""
@@ -88,6 +93,14 @@ class Fetcher:
         can distinguish extension vetoes from dead hosts.
         """
         self.requests_issued += 1
+        # Touching the (possibly hostile) web source is the one place a
+        # crawl worker can genuinely block, so signal liveness to the
+        # watchdog just before — a hung respond() leaves the heartbeat
+        # stale and the supervisor kills the worker.
+        heartbeat()
+        meter = self.budget_meter
+        if meter is not None:
+            meter.charge_fetch()
         for observer in self._observers:
             if not observer(request):
                 self.requests_failed += 1

@@ -54,6 +54,11 @@ class InjectingProxy:
             pass  # surfaced as a script error at execution time
 
     def fetch(self, request: Request) -> Response:
+        # Failures pass through untouched: a NetworkError (and its
+        # ``transient`` flag, which the survey RetryPolicy keys on) or
+        # a BudgetExceeded from the fetcher must reach the browser
+        # exactly as raised — the proxy only ever rewrites *successful*
+        # HTML responses.
         with phase("fetch"):
             response = self._fetcher.fetch(request)
         if self._injected and response.is_html:

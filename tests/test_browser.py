@@ -232,3 +232,61 @@ class TestBlockingIntegration:
         page = visit(registry, web, url="https://s.test/",
                      extensions=[abp])
         assert page.requests_blocked >= 1
+
+
+class TestTimerBudgetPerPage:
+    """Regression: the timer dwell budget is per page, not per browser.
+
+    The budget counter used to be initialized once per Browser and
+    decremented across page loads, so one timer-heavy page starved
+    every later page of its setTimeout work for the rest of the visit.
+    """
+
+    STORM = (
+        "var i = 0;"
+        "while (i < 30) {"
+        "  setTimeout(function () {"
+        '    document.createElement("i");'
+        "  }, 1);"
+        "  i = i + 1;"
+        "}"
+    )
+    LATE = (
+        'setTimeout(function () { document.createElement("b"); }, 5);'
+    )
+
+    def _web(self):
+        web = DictWebSource()
+        for host, script in (("storm.test", self.STORM),
+                             ("late.test", self.LATE)):
+            web.add_html(
+                "https://%s/" % host,
+                "<html><head></head><body><script>%s</script>"
+                "</body></html>" % script,
+            )
+        return web
+
+    def test_storm_page_capped_at_the_budget(self, registry):
+        browser = Browser(
+            registry, Fetcher(self._web()),
+            config=BrowserConfig(timer_task_budget=8),
+        )
+        storm = browser.visit_page(Url.parse("https://storm.test/"),
+                                   seed=1)
+        assert storm.recorder.counts[
+            "Document.prototype.createElement"
+        ] == 8
+
+    def test_next_page_gets_a_fresh_timer_budget(self, registry):
+        browser = Browser(
+            registry, Fetcher(self._web()),
+            config=BrowserConfig(timer_task_budget=8),
+        )
+        browser.visit_page(Url.parse("https://storm.test/"), seed=1)
+        late = browser.visit_page(Url.parse("https://late.test/"),
+                                  seed=1)
+        # The starved-forward bug left 0 budget here and the late
+        # page's only timer (and its feature use) silently vanished.
+        assert late.recorder.counts[
+            "Document.prototype.createElement"
+        ] == 1

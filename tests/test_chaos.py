@@ -1,0 +1,203 @@
+"""Chaos acceptance: every content pathology degrades into a typed
+*partial* measurement, never a hang, crash or silent mis-measurement.
+
+Runs the serial crawl over the hostile web (the poison hang/crash
+sites need the parallel supervisor and live in ``test_watchdog.py``)
+under the reference chaos budget, and pins the paper-facing contracts:
+
+* each hostile site trips *its own* budget class and carries the
+  structured cause + overshoot the failure report groups on;
+* features recorded before the budget blew are kept (partial, not
+  discarded);
+* benign control sites interleaved with the hostile ones still
+  measure cleanly;
+* budget-limited runs are bit-identical serial vs parallel vs spawn,
+  and survive a kill + ``resume`` without changing a byte.
+"""
+
+import io
+import multiprocessing
+
+import pytest
+
+from repro.core import persistence
+from repro.core.reporting import failure_report_text
+from repro.core.survey import RetryPolicy, SurveyConfig, resume_survey, run_survey
+from repro.webgen.hostile import (
+    BUDGET_PATHOLOGIES,
+    EXPECTED_CAUSES,
+    chaos_budget,
+    hostile_web,
+)
+
+VISITS = 2
+SEED = 424
+
+
+def chaos_config(**overrides):
+    settings = dict(
+        conditions=("default",),
+        visits_per_site=VISITS,
+        seed=SEED,
+        budget=chaos_budget(),
+        retry=RetryPolicy(attempts=1, backoff_base=0.0),
+    )
+    settings.update(overrides)
+    return SurveyConfig(**settings)
+
+
+@pytest.fixture(scope="module")
+def chaos_result(registry):
+    web = hostile_web(include_poison=False)
+    return run_survey(web, registry, chaos_config())
+
+
+class TestBudgetPathologies:
+    @pytest.mark.parametrize("pathology", BUDGET_PATHOLOGIES)
+    def test_each_pathology_trips_its_own_budget(
+        self, chaos_result, pathology
+    ):
+        m = chaos_result.measurement("default", "%s.chaos" % pathology)
+        assert not m.measured
+        assert m.rounds_partial == VISITS
+        assert m.budget_cause == EXPECTED_CAUSES[pathology]
+        assert m.budget_overshoot >= 1.0
+        assert m.failure_reason.startswith(
+            "budget:%s" % EXPECTED_CAUSES[pathology]
+        )
+
+    def test_partial_measurements_keep_recorded_features(
+        self, chaos_result
+    ):
+        # The DOM flood touched createElement/appendChild thousands of
+        # times before the node cap fired; the partial measurement must
+        # keep that evidence rather than discarding the round.
+        m = chaos_result.measurement("default", "dom.chaos")
+        assert "Document.prototype.createElement" in m.features
+        assert m.invocations > 0
+
+    def test_benign_controls_measure_cleanly(self, chaos_result):
+        controls = [d for d in chaos_result.domains if d.startswith("ok-")]
+        assert len(controls) >= 3
+        for domain in controls:
+            m = chaos_result.measurement("default", domain)
+            assert m.measured, domain
+            assert m.rounds_ok == VISITS
+            assert m.budget_cause is None
+
+    def test_budget_failures_are_not_transient(self, chaos_result):
+        # Re-crawling a step bomb yields the same explosion: budget
+        # failures must read as deterministic so the retry policy does
+        # not burn attempts on them.
+        for failure in chaos_result.failed_domains("default"):
+            assert not failure.transient
+
+
+class TestFailureReport:
+    def test_grouped_by_cause_with_headroom(self, chaos_result):
+        report = failure_report_text(chaos_result)
+        assert "by cause:" in report
+        # strings.chaos and alloc.chaos share the allocation cause.
+        assert "allocation: 2 sites" in report
+        assert "steps: 1 site" in report
+        assert "deadline: 1 site" in report
+        for line in report.splitlines():
+            if line.strip().startswith("deadline:"):
+                assert "worst overshoot" in line
+
+    def test_cause_strings_reach_the_cli_failures_report(self):
+        # End to end through the real CLI: a too-tight step budget on
+        # an ordinary synthetic crawl must surface as budget:steps rows
+        # in ``--report failures``.
+        from repro.cli import main
+
+        out = io.StringIO()
+        code = main(
+            ["survey", "--sites", "3", "--visits", "1",
+             "--max-steps", "200", "--report", "failures"],
+            out=out,
+        )
+        output = out.getvalue()
+        assert code == 0
+        assert "budget:steps" in output
+        assert "by cause:" in output
+        assert "steps: " in output
+
+
+class TestDeterminism:
+    def test_parallel_and_spawn_bit_identical_to_serial(self, registry):
+        # Budgets must not break the crawl's core invariant: worker
+        # count and start method never change what is measured — even
+        # when every hostile site is blowing its budget mid-visit.
+        web = hostile_web(include_poison=False)
+        serial = persistence.survey_digest(
+            run_survey(web, registry, chaos_config())
+        )
+        for method in ("fork", "spawn"):
+            if method not in multiprocessing.get_all_start_methods():
+                continue
+            parallel = run_survey(
+                hostile_web(include_poison=False), registry,
+                chaos_config(workers=2, start_method=method),
+            )
+            assert persistence.survey_digest(parallel) == serial, method
+            m = parallel.measurement("default", "steps.chaos")
+            assert m.budget_cause == "steps"
+
+    def test_killed_and_resumed_run_is_bit_identical(
+        self, registry, tmp_path
+    ):
+        from repro.net.resources import ResourceKind
+
+        web = hostile_web(include_poison=False)
+        baseline = run_survey(
+            web, registry, chaos_config(),
+            run_dir=str(tmp_path / "baseline"),
+        )
+        baseline_digest = persistence.survey_digest(baseline)
+
+        class KillSwitch:
+            """KeyboardInterrupt after N completed site-measurements."""
+
+            def __init__(self, inner, limit):
+                self._inner = inner
+                self._limit = limit
+                self._homes = 0
+
+            def __getattr__(self, name):
+                return getattr(self._inner, name)
+
+            def respond(self, request):
+                if (request.kind == ResourceKind.DOCUMENT
+                        and request.url.path == "/"):
+                    if self._homes >= self._limit * VISITS:
+                        raise KeyboardInterrupt("simulated crash")
+                    self._homes += 1
+                return self._inner.respond(request)
+
+        run_dir = str(tmp_path / "killed")
+        with pytest.raises(KeyboardInterrupt):
+            run_survey(
+                KillSwitch(hostile_web(include_poison=False), 4),
+                registry, chaos_config(), run_dir=run_dir,
+            )
+        resumed = resume_survey(
+            hostile_web(include_poison=False), registry, run_dir,
+            chaos_config(),
+        )
+        assert persistence.survey_digest(resumed) == baseline_digest
+
+        def shard_bytes(run_dir):
+            import os
+
+            out = {}
+            for name in sorted(os.listdir(run_dir)):
+                if name.startswith("shard-"):
+                    with open(os.path.join(run_dir, name), "rb") as f:
+                        out[name] = f.read()
+            assert out
+            return out
+
+        assert shard_bytes(run_dir) == shard_bytes(
+            str(tmp_path / "baseline")
+        )

@@ -224,3 +224,53 @@ class TestCrawlCommands:
         import os
 
         assert os.path.exists(os.path.join(out_dir, "figure8.svg"))
+
+
+class TestBudgetFlags:
+    def test_defaults_enforce_nothing(self):
+        from repro.cli import _budget_from_args
+
+        args = build_parser().parse_args(["survey"])
+        assert not _budget_from_args(args).limited
+        assert args.hang_timeout == 300.0
+        assert args.quarantine_threshold == 3
+
+    def test_flags_reach_the_budget(self):
+        from repro.cli import _budget_from_args
+
+        args = build_parser().parse_args([
+            "survey", "--deadline", "2.5", "--max-steps", "1000",
+            "--max-allocations", "50", "--max-string-bytes", "4096",
+            "--max-js-depth", "32", "--max-dom-nodes", "200",
+            "--max-page-fetches", "16",
+        ])
+        budget = _budget_from_args(args)
+        assert budget.limited
+        assert budget.deadline_seconds == 2.5
+        assert budget.max_steps == 1000
+        assert budget.max_allocations == 50
+        assert budget.max_string_bytes == 4096
+        assert budget.max_call_depth == 32
+        assert budget.max_dom_nodes == 200
+        assert budget.max_fetches_per_page == 16
+
+
+class TestChaosCommand:
+    def test_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.visits == 2
+        assert args.workers == 2
+        assert args.hang_timeout == 20.0
+        assert args.quarantine_threshold == 2
+
+    def test_serial_smoke_run(self, tmp_path):
+        report_path = tmp_path / "failures.txt"
+        code, output = run_cli(
+            "chaos", "--workers", "1", "--visits", "1",
+            "--out", str(report_path),
+        )
+        assert code == 0
+        assert "0 missed" in output
+        report = report_path.read_text()
+        assert "by cause:" in report
+        assert "steps.chaos" in report

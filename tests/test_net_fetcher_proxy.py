@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.net.fetcher import DictWebSource, Fetcher, NetworkError
+from repro.net.fetcher import (
+    DictWebSource,
+    FaultInjectingSource,
+    Fetcher,
+    NetworkError,
+    TransientNetworkError,
+)
 from repro.net.proxy import InjectingProxy
 from repro.net.resources import Request, ResourceKind, Response
 from repro.net.url import Url
@@ -155,3 +161,43 @@ class TestInjectingProxy:
         proxy = InjectingProxy(Fetcher(source), None)
         proxy.set_injected_script("late();")
         assert "late();" in proxy.fetch(doc_request()).body
+
+
+class TestTransientPropagation:
+    """The proxy must pass failures through exactly as raised.
+
+    The survey RetryPolicy keys on ``NetworkError.transient`` (via
+    ``getattr(error, "transient", False)`` far up the stack), so a
+    proxy that wrapped or re-raised fetch failures would silently turn
+    retryable outages into deterministic ones.
+    """
+
+    def _proxied(self, source):
+        return InjectingProxy(Fetcher(source), "hook();")
+
+    def test_transient_error_keeps_type_and_flag(self, source):
+        outage = FaultInjectingSource(
+            source, {"site.com": [1]}, rounds_per_attempt=1
+        )
+        proxy = self._proxied(outage)
+        with pytest.raises(TransientNetworkError) as exc:
+            proxy.fetch(doc_request())
+        assert exc.value.transient
+        # The next attempt goes through (the outage hit attempt 1
+        # only), exactly what the retry policy banks on.
+        assert proxy.fetch(doc_request()).ok
+
+    def test_deterministic_error_stays_nontransient(self, source):
+        proxy = self._proxied(source)
+        with pytest.raises(NetworkError) as exc:
+            proxy.fetch(doc_request("https://dead.example/"))
+        assert not exc.value.transient
+
+    def test_transient_classification_is_the_retry_key(self):
+        # What the survey's retry loop actually reads off an escaping
+        # exception, kept honest here at the source.
+        url = Url.parse("https://x.test/")
+        transient = TransientNetworkError(url, "overloaded")
+        hard = NetworkError(url, "host not found")
+        assert getattr(transient, "transient", False) is True
+        assert getattr(hard, "transient", False) is False

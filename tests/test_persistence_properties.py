@@ -56,6 +56,14 @@ def site_measurements(draw, domain, condition):
     ))
     m.transient_failure = draw(st.booleans())
     m.attempts = draw(st.integers(min_value=1, max_value=5))
+    m.rounds_partial = draw(st.integers(min_value=0, max_value=4))
+    m.budget_cause = draw(st.one_of(st.none(), st.sampled_from([
+        "deadline", "steps", "allocation", "recursion",
+        "dom-nodes", "fetches", "quarantined",
+    ])))
+    m.budget_overshoot = draw(st.floats(
+        min_value=0.0, max_value=500.0, allow_nan=False
+    ))
     return m
 
 

@@ -1,0 +1,247 @@
+"""Unit tests for the site-isolation budget layer.
+
+Each resource class must fire its *own* typed exception carrying a
+structured cause slug and a used/limit pair — the failure report's
+per-cause grouping and headroom numbers depend on exactly that
+contract.  The virtual clock must advance only on counted work so
+deadline-limited runs stay deterministic.
+"""
+
+import json
+import pickle
+
+import pytest
+
+from repro.core.sandbox import (
+    AllocationBudgetExceeded,
+    BudgetExceeded,
+    DeadlineExceeded,
+    DomBudgetExceeded,
+    FetchBudgetExceeded,
+    RecursionBudgetExceeded,
+    ResourceBudget,
+    ScriptBudgetExceeded,
+    VirtualClock,
+    heartbeat,
+    set_heartbeat,
+)
+
+
+class TestResourceBudget:
+    def test_default_budget_enforces_nothing(self):
+        budget = ResourceBudget()
+        assert not budget.limited
+        meter = budget.meter()
+        for _ in range(10_000):
+            meter.tick()
+        meter.charge_allocation(10**9)
+        meter.charge_string_bytes(10**9)
+        meter.charge_dom_node(10**6)
+        meter.check_depth(10**6)
+        meter.begin_page()
+        meter.charge_fetch()
+        meter.check_deadline()
+        assert meter.exceeded is None
+
+    def test_any_single_limit_makes_it_limited(self):
+        for name in ResourceBudget._limit_fields():
+            budget = ResourceBudget(**{name: 10})
+            assert budget.limited, name
+
+    def test_fingerprint_is_json_ready_and_clock_free(self):
+        budget = ResourceBudget(
+            max_steps=100, clock=VirtualClock(seconds_per_step=1.0)
+        )
+        fingerprint = budget.fingerprint()
+        assert "clock" not in fingerprint
+        assert fingerprint["max_steps"] == 100
+        assert fingerprint["deadline_seconds"] is None
+        # Checkpoint manifests embed the fingerprint as JSON.
+        assert json.loads(json.dumps(fingerprint)) == fingerprint
+
+
+class TestTypedExhaustions:
+    """Every budget class raises its own subclass with its own slug."""
+
+    def test_step_budget(self):
+        meter = ResourceBudget(max_steps=5).meter()
+        with pytest.raises(ScriptBudgetExceeded) as exc:
+            for _ in range(6):
+                meter.tick()
+        assert exc.value.cause == "steps"
+        assert exc.value.used == 6
+        assert exc.value.limit == 5
+
+    def test_allocation_budget(self):
+        meter = ResourceBudget(max_allocations=3).meter()
+        with pytest.raises(AllocationBudgetExceeded) as exc:
+            meter.charge_allocation(4)
+        assert exc.value.cause == "allocation"
+
+    def test_string_bytes_share_the_allocation_cause(self):
+        meter = ResourceBudget(max_string_bytes=100).meter()
+        with pytest.raises(AllocationBudgetExceeded) as exc:
+            meter.charge_string_bytes(101)
+        assert exc.value.cause == "allocation"
+
+    def test_recursion_budget(self):
+        meter = ResourceBudget(max_call_depth=8).meter()
+        meter.check_depth(8)  # at the limit is fine
+        with pytest.raises(RecursionBudgetExceeded) as exc:
+            meter.check_depth(9)
+        assert exc.value.cause == "recursion"
+
+    def test_dom_budget(self):
+        meter = ResourceBudget(max_dom_nodes=2).meter()
+        meter.charge_dom_node()
+        meter.charge_dom_node()
+        with pytest.raises(DomBudgetExceeded) as exc:
+            meter.charge_dom_node()
+        assert exc.value.cause == "dom-nodes"
+
+    def test_fetch_budget(self):
+        meter = ResourceBudget(max_fetches_per_page=2).meter()
+        meter.charge_fetch()
+        meter.charge_fetch()
+        with pytest.raises(FetchBudgetExceeded) as exc:
+            meter.charge_fetch()
+        assert exc.value.cause == "fetches"
+
+    def test_deadline_budget(self):
+        clock = VirtualClock()
+        meter = ResourceBudget(deadline_seconds=1.0, clock=clock).meter()
+        meter.check_deadline()
+        clock.advance(1.5)
+        with pytest.raises(DeadlineExceeded) as exc:
+            meter.check_deadline()
+        assert exc.value.cause == "deadline"
+        assert exc.value.overshoot == pytest.approx(1.5)
+
+    def test_all_are_budget_exceeded_but_not_catchable_as_js_error(self):
+        from repro.minijs.errors import MiniJSError
+
+        for cls in (DeadlineExceeded, ScriptBudgetExceeded,
+                    AllocationBudgetExceeded, RecursionBudgetExceeded,
+                    DomBudgetExceeded, FetchBudgetExceeded):
+            assert issubclass(cls, BudgetExceeded)
+            assert not issubclass(cls, MiniJSError)
+
+    def test_failure_reason_carries_the_cause_slug(self):
+        error = ScriptBudgetExceeded("too many", limit=10, used=20)
+        assert error.failure_reason == "budget:steps: too many"
+        assert error.overshoot == 2.0
+
+    def test_first_exhaustion_is_remembered(self):
+        meter = ResourceBudget(max_allocations=1, max_dom_nodes=1).meter()
+        with pytest.raises(AllocationBudgetExceeded):
+            meter.charge_allocation(2)
+        first = meter.exceeded
+        with pytest.raises(DomBudgetExceeded):
+            meter.charge_dom_node(2)
+        assert meter.exceeded is first
+
+
+class TestMeterCounters:
+    def test_begin_page_resets_only_the_fetch_allowance(self):
+        meter = ResourceBudget(max_fetches_per_page=2).meter()
+        meter.begin_page()
+        meter.charge_fetch()
+        meter.charge_fetch()
+        meter.tick()
+        meter.charge_dom_node()
+        meter.begin_page()
+        # A fresh page gets a fresh fetch allowance...
+        meter.charge_fetch()
+        meter.charge_fetch()
+        assert meter.page_fetches == 2
+        # ...but the round-level counters carry over.
+        assert meter.total_steps == 1
+        assert meter.dom_nodes == 1
+        assert meter.pages_started == 2
+
+    def test_deadline_checked_at_page_and_fetch_boundaries(self):
+        clock = VirtualClock(seconds_per_fetch=0.6)
+        meter = ResourceBudget(deadline_seconds=1.0, clock=clock).meter()
+        meter.charge_fetch()
+        with pytest.raises(DeadlineExceeded):
+            meter.charge_fetch()
+        clock2 = VirtualClock()
+        meter2 = ResourceBudget(deadline_seconds=1.0, clock=clock2).meter()
+        clock2.advance(2.0)
+        with pytest.raises(DeadlineExceeded):
+            meter2.begin_page()
+
+    def test_deadline_rechecked_mid_script_by_ticks(self):
+        clock = VirtualClock(seconds_per_step=0.001)
+        meter = ResourceBudget(deadline_seconds=1.0, clock=clock).meter()
+        # No explicit check_deadline call: the tick path alone must
+        # notice the (virtual) clock running out mid-script.
+        with pytest.raises(DeadlineExceeded):
+            for _ in range(10_000):
+                meter.tick()
+
+
+class TestVirtualClock:
+    def test_advances_only_on_counted_work(self):
+        clock = VirtualClock(seconds_per_step=0.5, seconds_per_fetch=2.0)
+        meter = ResourceBudget(clock=clock).meter()
+        assert clock() == 0.0
+        meter.tick()
+        assert clock() == pytest.approx(0.5)
+        meter.charge_fetch()
+        assert clock() == pytest.approx(2.5)
+        assert meter.elapsed() == pytest.approx(2.5)
+
+    def test_timer_jumps_credit_the_virtual_clock(self):
+        clock = VirtualClock()
+        meter = ResourceBudget(clock=clock).meter()
+        meter.advance_clock_ms(3_600_000)
+        assert clock() == pytest.approx(3600.0)
+
+    def test_real_clock_ignores_timer_jumps(self):
+        meter = ResourceBudget().meter()  # default perf_counter clock
+        before = meter.elapsed()
+        meter.advance_clock_ms(3_600_000)
+        assert meter.elapsed() - before < 60.0
+
+    def test_negative_advance_ignored(self):
+        clock = VirtualClock()
+        clock.advance(-5.0)
+        assert clock() == 0.0
+
+    def test_pickle_resets_the_reading(self):
+        # Spawn-started workers rebuild the clock from its rates; the
+        # accumulated reading is per-visit state that must start at 0.
+        clock = VirtualClock(seconds_per_step=0.25, seconds_per_fetch=1.0)
+        clock.advance(42.0)
+        copy = pickle.loads(pickle.dumps(clock))
+        assert copy.seconds_per_step == 0.25
+        assert copy.seconds_per_fetch == 1.0
+        assert copy() == 0.0
+
+
+class TestHeartbeat:
+    def test_noop_without_sink(self):
+        set_heartbeat(None)
+        heartbeat()  # must not raise
+
+    def test_registered_sink_is_called(self):
+        beats = []
+        set_heartbeat(lambda: beats.append(1))
+        try:
+            heartbeat()
+            heartbeat()
+        finally:
+            set_heartbeat(None)
+        assert len(beats) == 2
+
+    def test_ticks_beat_periodically(self):
+        beats = []
+        set_heartbeat(lambda: beats.append(1))
+        try:
+            meter = ResourceBudget().meter()
+            for _ in range(5000):
+                meter.tick()
+        finally:
+            set_heartbeat(None)
+        assert len(beats) >= 2  # every 2048 steps
