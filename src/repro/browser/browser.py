@@ -24,7 +24,7 @@ from repro.blocking.extension import BlockingExtension
 from repro.browser.extension import FeatureRecorder, MeasuringExtension
 from repro.core.sandbox import BudgetExceeded, BudgetMeter
 from repro.dom.bindings import DomRealm
-from repro.dom.html import HtmlParseError, parse_html
+from repro.dom.html import HtmlParseError, parse_html, parse_html_lenient
 from repro.dom.node import DomNode, install_dom_meter
 from repro.minijs.compile import compile_source
 from repro.minijs.errors import (
@@ -35,6 +35,7 @@ from repro.minijs.errors import (
 )
 from repro.net.fetcher import Fetcher, NetworkError
 from repro.net.proxy import InjectingProxy
+from repro.net.resilience import DegradedResource, merge_degraded
 from repro.net.resources import Request, ResourceKind
 from repro.net.url import Url, UrlError
 from repro.timing import phase
@@ -56,6 +57,12 @@ class BrowserConfig:
     #: instrument property writes on singletons (section 4.2.2); False
     #: is the methods-only ablation
     instrument_property_writes: bool = True
+    #: parse documents in browser-grade recovering mode (never fail a
+    #: page on malformed HTML; record what was salvaged as a degraded
+    #: cause instead).  The crawl default — real browsers render
+    #: whatever bytes arrived.  False restores the strict parser, where
+    #: hopeless markup fails the visit ("unparseable html: ...").
+    recover_html: bool = True
 
 
 @dataclass
@@ -81,6 +88,20 @@ class PageVisit:
     #: set when a site-isolation budget blew mid-load; the recorder
     #: keeps everything observed up to that point (partial measurement)
     budget_error: Optional[BudgetExceeded] = None
+    #: what this page lost without the visit failing: subresources
+    #: that exhausted their retries, HTML salvaged by the recovering
+    #: parser.  Deduplicated and capped; ``degraded_total`` is the
+    #: exact occurrence count.
+    degraded: List[DegradedResource] = field(default_factory=list)
+    degraded_total: int = 0
+
+    def record_degraded(
+        self, slug: str, url: str, attempts: int = 1
+    ) -> None:
+        """Record one lost-but-survivable resource on this page."""
+        self.degraded_total += merge_degraded(
+            self.degraded, [DegradedResource(slug, url, attempts)]
+        )
 
     @property
     def executed_any_script(self) -> bool:
@@ -198,11 +219,22 @@ class Browser:
         if not response.is_html:
             visit.failure_reason = "not html"
             return visit
-        try:
-            root = parse_html(response.body)
-        except HtmlParseError as error:
-            visit.failure_reason = "unparseable html: %s" % error
-            return visit
+        if self.config.recover_html:
+            # Browser-grade parsing: never fail the page on malformed
+            # markup.  Whatever had to be salvaged is a degraded cause,
+            # not a failure — matching how Firefox renders a truncated
+            # document and runs the scripts that survived.
+            root, recovery_kinds = parse_html_lenient(response.body)
+            for kind in recovery_kinds:
+                visit.record_degraded(
+                    "recovered-html:%s" % kind, str(url)
+                )
+        else:
+            try:
+                root = parse_html(response.body)
+            except HtmlParseError as error:
+                visit.failure_reason = "unparseable html: %s" % error
+                return visit
 
         realm = DomRealm(
             self.registry,
@@ -267,7 +299,14 @@ class Browser:
                 visit.scripts_blocked += 1
                 visit.requests_blocked += 1
             else:
+                # A lost script degrades the page (its features go
+                # unmeasured) but never aborts the visit — the rest of
+                # the page still runs, as in a real browser.
                 visit.script_errors.append(str(error))
+                visit.record_degraded(
+                    "subresource:script", str(script_url),
+                    attempts=error.attempts,
+                )
             return None
         return response.body
 
@@ -322,6 +361,11 @@ class Browser:
             except NetworkError as error:
                 if error.reason == "blocked":
                     visit.requests_blocked += 1
+                else:
+                    visit.record_degraded(
+                        "subresource:%s" % request_kind, str(target),
+                        attempts=error.attempts,
+                    )
 
         return hook
 
@@ -345,6 +389,11 @@ class Browser:
                 if error.reason == "blocked":
                     visit.requests_blocked += 1
                     node.attributes["data-blocked"] = "1"
+                else:
+                    visit.record_degraded(
+                        "subresource:image", str(target),
+                        attempts=error.attempts,
+                    )
 
     def _apply_element_hiding(
         self, visit: PageVisit, root: DomNode, url: Url

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
+from repro.net.resilience import DegradedResource, merge_degraded
 from repro.webidl.registry import FeatureRegistry
 
 
@@ -39,6 +40,15 @@ class VisitResult:
     budget_cause: Optional[str] = None
     #: used/limit at the moment the budget blew (>= 1.0)
     budget_overshoot: float = 0.0
+    #: resources lost without failing any page (slug + url + attempts,
+    #: deduplicated and capped); ``degraded_resources`` is the exact
+    #: occurrence count
+    degraded: List[DegradedResource] = field(default_factory=list)
+    degraded_resources: int = 0
+    #: extra wire attempts the resilience layer spent this round
+    requests_retried: int = 0
+    #: per-origin circuit breakers that tripped open this round
+    breaker_opens: int = 0
 
     def features_used(self) -> Set[str]:
         return set(self.feature_counts)
@@ -73,6 +83,16 @@ class SiteMeasurement:
     budget_cause: Optional[str] = None
     #: worst used/limit ratio across the partial rounds
     budget_overshoot: float = 0.0
+    #: resources lost across all rounds without failing a page
+    #: (deduplicated detail, capped; ``degraded_resources`` is exact)
+    degraded: List[DegradedResource] = field(default_factory=list)
+    degraded_resources: int = 0
+    #: rounds that lost at least one resource
+    rounds_degraded: int = 0
+    #: extra wire attempts the resilience layer spent on this site
+    requests_retried: int = 0
+    #: circuit-breaker trips while crawling this site
+    breaker_opens: int = 0
 
     def add_round(
         self, result: VisitResult, registry: FeatureRegistry
@@ -86,6 +106,15 @@ class SiteMeasurement:
         plus four partial ones is measured with extra coverage.
         """
         self.rounds_completed += 1
+        # Resilience telemetry folds in for every round, failed ones
+        # included: a round that degraded and *then* failed still
+        # spent those retries and lost those resources.
+        self.requests_retried += result.requests_retried
+        self.breaker_opens += result.breaker_opens
+        if result.degraded_resources:
+            self.rounds_degraded += 1
+            self.degraded_resources += result.degraded_resources
+            merge_degraded(self.degraded, result.degraded)
         if result.partial:
             self.rounds_partial += 1
             if self.budget_cause is None:
@@ -119,6 +148,16 @@ class SiteMeasurement:
     def measured(self) -> bool:
         """The paper's measurability: at least one successful round."""
         return self.rounds_ok > 0
+
+    @property
+    def degraded_measurement(self) -> bool:
+        """Measured, but with resources lost along the way.
+
+        The reporting layer counts these separately from failures: the
+        site's numbers are real but lower bounds (a dead subresource's
+        features went unobserved).
+        """
+        return self.measured and self.degraded_resources > 0
 
     def standards_used(self) -> Set[str]:
         used: Set[str] = set()

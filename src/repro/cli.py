@@ -9,6 +9,10 @@ Commands:
 * ``validate`` — run the section 6 internal/external validation
 * ``chaos``    — crawl the hostile web; verify every resource budget
   and the worker watchdog contain their designated pathology
+  (``--net`` adds the network-fault pathologies and the resilience
+  layer that must absorb them)
+* ``fsck``     — read-only integrity check of a checkpoint run
+  directory (torn writes, mid-shard corruption, manifest mismatches)
 """
 
 from __future__ import annotations
@@ -25,6 +29,7 @@ from repro.core.survey import (
     SurveyResult,
     run_survey,
 )
+from repro.net.resilience import ResilienceConfig
 from repro.core.validation import external_validation, internal_validation
 from repro.webgen.sitegen import SyntheticWeb, build_web
 from repro.webidl.registry import default_registry
@@ -40,6 +45,7 @@ _REPORTS = {
     "figure7": reporting.figure7_series,
     "figure8": reporting.figure8_series,
     "failures": reporting.failure_report_text,
+    "degraded": reporting.degraded_report_text,
     "progress": reporting.progress_report_text,
     "timing": reporting.timing_report_text,
     # Internal: auto-appended to checkpointed runs; not user-selectable
@@ -157,7 +163,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument(
         "--out", metavar="PATH", default=None,
-        help="also write the failure report to this file",
+        help="also write the failure + degraded reports to this file",
+    )
+    chaos.add_argument(
+        "--net", action="store_true",
+        help="also arm the network-fault pathologies (flaky, "
+        "truncated, garbled, slow responses) and enable the "
+        "per-request resilience layer that must absorb them",
+    )
+
+    fsck = commands.add_parser(
+        "fsck",
+        help="read-only integrity check of a survey checkpoint "
+        "directory (nonzero exit on any corruption)",
+    )
+    fsck.add_argument(
+        "run_dir", metavar="RUN_DIR",
+        help="a --run-dir directory from a (possibly interrupted) "
+        "survey run",
     )
 
     export_cmd = commands.add_parser(
@@ -221,6 +244,25 @@ def _crawl_arguments(parser: argparse.ArgumentParser) -> None:
         "--retry-backoff", type=float, default=0.5, metavar="SECONDS",
         help="base of the exponential backoff between retries "
         "(default: 0.5)",
+    )
+    resilience = parser.add_argument_group(
+        "network resilience",
+        "per-*request* fault handling inside a visit round (the "
+        "--retries flag above re-measures whole sites; these absorb "
+        "individual flaky requests without losing the page)",
+    )
+    resilience.add_argument(
+        "--request-retries", type=int, default=2, metavar="N",
+        help="wire attempts per request before it counts as lost; "
+        "backoff between attempts is seeded from the survey seed and "
+        "charged to the visit round's budget clock (default: 2; "
+        "1 disables)",
+    )
+    resilience.add_argument(
+        "--breaker-threshold", type=int, default=5, metavar="N",
+        help="consecutive transient failures before an origin's "
+        "circuit breaker opens and requests fast-fail for a cooldown "
+        "(default: 5; 0 disables)",
     )
     budgets = parser.add_argument_group(
         "site isolation budgets",
@@ -300,6 +342,13 @@ def _run_crawl(args, quad: bool) -> tuple:
         retry=RetryPolicy(
             attempts=max(1, args.retries),
             backoff_base=max(0.0, args.retry_backoff),
+        ),
+        resilience=ResilienceConfig(
+            request_attempts=max(1, args.request_retries),
+            breaker_threshold=(
+                args.breaker_threshold
+                if args.breaker_threshold > 0 else None
+            ),
         ),
         budget=_budget_from_args(args),
         hang_timeout=args.hang_timeout or None,
@@ -488,7 +537,10 @@ def _command_chaos(args, out) -> int:
 
     workers = max(1, args.workers)
     include_poison = workers > 1
-    web = hostile_web(include_poison=include_poison)
+    include_net = bool(args.net)
+    web = hostile_web(
+        include_poison=include_poison, include_net=include_net
+    )
     registry = default_registry()
     config = SurveyConfig(
         conditions=(BrowsingCondition.DEFAULT,),
@@ -497,6 +549,11 @@ def _command_chaos(args, out) -> int:
         workers=workers,
         start_method=args.start_method,
         retry=RetryPolicy(attempts=1, backoff_base=0.0),
+        # --net arms the per-request retry the flaky site requires;
+        # without it the layer stays inert, as in the budget-only runs.
+        resilience=ResilienceConfig(
+            request_attempts=2 if include_net else 1
+        ),
         budget=chaos_budget(),
         hang_timeout=args.hang_timeout or None,
         quarantine_threshold=max(1, args.quarantine_threshold),
@@ -531,12 +588,38 @@ def _command_chaos(args, out) -> int:
             m = result.measurement(condition, domain)
             check(domain, m.budget_cause == QUARANTINE_CAUSE,
                   "budget_cause=%s" % m.budget_cause)
+    if include_net:
+        for domain in web.flaky_domains:
+            # Every first attempt resets; the retry layer must absorb
+            # it invisibly — measured, retried, nothing degraded.
+            m = result.measurement(condition, domain)
+            check(domain, m.measured and m.requests_retried > 0,
+                  "rounds_ok=%d retried=%d"
+                  % (m.rounds_ok, m.requests_retried))
+        for domain in web.truncate_domains + web.garbage_domains:
+            # Damaged bytes: the recovering parser must salvage the
+            # page — measured, with the loss on the degraded ledger.
+            m = result.measurement(condition, domain)
+            check(domain, m.measured and m.degraded_resources > 0,
+                  "rounds_ok=%d degraded=%d"
+                  % (m.rounds_ok, m.degraded_resources))
+        for domain in web.slow_domains:
+            # 45 s synthetic latency vs a 30 s deadline: the budget,
+            # not a hang, must end the visit.
+            m = result.measurement(condition, domain)
+            check(domain,
+                  not m.measured and m.budget_cause == "deadline",
+                  "budget_cause=%s" % m.budget_cause)
     out.write(reporting.render_table(
         ("Site", "Outcome", "Verdict"), rows
     ))
     out.write("\n\n")
     report = reporting.failure_report_text(result)
     out.write("== failures ==\n%s\n" % report)
+    if include_net:
+        degraded = reporting.degraded_report_text(result)
+        out.write("\n== degraded ==\n%s\n" % degraded)
+        report = "%s\n\n== degraded ==\n%s" % (report, degraded)
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(report)
@@ -546,6 +629,16 @@ def _command_chaos(args, out) -> int:
         "chaos: %d checks, %d missed\n" % (len(rows), failures)
     )
     return 1 if failures else 0
+
+
+def _command_fsck(args, out) -> int:
+    """Check a run directory's integrity without touching it."""
+    from repro.core.checkpoint import fsck_run_dir
+
+    ok, lines = fsck_run_dir(args.run_dir)
+    for line in lines:
+        out.write(line + "\n")
+    return 0 if ok else 1
 
 
 def _command_validate(args, out) -> int:
@@ -577,6 +670,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "debloat": _command_debloat,
         "validate": _command_validate,
         "chaos": _command_chaos,
+        "fsck": _command_fsck,
         "compare": _command_compare,
         "export": _command_export,
     }[args.command]

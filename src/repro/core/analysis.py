@@ -42,6 +42,10 @@ class CrawlSummary:
     pages_visited: int
     interaction_seconds: int
     feature_invocations: int
+    #: measured domains that lost at least one resource (a subset of
+    #: ``domains_measured``, disjoint from ``domains_failed``: their
+    #: numbers are real but lower bounds)
+    domains_degraded: int = 0
 
     @property
     def interaction_days(self) -> float:
@@ -60,6 +64,7 @@ def table1_crawl_summary(result: SurveyResult) -> CrawlSummary:
         pages_visited=pages,
         interaction_seconds=pages * INTERACTION_SECONDS_PER_PAGE,
         feature_invocations=result.total_invocations(),
+        domains_degraded=len(result.degraded_domains(default)),
     )
 
 

@@ -223,6 +223,7 @@ class SurveyCheckpoint:
             "n_domains": len(domains),
             "domains_digest": domains_digest(domains),
             "budget": cls._budget_fingerprint(config),
+            "resilience": cls._resilience_fingerprint(config),
             "started_at": datetime.datetime.fromtimestamp(
                 stamp, datetime.timezone.utc
             ).isoformat(),
@@ -304,6 +305,14 @@ class SurveyCheckpoint:
             checks.append(
                 ("budget", SurveyCheckpoint._budget_fingerprint(config))
             )
+        if "resilience" in manifest:
+            # Retry counts and jitter shape which sites succeed and how
+            # much budget each round burns; mixing records crawled under
+            # different resilience settings would be incomparable too.
+            checks.append(
+                ("resilience",
+                 SurveyCheckpoint._resilience_fingerprint(config))
+            )
         for key, live in checks:
             if manifest.get(key) != live:
                 raise mismatch(key, manifest.get(key), live)
@@ -312,6 +321,16 @@ class SurveyCheckpoint:
     def _budget_fingerprint(config) -> Optional[Dict[str, Any]]:
         budget = getattr(config, "budget", None)
         return budget.fingerprint() if budget is not None else None
+
+    @staticmethod
+    def _resilience_fingerprint(config) -> Optional[Dict[str, Any]]:
+        resilience = getattr(config, "resilience", None)
+        if resilience is None:
+            return None
+        # The fingerprint records the *effective* config: an unseeded
+        # jitter seed resolves from the survey seed, exactly as
+        # _build_crawler resolves it.
+        return resilience.seeded(config.seed).fingerprint()
 
     # -- shard IO --------------------------------------------------------
 
@@ -432,3 +451,167 @@ class SurveyCheckpoint:
         path = os.path.join(self.run_dir, RESULT_NAME)
         save_survey(result, path)
         return path
+
+
+# -- offline integrity check (``repro fsck``) ---------------------------
+
+#: manifest keys every checkpoint version 1 run directory must carry
+_MANIFEST_REQUIRED = (
+    "checkpoint_version",
+    "registry_fingerprint",
+    "conditions",
+    "visits_per_site",
+    "seed",
+    "n_domains",
+    "domains_digest",
+)
+
+#: measurement keys every shard record must carry (the version-1
+#: serialization floor; later fields are optional-with-defaults)
+_MEASUREMENT_REQUIRED = (
+    "rounds_completed",
+    "rounds_ok",
+    "features",
+    "invocations",
+)
+
+
+def fsck_run_dir(run_dir: str) -> Tuple[bool, List[str]]:
+    """Read-only integrity check of a survey run directory.
+
+    Returns ``(ok, report_lines)``.  Never modifies anything — a torn
+    trailing write is flagged as recoverable but not truncated here
+    (resume repairs it).  ``ok`` is False for *any* damage, recoverable
+    or not: a torn trailing write, an unreadable or incomplete
+    manifest, mid-shard corruption, records in the wrong shard,
+    malformed records, a bad quarantine file, or a final ``survey.json``
+    inconsistent with the manifest it sits next to.
+    """
+    lines: List[str] = []
+    problems = 0
+
+    def report(ok: bool, text: str) -> None:
+        nonlocal problems
+        if not ok:
+            problems += 1
+        lines.append("%s %s" % ("ok " if ok else "BAD", text))
+
+    if not os.path.isdir(run_dir):
+        return False, ["BAD %s: not a directory" % run_dir]
+
+    # 1. Manifest: readable, right version, complete.
+    manifest: Optional[Dict[str, Any]] = None
+    manifest_path = os.path.join(run_dir, MANIFEST_NAME)
+    if not os.path.exists(manifest_path):
+        report(False, "%s: missing" % MANIFEST_NAME)
+    else:
+        try:
+            with open(manifest_path, encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            report(False, "%s: unreadable (%s)" % (MANIFEST_NAME, error))
+        if manifest is not None:
+            missing = [k for k in _MANIFEST_REQUIRED if k not in manifest]
+            if manifest.get("checkpoint_version") != CHECKPOINT_VERSION:
+                report(False, "%s: unsupported version %r" % (
+                    MANIFEST_NAME, manifest.get("checkpoint_version")))
+                manifest = None
+            elif missing:
+                report(False, "%s: missing keys %s" % (
+                    MANIFEST_NAME, ", ".join(missing)))
+                manifest = None
+            else:
+                report(True, "%s: version %d, %d condition(s), %d domains"
+                       % (MANIFEST_NAME, CHECKPOINT_VERSION,
+                          len(manifest["conditions"]),
+                          manifest["n_domains"]))
+
+    # 2. Shards: per-condition, last-line-torn is recoverable, anything
+    #    else is corruption.
+    conditions = list(manifest["conditions"]) if manifest else []
+    shard_records: Dict[str, int] = {}
+    for condition in conditions:
+        name = shard_name(condition)
+        path = os.path.join(run_dir, name)
+        if not os.path.exists(path):
+            report(True, "%s: not started (no records yet)" % name)
+            continue
+        try:
+            records, dropped = load_shard_records(path, repair=False)
+        except CheckpointError as error:
+            report(False, "%s: %s" % (name, error))
+            continue
+        bad = 0
+        for record in records:
+            if record["condition"] != condition:
+                bad += 1
+                continue
+            measurement = record["measurement"]
+            if any(k not in measurement for k in _MEASUREMENT_REQUIRED):
+                bad += 1
+        if bad:
+            report(False, "%s: %d malformed record(s)" % (name, bad))
+            continue
+        shard_records[condition] = len(records)
+        if dropped:
+            report(False, "%s: %d record(s), torn trailing write "
+                   "(recoverable; resume repairs it)"
+                   % (name, len(records)))
+        else:
+            report(True, "%s: %d record(s)" % (name, len(records)))
+    # Stray shards for conditions the manifest does not know about.
+    if manifest is not None:
+        known = {shard_name(c) for c in conditions}
+        for name in sorted(os.listdir(run_dir)):
+            if (name.startswith("shard-") and name.endswith(".jsonl")
+                    and name not in known):
+                report(False, "%s: shard for unknown condition" % name)
+
+    # 3. Quarantine strike table (optional file).
+    quarantine_path = os.path.join(run_dir, QUARANTINE_NAME)
+    if os.path.exists(quarantine_path):
+        try:
+            with open(quarantine_path, encoding="utf-8") as handle:
+                data = json.load(handle)
+            strikes = data.get("strikes")
+            if not isinstance(strikes, dict) or not all(
+                isinstance(d, str) and isinstance(n, int)
+                for d, n in strikes.items()
+            ):
+                raise ValueError("no valid strikes table")
+            report(True, "%s: %d quarantine strike(s)"
+                   % (QUARANTINE_NAME, sum(strikes.values())))
+        except (OSError, ValueError) as error:
+            report(False, "%s: unreadable (%s)"
+                   % (QUARANTINE_NAME, error))
+
+    # 4. Final survey.json, when present, must agree with the manifest
+    #    it sits next to (same registry, conditions and domain list).
+    result_path = os.path.join(run_dir, RESULT_NAME)
+    if os.path.exists(result_path) and manifest is not None:
+        try:
+            with open(result_path, encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            report(False, "%s: unreadable (%s)" % (RESULT_NAME, error))
+        else:
+            mismatches = []
+            if (data.get("registry_fingerprint")
+                    != manifest["registry_fingerprint"]):
+                mismatches.append("registry_fingerprint")
+            if list(data.get("conditions", [])) != conditions:
+                mismatches.append("conditions")
+            if (domains_digest(data.get("domains", []))
+                    != manifest["domains_digest"]):
+                mismatches.append("domains_digest")
+            if mismatches:
+                report(False, "%s: disagrees with manifest on %s"
+                       % (RESULT_NAME, ", ".join(mismatches)))
+            else:
+                report(True, "%s: consistent with manifest" % RESULT_NAME)
+
+    lines.append(
+        "%s: %s" % (run_dir, "clean" if not problems
+                    else "%d problem(s) found" % problems)
+    )
+    return problems == 0, lines

@@ -18,6 +18,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.browser.session import SiteMeasurement
 from repro.core.survey import SurveyResult
+from repro.net.resilience import DegradedResource
 from repro.webidl.registry import FeatureRegistry, default_registry
 
 FORMAT_VERSION = 1
@@ -47,6 +48,11 @@ def measurement_to_dict(m: SiteMeasurement) -> Dict[str, Any]:
         "rounds_partial": m.rounds_partial,
         "budget_cause": m.budget_cause,
         "budget_overshoot": m.budget_overshoot,
+        "degraded": [d.to_dict() for d in m.degraded],
+        "degraded_resources": m.degraded_resources,
+        "rounds_degraded": m.rounds_degraded,
+        "requests_retried": m.requests_retried,
+        "breaker_opens": m.breaker_opens,
     }
 
 
@@ -85,6 +91,14 @@ def measurement_from_dict(
     m.rounds_partial = raw.get("rounds_partial", 0)
     m.budget_cause = raw.get("budget_cause")
     m.budget_overshoot = raw.get("budget_overshoot", 0.0)
+    # The degraded-page fields default so pre-resilience surveys load.
+    m.degraded = [
+        DegradedResource.from_dict(d) for d in raw.get("degraded", [])
+    ]
+    m.degraded_resources = raw.get("degraded_resources", 0)
+    m.rounds_degraded = raw.get("rounds_degraded", 0)
+    m.requests_retried = raw.get("requests_retried", 0)
+    m.breaker_opens = raw.get("breaker_opens", 0)
     return m
 
 

@@ -39,6 +39,8 @@ def table1_text(result: SurveyResult) -> str:
     rows = [
         ("Domains measured", "{:,}".format(summary.domains_measured)),
         ("Domains failed", "{:,}".format(summary.domains_failed)),
+        ("Domains degraded (measured, resources lost)",
+         "{:,}".format(summary.domains_degraded)),
         ("Total website interaction time",
          "%.1f days" % summary.interaction_days),
         ("Web pages visited", "{:,}".format(summary.pages_visited)),
@@ -315,11 +317,51 @@ def crawl_health_text(result: SurveyResult) -> str:
             condition,
             "%d/%d" % (measured, total),
             str(total - measured),
+            str(len(result.degraded_domains(condition))),
             str(len(result.retried_domains(condition))),
         ))
     return render_table(
-        ("Condition", "Measured", "Failed", "Retried"), rows
+        ("Condition", "Measured", "Failed", "Degraded", "Retried"), rows
     )
+
+
+def degraded_report_text(result: SurveyResult) -> str:
+    """Every degraded (condition, domain) with its lost resources.
+
+    Degraded sites *were* measured — their pages loaded and their
+    features counted — but lost subresources or needed HTML salvage
+    along the way, so their numbers are lower bounds.  The report lists
+    each site's structured causes (slug + url + wire attempts) and a
+    per-slug summary, keeping the loss ledger separate from the failure
+    ledger (:func:`failure_report_text`)."""
+    rows: List[Tuple[str, str, str, str, str]] = []
+    by_slug: Dict[str, int] = {}
+    total_lost = 0
+    for condition in result.conditions:
+        for domain in result.degraded_domains(condition):
+            m = result.measurements[condition][domain]
+            total_lost += m.degraded_resources
+            for cause in m.degraded:
+                rows.append((
+                    domain,
+                    condition,
+                    cause.slug,
+                    cause.url,
+                    str(cause.attempts),
+                ))
+                by_slug[cause.slug] = by_slug.get(cause.slug, 0) + 1
+    if not rows:
+        return "no degraded domains"
+    table = render_table(
+        ("Domain", "Condition", "Cause", "URL", "Attempts"), rows
+    )
+    summary_lines = [
+        "by cause (%d distinct losses, %d occurrences):"
+        % (len(rows), total_lost)
+    ]
+    for slug in sorted(by_slug):
+        summary_lines.append("  %s: %d" % (slug, by_slug[slug]))
+    return "%s\n\n%s" % (table, "\n".join(summary_lines))
 
 
 def progress_report_text(result: SurveyResult) -> str:

@@ -37,6 +37,7 @@ from repro.core.sandbox import (
 from repro.minijs.compile import CompileCache, shared_cache
 from repro.monkey.crawler import CrawlConfig, SiteCrawler
 from repro.net.fetcher import Fetcher
+from repro.net.resilience import ResilienceConfig
 from repro.timing import merge_phases, phase_delta, phase_snapshot
 from repro.webgen.sitegen import SyntheticWeb
 from repro.webidl.registry import FeatureRegistry
@@ -143,6 +144,14 @@ class SurveyConfig:
     start_method: Optional[str] = None
     #: per-site retry behavior for transient failures
     retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: per-*request* resilience (retries with VirtualClock-charged
+    #: seeded backoff, per-origin circuit breakers).  The default is
+    #: inert — request-level retries change how many wire attempts a
+    #: source sees, so they are opt-in; the CLI arms them
+    #: (``--request-retries`` / ``--breaker-threshold``)
+    resilience: ResilienceConfig = field(
+        default_factory=ResilienceConfig
+    )
     #: site-isolation resource budgets (the default enforces nothing);
     #: a blown budget degrades that round into a partial measurement
     budget: ResourceBudget = field(default_factory=ResourceBudget)
@@ -221,6 +230,18 @@ class SurveyResult:
             if self.measurements[condition][d].attempts > 1
         ]
 
+    def degraded_domains(self, condition: str) -> List[str]:
+        """Measured domains that lost resources along the way.
+
+        Disjoint from :meth:`failed_domains` by construction (degraded
+        requires ``measured``): these sites have real numbers that are
+        lower bounds, versus failed sites which have none.
+        """
+        return [
+            d for d in self.domains
+            if self.measurements[condition][d].degraded_measurement
+        ]
+
     def commonly_measured_domains(self) -> List[str]:
         """Domains measured under every condition (block-rate joins)."""
         out = []
@@ -279,7 +300,10 @@ def _build_crawler(
     )
     browser = Browser(
         registry,
-        Fetcher(web),
+        # The jitter seed derives from the survey seed, so every
+        # worker — forked, spawned or resumed — computes identical
+        # backoff delays for the same (url, attempt).
+        Fetcher(web, resilience=config.resilience.seeded(config.seed)),
         blocking_extensions=extensions,
         config=config.browser,
     )

@@ -3,9 +3,24 @@
 Real pages are malformed; a crawler's parser must not be strict.  This
 parser recovers from unclosed tags, stray close tags and unquoted
 attributes, and treats ``<script>`` contents as raw text (the browser
-later executes them).  Only genuinely hopeless input (e.g. an
-unterminated ``<script`` open tag at EOF) raises
-:class:`HtmlParseError`.
+later executes them).
+
+Two severities remain:
+
+* **strict** (``parse_html(text)``) — genuinely hopeless input (an
+  unterminated ``<script`` open tag at EOF, a truncated ``<script>``
+  element) raises :class:`HtmlParseError`.  This is the mode analysis
+  tools and round-trip tests want: garbage should be loud.
+* **recovering** (``parse_html(text, recover=True)`` /
+  :func:`parse_html_lenient`) — *never* raises.  Truncated raw-text
+  elements keep their tail as content, an unterminated open tag drops
+  the tail, and stray control bytes are stripped before parsing — the
+  way a browser renders whatever survived a dropped connection.  The
+  crawl uses this mode by default and records each salvage kind as a
+  structured degraded cause on the page visit.
+
+On well-formed input the two modes produce identical trees (the
+recovery branches only run where strict mode would have raised).
 """
 
 from __future__ import annotations
@@ -17,23 +32,65 @@ from repro.dom.node import DomNode, ELEMENT_NODE, TEXT_NODE, VOID_TAGS
 
 
 class HtmlParseError(ValueError):
-    """Unrecoverably malformed HTML."""
+    """Unrecoverably malformed HTML (strict mode only)."""
 
 
 _ATTR_RE = re.compile(
     r"""([a-zA-Z_:][-a-zA-Z0-9_:.]*)\s*(?:=\s*("[^"]*"|'[^']*'|[^\s>]+))?"""
 )
 
+#: C0 control characters that are not HTML whitespace (plus DEL).
+#: Real markup never contains them; line noise and mis-decoded bytes
+#: do, and they would otherwise end up inside text nodes and script
+#: bodies.
+_CONTROL_RE = re.compile(
+    "[\x00-\x08\x0b\x0e-\x1f\x7f]"
+)
+
 _RAW_TEXT_TAGS = ("script", "style")
 
 
-def parse_html(text: str) -> DomNode:
+def parse_html(text: str, recover: bool = False) -> DomNode:
     """Parse an HTML document into a tree rooted at ``<html>``.
 
     Always returns a root with ``head`` and ``body`` children, creating
     them when the document omits them — matching how browsers normalize
-    documents before scripts run.
+    documents before scripts run.  With ``recover=True`` the parse
+    never raises (see :func:`parse_html_lenient`, which also reports
+    *what* was salvaged).
     """
+    if recover:
+        root, _ = parse_html_lenient(text)
+        return root
+    return _parse(text, None)
+
+
+def parse_html_lenient(text: str) -> Tuple[DomNode, List[str]]:
+    """Browser-grade recovering parse: never raises.
+
+    Returns ``(root, recovery_kinds)`` where ``recovery_kinds`` lists
+    what had to be salvaged, in the order encountered:
+
+    * ``"control-chars"`` — non-whitespace control bytes stripped;
+    * ``"unterminated-script"`` / ``"unterminated-style"`` — a raw-text
+      element ran to EOF without its close tag; the tail became its
+      content;
+    * ``"unterminated-tag"`` — an open tag ran to EOF without ``>``;
+      the tail was dropped.
+
+    An empty list means strict mode would have parsed the document to
+    the identical tree.
+    """
+    kinds: List[str] = []
+    cleaned = _CONTROL_RE.sub("", text)
+    if cleaned != text:
+        kinds.append("control-chars")
+    root = _parse(cleaned, kinds)
+    return root, kinds
+
+
+def _parse(text: str, kinds: Optional[List[str]]) -> DomNode:
+    """The parser core; ``kinds`` None = strict (raise), else recover."""
     root = DomNode(ELEMENT_NODE, "html")
     stack: List[DomNode] = [root]
     pos = 0
@@ -69,7 +126,15 @@ def parse_html(text: str) -> DomNode:
             _close_tag(stack, tag)
             pos = end + 1
             continue
-        tag, attrs, self_closing, end = _read_open_tag(text, lt)
+        try:
+            tag, attrs, self_closing, end = _read_open_tag(text, lt)
+        except HtmlParseError:
+            if kinds is None:
+                raise
+            # The document ends inside an open tag (truncated mid-tag):
+            # everything from here is tag soup, drop it.
+            kinds.append("unterminated-tag")
+            break
         if tag is None:
             _append_text(current(), "<")
             pos = lt + 1
@@ -86,7 +151,19 @@ def parse_html(text: str) -> DomNode:
             close = "</%s>" % tag
             close_at = text.lower().find(close, pos)
             if close_at == -1:
-                raise HtmlParseError("unterminated <%s> element" % tag)
+                if kinds is None:
+                    raise HtmlParseError(
+                        "unterminated <%s> element" % tag
+                    )
+                # Truncated mid-element: the tail is the element's
+                # content, the way browsers treat an EOF inside a
+                # script.  (The compiler decides whether the fragment
+                # still runs.)
+                kinds.append("unterminated-%s" % tag)
+                raw = text[pos:]
+                if raw:
+                    node.append_child(DomNode(TEXT_NODE, text=raw))
+                break
             raw = text[pos:close_at]
             if raw:
                 node.append_child(DomNode(TEXT_NODE, text=raw))

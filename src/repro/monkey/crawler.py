@@ -30,6 +30,7 @@ from repro.core.sandbox import (
 )
 from repro.dom.node import install_dom_meter
 from repro.monkey.gremlins import Gremlins, MonkeyConfig
+from repro.net.resilience import merge_degraded
 from repro.net.url import Url
 from repro.seeding import derive_seed
 from repro.timing import phase
@@ -106,9 +107,17 @@ class SiteCrawler:
         # The meter stays installed for the whole round — the monkey
         # phase runs page scripts too, and its fetch storms and DOM
         # growth must charge the same budgets as the load phase.
-        previous_fetch_meter = self.browser.fetcher.budget_meter
+        fetcher = self.browser.fetcher
+        # Circuit-breaker state is per visit round: a resumed or
+        # parallel run's round then sees exactly the (empty) breaker
+        # history a serial run's would.  The counter snapshots turn
+        # the fetcher's cumulative telemetry into per-round deltas.
+        fetcher.reset_round()
+        retried_before = fetcher.requests_retried
+        opens_before = fetcher.breaker_opens
+        previous_fetch_meter = fetcher.budget_meter
         previous_dom_meter = install_dom_meter(meter)
-        self.browser.fetcher.budget_meter = meter
+        fetcher.budget_meter = meter
         try:
             frontier = [home]
             executed_any = False
@@ -135,8 +144,14 @@ class SiteCrawler:
                 if not frontier:
                     break
         finally:
-            self.browser.fetcher.budget_meter = previous_fetch_meter
+            fetcher.budget_meter = previous_fetch_meter
             install_dom_meter(previous_dom_meter)
+            result.requests_retried = (
+                fetcher.requests_retried - retried_before
+            )
+            result.breaker_opens = (
+                fetcher.breaker_opens - opens_before
+            )
 
         if result.partial:
             # A blown budget ends the round where it stood: whatever
@@ -168,6 +183,11 @@ class SiteCrawler:
         page = self.browser.visit_page(
             url, seed=rng.randrange(1 << 30), meter=meter
         )
+        if page.degraded_total:
+            # Losses fold in whatever happens next: a page that
+            # degraded and then blew a budget still lost them.
+            result.degraded_resources += page.degraded_total
+            merge_degraded(result.degraded, page.degraded)
         if page.budget_error is not None:
             self._record_budget_abort(result, page, page.budget_error)
             return None

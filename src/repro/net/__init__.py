@@ -10,8 +10,18 @@ the paper describes (section 4.2, Figure 2).
 
 from repro.net.url import Url, UrlError
 from repro.net.resources import Request, Response, ResourceKind
-from repro.net.fetcher import Fetcher, NetworkError, WebSource
+from repro.net.fetcher import (
+    Fetcher,
+    NetworkError,
+    TransientNetworkError,
+    WebSource,
+)
 from repro.net.proxy import InjectingProxy
+from repro.net.resilience import (
+    CircuitBreaker,
+    DegradedResource,
+    ResilienceConfig,
+)
 
 __all__ = [
     "Url",
@@ -21,6 +31,10 @@ __all__ = [
     "ResourceKind",
     "Fetcher",
     "NetworkError",
+    "TransientNetworkError",
     "WebSource",
     "InjectingProxy",
+    "CircuitBreaker",
+    "DegradedResource",
+    "ResilienceConfig",
 ]

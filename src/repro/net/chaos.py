@@ -1,7 +1,7 @@
 """Chaos-injecting web sources (the hostile half of the crawl tests).
 
 :class:`ChaosSource` wraps any :class:`~repro.net.fetcher.WebSource`
-and makes chosen domains exhibit the two pathologies a *source-level*
+and makes chosen domains exhibit the pathologies a *source-level*
 fault can model:
 
 * **hang** — ``respond()`` blocks in ``time.sleep`` on the domain's
@@ -11,10 +11,27 @@ fault can model:
 * **crash** — ``respond()`` takes the whole worker process down with
   ``os._exit``, the moral equivalent of a page segfaulting the
   browser.  The supervisor sees a dead worker holding a site.
+* **flaky** — every request to the domain fails its first ``k`` wire
+  attempts with a transient reset, then succeeds.  Stateless: the
+  verdict reads ``request.attempt`` (stamped by the fetcher's retry
+  loop), so serial, parallel and resumed crawls see identical
+  behavior with no per-URL counters to diverge.
+* **truncate** — document bodies are cut to a prefix, the classic
+  mid-transfer connection drop.  Exercises the HTML parser's
+  recovering mode.
+* **garbage** — the second half of document bodies is deterministically
+  corrupted (control bytes included), modeling line noise /
+  mis-encoded content.  Also a parser-recovery case.
+* **slow** — document responses carry a synthetic-latency header the
+  fetcher credits to the visit's VirtualClock, so a molasses origin
+  burns deadline budget without any process sleeping.
 
 Resource-exhaustion pathologies (step storms, allocation bombs, DOM
 floods...) live in :mod:`repro.webgen.hostile` instead — they are
 properties of page *content*, not of the network.
+
+Domain sets accept the ``"*"`` wildcard to match every host (the
+flaky-web acceptance test arms flakiness globally that way).
 
 Unknown attributes delegate to the wrapped source (like
 :class:`~repro.net.fetcher.FaultInjectingSource`), so a wrapped
@@ -26,16 +43,22 @@ from __future__ import annotations
 
 import os
 import time
-from typing import Iterable, Optional
+from typing import FrozenSet, Iterable, Optional
 
+from repro.net.fetcher import TransientNetworkError
+from repro.net.resilience import ALL_HOSTS, SYNTHETIC_DELAY_HEADER
 from repro.net.resources import Request, ResourceKind, Response
 
 #: exit status a crash-injected worker dies with (visible in tests)
 CRASH_EXIT_CODE = 73
 
 
+def _matches(domains: FrozenSet[str], host: str) -> bool:
+    return host in domains or ALL_HOSTS in domains
+
+
 class ChaosSource:
-    """A WebSource wrapper that hangs or kills on chosen domains."""
+    """A WebSource wrapper arming network pathologies on chosen domains."""
 
     def __init__(
         self,
@@ -43,11 +66,25 @@ class ChaosSource:
         hang_domains: Iterable[str] = (),
         crash_domains: Iterable[str] = (),
         hang_seconds: float = 3600.0,
+        flaky_domains: Iterable[str] = (),
+        flaky_failures: int = 1,
+        truncate_domains: Iterable[str] = (),
+        truncate_fraction: float = 0.5,
+        garbage_domains: Iterable[str] = (),
+        slow_domains: Iterable[str] = (),
+        slow_seconds: float = 45.0,
     ) -> None:
         self._inner = inner
         self._hang = frozenset(hang_domains)
         self._crash = frozenset(crash_domains)
         self.hang_seconds = hang_seconds
+        self._flaky = frozenset(flaky_domains)
+        self.flaky_failures = max(0, flaky_failures)
+        self._truncate = frozenset(truncate_domains)
+        self.truncate_fraction = truncate_fraction
+        self._garbage = frozenset(garbage_domains)
+        self._slow = frozenset(slow_domains)
+        self.slow_seconds = slow_seconds
 
     def __getattr__(self, name: str):
         if name == "_inner":
@@ -57,8 +94,8 @@ class ChaosSource:
         return getattr(self._inner, name)
 
     def respond(self, request: Request) -> Optional[Response]:
+        host = request.url.host
         if request.kind == ResourceKind.DOCUMENT:
-            host = request.url.host
             if host in self._hang:
                 # Long enough that only the watchdog ends it; bounded
                 # so an unsupervised (serial) caller that reaches a
@@ -67,4 +104,57 @@ class ChaosSource:
                 return None
             if host in self._crash:
                 os._exit(CRASH_EXIT_CODE)
-        return self._inner.respond(request)
+        if (_matches(self._flaky, host)
+                and getattr(request, "attempt", 1) <= self.flaky_failures):
+            raise TransientNetworkError(request.url, "flaky reset")
+        response = self._inner.respond(request)
+        if response is None or request.kind != ResourceKind.DOCUMENT:
+            return response
+        if _matches(self._truncate, host):
+            response = self._truncated(response)
+        if _matches(self._garbage, host):
+            response = self._garbled(response)
+        if _matches(self._slow, host):
+            headers = dict(response.headers)
+            headers[SYNTHETIC_DELAY_HEADER] = repr(self.slow_seconds)
+            response = Response(
+                url=response.url, status=response.status,
+                content_type=response.content_type,
+                body=response.body, headers=headers,
+            )
+        return response
+
+    def _truncated(self, response: Response) -> Response:
+        cut = int(len(response.body) * self.truncate_fraction)
+        return Response(
+            url=response.url, status=response.status,
+            content_type=response.content_type,
+            body=response.body[:cut], headers=dict(response.headers),
+        )
+
+    def _garbled(self, response: Response) -> Response:
+        """Corrupt the second half of the body, deterministically.
+
+        Every fourth character is replaced by a C0 control byte derived
+        from its position and original value (never ``\\t``/``\\n``/
+        ``\\f``/``\\r``, which browsers treat as whitespace), so the
+        same document garbles the same way in every process — and the
+        recovering parser is guaranteed a ``control-chars`` salvage.
+        """
+        body = response.body
+        half = len(body) // 2
+        garbled = []
+        for index, char in enumerate(body[half:]):
+            if index % 4 == 0:
+                code = (index * 37 + ord(char)) % 31 + 1  # 1..31
+                if code in (9, 10, 12, 13):
+                    code = 1
+                garbled.append(chr(code))
+            else:
+                garbled.append(char)
+        return Response(
+            url=response.url, status=response.status,
+            content_type=response.content_type,
+            body=body[:half] + "".join(garbled),
+            headers=dict(response.headers),
+        )

@@ -6,10 +6,17 @@ crawlable (the synthetic web implements it; a test double can too).
 top: unknown hosts raise :class:`NetworkError` the way a dead domain
 times out, and unresponsive sites stay unresponsive — the paper could
 not measure 267 of the Alexa 10k for exactly these reasons.
+
+The fetcher is also where the resilience layer
+(:mod:`repro.net.resilience`) lives: per-request retries with
+deterministic VirtualClock-charged backoff, and per-origin circuit
+breakers.  The default :class:`ResilienceConfig` is inert, so a bare
+``Fetcher(source)`` behaves exactly like the pre-resilience one.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import (
     Callable,
     Dict,
@@ -23,6 +30,11 @@ from typing import (
 )
 
 from repro.core.sandbox import heartbeat
+from repro.net.resilience import (
+    SYNTHETIC_DELAY_HEADER,
+    ResilienceConfig,
+    ResilienceState,
+)
 from repro.net.resources import Request, ResourceKind, Response
 from repro.net.url import Url
 
@@ -32,9 +44,12 @@ class NetworkError(Exception):
 
     ``transient`` distinguishes failures worth retrying (an overloaded
     host, a dropped connection) from deterministic ones (NXDOMAIN, a
-    page that always serves HTTP 500): the survey's retry policy re-attempts
+    page that always serves HTTP 404): the retry layers re-attempt
     only the former by default, since re-running a deterministic
-    failure just repeats it.
+    failure just repeats it.  ``attempts`` is stamped by the fetcher
+    with how many wire attempts it spent before giving up (0 when a
+    circuit breaker fast-failed the request without touching the
+    wire); the browser copies it onto the degraded-resource record.
     """
 
     def __init__(
@@ -44,6 +59,7 @@ class NetworkError(Exception):
         self.url = url
         self.reason = reason
         self.transient = transient
+        self.attempts = 1
 
 
 class TransientNetworkError(NetworkError):
@@ -60,19 +76,47 @@ class WebSource(Protocol):
         """Return a response, or None when the host does not exist."""
 
 
+def classify_status(status: int) -> bool:
+    """Is an HTTP error status transient (worth a retry)?
+
+    5xx is the server falling over and 429 is it asking for backoff —
+    both may clear on retry.  4xx (other than 429) is a deterministic
+    answer about the resource: retrying a 404 just re-fetches the 404.
+    """
+    return status >= 500 or status == 429
+
+
 class Fetcher:
     """Issues requests against a web source, with accounting.
 
-    ``request_log`` records every request issued (the crawl statistics
-    in Table 1 come from here); ``observers`` get a callback per request
-    so blocking extensions can veto loads *before* they happen, which is
-    where AdBlock Plus and Ghostery actually intervene.
+    ``observers`` get a callback per request so blocking extensions can
+    veto loads *before* they happen, which is where AdBlock Plus and
+    Ghostery actually intervene.  Counter semantics:
+
+    * ``requests_issued`` — every ``fetch()`` call (the crawl
+      statistics in Table 1 come from here);
+    * ``requests_blocked`` — extension vetoes.  Deliberately **not**
+      counted as failed: a veto is policy, not a dead host;
+    * ``requests_failed`` — requests that exhausted every attempt;
+    * ``requests_retried`` — extra wire attempts beyond the first;
+    * ``requests_short_circuited`` — fast-failed by an open breaker;
+    * ``breaker_opens`` — origin breakers tripping open.
     """
 
-    def __init__(self, source: WebSource) -> None:
+    def __init__(
+        self,
+        source: WebSource,
+        resilience: Optional[ResilienceConfig] = None,
+    ) -> None:
         self._source = source
+        self.resilience = resilience or ResilienceConfig()
+        self._state = ResilienceState(self.resilience)
         self.requests_issued = 0
         self.requests_failed = 0
+        self.requests_blocked = 0
+        self.requests_retried = 0
+        self.requests_short_circuited = 0
+        self.breaker_opens = 0
         self._observers: List[Callable[[Request], bool]] = []
         #: The active visit's budget meter (repro.core.sandbox),
         #: installed by the browser around each page so fetch storms
@@ -86,11 +130,27 @@ class Fetcher:
     def clear_observers(self) -> None:
         self._observers = []
 
+    def reset_round(self) -> None:
+        """Forget per-round resilience state (circuit breakers).
+
+        The crawler calls this at the top of every visit round so
+        breaker history never leaks across rounds — which is what keeps
+        parallel and resumed crawls bit-identical to serial ones.
+        """
+        self._state.reset_round()
+
+    def breaker_states(self) -> Dict[str, Tuple[str, int]]:
+        """origin -> (breaker state, times opened), for telemetry."""
+        return self._state.breaker_states()
+
     def fetch(self, request: Request) -> Response:
         """Fetch a resource; raises NetworkError on failure or block.
 
         A blocked request raises with reason ``"blocked"`` so callers
-        can distinguish extension vetoes from dead hosts.
+        can distinguish extension vetoes from dead hosts.  Transient
+        failures are retried per the resilience config, each extra
+        attempt charging the page's fetch budget and advancing the
+        virtual clock by the seeded backoff delay — never sleeping.
         """
         self.requests_issued += 1
         # Touching the (possibly hostile) web source is the one place a
@@ -103,17 +163,77 @@ class Fetcher:
             meter.charge_fetch()
         for observer in self._observers:
             if not observer(request):
-                self.requests_failed += 1
+                self.requests_blocked += 1
                 raise NetworkError(request.url, "blocked")
+
+        config = self.resilience
+        attempts = max(1, config.request_attempts)
+        breaker = self._state.breaker_for(request.url.host)
+        failure: Optional[NetworkError] = None
+        made = 0
+        for attempt in range(1, attempts + 1):
+            if attempt > 1:
+                # The extra wire attempt costs what a real one would:
+                # one unit of the page's fetch budget plus the policy's
+                # backoff, served on the virtual clock.
+                self.requests_retried += 1
+                heartbeat()
+                if meter is not None:
+                    meter.advance_clock_ms(1000.0 * config.delay(
+                        str(request.url), attempt - 1
+                    ))
+                    meter.charge_fetch()
+            if breaker is not None and not breaker.allow():
+                self.requests_short_circuited += 1
+                failure = TransientNetworkError(
+                    request.url, "circuit-open"
+                )
+                break
+            made = attempt
+            wire_request = (
+                request if attempt == 1
+                else replace(request, attempt=attempt)
+            )
+            try:
+                response = self._respond_once(wire_request, meter)
+            except TransientNetworkError as error:
+                failure = error
+                if breaker is not None and breaker.record_failure():
+                    self.breaker_opens += 1
+                continue
+            except NetworkError as error:
+                failure = error
+                break
+            if breaker is not None:
+                breaker.record_success()
+            return response
+        self.requests_failed += 1
+        assert failure is not None
+        failure.attempts = made
+        raise failure
+
+    def _respond_once(
+        self, request: Request, meter
+    ) -> Response:
+        """One wire attempt: classify the outcome, credit latency."""
         response = self._source.respond(request)
         if response is None:
-            self.requests_failed += 1
             raise NetworkError(request.url, "host not found")
+        # A slow origin's synthetic latency burns deadline budget even
+        # when the response is an error — the time passed either way.
+        delay_header = response.headers.get(SYNTHETIC_DELAY_HEADER)
+        if delay_header and meter is not None:
+            try:
+                seconds = float(delay_header)
+            except ValueError:
+                seconds = 0.0
+            meter.advance_clock_ms(seconds * 1000.0)
+            meter.check_deadline()
         if not response.ok:
-            self.requests_failed += 1
-            raise NetworkError(
-                request.url, "HTTP %d" % response.status
-            )
+            reason = "HTTP %d" % response.status
+            if classify_status(response.status):
+                raise TransientNetworkError(request.url, reason)
+            raise NetworkError(request.url, reason)
         return response
 
 
@@ -147,21 +267,37 @@ class FaultInjectingSource:
 
     Wraps any :class:`WebSource` (including a full synthetic web —
     unknown attributes delegate to the wrapped object, so the survey
-    runner can crawl through it unchanged) and injects a site-wide
-    outage for selected *site-measurement attempts*.
+    runner can crawl through it unchanged) and injects an outage for
+    selected *site-measurement attempts*.
 
     An attempt is one full pass of ``visits_per_site`` rounds over a
-    site; each round issues exactly one document request for the
-    site's home page, so attempt boundaries are recovered by counting
-    home-page document requests: requests ``(k-1)*R+1 .. k*R`` belong
-    to attempt ``k`` (``R`` = ``rounds_per_attempt``).  Tests use this
-    to exercise retry-then-succeed, retry-exhausted and mixed-condition
+    site; each round issues exactly one first-try document request for
+    the site's home page, so attempt boundaries are recovered by
+    counting home-page document requests: requests ``(k-1)*R+1 ..
+    k*R`` belong to attempt ``k`` (``R`` = ``rounds_per_attempt``).
+    Request-level *retries* (``request.attempt > 1``) are replays of a
+    counted request and are never counted again, so the boundaries
+    stay put whatever the fetcher's retry policy.  Tests use this to
+    exercise retry-then-succeed, retry-exhausted and mixed-condition
     behavior deterministically.
 
-    ``transient=True`` raises :class:`TransientNetworkError` (the
-    retry policy re-attempts); ``transient=False`` answers "host not
-    found" (deterministic — not retried).
+    ``scope`` controls the blast radius of a failed attempt:
+
+    * ``"home"`` (default) — only the home-page document fails (the
+      classic whole-site outage: nothing loads because the front door
+      is down);
+    * ``"site"`` — every request to the domain fails during a failed
+      attempt (home page included);
+    * ``"subresources"`` — the home page loads but every *other*
+      request to the domain (deeper documents, scripts, images, XHR)
+      fails: the degraded-page case.
+
+    ``transient=True`` raises :class:`TransientNetworkError` (retry
+    layers re-attempt); ``transient=False`` answers "host not found"
+    (deterministic — not retried).
     """
+
+    SCOPES = ("home", "site", "subresources")
 
     def __init__(
         self,
@@ -170,9 +306,14 @@ class FaultInjectingSource:
         rounds_per_attempt: int,
         reason: str = "injected outage",
         transient: bool = True,
+        scope: str = "home",
     ) -> None:
         if rounds_per_attempt < 1:
             raise ValueError("rounds_per_attempt must be >= 1")
+        if scope not in self.SCOPES:
+            raise ValueError(
+                "scope must be one of %s" % (self.SCOPES,)
+            )
         self._inner = inner
         self._fail: Dict[str, Set[int]] = {
             domain: set(attempts) for domain, attempts in fail.items()
@@ -180,24 +321,48 @@ class FaultInjectingSource:
         self._rounds = rounds_per_attempt
         self.reason = reason
         self.transient = transient
+        self.scope = scope
         self._home_requests: Dict[str, int] = {}
         #: every (domain, attempt) this source actually failed
         self.injected: List[Tuple[str, int]] = []
 
     def __getattr__(self, name: str):
+        if name == "_inner":
+            # During unpickling __getattr__ runs before __init__ has
+            # set _inner; without this guard the lookup recurses.
+            raise AttributeError(name)
         return getattr(self._inner, name)
+
+    def _current_attempt(self, domain: str) -> int:
+        """The site attempt in progress, from home requests seen."""
+        count = self._home_requests.get(domain, 0)
+        if count == 0:
+            return 1
+        return (count - 1) // self._rounds + 1
+
+    def _fail_now(self, url, attempt: int) -> Optional[Response]:
+        self.injected.append((url.host, attempt))
+        if self.transient:
+            raise TransientNetworkError(url, self.reason)
+        return None
 
     def respond(self, request: Request) -> Optional[Response]:
         url = request.url
-        if request.kind == ResourceKind.DOCUMENT and url.path == "/":
-            domain = url.host
-            if domain in self._fail:
-                count = self._home_requests.get(domain, 0) + 1
-                self._home_requests[domain] = count
-                attempt = (count - 1) // self._rounds + 1
-                if attempt in self._fail[domain]:
-                    self.injected.append((domain, attempt))
-                    if self.transient:
-                        raise TransientNetworkError(url, self.reason)
-                    return None
+        domain = url.host
+        if domain not in self._fail:
+            return self._inner.respond(request)
+        is_home = (
+            request.kind == ResourceKind.DOCUMENT and url.path == "/"
+        )
+        if is_home and getattr(request, "attempt", 1) == 1:
+            count = self._home_requests.get(domain, 0) + 1
+            self._home_requests[domain] = count
+        attempt = self._current_attempt(domain)
+        if attempt in self._fail[domain]:
+            if self.scope == "site":
+                return self._fail_now(url, attempt)
+            if self.scope == "home" and is_home:
+                return self._fail_now(url, attempt)
+            if self.scope == "subresources" and not is_home:
+                return self._fail_now(url, attempt)
         return self._inner.respond(request)

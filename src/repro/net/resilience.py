@@ -1,0 +1,286 @@
+"""Network resilience: per-request retries and per-origin circuit breakers.
+
+The paper could not measure 267 of the Alexa 10k because the real web
+is flaky — hosts time out, subresources 500, markup truncates mid-byte.
+Real Firefox 46 absorbs most of that below the page layer: it retries
+individual requests, stops hammering an origin that keeps refusing, and
+renders whatever it got.  This module is that layer for our crawl:
+
+* :class:`ResilienceConfig` — immutable per-request retry + breaker
+  policy.  Backoff delays carry *deterministic seeded jitter* (derived
+  through :func:`repro.seeding.derive_seed`, never ``random``), and on
+  the crawl path they only ever advance the sandbox
+  :class:`~repro.core.sandbox.VirtualClock` via the active
+  :class:`~repro.core.sandbox.BudgetMeter` — there is no wall-clock
+  ``time.sleep`` anywhere in-crawl, so budget-limited runs stay
+  bit-identical across serial/fork/spawn/resume executions.
+* :class:`CircuitBreaker` — the classic closed → open → half-open
+  state machine, one per origin, counted in *requests* rather than
+  seconds so its behavior is schedule-independent.  A dead CDN origin
+  stops burning retries for every page that references it.
+* :class:`ResilienceState` — the mutable per-fetcher runtime (the
+  breaker table).  Breaker state is **per visit round**: the crawler
+  resets it at the top of every round, so a resumed or parallel run
+  sees exactly the breaker history a serial run would.
+* :class:`DegradedResource` — the structured record a lost subresource
+  leaves on the page visit instead of failing it: a cause ``slug``,
+  the URL, and how many attempts the retry policy spent.  Degraded
+  pages are *measured* pages; analysis counts them separately from
+  failed ones.
+
+The actual retry loop lives in :class:`repro.net.fetcher.Fetcher`
+(which owns the budget meter and the wire); this module deliberately
+imports nothing from it, so both :mod:`repro.net.fetcher` and
+:mod:`repro.browser.session` can depend on these types without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.seeding import derive_seed
+
+#: Matches any host when present in a chaos/resilience domain set.
+ALL_HOSTS = "*"
+
+#: Response header carrying synthetic origin latency in seconds.  The
+#: fetcher credits it to the active meter's virtual clock, so a "slow"
+#: origin burns deadline budget without any process actually sleeping.
+SYNTHETIC_DELAY_HEADER = "x-synthetic-delay"
+
+#: Distinct degraded records kept per page visit / site measurement
+#: (occurrence *counts* are unbounded; the detail list is capped so a
+#: fetch storm of dead subresources cannot bloat checkpoint shards).
+DEGRADED_DETAIL_CAP = 32
+
+
+@dataclass(frozen=True)
+class DegradedResource:
+    """One resource the page lost without the visit failing.
+
+    ``slug`` is the structured cause ("subresource:script",
+    "subresource:image", "recovered-html:unterminated-script",
+    "circuit-open", ...), ``url`` the resource, ``attempts`` how many
+    wire attempts the retry policy spent before giving up.
+    """
+
+    slug: str
+    url: str
+    attempts: int = 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"slug": self.slug, "url": self.url,
+                "attempts": self.attempts}
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "DegradedResource":
+        return cls(slug=str(raw["slug"]), url=str(raw["url"]),
+                   attempts=int(raw.get("attempts", 1)))
+
+
+def merge_degraded(
+    into: List[DegradedResource],
+    new: Iterable[DegradedResource],
+    cap: int = DEGRADED_DETAIL_CAP,
+) -> int:
+    """Fold new degraded records into a capped, deduplicated list.
+
+    Duplicates — the same (slug, url) lost again on a later page or
+    round — are counted but not re-listed.  Returns the number of
+    records folded (occurrences, not distinct entries), so callers can
+    keep an exact total besides the capped detail.
+    """
+    seen = {(entry.slug, entry.url) for entry in into}
+    folded = 0
+    for entry in new:
+        folded += 1
+        key = (entry.slug, entry.url)
+        if key in seen or len(into) >= cap:
+            continue
+        seen.add(key)
+        into.append(entry)
+    return folded
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Per-request retry and circuit-breaker policy (immutable).
+
+    The default instance is inert (one attempt, no breaker), so a bare
+    :class:`~repro.net.fetcher.Fetcher` behaves exactly as before this
+    layer existed; crawls opt in via ``SurveyConfig.resilience`` or the
+    ``--request-retries`` / ``--breaker-threshold`` CLI flags.
+    """
+
+    #: total wire attempts per request, including the first (1 = off)
+    request_attempts: int = 1
+    #: virtual seconds before the first retry
+    backoff_base: float = 0.25
+    #: exponential growth factor between retries
+    backoff_factor: float = 2.0
+    #: ceiling on any single backoff delay
+    backoff_max: float = 8.0
+    #: jitter fraction: each delay is scaled by ``1 + jitter * u`` with
+    #: ``u`` deterministically derived from (seed, url, attempt) in
+    #: [-1, 1) — seeded, so every execution mode computes the same
+    #: delays and budget-limited runs stay bit-identical
+    jitter: float = 0.5
+    #: jitter seed; ``None`` derives one from the survey seed
+    seed: Optional[int] = None
+    #: consecutive transient failures before an origin's breaker opens
+    #: (``None`` disables circuit breaking)
+    breaker_threshold: Optional[int] = None
+    #: fast-failed requests an open breaker absorbs before letting one
+    #: half-open probe through
+    breaker_cooldown: int = 8
+
+    @property
+    def active(self) -> bool:
+        """Does this policy change anything over the bare fetcher?"""
+        return self.request_attempts > 1 or self.breaker_threshold is not None
+
+    def seeded(self, survey_seed: int) -> "ResilienceConfig":
+        """This config with a concrete jitter seed derived for a run."""
+        if self.seed is not None:
+            return self
+        return replace(
+            self, seed=derive_seed(survey_seed, "net-jitter")
+        )
+
+    def delay(self, url: str, failures: int) -> float:
+        """Backoff (virtual seconds) before the retry after N failures.
+
+        A pure function of (seed, url, failures): the same request
+        retried in a forked worker, a spawned worker or a resumed run
+        backs off by the exact same amount.
+        """
+        if failures < 1:
+            return 0.0
+        base = self.backoff_base * (
+            self.backoff_factor ** (failures - 1)
+        )
+        base = min(base, self.backoff_max)
+        if self.jitter <= 0.0 or base <= 0.0:
+            return base
+        unit = (derive_seed(self.seed or 0, url, failures)
+                % 1_000_000) / 1_000_000.0  # [0, 1)
+        return base * (1.0 + self.jitter * (2.0 * unit - 1.0))
+
+    def fingerprint(self) -> Dict[str, Any]:
+        """JSON-ready identity for checkpoint manifests.
+
+        Everything that shapes *what a measurement contains* is
+        included; resuming a run under a different retry policy would
+        mix incomparable records.
+        """
+        return {
+            "request_attempts": self.request_attempts,
+            "backoff_base": self.backoff_base,
+            "backoff_factor": self.backoff_factor,
+            "backoff_max": self.backoff_max,
+            "jitter": self.jitter,
+            "seed": self.seed,
+            "breaker_threshold": self.breaker_threshold,
+            "breaker_cooldown": self.breaker_cooldown,
+        }
+
+
+class CircuitBreaker:
+    """Closed → open → half-open, counted in requests, per origin.
+
+    Single-threaded by design (each crawl worker owns its fetcher):
+    ``allow()`` answers whether the next request may touch the wire,
+    and the caller reports the outcome through ``record_success`` /
+    ``record_failure``.  While open, the breaker fast-fails
+    ``cooldown`` requests, then admits exactly one half-open probe;
+    the probe's outcome closes or re-opens it.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(self, threshold: int, cooldown: int) -> None:
+        if threshold < 1:
+            raise ValueError("breaker threshold must be >= 1")
+        self.threshold = threshold
+        self.cooldown = max(1, cooldown)
+        self.state = self.CLOSED
+        #: consecutive transient failures while closed/half-open
+        self.failures = 0
+        #: requests fast-failed since the breaker (re-)opened
+        self.shorted = 0
+        #: times this breaker transitioned to open (telemetry)
+        self.opens = 0
+
+    def allow(self) -> bool:
+        """May the next request touch the origin?
+
+        Transitions open → half-open when the cooldown has been
+        served; the admitted request is the probe.
+        """
+        if self.state != self.OPEN:
+            return True
+        if self.shorted >= self.cooldown:
+            self.state = self.HALF_OPEN
+            return True
+        self.shorted += 1
+        return False
+
+    def record_success(self) -> None:
+        self.state = self.CLOSED
+        self.failures = 0
+        self.shorted = 0
+
+    def record_failure(self) -> bool:
+        """Count one transient failure; True when the breaker opens."""
+        if self.state == self.HALF_OPEN:
+            # The probe failed: straight back to open, fresh cooldown.
+            self.state = self.OPEN
+            self.shorted = 0
+            self.opens += 1
+            return True
+        self.failures += 1
+        if self.state == self.CLOSED and self.failures >= self.threshold:
+            self.state = self.OPEN
+            self.shorted = 0
+            self.opens += 1
+            return True
+        return False
+
+
+class ResilienceState:
+    """Per-fetcher mutable runtime for one resilience policy."""
+
+    def __init__(self, config: ResilienceConfig) -> None:
+        self.config = config
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    def breaker_for(self, origin: str) -> Optional[CircuitBreaker]:
+        if self.config.breaker_threshold is None:
+            return None
+        breaker = self._breakers.get(origin)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                self.config.breaker_threshold,
+                self.config.breaker_cooldown,
+            )
+            self._breakers[origin] = breaker
+        return breaker
+
+    def reset_round(self) -> None:
+        """Forget all breaker state (called at each visit-round start).
+
+        Per-round state is what keeps breaker behavior deterministic:
+        a resumed run's first round sees exactly the (empty) history a
+        serial run's would.
+        """
+        self._breakers.clear()
+
+    def breaker_states(self) -> Dict[str, Tuple[str, int]]:
+        """origin -> (state, opens) snapshot, for telemetry."""
+        return {
+            origin: (breaker.state, breaker.opens)
+            for origin, breaker in sorted(self._breakers.items())
+        }

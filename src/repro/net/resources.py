@@ -32,6 +32,13 @@ class Request:
     kind: str = ResourceKind.DOCUMENT
     #: The page (first party) on whose behalf the request happens.
     first_party: Optional[Url] = None
+    #: Which wire attempt this is (1 = first try).  The fetcher's retry
+    #: loop re-issues the same request with a bumped attempt, which is
+    #: what lets chaos sources model "fails the first k attempts" (and
+    #: attempt-counting wrappers ignore replays) *statelessly* — no
+    #: per-URL counters to diverge between serial, parallel and resumed
+    #: executions.
+    attempt: int = 1
 
     @property
     def is_third_party(self) -> bool:

@@ -20,6 +20,15 @@ domain             what it does / which budget catches it
                    (fires under an injected virtual clock)
 ``hang.chaos``     connection that never answers — watchdog
 ``crash.chaos``    takes the worker process down — watchdog
+``flaky.chaos``    resets the first attempt of every request —
+                   per-request retry must absorb it (measured,
+                   ``requests_retried > 0``, no degraded causes)
+``trunc.chaos``    body cut mid-script — recovering HTML parse
+                   salvages the page (measured + degraded)
+``garbage.chaos``  corrupted bytes — control chars stripped,
+                   page salvaged (measured + degraded)
+``slow.chaos``     45-second synthetic latency — the deadline
+                   budget fires (unmeasured, cause ``deadline``)
 ``ok-N.chaos``     benign controls; must measure cleanly
 =================  ============================================
 
@@ -50,6 +59,10 @@ BUDGET_PATHOLOGIES = (
 
 #: pathologies the watchdog (not a budget) must handle
 POISON_PATHOLOGIES = ("hang", "crash")
+
+#: network-fault pathologies the resilience layer must handle
+#: (served benignly by HostileWeb; armed by the ChaosSource wrapper)
+NET_PATHOLOGIES = ("flaky", "trunc", "garbage", "slow")
 
 #: pathology -> the budget cause its partial measurement must carry
 #: (strings share the allocation budget: both are memory exhaustion)
@@ -116,6 +129,14 @@ _BENIGN_SCRIPT = (
     'setTimeout(function () { el.setAttribute("data-late", "1"); }, 40);'
 )
 
+#: ~2.5 KB of inert padding.  The truncate/garbage pages serve it as a
+#: *second* script after the benign one, so a 50% body cut (or a
+#: second-half garble) lands squarely in this script while the benign
+#: one before it survives — the page degrades but stays measurable.
+_FILLER_SCRIPT = " ".join(
+    "var pad%d = %d;" % (i, i) for i in range(160)
+)
+
 
 @dataclass(frozen=True)
 class _HostilePlan:
@@ -175,7 +196,11 @@ class HostileWeb:
     :func:`hostile_web`).
     """
 
-    def __init__(self, include_poison: bool = True) -> None:
+    def __init__(
+        self,
+        include_poison: bool = True,
+        include_net: bool = False,
+    ) -> None:
         self.ecosystem = ThirdPartyEcosystem()
         pathologies = list(BUDGET_PATHOLOGIES)
         if include_poison:
@@ -190,6 +215,13 @@ class HostileWeb:
             domains.append("%s.chaos" % pathology)
         benign += 1
         domains.append("ok-%d.chaos" % benign)
+        if include_net:
+            # Appended after the existing sequence so arming the net
+            # pathologies never renumbers the budget/poison ranks.
+            for pathology in NET_PATHOLOGIES:
+                domains.append("%s.chaos" % pathology)
+            benign += 1
+            domains.append("ok-%d.chaos" % benign)
         for rank, domain in enumerate(domains, start=1):
             pathology = domain.split(".", 1)[0]
             if pathology.startswith("ok-"):
@@ -209,6 +241,30 @@ class HostileWeb:
     def crash_domains(self) -> Tuple[str, ...]:
         return tuple(
             d for d, s in self.sites.items() if s.pathology == "crash"
+        )
+
+    @property
+    def flaky_domains(self) -> Tuple[str, ...]:
+        return tuple(
+            d for d, s in self.sites.items() if s.pathology == "flaky"
+        )
+
+    @property
+    def truncate_domains(self) -> Tuple[str, ...]:
+        return tuple(
+            d for d, s in self.sites.items() if s.pathology == "trunc"
+        )
+
+    @property
+    def garbage_domains(self) -> Tuple[str, ...]:
+        return tuple(
+            d for d, s in self.sites.items() if s.pathology == "garbage"
+        )
+
+    @property
+    def slow_domains(self) -> Tuple[str, ...]:
+        return tuple(
+            d for d, s in self.sites.items() if s.pathology == "slow"
         )
 
     # -- WebSource ------------------------------------------------------
@@ -241,6 +297,16 @@ class HostileWeb:
                 yield site.script
 
     def _page_html(self, site: HostileSite) -> str:
+        if site.pathology in ("trunc", "garbage"):
+            # Benign script first, padding second: the body damage the
+            # chaos wrapper inflicts lands in the padding's tail.
+            return (
+                "<html><head><title>%s</title></head>"
+                "<body><p>pathology: %s</p><script>%s</script>"
+                "<script>%s</script></body></html>"
+                % (site.domain, site.pathology, _BENIGN_SCRIPT,
+                   _FILLER_SCRIPT)
+            )
         return (
             "<html><head><title>%s</title></head>"
             "<body><p>pathology: %s</p><script>%s</script></body></html>"
@@ -248,15 +314,21 @@ class HostileWeb:
         )
 
 
-def hostile_web(include_poison: bool = True):
+def hostile_web(include_poison: bool = True, include_net: bool = False):
     """The armed hostile web: content pathologies + network faults."""
-    web = HostileWeb(include_poison=include_poison)
-    if not include_poison:
+    web = HostileWeb(
+        include_poison=include_poison, include_net=include_net
+    )
+    if not include_poison and not include_net:
         return web
     return ChaosSource(
         web,
         hang_domains=web.hang_domains,
         crash_domains=web.crash_domains,
+        flaky_domains=web.flaky_domains,
+        truncate_domains=web.truncate_domains,
+        garbage_domains=web.garbage_domains,
+        slow_domains=web.slow_domains,
     )
 
 

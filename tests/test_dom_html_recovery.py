@@ -1,0 +1,135 @@
+"""Recovering HTML parse: never raises, agrees with strict on clean input.
+
+The crawl parses every page in recovering mode, so the two properties
+it leans on are checked exhaustively here:
+
+* **totality** — ``parse_html_lenient`` returns a tree for *anything*:
+  fuzzed text, every prefix of a real document (a dropped connection
+  is exactly "a prefix of the real bytes"), binary noise;
+* **conservativeness** — on input strict mode accepts, recovering mode
+  builds the identical tree and reports nothing salvaged.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dom.html import (
+    HtmlParseError,
+    parse_html,
+    parse_html_lenient,
+)
+
+#: Documents the strict parser accepts (the benign corpus).
+BENIGN_DOCS = [
+    "",
+    "<p>plain</p>",
+    "<html><head><title>t</title></head><body><p>x</p></body></html>",
+    "<body><div class='a'><span>nested</span></div></body>",
+    "<body><script>var x = 1 < 2;</script><p>after</p></body>",
+    "<body><style>p { color: red; }</style></body>",
+    "<!DOCTYPE html><body><!-- comment --><p>x</p></body>",
+    "<body><img src='/a.png'><br><input type=text></body>",
+    "<body>< not a tag <<< <p>ok</p></body>",
+    "<body></span></div>stray closers</body>",
+]
+
+#: Inputs only the recovering parser survives, with the cause it must
+#: report.
+DAMAGED_DOCS = [
+    ("<body><script>var a = 1;", "unterminated-script"),
+    ("<body><style>p {", "unterminated-style"),
+    ("<body><p>x</p><div cla", "unterminated-tag"),
+    ("<body><p>a\x00b\x01c</p></body>", "control-chars"),
+]
+
+
+class TestConservativeness:
+    @pytest.mark.parametrize("html", BENIGN_DOCS)
+    def test_identical_tree_and_no_kinds_on_benign_input(self, html):
+        strict = parse_html(html)
+        lenient, kinds = parse_html_lenient(html)
+        assert kinds == []
+        assert lenient.outer_html() == strict.outer_html()
+
+    @pytest.mark.parametrize("html", BENIGN_DOCS)
+    def test_recover_flag_matches_lenient(self, html):
+        assert (parse_html(html, recover=True).outer_html()
+                == parse_html_lenient(html)[0].outer_html())
+
+
+class TestRecovery:
+    @pytest.mark.parametrize("html,kind", DAMAGED_DOCS)
+    def test_damage_reported_by_kind(self, html, kind):
+        root, kinds = parse_html_lenient(html)
+        assert kind in kinds
+        assert root.find_all("body")  # structure still normalized
+
+    @pytest.mark.parametrize("html,kind", DAMAGED_DOCS)
+    def test_strict_mode_raises_or_differs(self, html, kind):
+        if kind == "control-chars":
+            # Strict mode tolerates control chars (they land in text);
+            # the lenient parser strips and *reports* them instead.
+            parse_html(html)
+            return
+        with pytest.raises(HtmlParseError):
+            parse_html(html)
+
+    def test_truncated_script_keeps_its_tail_as_content(self):
+        root, kinds = parse_html_lenient(
+            "<body><script>var kept = 42;"
+        )
+        assert kinds == ["unterminated-script"]
+        scripts = root.find_all("script")
+        assert len(scripts) == 1
+        assert scripts[0].text_content() == "var kept = 42;"
+
+    def test_unterminated_tag_drops_the_tail(self):
+        root, kinds = parse_html_lenient(
+            "<body><p>kept</p><div class='x"
+        )
+        assert kinds == ["unterminated-tag"]
+        assert root.find_all("p")
+        assert not root.find_all("div")
+
+
+class TestTotality:
+    @settings(max_examples=300, deadline=None)
+    @given(text=st.text(max_size=300))
+    def test_never_raises_on_fuzzed_text(self, text):
+        root, kinds = parse_html_lenient(text)
+        assert root.tag == "html"
+        assert isinstance(kinds, list)
+
+    @settings(max_examples=200, deadline=None)
+    @given(text=st.text(
+        alphabet=st.sampled_from(list("<>/=\"' abscriptdiv\x00\x1f-!")),
+        max_size=200,
+    ))
+    def test_never_raises_on_markup_shaped_noise(self, text):
+        root, _ = parse_html_lenient(text)
+        assert root.find_all("body")
+
+    @settings(max_examples=200, deadline=None)
+    @given(data=st.data())
+    def test_every_prefix_of_a_benign_doc_parses(self, data):
+        """A dropped connection = a byte prefix of the real document."""
+        html = data.draw(st.sampled_from([d for d in BENIGN_DOCS if d]))
+        cut = data.draw(st.integers(min_value=0, max_value=len(html)))
+        root, kinds = parse_html_lenient(html[:cut])
+        assert root.tag == "html"
+        if cut == len(html):
+            assert kinds == []
+
+    @settings(max_examples=150, deadline=None)
+    @given(text=st.text(max_size=200))
+    def test_lenient_equals_strict_whenever_strict_succeeds(self, text):
+        try:
+            strict = parse_html(text)
+        except HtmlParseError:
+            return
+        lenient, kinds = parse_html_lenient(text)
+        # Control-char stripping may legitimately diverge; everything
+        # else must agree exactly.
+        if "control-chars" not in kinds:
+            assert kinds == []
+            assert lenient.outer_html() == strict.outer_html()

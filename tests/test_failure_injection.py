@@ -337,6 +337,106 @@ class TestRetryPolicy:
         self._assert_others_unaffected(clean, result, target)
 
 
+class TestInjectionScopes:
+    """``scope`` controls an injected outage's blast radius.
+
+    ``"home"`` (every test above) kills only the front door; these
+    pin the two wider radii — ``"site"`` (everything fails) and
+    ``"subresources"`` (the home page loads but every deeper request
+    dies: the degraded-page case, exercised on both non-home-page
+    documents and subresources).
+    """
+
+    def _site_web(self):
+        web = DictWebSource()
+        web.add_html("https://inj.test/", page(
+            '<img src="/logo.png"><a href="/next/">next</a><p>x</p>',
+            "document.title = 'home';",
+        ) .replace("</body>",
+                   '<script src="/app.js"></script></body>'))
+        web.add_script("https://inj.test/app.js",
+                       "document.createElement('div');")
+        web.add_html("https://inj.test/next/", page(
+            "<p>deep</p>", "navigator.vibrate(5);"
+        ))
+        logo = Url.parse("https://inj.test/logo.png")
+        web.pages[str(logo)] = Response(
+            url=logo, content_type="image/png", body="\x89PNG"
+        )
+        return web
+
+    def _crawl(self, registry, source):
+        crawler = SiteCrawler(browser=Browser(registry, Fetcher(source)))
+        return crawler.visit_site("inj.test", 1, seed=4)
+
+    def test_uninjected_baseline_is_whole(self, registry):
+        result = self._crawl(registry, self._site_web())
+        assert result.ok
+        assert result.pages_visited == 2
+        assert result.degraded_resources == 0
+        assert "Document.prototype.createElement" in result.feature_counts
+        assert "Navigator.prototype.vibrate" in result.feature_counts
+
+    def test_subresources_scope_degrades_instead_of_failing(
+        self, registry
+    ):
+        source = FaultInjectingSource(
+            self._site_web(), {"inj.test": {1}}, rounds_per_attempt=1,
+            scope="subresources",
+        )
+        result = self._crawl(registry, source)
+        # The home page (inline script included) measured fine...
+        assert result.ok
+        assert result.pages_visited == 1
+        assert "Document.prototype.title" in result.feature_counts
+        # ...while every deeper request died and was accounted for:
+        # the script and image as structured degraded causes, the
+        # /next/ document as a skipped (not fatal) page.
+        slugs = {d.slug for d in result.degraded}
+        assert slugs == {"subresource:script", "subresource:image"}
+        assert result.degraded_resources == 2
+        for d in result.degraded:
+            assert d.url.startswith("https://inj.test/")
+        assert "Document.prototype.createElement" not in (
+            result.feature_counts
+        )
+        assert "Navigator.prototype.vibrate" not in result.feature_counts
+        # All three non-home requests really went through the injector.
+        assert source.injected == [("inj.test", 1)] * 3
+
+    def test_site_scope_takes_the_home_page_down_too(self, registry):
+        source = FaultInjectingSource(
+            self._site_web(), {"inj.test": {1}}, rounds_per_attempt=1,
+            scope="site",
+        )
+        result = self._crawl(registry, source)
+        assert not result.ok
+        assert "injected outage" in (result.failure_reason or "")
+        assert result.transient
+        assert result.feature_counts == {}
+
+    def test_subresources_scope_at_survey_level(self, registry):
+        """Degraded sites stay *measured* and disjoint from failed."""
+        web = build_web(registry, n_sites=4, seed=21)
+        domains = [r.domain for r in web.ranking.all()]
+        source = FaultInjectingSource(
+            web, {d: {1, 2, 3} for d in domains},
+            rounds_per_attempt=VISITS, scope="subresources",
+        )
+        result = run_survey(source, registry, _retry_config())
+        degraded = result.degraded_domains("default")
+        assert degraded, "no site lost a subresource"
+        failed = {str(f) for f in result.failed_domains("default")}
+        assert not failed & set(degraded)
+        for domain in degraded:
+            m = result.measurement("default", domain)
+            assert m.measured
+            assert m.degraded_resources > 0
+            assert m.rounds_degraded > 0
+            for d in m.degraded:
+                assert d.slug.startswith("subresource:")
+
+
 class TestMeasurementIntegrity:
     def test_counts_unaffected_by_failures_elsewhere(self, registry):
         """A broken site must not contaminate the next site's counts."""

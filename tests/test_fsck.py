@@ -1,0 +1,171 @@
+"""``repro fsck``: offline integrity checking of survey run dirs.
+
+Builds real checkpoints with the real writer, damages them the way
+crashes and disks do, and asserts fsck (a) flags each damage class,
+(b) never modifies anything, and (c) exits nonzero exactly when
+something is wrong.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.browser.session import SiteMeasurement
+from repro.core.checkpoint import (
+    MANIFEST_NAME,
+    QUARANTINE_NAME,
+    RESULT_NAME,
+    SurveyCheckpoint,
+    fsck_run_dir,
+    shard_name,
+)
+from repro.core.survey import SurveyConfig, run_survey
+from repro.webgen.sitegen import build_web
+
+from repro import cli
+
+
+def _measurement(domain, condition="default"):
+    m = SiteMeasurement(domain=domain, condition=condition)
+    m.rounds_completed = 1
+    m.rounds_ok = 1
+    m.standards_by_round = [set()]
+    return m
+
+
+@pytest.fixture()
+def run_dir(tmp_path, registry):
+    """A complete small checkpointed run (manifest, shards, result)."""
+    web = build_web(registry, n_sites=4, seed=31)
+    config = SurveyConfig(
+        conditions=("default", "blocking"), visits_per_site=1, seed=31
+    )
+    path = str(tmp_path / "run")
+    run_survey(web, registry, config, run_dir=path)
+    return path
+
+
+def _snapshot(run_dir):
+    return {
+        name: open(os.path.join(run_dir, name), "rb").read()
+        for name in sorted(os.listdir(run_dir))
+    }
+
+
+class TestCleanRun:
+    def test_clean_run_passes(self, run_dir):
+        ok, lines = fsck_run_dir(run_dir)
+        assert ok, lines
+        assert lines[-1].endswith("clean")
+
+    def test_fsck_is_read_only(self, run_dir):
+        before = _snapshot(run_dir)
+        fsck_run_dir(run_dir)
+        assert _snapshot(run_dir) == before
+
+    def test_missing_directory_fails(self, tmp_path):
+        ok, lines = fsck_run_dir(str(tmp_path / "nope"))
+        assert not ok
+
+    def test_fresh_checkpoint_without_shards_passes(self, tmp_path,
+                                                    registry):
+        config = SurveyConfig(conditions=("default",),
+                              visits_per_site=1, seed=5)
+        path = str(tmp_path / "fresh")
+        checkpoint = SurveyCheckpoint.attach(
+            path, registry, config, ["a.test"]
+        )
+        checkpoint.close()
+        ok, lines = fsck_run_dir(path)
+        assert ok, lines
+
+
+class TestDamage:
+    def _shard(self, run_dir, condition="default"):
+        return os.path.join(run_dir, shard_name(condition))
+
+    def test_torn_trailing_write_flagged_recoverable(self, run_dir):
+        with open(self._shard(run_dir), "ab") as handle:
+            handle.write(b'{"condition": "default", "domai')
+        ok, lines = fsck_run_dir(run_dir)
+        assert not ok
+        assert any("torn trailing write" in l and "recoverable" in l
+                   for l in lines)
+        # Still read-only: the torn tail is reported, not repaired.
+        assert open(self._shard(run_dir), "rb").read().endswith(b"domai")
+
+    def test_mid_shard_corruption_flagged(self, run_dir):
+        path = self._shard(run_dir)
+        raw = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(raw[:30] + b"\x00\xff" + raw[32:])
+        ok, lines = fsck_run_dir(run_dir)
+        assert not ok
+        assert any("corrupt" in l for l in lines)
+
+    def test_record_in_wrong_shard_flagged(self, run_dir):
+        from repro.core.persistence import measurement_to_dict
+
+        record = {
+            "condition": "blocking",  # wrong shard
+            "domain": "stray.test",
+            "measurement": measurement_to_dict(
+                _measurement("stray.test", "blocking")
+            ),
+        }
+        with open(self._shard(run_dir, "default"), "a") as handle:
+            handle.write(json.dumps(record) + "\n")
+        ok, lines = fsck_run_dir(run_dir)
+        assert not ok
+        assert any("malformed record" in l for l in lines)
+
+    def test_manifest_corruption_flagged(self, run_dir):
+        path = os.path.join(run_dir, MANIFEST_NAME)
+        with open(path, "w") as handle:
+            handle.write("{not json")
+        ok, lines = fsck_run_dir(run_dir)
+        assert not ok
+
+    def test_manifest_missing_keys_flagged(self, run_dir):
+        path = os.path.join(run_dir, MANIFEST_NAME)
+        manifest = json.load(open(path))
+        del manifest["domains_digest"]
+        json.dump(manifest, open(path, "w"))
+        ok, lines = fsck_run_dir(run_dir)
+        assert not ok
+        assert any("missing keys" in l for l in lines)
+
+    def test_bad_quarantine_flagged(self, run_dir):
+        path = os.path.join(run_dir, QUARANTINE_NAME)
+        json.dump({"strikes": "not-a-table"}, open(path, "w"))
+        ok, lines = fsck_run_dir(run_dir)
+        assert not ok
+
+    def test_result_manifest_mismatch_flagged(self, run_dir):
+        path = os.path.join(run_dir, RESULT_NAME)
+        data = json.load(open(path))
+        data["registry_fingerprint"] = "deadbeef"
+        json.dump(data, open(path, "w"))
+        ok, lines = fsck_run_dir(run_dir)
+        assert not ok
+        assert any("disagrees with manifest" in l for l in lines)
+
+    def test_stray_shard_flagged(self, run_dir):
+        with open(os.path.join(run_dir, "shard-ghost.jsonl"),
+                  "w") as handle:
+            handle.write("")
+        ok, lines = fsck_run_dir(run_dir)
+        assert not ok
+        assert any("unknown condition" in l for l in lines)
+
+
+class TestCli:
+    def test_exit_codes(self, run_dir, capsys):
+        assert cli.main(["fsck", run_dir]) == 0
+        with open(os.path.join(run_dir, shard_name("default")),
+                  "ab") as handle:
+            handle.write(b"{torn")
+        assert cli.main(["fsck", run_dir]) == 1
+        out = capsys.readouterr().out
+        assert "torn trailing write" in out

@@ -18,6 +18,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.browser.session import SiteMeasurement
 from repro.core import persistence
+from repro.net.resilience import DegradedResource
 from repro.core.checkpoint import append_record, load_shard_records
 from repro.core.survey import SurveyResult
 from repro.webidl.corpus import build_corpus
@@ -29,6 +30,19 @@ STANDARD_ABBREVS = sorted(s.abbrev for s in REGISTRY.standards())[:20]
 CONDITION_SETS = [("default",), ("default", "blocking")]
 
 domain_names = st.from_regex(r"[a-z]{3,8}\.test", fullmatch=True)
+
+degraded_resources = st.builds(
+    DegradedResource,
+    slug=st.sampled_from([
+        "subresource:script", "subresource:image", "subresource:xhr",
+        "recovered-html:control-chars",
+        "recovered-html:unterminated-script",
+        "recovered-html:unterminated-tag",
+    ]),
+    url=st.from_regex(r"https://[a-z]{3,8}\.test/[a-z0-9/]{0,12}",
+                      fullmatch=True),
+    attempts=st.integers(min_value=1, max_value=4),
+)
 
 
 @st.composite
@@ -64,6 +78,19 @@ def site_measurements(draw, domain, condition):
     m.budget_overshoot = draw(st.floats(
         min_value=0.0, max_value=500.0, allow_nan=False
     ))
+    # The degraded ledger: detail list deduplicated by construction
+    # (merge_degraded's invariant), exact counters alongside.
+    detail = draw(st.lists(degraded_resources, max_size=4,
+                           unique_by=lambda d: (d.slug, d.url)))
+    m.degraded = detail
+    m.degraded_resources = draw(st.integers(
+        min_value=len(detail), max_value=len(detail) + 40
+    )) if detail else 0
+    m.rounds_degraded = draw(
+        st.integers(min_value=1, max_value=max(1, rounds))
+    ) if detail else 0
+    m.requests_retried = draw(st.integers(min_value=0, max_value=200))
+    m.breaker_opens = draw(st.integers(min_value=0, max_value=10))
     return m
 
 

@@ -1,0 +1,435 @@
+"""The per-request resilience layer: retries, breakers, degradation.
+
+Three layers under test:
+
+* :class:`ResilienceConfig` — seeded-jitter backoff must be a pure
+  function of (seed, url, failures), bounded by the configured caps;
+* :class:`CircuitBreaker` — the closed → open → half-open state
+  machine;
+* :class:`Fetcher` integration — HTTP status classification, the
+  blocked-vs-failed counter split, budget charging for retries, and
+  the browser recording losses as structured degraded causes instead
+  of failing the page.
+"""
+
+import pytest
+
+from repro.browser import Browser
+from repro.browser.browser import BrowserConfig
+from repro.core.sandbox import BudgetExceeded, ResourceBudget, VirtualClock
+from repro.net.fetcher import (
+    DictWebSource,
+    Fetcher,
+    NetworkError,
+    TransientNetworkError,
+    classify_status,
+)
+from repro.net.resilience import (
+    CircuitBreaker,
+    DegradedResource,
+    ResilienceConfig,
+    merge_degraded,
+)
+from repro.net.resources import Request, ResourceKind, Response
+from repro.net.url import Url
+
+
+def _request(url, kind=ResourceKind.DOCUMENT):
+    parsed = Url.parse(url)
+    return Request(url=parsed, kind=kind, first_party=parsed)
+
+
+class FailNTimesSource:
+    """Fails the first ``n`` wire attempts of every URL, then serves."""
+
+    def __init__(self, inner, n, reason="connection reset"):
+        self.inner = inner
+        self.n = n
+        self.reason = reason
+        self.attempts_seen = []
+
+    def respond(self, request):
+        self.attempts_seen.append(
+            (str(request.url), getattr(request, "attempt", 1))
+        )
+        if getattr(request, "attempt", 1) <= self.n:
+            raise TransientNetworkError(request.url, self.reason)
+        return self.inner.respond(request)
+
+
+class StatusSource:
+    """Serves a fixed HTTP status for every request."""
+
+    def __init__(self, status):
+        self.status = status
+        self.requests = 0
+
+    def respond(self, request):
+        self.requests += 1
+        return Response(url=request.url, status=self.status, body="x")
+
+
+class TestBackoffJitter:
+    def test_delay_is_deterministic(self):
+        config = ResilienceConfig(request_attempts=3, seed=42)
+        a = config.delay("https://a.test/x", 2)
+        b = config.delay("https://a.test/x", 2)
+        assert a == b
+
+    def test_delay_varies_by_url_and_failures(self):
+        config = ResilienceConfig(request_attempts=3, seed=42)
+        delays = {
+            config.delay("https://a.test/", 1),
+            config.delay("https://b.test/", 1),
+            config.delay("https://a.test/", 2),
+        }
+        assert len(delays) == 3  # jitter separates them
+
+    def test_delay_bounded_by_caps(self):
+        config = ResilienceConfig(
+            request_attempts=8, backoff_base=0.5, backoff_factor=2.0,
+            backoff_max=4.0, jitter=0.5, seed=1,
+        )
+        for failures in range(1, 12):
+            delay = config.delay("https://x.test/", failures)
+            # base*factor^(k-1) capped at backoff_max, then +/-50%.
+            assert 0.0 < delay <= 4.0 * 1.5
+
+    def test_zero_jitter_is_pure_exponential(self):
+        config = ResilienceConfig(
+            request_attempts=4, backoff_base=0.25, backoff_factor=2.0,
+            backoff_max=100.0, jitter=0.0, seed=9,
+        )
+        assert config.delay("u", 1) == 0.25
+        assert config.delay("u", 2) == 0.5
+        assert config.delay("u", 3) == 1.0
+
+    def test_seeded_derives_from_survey_seed(self):
+        config = ResilienceConfig(request_attempts=2)
+        assert config.seed is None
+        seeded = config.seeded(606)
+        assert seeded.seed is not None
+        assert seeded.seeded(606) == seeded  # explicit seed wins
+        assert config.seeded(606) == seeded  # stable derivation
+        assert config.seeded(607) != seeded
+
+    def test_fingerprint_covers_every_knob(self):
+        a = ResilienceConfig(request_attempts=3, seed=1)
+        for change in (
+            {"request_attempts": 4}, {"backoff_base": 9.0},
+            {"backoff_factor": 3.0}, {"backoff_max": 99.0},
+            {"jitter": 0.1}, {"seed": 2},
+            {"breaker_threshold": 7}, {"breaker_cooldown": 3},
+        ):
+            import dataclasses
+            b = dataclasses.replace(a, **change)
+            assert a.fingerprint() != b.fingerprint(), change
+
+    def test_inert_default(self):
+        config = ResilienceConfig()
+        assert not config.active
+        assert ResilienceConfig(request_attempts=2).active
+        assert ResilienceConfig(breaker_threshold=3).active
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(threshold=3, cooldown=2)
+        assert not breaker.record_failure()
+        assert not breaker.record_failure()
+        assert breaker.record_failure()  # opens on the third
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_count(self):
+        breaker = CircuitBreaker(threshold=2, cooldown=2)
+        breaker.record_failure()
+        breaker.record_success()
+        assert not breaker.record_failure()  # count restarted
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_probe_after_cooldown(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=2)
+        assert breaker.record_failure()
+        # Two short-circuited calls serve the cooldown ...
+        assert not breaker.allow()
+        assert not breaker.allow()
+        # ... then one probe is let through.
+        assert breaker.allow()
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_failed_probe_reopens_immediately(self):
+        breaker = CircuitBreaker(threshold=3, cooldown=1)
+        for _ in range(3):
+            breaker.record_failure()
+        breaker.allow()  # cooldown
+        assert breaker.allow()  # probe
+        assert breaker.record_failure()  # half-open: one strike reopens
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+
+
+class TestStatusClassification:
+    @pytest.mark.parametrize("status", [500, 502, 503, 599, 429])
+    def test_transient_statuses(self, status):
+        assert classify_status(status)
+
+    @pytest.mark.parametrize("status", [400, 401, 403, 404, 410, 451])
+    def test_deterministic_statuses(self, status):
+        assert not classify_status(status)
+
+    def test_5xx_raises_transient_error(self):
+        fetcher = Fetcher(StatusSource(503))
+        with pytest.raises(TransientNetworkError):
+            fetcher.fetch(_request("https://down.test/"))
+
+    def test_404_raises_plain_error_and_never_retries(self):
+        source = StatusSource(404)
+        fetcher = Fetcher(
+            source, resilience=ResilienceConfig(request_attempts=4,
+                                                seed=1)
+        )
+        with pytest.raises(NetworkError) as info:
+            fetcher.fetch(_request("https://gone.test/"))
+        assert not isinstance(info.value, TransientNetworkError)
+        assert source.requests == 1  # deterministic: one wire attempt
+        assert info.value.attempts == 1
+
+
+class TestFetcherRetries:
+    def _web(self):
+        web = DictWebSource()
+        web.add_html("https://ok.test/", "<body><p>x</p></body>")
+        return web
+
+    def test_retry_absorbs_transient_failures(self):
+        source = FailNTimesSource(self._web(), n=1)
+        fetcher = Fetcher(
+            source, resilience=ResilienceConfig(request_attempts=2,
+                                                seed=3)
+        )
+        response = fetcher.fetch(_request("https://ok.test/"))
+        assert response.body == "<body><p>x</p></body>"
+        assert fetcher.requests_retried == 1
+        assert fetcher.requests_failed == 0
+        # The replay carried the attempt number for the source to see.
+        assert source.attempts_seen == [
+            ("https://ok.test/", 1), ("https://ok.test/", 2),
+        ]
+
+    def test_exhausted_retries_report_attempts(self):
+        source = FailNTimesSource(self._web(), n=99)
+        fetcher = Fetcher(
+            source, resilience=ResilienceConfig(request_attempts=3,
+                                                seed=3)
+        )
+        with pytest.raises(TransientNetworkError) as info:
+            fetcher.fetch(_request("https://ok.test/"))
+        assert info.value.attempts == 3
+        assert fetcher.requests_retried == 2
+        assert fetcher.requests_failed == 1
+
+    def test_inert_config_does_not_retry(self):
+        source = FailNTimesSource(self._web(), n=1)
+        fetcher = Fetcher(source)
+        with pytest.raises(TransientNetworkError) as info:
+            fetcher.fetch(_request("https://ok.test/"))
+        assert info.value.attempts == 1
+        assert len(source.attempts_seen) == 1
+
+    def test_retries_charge_the_fetch_budget(self):
+        source = FailNTimesSource(self._web(), n=2)
+        fetcher = Fetcher(
+            source, resilience=ResilienceConfig(request_attempts=3,
+                                                seed=3)
+        )
+        budget = ResourceBudget(max_fetches_per_page=2)
+        meter = budget.meter()
+        fetcher.budget_meter = meter
+        # Attempt 1 + retry 1 fit the budget of 2; retry 2 must blow
+        # it — a retry storm cannot exceed what a page may fetch.
+        with pytest.raises(BudgetExceeded) as info:
+            fetcher.fetch(_request("https://ok.test/"))
+        assert info.value.cause == "fetches"
+
+    def test_backoff_advances_the_virtual_clock(self):
+        source = FailNTimesSource(self._web(), n=1)
+        config = ResilienceConfig(
+            request_attempts=2, backoff_base=2.0, backoff_factor=1.0,
+            backoff_max=2.0, jitter=0.0, seed=3,
+        )
+        fetcher = Fetcher(source, resilience=config)
+        budget = ResourceBudget(
+            deadline_seconds=60.0, clock=VirtualClock()
+        )
+        meter = budget.meter()
+        fetcher.budget_meter = meter
+        fetcher.fetch(_request("https://ok.test/"))
+        # Exactly the jitter-free 2 s backoff elapsed on the virtual
+        # clock; no wall-clock sleep happened anywhere.
+        assert meter.elapsed() == pytest.approx(2.0)
+
+    def test_backoff_past_the_deadline_aborts(self):
+        source = FailNTimesSource(self._web(), n=1)
+        config = ResilienceConfig(
+            request_attempts=2, backoff_base=30.0, backoff_factor=1.0,
+            backoff_max=30.0, jitter=0.0, seed=3,
+        )
+        fetcher = Fetcher(source, resilience=config)
+        budget = ResourceBudget(
+            deadline_seconds=10.0, clock=VirtualClock()
+        )
+        fetcher.budget_meter = budget.meter()
+        with pytest.raises(BudgetExceeded) as info:
+            fetcher.fetch(_request("https://ok.test/"))
+        assert info.value.cause == "deadline"
+
+
+class TestBlockedCounter:
+    def test_blocked_is_not_failed(self):
+        web = DictWebSource()
+        web.add_html("https://ads.test/", "<body></body>")
+        fetcher = Fetcher(web)
+        fetcher.add_observer(lambda request: False)
+        with pytest.raises(NetworkError) as info:
+            fetcher.fetch(_request("https://ads.test/"))
+        assert info.value.reason == "blocked"
+        assert fetcher.requests_blocked == 1
+        assert fetcher.requests_failed == 0
+        assert fetcher.requests_issued == 1
+
+    def test_unknown_host_is_failed_not_blocked(self):
+        fetcher = Fetcher(DictWebSource())
+        with pytest.raises(NetworkError):
+            fetcher.fetch(_request("https://nowhere.test/"))
+        assert fetcher.requests_failed == 1
+        assert fetcher.requests_blocked == 0
+
+
+class TestFetcherBreaker:
+    def test_breaker_short_circuits_after_threshold(self):
+        source = FailNTimesSource(DictWebSource(), n=99)
+        fetcher = Fetcher(
+            source,
+            resilience=ResilienceConfig(breaker_threshold=2,
+                                        breaker_cooldown=100, seed=1),
+        )
+        for _ in range(4):
+            with pytest.raises(TransientNetworkError):
+                fetcher.fetch(_request("https://dead.test/x"))
+        assert fetcher.breaker_opens == 1
+        # Failures 1-2 hit the wire; 3-4 were short-circuited.
+        assert len(source.attempts_seen) == 2
+        assert fetcher.requests_short_circuited == 2
+        assert fetcher.breaker_states() == {"dead.test": ("open", 1)}
+
+    def test_breaker_is_per_origin(self):
+        web = DictWebSource()
+        web.add_html("https://fine.test/", "<body></body>")
+        source = FailNTimesSource(web, n=0)
+
+        class SelectiveSource:
+            def respond(self, request):
+                if request.url.host == "dead.test":
+                    raise TransientNetworkError(request.url, "reset")
+                return source.respond(request)
+
+        fetcher = Fetcher(
+            SelectiveSource(),
+            resilience=ResilienceConfig(breaker_threshold=1,
+                                        breaker_cooldown=100, seed=1),
+        )
+        with pytest.raises(TransientNetworkError):
+            fetcher.fetch(_request("https://dead.test/"))
+        # dead.test's open breaker must not touch fine.test.
+        assert fetcher.fetch(_request("https://fine.test/")).ok
+
+    def test_reset_round_closes_breakers(self):
+        source = FailNTimesSource(DictWebSource(), n=99)
+        fetcher = Fetcher(
+            source,
+            resilience=ResilienceConfig(breaker_threshold=1,
+                                        breaker_cooldown=100, seed=1),
+        )
+        with pytest.raises(TransientNetworkError):
+            fetcher.fetch(_request("https://dead.test/"))
+        assert fetcher.breaker_states() == {"dead.test": ("open", 1)}
+        fetcher.reset_round()
+        assert fetcher.breaker_states() == {}
+
+
+class TestDegradedLedger:
+    def test_merge_dedups_and_counts(self):
+        into = []
+        first = DegradedResource("subresource:image", "https://a/i.png")
+        n = merge_degraded(into, [first, first])
+        assert n == 2
+        assert into == [first]
+        # A different attempts value for the same (slug, url) still
+        # dedups — the first sighting's detail wins.
+        again = DegradedResource(
+            "subresource:image", "https://a/i.png", attempts=3
+        )
+        assert merge_degraded(into, [again]) == 1
+        assert into == [first]
+
+    def test_merge_caps_detail_but_counts_all(self):
+        into = []
+        new = [
+            DegradedResource("s", "https://a/%d" % i) for i in range(50)
+        ]
+        assert merge_degraded(into, new, cap=8) == 50
+        assert len(into) == 8
+
+    def test_round_trip(self):
+        d = DegradedResource("subresource:xhr", "https://a/x", attempts=2)
+        assert DegradedResource.from_dict(d.to_dict()) == d
+
+
+class TestBrowserDegradedRecording:
+    def test_lost_subresources_degrade_not_fail(self, registry):
+        web = DictWebSource()
+        web.add_html(
+            "https://frail.test/",
+            '<html><head><script src="/app.js"></script></head>'
+            '<body><img src="/logo.png"><p>x</p>'
+            "<script>document.title = 't';</script></body></html>",
+        )
+        # /app.js and /logo.png are nowhere: both requests die.
+        browser = Browser(registry, Fetcher(web))
+        visit = browser.visit_page(Url.parse("https://frail.test/"),
+                                   seed=5)
+        assert visit.ok  # the page is NOT aborted
+        assert visit.degraded_total == 2
+        slugs = {d.slug for d in visit.degraded}
+        assert slugs == {"subresource:script", "subresource:image"}
+        # The inline script still ran and was measured.
+        assert "Document.prototype.title" in visit.recorder.counts
+
+    def test_recovered_html_records_cause(self, registry):
+        web = DictWebSource()
+        web.add_html(
+            "https://cut.test/",
+            "<html><body><p>x</p><script>var a = 1;",
+        )
+        browser = Browser(registry, Fetcher(web))
+        visit = browser.visit_page(Url.parse("https://cut.test/"),
+                                   seed=5)
+        assert visit.ok
+        slugs = [d.slug for d in visit.degraded]
+        assert slugs == ["recovered-html:unterminated-script"]
+
+    def test_strict_mode_still_available(self, registry):
+        web = DictWebSource()
+        web.add_html("https://cut.test/", "<body><script>var a = 1;")
+        browser = Browser(
+            registry, Fetcher(web),
+            config=BrowserConfig(recover_html=False),
+        )
+        visit = browser.visit_page(Url.parse("https://cut.test/"),
+                                   seed=5)
+        assert not visit.ok
+        assert "unterminated" in (visit.failure_reason or "")
