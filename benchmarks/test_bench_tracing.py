@@ -1,0 +1,153 @@
+"""Overhead of span tracing on a checkpointed crawl.
+
+Runs the same checkpointed survey with tracing off and on (alternating
+arms, best-of-N each, so ambient machine noise cannot masquerade as
+tracer cost) and records both into ``BENCH_tracing.json`` at the repo
+root.
+
+Tracing must be free where it matters:
+
+* the measurement digest is identical with and without the tracer —
+  observability is not allowed to observe itself into the data;
+* the structural trace digest is identical across the traced runs —
+  the oracle the determinism matrix relies on;
+* the traced run is at most 5% slower than the untraced one (asserted
+  for the full configuration only; the smoke run is too short for a
+  stable ratio).
+
+Set ``REPRO_BENCH_SMOKE=1`` for the small CI configuration.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.persistence import survey_digest
+from repro.core.survey import SurveyConfig, run_survey
+from repro.core.tracereport import load_trace_records
+from repro.obs import trace_digest
+from repro.webgen.sitegen import build_web
+from repro.webidl.registry import default_registry
+
+from conftest import BENCH_SEED, emit
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+N_SITES = 5 if SMOKE else 20
+VISITS = 1 if SMOKE else 2
+REPEATS = 2
+MAX_OVERHEAD = 0.05
+RESULT_PATH = Path(__file__).resolve().parent.parent / (
+    "BENCH_tracing.json"
+)
+
+
+def _config(trace: bool) -> SurveyConfig:
+    return SurveyConfig(
+        conditions=("default",),
+        visits_per_site=VISITS,
+        seed=BENCH_SEED,
+        trace=trace,
+    )
+
+
+def _pages(result) -> int:
+    return sum(
+        m.pages
+        for by_domain in result.measurements.values()
+        for m in by_domain.values()
+    )
+
+
+def test_bench_tracing_overhead():
+    registry = default_registry()
+    web = build_web(registry, n_sites=N_SITES, seed=BENCH_SEED)
+
+    plain_seconds = []
+    traced_seconds = []
+    measure_digests = set()
+    trace_digests = set()
+    pages = 0
+    spans = 0
+
+    with tempfile.TemporaryDirectory() as scratch:
+        # One untimed pass first: the shared compile cache and every
+        # other process-level cache warm up outside the timed arms,
+        # which otherwise flatters whichever arm happens to run later.
+        run_survey(web, registry, _config(False),
+                   run_dir=os.path.join(scratch, "warmup"))
+        for repeat in range(REPEATS):
+            # Alternating arms: any slow drift in the machine hits
+            # both sides equally.
+            for trace in (False, True):
+                run_dir = os.path.join(
+                    scratch, "run-%d-%s" % (repeat, trace)
+                )
+                start = time.perf_counter()
+                result = run_survey(
+                    web, registry, _config(trace), run_dir=run_dir
+                )
+                elapsed = time.perf_counter() - start
+                (traced_seconds if trace
+                 else plain_seconds).append(elapsed)
+                measure_digests.add(survey_digest(result))
+                pages = _pages(result)
+                if trace:
+                    records = load_trace_records(run_dir)
+                    trace_digests.add(trace_digest(records))
+                    spans = sum(
+                        _count(r["trace"]) for r in records
+                    )
+
+    # Tracing is invisible in the data, and deterministic in itself.
+    assert len(measure_digests) == 1
+    assert len(trace_digests) == 1
+
+    plain = min(plain_seconds)
+    traced = min(traced_seconds)
+    overhead = (traced - plain) / plain if plain else 0.0
+
+    payload = {
+        "benchmark": "tracing_overhead",
+        "smoke": SMOKE,
+        "sites": N_SITES,
+        "visits_per_site": VISITS,
+        "repeats": REPEATS,
+        "pages_visited": pages,
+        "spans_recorded": spans,
+        "plain_seconds": round(plain, 3),
+        "traced_seconds": round(traced, 3),
+        "plain_pages_per_second": round(pages / plain, 2),
+        "traced_pages_per_second": round(pages / traced, 2),
+        "overhead_pct": round(overhead * 100.0, 2),
+        "max_overhead_pct": MAX_OVERHEAD * 100.0,
+        "structural_digest": trace_digests.pop(),
+    }
+    RESULT_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+    emit(
+        "Tracing overhead (%d sites, %d visits, best of %d)"
+        % (N_SITES, VISITS, REPEATS),
+        "plain:  %.2f s (%.1f pages/s)\n"
+        "traced: %.2f s (%.1f pages/s)\n"
+        "overhead: %.2f%% (%d spans)" % (
+            plain, pages / plain, traced, pages / traced,
+            overhead * 100.0, spans,
+        ),
+    )
+
+    if not SMOKE:
+        assert overhead <= MAX_OVERHEAD, (
+            "tracing cost %.2f%% (budget %.0f%%)"
+            % (overhead * 100.0, MAX_OVERHEAD * 100.0)
+        )
+
+
+def _count(node) -> int:
+    return 1 + sum(_count(c) for c in node.get("children", ()))

@@ -20,13 +20,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro import obs
 from repro.blocking.extension import BlockingExtension
 from repro.browser.extension import FeatureRecorder, MeasuringExtension
 from repro.core.sandbox import BudgetExceeded, BudgetMeter
 from repro.dom.bindings import DomRealm
 from repro.dom.html import HtmlParseError, parse_html, parse_html_lenient
 from repro.dom.node import DomNode, install_dom_meter
-from repro.minijs.compile import compile_source
+from repro.minijs.compile import compile_source, shared_cache
 from repro.minijs.errors import (
     JSLexError,
     JSParseError,
@@ -189,6 +190,13 @@ class Browser:
         previous_fetch_meter = self.fetcher.budget_meter
         previous_dom_meter = install_dom_meter(meter)
         self.fetcher.budget_meter = meter
+        # Compile-cache traffic per page goes on the span as profiling
+        # metadata only: hit/miss counts depend on worker warm-up, so
+        # they must stay out of the structural digest.
+        tracer = obs.current_tracer()
+        if tracer is not None:
+            cache = shared_cache()
+            hits_before, misses_before = cache.hits, cache.misses
         try:
             if meter is not None:
                 meter.begin_page()
@@ -200,6 +208,11 @@ class Browser:
         finally:
             self.fetcher.budget_meter = previous_fetch_meter
             install_dom_meter(previous_dom_meter)
+            if tracer is not None:
+                tracer.annotate(
+                    cache_hits=cache.hits - hits_before,
+                    cache_misses=cache.misses - misses_before,
+                )
 
     def _load(
         self,

@@ -16,6 +16,20 @@ from typing import Dict, List, Optional, Set
 from repro.net.resilience import DegradedResource, merge_degraded
 from repro.webidl.registry import FeatureRegistry
 
+#: The canonical per-site telemetry counters.  Every counter a report
+#: surfaces lives on :class:`SiteMeasurement` under exactly these
+#: names, is serialized under the same names by
+#: ``persistence.measurement_to_dict`` and is validated by
+#: ``repro fsck``; the telemetry-schema test pins the list.
+TELEMETRY_COUNTERS = (
+    "scripts_blocked",
+    "requests_blocked",
+    "interaction_events",
+    "degraded_resources",
+    "requests_retried",
+    "breaker_opens",
+)
+
 
 @dataclass
 class VisitResult:
@@ -143,6 +157,11 @@ class SiteMeasurement:
         self.scripts_blocked += result.scripts_blocked
         self.requests_blocked += result.requests_blocked
         self.interaction_events += result.interaction_events
+
+    def telemetry(self) -> Dict[str, int]:
+        """The canonical counters, keyed by their serialized names."""
+        return {name: getattr(self, name)
+                for name in TELEMETRY_COUNTERS}
 
     @property
     def measured(self) -> bool:

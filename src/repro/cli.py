@@ -13,6 +13,13 @@ Commands:
   layer that must absorb them)
 * ``fsck``     — read-only integrity check of a checkpoint run
   directory (torn writes, mid-shard corruption, manifest mismatches)
+* ``trace``    — summarize the span trace of a ``--trace`` run
+  (critical path, slowest sites/pages, phase and origin breakdowns,
+  retry/breaker/quarantine timelines)
+
+Exit codes: 0 on success, 1 when a check or comparison fails, 2 on
+usage, configuration or checkpoint errors — scripts can branch on
+"the run was bad" versus "the invocation was bad".
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+import repro
 from repro.blocking.extension import BrowsingCondition
 from repro.core import debloat, reporting
 from repro.core.survey import (
@@ -48,6 +56,7 @@ _REPORTS = {
     "degraded": reporting.degraded_report_text,
     "progress": reporting.progress_report_text,
     "timing": reporting.timing_report_text,
+    "telemetry": reporting.telemetry_report_text,
     # Internal: auto-appended to checkpointed runs; not user-selectable
     # (use "progress", which adds the cache/timing vitals).
     "crawl-health": reporting.crawl_health_text,
@@ -59,11 +68,19 @@ _HIDDEN_REPORTS = frozenset(["crawl-health"])
 _NEEDS_QUAD = frozenset(["figure7"])
 
 
+class CliError(ValueError):
+    """A usage error argparse cannot catch (flag interactions)."""
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Browser Feature Usage on the "
         "Modern Web' (IMC 2016)",
+    )
+    parser.add_argument(
+        "--version", action="version",
+        version="repro %s" % repro.__version__,
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -171,6 +188,11 @@ def build_parser() -> argparse.ArgumentParser:
         "truncated, garbled, slow responses) and enable the "
         "per-request resilience layer that must absorb them",
     )
+    chaos.add_argument(
+        "--trace", action="store_true",
+        help="record span traces next to the checkpoint shards "
+        "(requires --run-dir; inspect with 'repro trace')",
+    )
 
     fsck = commands.add_parser(
         "fsck",
@@ -181,6 +203,25 @@ def build_parser() -> argparse.ArgumentParser:
         "run_dir", metavar="RUN_DIR",
         help="a --run-dir directory from a (possibly interrupted) "
         "survey run",
+    )
+
+    trace = commands.add_parser(
+        "trace",
+        help="summarize the span trace a --trace crawl recorded: "
+        "critical path, slowest sites/pages, phase and origin "
+        "breakdowns, retry/breaker/quarantine timelines",
+    )
+    trace.add_argument(
+        "run_dir", metavar="RUN_DIR",
+        help="a --run-dir directory crawled with --trace",
+    )
+    trace.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="text for the terminal, json for tooling (default: text)",
+    )
+    trace.add_argument(
+        "--top", type=int, default=None, metavar="N",
+        help="rows per ranking/timeline (default: 10)",
     )
 
     export_cmd = commands.add_parser(
@@ -308,6 +349,12 @@ def _crawl_arguments(parser: argparse.ArgumentParser) -> None:
         help="strikes (worker kills/hangs) before a site is "
         "quarantined and never dispatched again (default: 3)",
     )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="record a span trace of the crawl next to the "
+        "checkpoint shards (requires --run-dir; inspect afterwards "
+        "with 'repro trace RUN_DIR')",
+    )
 
 
 def _budget_from_args(args) -> "ResourceBudget":
@@ -324,7 +371,16 @@ def _budget_from_args(args) -> "ResourceBudget":
     )
 
 
+def _require_run_dir_for_trace(args) -> None:
+    if getattr(args, "trace", False) and not args.run_dir:
+        raise CliError(
+            "--trace records its spans next to the checkpoint "
+            "shards; give it a --run-dir"
+        )
+
+
 def _run_crawl(args, quad: bool) -> tuple:
+    _require_run_dir_for_trace(args)
     registry = default_registry()
     web = build_web(registry, n_sites=args.sites, seed=args.seed)
     conditions = [BrowsingCondition.DEFAULT, BrowsingCondition.BLOCKING]
@@ -353,6 +409,7 @@ def _run_crawl(args, quad: bool) -> tuple:
         budget=_budget_from_args(args),
         hang_timeout=args.hang_timeout or None,
         quarantine_threshold=max(1, args.quarantine_threshold),
+        trace=bool(args.trace),
     )
     progress = None
     if args.run_dir:
@@ -535,6 +592,7 @@ def _command_chaos(args, out) -> int:
         hostile_web,
     )
 
+    _require_run_dir_for_trace(args)
     workers = max(1, args.workers)
     include_poison = workers > 1
     include_net = bool(args.net)
@@ -557,6 +615,7 @@ def _command_chaos(args, out) -> int:
         budget=chaos_budget(),
         hang_timeout=args.hang_timeout or None,
         quarantine_threshold=max(1, args.quarantine_threshold),
+        trace=bool(args.trace),
     )
     result = run_survey(
         web, registry, config,
@@ -641,6 +700,25 @@ def _command_fsck(args, out) -> int:
     return 0 if ok else 1
 
 
+def _command_trace(args, out) -> int:
+    """Summarize a recorded span trace."""
+    import json as _json
+
+    from repro.core import tracereport
+
+    top = tracereport.DEFAULT_TOP if args.top is None else args.top
+    if top < 1:
+        raise CliError("--top must be at least 1")
+    report = tracereport.build_trace_report(args.run_dir, top=top)
+    if args.format == "json":
+        _json.dump(report, out, indent=2, sort_keys=True)
+        out.write("\n")
+    else:
+        out.write(tracereport.trace_report_text(report))
+        out.write("\n")
+    return 0
+
+
 def _command_validate(args, out) -> int:
     web, result = _run_crawl(args, quad=False)
     out.write("== Internal validation (Table 3) ==\n")
@@ -659,9 +737,16 @@ def _command_validate(args, out) -> int:
 
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     from repro.core.checkpoint import CheckpointError
+    from repro.core.tracereport import TraceReportError
 
     out = out or sys.stdout
-    args = build_parser().parse_args(argv)
+    try:
+        args = build_parser().parse_args(argv)
+    except SystemExit as exit_:
+        # argparse exits 2 on bad usage but 0 for --help/--version;
+        # normalize so embedding callers always get an int back and
+        # scripts can rely on "2 == bad invocation".
+        return 0 if exit_.code in (0, None) else 2
     handler = {
         "survey": _command_survey,
         "figures": _command_figures,
@@ -671,13 +756,29 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "validate": _command_validate,
         "chaos": _command_chaos,
         "fsck": _command_fsck,
+        "trace": _command_trace,
         "compare": _command_compare,
         "export": _command_export,
     }[args.command]
     try:
         return handler(args, out)
+    except BrokenPipeError:
+        # The reader went away (`repro trace … | head`).  Not an
+        # error; redirect stdout at the descriptor level so the
+        # interpreter's exit-time flush cannot trip over it again.
+        import os
+
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+    except CliError as error:
+        out.write("usage error: %s\n" % error)
+        return 2
     except CheckpointError as error:
         out.write("checkpoint error: %s\n" % error)
+        return 2
+    except TraceReportError as error:
+        out.write("trace error: %s\n" % error)
         return 2
 
 

@@ -31,7 +31,7 @@ import json
 import os
 from typing import IO, Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.browser.session import SiteMeasurement
+from repro.browser.session import TELEMETRY_COUNTERS, SiteMeasurement
 from repro.core.persistence import (
     PersistenceError,
     measurement_from_dict,
@@ -55,6 +55,11 @@ def shard_name(condition: str) -> str:
     return "shard-%s.jsonl" % condition
 
 
+def trace_shard_name(condition: str) -> str:
+    """The trace shard riding next to a condition's measurement shard."""
+    return "trace-%s.jsonl" % condition
+
+
 def domains_digest(domains: Sequence[str]) -> str:
     """A stable identity for the crawl's target list."""
     import hashlib
@@ -74,17 +79,17 @@ def append_record(handle: IO[str], record: Dict[str, Any]) -> None:
     os.fsync(handle.fileno())
 
 
-def _valid_record(record: Any) -> bool:
+def _valid_record(record: Any, payload_key: str) -> bool:
     return (
         isinstance(record, dict)
         and isinstance(record.get("condition"), str)
         and isinstance(record.get("domain"), str)
-        and isinstance(record.get("measurement"), dict)
+        and isinstance(record.get(payload_key), dict)
     )
 
 
 def load_shard_records(
-    path: str, repair: bool = True
+    path: str, repair: bool = True, payload_key: str = "measurement"
 ) -> Tuple[List[Dict[str, Any]], int]:
     """Read a JSONL shard, recovering from a torn trailing write.
 
@@ -117,7 +122,7 @@ def load_shard_records(
                 parsed = json.loads(line.decode("utf-8"))
             except (ValueError, UnicodeDecodeError):
                 parsed = None
-            if _valid_record(parsed):
+            if _valid_record(parsed, payload_key):
                 record = parsed
         if record is not None:
             records.append(record)
@@ -160,6 +165,7 @@ class SurveyCheckpoint:
         #: torn trailing lines dropped while loading shards
         self.recovered_lines = 0
         self._handles: Dict[str, IO[str]] = {}
+        self._trace_handles: Dict[str, IO[str]] = {}
         #: domain -> times this site killed or hung a crawl worker
         #: (the watchdog's poison-site strike counts; persisted so a
         #: resumed run never re-crawls a quarantined site)
@@ -224,6 +230,7 @@ class SurveyCheckpoint:
             "domains_digest": domains_digest(domains),
             "budget": cls._budget_fingerprint(config),
             "resilience": cls._resilience_fingerprint(config),
+            "tracing": bool(getattr(config, "trace", False)),
             "started_at": datetime.datetime.fromtimestamp(
                 stamp, datetime.timezone.utc
             ).isoformat(),
@@ -262,6 +269,7 @@ class SurveyCheckpoint:
         cls._validate_manifest(manifest, registry, config, domains)
         checkpoint = cls(run_dir, registry, manifest)
         checkpoint._load_shards()
+        checkpoint._repair_trace_shards()
         checkpoint._load_quarantine()
         return checkpoint
 
@@ -312,6 +320,14 @@ class SurveyCheckpoint:
             checks.append(
                 ("resilience",
                  SurveyCheckpoint._resilience_fingerprint(config))
+            )
+        if "tracing" in manifest:
+            # A run resumed with tracing toggled would leave trace
+            # shards covering only part of the crawl — refuse, like any
+            # other configuration drift.  Pre-tracing checkpoints lack
+            # the key and stay resumable.
+            checks.append(
+                ("tracing", bool(getattr(config, "trace", False)))
             )
         for key, live in checks:
             if manifest.get(key) != live:
@@ -379,10 +395,56 @@ class SurveyCheckpoint:
         })
         self._records[condition][measurement.domain] = measurement
 
+    # -- trace shards ----------------------------------------------------
+
+    def _trace_shard_path(self, condition: str) -> str:
+        return os.path.join(self.run_dir, trace_shard_name(condition))
+
+    def _repair_trace_shards(self) -> None:
+        """Truncate torn trailing trace writes before resuming.
+
+        The measurement shards are repaired by :func:`_load_shards`'s
+        read; the trace shards are never read on resume, so a torn
+        tail would otherwise sit mid-file once new records append
+        after it — which readers rightly treat as corruption.
+        """
+        for condition in self.manifest["conditions"]:
+            path = self._trace_shard_path(condition)
+            if os.path.exists(path):
+                _, dropped = load_shard_records(
+                    path, repair=True, payload_key="trace"
+                )
+                self.recovered_lines += dropped
+
+    def append_trace(
+        self, condition: str, domain: str, trace: Dict[str, Any]
+    ) -> None:
+        """Durably record one site's span trace.
+
+        Called *before* the matching measurement append: a crash
+        between the two leaves an orphan trace (harmless — the site is
+        re-measured on resume and its trace re-recorded, last-wins),
+        never a measured site with no trace.
+        """
+        handle = self._trace_handles.get(condition)
+        if handle is None:
+            handle = open(
+                self._trace_shard_path(condition), "a", encoding="utf-8"
+            )
+            self._trace_handles[condition] = handle
+        append_record(handle, {
+            "condition": condition,
+            "domain": domain,
+            "trace": trace,
+        })
+
     def close(self) -> None:
         for handle in self._handles.values():
             handle.close()
         self._handles.clear()
+        for handle in self._trace_handles.values():
+            handle.close()
+        self._trace_handles.clear()
 
     # -- poison-site quarantine ------------------------------------------
 
@@ -549,6 +611,17 @@ def fsck_run_dir(run_dir: str) -> Tuple[bool, List[str]]:
             measurement = record["measurement"]
             if any(k not in measurement for k in _MEASUREMENT_REQUIRED):
                 bad += 1
+                continue
+            # Telemetry counters, when present, must be sane: each is
+            # a non-negative integer (the canonical schema the reports
+            # and the trace command read).
+            if any(
+                not isinstance(measurement[counter], int)
+                or measurement[counter] < 0
+                for counter in TELEMETRY_COUNTERS
+                if counter in measurement
+            ):
+                bad += 1
         if bad:
             report(False, "%s: %d malformed record(s)" % (name, bad))
             continue
@@ -566,6 +639,44 @@ def fsck_run_dir(run_dir: str) -> Tuple[bool, List[str]]:
             if (name.startswith("shard-") and name.endswith(".jsonl")
                     and name not in known):
                 report(False, "%s: shard for unknown condition" % name)
+
+    # 2b. Trace shards (present only for --trace runs): well-formed
+    #     span trees, torn-tail recoverable.  An orphan trace (trace
+    #     recorded, crash before the measurement landed) is benign —
+    #     resume re-records it last-wins — so counts need not match
+    #     the measurement shard's.
+    for condition in conditions:
+        name = trace_shard_name(condition)
+        path = os.path.join(run_dir, name)
+        if not os.path.exists(path):
+            continue
+        try:
+            records, dropped = load_shard_records(
+                path, repair=False, payload_key="trace"
+            )
+        except CheckpointError as error:
+            report(False, "%s: %s" % (name, error))
+            continue
+        bad = sum(
+            1 for record in records
+            if record["condition"] != condition
+            or not isinstance(record["trace"].get("name"), str)
+        )
+        if bad:
+            report(False, "%s: %d malformed trace(s)" % (name, bad))
+        elif dropped:
+            report(False, "%s: %d trace(s), torn trailing write "
+                   "(recoverable; resume repairs it)"
+                   % (name, len(records)))
+        else:
+            report(True, "%s: %d trace(s)" % (name, len(records)))
+    if manifest is not None:
+        known_traces = {trace_shard_name(c) for c in conditions}
+        for name in sorted(os.listdir(run_dir)):
+            if (name.startswith("trace-") and name.endswith(".jsonl")
+                    and name not in known_traces):
+                report(False,
+                       "%s: trace shard for unknown condition" % name)
 
     # 3. Quarantine strike table (optional file).
     quarantine_path = os.path.join(run_dir, QUARANTINE_NAME)

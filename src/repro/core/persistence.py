@@ -16,7 +16,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List, Optional
 
-from repro.browser.session import SiteMeasurement
+from repro.browser.session import TELEMETRY_COUNTERS, SiteMeasurement
 from repro.core.survey import SurveyResult
 from repro.net.resilience import DegradedResource
 from repro.webidl.registry import FeatureRegistry, default_registry
@@ -29,8 +29,14 @@ class PersistenceError(ValueError):
 
 
 def measurement_to_dict(m: SiteMeasurement) -> Dict[str, Any]:
-    """A JSON-ready representation of one site-under-one-condition."""
-    return {
+    """A JSON-ready representation of one site-under-one-condition.
+
+    The telemetry counters serialize through
+    :meth:`SiteMeasurement.telemetry` — one canonical list of names
+    shared with the reports and ``repro fsck`` — under exactly the
+    same keys as always (digest-stable).
+    """
+    out = {
         "rounds_completed": m.rounds_completed,
         "rounds_ok": m.rounds_ok,
         "features": sorted(m.features),
@@ -39,9 +45,6 @@ def measurement_to_dict(m: SiteMeasurement) -> Dict[str, Any]:
         ],
         "invocations": m.invocations,
         "pages": m.pages,
-        "scripts_blocked": m.scripts_blocked,
-        "requests_blocked": m.requests_blocked,
-        "interaction_events": m.interaction_events,
         "failure_reason": m.failure_reason,
         "transient_failure": m.transient_failure,
         "attempts": m.attempts,
@@ -49,11 +52,10 @@ def measurement_to_dict(m: SiteMeasurement) -> Dict[str, Any]:
         "budget_cause": m.budget_cause,
         "budget_overshoot": m.budget_overshoot,
         "degraded": [d.to_dict() for d in m.degraded],
-        "degraded_resources": m.degraded_resources,
         "rounds_degraded": m.rounds_degraded,
-        "requests_retried": m.requests_retried,
-        "breaker_opens": m.breaker_opens,
     }
+    out.update(m.telemetry())
+    return out
 
 
 def measurement_from_dict(
@@ -82,9 +84,6 @@ def measurement_from_dict(
     ]
     m.invocations = raw["invocations"]
     m.pages = raw["pages"]
-    m.scripts_blocked = raw["scripts_blocked"]
-    m.requests_blocked = raw["requests_blocked"]
-    m.interaction_events = raw["interaction_events"]
     m.failure_reason = raw["failure_reason"]
     m.transient_failure = raw.get("transient_failure", False)
     m.attempts = raw.get("attempts", 1)
@@ -95,10 +94,16 @@ def measurement_from_dict(
     m.degraded = [
         DegradedResource.from_dict(d) for d in raw.get("degraded", [])
     ]
-    m.degraded_resources = raw.get("degraded_resources", 0)
     m.rounds_degraded = raw.get("rounds_degraded", 0)
-    m.requests_retried = raw.get("requests_retried", 0)
-    m.breaker_opens = raw.get("breaker_opens", 0)
+    # Telemetry counters round-trip by their canonical names.  The
+    # first three predate the versioned format and are required; the
+    # rest default so pre-resilience surveys load.
+    for counter in TELEMETRY_COUNTERS:
+        if counter in ("scripts_blocked", "requests_blocked",
+                       "interaction_events"):
+            setattr(m, counter, raw[counter])
+        else:
+            setattr(m, counter, raw.get(counter, 0))
     return m
 
 

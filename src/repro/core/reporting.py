@@ -364,6 +364,37 @@ def degraded_report_text(result: SurveyResult) -> str:
     return "%s\n\n%s" % (table, "\n".join(summary_lines))
 
 
+def telemetry_report_text(result: SurveyResult) -> str:
+    """Every canonical counter the crawl keeps, in one table.
+
+    Per-condition sums of the per-site counters (the single source of
+    truth is :data:`repro.browser.session.TELEMETRY_COUNTERS` on
+    ``SiteMeasurement``), the quarantine count, and the run-wide
+    compile-cache traffic.  The telemetry-schema test pins that
+    nothing surfaced here lives anywhere else.
+    """
+    from repro.browser.session import TELEMETRY_COUNTERS
+
+    rows = []
+    for condition in result.conditions:
+        totals = result.telemetry_totals(condition)
+        rows.append(
+            (condition,)
+            + tuple("{:,}".format(totals[name])
+                    for name in TELEMETRY_COUNTERS)
+            + (str(len(result.quarantined_domains(condition))),)
+        )
+    headers = ("Condition",) + tuple(
+        name.replace("_", " ") for name in TELEMETRY_COUNTERS
+    ) + ("quarantined",)
+    table = render_table(headers, rows)
+    cache = result.compile_cache
+    footer = "compile cache: %d hit(s), %d miss(es)" % (
+        int(cache.get("hits", 0)), int(cache.get("misses", 0)),
+    ) if cache else "compile cache: no statistics recorded"
+    return "%s\n\n%s" % (table, footer)
+
+
 def progress_report_text(result: SurveyResult) -> str:
     """Crawl health plus the run's cache and phase-timing vitals.
 

@@ -253,6 +253,15 @@ class BudgetMeter:
 
     # -- time ----------------------------------------------------------------
 
+    def virtual_clock(self) -> Optional[VirtualClock]:
+        """The meter's deterministic clock, or None on a real clock.
+
+        Tracing stamps span timestamps from this clock only — virtual
+        time restarts at 0.0 every visit round, so the stamps are
+        bit-identical across start methods and resume boundaries.
+        """
+        return self._vclock
+
     def elapsed(self) -> float:
         return self.budget.clock() - self._started
 

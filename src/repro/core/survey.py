@@ -25,10 +25,11 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro import obs
 from repro.blocking.extension import BrowsingCondition
 from repro.blocking.lists import builtin_filter_list, builtin_tracker_database
 from repro.browser.browser import Browser, BrowserConfig
-from repro.browser.session import SiteMeasurement
+from repro.browser.session import TELEMETRY_COUNTERS, SiteMeasurement
 from repro.core.sandbox import (
     QUARANTINE_CAUSE,
     ResourceBudget,
@@ -164,6 +165,11 @@ class SurveyConfig:
     #: forever, as with the plain pool).  Only parallel crawls
     #: (``workers > 1``) have a supervisor to enforce this.
     hang_timeout: Optional[float] = 300.0
+    #: record a span trace of the crawl (see :mod:`repro.obs`).  With a
+    #: run directory, each site's trace is appended to a per-condition
+    #: ``trace-<condition>.jsonl`` shard right before its measurement;
+    #: without one the spans are built and discarded.
+    trace: bool = False
 
 
 @dataclass
@@ -229,6 +235,23 @@ class SurveyResult:
             d for d in self.domains
             if self.measurements[condition][d].attempts > 1
         ]
+
+    def quarantined_domains(self, condition: str) -> List[str]:
+        """Domains the watchdog quarantined instead of measuring."""
+        return [
+            d for d in self.domains
+            if self.measurements[condition][d].budget_cause
+            == QUARANTINE_CAUSE
+            and not self.measurements[condition][d].measured
+        ]
+
+    def telemetry_totals(self, condition: str) -> Dict[str, int]:
+        """Condition-wide sums of the canonical per-site counters."""
+        totals = {name: 0 for name in TELEMETRY_COUNTERS}
+        for measurement in self.measurements[condition].values():
+            for name in TELEMETRY_COUNTERS:
+                totals[name] += getattr(measurement, name)
+        return totals
 
     def degraded_domains(self, condition: str) -> List[str]:
         """Measured domains that lost resources along the way.
@@ -326,7 +349,7 @@ def _measure_site_once(
     return measurement
 
 
-def _measure_site(
+def _measure_site_attempts(
     crawler: SiteCrawler,
     registry: FeatureRegistry,
     config: SurveyConfig,
@@ -349,20 +372,23 @@ def _measure_site(
     attempts = max(1, policy.attempts)
     measurement = SiteMeasurement(domain=domain, condition=condition)
     for attempt in range(1, attempts + 1):
-        try:
-            measurement = _measure_site_once(
-                crawler, registry, config, condition, domain
-            )
-        except Exception as error:
-            measurement = SiteMeasurement(
-                domain=domain, condition=condition
-            )
-            measurement.failure_reason = "%s: %s" % (
-                type(error).__name__, error
-            )
-            measurement.transient_failure = bool(
-                getattr(error, "transient", False)
-            )
+        with obs.span("attempt", n=attempt):
+            try:
+                measurement = _measure_site_once(
+                    crawler, registry, config, condition, domain
+                )
+            except Exception as error:
+                measurement = SiteMeasurement(
+                    domain=domain, condition=condition
+                )
+                measurement.failure_reason = "%s: %s" % (
+                    type(error).__name__, error
+                )
+                measurement.transient_failure = bool(
+                    getattr(error, "transient", False)
+                )
+                obs.event("attempt-failed",
+                          reason=measurement.failure_reason)
         measurement.attempts = attempt
         if measurement.measured:
             break
@@ -372,9 +398,40 @@ def _measure_site(
                 or policy.retry_deterministic):
             break
         delay = policy.delay(attempt)
+        obs.event("site-retry", next_attempt=attempt + 1, delay=delay)
         if delay > 0:
             time.sleep(delay)
     return measurement
+
+
+def _measure_site(
+    crawler: SiteCrawler,
+    registry: FeatureRegistry,
+    config: SurveyConfig,
+    condition: str,
+    domain: str,
+) -> Tuple[SiteMeasurement, Optional[Dict[str, object]]]:
+    """Measure one site; pairs the measurement with its trace.
+
+    The trace is the serialized ``site`` span tree when a tracer is
+    installed, else None.  The site span is self-contained — no
+    run-level parent — so a resumed run's traces merge cleanly with
+    the interrupted run's.
+    """
+    tracer = obs.current_tracer()
+    if tracer is None:
+        return _measure_site_attempts(
+            crawler, registry, config, condition, domain
+        ), None
+    with tracer.span("site", domain=domain, condition=condition):
+        measurement = _measure_site_attempts(
+            crawler, registry, config, condition, domain
+        )
+        tracer.set_attrs(attempts=measurement.attempts,
+                         measured=measurement.measured)
+    root = tracer.take_root()
+    trace = obs.span_to_dict(root) if root is not None else None
+    return measurement, trace
 
 
 def resolve_start_method(requested: Optional[str] = None) -> str:
@@ -434,6 +491,11 @@ def _parallel_worker_init(
     _worker_baseline["cache"] = shared_cache().counters()
     _worker_baseline["phases"] = phase_snapshot()
     _prewarm_compile_cache(web, domains)
+    # Tracer goes in after the prewarm so warm-up parses never build
+    # spans; each worker records its own sites' traces and ships them
+    # with the measurement over the result pipe.
+    if config.trace:
+        obs.set_tracer(obs.Tracer())
     _worker_state["crawler"] = _build_crawler(
         web, registry, config, condition
     )
@@ -444,14 +506,15 @@ def _parallel_worker_init(
 
 def _parallel_measure(
     domain: str,
-) -> Tuple[SiteMeasurement, int, Dict[str, float], Dict[str, float]]:
+) -> Tuple[SiteMeasurement, Optional[Dict[str, object]], int,
+           Dict[str, float], Dict[str, float]]:
     """Measure one site; piggyback this worker's cumulative stats.
 
     The parent keeps the per-pid elementwise maximum (the counters are
     monotonic), so whichever result arrives last per worker carries
     its totals.
     """
-    measurement = _measure_site(
+    measurement, trace = _measure_site(
         _worker_state["crawler"],
         _worker_state["registry"],
         _worker_state["config"],
@@ -462,7 +525,7 @@ def _parallel_measure(
         shared_cache().counters(), _worker_baseline["cache"]
     )
     phases = phase_delta(_worker_baseline["phases"])
-    return measurement, os.getpid(), cache_delta, phases
+    return measurement, trace, os.getpid(), cache_delta, phases
 
 
 def _quarantined_measurement(
@@ -482,6 +545,31 @@ def _quarantined_measurement(
     measurement.budget_cause = QUARANTINE_CAUSE
     measurement.attempts = threshold
     return measurement
+
+
+def _quarantined_trace(
+    domain: str, condition: str, threshold: int
+) -> Dict[str, object]:
+    """The trace a quarantined site gets: a synthetic site span.
+
+    Built from the same inputs as :func:`_quarantined_measurement`
+    (never from timing), so resumed runs reproduce it byte for byte.
+    """
+    return {
+        "name": "site",
+        "attrs": {
+            "domain": domain,
+            "condition": condition,
+            "attempts": threshold,
+            "measured": False,
+        },
+        "real_ms": 0.0,
+        "children": [{
+            "name": "quarantined",
+            "attrs": {"strikes": threshold},
+            "real_ms": 0.0,
+        }],
+    }
 
 
 def _watchdog_worker_main(
@@ -600,7 +688,10 @@ class _CrawlSupervisor:
         #: indices already finished — dedupes the race where a struck
         #: worker's result was in the pipe when it was killed
         self.finished: Set[int] = set()
-        self.buffered: Dict[int, SiteMeasurement] = {}
+        #: index -> (measurement, trace-or-None), flushed in order
+        self.buffered: Dict[
+            int, Tuple[SiteMeasurement, Optional[Dict[str, object]]]
+        ] = {}
         self.next_flush = 0
         #: workers killed by the watchdog (observability + tests)
         self.kills = 0
@@ -660,7 +751,7 @@ class _CrawlSupervisor:
 
     def run(
         self,
-        record: Callable[[SiteMeasurement], None],
+        record: Callable[..., None],
         stats: "_CrawlStats",
     ) -> None:
         todo = deque(enumerate(self.pending))
@@ -695,10 +786,7 @@ class _CrawlSupervisor:
                     >= self.config.quarantine_threshold):
                 # Struck out since it was (re)queued.
                 self.finished.add(index)
-                self.buffered[index] = _quarantined_measurement(
-                    domain, self.condition,
-                    self.config.quarantine_threshold,
-                )
+                self.buffered[index] = self._quarantine(domain)
                 continue
             try:
                 self.task_conns[slot].send((index, domain))
@@ -733,8 +821,8 @@ class _CrawlSupervisor:
             if index in self.finished:
                 continue  # a requeued duplicate landed first
             self.finished.add(index)
-            measurement, pid, cache, phases = payload
-            self.buffered[index] = measurement
+            measurement, trace, pid, cache, phases = payload
+            self.buffered[index] = (measurement, trace)
             self.worker_cache[pid] = _elementwise_max(
                 self.worker_cache.get(pid, {}), cache
             )
@@ -775,17 +863,28 @@ class _CrawlSupervisor:
             if index not in self.finished:
                 if strikes >= self.config.quarantine_threshold:
                     self.finished.add(index)
-                    self.buffered[index] = _quarantined_measurement(
-                        domain, self.condition,
-                        self.config.quarantine_threshold,
-                    )
+                    self.buffered[index] = self._quarantine(domain)
                 else:
                     todo.append((index, domain))
             self._spawn(slot)
 
+    def _quarantine(
+        self, domain: str
+    ) -> Tuple[SiteMeasurement, Optional[Dict[str, object]]]:
+        threshold = self.config.quarantine_threshold
+        measurement = _quarantined_measurement(
+            domain, self.condition, threshold
+        )
+        trace = (
+            _quarantined_trace(domain, self.condition, threshold)
+            if self.config.trace else None
+        )
+        return measurement, trace
+
     def _flush(self, record) -> None:
         while self.next_flush in self.buffered:
-            record(self.buffered.pop(self.next_flush))
+            measurement, trace = self.buffered.pop(self.next_flush)
+            record(measurement, trace)
             self.next_flush += 1
 
     def _shutdown(self) -> None:
@@ -813,7 +912,7 @@ def _crawl_condition_parallel(
     config: SurveyConfig,
     condition: str,
     pending: List[str],
-    record: Callable[[SiteMeasurement], None],
+    record: Callable[..., None],
     stats: "_CrawlStats",
     checkpoint=None,
 ) -> None:
@@ -875,10 +974,21 @@ def _crawl_condition(
         progress(condition, len(done), len(domains))
     completed = len(done)
 
-    def record(measurement: SiteMeasurement) -> None:
+    def record(
+        measurement: SiteMeasurement,
+        trace: Optional[Dict[str, object]] = None,
+    ) -> None:
         nonlocal completed
         by_domain[measurement.domain] = measurement
         if checkpoint is not None:
+            # Trace first: resume skips sites whose *measurement* is
+            # on disk, so a crash between the two appends leaves an
+            # orphan trace (re-recorded, last-wins, on resume) rather
+            # than a measured site whose trace is forever missing.
+            if trace is not None:
+                checkpoint.append_trace(
+                    condition, measurement.domain, trace
+                )
             checkpoint.append(measurement)
         completed += 1
         if progress is not None and completed % 50 == 0:
@@ -895,9 +1005,13 @@ def _crawl_condition(
         }
         for domain in pending:
             if domain in poisoned:
-                record(_quarantined_measurement(
-                    domain, condition, threshold
-                ))
+                record(
+                    _quarantined_measurement(
+                        domain, condition, threshold
+                    ),
+                    _quarantined_trace(domain, condition, threshold)
+                    if config.trace else None,
+                )
         pending = [d for d in pending if d not in poisoned]
 
     if config.workers > 1 and pending:
@@ -908,9 +1022,10 @@ def _crawl_condition(
     else:
         crawler = _build_crawler(web, registry, config, condition)
         for domain in pending:
-            record(_measure_site(
+            measurement, trace = _measure_site(
                 crawler, registry, config, condition, domain
-            ))
+            )
+            record(measurement, trace)
     # Canonical domain order: resumed, parallel and serial runs must
     # serialize identically, so insertion order never leaks in.
     return {d: by_domain[d] for d in domains}
@@ -954,12 +1069,18 @@ def run_survey(
             started_at=started_at,
         )
 
+    previous_tracer = obs.current_tracer()
     try:
         stats = _CrawlStats()
         # Parse the high-reuse script bodies once, up front: the serial
         # crawl (and every fork-started worker, via copy-on-write) runs
         # against a hot cache from its first page load.
         _prewarm_compile_cache(web, domains)
+        # The tracer goes in after the prewarm (warm-up parses are not
+        # crawl work) and comes out in the finally below, so a crawl
+        # never leaks tracing state into the caller's process.
+        if config.trace:
+            obs.set_tracer(obs.Tracer())
         measurements: Dict[str, Dict[str, SiteMeasurement]] = {}
         for condition in config.conditions:
             measurements[condition] = _crawl_condition(
@@ -993,6 +1114,8 @@ def run_survey(
             checkpoint.write_result(result)
         return result
     finally:
+        if config.trace:
+            obs.set_tracer(previous_tracer)
         if checkpoint is not None:
             checkpoint.close()
 

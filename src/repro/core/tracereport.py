@@ -1,0 +1,328 @@
+"""Summarizing trace shards: the ``repro trace <run-dir>`` command.
+
+Reads the ``trace-<condition>.jsonl`` shards a ``--trace`` run left in
+its run directory and answers the profiling questions the raw spans
+encode:
+
+* where did the wall-clock go? (exclusive real milliseconds per
+  ``phase:*`` span, and per origin);
+* which sites and pages were slowest? (inclusive span durations);
+* what went wrong, when? (retry / breaker / short-circuit / budget /
+  quarantine events, with their virtual timestamps);
+* the critical path: the chain of slowest spans from the slowest
+  site's root down to a leaf.
+
+Everything is computed from the serialized span trees — no live
+tracer needed — so traces can be inspected long after (and on a
+different machine than) the crawl that wrote them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.checkpoint import (
+    MANIFEST_NAME,
+    CheckpointError,
+    load_shard_records,
+    trace_shard_name,
+)
+from repro.core.reporting import render_table
+from repro.obs import trace_digest
+
+#: cap on rows per timeline/ranking in the report (keeps the text
+#: output and the JSON export bounded on 10k-site runs; the report
+#: records how many entries the cap dropped)
+DEFAULT_TOP = 10
+
+
+class TraceReportError(ValueError):
+    """The run directory holds no usable trace."""
+
+
+def load_trace_records(run_dir: str) -> List[Dict[str, Any]]:
+    """All trace records of a run, merged last-wins per site.
+
+    Conditions come from the manifest; a run that never traced (no
+    trace shards at all) raises :class:`TraceReportError`.
+    """
+    manifest_path = os.path.join(run_dir, MANIFEST_NAME)
+    try:
+        with open(manifest_path, encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise TraceReportError(
+            "%s: not a survey run directory (%s)" % (run_dir, error)
+        )
+    merged: Dict[Tuple[str, str], Dict[str, Any]] = {}
+    found = False
+    for condition in manifest.get("conditions", []):
+        path = os.path.join(run_dir, trace_shard_name(condition))
+        if not os.path.exists(path):
+            continue
+        found = True
+        try:
+            records, _ = load_shard_records(
+                path, repair=False, payload_key="trace"
+            )
+        except CheckpointError as error:
+            raise TraceReportError(str(error))
+        for record in records:
+            merged[(record["condition"], record["domain"])] = record
+    if not found:
+        raise TraceReportError(
+            "%s holds no trace shards — was the survey run with "
+            "--trace?" % run_dir
+        )
+    return [merged[key] for key in sorted(merged)]
+
+
+# -- span-tree arithmetic ----------------------------------------------
+
+def _walk(node: Dict[str, Any], visit) -> None:
+    visit(node)
+    for child in node.get("children", ()):
+        _walk(child, visit)
+
+
+def _children_ms(node: Dict[str, Any]) -> float:
+    return sum(c.get("real_ms", 0.0) for c in node.get("children", ()))
+
+
+def _exclusive_ms(node: Dict[str, Any]) -> float:
+    """A span's own time net of its children's inclusive time.
+
+    Clamped at zero: events carry ``real_ms`` 0.0 and perf_counter
+    noise can make children nominally outrun a tight parent.
+    """
+    return max(0.0, node.get("real_ms", 0.0) - _children_ms(node))
+
+
+def _critical_path(root: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """The greedy max-inclusive-duration chain from root to leaf."""
+    path = []
+    node: Optional[Dict[str, Any]] = root
+    while node is not None:
+        path.append({
+            "name": node["name"],
+            "attrs": node.get("attrs", {}),
+            "real_ms": round(node.get("real_ms", 0.0), 3),
+            "exclusive_ms": round(_exclusive_ms(node), 3),
+        })
+        children = node.get("children", ())
+        node = max(
+            children, key=lambda c: c.get("real_ms", 0.0), default=None
+        )
+    return path
+
+
+def build_trace_report(
+    run_dir: str, top: int = DEFAULT_TOP
+) -> Dict[str, Any]:
+    """The full trace summary as a JSON-ready dict."""
+    records = load_trace_records(run_dir)
+
+    sites: List[Dict[str, Any]] = []
+    pages: List[Dict[str, Any]] = []
+    phases: Dict[str, float] = {}
+    origins: Dict[str, float] = {}
+    retries: List[Dict[str, Any]] = []
+    breakers: List[Dict[str, Any]] = []
+    budget_events: List[Dict[str, Any]] = []
+    quarantines: List[Dict[str, Any]] = []
+    span_count = 0
+    conditions = sorted({r["condition"] for r in records})
+
+    for record in records:
+        condition, domain = record["condition"], record["domain"]
+        root = record["trace"]
+        site_ms = root.get("real_ms", 0.0)
+        sites.append({
+            "condition": condition,
+            "domain": domain,
+            "real_ms": round(site_ms, 3),
+            "attempts": root.get("attrs", {}).get("attempts", 1),
+            "measured": root.get("attrs", {}).get("measured"),
+        })
+
+        def visit(node: Dict[str, Any]) -> None:
+            nonlocal span_count
+            span_count += 1
+            name = node["name"]
+            attrs = node.get("attrs", {})
+            where = {"condition": condition, "domain": domain}
+            if "vt" in node:
+                where["vt"] = node["vt"]
+            if name.startswith("phase:"):
+                phases[name[6:]] = (
+                    phases.get(name[6:], 0.0) + _exclusive_ms(node)
+                )
+            elif name == "page":
+                pages.append({
+                    "condition": condition,
+                    "domain": domain,
+                    "url": attrs.get("url"),
+                    "real_ms": round(node.get("real_ms", 0.0), 3),
+                })
+                url = attrs.get("url")
+                if url:
+                    origin = url.split("/", 3)[2] if "//" in url else url
+                    origins[origin] = (
+                        origins.get(origin, 0.0)
+                        + node.get("real_ms", 0.0)
+                    )
+            elif name == "net:retry":
+                retries.append(dict(where, url=attrs.get("url"),
+                                    attempt=attrs.get("attempt")))
+            elif name in ("net:breaker-open", "net:short-circuit"):
+                breakers.append(dict(where, event=name,
+                                     origin=attrs.get("origin")))
+            elif name == "budget-exhausted":
+                budget_events.append(dict(
+                    where, cause=attrs.get("cause"),
+                    overshoot=attrs.get("overshoot"),
+                ))
+            elif name == "quarantined":
+                quarantines.append(dict(
+                    where, strikes=attrs.get("strikes")
+                ))
+
+        _walk(root, visit)
+
+    sites.sort(key=lambda s: -s["real_ms"])
+    pages.sort(key=lambda p: -p["real_ms"])
+    slowest_root = None
+    if sites:
+        key = (sites[0]["condition"], sites[0]["domain"])
+        for record in records:
+            if (record["condition"], record["domain"]) == key:
+                slowest_root = record["trace"]
+                break
+
+    def capped(items: List[Dict[str, Any]]) -> Dict[str, Any]:
+        return {
+            "entries": items[:top],
+            "dropped": max(0, len(items) - top),
+            "total": len(items),
+        }
+
+    return {
+        "run_dir": run_dir,
+        "conditions": conditions,
+        "sites": len(records),
+        "spans": span_count,
+        "structural_digest": trace_digest(records),
+        "phase_exclusive_ms": {
+            name: round(ms, 3) for name, ms in sorted(phases.items())
+        },
+        "slowest_sites": capped(sites),
+        "slowest_pages": capped(pages),
+        "origin_ms": {
+            origin: round(ms, 3)
+            for origin, ms in sorted(
+                origins.items(), key=lambda kv: -kv[1]
+            )[:top]
+        },
+        "retries": capped(retries),
+        "breaker_events": capped(breakers),
+        "budget_exhaustions": capped(budget_events),
+        "quarantines": capped(quarantines),
+        "critical_path": (
+            _critical_path(slowest_root) if slowest_root else []
+        ),
+    }
+
+
+# -- text rendering ----------------------------------------------------
+
+def _ms(value: float) -> str:
+    return "%.1f ms" % value
+
+
+def trace_report_text(report: Dict[str, Any]) -> str:
+    """Render :func:`build_trace_report`'s dict for the terminal."""
+    blocks: List[str] = []
+    blocks.append(
+        "%s: %d site trace(s), %d span(s), condition(s): %s\n"
+        "structural digest: %s" % (
+            report["run_dir"], report["sites"], report["spans"],
+            ", ".join(report["conditions"]),
+            report["structural_digest"],
+        )
+    )
+
+    phases = report["phase_exclusive_ms"]
+    if phases:
+        total = sum(phases.values())
+        blocks.append(render_table(
+            ("Phase", "Exclusive", "Share"),
+            [(name, _ms(ms),
+              "%.1f%%" % (100.0 * ms / total if total else 0.0))
+             for name, ms in phases.items()],
+        ))
+
+    site_entries = report["slowest_sites"]["entries"]
+    if site_entries:
+        blocks.append("slowest sites:\n" + render_table(
+            ("Domain", "Condition", "Wall", "Attempts"),
+            [(s["domain"], s["condition"], _ms(s["real_ms"]),
+              str(s["attempts"])) for s in site_entries],
+        ))
+
+    page_entries = report["slowest_pages"]["entries"]
+    if page_entries:
+        blocks.append("slowest pages:\n" + render_table(
+            ("URL", "Condition", "Wall"),
+            [(p["url"] or "?", p["condition"], _ms(p["real_ms"]))
+             for p in page_entries],
+        ))
+
+    if report["origin_ms"]:
+        blocks.append("time by origin:\n" + render_table(
+            ("Origin", "Wall"),
+            [(origin, _ms(ms))
+             for origin, ms in report["origin_ms"].items()],
+        ))
+
+    for key, label, columns in (
+        ("retries", "request retries",
+         lambda e: (e["domain"], e.get("url") or "?",
+                    str(e.get("attempt")))),
+        ("breaker_events", "breaker events",
+         lambda e: (e["domain"], e.get("event", "?"),
+                    e.get("origin") or "?")),
+        ("budget_exhaustions", "budget exhaustions",
+         lambda e: (e["domain"], str(e.get("cause")),
+                    "%.2fx" % e.get("overshoot", 0.0))),
+        ("quarantines", "quarantines",
+         lambda e: (e["domain"], "strikes",
+                    str(e.get("strikes")))),
+    ):
+        section = report[key]
+        if not section["total"]:
+            continue
+        lines = ["%s (%d total%s):" % (
+            label, section["total"],
+            ", %d not shown" % section["dropped"]
+            if section["dropped"] else "",
+        )]
+        for entry in section["entries"]:
+            lines.append("  %s" % "  ".join(columns(entry)))
+        blocks.append("\n".join(lines))
+
+    path = report["critical_path"]
+    if path:
+        lines = ["critical path (slowest site):"]
+        for depth, step in enumerate(path):
+            attrs = step["attrs"]
+            detail = (attrs.get("url") or attrs.get("domain")
+                      or attrs.get("n") or attrs.get("round") or "")
+            lines.append("  %s%s %s (%s)" % (
+                "  " * depth, step["name"],
+                detail, _ms(step["real_ms"]),
+            ))
+        blocks.append("\n".join(lines))
+
+    return "\n\n".join(blocks)

@@ -20,6 +20,7 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional, Set, Tuple
 
+from repro import obs
 from repro.browser.browser import Browser
 from repro.browser.session import VisitResult
 from repro.core.sandbox import (
@@ -86,6 +87,17 @@ class SiteCrawler:
         self, domain: str, round_index: int, seed: int
     ) -> VisitResult:
         """One full visit round of one site."""
+        tracer = obs.current_tracer()
+        if tracer is None:
+            return self._visit_round(domain, round_index, seed)
+        with tracer.span("visit", round=round_index):
+            result = self._visit_round(domain, round_index, seed)
+            tracer.set_attrs(pages=result.pages_visited, ok=result.ok)
+        return result
+
+    def _visit_round(
+        self, domain: str, round_index: int, seed: int
+    ) -> VisitResult:
         result = VisitResult(
             domain=domain,
             round_index=round_index,
@@ -104,6 +116,17 @@ class SiteCrawler:
         meter: Optional[BudgetMeter] = None
         if self.budget is not None and self.budget.limited:
             meter = self.budget.meter()
+        # Span timestamps come from the meter's virtual clock (freshly
+        # rewound to 0.0 above) so the trace's structure is as
+        # deterministic as the measurement itself; without a virtual
+        # clock the stamps stay None rather than leak wall time.
+        tracer = obs.current_tracer()
+        previous_clock = None
+        if tracer is not None:
+            previous_clock = tracer.virtual_clock
+            tracer.virtual_clock = (
+                meter.virtual_clock() if meter is not None else None
+            )
         # The meter stays installed for the whole round — the monkey
         # phase runs page scripts too, and its fetch storms and DOM
         # growth must charge the same budgets as the load phase.
@@ -124,7 +147,8 @@ class SiteCrawler:
             for depth in range(self.config.depth + 1):
                 next_frontier: List[Url] = []
                 for url in frontier:
-                    page = self._visit_one(url, rng, result, meter)
+                    with obs.span("page", url=str(url), depth=depth):
+                        page = self._visit_one(url, rng, result, meter)
                     if result.partial:
                         break
                     if page is None:
@@ -144,6 +168,8 @@ class SiteCrawler:
                 if not frontier:
                     break
         finally:
+            if tracer is not None:
+                tracer.virtual_clock = previous_clock
             fetcher.budget_meter = previous_fetch_meter
             install_dom_meter(previous_dom_meter)
             result.requests_retried = (
@@ -215,6 +241,8 @@ class SiteCrawler:
         self, result: VisitResult, page, error: BudgetExceeded
     ) -> None:
         """Salvage a budget-aborted page into a partial round."""
+        obs.event("budget-exhausted", cause=error.cause,
+                  overshoot=error.overshoot)
         result.partial = True
         result.budget_cause = error.cause
         result.budget_overshoot = error.overshoot

@@ -29,6 +29,7 @@ from typing import (
     Tuple,
 )
 
+from repro import obs
 from repro.core.sandbox import heartbeat
 from repro.net.resilience import (
     SYNTHETIC_DELAY_HEADER,
@@ -177,6 +178,8 @@ class Fetcher:
                 # one unit of the page's fetch budget plus the policy's
                 # backoff, served on the virtual clock.
                 self.requests_retried += 1
+                obs.event("net:retry", url=str(request.url),
+                          attempt=attempt)
                 heartbeat()
                 if meter is not None:
                     meter.advance_clock_ms(1000.0 * config.delay(
@@ -185,6 +188,8 @@ class Fetcher:
                     meter.charge_fetch()
             if breaker is not None and not breaker.allow():
                 self.requests_short_circuited += 1
+                obs.event("net:short-circuit",
+                          origin=request.url.host)
                 failure = TransientNetworkError(
                     request.url, "circuit-open"
                 )
@@ -200,6 +205,8 @@ class Fetcher:
                 failure = error
                 if breaker is not None and breaker.record_failure():
                     self.breaker_opens += 1
+                    obs.event("net:breaker-open",
+                              origin=request.url.host)
                 continue
             except NetworkError as error:
                 failure = error

@@ -27,6 +27,8 @@ import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro import obs
+
 #: The canonical phases, in pipeline order (reports use this order).
 PHASES: Tuple[str, ...] = ("fetch", "parse", "execute", "monkey")
 
@@ -85,9 +87,45 @@ def global_timings() -> PhaseTimings:
     return _GLOBAL
 
 
+class _TracedPhase:
+    """Times a block *and* records it as a ``phase:<name>`` span.
+
+    Phases whose occurrence depends on process-local caches (see
+    :data:`repro.obs.UNSTABLE_PHASES`) are flagged unstable so the
+    structural trace digest stays execution-mode independent.
+    """
+
+    __slots__ = ("_name", "_span", "_timing")
+
+    def __init__(self, name: str, tracer) -> None:
+        self._name = name
+        self._span = tracer.span(
+            "phase:%s" % name, stable=name not in obs.UNSTABLE_PHASES
+        )
+        self._timing = _GLOBAL.phase(name)
+
+    def __enter__(self) -> None:
+        self._span.__enter__()
+        self._timing.__enter__()
+        return None
+
+    def __exit__(self, *exc_info) -> None:
+        try:
+            self._timing.__exit__(*exc_info)
+        finally:
+            self._span.__exit__(*exc_info)
+
+
 def phase(name: str):
-    """``with phase("fetch"):`` — time a block on the global timings."""
-    return _GLOBAL.phase(name)
+    """``with phase("fetch"):`` — time a block on the global timings.
+
+    When a tracer is installed (``--trace`` runs) the block is also
+    recorded as a ``phase:<name>`` span under the current span.
+    """
+    tracer = obs.current_tracer()
+    if tracer is None:
+        return _GLOBAL.phase(name)
+    return _TracedPhase(name, tracer)
 
 
 def phase_snapshot() -> Dict[str, float]:

@@ -1,0 +1,163 @@
+"""The CLI exit-code contract.
+
+Scripts wrapping ``repro`` (CI jobs, the benchmark harness) branch on
+three outcomes, so the codes are API:
+
+* **0** — the command succeeded (including ``--help``/``--version``);
+* **1** — the command ran but its *check* failed (fsck found
+  corruption, chaos missed a containment, compare missed tolerance);
+* **2** — the invocation itself was bad (unknown flags, missing
+  arguments, flag interactions like ``--trace`` without ``--run-dir``,
+  unusable run directories).
+
+``main()`` normalizes argparse's ``SystemExit`` into a return value so
+embedding callers get an int for every input, never an exception.
+"""
+
+import json
+import os
+
+import repro
+from repro.cli import main
+
+from tests.test_cli import run_cli
+
+
+class TestSuccessIsZero:
+    def test_plain_command(self):
+        code, _ = run_cli("corpus", "--summary")
+        assert code == 0
+
+    def test_version_flag(self, capsys):
+        code = main(["--version"])
+        assert code == 0
+        assert "repro %s" % repro.__version__ in capsys.readouterr().out
+
+    def test_help_flag(self, capsys):
+        code = main(["--help"])
+        assert code == 0
+        assert "survey" in capsys.readouterr().out
+
+
+class TestBadInvocationIsTwo:
+    def test_no_command(self, capsys):
+        assert main([]) == 2
+
+    def test_unknown_command(self, capsys):
+        assert main(["frobnicate"]) == 2
+
+    def test_unknown_flag(self, capsys):
+        assert main(["corpus", "--no-such-flag"]) == 2
+
+    def test_non_integer_sites(self, capsys):
+        assert main(["survey", "--sites", "many"]) == 2
+
+    def test_trace_flag_without_run_dir(self):
+        code, output = run_cli("survey", "--sites", "2", "--trace")
+        assert code == 2
+        assert "usage error" in output
+        assert "--run-dir" in output
+
+    def test_chaos_trace_without_run_dir(self):
+        code, output = run_cli("chaos", "--trace")
+        assert code == 2
+        assert "usage error" in output
+
+    def test_trace_command_on_missing_dir(self, tmp_path):
+        code, output = run_cli("trace", str(tmp_path / "nope"))
+        assert code == 2
+        assert "trace error" in output
+
+    def test_trace_command_on_untraced_run(self, registry, tmp_path):
+        from repro.core.survey import (
+            RetryPolicy, SurveyConfig, run_survey,
+        )
+        from repro.webgen.sitegen import build_web
+
+        run_dir = str(tmp_path / "run")
+        web = build_web(registry, n_sites=2, seed=31)
+        run_survey(web, registry, SurveyConfig(
+            conditions=("default",), visits_per_site=1, seed=9,
+            retry=RetryPolicy(attempts=1, backoff_base=0.0),
+        ), run_dir=run_dir)
+        code, output = run_cli("trace", run_dir)
+        assert code == 2
+        assert "--trace" in output
+
+    def test_trace_command_rejects_nonpositive_top(self, tmp_path):
+        code, output = run_cli(
+            "trace", str(tmp_path), "--top", "0"
+        )
+        assert code == 2
+        assert "usage error" in output
+
+    def test_overwriting_a_checkpoint_without_resume(self, tmp_path):
+        # An existing checkpoint is refused without --resume — data
+        # loss would otherwise be one forgotten flag away.
+        run_dir = tmp_path / "run"
+        run_dir.mkdir()
+        (run_dir / "manifest.json").write_text("{}")
+        code, output = run_cli(
+            "survey", "--sites", "2", "--run-dir", str(run_dir),
+        )
+        assert code == 2
+        assert "checkpoint error" in output
+
+
+class TestCheckFailureIsOne:
+    def test_fsck_on_corrupt_run_dir(self, tmp_path):
+        run_dir = tmp_path / "run"
+        run_dir.mkdir()
+        (run_dir / "manifest.json").write_text("{not json")
+        code, output = run_cli("fsck", str(run_dir))
+        assert code == 1
+        assert "unreadable" in output
+
+
+class TestTraceCommandSucceeds:
+    def test_text_and_json_formats(self, registry, tmp_path):
+        from repro.core.survey import (
+            RetryPolicy, SurveyConfig, run_survey,
+        )
+        from repro.webgen.sitegen import build_web
+
+        run_dir = str(tmp_path / "run")
+        web = build_web(registry, n_sites=3, seed=31)
+        run_survey(web, registry, SurveyConfig(
+            conditions=("default",), visits_per_site=1, seed=9,
+            retry=RetryPolicy(attempts=1, backoff_base=0.0),
+            trace=True,
+        ), run_dir=run_dir)
+
+        code, text = run_cli("trace", run_dir)
+        assert code == 0
+        assert "structural digest" in text
+        assert "critical path" in text
+
+        code, payload = run_cli("trace", run_dir, "--format", "json")
+        assert code == 0
+        report = json.loads(payload)
+        assert report["sites"] == 3
+        assert report["structural_digest"] in text
+
+    def test_top_caps_the_rankings(self, registry, tmp_path):
+        from repro.core.survey import (
+            RetryPolicy, SurveyConfig, run_survey,
+        )
+        from repro.webgen.sitegen import build_web
+
+        run_dir = str(tmp_path / "run")
+        web = build_web(registry, n_sites=4, seed=31)
+        run_survey(web, registry, SurveyConfig(
+            conditions=("default",), visits_per_site=1, seed=9,
+            retry=RetryPolicy(attempts=1, backoff_base=0.0),
+            trace=True,
+        ), run_dir=run_dir)
+        code, payload = run_cli(
+            "trace", run_dir, "--format", "json", "--top", "2"
+        )
+        assert code == 0
+        report = json.loads(payload)
+        assert len(report["slowest_sites"]["entries"]) == 2
+        assert report["slowest_sites"]["total"] == 4
+        assert report["slowest_sites"]["dropped"] == 2

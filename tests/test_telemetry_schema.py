@@ -1,0 +1,174 @@
+"""The telemetry counters live in exactly one canonical place.
+
+Before :data:`repro.browser.session.TELEMETRY_COUNTERS`, every layer
+that touched a counter (serialization, reports, fsck) kept its own
+list of names — the classic recipe for a counter that increments but
+never serializes, or serializes but never validates.  These tests pin
+the contract:
+
+* the canonical tuple *is* the schema: every counter is a real
+  ``SiteMeasurement`` field, appears exactly once in the serialized
+  form under its canonical name, and round-trips persistence;
+* the aggregate views (``telemetry_totals``, the telemetry report)
+  derive from the same tuple;
+* ``repro fsck`` validates the counters in checkpoint shards — a
+  corrupted counter is caught, not resurrected.
+"""
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.browser.session import TELEMETRY_COUNTERS, SiteMeasurement
+from repro.core import persistence, reporting
+from repro.core.checkpoint import fsck_run_dir, shard_name
+from repro.core.survey import RetryPolicy, SurveyConfig, run_survey
+from repro.webgen.sitegen import build_web
+
+
+def _measurement(**counters):
+    m = SiteMeasurement(domain="a.com", condition="default")
+    m.rounds_completed = m.rounds_ok = 1
+    for name, value in counters.items():
+        setattr(m, name, value)
+    return m
+
+
+class TestCanonicalSchema:
+    def test_every_counter_is_a_declared_field(self):
+        fields = {f.name for f in dataclasses.fields(SiteMeasurement)}
+        for name in TELEMETRY_COUNTERS:
+            assert name in fields, name
+
+    def test_counters_default_to_zero(self):
+        m = SiteMeasurement(domain="a.com", condition="default")
+        assert m.telemetry() == {n: 0 for n in TELEMETRY_COUNTERS}
+
+    def test_telemetry_view_is_exactly_the_tuple(self):
+        m = _measurement(scripts_blocked=3, requests_retried=2)
+        view = m.telemetry()
+        assert set(view) == set(TELEMETRY_COUNTERS)
+        assert view["scripts_blocked"] == 3
+        assert view["requests_retried"] == 2
+
+    def test_serialized_form_has_each_counter_exactly_once(self):
+        data = persistence.measurement_to_dict(
+            _measurement(breaker_opens=4)
+        )
+        for name in TELEMETRY_COUNTERS:
+            assert name in data, name
+        # Exactly once is what JSON round-tripping proves: duplicate
+        # keys cannot survive a dict, and the canonical names are the
+        # only spelling present.
+        payload = json.dumps(data)
+        for name in TELEMETRY_COUNTERS:
+            assert payload.count('"%s"' % name) == 1, name
+
+
+class TestPersistenceRoundTrip:
+    def _round_trip(self, m, registry):
+        data = persistence.measurement_to_dict(m)
+        return persistence.measurement_from_dict(
+            "a.com", "default", data, registry
+        )
+
+    def test_distinct_values_survive(self, registry):
+        values = {name: index + 1
+                  for index, name in enumerate(TELEMETRY_COUNTERS)}
+        loaded = self._round_trip(_measurement(**values), registry)
+        assert loaded.telemetry() == values
+
+    def test_newer_counters_default_when_absent(self, registry):
+        # Surveys saved before the resilience layer lack its counters;
+        # they must load as zero, not crash.
+        data = persistence.measurement_to_dict(_measurement())
+        for name in ("degraded_resources", "requests_retried",
+                     "breaker_opens"):
+            del data[name]
+        loaded = persistence.measurement_from_dict(
+            "a.com", "default", data, registry
+        )
+        assert loaded.requests_retried == 0
+        assert loaded.breaker_opens == 0
+
+    def test_original_counters_are_required(self, registry):
+        data = persistence.measurement_to_dict(_measurement())
+        del data["scripts_blocked"]
+        with pytest.raises(KeyError):
+            persistence.measurement_from_dict(
+                "a.com", "default", data, registry
+            )
+
+
+class TestAggregateViews:
+    @pytest.fixture(scope="class")
+    def small_result(self, registry):
+        web = build_web(registry, n_sites=4, seed=31)
+        config = SurveyConfig(
+            conditions=("default", "blocking"),
+            visits_per_site=1,
+            seed=9,
+            retry=RetryPolicy(attempts=1, backoff_base=0.0),
+        )
+        return run_survey(web, registry, config)
+
+    def test_totals_sum_the_per_site_counters(self, small_result):
+        for condition in small_result.conditions:
+            totals = small_result.telemetry_totals(condition)
+            assert set(totals) == set(TELEMETRY_COUNTERS)
+            for name in TELEMETRY_COUNTERS:
+                expected = sum(
+                    getattr(m, name)
+                    for m in small_result.measurements[
+                        condition].values()
+                )
+                assert totals[name] == expected
+
+    def test_blocking_condition_actually_blocks(self, small_result):
+        totals = small_result.telemetry_totals("blocking")
+        assert totals["scripts_blocked"] > 0
+        assert small_result.telemetry_totals(
+            "default")["scripts_blocked"] == 0
+
+    def test_report_covers_every_counter(self, small_result):
+        text = reporting.telemetry_report_text(small_result)
+        for name in TELEMETRY_COUNTERS:
+            assert name.replace("_", " ") in text, name
+
+
+class TestFsckCoverage:
+    @pytest.fixture()
+    def run_dir(self, registry, tmp_path):
+        web = build_web(registry, n_sites=3, seed=31)
+        config = SurveyConfig(
+            conditions=("default",),
+            visits_per_site=1,
+            seed=9,
+            retry=RetryPolicy(attempts=1, backoff_base=0.0),
+        )
+        path = str(tmp_path / "run")
+        run_survey(web, registry, config, run_dir=path)
+        return path
+
+    def _corrupt_counter(self, run_dir, value):
+        shard = os.path.join(run_dir, shard_name("default"))
+        with open(shard, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        record = json.loads(lines[0])
+        record["measurement"]["requests_retried"] = value
+        lines[0] = json.dumps(record)
+        with open(shard, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+
+    def test_clean_run_passes(self, run_dir):
+        ok, _ = fsck_run_dir(run_dir)
+        assert ok
+
+    @pytest.mark.parametrize("bad", [-1, "three", 1.5, None])
+    def test_corrupted_counter_is_flagged(self, run_dir, bad):
+        self._corrupt_counter(run_dir, bad)
+        ok, lines = fsck_run_dir(run_dir)
+        assert not ok
+        assert any("malformed" in line for line in lines)

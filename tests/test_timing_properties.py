@@ -1,0 +1,162 @@
+"""Property-based tests for repro.timing.PhaseTimings.
+
+The exclusive-time stopwatch makes two promises that are easy to break
+with an off-by-one in the pause/resume bookkeeping:
+
+* no phase ever accumulates negative seconds;
+* the per-phase seconds sum to exactly the instrumented wall time —
+  time inside *some* phase is billed to exactly one phase, time
+  outside all phases to none.
+
+Hypothesis drives the stopwatch through arbitrary interleavings of
+enter/exit/clock-advance operations against a fake ``perf_counter``
+whose ticks are exact binary fractions (multiples of 2**-10), so the
+sum invariant holds with float *equality*, not just approximately.
+"""
+
+import pytest
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+except ImportError:  # pragma: no cover - hypothesis ships in CI/dev
+    pytest.skip("hypothesis not installed", allow_module_level=True)
+
+from repro import timing
+from repro.timing import PHASES, PhaseTimings, merge_phases, phase_delta
+
+
+class _FakeTime:
+    """Stands in for the ``time`` module inside repro.timing."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def perf_counter(self):
+        return self.now
+
+
+#: clock advances are multiples of 2**-10 — exactly representable, so
+#: sums of them are exact and the invariants can use ``==``.
+_TICKS = st.integers(min_value=0, max_value=4096)
+
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("enter"), st.sampled_from(PHASES)),
+        st.tuples(st.just("exit"), st.none()),
+        st.tuples(st.just("tick"), _TICKS),
+    ),
+    max_size=60,
+)
+
+
+def _run_program(ops):
+    """Interpret an op list; returns (timings, instrumented wall time).
+
+    Unmatched exits are skipped; unmatched enters are closed at the
+    end (every generated program becomes a valid nesting).  The
+    reference wall time counts clock advance only while at least one
+    phase is open — computed independently of PhaseTimings.
+    """
+    clock = _FakeTime()
+    original = timing.time
+    timing.time = clock
+    timings = PhaseTimings()
+    open_cms = []
+    instrumented = 0.0
+    try:
+        for op, value in ops:
+            if op == "enter":
+                cm = timings.phase(value)
+                cm.__enter__()
+                open_cms.append(cm)
+            elif op == "exit":
+                if open_cms:
+                    open_cms.pop().__exit__(None, None, None)
+            else:  # tick
+                delta = value / 1024.0
+                clock.now += delta
+                if open_cms:
+                    instrumented += delta
+        while open_cms:
+            open_cms.pop().__exit__(None, None, None)
+    finally:
+        timing.time = original
+    return timings, instrumented
+
+
+@given(ops=_OPS)
+@settings(max_examples=200, deadline=None)
+def test_no_phase_goes_negative(ops):
+    timings, _ = _run_program(ops)
+    for name, seconds in timings.seconds.items():
+        assert seconds >= 0.0, (name, seconds)
+
+
+@given(ops=_OPS)
+@settings(max_examples=200, deadline=None)
+def test_exclusive_times_sum_to_instrumented_wall_time(ops):
+    timings, instrumented = _run_program(ops)
+    # Exact equality: every tick is a multiple of 2**-10 and every
+    # accumulation is a difference/sum of such values, so no float
+    # error can accrue.  A failure here is a bookkeeping bug, not
+    # noise.
+    assert sum(timings.seconds.values()) == instrumented
+
+
+@given(ops=_OPS)
+@settings(max_examples=100, deadline=None)
+def test_only_entered_phases_appear(ops):
+    timings, _ = _run_program(ops)
+    entered = {value for op, value in ops if op == "enter"}
+    assert set(timings.seconds) <= entered
+
+
+@given(
+    credits=st.lists(
+        st.tuples(st.sampled_from(PHASES), _TICKS), max_size=30
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_add_accumulates_like_a_ledger(credits):
+    timings = PhaseTimings()
+    for name, raw in credits:
+        timings.add(name, raw / 1024.0)
+    for name in set(n for n, _ in credits):
+        expected = sum(r / 1024.0 for n, r in credits if n == name)
+        assert timings.seconds[name] == pytest.approx(expected)
+
+
+@given(
+    since=st.dictionaries(st.sampled_from(PHASES), _TICKS, max_size=4),
+    now=st.dictionaries(st.sampled_from(PHASES), _TICKS, max_size=4),
+)
+@settings(max_examples=100, deadline=None)
+def test_phase_delta_never_reports_negative(since, now):
+    since_s = {k: v / 1024.0 for k, v in since.items()}
+    now_s = {k: v / 1024.0 for k, v in now.items()}
+    delta = phase_delta(since_s, snapshot=now_s)
+    assert all(v > 0.0 for v in delta.values())
+    for name, v in delta.items():
+        assert v == now_s[name] - since_s.get(name, 0.0)
+
+
+@given(
+    a=st.dictionaries(st.sampled_from(PHASES), _TICKS, max_size=4),
+    b=st.dictionaries(st.sampled_from(PHASES), _TICKS, max_size=4),
+)
+@settings(max_examples=100, deadline=None)
+def test_merge_phases_is_keywise_sum(a, b):
+    a_s = {k: v / 1024.0 for k, v in a.items()}
+    b_s = {k: v / 1024.0 for k, v in b.items()}
+    merged = merge_phases(dict(a_s), b_s)
+    for name in set(a_s) | set(b_s):
+        assert merged[name] == a_s.get(name, 0.0) + b_s.get(name, 0.0)
+
+
+def test_snapshot_is_a_copy():
+    timings = PhaseTimings()
+    timings.add("fetch", 1.0)
+    snap = timings.snapshot()
+    snap["fetch"] = 99.0
+    assert timings.seconds["fetch"] == 1.0
