@@ -1,0 +1,271 @@
+"""Tree-walker vs closure-compiled MiniJS on the monkey-test workload.
+
+The crawl's second execution tier (``repro.minijs.codegen``) resolves
+variables to lexical slots, lowers every AST node to a Python closure
+and reads properties through shape-versioned inline caches.  This
+bench drives both engines through the same seeded monkey-test session
+— a page whose DOM0 handlers do real computation (prototype method
+calls, loops, string building, ``for-in``), hit by a random
+click/change/scroll event storm — and records both into
+``BENCH_interpreter.json`` at the repo root.
+
+Two invariants are asserted on every run, smoke or full:
+
+* the workload digest (final page state + step count + virtual clock)
+  is bit-identical between engines — the compiled tier is a pure
+  throughput optimization, never a behavior change;
+* a small real survey crawled under each engine produces the same
+  ``survey_digest``.
+
+The >=2x speedup floor is asserted only for the full run; the smoke
+run instead gates on regression against the committed same-mode
+number (>10% slower than the committed speedup fails).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import random
+import time
+from pathlib import Path
+
+from repro.core.persistence import survey_digest
+from repro.core.survey import SurveyConfig, run_survey
+from repro.dom.bindings import DomRealm
+from repro.dom.html import parse_html_lenient
+from repro.minijs.compile import lower_program, shared_cache
+from repro.minijs.objects import to_string
+from repro.webgen.sitegen import build_web
+from repro.webidl.registry import default_registry
+
+from conftest import BENCH_SEED, emit
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+MODE = "smoke" if SMOKE else "full"
+EVENTS = 250 if SMOKE else 1200
+REPS = 2 if SMOKE else 3
+SURVEY_SITES = 4 if SMOKE else 8
+RESULT_PATH = Path(__file__).resolve().parent.parent / (
+    "BENCH_interpreter.json"
+)
+
+#: Allowed slowdown against the committed same-mode speedup before the
+#: bench fails (the CI regression gate).
+REGRESSION_TOLERANCE = 0.9
+
+PAGE = """<html><head></head><body onscroll="onScroll()">
+<div id="app">
+  <button id="b0" onclick="onClick()">go</button>
+  <button id="b1" onclick="onClick()">go</button>
+  <input id="t0" onchange="onChange()" value=""/>
+  <div id="log"></div>
+</div>
+</body></html>"""
+
+# The handler mix mirrors what closure compilation accelerates on real
+# pages: slot-resolved locals in hot loops, prototype method calls
+# through inline caches, recursion, array growth, string building and
+# for-in — all driven by DOM0 handlers exactly as the synthetic web
+# wires its interaction-triggered feature usage.
+SCRIPT = """
+function Model(name) { this.name = name; this.items = []; this.total = 0; }
+Model.prototype.push = function (v) {
+  this.items[this.items.length] = v;
+  this.total = this.total + v;
+  return this.total;
+};
+Model.prototype.sum = function () {
+  var s = 0;
+  for (var i = 0; i < this.items.length; i = i + 1) { s = s + this.items[i]; }
+  return s;
+};
+function fib(n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }
+var model = new Model("bench");
+var clicks = 0;
+var checksum = 0;
+function onClick() {
+  clicks = clicks + 1;
+  model.push(clicks % 7);
+  var acc = 0;
+  for (var i = 0; i < 60; i = i + 1) { acc = acc + (i * clicks) % 13; }
+  checksum = checksum + acc + fib(8) + model.sum();
+}
+var keys = 0;
+function onChange() {
+  var s = "";
+  for (var i = 0; i < 25; i = i + 1) { s = s + "k"; }
+  keys = keys + s.length;
+  var bag = { a: 1, b: 2, c: 3 };
+  for (var k in bag) { keys = keys + bag[k]; }
+}
+var scrolls = 0;
+function onScroll() {
+  var arr = [];
+  for (var i = 0; i < 40; i = i + 1) { arr[i] = (i * 3) % 11; }
+  var s = 0;
+  for (var i = 0; i < arr.length; i = i + 1) { s = s + arr[i]; }
+  scrolls = scrolls + s;
+}
+"""
+
+_STATE_GLOBALS = ("clicks", "checksum", "keys", "scrolls")
+
+
+def _fresh_root():
+    parsed = parse_html_lenient(PAGE)
+    return parsed[0] if isinstance(parsed, tuple) else parsed
+
+
+def _monkey_session(registry, program, engine: str):
+    """One seeded monkey-test session; returns (seconds, digest, steps).
+
+    Realm construction is excluded from the timed region (it is
+    engine-independent DOM setup); the measured span is script
+    execution plus the event storm's handler dispatches — the
+    ``execute`` + ``monkey`` crawl phases.
+    """
+    root = _fresh_root()
+    realm = DomRealm(
+        registry, root, seed=BENCH_SEED, engine=engine,
+        step_limit=100_000_000,
+    )
+    body = root.find_first("body")
+    by_id = {
+        node.attributes.get("id"): node
+        for node in body.elements()
+        if node.attributes.get("id")
+    }
+    buttons = (by_id["b0"], by_id["b1"])
+    field = by_id["t0"]
+    rng = random.Random(BENCH_SEED)
+    started = time.perf_counter()
+    realm.interp.run(program)
+    for _ in range(EVENTS):
+        roll = rng.random()
+        if roll < 0.6:
+            realm.events.dispatch(rng.choice(buttons), "click")
+        elif roll < 0.8:
+            realm.events.dispatch(field, "change")
+        else:
+            realm.events.dispatch(body, "scroll")
+    seconds = time.perf_counter() - started
+    interp = realm.interp
+    state = {
+        name: to_string(interp.global_object.get(name))
+        for name in _STATE_GLOBALS
+    }
+    digest = hashlib.sha256(
+        json.dumps(
+            [state, interp.steps, round(interp.clock_ms, 4)],
+            sort_keys=True,
+        ).encode("utf-8")
+    ).hexdigest()
+    return seconds, digest, interp.steps
+
+
+def _bench_engine(registry, program, engine: str):
+    """Best-of-REPS timing plus the (rep-invariant) digest."""
+    best = None
+    digest = None
+    steps = None
+    for _ in range(REPS):
+        seconds, run_digest, run_steps = _monkey_session(
+            registry, program, engine
+        )
+        assert digest is None or digest == run_digest, (
+            "engine %s is not deterministic across repetitions" % engine
+        )
+        digest, steps = run_digest, run_steps
+        best = seconds if best is None else min(best, seconds)
+    return best, digest, steps
+
+
+def _survey_digest_for(web, registry, engine: str) -> str:
+    config = SurveyConfig(
+        conditions=("default",),
+        visits_per_site=1,
+        seed=BENCH_SEED,
+        engine=engine,
+    )
+    return survey_digest(run_survey(web, registry, config))
+
+
+def _load_committed() -> dict:
+    try:
+        return json.loads(RESULT_PATH.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return {}
+
+
+def test_bench_interpreter_tree_vs_compiled():
+    registry = default_registry()
+    program = shared_cache().compile(SCRIPT)
+    lower_program(program)
+
+    tree_seconds, tree_digest, steps = _bench_engine(
+        registry, program, "tree"
+    )
+    compiled_seconds, compiled_digest, compiled_steps = _bench_engine(
+        registry, program, "compiled"
+    )
+
+    # The compiled tier must be invisible in the data: same final page
+    # state, same step count, same virtual clock.
+    assert tree_digest == compiled_digest
+    assert steps == compiled_steps
+
+    # And invisible in a real crawl's measurements too.
+    web = build_web(registry, n_sites=SURVEY_SITES, seed=BENCH_SEED)
+    tree_survey = _survey_digest_for(web, registry, "tree")
+    compiled_survey = _survey_digest_for(web, registry, "compiled")
+    assert tree_survey == compiled_survey
+
+    speedup = tree_seconds / compiled_seconds if compiled_seconds else 0.0
+    committed = _load_committed()
+    payload = dict(committed)
+    payload["benchmark"] = "interpreter_tree_vs_compiled"
+    payload[MODE] = {
+        "events": EVENTS,
+        "repetitions": REPS,
+        "steps_per_session": steps,
+        "workload_digest": tree_digest,
+        "survey_sites": SURVEY_SITES,
+        "survey_digest": tree_survey,
+        "tree_seconds": round(tree_seconds, 4),
+        "compiled_seconds": round(compiled_seconds, 4),
+        "tree_steps_per_second": round(steps / tree_seconds),
+        "compiled_steps_per_second": round(steps / compiled_seconds),
+        "speedup": round(speedup, 3),
+    }
+    RESULT_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+    emit(
+        "MiniJS engines: tree-walker vs closure-compiled "
+        "(%d events, %s mode)" % (EVENTS, MODE),
+        "tree:     %.3f s (%.0f steps/s)\n"
+        "compiled: %.3f s (%.0f steps/s)\n"
+        "speedup:  %.2fx (digests identical)" % (
+            tree_seconds, steps / tree_seconds,
+            compiled_seconds, steps / compiled_seconds, speedup,
+        ),
+    )
+
+    assert speedup > 0.0
+    if not SMOKE:
+        assert speedup >= 2.0, (
+            "compiled engine should be >=2x the tree-walker on the "
+            "monkey-test workload, got %.2fx" % speedup
+        )
+    baseline = committed.get(MODE, {}).get("speedup")
+    if baseline:
+        floor = baseline * REGRESSION_TOLERANCE
+        assert speedup >= floor, (
+            "speedup regressed >10%% against the committed baseline: "
+            "%.2fx < %.2fx (committed %.2fx)"
+            % (speedup, floor, baseline)
+        )

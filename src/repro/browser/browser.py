@@ -64,6 +64,11 @@ class BrowserConfig:
     #: whatever bytes arrived.  False restores the strict parser, where
     #: hopeless markup fails the visit ("unparseable html: ...").
     recover_html: bool = True
+    #: MiniJS execution engine: "compiled" (slot-resolved closure
+    #: compilation + inline caches, the crawl default) or "tree" (the
+    #: reference tree-walking oracle).  Observable behavior is
+    #: bit-identical; only throughput differs.
+    engine: str = "compiled"
 
 
 @dataclass
@@ -258,6 +263,7 @@ class Browser:
             step_limit=self.config.step_limit,
             storage=self.storage_for(url),
             meter=meter,
+            engine=self.config.engine,
         )
         visit.realm = realm
         visit.root = root
@@ -286,6 +292,7 @@ class Browser:
             self._load_images(root, url, visit)
         executed = realm.flush_timers(self._timer_tasks_remaining)
         self._timer_tasks_remaining -= executed
+        visit.script_errors.extend(realm.timer_errors)
         visit.ok = True
         return visit
 

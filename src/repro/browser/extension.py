@@ -24,7 +24,12 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.dom.bindings import DomRealm
-from repro.minijs.objects import JSFunction, JSObject, UNDEFINED
+from repro.minijs.objects import (
+    JSFunction,
+    JSObject,
+    UNDEFINED,
+    bump_proto_epoch,
+)
 from repro.webidl.registry import Feature, FeatureRegistry
 
 MODE_ACCELERATED = "accelerated"
@@ -196,6 +201,11 @@ class MeasuringExtension:
                 owner.properties[feature.member] = _method_shim(
                     feature.name, original, cache=False
                 )
+        # The bulk installs above write straight into prototype
+        # property dicts (bypassing JSObject.set) while the injected
+        # script is already executing; invalidate the compiled engine's
+        # prototype-chain inline caches once, here.
+        bump_proto_epoch()
 
     def _shim_plan(self, realm: DomRealm) -> "_ShimPlan":
         """The precomputed, realm-independent part of the shim install.

@@ -193,6 +193,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="record span traces next to the checkpoint shards "
         "(requires --run-dir; inspect with 'repro trace')",
     )
+    chaos.add_argument(
+        "--engine", choices=("tree", "compiled"), default="compiled",
+        help="MiniJS execution tier (see the crawl commands)",
+    )
 
     fsck = commands.add_parser(
         "fsck",
@@ -355,6 +359,12 @@ def _crawl_arguments(parser: argparse.ArgumentParser) -> None:
         "checkpoint shards (requires --run-dir; inspect afterwards "
         "with 'repro trace RUN_DIR')",
     )
+    parser.add_argument(
+        "--engine", choices=("tree", "compiled"), default="compiled",
+        help="MiniJS execution tier: the closure-compiled engine "
+        "(default) or the tree-walking reference oracle; both "
+        "measure bit-identically, tree just runs slower",
+    )
 
 
 def _budget_from_args(args) -> "ResourceBudget":
@@ -410,6 +420,7 @@ def _run_crawl(args, quad: bool) -> tuple:
         hang_timeout=args.hang_timeout or None,
         quarantine_threshold=max(1, args.quarantine_threshold),
         trace=bool(args.trace),
+        engine=args.engine,
     )
     progress = None
     if args.run_dir:
@@ -616,6 +627,7 @@ def _command_chaos(args, out) -> int:
         hang_timeout=args.hang_timeout or None,
         quarantine_threshold=max(1, args.quarantine_threshold),
         trace=bool(args.trace),
+        engine=args.engine,
     )
     result = run_survey(
         web, registry, config,

@@ -231,6 +231,11 @@ class SurveyCheckpoint:
             "budget": cls._budget_fingerprint(config),
             "resilience": cls._resilience_fingerprint(config),
             "tracing": bool(getattr(config, "trace", False)),
+            # Recorded for provenance only — never mismatch-checked:
+            # the two engines are digest-identical by construction
+            # (tests/test_engine_differential.py), so resuming a tree
+            # run with the compiled engine mixes nothing incomparable.
+            "engine": getattr(config, "engine", "compiled"),
             "started_at": datetime.datetime.fromtimestamp(
                 stamp, datetime.timezone.utc
             ).isoformat(),

@@ -22,7 +22,7 @@ from __future__ import annotations
 import os
 import time
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro import obs
@@ -170,6 +170,12 @@ class SurveyConfig:
     #: ``trace-<condition>.jsonl`` shard right before its measurement;
     #: without one the spans are built and discarded.
     trace: bool = False
+    #: MiniJS execution tier: "compiled" (closure-compiled, the crawl
+    #: default) or "tree" (the reference tree-walking oracle).  Both
+    #: engines are observationally identical — same measurements, step
+    #: counts and trace digests (tests/test_engine_differential.py) —
+    #: so this only selects how fast scripts run.
+    engine: str = "compiled"
 
 
 @dataclass
@@ -321,6 +327,9 @@ def _build_crawler(
         filter_list=builtin_filter_list(web.ecosystem),
         tracker_db=builtin_tracker_database(web.ecosystem),
     )
+    browser_config = config.browser
+    if browser_config.engine != config.engine:
+        browser_config = replace(browser_config, engine=config.engine)
     browser = Browser(
         registry,
         # The jitter seed derives from the survey seed, so every
@@ -328,7 +337,7 @@ def _build_crawler(
         # backoff delays for the same (url, attempt).
         Fetcher(web, resilience=config.resilience.seeded(config.seed)),
         blocking_extensions=extensions,
-        config=config.browser,
+        config=browser_config,
     )
     return SiteCrawler(
         browser, config.crawl, condition=condition, budget=config.budget
@@ -457,16 +466,17 @@ def resolve_start_method(requested: Optional[str] = None) -> str:
 
 
 def _prewarm_compile_cache(
-    web: SyntheticWeb, domains: Sequence[str]
+    web: SyntheticWeb, domains: Sequence[str], lower: bool = False
 ) -> int:
     """Compile the crawl's high-reuse script bodies up front.
 
     Run in the parent before forking (children inherit the hot cache)
     and again in each spawn-started worker (which inherits nothing).
     Idempotent: warming an already-warm cache is a hash lookup per
-    body.
+    body.  With ``lower=True`` (a compiled-engine crawl) each body is
+    also closure-lowered, so workers inherit the code cache too.
     """
-    return shared_cache().prewarm(web.script_bodies(domains))
+    return shared_cache().prewarm(web.script_bodies(domains), lower=lower)
 
 
 # Worker-process state for the parallel crawl, rebuilt by the pool
@@ -490,7 +500,7 @@ def _parallel_worker_init(
 ) -> None:
     _worker_baseline["cache"] = shared_cache().counters()
     _worker_baseline["phases"] = phase_snapshot()
-    _prewarm_compile_cache(web, domains)
+    _prewarm_compile_cache(web, domains, lower=config.engine == "compiled")
     # Tracer goes in after the prewarm so warm-up parses never build
     # spans; each worker records its own sites' traces and ships them
     # with the measurement over the result pipe.
@@ -1075,7 +1085,9 @@ def run_survey(
         # Parse the high-reuse script bodies once, up front: the serial
         # crawl (and every fork-started worker, via copy-on-write) runs
         # against a hot cache from its first page load.
-        _prewarm_compile_cache(web, domains)
+        _prewarm_compile_cache(
+            web, domains, lower=config.engine == "compiled"
+        )
         # The tracer goes in after the prewarm (warm-up parses are not
         # crawl work) and comes out in the finally below, so a crawl
         # never leaks tracing state into the caller's process.

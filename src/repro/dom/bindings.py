@@ -31,6 +31,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro.core.sandbox import BudgetExceeded
 from repro.dom.events import EventManager
 from repro.dom.node import DomNode, ELEMENT_NODE
+from repro.minijs.errors import MiniJSError
 from repro.minijs.interpreter import Interpreter
 from repro.minijs.objects import (
     JSArray,
@@ -150,9 +151,20 @@ class DomRealm:
         step_limit: Optional[int] = None,
         storage: Optional[Dict[str, str]] = None,
         meter: Optional[Any] = None,
+        engine: str = "compiled",
     ) -> None:
+        from repro.minijs.codegen import (
+            flush_inline_caches,
+            interpreter_class,
+        )
+
+        # Compiled-code inline caches pin the previous realm's
+        # prototype graph; cross-realm hits are impossible (fresh
+        # prototype identities per realm), so flush them here and let
+        # the collector reclaim the dead page promptly.
+        flush_inline_caches()
         kwargs = {} if step_limit is None else {"step_limit": step_limit}
-        self.interp = Interpreter(seed=seed, **kwargs)
+        self.interp = interpreter_class(engine)(seed=seed, **kwargs)
         # Site-level resource budgets (repro.core.sandbox): the meter
         # spans the whole visit and rides on the interpreter so every
         # script, handler and timer in this realm charges against it.
@@ -167,6 +179,10 @@ class DomRealm:
             storage if storage is not None else {}
         )
         self.timers: List[Timer] = []
+        #: Page-level errors raised by timer callbacks (stringified
+        #: MiniJS errors, including step-limit exhaustion); the browser
+        #: folds these into the visit's script_errors.
+        self.timer_errors: List[str] = []
         self._timer_seq = 0
         self.prototypes: Dict[str, JSObject] = {}
         self.constructors: Dict[str, JSFunction] = {}
@@ -859,7 +875,14 @@ class DomRealm:
                 # Site-isolation budgets must abort the visit; only the
                 # page's own errors are survivable.
                 raise
-            except Exception:  # noqa: BLE001 - page errors must not crash
-                pass
+            except MiniJSError as error:
+                # The page's own errors (thrown values, TypeErrors, a
+                # callback blowing the per-script step limit) must not
+                # crash the visit — but they are recorded, never
+                # silently swallowed.  Anything else (a Python bug in
+                # host bindings) propagates: the survey's per-site
+                # containment turns it into a structured site failure
+                # instead of a miscounted "clean" visit.
+                self.timer_errors.append(str(error))
             executed += 1
         return executed

@@ -46,10 +46,17 @@ from repro.minijs.objects import (
     js_repr,
 )
 from repro.minijs.interpreter import Interpreter
+from repro.minijs.codegen import (
+    ENGINES,
+    CompiledInterpreter,
+    interpreter_class,
+)
 from repro.minijs.compile import (
     CompileCache,
     compile_source,
     configure_shared_cache,
+    lower_program,
+    lower_source,
     shared_cache,
 )
 
@@ -57,7 +64,12 @@ __all__ = [
     "CompileCache",
     "compile_source",
     "configure_shared_cache",
+    "lower_program",
+    "lower_source",
     "shared_cache",
+    "ENGINES",
+    "CompiledInterpreter",
+    "interpreter_class",
     "MiniJSError",
     "JSLexError",
     "JSParseError",

@@ -225,3 +225,24 @@ class Try(Statement):
 @dataclass
 class Empty(Statement):
     pass
+
+
+def child_nodes(node: Node):
+    """Yield the direct child nodes of any AST node.
+
+    Walks the dataclass fields generically (lists and ``(key, node)``
+    tuples flattened), so a new node kind added above participates in
+    scope analysis without a second registration step.  Used by the
+    closure compiler's usage scanner (:mod:`repro.minijs.codegen`).
+    """
+    for value in vars(node).values():
+        if isinstance(value, (Statement, Expression)):
+            yield value
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                if isinstance(item, (Statement, Expression)):
+                    yield item
+                elif isinstance(item, tuple):
+                    for sub in item:
+                        if isinstance(sub, (Statement, Expression)):
+                            yield sub

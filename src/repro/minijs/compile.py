@@ -123,21 +123,27 @@ class CompileCache:
 
     # -- warm-up -----------------------------------------------------------
 
-    def prewarm(self, sources: Iterable[str]) -> int:
+    def prewarm(self, sources: Iterable[str], lower: bool = False) -> int:
         """Compile every distinct body up front; returns new entries.
 
         Broken sources are recorded (not raised): pre-warming must not
         fail because one synthetic site ships a deliberate syntax
         error.
+
+        With ``lower=True`` each parsed program is also closure-lowered
+        for the compiled engine, so forked crawl workers inherit both
+        the AST cache and the code cache through copy-on-write memory.
         """
         before = len(self._entries)
         if not self.enabled:
             return 0
         for source in sources:
             try:
-                self.compile(source)
+                program = self.compile(source)
             except (JSLexError, JSParseError):
-                pass
+                continue
+            if lower:
+                lower_program(program)
         return len(self._entries) - before
 
     # -- administration ----------------------------------------------------
@@ -192,6 +198,26 @@ def shared_cache() -> CompileCache:
 def compile_source(source: str) -> ast.Program:
     """Compile through the shared process-wide cache."""
     return _SHARED.compile(source)
+
+
+def lower_program(program: ast.Program):
+    """Closure-lower a parsed program for the compiled engine.
+
+    The second compilation tier: slot-resolves identifiers and lowers
+    each node to a Python closure, memoized per program identity (the
+    shared AST cache guarantees one Program per distinct body, so the
+    lowered code is shared exactly as widely as the AST is).
+    """
+    from repro.minijs.codegen import code_for_program
+
+    return code_for_program(program)
+
+
+def lower_source(source: str) -> ast.Program:
+    """Compile *and* closure-lower through the shared caches."""
+    program = _SHARED.compile(source)
+    lower_program(program)
+    return program
 
 
 def configure_shared_cache(

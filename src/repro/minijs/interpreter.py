@@ -30,6 +30,8 @@ from repro.minijs.objects import (
     JSObject,
     NULL,
     UNDEFINED,
+    forin_key_live,
+    forin_keys,
     format_number,
     to_int,
     js_equals_loose,
@@ -109,6 +111,9 @@ class Environment:
 
 class Interpreter:
     """One JavaScript realm executing MiniJS programs."""
+
+    #: Engine identifier; the closure-compiled subclass overrides it.
+    engine = "tree"
 
     def __init__(
         self,
@@ -341,18 +346,15 @@ class Interpreter:
                     pass
                 if node.update is not None:
                     self._eval(node.update, env)
-            else:
-                pass
             return UNDEFINED
         if kind is ast.ForIn:
             obj = self._eval(node.obj, env)
-            keys: List[str] = []
-            if isinstance(obj, JSArray):
-                keys = [str(i) for i in range(len(obj.elements))]
-                keys.extend(obj.own_keys())
-            elif isinstance(obj, JSObject):
-                keys = obj.own_keys()
-            for key in keys:
+            # Keys are snapshotted up front; the per-key liveness check
+            # makes properties deleted (or array tails truncated) by
+            # the loop body skip instead of enumerating stale keys.
+            for key in forin_keys(obj):
+                if not forin_key_live(obj, key):
+                    continue
                 if node.declares:
                     self._declare(env, node.var_name, key)
                 else:

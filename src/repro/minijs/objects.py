@@ -14,10 +14,31 @@ property writes on singleton objects (section 4.2.2).
 
 from __future__ import annotations
 
+import re
 from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.minijs.interpreter import Interpreter
+
+#: Global prototype-shape epoch for the compiled engine's inline caches
+#: (a 1-element list so hot closures can read it without an attribute
+#: chain).  Every *layout* mutation of an object that sits on some
+#: prototype chain — adding or deleting an own key, or re-linking its
+#: ``prototype`` — bumps the epoch, invalidating every cached
+#: prototype-chain walk at once.  Value *overwrites* never bump: caches
+#: remember the owning object, not the value, and re-read the live
+#: property dict on every hit.
+PROTO_EPOCH = [0]
+
+
+def bump_proto_epoch() -> None:
+    """Invalidate all prototype-chain inline caches.
+
+    Host code that bulk-assigns into ``properties`` dicts directly
+    (bypassing :meth:`JSObject.set`) on objects that may already sit on
+    a live prototype chain must call this once afterwards.
+    """
+    PROTO_EPOCH[0] += 1
 
 
 class _Undefined:
@@ -64,8 +85,8 @@ WatchHandler = Callable[["Interpreter", str, Any, Any], Any]
 class JSObject:
     """A MiniJS object: own properties plus a prototype link."""
 
-    __slots__ = ("properties", "prototype", "class_name", "_watchers",
-                 "host_data")
+    __slots__ = ("properties", "_proto", "class_name", "_watchers",
+                 "host_data", "is_prototype")
 
     def __init__(
         self,
@@ -73,11 +94,32 @@ class JSObject:
         class_name: str = "Object",
     ) -> None:
         self.properties: Dict[str, Any] = {}
-        self.prototype = prototype
+        #: True once this object sits on some other object's prototype
+        #: chain.  Layout mutations of flagged objects bump
+        #: :data:`PROTO_EPOCH`; unflagged objects (the overwhelming
+        #: majority) mutate freely without invalidating inline caches.
+        self.is_prototype = False
+        self._proto = prototype
+        if prototype is not None and not prototype.is_prototype:
+            prototype.is_prototype = True
         self.class_name = class_name
         self._watchers: Dict[str, Any] = {}
         #: Slot for host substrates (the DOM node behind a wrapper, ...).
         self.host_data: Any = None
+
+    @property
+    def prototype(self) -> Optional["JSObject"]:
+        return self._proto
+
+    @prototype.setter
+    def prototype(self, value: Optional["JSObject"]) -> None:
+        if value is not None and not value.is_prototype:
+            value.is_prototype = True
+        if self.is_prototype:
+            # Re-linking an object that is itself on a live chain
+            # changes what every downstream lookup resolves to.
+            PROTO_EPOCH[0] += 1
+        self._proto = value
 
     # -- property protocol -------------------------------------------------
 
@@ -87,7 +129,7 @@ class JSObject:
         while obj is not None:
             if name in obj.properties:
                 return obj.properties[name]
-            obj = obj.prototype
+            obj = obj._proto
         return UNDEFINED
 
     def has(self, name: str) -> bool:
@@ -95,7 +137,7 @@ class JSObject:
         while obj is not None:
             if name in obj.properties:
                 return True
-            obj = obj.prototype
+            obj = obj._proto
         return False
 
     def has_own(self, name: str) -> bool:
@@ -113,11 +155,15 @@ class JSObject:
         if handler is not None:
             old = self.properties.get(name, UNDEFINED)
             value = handler(interp, name, old, value)
+        if self.is_prototype and name not in self.properties:
+            PROTO_EPOCH[0] += 1
         self.properties[name] = value
 
     def delete(self, name: str) -> bool:
         if name in self.properties:
             del self.properties[name]
+            if self.is_prototype:
+                PROTO_EPOCH[0] += 1
             return True
         return False
 
@@ -151,7 +197,8 @@ class JSFunction(JSObject):
     property so they work with ``new``.
     """
 
-    __slots__ = ("name", "params", "body", "closure", "host_call")
+    __slots__ = ("name", "params", "body", "closure", "host_call",
+                 "compiled")
 
     def __init__(
         self,
@@ -168,6 +215,10 @@ class JSFunction(JSObject):
         self.body = body
         self.closure = closure
         self.host_call = host_call
+        #: ``(code, defining_frame)`` once the closure-compiled engine
+        #: has lowered this function; ``None`` for host functions and
+        #: for tree-engine functions that were never compiled.
+        self.compiled: Any = None
         # Declared functions get a fresh .prototype object for `new`.
         # Host functions skip it (they are created by the hundred per
         # page; the rare `new hostFn()` falls back to Object.prototype).
@@ -229,6 +280,35 @@ class JSArray(JSObject):
         return "<JSArray len=%d>" % len(self.elements)
 
 
+# -- for-in enumeration ----------------------------------------------------
+
+def forin_keys(obj: Any) -> List[str]:
+    """Snapshot the ``for (k in obj)`` key list before the body runs.
+
+    Both engines share this so their enumeration order is identical:
+    array indexes first (as strings), then any own string-keyed
+    properties, in insertion order.
+    """
+    if isinstance(obj, JSArray):
+        return [str(i) for i in range(len(obj.elements))] + obj.own_keys()
+    if isinstance(obj, JSObject):
+        return obj.own_keys()
+    return []
+
+
+def forin_key_live(obj: Any, key: str) -> bool:
+    """True if a snapshotted for-in key still exists on ``obj``.
+
+    The key list is snapshotted up front, so mid-loop mutation can
+    never raise or duplicate keys; this liveness re-check is what makes
+    deleted properties and truncated array tails *skip* instead of
+    yielding a stale key (matching real engines' for-in semantics).
+    """
+    if isinstance(obj, JSArray) and key.lstrip("-").isdigit():
+        return 0 <= int(key) < len(obj.elements)
+    return key in obj.properties
+
+
 # -- conversions -----------------------------------------------------------
 
 def to_boolean(value: Any) -> bool:
@@ -241,6 +321,17 @@ def to_boolean(value: Any) -> bool:
     if isinstance(value, str):
         return bool(value)
     return True  # objects, functions, arrays
+
+
+# JS ToNumber accepts exactly these string shapes (after trimming):
+# unsigned hex (a sign prefix on hex is NaN, unlike Python's int()),
+# signed decimal with optional exponent, and the Infinity literals.
+# Anything else — including Python-isms like "inf", "nan" and
+# underscore separators that float() would happily parse — is NaN.
+_HEX_LITERAL = re.compile(r"0[xX][0-9a-fA-F]+\Z")
+_DECIMAL_LITERAL = re.compile(
+    r"[+-]?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?\Z"
+)
 
 
 def to_number(value: Any) -> float:
@@ -256,12 +347,15 @@ def to_number(value: Any) -> float:
         text = value.strip()
         if not text:
             return 0.0
-        try:
-            if text.lower().startswith(("0x", "-0x", "+0x")):
-                return float(int(text, 16))
+        if _HEX_LITERAL.match(text):
+            return float(int(text, 16))
+        if _DECIMAL_LITERAL.match(text):
             return float(text)
-        except ValueError:
-            return float("nan")
+        if text in ("Infinity", "+Infinity"):
+            return float("inf")
+        if text == "-Infinity":
+            return float("-inf")
+        return float("nan")
     if isinstance(value, JSArray):
         if not value.elements:
             return 0.0

@@ -246,6 +246,34 @@ class TestKillResumeCells:
             )
 
 
+class TestEngineEquivalence:
+    """The tree-walking oracle joins the matrix.
+
+    The baselines crawl with the default compiled engine; a serial
+    tree-walker run must land on the same measurement and trace
+    digests for both chaos arms.  Transitively with the cells above,
+    that pins tree == compiled across serial/fork/spawn and
+    kill+resume, chaos on and off.
+    """
+
+    @pytest.mark.parametrize("chaos", CHAOS_ARMS)
+    def test_tree_engine_matches_compiled_baselines(
+        self, registry, clean_web, chaos_source, baselines,
+        tmp_path, chaos
+    ):
+        source = chaos_source if chaos else clean_web
+        run_dir = str(tmp_path / "run")
+        result = run_survey(
+            source, registry,
+            matrix_config(chaos, tracing=True, engine="tree"),
+            run_dir=run_dir,
+        )
+        cell = baselines[(chaos, True)]
+        assert persistence.survey_digest(result) == cell["measure"]
+        assert (obs.trace_digest(load_trace_records(run_dir))
+                == cell["trace"])
+
+
 class TestSeedSensitivity:
     def test_different_seed_changes_both_digests(
         self, registry, clean_web, baselines, tmp_path

@@ -1,0 +1,238 @@
+"""Differential conformance: tree-walking vs closure-compiled MiniJS.
+
+The compiled tier (``repro.minijs.codegen``) must be *observationally
+identical* to the tree-walking reference oracle — same values, same
+thrown-error classes, same step counts and virtual clock, same survey
+measurements.  This suite drives both engines through
+
+* a hand-written conformance corpus covering the semantics the
+  compiler lowers specially (slot resolution and the var-non-hoisting
+  shadowing quirk, inline-cache invalidation, ``arguments``/``this``,
+  try/catch/finally, for-in snapshotting, coercion edge cases);
+* the full synthetic-web corpus at survey level (feature logs,
+  telemetry counters, survey digest);
+* the hostile-web corpus under armed budgets (budget causes, failure
+  reasons).
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+
+import pytest
+
+from repro.core.persistence import survey_digest
+from repro.core.survey import SurveyConfig, run_survey
+from repro.minijs import (
+    CompiledInterpreter,
+    Interpreter,
+    MiniJSError,
+    js_repr,
+    parse,
+)
+from repro.webgen.hostile import chaos_budget, hostile_web
+from repro.webgen.sitegen import build_web
+from repro.webidl.registry import default_registry
+
+# Each script runs to completion or raises; both engines must agree on
+# the final value (via js_repr), the error class, the step count and
+# the virtual clock.
+CONFORMANCE_SCRIPTS = [
+    # -- slot resolution and the var-non-hoisting shadowing quirk ------
+    "var x = 1; var y = x + 2; y;",
+    'var x = "outer";'
+    'function f() { var r = x; var x = "inner"; return r + "/" + x; }'
+    "f();",
+    "function outer() { var n = 0;"
+    "  function inc() { n = n + 1; return n; }"
+    "  inc(); inc(); return inc(); }"
+    "outer();",
+    "var fns = [];"
+    "function make(i) { return function () { return i * 10; }; }"
+    "for (var i = 0; i < 3; i = i + 1) { fns[i] = make(i); }"
+    "fns[0]() + fns[1]() + fns[2]();",
+    "function g() { return arguments.length + arguments[1]; }"
+    "g(1, 2, 3);",
+    "function h(a, b) { b = b + 1; return a + b + arguments[1]; }"
+    "h(10, 20);",
+    # -- this binding and construction ---------------------------------
+    "function T(v) { this.v = v; }"
+    "T.prototype.get = function () { return this.v; };"
+    "var t = new T(42); t.get();",
+    "var o = { v: 7, get: function () { return this.v; } }; o.get();",
+    "function loose() { return typeof this; } loose();",
+    # -- inline-cache invalidation: proto mutation mid-loop ------------
+    "function P() {} P.prototype.get = function () { return 1; };"
+    "var p = new P(); var s = 0;"
+    "for (var i = 0; i < 10; i = i + 1) {"
+    "  s = s + p.get();"
+    "  if (i === 4) { P.prototype.get = function () { return 100; }; }"
+    "} s;",
+    "function Q() {} Q.prototype.k = 5;"
+    "var q = new Q(); var s = 0;"
+    "for (var i = 0; i < 6; i = i + 1) {"
+    "  s = s + (q.k || 0);"
+    "  if (i === 2) { delete Q.prototype.k; }"
+    "} s;",
+    "function R() {} R.prototype.m = 1;"
+    "var r = new R(); var before = r.m;"
+    "r.m = 9; var after = r.m; delete r.m;"
+    "before * 100 + after * 10 + r.m;",
+    # -- for-in: snapshot + liveness -----------------------------------
+    'var a = [10, 20, 30, 40]; var s = "";'
+    "for (var k in a) {"
+    '  s = s + k + ":";'
+    '  if (k === "1") { a.length = 2; }'
+    "} s;",
+    'var o = { a: 1, b: 2, c: 3 }; var s = "";'
+    "for (var k in o) { s = s + k; delete o.b; o.d = 4; } s;",
+    # -- exceptions ----------------------------------------------------
+    "function boom() { throw { code: 7 }; }"
+    "var got = 0;"
+    "try { boom(); } catch (e) { got = e.code; } finally { got = got + 1; }"
+    "got;",
+    "var steps = [];"
+    "try {"
+    "  try { null.x; } finally { steps[steps.length] = 1; }"
+    "} catch (e) { steps[steps.length] = 2; }"
+    "steps.length;",
+    "nope;",
+    "null.member;",
+    "var notfn = 3; notfn();",
+    "(function () { throw \"raw string\"; })();",
+    # -- coercion edge cases -------------------------------------------
+    '+"0x12";',
+    '+"-0x12";',
+    '+"Infinity" + (+"-Infinity");',
+    '+"   ";',
+    '+"12e3";',
+    '"" + (0 / 0) + "/" + (1 / 0) + "/" + (-1 / 0);',
+    '1 + "2"; "3" * "4"; "10" - 1;',
+    "null == undefined;",
+    "NaN === NaN;",
+    # -- operators -----------------------------------------------------
+    "var n = 5; n += 2; n *= 3; n -= 1; n /= 2; n;",
+    "var i = 0; var out = i++ * 10 + i; out;",
+    "var b = 0; b = (1 & 3) + (1 | 4) + (5 ^ 3) + (~2) + (1 << 4) + "
+    "(-16 >> 2) + (-16 >>> 28); b;",
+    "7 % 3; -7 % 3; 7 % -3;",
+    "var x = 0; var y = x || 10; var z = y && 5; y + z;",
+    "true ? 1 : 2;",
+    "function F() {} var f = new F(); f instanceof F;",
+    'var o = { a: 1 }; "a" in o;',
+    # -- loops ---------------------------------------------------------
+    "var s = 0; var i = 0;"
+    "do { s = s + i; i = i + 1; } while (i < 5); s;",
+    "var s = 0;"
+    "for (var i = 0; i < 10; i = i + 1) {"
+    "  if (i % 2) { continue; }"
+    "  if (i > 6) { break; }"
+    "  s = s + i;"
+    "} s;",
+    "var s = 0; var i = 0;"
+    "while (i < 8) { i = i + 1; if (i === 3) { continue; } s = s + i; } s;",
+]
+
+
+def _run_engine(interpreter_cls, source, step_limit=None):
+    kwargs = {} if step_limit is None else {"step_limit": step_limit}
+    interp = interpreter_cls(seed=3, **kwargs)
+    outcome = ("ok", None)
+    try:
+        result = interp.run(parse(source))
+        outcome = ("ok", js_repr(result))
+    except MiniJSError as error:
+        outcome = (type(error).__name__, str(error))
+    return outcome + (interp.steps, round(interp.clock_ms, 6))
+
+
+class TestConformanceCorpus:
+    @pytest.mark.parametrize(
+        "source", CONFORMANCE_SCRIPTS,
+        ids=range(len(CONFORMANCE_SCRIPTS)),
+    )
+    def test_engines_agree(self, source):
+        tree = _run_engine(Interpreter, source)
+        compiled = _run_engine(CompiledInterpreter, source)
+        assert tree == compiled
+
+    def test_step_limit_fires_identically(self):
+        source = "var i = 0; while (true) { i = i + 1; }"
+        tree = _run_engine(Interpreter, source, step_limit=5000)
+        compiled = _run_engine(
+            CompiledInterpreter, source, step_limit=5000
+        )
+        assert tree[0] == "StepLimitExceeded"
+        assert tree == compiled
+
+
+def _measurement_record(measurement):
+    record = {}
+    for field in fields(measurement):
+        value = getattr(measurement, field.name)
+        if isinstance(value, set):
+            value = sorted(value)
+        elif isinstance(value, list):
+            value = [
+                sorted(item) if isinstance(item, set) else repr(item)
+                for item in value
+            ]
+        record[field.name] = value
+    return record
+
+
+def _survey_records(result):
+    return {
+        (condition, domain): _measurement_record(measurement)
+        for condition, by_domain in result.measurements.items()
+        for domain, measurement in by_domain.items()
+    }
+
+
+class TestSurveyDifferential:
+    def test_webgen_corpus_identical(self):
+        registry = default_registry()
+        web = build_web(registry, n_sites=6, seed=44)
+
+        def crawl(engine):
+            return run_survey(
+                web, registry,
+                SurveyConfig(visits_per_site=2, seed=21, engine=engine),
+            )
+
+        tree = crawl("tree")
+        compiled = crawl("compiled")
+        # Feature logs, telemetry counters, failure classes — the
+        # whole per-site record — must match, and so must the stable
+        # serialized digest.
+        assert _survey_records(tree) == _survey_records(compiled)
+        assert survey_digest(tree) == survey_digest(compiled)
+
+    def test_hostile_corpus_identical(self):
+        registry = default_registry()
+        web = hostile_web(include_poison=False, include_net=False)
+
+        def crawl(engine):
+            return run_survey(
+                web, registry,
+                SurveyConfig(
+                    conditions=("default",),
+                    visits_per_site=1,
+                    seed=7,
+                    budget=chaos_budget(),
+                    engine=engine,
+                ),
+            )
+
+        tree = crawl("tree")
+        compiled = crawl("compiled")
+        tree_records = _survey_records(tree)
+        assert tree_records == _survey_records(compiled)
+        assert survey_digest(tree) == survey_digest(compiled)
+        # The budgets genuinely fired: hostile sites must carry causes.
+        causes = {
+            record["budget_cause"]
+            for record in tree_records.values()
+            if record["budget_cause"]
+        }
+        assert causes, "hostile corpus tripped no budgets"

@@ -1,0 +1,218 @@
+"""Hardening regressions for the MiniJS execution layer.
+
+Three bug classes this file pins down, each exercised under BOTH
+execution engines:
+
+* **Timer error containment** — page-level timer callbacks may fail
+  with their own MiniJS errors (recorded, never silently swallowed),
+  but sandbox control flow (``BudgetExceeded``) must abort the visit
+  with its structured cause, and Python bugs in host bindings must
+  propagate instead of being miscounted as a clean visit.
+* **``to_number`` string conformance** — JS ToNumber edge cases:
+  signed hex is NaN, ``Infinity`` literals parse, whitespace-only is
+  zero, trailing garbage is NaN.
+* **for-in snapshotting** — enumerating an array snapshots its keys
+  before the body runs, so hostile pages that shrink (or grow) the
+  array mid-loop cannot crash, skip or duplicate keys.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.sandbox import BudgetExceeded, ResourceBudget
+from repro.dom.bindings import DomRealm
+from repro.dom.html import parse_html_lenient
+from repro.minijs import (
+    CompiledInterpreter,
+    Interpreter,
+    parse,
+)
+from repro.minijs.objects import JSFunction, to_number, to_string
+from repro.webidl.registry import default_registry
+
+ENGINES = ["tree", "compiled"]
+ENGINE_CLASSES = {"tree": Interpreter, "compiled": CompiledInterpreter}
+
+
+def _realm(engine, meter=None, step_limit=None):
+    parsed = parse_html_lenient("<html><body><div id='m'></div></body></html>")
+    root = parsed[0] if isinstance(parsed, tuple) else parsed
+    kwargs = {}
+    if step_limit is not None:
+        kwargs["step_limit"] = step_limit
+    return DomRealm(
+        default_registry(), root, seed=5, engine=engine, meter=meter,
+        **kwargs,
+    )
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestTimerErrorContainment:
+    def test_budget_exhaustion_in_timer_aborts_with_cause(self, engine):
+        meter = ResourceBudget(max_steps=3_000).meter()
+        realm = _realm(engine, meter=meter)
+        realm.interp.run(parse(
+            "setTimeout(function () {"
+            "  var i = 0; while (true) { i = i + 1; }"
+            "}, 0);"
+        ))
+        with pytest.raises(BudgetExceeded) as excinfo:
+            realm.flush_timers()
+        # Structured cause survives for the visit's budget report.
+        assert excinfo.value.cause == "steps"
+        assert excinfo.value.limit == 3_000
+
+    def test_script_step_limit_in_timer_recorded_not_swallowed(
+        self, engine
+    ):
+        realm = _realm(engine, step_limit=4_000)
+        realm.interp.run(parse(
+            "var ran = 0;"
+            "setTimeout(function () {"
+            "  var i = 0; while (true) { i = i + 1; }"
+            "}, 0);"
+            "setTimeout(function () { ran = 1; }, 1);"
+        ))
+        executed = realm.flush_timers()
+        # The broken timer is the page's own bug: the visit survives
+        # and every failure is recorded.  (The step counter is
+        # realm-cumulative, so the second timer exceeds it too — the
+        # point is that neither error is silently swallowed and the
+        # flush still completes.)
+        assert executed == 2
+        assert len(realm.timer_errors) == 2
+        assert all("step" in error for error in realm.timer_errors)
+        assert to_string(realm.interp.global_object.get("ran")) == "0"
+
+    def test_host_binding_bug_in_timer_propagates(self, engine):
+        realm = _realm(engine)
+
+        def broken_host(interp, this, args):
+            raise RuntimeError("host binding bug")
+
+        realm.schedule(
+            JSFunction(name="broken", host_call=broken_host),
+            delay_ms=0.0,
+        )
+        with pytest.raises(RuntimeError, match="host binding bug"):
+            realm.flush_timers()
+
+
+NAN = float("nan")
+INF = float("inf")
+
+TO_NUMBER_STRING_CASES = [
+    # hex: unsigned only, as in JS ToNumber
+    ("0x12", 18.0),
+    ("0XaB", 171.0),
+    ("-0x12", NAN),
+    ("+0x12", NAN),
+    ("0x", NAN),
+    ("0xG1", NAN),
+    # Infinity literals
+    ("Infinity", INF),
+    ("+Infinity", INF),
+    ("-Infinity", -INF),
+    ("  Infinity  ", INF),
+    ("infinity", NAN),
+    # whitespace-only / empty -> 0
+    ("", 0.0),
+    ("   ", 0.0),
+    ("\t\n\r ", 0.0),
+    # decimal forms
+    ("12", 12.0),
+    ("  12  ", 12.0),
+    ("-12.5", -12.5),
+    ("+3", 3.0),
+    (".5", 0.5),
+    ("-.5", -0.5),
+    ("5.", 5.0),
+    ("1e3", 1000.0),
+    ("1E-2", 0.01),
+    ("2.5e+1", 25.0),
+    # trailing/leading garbage -> NaN
+    ("12px", NAN),
+    ("1.2.3", NAN),
+    ("1 2", NAN),
+    ("- 12", NAN),
+    ("e3", NAN),
+    (".", NAN),
+    ("+-1", NAN),
+    ("1e", NAN),
+]
+
+
+class TestToNumberConformance:
+    @pytest.mark.parametrize(
+        "text,expected", TO_NUMBER_STRING_CASES,
+        ids=[repr(case[0]) for case in TO_NUMBER_STRING_CASES],
+    )
+    def test_string_cases(self, text, expected):
+        got = to_number(text)
+        if math.isnan(expected):
+            assert math.isnan(got), "%r -> %r, want NaN" % (text, got)
+        else:
+            assert got == expected
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_in_page_coercion_matches(self, engine):
+        interp = ENGINE_CLASSES[engine](seed=1)
+        result = interp.run(parse(
+            '"" + (+"-0x12") + "/" + (+"Infinity") + "/" + (+"  ") + '
+            '"/" + (+"0x10");'
+        ))
+        assert result == "NaN/Infinity/0/16"
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestForInSnapshot:
+    def test_shrinking_array_mid_loop(self, engine):
+        interp = ENGINE_CLASSES[engine](seed=1)
+        result = interp.run(parse(
+            'var a = [10, 20, 30, 40, 50, 60]; var seen = "";'
+            "for (var k in a) {"
+            '  seen = seen + k + ":";'
+            '  if (k === "1") { a.length = 2; }'
+            "} seen;"
+        ))
+        # Keys snapshot before the body runs; truncated indexes are
+        # dead by visit time and skipped — never an error, never a
+        # duplicate.
+        assert result == "0:1:"
+
+    def test_growing_array_mid_loop_sees_no_new_keys(self, engine):
+        interp = ENGINE_CLASSES[engine](seed=1)
+        result = interp.run(parse(
+            'var a = [1, 2]; var seen = "";'
+            "for (var k in a) {"
+            "  a[a.length] = 9;"
+            '  seen = seen + k + ":";'
+            "} seen;"
+        ))
+        assert result == "0:1:"
+
+    def test_hostile_page_handler_shrinks_array(self, engine):
+        """The hostile-web shape: a DOM0 handler truncates mid-loop."""
+        realm = _realm(engine)
+        root = realm.root
+        body = root.find_first("body")
+        target = None
+        for node in body.elements():
+            if node.attributes.get("id") == "m":
+                target = node
+        target.attributes["onclick"] = "hostileShrink()"
+        realm.interp.run(parse(
+            'var trail = "";'
+            "function hostileShrink() {"
+            "  var a = [0, 1, 2, 3, 4, 5, 6, 7];"
+            "  for (var k in a) {"
+            "    trail = trail + k;"
+            "    a.length = 1;"
+            "  }"
+            "}"
+        ))
+        realm.events.dispatch(target, "click")
+        assert to_string(realm.interp.global_object.get("trail")) == "0"
