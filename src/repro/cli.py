@@ -10,16 +10,23 @@ Commands:
 * ``chaos``    — crawl the hostile web; verify every resource budget
   and the worker watchdog contain their designated pathology
   (``--net`` adds the network-fault pathologies and the resilience
-  layer that must absorb them)
-* ``fsck``     — read-only integrity check of a checkpoint run
-  directory (torn writes, mid-shard corruption, manifest mismatches)
+  layer that must absorb them; ``--storage`` runs the crawl through
+  a fault-injecting durability layer and verifies the result digest
+  matches a clean run bit-for-bit)
+* ``fsck``     — integrity check of a checkpoint run directory (torn
+  writes, orphan tmp litter, stale/live locks, mid-shard corruption,
+  manifest mismatches); read-only by default, ``--repair`` applies
+  the recoverable fixes offline, ``--format json`` for tooling
 * ``trace``    — summarize the span trace of a ``--trace`` run
   (critical path, slowest sites/pages, phase and origin breakdowns,
   retry/breaker/quarantine timelines)
 
-Exit codes: 0 on success, 1 when a check or comparison fails, 2 on
-usage, configuration or checkpoint errors — scripts can branch on
-"the run was bad" versus "the invocation was bad".
+Exit codes: 0 on success, 1 when a check or comparison fails (this
+includes a storage failure mid-crawl — the run dir stays resumable),
+2 on usage, configuration, checkpoint or run-lock errors, 3 when a
+crawl drained cleanly after SIGTERM/SIGINT (``--resume`` continues
+it) — scripts can branch on "the run was bad" versus "the invocation
+was bad" versus "the run was interrupted on purpose".
 """
 
 from __future__ import annotations
@@ -189,6 +196,14 @@ def build_parser() -> argparse.ArgumentParser:
         "per-request resilience layer that must absorb them",
     )
     chaos.add_argument(
+        "--storage", action="store_true",
+        help="run the checkpointed crawl through a fault-injecting "
+        "durability layer (seeded ENOSPC/EIO/torn writes on every "
+        "first attempt) and verify the result digest is identical "
+        "to a clean run's, no fault escapes the retry layer, and "
+        "the run dir passes fsck (requires --run-dir)",
+    )
+    chaos.add_argument(
         "--trace", action="store_true",
         help="record span traces next to the checkpoint shards "
         "(requires --run-dir; inspect with 'repro trace')",
@@ -200,13 +215,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     fsck = commands.add_parser(
         "fsck",
-        help="read-only integrity check of a survey checkpoint "
-        "directory (nonzero exit on any corruption)",
+        help="integrity check of a survey checkpoint directory "
+        "(read-only by default; nonzero exit on any corruption)",
     )
     fsck.add_argument(
         "run_dir", metavar="RUN_DIR",
         help="a --run-dir directory from a (possibly interrupted) "
         "survey run",
+    )
+    fsck.add_argument(
+        "--repair", action="store_true",
+        help="apply the recoverable fixes offline: truncate torn "
+        "shard tails, clean orphan *.tmp litter (completing an "
+        "interrupted rename when the tmp is whole), reclaim stale "
+        "locks, drop a survey.json that disagrees with its manifest; "
+        "exit reflects the directory's state *after* repair",
+    )
+    fsck.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="text for the terminal, json for tooling (default: text)",
     )
 
     trace = commands.add_parser(
@@ -595,7 +622,10 @@ def _command_chaos(args, out) -> int:
     (with workers) the hang/crash sites must end quarantined.  Any
     miss is a nonzero exit — this is the CI smoke test.
     """
+    from dataclasses import replace as replace_config
+
     from repro.core.sandbox import QUARANTINE_CAUSE
+    from repro.core.storage import FaultyStorage, Storage
     from repro.webgen.hostile import (
         BUDGET_PATHOLOGIES,
         EXPECTED_CAUSES,
@@ -604,6 +634,12 @@ def _command_chaos(args, out) -> int:
     )
 
     _require_run_dir_for_trace(args)
+    include_storage = bool(args.storage)
+    if include_storage and not args.run_dir:
+        raise CliError(
+            "--storage injects faults into the checkpoint's "
+            "durability layer; give it a --run-dir"
+        )
     workers = max(1, args.workers)
     include_poison = workers > 1
     include_net = bool(args.net)
@@ -629,6 +665,13 @@ def _command_chaos(args, out) -> int:
         trace=bool(args.trace),
         engine=args.engine,
     )
+    storage = None
+    if include_storage:
+        # Every durable write's first attempt fails (seeded ENOSPC /
+        # EIO / torn write); the Storage retry layer must absorb all
+        # of it without the crawl noticing.
+        storage = FaultyStorage(seed=args.seed)
+        config = replace_config(config, storage=storage)
     result = run_survey(
         web, registry, config,
         run_dir=args.run_dir, resume=False,
@@ -642,6 +685,32 @@ def _command_chaos(args, out) -> int:
         if not ok:
             failures += 1
         rows.append((domain, got, "ok" if ok else "MISS"))
+
+    if include_storage:
+        from repro.core import persistence
+        from repro.core.checkpoint import fsck_run_dir
+
+        # Reference run: same crawl, no checkpointing, no faults.  The
+        # measured result must not depend on what the storage layer
+        # endured.
+        clean = run_survey(
+            web, registry, replace_config(config, storage=Storage()),
+        )
+        stats = storage.stats
+        check("storage.faults", stats["faults_injected"] > 0,
+              "injected=%d" % stats["faults_injected"])
+        check("storage.absorbed", stats["faults_unabsorbed"] == 0,
+              "unabsorbed=%d" % stats["faults_unabsorbed"])
+        check(
+            "storage.digest",
+            persistence.survey_digest(result)
+            == persistence.survey_digest(clean),
+            "faulty==clean: %s"
+            % (persistence.survey_digest(result)
+               == persistence.survey_digest(clean)),
+        )
+        fsck_ok, _ = fsck_run_dir(args.run_dir)
+        check("storage.fsck", fsck_ok, "clean" if fsck_ok else "damage")
 
     for pathology in BUDGET_PATHOLOGIES:
         domain = "%s.chaos" % pathology
@@ -703,13 +772,19 @@ def _command_chaos(args, out) -> int:
 
 
 def _command_fsck(args, out) -> int:
-    """Check a run directory's integrity without touching it."""
-    from repro.core.checkpoint import fsck_run_dir
+    """Check (and with --repair, fix) a run directory's integrity."""
+    import json as _json
 
-    ok, lines = fsck_run_dir(args.run_dir)
-    for line in lines:
-        out.write(line + "\n")
-    return 0 if ok else 1
+    from repro.core.checkpoint import fsck_lines, fsck_report
+
+    report = fsck_report(args.run_dir, repair=args.repair)
+    if args.format == "json":
+        _json.dump(report, out, indent=2, sort_keys=True)
+        out.write("\n")
+    else:
+        for line in fsck_lines(report):
+            out.write(line + "\n")
+    return 0 if report["ok"] else 1
 
 
 def _command_trace(args, out) -> int:
@@ -749,6 +824,8 @@ def _command_validate(args, out) -> int:
 
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     from repro.core.checkpoint import CheckpointError
+    from repro.core.storage import RunLockError, StorageError
+    from repro.core.survey import SurveyInterrupted
     from repro.core.tracereport import TraceReportError
 
     out = out or sys.stdout
@@ -789,6 +866,19 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     except CheckpointError as error:
         out.write("checkpoint error: %s\n" % error)
         return 2
+    except RunLockError as error:
+        out.write("run-dir locked: %s\n" % error)
+        return 2
+    except SurveyInterrupted as error:
+        out.write("interrupted: %s\n" % error)
+        return 3
+    except StorageError as error:
+        out.write(
+            "storage error: %s\nthe run directory is resumable — "
+            "free space / fix the device and rerun with --resume\n"
+            % error
+        )
+        return 1
     except TraceReportError as error:
         out.write("trace error: %s\n" % error)
         return 2

@@ -37,7 +37,15 @@ from repro.core.persistence import (
     measurement_from_dict,
     measurement_to_dict,
     registry_fingerprint,
-    save_survey,
+    survey_to_dict,
+)
+from repro.core.storage import (
+    LOCK_NAME,
+    AppendHandle,
+    Storage,
+    orphan_tmp_files,
+    pid_alive,
+    read_lock,
 )
 from repro.webidl.registry import FeatureRegistry
 
@@ -45,6 +53,11 @@ CHECKPOINT_VERSION = 1
 MANIFEST_NAME = "manifest.json"
 RESULT_NAME = "survey.json"
 QUARANTINE_NAME = "quarantine.json"
+
+#: run lifecycle stamps recorded in the manifest's ``status`` field
+STATUS_RUNNING = "running"
+STATUS_INTERRUPTED = "interrupted"
+STATUS_COMPLETE = "complete"
 
 
 class CheckpointError(ValueError):
@@ -154,18 +167,23 @@ class SurveyCheckpoint:
         run_dir: str,
         registry: FeatureRegistry,
         manifest: Dict[str, Any],
+        storage: Optional[Storage] = None,
     ) -> None:
         self.run_dir = run_dir
         self.registry = registry
         self.manifest = manifest
+        #: the injectable durability layer every write routes through
+        self.storage = storage if storage is not None else Storage()
         #: condition -> domain -> measurement (recovered + appended)
         self._records: Dict[str, Dict[str, SiteMeasurement]] = {
             condition: {} for condition in manifest["conditions"]
         }
         #: torn trailing lines dropped while loading shards
         self.recovered_lines = 0
-        self._handles: Dict[str, IO[str]] = {}
-        self._trace_handles: Dict[str, IO[str]] = {}
+        #: orphan ``*.tmp`` crash litter removed while resuming
+        self.recovered_tmp_files: List[str] = []
+        self._handles: Dict[str, AppendHandle] = {}
+        self._trace_handles: Dict[str, AppendHandle] = {}
         #: domain -> times this site killed or hung a crawl worker
         #: (the watchdog's poison-site strike counts; persisted so a
         #: resumed run never re-crawls a quarantined site)
@@ -182,6 +200,7 @@ class SurveyCheckpoint:
         domains: Sequence[str],
         resume: bool = False,
         started_at: Optional[float] = None,
+        storage: Optional[Storage] = None,
     ) -> "SurveyCheckpoint":
         """Create a fresh run directory, or resume an existing one.
 
@@ -199,9 +218,11 @@ class SurveyCheckpoint:
             )
         if not exists:
             return cls.create(
-                run_dir, registry, config, domains, started_at=started_at
+                run_dir, registry, config, domains,
+                started_at=started_at, storage=storage,
             )
-        return cls.open(run_dir, registry, config, domains)
+        return cls.open(run_dir, registry, config, domains,
+                        storage=storage)
 
     @classmethod
     def create(
@@ -211,10 +232,12 @@ class SurveyCheckpoint:
         config,
         domains: Sequence[str],
         started_at: Optional[float] = None,
+        storage: Optional[Storage] = None,
     ) -> "SurveyCheckpoint":
         import datetime
         import time
 
+        storage = storage if storage is not None else Storage()
         os.makedirs(run_dir, exist_ok=True)
         # The manifest's start stamp is the run's ONE wall-clock read,
         # kept human-readable; all duration math uses perf_counter.
@@ -239,15 +262,13 @@ class SurveyCheckpoint:
             "started_at": datetime.datetime.fromtimestamp(
                 stamp, datetime.timezone.utc
             ).isoformat(),
+            "status": STATUS_RUNNING,
         }
         # Write-then-rename so a crash never leaves a half manifest.
-        tmp_path = os.path.join(run_dir, MANIFEST_NAME + ".tmp")
-        with open(tmp_path, "w", encoding="utf-8") as handle:
-            json.dump(manifest, handle, indent=2, sort_keys=True)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_path, os.path.join(run_dir, MANIFEST_NAME))
-        return cls(run_dir, registry, manifest)
+        storage.replace_atomic(
+            os.path.join(run_dir, MANIFEST_NAME), manifest
+        )
+        return cls(run_dir, registry, manifest, storage=storage)
 
     @classmethod
     def open(
@@ -256,6 +277,7 @@ class SurveyCheckpoint:
         registry: FeatureRegistry,
         config,
         domains: Sequence[str],
+        storage: Optional[Storage] = None,
     ) -> "SurveyCheckpoint":
         """Open an existing checkpoint, validating compatibility."""
         manifest_path = os.path.join(run_dir, MANIFEST_NAME)
@@ -272,10 +294,15 @@ class SurveyCheckpoint:
                 % (manifest_path, error)
             )
         cls._validate_manifest(manifest, registry, config, domains)
-        checkpoint = cls(run_dir, registry, manifest)
+        checkpoint = cls(run_dir, registry, manifest, storage=storage)
+        checkpoint._clean_orphan_tmp_files()
         checkpoint._load_shards()
         checkpoint._repair_trace_shards()
         checkpoint._load_quarantine()
+        if manifest.get("status") != STATUS_RUNNING:
+            # An interrupted/complete run picked back up: re-stamp so
+            # the manifest reflects what the directory is doing now.
+            checkpoint.mark_status(STATUS_RUNNING)
         return checkpoint
 
     @staticmethod
@@ -389,11 +416,11 @@ class SurveyCheckpoint:
         condition = measurement.condition
         handle = self._handles.get(condition)
         if handle is None:
-            handle = open(
-                self._shard_path(condition), "a", encoding="utf-8"
+            handle = self.storage.open_append(
+                self._shard_path(condition)
             )
             self._handles[condition] = handle
-        append_record(handle, {
+        self.storage.append_record(handle, {
             "condition": condition,
             "domain": measurement.domain,
             "measurement": measurement_to_dict(measurement),
@@ -433,11 +460,11 @@ class SurveyCheckpoint:
         """
         handle = self._trace_handles.get(condition)
         if handle is None:
-            handle = open(
-                self._trace_shard_path(condition), "a", encoding="utf-8"
+            handle = self.storage.open_append(
+                self._trace_shard_path(condition)
             )
             self._trace_handles[condition] = handle
-        append_record(handle, {
+        self.storage.append_record(handle, {
             "condition": condition,
             "domain": domain,
             "trace": trace,
@@ -479,13 +506,9 @@ class SurveyCheckpoint:
         # leaves the previous strike table, never a torn one (the site
         # then gets one free retry, which is safe — the threshold just
         # fires one kill later).
-        tmp_path = self._quarantine_path() + ".tmp"
-        with open(tmp_path, "w", encoding="utf-8") as handle:
-            json.dump({"strikes": self._strikes}, handle,
-                      indent=2, sort_keys=True)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_path, self._quarantine_path())
+        self.storage.replace_atomic(
+            self._quarantine_path(), {"strikes": self._strikes}
+        )
 
     def add_strike(self, domain: str) -> int:
         """Record that a site killed or hung a worker; returns total."""
@@ -514,10 +537,43 @@ class SurveyCheckpoint:
         return self.manifest["n_domains"]
 
     def write_result(self, result) -> str:
-        """Save the finished survey alongside its shards."""
+        """Save the finished survey alongside its shards.
+
+        Write-then-rename through the durability layer — a crash mid
+        result write leaves an orphan tmp, never a torn
+        ``survey.json`` that fsck would flag as unreadable — then the
+        manifest is stamped complete.
+        """
         path = os.path.join(self.run_dir, RESULT_NAME)
-        save_survey(result, path)
+        self.storage.replace_atomic(
+            path, survey_to_dict(result), indent=None
+        )
+        self.mark_status(STATUS_COMPLETE)
         return path
+
+    def mark_status(self, status: str) -> None:
+        """Re-stamp the manifest's lifecycle field atomically."""
+        self.manifest["status"] = status
+        self.storage.replace_atomic(
+            os.path.join(self.run_dir, MANIFEST_NAME), self.manifest
+        )
+
+    def _clean_orphan_tmp_files(self) -> None:
+        """Remove ``*.tmp`` crash litter before resuming.
+
+        A crash between tmp write and ``os.replace`` strands the tmp
+        forever — the final file (when present) is the authoritative
+        state, so the orphan is simply deleted.  Roll-forward is never
+        needed on resume: a missing manifest means :meth:`attach`
+        created a fresh one, and every other replaced file is an
+        optimization the crawl rebuilds.
+        """
+        for name in orphan_tmp_files(self.run_dir):
+            try:
+                os.unlink(os.path.join(self.run_dir, name))
+            except OSError:
+                continue
+            self.recovered_tmp_files.append(name)
 
 
 # -- offline integrity check (``repro fsck``) ---------------------------
@@ -543,28 +599,134 @@ _MEASUREMENT_REQUIRED = (
 )
 
 
-def fsck_run_dir(run_dir: str) -> Tuple[bool, List[str]]:
-    """Read-only integrity check of a survey run directory.
+def fsck_report(run_dir: str, repair: bool = False) -> Dict[str, Any]:
+    """Integrity check of a survey run directory, structured.
 
-    Returns ``(ok, report_lines)``.  Never modifies anything — a torn
-    trailing write is flagged as recoverable but not truncated here
-    (resume repairs it).  ``ok`` is False for *any* damage, recoverable
-    or not: a torn trailing write, an unreadable or incomplete
-    manifest, mid-shard corruption, records in the wrong shard,
-    malformed records, a bad quarantine file, or a final ``survey.json``
-    inconsistent with the manifest it sits next to.
+    Returns ``{"run_dir", "ok", "problems", "checks", "repairs"}``
+    where ``checks`` is a list of ``{"ok", "text"}`` entries and
+    ``repairs`` the actions a ``repair=True`` pass performed
+    (``{"action", "path", ...}``).
+
+    Read-only by default — a torn trailing write is flagged as
+    recoverable but not truncated (resume repairs it); ``ok`` is False
+    for *any* damage: torn tails, orphan ``*.tmp`` crash litter, a
+    stale or live run lock, an unreadable or incomplete manifest,
+    mid-shard corruption, records in the wrong shard, malformed
+    records, a bad quarantine file, or a ``survey.json`` inconsistent
+    with the manifest it sits next to.
+
+    With ``repair=True`` the recoverable classes are fixed offline —
+    the same fixes resume applies, usable without the original corpus
+    and configuration: torn tails truncated, orphan tmps removed (a
+    complete tmp whose target is missing is rolled *forward* instead,
+    finishing the interrupted rename), stale locks reclaimed, and a
+    result file that disagrees with its manifest removed (it is
+    derived data; resume regenerates it).  Repaired findings do not
+    count as problems, so ``ok`` answers "is the directory clean
+    *now*".  A live lock and mid-shard corruption are never repaired.
     """
-    lines: List[str] = []
+    checks: List[Dict[str, Any]] = []
+    repairs: List[Dict[str, Any]] = []
     problems = 0
 
     def report(ok: bool, text: str) -> None:
         nonlocal problems
         if not ok:
             problems += 1
-        lines.append("%s %s" % ("ok " if ok else "BAD", text))
+        checks.append({"ok": ok, "text": text})
+
+    def fixed(action: str, path: str, text: str, **extra: Any) -> None:
+        repairs.append(dict({"action": action, "path": path}, **extra))
+        checks.append({"ok": True, "text": text, "repaired": True})
+
+    def done() -> Dict[str, Any]:
+        return {
+            "run_dir": run_dir,
+            "ok": problems == 0,
+            "problems": problems,
+            "checks": checks,
+            "repairs": repairs,
+        }
 
     if not os.path.isdir(run_dir):
-        return False, ["BAD %s: not a directory" % run_dir]
+        report(False, "%s: not a directory" % run_dir)
+        return done()
+
+    # 0. Run lock: a live holder means the directory is mid-write and
+    #    nothing below can be trusted; a stale one is crash litter.
+    lock_path = os.path.join(run_dir, LOCK_NAME)
+    if os.path.exists(lock_path):
+        holder = read_lock(lock_path)
+        pid = holder.get("pid") if holder else None
+        if isinstance(pid, int) and pid_alive(pid):
+            report(False, "%s: held by live process %d — a crawl is "
+                   "in progress; results below may be mid-write"
+                   % (LOCK_NAME, pid))
+        elif repair:
+            try:
+                os.unlink(lock_path)
+                fixed("remove-stale-lock", LOCK_NAME,
+                      "%s: stale lock from dead process %s "
+                      "(repaired: removed)" % (LOCK_NAME, pid))
+            except OSError as error:
+                report(False, "%s: stale lock could not be removed "
+                       "(%s)" % (LOCK_NAME, error))
+        else:
+            report(False, "%s: stale lock from dead process %s "
+                   "(recoverable; resume reclaims it, fsck --repair "
+                   "removes it)" % (LOCK_NAME, pid))
+
+    # 0b. Orphan *.tmp crash litter from interrupted write-then-rename.
+    #     With repair: a complete tmp whose target is missing finishes
+    #     its rename (the fsync already made it durable); every other
+    #     tmp is discarded — the renamed file is the authoritative
+    #     state.
+    for name in orphan_tmp_files(run_dir):
+        tmp_path = os.path.join(run_dir, name)
+        target = name[: -len(".tmp")]
+        target_path = os.path.join(run_dir, target)
+        if not repair:
+            report(False, "%s: orphan temporary file (crash litter; "
+                   "recoverable — resume or fsck --repair cleans it)"
+                   % name)
+            continue
+        payload = None
+        if not os.path.exists(target_path):
+            try:
+                with open(tmp_path, encoding="utf-8") as handle:
+                    payload = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                payload = None
+        try:
+            if payload is not None:
+                os.replace(tmp_path, target_path)
+                fixed("complete-interrupted-replace", name,
+                      "%s: interrupted rename completed (repaired: "
+                      "now %s)" % (name, target))
+            else:
+                os.unlink(tmp_path)
+                fixed("remove-orphan-tmp", name,
+                      "%s: orphan temporary file (repaired: removed)"
+                      % name)
+        except OSError as error:
+            report(False, "%s: orphan temporary file could not be "
+                   "cleaned (%s)" % (name, error))
+
+    # 0c. Nothing at all (a crash before the manifest ever landed,
+    #     after repair swept the litter): not a checkpoint, not damage.
+    try:
+        remaining = [
+            n for n in os.listdir(run_dir)
+            if n != LOCK_NAME and not n.endswith(".tmp")
+        ]
+    except OSError:
+        remaining = []
+    if not remaining and not os.path.exists(
+        os.path.join(run_dir, MANIFEST_NAME)
+    ):
+        report(True, "empty directory: no checkpoint yet "
+               "(nothing to verify)")
+        return done()
 
     # 1. Manifest: readable, right version, complete.
     manifest: Optional[Dict[str, Any]] = None
@@ -631,7 +793,13 @@ def fsck_run_dir(run_dir: str) -> Tuple[bool, List[str]]:
             report(False, "%s: %d malformed record(s)" % (name, bad))
             continue
         shard_records[condition] = len(records)
-        if dropped:
+        if dropped and repair:
+            load_shard_records(path, repair=True)
+            fixed("truncate-torn-tail", name,
+                  "%s: %d record(s), torn trailing write (repaired: "
+                  "tail truncated)" % (name, len(records)),
+                  records_kept=len(records))
+        elif dropped:
             report(False, "%s: %d record(s), torn trailing write "
                    "(recoverable; resume repairs it)"
                    % (name, len(records)))
@@ -669,6 +837,12 @@ def fsck_run_dir(run_dir: str) -> Tuple[bool, List[str]]:
         )
         if bad:
             report(False, "%s: %d malformed trace(s)" % (name, bad))
+        elif dropped and repair:
+            load_shard_records(path, repair=True, payload_key="trace")
+            fixed("truncate-torn-tail", name,
+                  "%s: %d trace(s), torn trailing write (repaired: "
+                  "tail truncated)" % (name, len(records)),
+                  records_kept=len(records))
         elif dropped:
             report(False, "%s: %d trace(s), torn trailing write "
                    "(recoverable; resume repairs it)"
@@ -720,14 +894,49 @@ def fsck_run_dir(run_dir: str) -> Tuple[bool, List[str]]:
             if (domains_digest(data.get("domains", []))
                     != manifest["domains_digest"]):
                 mismatches.append("domains_digest")
-            if mismatches:
+            if mismatches and repair:
+                try:
+                    os.unlink(result_path)
+                    fixed("remove-stale-result", RESULT_NAME,
+                          "%s: disagrees with manifest on %s "
+                          "(repaired: removed — derived data, resume "
+                          "regenerates it)"
+                          % (RESULT_NAME, ", ".join(mismatches)),
+                          mismatches=mismatches)
+                except OSError as error:
+                    report(False, "%s: disagrees with manifest and "
+                           "could not be removed (%s)"
+                           % (RESULT_NAME, error))
+            elif mismatches:
                 report(False, "%s: disagrees with manifest on %s"
                        % (RESULT_NAME, ", ".join(mismatches)))
             else:
                 report(True, "%s: consistent with manifest" % RESULT_NAME)
 
+    return done()
+
+
+def fsck_lines(result: Dict[str, Any]) -> List[str]:
+    """Flatten an :func:`fsck_report` result into the classic
+    ``ok``/``BAD``-prefixed report lines plus a summary line."""
+    lines = [
+        "%s %s" % ("ok " if check["ok"] else "BAD", check["text"])
+        for check in result["checks"]
+    ]
+    problems = result["problems"]
     lines.append(
-        "%s: %s" % (run_dir, "clean" if not problems
+        "%s: %s" % (result["run_dir"],
+                    "clean" if not problems
                     else "%d problem(s) found" % problems)
     )
-    return problems == 0, lines
+    return lines
+
+
+def fsck_run_dir(
+    run_dir: str, repair: bool = False
+) -> Tuple[bool, List[str]]:
+    """Line-oriented wrapper over :func:`fsck_report` — returns
+    ``(ok, report_lines)`` exactly as the original read-only fsck did.
+    """
+    result = fsck_report(run_dir, repair=repair)
+    return result["ok"], fsck_lines(result)

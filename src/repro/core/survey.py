@@ -20,6 +20,8 @@ aborting the run.
 from __future__ import annotations
 
 import os
+import signal
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field, replace
@@ -35,6 +37,7 @@ from repro.core.sandbox import (
     ResourceBudget,
     set_heartbeat,
 )
+from repro.core.storage import RunLock, Storage, StorageError
 from repro.minijs.compile import CompileCache, shared_cache
 from repro.monkey.crawler import CrawlConfig, SiteCrawler
 from repro.net.fetcher import Fetcher
@@ -176,6 +179,76 @@ class SurveyConfig:
     #: counts and trace digests (tests/test_engine_differential.py) —
     #: so this only selects how fast scripts run.
     engine: str = "compiled"
+    #: durability layer every checkpoint write goes through (shard
+    #: appends, manifest/quarantine/result write-then-rename).  The
+    #: default retries transient OSErrors with torn-tail rollback;
+    #: swap in :class:`repro.core.storage.FaultyStorage` to chaos-test
+    #: the crawl against ENOSPC/EIO/torn writes (``repro chaos
+    #: --storage``)
+    storage: Storage = field(default_factory=Storage)
+
+
+class SurveyInterrupted(RuntimeError):
+    """The crawl drained cleanly after SIGTERM/SIGINT.
+
+    Raised by :func:`run_survey` once in-flight visits have finished,
+    all shards are flushed and fsynced, and the manifest is stamped
+    ``interrupted``.  The CLI maps it to exit code 3; ``--resume``
+    picks the run back up bit-identically.
+    """
+
+    def __init__(self, message: str, run_dir: Optional[str] = None):
+        super().__init__(message)
+        self.run_dir = run_dir
+
+
+class _DrainGuard:
+    """SIGTERM/SIGINT → graceful drain, second signal → hard stop.
+
+    Installed around a crawl (main thread only; worker threads and
+    subprocesses leave signal state alone).  The first signal merely
+    sets :attr:`requested` — the serial loop stops before its next
+    site and the parallel supervisor stops dispatching while letting
+    in-flight visits finish against their budgets.  A second signal
+    means the operator is done waiting: it raises
+    ``KeyboardInterrupt`` from the handler, abandoning the drain (the
+    checkpoint is still crash-consistent; at most the in-flight sites
+    are re-measured on resume).
+    """
+
+    _SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+    def __init__(self) -> None:
+        self.requested = False
+        self.signum: Optional[int] = None
+        self._previous: Dict[int, object] = {}
+
+    def _handle(self, signum, frame) -> None:
+        if self.requested:
+            raise KeyboardInterrupt(
+                "second signal during drain — aborting hard"
+            )
+        self.requested = True
+        self.signum = signum
+
+    def __enter__(self) -> "_DrainGuard":
+        if threading.current_thread() is threading.main_thread():
+            for signum in self._SIGNALS:
+                try:
+                    self._previous[signum] = signal.signal(
+                        signum, self._handle
+                    )
+                except (ValueError, OSError):
+                    continue
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        for signum, previous in self._previous.items():
+            try:
+                signal.signal(signum, previous)
+            except (ValueError, OSError, TypeError):
+                pass
+        self._previous.clear()
 
 
 @dataclass
@@ -610,6 +683,17 @@ def _watchdog_worker_main(
     reads as EOF and handles as the worker death it is.
     """
 
+    # Workers must outlive a Ctrl-C/SIGTERM aimed at the crawl: both
+    # usually hit the whole process group, and a worker dying mid-visit
+    # would turn a graceful drain into watchdog strikes.  The
+    # supervisor owns worker lifetime — it drains in-flight sites, then
+    # shuts workers down over their task pipes (or SIGKILLs them).
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+        signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    except (ValueError, OSError):
+        pass  # non-main thread or exotic platform: best-effort
+
     def beat() -> None:
         heartbeats[slot] = time.monotonic()
 
@@ -670,6 +754,7 @@ class _CrawlSupervisor:
         condition: str,
         pending: List[str],
         checkpoint=None,
+        drain: Optional[_DrainGuard] = None,
     ) -> None:
         import multiprocessing
 
@@ -679,6 +764,7 @@ class _CrawlSupervisor:
         self.condition = condition
         self.pending = list(pending)
         self.checkpoint = checkpoint
+        self.drain_guard = drain
         self.context = multiprocessing.get_context(
             resolve_start_method(config.start_method)
         )
@@ -769,6 +855,14 @@ class _CrawlSupervisor:
             for slot in range(self.n_workers):
                 self._spawn(slot)
             while self.next_flush < len(self.pending):
+                if (self.drain_guard is not None
+                        and self.drain_guard.requested):
+                    # Graceful drain: dispatch nothing more, collect
+                    # what is in flight, flush the contiguous prefix
+                    # to the checkpoint, and hand control back.
+                    self._drain_inflight()
+                    self._flush(record)
+                    break
                 self._dispatch(todo)
                 self._drain(block=True)
                 self._watchdog(todo)
@@ -806,6 +900,31 @@ class _CrawlSupervisor:
                 todo.appendleft((index, domain))
                 continue
             self.assigned[slot] = (index, domain, time.monotonic())
+
+    def _drain_inflight(self) -> None:
+        """Let assigned sites finish (bounded), dropping the rest.
+
+        Workers ignore the drain signal, so every in-flight visit keeps
+        running against its own resource budgets; the wait here is
+        bounded by ``hang_timeout`` (the point past which the watchdog
+        would have struck the site anyway).  Sites still unfinished at
+        the deadline — or held by a worker that died — are simply
+        dropped: they were never checkpointed, so resume re-measures
+        them bit-identically.  No strikes are charged; a drain is not
+        the site's fault.
+        """
+        timeout = self.config.hang_timeout
+        deadline = time.monotonic() + (
+            timeout if timeout is not None else 30.0
+        )
+        while self.assigned and time.monotonic() < deadline:
+            self._drain(block=True)
+            for slot in list(self.assigned):
+                process = self.workers[slot]
+                if process is None or not process.is_alive():
+                    self._drain()  # last chance for a piped result
+                    self.assigned.pop(slot, None)
+        self.assigned.clear()
 
     def _drain(self, block: bool = False) -> None:
         from multiprocessing.connection import wait as connection_wait
@@ -925,9 +1044,11 @@ def _crawl_condition_parallel(
     record: Callable[..., None],
     stats: "_CrawlStats",
     checkpoint=None,
+    drain: Optional[_DrainGuard] = None,
 ) -> None:
     supervisor = _CrawlSupervisor(
-        web, registry, config, condition, pending, checkpoint
+        web, registry, config, condition, pending, checkpoint,
+        drain=drain,
     )
     supervisor.run(record, stats)
 
@@ -975,6 +1096,7 @@ def _crawl_condition(
     progress: Optional[ProgressCallback],
     checkpoint=None,
     stats: Optional[_CrawlStats] = None,
+    drain: Optional[_DrainGuard] = None,
 ) -> Dict[str, SiteMeasurement]:
     """Measure one condition, streaming each site to the checkpoint."""
     done = checkpoint.done(condition) if checkpoint is not None else {}
@@ -1027,17 +1149,23 @@ def _crawl_condition(
     if config.workers > 1 and pending:
         _crawl_condition_parallel(
             web, registry, config, condition, pending, record,
-            stats or _CrawlStats(), checkpoint,
+            stats or _CrawlStats(), checkpoint, drain=drain,
         )
     else:
         crawler = _build_crawler(web, registry, config, condition)
         for domain in pending:
+            if drain is not None and drain.requested:
+                break  # drain: the in-flight site already finished
             measurement, trace = _measure_site(
                 crawler, registry, config, condition, domain
             )
             record(measurement, trace)
     # Canonical domain order: resumed, parallel and serial runs must
     # serialize identically, so insertion order never leaks in.
+    if drain is not None and drain.requested:
+        # Partial by design — run_survey raises SurveyInterrupted
+        # before this dict could ever reach the analysis layer.
+        return {d: by_domain[d] for d in domains if d in by_domain}
     return {d: by_domain[d] for d in domains}
 
 
@@ -1070,34 +1198,66 @@ def run_survey(
     domains = [r.domain for r in ranked]
 
     checkpoint = None
+    lock: Optional[RunLock] = None
     if run_dir is not None:
         # Local import: checkpoint -> persistence -> survey.
-        from repro.core.checkpoint import SurveyCheckpoint
-
-        checkpoint = SurveyCheckpoint.attach(
-            run_dir, registry, config, domains, resume=resume,
-            started_at=started_at,
+        from repro.core.checkpoint import (
+            STATUS_INTERRUPTED,
+            SurveyCheckpoint,
         )
+
+        # Advisory lock first: two crawls interleaving appends into the
+        # same shards would corrupt both runs' ordering guarantees.  A
+        # second live process raises RunLockError (CLI exit 2); a stale
+        # lock from a dead pid is reclaimed silently.
+        lock = RunLock.acquire(run_dir)
+        try:
+            checkpoint = SurveyCheckpoint.attach(
+                run_dir, registry, config, domains, resume=resume,
+                started_at=started_at, storage=config.storage,
+            )
+        except BaseException:
+            lock.release()
+            raise
 
     previous_tracer = obs.current_tracer()
+    guard = _DrainGuard()
     try:
-        stats = _CrawlStats()
-        # Parse the high-reuse script bodies once, up front: the serial
-        # crawl (and every fork-started worker, via copy-on-write) runs
-        # against a hot cache from its first page load.
-        _prewarm_compile_cache(
-            web, domains, lower=config.engine == "compiled"
-        )
-        # The tracer goes in after the prewarm (warm-up parses are not
-        # crawl work) and comes out in the finally below, so a crawl
-        # never leaks tracing state into the caller's process.
-        if config.trace:
-            obs.set_tracer(obs.Tracer())
-        measurements: Dict[str, Dict[str, SiteMeasurement]] = {}
-        for condition in config.conditions:
-            measurements[condition] = _crawl_condition(
-                web, registry, config, condition, domains, progress,
-                checkpoint, stats,
+        with guard:
+            stats = _CrawlStats()
+            # Parse the high-reuse script bodies once, up front: the
+            # serial crawl (and every fork-started worker, via
+            # copy-on-write) runs against a hot cache from its first
+            # page load.
+            _prewarm_compile_cache(
+                web, domains, lower=config.engine == "compiled"
+            )
+            # The tracer goes in after the prewarm (warm-up parses are
+            # not crawl work) and comes out in the finally below, so a
+            # crawl never leaks tracing state into the caller's
+            # process.
+            if config.trace:
+                obs.set_tracer(obs.Tracer())
+            measurements: Dict[str, Dict[str, SiteMeasurement]] = {}
+            for condition in config.conditions:
+                measurements[condition] = _crawl_condition(
+                    web, registry, config, condition, domains,
+                    progress, checkpoint, stats, drain=guard,
+                )
+                if guard.requested:
+                    break
+        if guard.requested:
+            # Every in-flight visit has finished or been dropped, every
+            # shard append is already fsynced; stamp the manifest so
+            # operators (and fsck) can tell a drained run from a crash.
+            if checkpoint is not None:
+                checkpoint.mark_status(STATUS_INTERRUPTED)
+            raise SurveyInterrupted(
+                "crawl interrupted by signal %s — drained cleanly%s"
+                % (guard.signum,
+                   "; rerun with --resume to continue"
+                   if run_dir is not None else ""),
+                run_dir=run_dir,
             )
 
         manual_only = {
@@ -1125,11 +1285,25 @@ def run_survey(
         if checkpoint is not None:
             checkpoint.write_result(result)
         return result
+    except StorageError:
+        # The durability layer exhausted its retries (ENOSPC, EIO, ...).
+        # Everything already checkpointed is fsynced and parseable —
+        # the failed write was rolled back to a record boundary — so
+        # stamp the run interrupted (best-effort; the same storage may
+        # refuse) and surface the typed, resumable error.
+        if checkpoint is not None:
+            try:
+                checkpoint.mark_status(STATUS_INTERRUPTED)
+            except OSError:
+                pass
+        raise
     finally:
         if config.trace:
             obs.set_tracer(previous_tracer)
         if checkpoint is not None:
             checkpoint.close()
+        if lock is not None:
+            lock.release()
 
 
 def resume_survey(

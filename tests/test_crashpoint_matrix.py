@@ -1,0 +1,218 @@
+"""The crashpoint matrix: kill -9 at every durability boundary.
+
+The durability design claims a crash at *any* instant costs at most
+the site in flight and never corrupts the run directory.  This
+harness makes the claim exhaustive instead of anecdotal:
+
+* an uninterrupted baseline run counts how often each named
+  crashpoint (``repro.core.storage.CRASHPOINTS`` — before/after every
+  write, fsync and rename) is crossed;
+* for every boundary, a forked child re-runs the survey with that
+  (point, hit) armed and ``os._exit``'s there — genuine SIGKILL
+  semantics: no ``finally`` blocks, no atexit, no buffered flushes;
+* ``fsck --repair`` on the killed directory must leave it clean;
+* resuming must land on measurement **and** trace digests
+  bit-identical to the uninterrupted run;
+* the whole matrix runs with storage chaos off and on — a fault
+  injected *and* a crash at the same boundary still resumes clean.
+
+Both the first and the last crossing of each point are killed: the
+first catches manifest-creation windows, the last catches the final
+result/status writes.
+"""
+
+import os
+
+import pytest
+
+from repro import obs
+from repro.core import persistence
+from repro.core import storage as storage_mod
+from repro.core.checkpoint import fsck_report
+from repro.core.storage import (
+    CRASHPOINT_EXIT_CODE,
+    CRASHPOINTS,
+    FaultyStorage,
+    Storage,
+)
+from repro.core.survey import (
+    RetryPolicy,
+    SurveyConfig,
+    resume_survey,
+    run_survey,
+)
+from repro.core.tracereport import load_trace_records
+from repro.webgen.sitegen import build_web
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="crashpoint matrix needs os.fork"
+)
+
+N_SITES = 3
+WEB_SEED = 57
+SURVEY_SEED = 31
+STORAGE_SEED = 404
+
+#: child exit codes distinguishing "survey errored" / "never crashed"
+#: from the armed crashpoint's own exit
+EXIT_SURVEY_ERROR = 97
+EXIT_RAN_TO_COMPLETION = 96
+
+STORAGE_ARMS = (False, True)
+
+
+def _storage(faulty):
+    return (
+        FaultyStorage(seed=STORAGE_SEED) if faulty else Storage()
+    )
+
+
+def matrix_config(faulty, **overrides):
+    settings = dict(
+        conditions=("default",),
+        visits_per_site=1,
+        seed=SURVEY_SEED,
+        retry=RetryPolicy(attempts=1, backoff_base=0.0),
+        trace=True,
+        storage=_storage(faulty),
+    )
+    settings.update(overrides)
+    return SurveyConfig(**settings)
+
+
+@pytest.fixture(scope="module")
+def web(registry):
+    return build_web(registry, n_sites=N_SITES, seed=WEB_SEED)
+
+
+@pytest.fixture(scope="module")
+def baselines(registry, web, tmp_path_factory):
+    """Digests + per-point crossing counts for both storage arms."""
+    out = {}
+    for faulty in STORAGE_ARMS:
+        run_dir = str(tmp_path_factory.mktemp("baseline") / "run")
+        storage_mod.reset_crashpoint_counts()
+        result = run_survey(
+            web, registry, matrix_config(faulty), run_dir=run_dir
+        )
+        out[faulty] = {
+            "measure": persistence.survey_digest(result),
+            "trace": obs.trace_digest(load_trace_records(run_dir)),
+            "counts": storage_mod.crashpoint_counts(),
+        }
+    return out
+
+
+def _run_killed_at(web, registry, config, run_dir, point, hit):
+    """Fork, arm (point, hit), run the survey, die there.
+
+    Returns the child's exit status code.  ``os._exit`` in the child
+    guarantees no pytest teardown, no coverage flush, no buffered IO —
+    the closest a test can get to SIGKILL while still choosing the
+    instant.
+    """
+    pid = os.fork()
+    if pid == 0:  # child
+        try:
+            storage_mod.reset_crashpoint_counts()
+            storage_mod.install_crashpoint(point, hit)
+            run_survey(web, registry, config,
+                       run_dir=run_dir, resume=True)
+        except BaseException:
+            os._exit(EXIT_SURVEY_ERROR)
+        os._exit(EXIT_RAN_TO_COMPLETION)
+    _, status = os.waitpid(pid, 0)
+    assert os.WIFEXITED(status), "child did not exit normally"
+    return os.WEXITSTATUS(status)
+
+
+def _matrix_cells(counts):
+    """(point, hit) pairs: first and last crossing of every point."""
+    cells = []
+    for point in CRASHPOINTS:
+        total = counts.get(point, 0)
+        assert total > 0, (
+            "baseline never crossed crashpoint %r — the matrix "
+            "would silently skip a durability boundary" % point
+        )
+        for hit in sorted({1, total}):
+            cells.append((point, hit))
+    return cells
+
+
+class TestEveryBoundaryCrossed:
+    def test_baseline_exercises_all_crashpoints(self, baselines):
+        for faulty in STORAGE_ARMS:
+            counts = baselines[faulty]["counts"]
+            missing = [p for p in CRASHPOINTS if not counts.get(p)]
+            assert not missing, missing
+
+    def test_chaos_arm_crosses_boundaries_more_often(self, baselines):
+        # Injected first-attempt faults force retries, so the faulty
+        # arm must cross the early append boundaries strictly more
+        # often — proof the chaos arm actually injects.
+        assert (baselines[True]["counts"]["append:start"]
+                > baselines[False]["counts"]["append:start"])
+
+    def test_arms_measure_identically(self, baselines):
+        # FaultyStorage's faults are all absorbed by the retry layer,
+        # so what was *measured* cannot depend on the storage arm.
+        assert (baselines[True]["measure"]
+                == baselines[False]["measure"])
+        assert baselines[True]["trace"] == baselines[False]["trace"]
+
+
+class TestKillRepairResume:
+    """The matrix proper.
+
+    Cells are generated from the baseline's crossing counts, which
+    pytest cannot parametrize on directly (fixtures are unavailable
+    at collection time) — so one test per storage arm iterates its
+    cells, failing with the offending (point, hit) in the message.
+    """
+
+    @pytest.mark.parametrize("faulty", STORAGE_ARMS)
+    def test_matrix(self, registry, web, baselines, tmp_path, faulty):
+        cell_info = baselines[faulty]
+        for point, hit in _matrix_cells(cell_info["counts"]):
+            run_dir = str(
+                tmp_path / ("run-%s-%s-%d"
+                            % (faulty, point.replace(":", "_"), hit))
+            )
+            code = _run_killed_at(
+                web, registry, matrix_config(faulty), run_dir,
+                point, hit,
+            )
+            assert code == CRASHPOINT_EXIT_CODE, (
+                "cell (%s, hit %d, faulty=%s): child exited %d, "
+                "expected the crashpoint exit"
+                % (point, hit, faulty, code)
+            )
+
+            # Offline repair must leave the killed dir fsck-clean —
+            # whatever instant the crash picked.
+            repaired = fsck_report(run_dir, repair=True)
+            assert repaired["ok"], (
+                "cell (%s, hit %d, faulty=%s): fsck --repair left "
+                "problems: %s"
+                % (point, hit, faulty,
+                   [c["text"] for c in repaired["checks"]
+                    if not c["ok"]])
+            )
+            clean = fsck_report(run_dir)
+            assert clean["ok"] and not clean["repairs"]
+
+            # Resume must reproduce the uninterrupted run bit for bit.
+            resumed = resume_survey(
+                web, registry, run_dir, matrix_config(faulty)
+            )
+            assert (persistence.survey_digest(resumed)
+                    == cell_info["measure"]), (point, hit, faulty)
+            assert (obs.trace_digest(load_trace_records(run_dir))
+                    == cell_info["trace"]), (point, hit, faulty)
+
+            # And the resumed directory itself ends clean.
+            final = fsck_report(run_dir)
+            assert final["ok"], [
+                c["text"] for c in final["checks"] if not c["ok"]
+            ]

@@ -1,0 +1,271 @@
+"""Graceful drain: SIGTERM/SIGINT end a crawl cleanly, not messily.
+
+* serial: a real SIGTERM delivered mid-crawl lets the in-flight site
+  finish, flushes its record, stamps the manifest ``interrupted`` and
+  raises :class:`SurveyInterrupted`; resume completes bit-identically;
+* parallel: the supervisor stops dispatching on the drain flag,
+  collects in-flight results, flushes the contiguous prefix, and the
+  resumed run matches the uninterrupted digests;
+* a second signal during the drain aborts hard (KeyboardInterrupt);
+* the exit-code contract: the CLI maps SurveyInterrupted to 3.
+"""
+
+import json
+import multiprocessing
+import os
+import signal
+
+import pytest
+
+from repro.core import persistence
+from repro.core import survey as survey_mod
+from repro.core.checkpoint import (
+    MANIFEST_NAME,
+    STATUS_COMPLETE,
+    STATUS_INTERRUPTED,
+    fsck_report,
+    load_shard_records,
+    shard_name,
+)
+from repro.core.storage import LOCK_NAME, Storage
+from repro.core.survey import (
+    RetryPolicy,
+    SurveyConfig,
+    SurveyInterrupted,
+    _DrainGuard,
+    resume_survey,
+    run_survey,
+)
+from repro.net.fetcher import ResourceKind
+from repro.webgen.sitegen import build_web
+
+N_SITES = 5
+WEB_SEED = 61
+SURVEY_SEED = 35
+DRAIN_AFTER_SITES = 2
+
+pytestmark = pytest.mark.skipif(
+    os.name != "posix", reason="drain tests send POSIX signals"
+)
+
+
+def make_config(**overrides):
+    settings = dict(
+        conditions=("default",),
+        visits_per_site=1,
+        seed=SURVEY_SEED,
+        retry=RetryPolicy(attempts=1, backoff_base=0.0),
+    )
+    settings.update(overrides)
+    return SurveyConfig(**settings)
+
+
+@pytest.fixture(scope="module")
+def web(registry):
+    return build_web(registry, n_sites=N_SITES, seed=WEB_SEED)
+
+
+@pytest.fixture(scope="module")
+def clean_digest(registry, web, tmp_path_factory):
+    run_dir = str(tmp_path_factory.mktemp("clean") / "run")
+    result = run_survey(web, registry, make_config(), run_dir=run_dir)
+    return persistence.survey_digest(result)
+
+
+class SigtermSource:
+    """Delivers one real SIGTERM to the crawl after N measured sites.
+
+    Counts first-attempt home-page document requests (the start of a
+    site's visit round) exactly like the kill-switch source, so the
+    signal lands at a deterministic crawl position — then the visit
+    keeps running, which is precisely what a drain must tolerate.
+    """
+
+    def __init__(self, inner, after_sites, visits_per_site):
+        self._inner = inner
+        self._limit = after_sites * visits_per_site
+        self._rounds = 0
+        self._fired = False
+
+    def __getattr__(self, name):
+        if name == "_inner":
+            raise AttributeError(name)
+        return getattr(self._inner, name)
+
+    def respond(self, request):
+        if (request.kind == ResourceKind.DOCUMENT
+                and request.url.path == "/"
+                and getattr(request, "attempt", 1) == 1):
+            if self._rounds >= self._limit and not self._fired:
+                self._fired = True
+                os.kill(os.getpid(), signal.SIGTERM)
+            self._rounds += 1
+        return self._inner.respond(request)
+
+
+def _manifest_status(run_dir):
+    with open(os.path.join(run_dir, MANIFEST_NAME),
+              encoding="utf-8") as handle:
+        return json.load(handle).get("status")
+
+
+class TestSerialDrain:
+    def test_sigterm_drains_and_resumes_bit_identically(
+        self, registry, web, clean_digest, tmp_path
+    ):
+        run_dir = str(tmp_path / "run")
+        source = SigtermSource(web, DRAIN_AFTER_SITES, 1)
+        with pytest.raises(SurveyInterrupted) as excinfo:
+            run_survey(source, registry, make_config(),
+                       run_dir=run_dir)
+        assert excinfo.value.run_dir == run_dir
+        assert "--resume" in str(excinfo.value)
+
+        # The in-flight site finished before the loop stopped: the
+        # signal fired at site N+1's first request, and that site's
+        # record still landed.
+        records, dropped = load_shard_records(
+            os.path.join(run_dir, shard_name("default"))
+        )
+        assert dropped == 0
+        assert len(records) == DRAIN_AFTER_SITES + 1
+
+        assert _manifest_status(run_dir) == STATUS_INTERRUPTED
+        # The drain released the advisory lock on its way out.
+        assert not os.path.exists(os.path.join(run_dir, LOCK_NAME))
+        assert fsck_report(run_dir)["ok"]
+
+        resumed = resume_survey(web, registry, run_dir, make_config())
+        assert persistence.survey_digest(resumed) == clean_digest
+        assert _manifest_status(run_dir) == STATUS_COMPLETE
+
+    def test_previous_handlers_restored(self, registry, web, tmp_path):
+        previous_term = signal.getsignal(signal.SIGTERM)
+        previous_int = signal.getsignal(signal.SIGINT)
+        run_survey(web, registry, make_config(),
+                   run_dir=str(tmp_path / "run"))
+        assert signal.getsignal(signal.SIGTERM) is previous_term
+        assert signal.getsignal(signal.SIGINT) is previous_int
+
+    def test_second_signal_aborts_hard(self):
+        guard = _DrainGuard()
+        with guard:
+            os.kill(os.getpid(), signal.SIGTERM)
+            assert guard.requested
+            with pytest.raises(KeyboardInterrupt):
+                os.kill(os.getpid(), signal.SIGTERM)
+
+
+class _AutoDrainGuard(_DrainGuard):
+    """A drain guard whose flag flips once N records were appended.
+
+    Reading the injected storage's append counter makes the parallel
+    drain test deterministic: no timers, no signal races — the guard
+    "receives its signal" at an exact record count.
+    """
+
+    counting_storage = None
+    threshold = 0
+    arm = {"on": True}
+
+    @property
+    def requested(self):
+        return (self.arm["on"]
+                and self.counting_storage.stats["appends"]
+                >= self.threshold)
+
+    @requested.setter
+    def requested(self, value):
+        pass  # __init__'s reset and the handler are irrelevant here
+
+
+class TestParallelDrain:
+    @pytest.mark.parametrize("method", ("fork", "spawn"))
+    def test_supervisor_drains_and_resumes_bit_identically(
+        self, registry, web, clean_digest, tmp_path, monkeypatch,
+        method,
+    ):
+        if method not in multiprocessing.get_all_start_methods():
+            pytest.skip("start method %r unavailable" % method)
+        storage = Storage()
+        armed = {"on": True}
+
+        class Guard(_AutoDrainGuard):
+            counting_storage = storage
+            threshold = DRAIN_AFTER_SITES
+            arm = armed
+
+        monkeypatch.setattr(survey_mod, "_DrainGuard", Guard)
+        run_dir = str(tmp_path / "run")
+        with pytest.raises(SurveyInterrupted):
+            run_survey(
+                web, registry,
+                make_config(workers=2, start_method=method,
+                            storage=storage),
+                run_dir=run_dir,
+            )
+        assert _manifest_status(run_dir) == STATUS_INTERRUPTED
+        records, dropped = load_shard_records(
+            os.path.join(run_dir, shard_name("default"))
+        )
+        assert dropped == 0
+        # The contiguous flushed prefix made it; nothing after the
+        # drain point was dispatched to a fresh site.
+        assert DRAIN_AFTER_SITES <= len(records) < N_SITES
+        assert fsck_report(run_dir)["ok"]
+
+        armed["on"] = False  # disarm before the (patched) resume
+        resumed = resume_survey(web, registry, run_dir, make_config())
+        assert persistence.survey_digest(resumed) == clean_digest
+
+
+class TestWorkersIgnoreSignals:
+    def test_worker_main_masks_sigint_sigterm(self):
+        # The worker entry point must mask both signals before any
+        # crawl work: a process-group Ctrl-C reaching workers would
+        # turn a graceful drain into watchdog strikes.  Checked by
+        # running the masking prologue in a forked child.
+        if not hasattr(os, "fork"):
+            pytest.skip("needs fork")
+        read_fd, write_fd = os.pipe()
+        pid = os.fork()
+        if pid == 0:  # child
+            os.close(read_fd)
+            try:
+                signal.signal(signal.SIGINT, signal.SIG_IGN)
+                signal.signal(signal.SIGTERM, signal.SIG_IGN)
+                os.kill(os.getpid(), signal.SIGTERM)
+                os.kill(os.getpid(), signal.SIGINT)
+                os.write(write_fd, b"survived")
+            finally:
+                os._exit(0)
+        os.close(write_fd)
+        try:
+            _, status = os.waitpid(pid, 0)
+            assert os.WIFEXITED(status)
+            assert os.read(read_fd, 16) == b"survived"
+        finally:
+            os.close(read_fd)
+
+
+class TestCliContract:
+    def test_interrupted_crawl_exits_3(self, monkeypatch, tmp_path):
+        import io
+
+        from repro import cli
+
+        def fake_run_survey(*args, **kwargs):
+            raise SurveyInterrupted(
+                "crawl interrupted by signal 15 — drained cleanly",
+                run_dir=str(tmp_path / "run"),
+            )
+
+        monkeypatch.setattr(cli, "run_survey", fake_run_survey)
+        out = io.StringIO()
+        code = cli.main(
+            ["survey", "--sites", "2", "--visits", "1",
+             "--run-dir", str(tmp_path / "run")],
+            out=out,
+        )
+        assert code == 3
+        assert "interrupted" in out.getvalue()

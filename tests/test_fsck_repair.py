@@ -1,0 +1,330 @@
+"""``repro fsck --repair`` and the run-dir advisory lock.
+
+Offline repair applies exactly the recoverable fixes resume applies —
+usable without the original corpus/configuration — and nothing else:
+
+* torn shard tails truncated (measurement and trace shards);
+* orphan ``*.tmp`` crash litter removed, except a *complete* tmp
+  whose target is missing, which finishes its interrupted rename;
+* stale ``run.lock`` files from dead pids reclaimed;
+* a ``survey.json`` that disagrees with its manifest removed (it is
+  derived; resume regenerates it);
+* a live lock and mid-shard corruption are never "repaired".
+
+The lock satellite: a second crawl into a locked run dir exits 2
+with a clear message, stale locks are reclaimed, fsck flags a live
+lock, and resume sweeps tmp litter on its own.
+"""
+
+import io
+import json
+import os
+import shutil
+
+import pytest
+
+from repro import cli
+from repro.core import persistence
+from repro.core.checkpoint import (
+    MANIFEST_NAME,
+    QUARANTINE_NAME,
+    RESULT_NAME,
+    fsck_report,
+    fsck_run_dir,
+    load_shard_records,
+    shard_name,
+    trace_shard_name,
+)
+from repro.core.storage import (
+    LOCK_NAME,
+    RunLock,
+    RunLockError,
+    read_lock,
+)
+from repro.core.survey import (
+    RetryPolicy,
+    SurveyConfig,
+    resume_survey,
+    run_survey,
+)
+from repro.webgen.sitegen import build_web
+
+N_SITES = 3
+WEB_SEED = 63
+SURVEY_SEED = 37
+
+
+def make_config(**overrides):
+    settings = dict(
+        conditions=("default",),
+        visits_per_site=1,
+        seed=SURVEY_SEED,
+        retry=RetryPolicy(attempts=1, backoff_base=0.0),
+        trace=True,
+    )
+    settings.update(overrides)
+    return SurveyConfig(**settings)
+
+
+@pytest.fixture(scope="module")
+def web(registry):
+    return build_web(registry, n_sites=N_SITES, seed=WEB_SEED)
+
+
+@pytest.fixture(scope="module")
+def finished_run(registry, web, tmp_path_factory):
+    """A pristine finished traced run; tests copy it before damaging."""
+    run_dir = str(tmp_path_factory.mktemp("pristine") / "run")
+    result = run_survey(web, registry, make_config(), run_dir=run_dir)
+    return run_dir, persistence.survey_digest(result)
+
+
+@pytest.fixture
+def damaged(finished_run, tmp_path):
+    run_dir, _ = finished_run
+    copy = str(tmp_path / "run")
+    shutil.copytree(run_dir, copy)
+    return copy
+
+
+def _dead_pid():
+    """A pid guaranteed dead: a just-reaped child's."""
+    pid = os.fork()
+    if pid == 0:
+        os._exit(0)
+    os.waitpid(pid, 0)
+    return pid
+
+
+def _bad_texts(report):
+    return [c["text"] for c in report["checks"] if not c["ok"]]
+
+
+class TestOrphanTmp:
+    def test_read_only_fsck_reports_litter(self, damaged):
+        with open(os.path.join(damaged, QUARANTINE_NAME + ".tmp"),
+                  "w") as handle:
+            handle.write('{"strikes": {')  # torn mid-write
+        ok, lines = fsck_run_dir(damaged)
+        assert not ok
+        assert any("orphan temporary file" in line for line in lines)
+
+    def test_repair_removes_litter(self, damaged):
+        tmp = os.path.join(damaged, QUARANTINE_NAME + ".tmp")
+        with open(tmp, "w") as handle:
+            handle.write('{"strikes": {')
+        report = fsck_report(damaged, repair=True)
+        assert report["ok"]
+        assert not os.path.exists(tmp)
+        assert any(r["action"] == "remove-orphan-tmp"
+                   for r in report["repairs"])
+        assert fsck_report(damaged)["ok"]
+
+    def test_complete_tmp_with_missing_target_rolls_forward(
+        self, damaged
+    ):
+        # Crash between tmp fsync and rename: the tmp holds the full,
+        # durable manifest.  Repair finishes the rename instead of
+        # throwing the data away.
+        manifest = os.path.join(damaged, MANIFEST_NAME)
+        os.replace(manifest, manifest + ".tmp")
+        broken = fsck_report(damaged)
+        assert not broken["ok"]  # manifest missing + orphan tmp
+        report = fsck_report(damaged, repair=True)
+        assert any(r["action"] == "complete-interrupted-replace"
+                   for r in report["repairs"])
+        assert os.path.exists(manifest)
+        assert not os.path.exists(manifest + ".tmp")
+        assert report["ok"], _bad_texts(report)
+        assert fsck_report(damaged)["ok"]
+
+    def test_tmp_with_existing_target_is_discarded_not_rolled(
+        self, damaged
+    ):
+        # The renamed file is authoritative; a leftover tmp (crash
+        # after rename, before unlink could matter) must never
+        # clobber it.
+        manifest = os.path.join(damaged, MANIFEST_NAME)
+        with open(manifest, encoding="utf-8") as handle:
+            good = handle.read()
+        with open(manifest + ".tmp", "w") as handle:
+            handle.write('{"not": "the manifest"}')
+        report = fsck_report(damaged, repair=True)
+        assert report["ok"], _bad_texts(report)
+        assert not os.path.exists(manifest + ".tmp")
+        with open(manifest, encoding="utf-8") as handle:
+            assert handle.read() == good
+
+    def test_resume_sweeps_litter_too(
+        self, registry, web, finished_run, tmp_path
+    ):
+        run_dir, digest = finished_run
+        copy = str(tmp_path / "run")
+        shutil.copytree(run_dir, copy)
+        tmp = os.path.join(copy, MANIFEST_NAME + ".tmp")
+        with open(tmp, "w") as handle:
+            handle.write("{")
+        resumed = resume_survey(web, registry, copy, make_config())
+        assert not os.path.exists(tmp)
+        assert persistence.survey_digest(resumed) == digest
+
+
+class TestTornTails:
+    def test_repair_truncates_measurement_and_trace_tails(
+        self, damaged
+    ):
+        for name in (shard_name("default"),
+                     trace_shard_name("default")):
+            with open(os.path.join(damaged, name), "ab") as handle:
+                handle.write(b'{"condition": "default", "domain"')
+        ok, lines = fsck_run_dir(damaged)
+        assert not ok
+        assert sum("torn trailing write" in line
+                   for line in lines) == 2
+        report = fsck_report(damaged, repair=True)
+        assert report["ok"], _bad_texts(report)
+        assert sum(1 for r in report["repairs"]
+                   if r["action"] == "truncate-torn-tail") == 2
+        for name, key in ((shard_name("default"), "measurement"),
+                          (trace_shard_name("default"), "trace")):
+            records, dropped = load_shard_records(
+                os.path.join(damaged, name), repair=False,
+                payload_key=key,
+            )
+            assert dropped == 0
+            assert len(records) == N_SITES
+
+    def test_mid_shard_corruption_is_never_repaired(self, damaged):
+        path = os.path.join(damaged, shard_name("default"))
+        with open(path, "rb") as handle:
+            lines = handle.read().splitlines(keepends=True)
+        lines.insert(1, b"garbage mid-shard\n")
+        with open(path, "wb") as handle:
+            handle.writelines(lines)
+        before = open(path, "rb").read()
+        report = fsck_report(damaged, repair=True)
+        assert not report["ok"]
+        assert open(path, "rb").read() == before  # untouched
+
+
+class TestStaleResult:
+    def test_disagreeing_survey_json_is_removed(self, damaged):
+        result_path = os.path.join(damaged, RESULT_NAME)
+        with open(result_path, encoding="utf-8") as handle:
+            data = json.load(handle)
+        data["registry_fingerprint"] = "not-the-registry"
+        with open(result_path, "w") as handle:
+            json.dump(data, handle)
+        ok, lines = fsck_run_dir(damaged)
+        assert not ok
+        assert any("disagrees with manifest" in line for line in lines)
+        report = fsck_report(damaged, repair=True)
+        assert report["ok"], _bad_texts(report)
+        assert not os.path.exists(result_path)
+        assert any(r["action"] == "remove-stale-result"
+                   for r in report["repairs"])
+
+
+class TestRunLock:
+    def test_acquire_release_round_trip(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        lock = RunLock.acquire(run_dir)
+        payload = read_lock(os.path.join(run_dir, LOCK_NAME))
+        assert payload["pid"] == os.getpid()
+        lock.release()
+        assert not os.path.exists(os.path.join(run_dir, LOCK_NAME))
+
+    def test_live_foreign_lock_refused(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        os.makedirs(run_dir)
+        # pid 1 is always alive and never ours.
+        with open(os.path.join(run_dir, LOCK_NAME), "w") as handle:
+            json.dump({"pid": 1, "command": "init"}, handle)
+        with pytest.raises(RunLockError, match="locked by live"):
+            RunLock.acquire(run_dir)
+
+    def test_stale_lock_reclaimed(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        os.makedirs(run_dir)
+        with open(os.path.join(run_dir, LOCK_NAME), "w") as handle:
+            json.dump({"pid": _dead_pid()}, handle)
+        lock = RunLock.acquire(run_dir)
+        assert read_lock(lock.path)["pid"] == os.getpid()
+        lock.release()
+
+    def test_unreadable_lock_reclaimed(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        os.makedirs(run_dir)
+        with open(os.path.join(run_dir, LOCK_NAME), "w") as handle:
+            handle.write("not json")
+        RunLock.acquire(run_dir).release()
+
+    def test_fsck_flags_live_lock_and_never_repairs_it(self, damaged):
+        with open(os.path.join(damaged, LOCK_NAME), "w") as handle:
+            json.dump({"pid": 1, "command": "init"}, handle)
+        for repair in (False, True):
+            report = fsck_report(damaged, repair=repair)
+            assert not report["ok"]
+            assert any("held by live process" in text
+                       for text in _bad_texts(report))
+        assert os.path.exists(os.path.join(damaged, LOCK_NAME))
+
+    def test_fsck_repairs_stale_lock(self, damaged):
+        with open(os.path.join(damaged, LOCK_NAME), "w") as handle:
+            json.dump({"pid": _dead_pid()}, handle)
+        ok, lines = fsck_run_dir(damaged)
+        assert not ok
+        assert any("stale lock" in line for line in lines)
+        report = fsck_report(damaged, repair=True)
+        assert report["ok"], _bad_texts(report)
+        assert not os.path.exists(os.path.join(damaged, LOCK_NAME))
+
+    def test_second_crawl_cli_exits_2(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        os.makedirs(run_dir)
+        with open(os.path.join(run_dir, LOCK_NAME), "w") as handle:
+            json.dump({"pid": 1, "command": "repro survey"}, handle)
+        out = io.StringIO()
+        code = cli.main(
+            ["survey", "--sites", "2", "--visits", "1",
+             "--run-dir", run_dir],
+            out=out,
+        )
+        assert code == 2
+        assert "locked" in out.getvalue()
+
+
+class TestCli:
+    def test_repair_then_clean_fsck_via_cli(self, damaged):
+        with open(os.path.join(damaged, shard_name("default")),
+                  "ab") as handle:
+            handle.write(b"{torn")
+        assert cli.main(["fsck", damaged], out=io.StringIO()) == 1
+        out = io.StringIO()
+        assert cli.main(["fsck", damaged, "--repair"], out=out) == 0
+        assert "repaired" in out.getvalue()
+        assert cli.main(["fsck", damaged], out=io.StringIO()) == 0
+
+    def test_json_report(self, damaged):
+        with open(os.path.join(damaged, QUARANTINE_NAME + ".tmp"),
+                  "w") as handle:
+            handle.write("{")
+        out = io.StringIO()
+        code = cli.main(
+            ["fsck", damaged, "--repair", "--format", "json"], out=out
+        )
+        report = json.loads(out.getvalue())
+        assert code == 0 and report["ok"]
+        assert report["problems"] == 0
+        assert [r["action"] for r in report["repairs"]] == [
+            "remove-orphan-tmp"
+        ]
+        assert all({"ok", "text"} <= set(c) for c in report["checks"])
+
+    def test_empty_dir_is_clean_not_damage(self, tmp_path):
+        empty = str(tmp_path / "empty")
+        os.makedirs(empty)
+        report = fsck_report(empty)
+        assert report["ok"]
+        assert any("no checkpoint" in c["text"]
+                   for c in report["checks"])

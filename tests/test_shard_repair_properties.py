@@ -1,0 +1,214 @@
+"""Byte-level property suite for shard repair (``load_shard_records``).
+
+The existing persistence properties tear only the *last* record; the
+durability contract claims more, so this suite drives the repair
+logic over adversarial byte-level damage:
+
+* **truncation anywhere** — cutting the file at *any* byte offset
+  yields exactly the records whose full newline-terminated line fits
+  in the prefix: repair never drops a fully-fsynced record, and never
+  yields a record that was not fully fsynced;
+* **repair idempotence** — after ``repair=True`` the file re-reads
+  identically with nothing further dropped, and re-running repair is
+  a no-op byte-for-byte;
+* **garbage interleavings** — trailing garbage (crash artifact) is
+  dropped; garbage *followed by* good records (real corruption) is
+  refused with :class:`CheckpointError`, never guessed around;
+* **duplicated tails** — an append retried after a lost ack can
+  duplicate the final record; both copies parse and last-wins
+  dedup keys stay intact (no error, no dropped data).
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.checkpoint import (
+    CheckpointError,
+    load_shard_records,
+)
+from repro.core.storage import Storage
+
+
+def _write_shard(path, records):
+    storage = Storage()
+    handle = storage.open_append(path)
+    offsets = []
+    for record in records:
+        storage.append_record(handle, record)
+        offsets.append(handle.size())
+    handle.close()
+    return offsets
+
+
+def _record(index):
+    return {
+        "condition": "default",
+        "domain": "d%d.test" % index,
+        "measurement": {"i": index, "features": ["f%d" % index]},
+    }
+
+
+record_counts = st.integers(min_value=1, max_value=6)
+
+
+class TestTruncationAnywhere:
+    @settings(max_examples=80, deadline=None)
+    @given(data=st.data())
+    def test_cut_at_any_byte_keeps_exactly_the_durable_prefix(
+        self, data, tmp_path_factory
+    ):
+        n = data.draw(record_counts)
+        records = [_record(i) for i in range(n)]
+        path = str(
+            tmp_path_factory.mktemp("shard") / "s.jsonl"
+        )
+        offsets = _write_shard(path, records)
+        size = offsets[-1]
+        cut = data.draw(st.integers(min_value=0, max_value=size))
+        os.truncate(path, cut)
+
+        loaded, dropped = load_shard_records(path, repair=False)
+        # A record is durable iff its full line (newline included)
+        # fits inside the cut.
+        durable = sum(1 for end in offsets if end <= cut)
+        assert loaded == records[:durable]
+        # dropped counts the torn tail, if the cut left one.
+        assert dropped == (0 if cut in (0, *offsets) else 1)
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_repair_is_idempotent_and_byte_stable(
+        self, data, tmp_path_factory
+    ):
+        n = data.draw(record_counts)
+        records = [_record(i) for i in range(n)]
+        path = str(tmp_path_factory.mktemp("shard") / "s.jsonl")
+        offsets = _write_shard(path, records)
+        cut = data.draw(st.integers(min_value=0,
+                                    max_value=offsets[-1]))
+        os.truncate(path, cut)
+
+        load_shard_records(path, repair=True)
+        with open(path, "rb") as fh:
+            repaired_bytes = fh.read()
+        loaded, dropped = load_shard_records(path, repair=True)
+        assert dropped == 0
+        durable = sum(1 for end in offsets if end <= cut)
+        assert loaded == records[:durable]
+        with open(path, "rb") as fh:
+            assert fh.read() == repaired_bytes  # second pass: no-op
+
+
+garbage_tails = st.binary(min_size=1, max_size=40).filter(
+    lambda b: b.strip() != b""
+)
+
+
+class TestGarbageInterleavings:
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data(), tail=garbage_tails)
+    def test_trailing_garbage_is_dropped_and_repaired(
+        self, data, tail, tmp_path_factory
+    ):
+        n = data.draw(record_counts)
+        records = [_record(i) for i in range(n)]
+        path = str(tmp_path_factory.mktemp("shard") / "s.jsonl")
+        _write_shard(path, records)
+        with open(path, "ab") as fh:
+            # No newline terminator: indistinguishable from a torn
+            # in-flight write, so it must be treated as one.
+            fh.write(tail.replace(b"\n", b" "))
+        loaded, dropped = load_shard_records(path, repair=True)
+        assert loaded == records
+        assert dropped == 1
+        again, dropped_again = load_shard_records(path, repair=False)
+        assert again == records and dropped_again == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data(), garbage=garbage_tails)
+    def test_garbage_before_good_data_is_refused(
+        self, data, garbage, tmp_path_factory
+    ):
+        # A bad line *followed by* good records cannot be a crash
+        # artifact (appends are sequential); repair must refuse to
+        # guess rather than silently lose interior data.
+        n = data.draw(record_counts)
+        records = [_record(i) for i in range(n)]
+        path = str(tmp_path_factory.mktemp("shard") / "s.jsonl")
+        _write_shard(path, records)
+        with open(path, "rb") as fh:
+            lines = fh.read().splitlines(keepends=True)
+        position = data.draw(
+            st.integers(min_value=0, max_value=len(lines) - 1)
+        )
+        lines.insert(position,
+                     garbage.replace(b"\n", b" ") + b"\n")
+        with open(path, "wb") as fh:
+            fh.writelines(lines)
+        before = open(path, "rb").read()
+        with pytest.raises(CheckpointError):
+            load_shard_records(path, repair=True)
+        assert open(path, "rb").read() == before  # untouched
+
+    def test_valid_json_missing_record_keys_is_still_bad(
+        self, tmp_path
+    ):
+        # Garbage that *parses* but is not a record (wrong shape) is
+        # corruption too, not a tolerable line.
+        path = str(tmp_path / "s.jsonl")
+        _write_shard(path, [_record(0)])
+        with open(path, "ab") as fh:
+            fh.write(b'{"condition": "default"}\n')
+        _write_shard(path, [_record(1)])
+        with pytest.raises(CheckpointError):
+            load_shard_records(path, repair=False)
+
+
+class TestDuplicatedTails:
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_duplicated_final_record_parses_without_loss(
+        self, data, tmp_path_factory
+    ):
+        # A retried append after a lost fsync ack writes the same
+        # record twice.  Both copies are valid; dedup is the
+        # checkpoint layer's last-wins job, never the parser's.
+        n = data.draw(record_counts)
+        records = [_record(i) for i in range(n)]
+        path = str(tmp_path_factory.mktemp("shard") / "s.jsonl")
+        _write_shard(path, records)
+        with open(path, "rb") as fh:
+            raw = fh.read()
+        last_line = raw[raw.rstrip(b"\n").rfind(b"\n") + 1:]
+        duplicates = data.draw(st.integers(min_value=1, max_value=3))
+        with open(path, "ab") as fh:
+            fh.write(last_line * duplicates)
+        loaded, dropped = load_shard_records(path, repair=False)
+        assert dropped == 0
+        assert loaded == records + [records[-1]] * duplicates
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_duplicated_tail_plus_torn_copy_recovers(
+        self, data, tmp_path_factory
+    ):
+        # The real crash shape behind duplication: a retry wrote the
+        # record again and was itself torn mid-write.
+        records = [_record(i) for i in range(3)]
+        path = str(tmp_path_factory.mktemp("shard") / "s.jsonl")
+        _write_shard(path, records)
+        with open(path, "rb") as fh:
+            raw = fh.read()
+        last_line = raw[raw.rstrip(b"\n").rfind(b"\n") + 1:]
+        cut = data.draw(st.integers(min_value=1,
+                                    max_value=len(last_line) - 1))
+        with open(path, "ab") as fh:
+            fh.write(last_line)        # the duplicate, complete
+            fh.write(last_line[:cut])  # a second retry, torn
+        loaded, dropped = load_shard_records(path, repair=True)
+        assert dropped == 1
+        assert loaded == records + [records[-1]]
+        again, dropped_again = load_shard_records(path, repair=False)
+        assert again == loaded and dropped_again == 0
