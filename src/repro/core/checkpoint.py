@@ -53,6 +53,7 @@ CHECKPOINT_VERSION = 1
 MANIFEST_NAME = "manifest.json"
 RESULT_NAME = "survey.json"
 QUARANTINE_NAME = "quarantine.json"
+LEASES_NAME = "leases.json"
 
 #: run lifecycle stamps recorded in the manifest's ``status`` field
 STATUS_RUNNING = "running"
@@ -188,6 +189,11 @@ class SurveyCheckpoint:
         #: (the watchdog's poison-site strike counts; persisted so a
         #: resumed run never re-crawls a quarantined site)
         self._strikes: Dict[str, int] = {}
+        #: condition -> domain -> highest lease epoch ever issued.
+        #: Persisted so epochs stay monotonic across resume: a worker
+        #: that outlived a crash cannot hold an epoch a fresh
+        #: supervisor would re-issue.
+        self._leases: Dict[str, Dict[str, int]] = {}
 
     # -- construction ----------------------------------------------------
 
@@ -259,6 +265,15 @@ class SurveyCheckpoint:
             # (tests/test_engine_differential.py), so resuming a tree
             # run with the compiled engine mixes nothing incomparable.
             "engine": getattr(config, "engine", "compiled"),
+            # Provenance only, like the engine: lease deadlines and RSS
+            # ceilings change *when* work is redone or recycled on one
+            # machine, never what a completed measurement contains.
+            "process": {
+                "lease_deadline": getattr(config, "lease_deadline", None),
+                "max_worker_rss_mb": getattr(
+                    config, "max_worker_rss_mb", None
+                ),
+            },
             "started_at": datetime.datetime.fromtimestamp(
                 stamp, datetime.timezone.utc
             ).isoformat(),
@@ -299,6 +314,7 @@ class SurveyCheckpoint:
         checkpoint._load_shards()
         checkpoint._repair_trace_shards()
         checkpoint._load_quarantine()
+        checkpoint._load_leases()
         if manifest.get("status") != STATUS_RUNNING:
             # An interrupted/complete run picked back up: re-stamp so
             # the manifest reflects what the directory is doing now.
@@ -411,8 +427,19 @@ class SurveyCheckpoint:
                 # Last good record wins (append-only semantics).
                 self._records[condition][record["domain"]] = measurement
 
-    def append(self, measurement: SiteMeasurement) -> None:
-        """Durably record one finished site-measurement."""
+    def append(
+        self,
+        measurement: SiteMeasurement,
+        lease_epoch: Optional[int] = None,
+    ) -> None:
+        """Durably record one finished site-measurement.
+
+        ``lease_epoch`` rides as a *sibling* of the measurement payload
+        — never inside it — so fencing provenance is auditable
+        (``repro fsck`` checks that a re-leased site's surviving record
+        carries the highest epoch) without perturbing the measurement
+        serialization or the survey digest.
+        """
         condition = measurement.condition
         handle = self._handles.get(condition)
         if handle is None:
@@ -420,11 +447,14 @@ class SurveyCheckpoint:
                 self._shard_path(condition)
             )
             self._handles[condition] = handle
-        self.storage.append_record(handle, {
+        record = {
             "condition": condition,
             "domain": measurement.domain,
             "measurement": measurement_to_dict(measurement),
-        })
+        }
+        if lease_epoch is not None:
+            record["lease_epoch"] = lease_epoch
+        self.storage.append_record(handle, record)
         self._records[condition][measurement.domain] = measurement
 
     # -- trace shards ----------------------------------------------------
@@ -518,6 +548,63 @@ class SurveyCheckpoint:
 
     def strike_count(self, domain: str) -> int:
         return self._strikes.get(domain, 0)
+
+    # -- fenced site leases ----------------------------------------------
+
+    def _leases_path(self) -> str:
+        return os.path.join(self.run_dir, LEASES_NAME)
+
+    def _load_leases(self) -> None:
+        path = self._leases_path()
+        if not os.path.exists(path):
+            return
+        try:
+            with open(path, encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            raise CheckpointError(
+                "corrupt lease file %s: %s" % (path, error)
+            )
+        leases = data.get("leases")
+        if not isinstance(leases, dict):
+            raise CheckpointError(
+                "corrupt lease file %s: no leases table" % path
+            )
+        self._leases = {
+            str(condition): {
+                str(domain): int(epoch)
+                for domain, epoch in by_domain.items()
+            }
+            for condition, by_domain in leases.items()
+        }
+
+    def _write_leases(self) -> None:
+        # Write-then-rename: a crash mid-issue keeps the previous
+        # table.  That can only *lower* the recorded epoch by the one
+        # being issued, and the matching dispatch never happened — the
+        # resumed supervisor re-issues the same number to a fresh
+        # dispatch, so fencing still holds.
+        self.storage.replace_atomic(
+            self._leases_path(), {"leases": self._leases}
+        )
+
+    def issue_lease(self, condition: str, domain: str) -> int:
+        """Issue the next lease epoch for one dispatched site.
+
+        Epochs are monotonically increasing per (condition, domain)
+        and durable: only the result carrying the *latest* epoch is
+        accepted, so a hung-then-replaced worker's late result cannot
+        double-count or overwrite its successor's.
+        """
+        by_domain = self._leases.setdefault(condition, {})
+        epoch = by_domain.get(domain, 0) + 1
+        by_domain[domain] = epoch
+        self._write_leases()
+        return epoch
+
+    def lease_epoch(self, condition: str, domain: str) -> int:
+        """The highest epoch issued for a site (0 = never leased)."""
+        return self._leases.get(condition, {}).get(domain, 0)
 
     # -- views -----------------------------------------------------------
 
@@ -759,6 +846,7 @@ def fsck_report(run_dir: str, repair: bool = False) -> Dict[str, Any]:
     #    else is corruption.
     conditions = list(manifest["conditions"]) if manifest else []
     shard_records: Dict[str, int] = {}
+    shard_raw: Dict[str, List[Dict[str, Any]]] = {}
     for condition in conditions:
         name = shard_name(condition)
         path = os.path.join(run_dir, name)
@@ -793,6 +881,7 @@ def fsck_report(run_dir: str, repair: bool = False) -> Dict[str, Any]:
             report(False, "%s: %d malformed record(s)" % (name, bad))
             continue
         shard_records[condition] = len(records)
+        shard_raw[condition] = records
         if dropped and repair:
             load_shard_records(path, repair=True)
             fixed("truncate-torn-tail", name,
@@ -856,6 +945,91 @@ def fsck_report(run_dir: str, repair: bool = False) -> Dict[str, Any]:
                     and name not in known_traces):
                 report(False,
                        "%s: trace shard for unknown condition" % name)
+
+    # 2c. Lease fencing.  When the supervisor fenced dispatches with
+    #     lease epochs, a site that appears more than once in a shard
+    #     must resolve to exactly one survivor — the *last* record,
+    #     append-only semantics — and that survivor must carry the
+    #     highest epoch written for the site.  A stale-epoch survivor
+    #     means a replaced worker's late result landed after (and so
+    #     shadowed) its successor's: exactly the double-write fencing
+    #     exists to prevent.  Epochs must also never exceed what
+    #     leases.json says was issued.
+    leases_path = os.path.join(run_dir, LEASES_NAME)
+    issued: Optional[Dict[str, Dict[str, int]]] = None
+    if os.path.exists(leases_path):
+        try:
+            with open(leases_path, encoding="utf-8") as handle:
+                data = json.load(handle)
+            table = data.get("leases")
+            if not isinstance(table, dict) or not all(
+                isinstance(condition, str)
+                and isinstance(by_domain, dict)
+                and all(
+                    isinstance(domain, str)
+                    and isinstance(epoch, int) and epoch > 0
+                    for domain, epoch in by_domain.items()
+                )
+                for condition, by_domain in table.items()
+            ):
+                raise ValueError("no valid leases table")
+            issued = table
+            report(True, "%s: %d lease(s) issued" % (
+                LEASES_NAME,
+                sum(len(by_domain) for by_domain in table.values())))
+        except (OSError, ValueError) as error:
+            report(False, "%s: unreadable (%s)" % (LEASES_NAME, error))
+    for condition in conditions:
+        records = shard_raw.get(condition)
+        if not records:
+            continue
+        fenced = any("lease_epoch" in record for record in records)
+        if not fenced and issued is None:
+            continue  # unfenced run: nothing to validate
+        name = shard_name(condition)
+        by_domain: Dict[str, List[Dict[str, Any]]] = {}
+        for record in records:
+            by_domain.setdefault(record["domain"], []).append(record)
+        bad_epochs = 0
+        stale_survivors = []
+        over_issued = []
+        duplicated = 0
+        for domain, row in by_domain.items():
+            epochs = []
+            for record in row:
+                if "lease_epoch" not in record:
+                    continue
+                epoch = record["lease_epoch"]
+                if not isinstance(epoch, int) or epoch < 1:
+                    bad_epochs += 1
+                else:
+                    epochs.append(epoch)
+            if len(row) > 1:
+                duplicated += 1
+                if epochs:
+                    survivor = row[-1].get("lease_epoch")
+                    if survivor != max(epochs):
+                        stale_survivors.append(domain)
+            if issued is not None and epochs:
+                cap = issued.get(condition, {}).get(domain, 0)
+                if max(epochs) > cap:
+                    over_issued.append(domain)
+        if bad_epochs:
+            report(False, "%s: %d record(s) with a malformed "
+                   "lease_epoch" % (name, bad_epochs))
+        if stale_survivors:
+            report(False, "%s: stale lease epoch survives for %s — a "
+                   "replaced worker's late result shadowed the "
+                   "re-leased one" % (name, ", ".join(sorted(
+                       stale_survivors))))
+        if over_issued:
+            report(False, "%s: records for %s carry lease epochs "
+                   "never issued per %s" % (name, ", ".join(sorted(
+                       over_issued)), LEASES_NAME))
+        if not (bad_epochs or stale_survivors or over_issued):
+            report(True, "%s: lease epochs consistent "
+                   "(%d re-leased site(s), last record carries the "
+                   "highest epoch)" % (name, duplicated))
 
     # 3. Quarantine strike table (optional file).
     quarantine_path = os.path.join(run_dir, QUARANTINE_NAME)

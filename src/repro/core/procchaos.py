@@ -1,0 +1,177 @@
+"""Deterministic process-fault injection (``repro chaos --proc``).
+
+The network chaos layer (:mod:`repro.net.chaos`) models what a hostile
+*web* can do to a crawl; this module models what a hostile *operating
+environment* does to the crawl's own processes:
+
+* **kill** — the worker takes SIGKILL mid-document-fetch, the moral
+  equivalent of the OOM killer or an operator's ``kill -9``.
+* **memory error** — a seeded ``MemoryError`` raised at an exact MiniJS
+  allocation boundary (via :func:`repro.core.sandbox.set_alloc_hook`),
+  the same boundary in every run.
+* **pipe garbage / truncation** — seeded garbage bytes and a torn
+  frame prefix written to the result pipe ahead of the real frame,
+  exercising the supervisor's :class:`repro.core.ipc.FrameDecoder`
+  resynchronization.
+* **spawn failure** — ``fork``/``spawn`` attempts fail with ``EAGAIN``
+  until a parent-side budget is spent, exercising the supervisor's
+  bounded spawn retry.
+
+Determinism contract (the PR 4/8 acceptance pattern): every fault is
+armed only while the site's **lease epoch** is within ``epoch_limit``
+(default: epoch 1, the first dispatch).  The fault fires, the
+supervisor strikes and re-leases the site, and the epoch-2 dispatch
+measures cleanly — so the surviving measurement and trace digests are
+bit-identical to a clean run's, and the injected faults are visible
+only in strike counts, ``process_faults`` telemetry and quarantine
+evidence.  Serial runs never lease (epoch 0), so a plan-wrapped web is
+inert outside the parallel supervisor.
+
+:class:`ProcChaosPlan` is picklable (spawn ships it to workers inside
+the wrapped web source); its per-task state (``_domain``/``_epoch``)
+is set by the worker loop via :meth:`begin_task` and starts disarmed
+in every fresh process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import signal
+from typing import FrozenSet, Iterable, List, Optional
+
+from repro.core import ipc
+from repro.net.resources import Request, Response, ResourceKind
+
+__all__ = ["ProcChaosPlan", "ProcChaosSource"]
+
+
+def _seeded_bytes(seed: int, domain: str, epoch: int, tag: str,
+                  nbytes: int) -> bytes:
+    """Deterministic noise bytes for one (domain, epoch, tag)."""
+    out = bytearray()
+    counter = 0
+    while len(out) < nbytes:
+        material = "%d|%s|%d|%s|%d" % (seed, domain, epoch, tag, counter)
+        out.extend(hashlib.sha256(material.encode("utf-8")).digest())
+        counter += 1
+    blob = bytes(out[:nbytes])
+    # Garbage must stay garbage: scrub any accidental frame marker so
+    # the decoder's recovery path, not a phantom frame, is what's
+    # exercised.
+    return blob.replace(ipc.MAGIC, b"XXXX")
+
+
+class ProcChaosPlan:
+    """Which process faults to inject, where, and for how many epochs.
+
+    Worker-side faults key on the *current task* installed by
+    :meth:`begin_task`; the parent-side spawn-failure budget is plain
+    mutable state consumed by the supervisor's spawn loop.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        kill_domains: Iterable[str] = (),
+        memerr_domains: Iterable[str] = (),
+        garbage_domains: Iterable[str] = (),
+        truncate_domains: Iterable[str] = (),
+        spawn_failures: int = 0,
+        memerr_at_allocation: int = 5,
+        epoch_limit: int = 1,
+    ) -> None:
+        self.seed = seed
+        self.kill_domains: FrozenSet[str] = frozenset(kill_domains)
+        self.memerr_domains: FrozenSet[str] = frozenset(memerr_domains)
+        self.garbage_domains: FrozenSet[str] = frozenset(garbage_domains)
+        self.truncate_domains: FrozenSet[str] = frozenset(
+            truncate_domains
+        )
+        self.spawn_failures = max(0, spawn_failures)
+        self.memerr_at_allocation = memerr_at_allocation
+        self.epoch_limit = epoch_limit
+        #: current worker task (set by :meth:`begin_task`); epoch 0
+        #: means "no leased task" and disarms every worker-side fault
+        self._domain: Optional[str] = None
+        self._epoch = 0
+
+    # -- worker side ---------------------------------------------------
+
+    def begin_task(self, domain: str, epoch: Optional[int]) -> None:
+        """The worker loop starts measuring ``domain`` at ``epoch``."""
+        self._domain = domain
+        self._epoch = epoch if epoch is not None else 0
+
+    def _armed(self, domains: FrozenSet[str]) -> bool:
+        return (
+            self._domain in domains
+            and 1 <= self._epoch <= self.epoch_limit
+        )
+
+    def should_kill(self, host: str) -> bool:
+        """Take SIGKILL on this document fetch?"""
+        return host == self._domain and self._armed(self.kill_domains)
+
+    def on_allocation(self, count: int) -> None:
+        """Allocation-boundary hook: seeded MemoryError, exactly once
+        per armed epoch, at the same allocation in every run."""
+        if (self._armed(self.memerr_domains)
+                and count == self.memerr_at_allocation):
+            raise MemoryError(
+                "injected allocator failure at allocation %d (proc "
+                "chaos, %s epoch %d)" % (count, self._domain, self._epoch)
+            )
+
+    def pipe_noise(self, domain: str, epoch: Optional[int]) -> List[bytes]:
+        """Noise messages to write to the result pipe before the real
+        frame: seeded garbage and/or a torn valid-frame prefix."""
+        if epoch is None or not 1 <= epoch <= self.epoch_limit:
+            return []
+        noise: List[bytes] = []
+        if domain in self.garbage_domains:
+            noise.append(_seeded_bytes(self.seed, domain, epoch,
+                                       "garbage", 64))
+        if domain in self.truncate_domains:
+            body = _seeded_bytes(self.seed, domain, epoch, "torn", 48)
+            frame = ipc.encode_frame(body)
+            # A worker dying mid-write: header plus half the payload.
+            noise.append(frame[: ipc.FRAME_HEADER_LEN + len(body) // 2])
+        return noise
+
+    # -- parent side ---------------------------------------------------
+
+    def check_spawn(self) -> None:
+        """Consume one injected spawn failure, if any remain."""
+        if self.spawn_failures > 0:
+            self.spawn_failures -= 1
+            raise OSError(11, "injected fork failure (proc chaos)")
+
+
+class ProcChaosSource:
+    """A WebSource wrapper carrying a :class:`ProcChaosPlan`.
+
+    The plan rides into worker processes on the web source (the one
+    object the survey already ships to workers); the worker loop finds
+    it via the ``proc_chaos`` attribute.  ``respond`` performs the
+    SIGKILL injection at the document-fetch boundary — the same
+    boundary :class:`repro.net.chaos.ChaosSource` crashes at, but via
+    the signal a real OOM kill delivers.
+    """
+
+    def __init__(self, inner, plan: ProcChaosPlan) -> None:
+        self._inner = inner
+        self.proc_chaos = plan
+
+    def __getattr__(self, name: str):
+        if name == "_inner":
+            # During unpickling __getattr__ runs before __init__ has
+            # set _inner; without this guard the lookup recurses.
+            raise AttributeError(name)
+        return getattr(self._inner, name)
+
+    def respond(self, request: Request) -> Optional[Response]:
+        if (request.kind == ResourceKind.DOCUMENT
+                and self.proc_chaos.should_kill(request.url.host)):
+            os.kill(os.getpid(), signal.SIGKILL)
+        return self._inner.respond(request)

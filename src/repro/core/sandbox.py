@@ -51,6 +51,10 @@ from typing import Any, Callable, Dict, Optional
 #: poison verdict is reached in the parent, not raised in a worker).
 QUARANTINE_CAUSE = "quarantined"
 
+#: Structured cause slug for visits cut short because the worker
+#: process crossed its RSS ceiling (see :class:`MemoryGovernor`).
+MEMORY_PRESSURE_CAUSE = "memory-pressure"
+
 #: How often (in meter ticks) the deadline is re-checked mid-script.
 #: A power of two minus one: the check is a single AND per tick.
 _DEADLINE_CHECK_MASK = 2047
@@ -120,6 +124,25 @@ class FetchBudgetExceeded(BudgetExceeded):
     """One page issued more requests than the per-page fetch cap."""
 
     cause = "fetches"
+
+
+class MemoryPressure(BudgetExceeded):
+    """The worker process crossed its RSS ceiling mid-visit.
+
+    Raised at a *page boundary* by the crawler when the installed
+    :class:`MemoryGovernor` has latched: the in-flight page finishes,
+    the visit degrades into a partial measurement carrying this cause,
+    and the worker recycles itself (``ru_maxrss`` is a high-water mark
+    — only a fresh process can shed it).
+    """
+
+    cause = MEMORY_PRESSURE_CAUSE
+
+    @property
+    def failure_reason(self) -> str:
+        # Not a "budget:" cause — the limit is on the host process,
+        # not the visit, and the failure report groups it separately.
+        return "%s: %s" % (MEMORY_PRESSURE_CAUSE, self.args[0])
 
 
 class VirtualClock:
@@ -308,6 +331,9 @@ class BudgetMeter:
 
     def charge_allocation(self, count: int = 1) -> None:
         self.allocations += count
+        hook = _ALLOC_HOOK
+        if hook is not None:
+            hook(self.allocations)
         limit = self.budget.max_allocations
         if limit is not None and self.allocations > limit:
             self._blow(AllocationBudgetExceeded(
@@ -395,7 +421,106 @@ def heartbeat() -> None:
     place a hostile web can genuinely block) and from the crawler at
     page boundaries, so a worker grinding through a slow-but-legal site
     keeps its heartbeat fresh while a hung one goes stale.
+
+    The beat doubles as the memory governor's polling point: RSS is
+    re-probed on the same cadence liveness is signalled, so pressure is
+    noticed without a dedicated thread or timer.
     """
     fn = _HEARTBEAT
     if fn is not None:
         fn()
+    governor = _MEMORY_GOVERNOR
+    if governor is not None:
+        governor.poll()
+
+
+# -- memory-pressure governance -----------------------------------------------
+
+
+def _default_rss_probe() -> float:
+    """Current process high-water RSS in MB (0.0 if unknowable).
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; both are a
+    high-water mark, which is exactly what the governor wants — a
+    worker that ever ballooned must recycle even if the allocator gave
+    pages back.
+    """
+    try:
+        import resource
+    except ImportError:  # non-POSIX: govern nothing rather than crash
+        return 0.0
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    import sys
+    if sys.platform == "darwin":
+        return rss / (1024.0 * 1024.0)
+    return rss / 1024.0
+
+
+class MemoryGovernor:
+    """Per-worker RSS watchdog, polled on the heartbeat.
+
+    The governor never interrupts work itself: :meth:`poll` only
+    latches :attr:`pressured` once the probe crosses ``max_rss_mb``.
+    The crawler checks the latch at page boundaries and degrades the
+    visit gracefully (finish the in-flight page, record a structured
+    ``memory-pressure`` cause); the parallel worker then exits so the
+    supervisor respawns a fresh process — the high-water mark cannot
+    come back down inside this one.
+    """
+
+    def __init__(
+        self,
+        max_rss_mb: float,
+        probe: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.max_rss_mb = max_rss_mb
+        self._probe = probe if probe is not None else _default_rss_probe
+        self.pressured = False
+        self.rss_mb = 0.0
+
+    def poll(self) -> bool:
+        """Re-probe RSS; return (and latch) the pressured verdict."""
+        if not self.pressured:
+            self.rss_mb = self._probe()
+            if self.rss_mb > self.max_rss_mb:
+                self.pressured = True
+        return self.pressured
+
+    def pressure(self) -> "MemoryPressure":
+        """The typed exception describing the latched pressure."""
+        return MemoryPressure(
+            "worker RSS high-water %.1f MB crossed the %.1f MB ceiling"
+            % (self.rss_mb, self.max_rss_mb),
+            limit=self.max_rss_mb, used=self.rss_mb,
+        )
+
+
+#: Process-global memory governor.  ``None`` (the default) keeps
+#: :func:`heartbeat` free of any RSS probing; parallel workers install
+#: one when the survey sets ``max_worker_rss_mb``.
+_MEMORY_GOVERNOR: Optional[MemoryGovernor] = None
+
+
+def set_memory_governor(governor: Optional[MemoryGovernor]) -> None:
+    """Install (or clear) the process's memory governor."""
+    global _MEMORY_GOVERNOR
+    _MEMORY_GOVERNOR = governor
+
+
+def current_memory_governor() -> Optional[MemoryGovernor]:
+    return _MEMORY_GOVERNOR
+
+
+#: Process-global allocation hook, called from
+#: :meth:`BudgetMeter.charge_allocation` with the running allocation
+#: count.  Exists for deterministic fault injection: the proc-chaos arm
+#: raises a seeded ``MemoryError`` at an exact allocation boundary, the
+#: same boundary in every run.  ``None`` (the default) costs one global
+#: load per allocation.
+_ALLOC_HOOK: Optional[Callable[[int], None]] = None
+
+
+def set_alloc_hook(fn: Optional[Callable[[int], None]]) -> None:
+    """Install (or clear) the allocation-boundary fault hook."""
+    global _ALLOC_HOOK
+    _ALLOC_HOOK = fn

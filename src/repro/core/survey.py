@@ -20,6 +20,7 @@ aborting the run.
 from __future__ import annotations
 
 import os
+import pickle
 import signal
 import threading
 import time
@@ -32,10 +33,16 @@ from repro.blocking.extension import BrowsingCondition
 from repro.blocking.lists import builtin_filter_list, builtin_tracker_database
 from repro.browser.browser import Browser, BrowserConfig
 from repro.browser.session import TELEMETRY_COUNTERS, SiteMeasurement
+from repro.core import ipc
 from repro.core.sandbox import (
+    MEMORY_PRESSURE_CAUSE,
     QUARANTINE_CAUSE,
+    BudgetExceeded,
+    MemoryGovernor,
     ResourceBudget,
+    set_alloc_hook,
     set_heartbeat,
+    set_memory_governor,
 )
 from repro.core.storage import RunLock, Storage, StorageError
 from repro.minijs.compile import CompileCache, shared_cache
@@ -168,6 +175,25 @@ class SurveyConfig:
     #: forever, as with the plain pool).  Only parallel crawls
     #: (``workers > 1``) have a supervisor to enforce this.
     hang_timeout: Optional[float] = 300.0
+    #: seconds a dispatched site may hold its lease before the
+    #: supervisor revokes it: the straggling worker is killed, the
+    #: site struck and re-leased under a fresh epoch (the old epoch's
+    #: late result, should the corpse have piped one, is fenced off as
+    #: stale).  Unlike ``hang_timeout`` this bounds *total* time on a
+    #: site — a worker can beat forever while grinding one page.
+    #: None (the default) disables the deadline.
+    lease_deadline: Optional[float] = None
+    #: RSS ceiling per worker process, in MB (``ru_maxrss`` high-water
+    #: polled on the heartbeat).  A worker crossing it finishes the
+    #: in-flight page, records a structured ``memory-pressure`` cause
+    #: on the site's measurement, ships it, and exits so the
+    #: supervisor respawns a fresh process; sites that repeatedly
+    #: pressure workers accumulate quarantine strikes.  Serial crawls
+    #: degrade the same way but cannot recycle the process — the
+    #: high-water mark never comes back down — so a pressured serial
+    #: run marks every remaining site.  None (the default) disables
+    #: governance.
+    max_worker_rss_mb: Optional[float] = None
     #: record a span trace of the crawl (see :mod:`repro.obs`).  With a
     #: run directory, each site's trace is appended to a per-condition
     #: ``trace-<condition>.jsonl`` shard right before its measurement;
@@ -275,6 +301,14 @@ class SurveyResult:
     #: exclusive wall seconds per pipeline phase (fetch / parse /
     #: execute / monkey), likewise summed across processes
     phase_seconds: Dict[str, float] = field(default_factory=dict)
+    #: process-fault counters from the parallel supervisor (watchdog
+    #: kills, frame corruptions absorbed, stale lease results fenced,
+    #: typed worker faults, spawn retries, lease revocations, memory
+    #: recycles) — zero-valued entries omitted.  Observability only:
+    #: deliberately excluded from serialization and the survey digest,
+    #: because what was *measured* must not depend on which faults the
+    #: run survived.
+    process_faults: Dict[str, int] = field(default_factory=dict)
 
     # -- views -----------------------------------------------------------
 
@@ -459,6 +493,16 @@ def _measure_site_attempts(
                 measurement = _measure_site_once(
                     crawler, registry, config, condition, domain
                 )
+            except (MemoryError, BudgetExceeded, SurveyInterrupted):
+                # Not site failures, and recording them here would hide
+                # them: a MemoryError means this *process* can no longer
+                # be trusted (the parallel worker converts it into a
+                # typed fault report and recycles itself); a
+                # BudgetExceeded escaping this far means the crawler's
+                # degrade-to-partial path is broken (swallowing it
+                # would mask the bug as a per-site failure); a drain
+                # interrupt must stop the loop, not consume a retry.
+                raise
             except Exception as error:
                 measurement = SiteMeasurement(
                     domain=domain, condition=condition
@@ -492,13 +536,17 @@ def _measure_site(
     config: SurveyConfig,
     condition: str,
     domain: str,
+    lease_epoch: Optional[int] = None,
 ) -> Tuple[SiteMeasurement, Optional[Dict[str, object]]]:
     """Measure one site; pairs the measurement with its trace.
 
     The trace is the serialized ``site`` span tree when a tracer is
     installed, else None.  The site span is self-contained — no
     run-level parent — so a resumed run's traces merge cleanly with
-    the interrupted run's.
+    the interrupted run's.  A fenced run's lease epoch is recorded as
+    an *unstable* ``lease`` event: visible in the profiling trace,
+    excluded from the structural digest (a re-leased site's epoch 2 is
+    scheduling history, not measurement content).
     """
     tracer = obs.current_tracer()
     if tracer is None:
@@ -506,6 +554,8 @@ def _measure_site(
             crawler, registry, config, condition, domain
         ), None
     with tracer.span("site", domain=domain, condition=condition):
+        if lease_epoch is not None:
+            tracer.event("lease", stable=False, epoch=lease_epoch)
         measurement = _measure_site_attempts(
             crawler, registry, config, condition, domain
         )
@@ -589,6 +639,7 @@ def _parallel_worker_init(
 
 def _parallel_measure(
     domain: str,
+    lease_epoch: Optional[int] = None,
 ) -> Tuple[SiteMeasurement, Optional[Dict[str, object]], int,
            Dict[str, float], Dict[str, float]]:
     """Measure one site; piggyback this worker's cumulative stats.
@@ -603,6 +654,7 @@ def _parallel_measure(
         _worker_state["config"],
         _worker_state["condition"],
         domain,
+        lease_epoch=lease_epoch,
     )
     cache_delta = CompileCache.counter_delta(
         shared_cache().counters(), _worker_baseline["cache"]
@@ -655,6 +707,11 @@ def _quarantined_trace(
     }
 
 
+def _send_frame(conn, obj: object, kind: int = ipc.KIND_RESULT) -> None:
+    """Pickle and frame one message onto a result pipe."""
+    conn.send_bytes(ipc.encode_frame(pickle.dumps(obj), kind=kind))
+
+
 def _watchdog_worker_main(
     slot: int,
     heartbeats,
@@ -668,10 +725,17 @@ def _watchdog_worker_main(
 ) -> None:
     """A supervised crawl worker: register heartbeat, init, measure.
 
-    Tasks arrive as ``(index, domain)`` pairs over a dedicated pipe;
-    ``None`` means shut down.  Results go back over the slot's own
-    result pipe as ``(slot, index, domain, payload)`` with the payload
-    matching :func:`_parallel_measure`'s return value.
+    Tasks arrive as ``(index, domain, lease_epoch)`` triples over a
+    dedicated pipe; ``None`` means shut down.  Results go back over
+    the slot's own result pipe as checksummed :mod:`repro.core.ipc`
+    frames: a ``KIND_RESULT`` frame carrying the pickled ``(slot,
+    index, domain, lease_epoch, payload)`` (payload matching
+    :func:`_parallel_measure`'s return value), or a ``KIND_FAULT``
+    frame carrying a typed fault report when the worker must recycle
+    itself (currently: ``MemoryError`` escaping a measurement).  The
+    framing means a worker dying mid-write tears at a frame boundary
+    the supervisor's decoder detects and resynchronizes past — raw
+    pickles on the pipe could poison the parent.
 
     Plain one-writer pipes, not ``multiprocessing.Queue``: a queue
     shares one write-lock semaphore among every producer, and a worker
@@ -699,6 +763,16 @@ def _watchdog_worker_main(
 
     set_heartbeat(beat)
     beat()
+    # Deterministic process-fault injection (``repro chaos --proc``):
+    # the plan rides on the wrapped web source and arms per-(domain,
+    # epoch) faults inside this process.
+    plan = getattr(web, "proc_chaos", None)
+    if plan is not None:
+        set_alloc_hook(plan.on_allocation)
+    governor: Optional[MemoryGovernor] = None
+    if config.max_worker_rss_mb is not None:
+        governor = MemoryGovernor(config.max_worker_rss_mb)
+        set_memory_governor(governor)
     _parallel_worker_init(web, registry, config, condition, domains)
     while True:
         # Poll with a short timeout and beat on every pass, so an
@@ -715,11 +789,48 @@ def _watchdog_worker_main(
             break  # parent closed our pipe: we are being replaced
         if task is None:
             break
-        index, domain = task
+        index, domain, lease_epoch = task
         beat()
-        payload = _parallel_measure(domain)
-        result_conn.send((slot, index, domain, payload))
+        if plan is not None:
+            plan.begin_task(domain, lease_epoch)
+        try:
+            payload = _parallel_measure(domain, lease_epoch=lease_epoch)
+        except MemoryError as error:
+            # The allocator (or an injected fault at an allocation
+            # boundary) failed this process: nothing it computes from
+            # here on can be trusted.  Report the typed fault — the
+            # tiny frame fits the pipe buffer, so it lands even though
+            # we exit immediately after — and recycle; the supervisor
+            # strikes the site and re-leases it to a fresh worker.
+            try:
+                _send_frame(result_conn, {
+                    "slot": slot, "index": index, "domain": domain,
+                    "lease_epoch": lease_epoch, "cause": "memory-error",
+                    "detail": str(error) or "MemoryError",
+                }, kind=ipc.KIND_FAULT)
+            except (BrokenPipeError, OSError):
+                pass
+            break
+        if plan is not None:
+            for noise in plan.pipe_noise(domain, lease_epoch):
+                try:
+                    result_conn.send_bytes(noise)
+                except (BrokenPipeError, OSError):
+                    pass
+        try:
+            _send_frame(
+                result_conn,
+                (slot, index, domain, lease_epoch, payload),
+            )
+        except (BrokenPipeError, OSError):
+            break  # parent closed our pipe: we are being replaced
         beat()
+        if governor is not None and governor.pressured:
+            # The measurement just shipped carries the memory-pressure
+            # cause; ``ru_maxrss`` is a high-water mark this process
+            # can never shed, so exit and let the supervisor respawn a
+            # fresh worker into the slot.
+            break
 
 
 class _CrawlSupervisor:
@@ -775,22 +886,50 @@ class _CrawlSupervisor:
         self.task_conns: List = [None] * self.n_workers
         #: parent-side receive end of each slot's result pipe
         self.result_conns: List = [None] * self.n_workers
-        #: slot -> (index, domain, assigned_at) while a site is in flight
-        self.assigned: Dict[int, Tuple[int, str, float]] = {}
+        #: per-slot frame decoder for the result pipe (reset on spawn:
+        #: a fresh worker must not inherit its predecessor's torn tail)
+        self.decoders: List[Optional[ipc.FrameDecoder]] = (
+            [None] * self.n_workers
+        )
+        #: slot -> (index, domain, lease_epoch, assigned_at) while a
+        #: site is in flight
+        self.assigned: Dict[int, Tuple[int, str, int, float]] = {}
         #: strike fallback when no checkpoint persists them
         self.local_strikes: Dict[str, int] = {}
+        #: lease-epoch fallback when no checkpoint persists them
+        self.local_leases: Dict[str, int] = {}
         self.worker_cache: Dict[int, Dict[str, float]] = {}
         self.worker_phases: Dict[int, Dict[str, float]] = {}
         #: indices already finished — dedupes the race where a struck
         #: worker's result was in the pipe when it was killed
         self.finished: Set[int] = set()
-        #: index -> (measurement, trace-or-None), flushed in order
+        #: index -> (measurement, trace-or-None, lease_epoch-or-None),
+        #: flushed in order
         self.buffered: Dict[
-            int, Tuple[SiteMeasurement, Optional[Dict[str, object]]]
+            int,
+            Tuple[SiteMeasurement, Optional[Dict[str, object]],
+                  Optional[int]],
         ] = {}
         self.next_flush = 0
+        #: sites a typed worker fault handed back for re-dispatch
+        self.requeue: deque = deque()
+        #: per-slot corruption slugs awaiting the slot's next good
+        #: trace, into which they are folded as unstable frame events
+        self.frame_notes: Dict[int, List[str]] = {}
         #: workers killed by the watchdog (observability + tests)
         self.kills = 0
+        #: frame-stream corruptions absorbed (garbage, torn writes...)
+        self.frame_errors = 0
+        #: results rejected for carrying a superseded lease epoch
+        self.stale_results = 0
+        #: typed KIND_FAULT reports received from workers
+        self.worker_faults = 0
+        #: leases revoked past ``lease_deadline`` (stragglers re-leased)
+        self.lease_releases = 0
+        #: injected or real spawn failures retried through
+        self.spawn_retries = 0
+        #: accepted measurements carrying the memory-pressure cause
+        self.memory_recycles = 0
 
     # -- strikes ---------------------------------------------------------
 
@@ -806,30 +945,78 @@ class _CrawlSupervisor:
             return self.checkpoint.strike_count(domain)
         return self.local_strikes.get(domain, 0)
 
+    # -- fenced leases ---------------------------------------------------
+
+    def _issue_lease(self, domain: str) -> int:
+        """The next lease epoch for a dispatch of ``domain``."""
+        if self.checkpoint is not None:
+            return self.checkpoint.issue_lease(self.condition, domain)
+        epoch = self.local_leases.get(domain, 0) + 1
+        self.local_leases[domain] = epoch
+        return epoch
+
+    def _current_lease(self, domain: str) -> int:
+        if self.checkpoint is not None:
+            return self.checkpoint.lease_epoch(self.condition, domain)
+        return self.local_leases.get(domain, 0)
+
     # -- worker lifecycle ------------------------------------------------
 
+    _SPAWN_ATTEMPTS = 5
+
     def _spawn(self, slot: int) -> None:
-        task_recv, task_send = self.context.Pipe(duplex=False)
-        result_recv, result_send = self.context.Pipe(duplex=False)
-        process = self.context.Process(
-            target=_watchdog_worker_main,
-            args=(
-                slot, self.heartbeats, task_recv, result_send,
-                self.web, self.registry, self.config, self.condition,
-                self.pending,
-            ),
-            daemon=True,
-        )
-        self.heartbeats[slot] = time.monotonic()
-        process.start()
-        # Close the child's ends in the parent right away: later forks
-        # must not inherit them, or a sibling would hold this slot's
-        # write end open and mask the EOF that signals worker death.
-        task_recv.close()
-        result_send.close()
-        self.task_conns[slot] = task_send
-        self.result_conns[slot] = result_recv
-        self.workers[slot] = process
+        """Start a worker into ``slot``, retrying spawn failures.
+
+        ``fork``/``spawn`` can genuinely fail under memory pressure or
+        pid exhaustion (EAGAIN/ENOMEM); one failed attempt must not
+        abort a crawl the next attempt would carry.  A bounded retry
+        also absorbs the proc-chaos arm's injected fork failures.
+        Exhausting the attempts re-raises the last error.
+        """
+        plan = getattr(self.web, "proc_chaos", None)
+        last_error: Optional[OSError] = None
+        for _ in range(self._SPAWN_ATTEMPTS):
+            try:
+                if plan is not None:
+                    plan.check_spawn()
+                task_recv, task_send = self.context.Pipe(duplex=False)
+                result_recv, result_send = self.context.Pipe(
+                    duplex=False
+                )
+                process = self.context.Process(
+                    target=_watchdog_worker_main,
+                    args=(
+                        slot, self.heartbeats, task_recv, result_send,
+                        self.web, self.registry, self.config,
+                        self.condition, self.pending,
+                    ),
+                    daemon=True,
+                )
+                self.heartbeats[slot] = time.monotonic()
+                try:
+                    process.start()
+                except OSError:
+                    for conn in (task_recv, task_send,
+                                 result_recv, result_send):
+                        conn.close()
+                    raise
+            except OSError as error:
+                self.spawn_retries += 1
+                last_error = error
+                continue
+            # Close the child's ends in the parent right away: later
+            # forks must not inherit them, or a sibling would hold this
+            # slot's write end open and mask the EOF that signals
+            # worker death.
+            task_recv.close()
+            result_send.close()
+            self.task_conns[slot] = task_send
+            self.result_conns[slot] = result_recv
+            self.workers[slot] = process
+            self.decoders[slot] = ipc.FrameDecoder(message_aligned=True)
+            return
+        assert last_error is not None
+        raise last_error
 
     def _kill(self, slot: int) -> None:
         process = self.workers[slot]
@@ -842,6 +1029,8 @@ class _CrawlSupervisor:
             if conns[slot] is not None:
                 conns[slot].close()
                 conns[slot] = None
+        self.decoders[slot] = None
+        self.frame_notes.pop(slot, None)
 
     # -- main loop -------------------------------------------------------
 
@@ -873,8 +1062,21 @@ class _CrawlSupervisor:
             stats.add_cache(cache)
         for phases in self.worker_phases.values():
             stats.add_phases(phases)
+        stats.add_proc({
+            "watchdog_kills": self.kills,
+            "frame_errors": self.frame_errors,
+            "stale_results": self.stale_results,
+            "worker_faults": self.worker_faults,
+            "lease_releases": self.lease_releases,
+            "spawn_retries": self.spawn_retries,
+            "memory_recycles": self.memory_recycles,
+        })
 
     def _dispatch(self, todo) -> None:
+        # Sites handed back by typed worker faults go to the front:
+        # they were dispatched before everything still in ``todo``.
+        while self.requeue:
+            todo.appendleft(self.requeue.pop())
         for slot in range(self.n_workers):
             if not todo:
                 return
@@ -892,14 +1094,19 @@ class _CrawlSupervisor:
                 self.finished.add(index)
                 self.buffered[index] = self._quarantine(domain)
                 continue
+            epoch = self._issue_lease(domain)
             try:
-                self.task_conns[slot].send((index, domain))
+                self.task_conns[slot].send((index, domain, epoch))
             except (BrokenPipeError, OSError):
                 # Worker died between the liveness check and the send;
                 # requeue and let the watchdog replace the worker.
+                # (The issued epoch is skipped — epochs are monotonic,
+                # not dense, so a gap fences nothing incorrectly.)
                 todo.appendleft((index, domain))
                 continue
-            self.assigned[slot] = (index, domain, time.monotonic())
+            self.assigned[slot] = (
+                index, domain, epoch, time.monotonic()
+            )
 
     def _drain_inflight(self) -> None:
         """Let assigned sites finish (bounded), dropping the rest.
@@ -934,60 +1141,173 @@ class _CrawlSupervisor:
             return
         timeout = self._POLL_SECONDS if block else 0
         for conn in connection_wait(conns, timeout=timeout):
+            slot = self.result_conns.index(conn)
+            decoder = self.decoders[slot]
             try:
-                item = conn.recv()
+                data = conn.recv_bytes()
             except (EOFError, OSError):
                 # The worker died (possibly mid-send, tearing its own
-                # pipe — never anyone else's).  Stop polling the
-                # channel; the watchdog handles the corpse.
-                for slot in range(self.n_workers):
-                    if self.result_conns[slot] is conn:
-                        conn.close()
-                        self.result_conns[slot] = None
+                # pipe — never anyone else's).  Flush the decoder —
+                # whole frames already buffered must not die with the
+                # worker — then stop polling the channel; the watchdog
+                # handles the corpse.
+                conn.close()
+                self.result_conns[slot] = None
+                if decoder is not None:
+                    frames = decoder.finish()
+                    self._note_frame_errors(slot, decoder)
+                    for frame in frames:
+                        self._handle_frame(slot, frame)
                 continue
-            slot, index, domain, payload = item
-            self.assigned.pop(slot, None)
-            if index in self.finished:
-                continue  # a requeued duplicate landed first
+            if decoder is None:
+                continue
+            frames = decoder.feed(data)
+            # Corruption notes first: noise preceding a good result on
+            # the same pipe belongs to that result's trace.
+            self._note_frame_errors(slot, decoder)
+            for frame in frames:
+                self._handle_frame(slot, frame)
+
+    def _note_frame_errors(self, slot: int, decoder) -> None:
+        for error in decoder.take_errors():
+            self.frame_errors += 1
+            self.frame_notes.setdefault(slot, []).append(error.reason)
+
+    def _handle_frame(self, slot: int, frame) -> None:
+        try:
+            obj = pickle.loads(frame.payload)
+        except Exception:
+            # CRC-valid but unpicklable: a sender bug rather than wire
+            # damage, absorbed the same way — the stream stays usable.
+            self.frame_errors += 1
+            self.frame_notes.setdefault(slot, []).append("bad-payload")
+            return
+        if frame.kind == ipc.KIND_FAULT:
+            self._handle_fault(slot, obj)
+        elif frame.kind == ipc.KIND_RESULT:
+            self._handle_result(slot, obj)
+        # Unknown kinds are ignored: a newer worker may speak frame
+        # kinds this supervisor predates.
+
+    def _handle_result(self, slot: int, item) -> None:
+        _, index, domain, epoch, payload = item
+        self.assigned.pop(slot, None)
+        if epoch is not None and epoch != self._current_lease(domain):
+            # Fencing: the lease moved on (revoked past its deadline,
+            # or struck and re-issued) — this is a replaced worker's
+            # late result.  Accepting it could double-count the site
+            # or overwrite its successor's record.
+            self.stale_results += 1
+            return
+        if index in self.finished:
+            return  # a requeued duplicate landed first
+        self.finished.add(index)
+        measurement, trace, pid, cache, phases = payload
+        if trace is not None:
+            self._annotate_frame_notes(slot, trace)
+        else:
+            self.frame_notes.pop(slot, None)
+        if measurement.budget_cause == MEMORY_PRESSURE_CAUSE:
+            # The worker measured what it could, shipped it, and is
+            # about to recycle itself.  The measurement stands (it is
+            # honest, if partial); the *site* earns a strike so a
+            # repeat offender is eventually quarantined.
+            self.memory_recycles += 1
+            self._strike(domain)
+        self.buffered[index] = (measurement, trace, epoch)
+        self.worker_cache[pid] = _elementwise_max(
+            self.worker_cache.get(pid, {}), cache
+        )
+        self.worker_phases[pid] = _elementwise_max(
+            self.worker_phases.get(pid, {}), phases
+        )
+
+    def _annotate_frame_notes(self, slot: int, trace) -> None:
+        """Fold pending corruption slugs into a trace as frame events.
+
+        The supervisor has no span of its own to attach events to, so
+        corruption observed on a slot's pipe is recorded as unstable
+        ``frame`` children of the next good site trace off that slot —
+        profiling-visible, excluded from the structural digest (what
+        the pipe suffered is not part of what the site did).
+        """
+        notes = self.frame_notes.pop(slot, None)
+        if not notes or not isinstance(trace, dict):
+            return
+        children = trace.setdefault("children", [])
+        for reason in notes:
+            children.append({
+                "name": "frame",
+                "attrs": {"reason": reason},
+                "real_ms": 0.0,
+                "unstable": True,
+            })
+
+    def _handle_fault(self, slot: int, report) -> None:
+        """A worker announced a typed fault and is recycling itself.
+
+        The site is struck and handed back for re-dispatch under a
+        fresh lease (or quarantined at the strike threshold); the
+        worker's corpse is the watchdog's to replace.
+        """
+        self.worker_faults += 1
+        assignment = self.assigned.pop(slot, None)
+        if assignment is None:
+            return
+        index, domain, _epoch, _at = assignment
+        if index in self.finished:
+            return
+        strikes = self._strike(domain)
+        if strikes >= self.config.quarantine_threshold:
             self.finished.add(index)
-            measurement, trace, pid, cache, phases = payload
-            self.buffered[index] = (measurement, trace)
-            self.worker_cache[pid] = _elementwise_max(
-                self.worker_cache.get(pid, {}), cache
-            )
-            self.worker_phases[pid] = _elementwise_max(
-                self.worker_phases.get(pid, {}), phases
-            )
+            self.buffered[index] = self._quarantine(domain)
+        else:
+            self.requeue.append((index, domain))
 
     def _watchdog(self, todo) -> None:
         timeout = self.config.hang_timeout
+        lease_deadline = self.config.lease_deadline
         now = time.monotonic()
         for slot in range(self.n_workers):
             process = self.workers[slot]
             alive = process is not None and process.is_alive()
             assignment = self.assigned.get(slot)
             if assignment is None:
-                if not alive and todo:
-                    # Died idle (e.g. crashed in init): replace it.
+                if not alive and (todo or self.requeue):
+                    # Died idle (e.g. crashed in init, or recycled
+                    # after a fault/pressure exit): replace it.
                     self._kill(slot)
                     self._spawn(slot)
                 continue
-            index, domain, assigned_at = assignment
+            index, domain, _epoch, assigned_at = assignment
             last_beat = max(assigned_at, self.heartbeats[slot])
             hung = (
                 alive and timeout is not None
                 and now - last_beat > timeout
             )
-            if alive and not hung:
+            # A lease deadline bounds *total* time on a site: a worker
+            # can keep a fresh heartbeat forever while grinding, but
+            # past the deadline the site is a straggler — revoke the
+            # lease and re-issue it elsewhere.  The revoked worker is
+            # killed, not trusted to stop: if its result were already
+            # in the pipe, the stale epoch fences it off anyway.
+            overdue = (
+                alive and lease_deadline is not None
+                and now - assigned_at > lease_deadline
+            )
+            if alive and not hung and not overdue:
                 continue
-            # The worker died or hung while holding this site.  Last
-            # chance for an in-flight result to disqualify the strike:
+            # The worker died, hung or overstayed its lease on this
+            # site.  Last chance for an in-flight result to disqualify
+            # the strike:
             self._drain()
             if slot not in self.assigned:
                 continue  # its result landed after all
             del self.assigned[slot]
             self._kill(slot)
             self.kills += 1
+            if overdue and not hung:
+                self.lease_releases += 1
             strikes = self._strike(domain)
             if index not in self.finished:
                 if strikes >= self.config.quarantine_threshold:
@@ -999,7 +1319,8 @@ class _CrawlSupervisor:
 
     def _quarantine(
         self, domain: str
-    ) -> Tuple[SiteMeasurement, Optional[Dict[str, object]]]:
+    ) -> Tuple[SiteMeasurement, Optional[Dict[str, object]],
+               Optional[int]]:
         threshold = self.config.quarantine_threshold
         measurement = _quarantined_measurement(
             domain, self.condition, threshold
@@ -1008,12 +1329,17 @@ class _CrawlSupervisor:
             _quarantined_trace(domain, self.condition, threshold)
             if self.config.trace else None
         )
-        return measurement, trace
+        # A fresh epoch fences off any late result from the strikes
+        # that led here, and gives fsck the invariant it checks: the
+        # surviving record carries the site's highest epoch.
+        return measurement, trace, self._issue_lease(domain)
 
     def _flush(self, record) -> None:
         while self.next_flush in self.buffered:
-            measurement, trace = self.buffered.pop(self.next_flush)
-            record(measurement, trace)
+            measurement, trace, epoch = self.buffered.pop(
+                self.next_flush
+            )
+            record(measurement, trace, epoch)
             self.next_flush += 1
 
     def _shutdown(self) -> None:
@@ -1068,6 +1394,7 @@ class _CrawlStats:
     def __init__(self) -> None:
         self.cache: Dict[str, float] = {}
         self.phases: Dict[str, float] = {}
+        self.proc: Dict[str, int] = {}
         self._cache_start = shared_cache().counters()
         self._phases_start = phase_snapshot()
 
@@ -1077,6 +1404,14 @@ class _CrawlStats:
 
     def add_phases(self, delta: Dict[str, float]) -> None:
         merge_phases(self.phases, delta)
+
+    def add_proc(self, delta: Dict[str, int]) -> None:
+        for key, value in delta.items():
+            self.proc[key] = self.proc.get(key, 0) + value
+
+    def proc_faults(self) -> Dict[str, int]:
+        """The nonzero process-fault counters (zero is not news)."""
+        return {k: v for k, v in self.proc.items() if v}
 
     def finish(self) -> None:
         """Fold in the parent process's own delta since construction."""
@@ -1109,6 +1444,7 @@ def _crawl_condition(
     def record(
         measurement: SiteMeasurement,
         trace: Optional[Dict[str, object]] = None,
+        lease_epoch: Optional[int] = None,
     ) -> None:
         nonlocal completed
         by_domain[measurement.domain] = measurement
@@ -1121,7 +1457,7 @@ def _crawl_condition(
                 checkpoint.append_trace(
                     condition, measurement.domain, trace
                 )
-            checkpoint.append(measurement)
+            checkpoint.append(measurement, lease_epoch=lease_epoch)
         completed += 1
         if progress is not None and completed % 50 == 0:
             progress(condition, completed, len(domains))
@@ -1143,6 +1479,7 @@ def _crawl_condition(
                     ),
                     _quarantined_trace(domain, condition, threshold)
                     if config.trace else None,
+                    checkpoint.issue_lease(condition, domain),
                 )
         pending = [d for d in pending if d not in poisoned]
 
@@ -1156,10 +1493,15 @@ def _crawl_condition(
         for domain in pending:
             if drain is not None and drain.requested:
                 break  # drain: the in-flight site already finished
-            measurement, trace = _measure_site(
-                crawler, registry, config, condition, domain
+            epoch = (
+                checkpoint.issue_lease(condition, domain)
+                if checkpoint is not None else None
             )
-            record(measurement, trace)
+            measurement, trace = _measure_site(
+                crawler, registry, config, condition, domain,
+                lease_epoch=epoch,
+            )
+            record(measurement, trace, epoch)
     # Canonical domain order: resumed, parallel and serial runs must
     # serialize identically, so insertion order never leaks in.
     if drain is not None and drain.requested:
@@ -1238,6 +1580,15 @@ def run_survey(
             # process.
             if config.trace:
                 obs.set_tracer(obs.Tracer())
+            if (config.max_worker_rss_mb is not None
+                    and config.workers <= 1):
+                # Serial crawls are governed in-process: pressure still
+                # degrades each site gracefully, but with no supervisor
+                # to recycle the process the high-water mark persists —
+                # every remaining site then records the cause honestly.
+                set_memory_governor(
+                    MemoryGovernor(config.max_worker_rss_mb)
+                )
             measurements: Dict[str, Dict[str, SiteMeasurement]] = {}
             for condition in config.conditions:
                 measurements[condition] = _crawl_condition(
@@ -1281,6 +1632,7 @@ def run_survey(
             wall_seconds=time.perf_counter() - started,
             compile_cache=stats.cache,
             phase_seconds=stats.phases,
+            process_faults=stats.proc_faults(),
         )
         if checkpoint is not None:
             checkpoint.write_result(result)
@@ -1300,6 +1652,8 @@ def run_survey(
     finally:
         if config.trace:
             obs.set_tracer(previous_tracer)
+        if config.max_worker_rss_mb is not None:
+            set_memory_governor(None)
         if checkpoint is not None:
             checkpoint.close()
         if lock is not None:

@@ -42,11 +42,23 @@ class TraceReportError(ValueError):
     """The run directory holds no usable trace."""
 
 
+class TraceMissing(TraceReportError):
+    """A valid run that was simply never traced.
+
+    Distinguished from genuine damage so the CLI can degrade
+    gracefully (warn + exit 0): asking for a trace report on a run
+    crawled without ``--trace`` is a benign mismatch, not an error in
+    either the run or the request.
+    """
+
+
 def load_trace_records(run_dir: str) -> List[Dict[str, Any]]:
     """All trace records of a run, merged last-wins per site.
 
-    Conditions come from the manifest; a run that never traced (no
-    trace shards at all) raises :class:`TraceReportError`.
+    Conditions come from the manifest.  A run whose manifest says it
+    never traced (and which indeed has no shards) raises
+    :class:`TraceMissing`; a traced run whose shards are gone or
+    unreadable raises plain :class:`TraceReportError`.
     """
     manifest_path = os.path.join(run_dir, MANIFEST_NAME)
     try:
@@ -72,6 +84,11 @@ def load_trace_records(run_dir: str) -> List[Dict[str, Any]]:
         for record in records:
             merged[(record["condition"], record["domain"])] = record
     if not found:
+        if not manifest.get("tracing", False):
+            raise TraceMissing(
+                "%s was crawled without --trace, so there are no "
+                "trace shards to report on" % run_dir
+            )
         raise TraceReportError(
             "%s holds no trace shards — was the survey run with "
             "--trace?" % run_dir
@@ -132,6 +149,9 @@ def build_trace_report(
     breakers: List[Dict[str, Any]] = []
     budget_events: List[Dict[str, Any]] = []
     quarantines: List[Dict[str, Any]] = []
+    releases: List[Dict[str, Any]] = []
+    memory_events: List[Dict[str, Any]] = []
+    frame_events: List[Dict[str, Any]] = []
     span_count = 0
     conditions = sorted({r["condition"] for r in records})
 
@@ -188,6 +208,21 @@ def build_trace_report(
                 quarantines.append(dict(
                     where, strikes=attrs.get("strikes")
                 ))
+            elif name == "lease":
+                # Epoch 1 is every site's first dispatch; only epochs
+                # past it mark a site the supervisor re-leased after a
+                # fault, which is what the timeline is for.
+                if (attrs.get("epoch") or 0) > 1:
+                    releases.append(dict(where, epoch=attrs["epoch"]))
+            elif name == "memory":
+                memory_events.append(dict(
+                    where, rss_mb=attrs.get("rss_mb"),
+                    limit_mb=attrs.get("limit_mb"),
+                ))
+            elif name == "frame":
+                frame_events.append(dict(
+                    where, reason=attrs.get("reason")
+                ))
 
         _walk(root, visit)
 
@@ -229,6 +264,9 @@ def build_trace_report(
         "breaker_events": capped(breakers),
         "budget_exhaustions": capped(budget_events),
         "quarantines": capped(quarantines),
+        "releases": capped(releases),
+        "memory_pressure": capped(memory_events),
+        "frame_corruptions": capped(frame_events),
         "critical_path": (
             _critical_path(slowest_root) if slowest_root else []
         ),
@@ -299,6 +337,16 @@ def trace_report_text(report: Dict[str, Any]) -> str:
         ("quarantines", "quarantines",
          lambda e: (e["domain"], "strikes",
                     str(e.get("strikes")))),
+        ("releases", "re-leased sites",
+         lambda e: (e["domain"], "epoch",
+                    str(e.get("epoch")))),
+        ("memory_pressure", "memory pressure",
+         lambda e: (e["domain"],
+                    "%.1f MB" % (e.get("rss_mb") or 0.0),
+                    "limit %.1f MB" % (e.get("limit_mb") or 0.0))),
+        ("frame_corruptions", "frame corruptions",
+         lambda e: (e["domain"], "reason",
+                    str(e.get("reason")))),
     ):
         section = report[key]
         if not section["total"]:

@@ -26,7 +26,9 @@ from repro.browser.session import VisitResult
 from repro.core.sandbox import (
     BudgetExceeded,
     BudgetMeter,
+    MemoryGovernor,
     ResourceBudget,
+    current_memory_governor,
     heartbeat,
 )
 from repro.dom.node import install_dom_meter
@@ -147,6 +149,14 @@ class SiteCrawler:
             for depth in range(self.config.depth + 1):
                 next_frontier: List[Url] = []
                 for url in frontier:
+                    # Memory pressure degrades at *page* boundaries:
+                    # the in-flight page finished (its features are
+                    # already merged); nothing further starts in this
+                    # process, which the worker then recycles.
+                    governor = current_memory_governor()
+                    if governor is not None and governor.pressured:
+                        self._record_memory_abort(result, governor)
+                        break
                     with obs.span("page", url=str(url), depth=depth):
                         page = self._visit_one(url, rng, result, meter)
                     if result.partial:
@@ -250,6 +260,19 @@ class SiteCrawler:
         # Features observed before the abort still count (the partial
         # measurement the issue calls for).
         page.recorder.merge_into_counts(result.feature_counts)
+
+    def _record_memory_abort(
+        self, result: VisitResult, governor: MemoryGovernor
+    ) -> None:
+        """End the round under RSS pressure, keeping what it measured."""
+        error = governor.pressure()
+        # Unstable: the RSS reading is real memory, different every run.
+        obs.event("memory", stable=False,
+                  rss_mb=governor.rss_mb, limit_mb=governor.max_rss_mb)
+        result.partial = True
+        result.budget_cause = error.cause
+        result.budget_overshoot = error.overshoot
+        result.failure_reason = error.failure_reason
 
     def _select_links(
         self,

@@ -3,7 +3,8 @@
 ``repro.obs`` records *where a crawl spends its time* as a tree of
 spans (site → attempt → visit → page → phase) decorated with
 zero-duration events (network retries, breaker transitions, budget
-exhaustions).  Every span carries two clocks:
+exhaustions, lease epochs, result-pipe frame corruptions,
+memory-pressure degrades).  Every span carries two clocks:
 
 * ``vt`` — the :class:`~repro.core.sandbox.VirtualClock` reading at
   span entry.  The virtual clock advances only on counted work
@@ -19,10 +20,12 @@ nesting, virtual timestamps — is deterministic, which makes
 :func:`trace_digest` a regression oracle: the test suite asserts the
 digest is identical however the crawl was executed.
 
-Spans whose presence depends on process-local state (currently only
-the compile cache's ``phase:parse``, which fires on cache *misses*)
-are flagged ``stable=False`` and dropped from the projection along
-with their subtree.
+Spans whose presence depends on process-local state — the compile
+cache's ``phase:parse`` (fires on cache *misses*), ``lease`` epochs
+(scheduling, not measurement), ``frame`` corruption records (what the
+result pipe suffered), ``memory`` pressure degrades (real RSS) — are
+flagged ``stable=False`` and dropped from the projection along with
+their subtree.
 
 The tracer is deliberately cheap when off: the module-level
 :func:`span` / :func:`event` helpers check one global and return a

@@ -68,22 +68,6 @@ class TestBadInvocationIsTwo:
         assert code == 2
         assert "trace error" in output
 
-    def test_trace_command_on_untraced_run(self, registry, tmp_path):
-        from repro.core.survey import (
-            RetryPolicy, SurveyConfig, run_survey,
-        )
-        from repro.webgen.sitegen import build_web
-
-        run_dir = str(tmp_path / "run")
-        web = build_web(registry, n_sites=2, seed=31)
-        run_survey(web, registry, SurveyConfig(
-            conditions=("default",), visits_per_site=1, seed=9,
-            retry=RetryPolicy(attempts=1, backoff_base=0.0),
-        ), run_dir=run_dir)
-        code, output = run_cli("trace", run_dir)
-        assert code == 2
-        assert "--trace" in output
-
     def test_trace_command_rejects_nonpositive_top(self, tmp_path):
         code, output = run_cli(
             "trace", str(tmp_path), "--top", "0"
@@ -115,6 +99,33 @@ class TestCheckFailureIsOne:
 
 
 class TestTraceCommandSucceeds:
+    def test_untraced_run_warns_and_exits_zero(self, registry, tmp_path):
+        # A run crawled without --trace simply has nothing to report:
+        # that is a property of the run, not a usage error, so scripts
+        # sweeping a directory of runs must not see it as a failure.
+        from repro.core.survey import (
+            RetryPolicy, SurveyConfig, run_survey,
+        )
+        from repro.webgen.sitegen import build_web
+
+        run_dir = str(tmp_path / "run")
+        web = build_web(registry, n_sites=2, seed=31)
+        run_survey(web, registry, SurveyConfig(
+            conditions=("default",), visits_per_site=1, seed=9,
+            retry=RetryPolicy(attempts=1, backoff_base=0.0),
+        ), run_dir=run_dir)
+
+        code, output = run_cli("trace", run_dir)
+        assert code == 0
+        assert "warning" in output
+        assert "--trace" in output
+
+        code, payload = run_cli("trace", run_dir, "--format", "json")
+        assert code == 0
+        report = json.loads(payload)
+        assert report["traced"] is False
+        assert "--trace" in report["warning"]
+
     def test_text_and_json_formats(self, registry, tmp_path):
         from repro.core.survey import (
             RetryPolicy, SurveyConfig, run_survey,

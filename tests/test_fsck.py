@@ -160,6 +160,69 @@ class TestDamage:
         assert any("unknown condition" in l for l in lines)
 
 
+class TestLeaseSection:
+    """Lease-epoch auditing of fenced (parallel) run directories."""
+
+    def _fenced_run(self, tmp_path, registry, records, extra_leases=0):
+        config = SurveyConfig(
+            conditions=("default",), visits_per_site=1, seed=5
+        )
+        path = str(tmp_path / "fenced")
+        checkpoint = SurveyCheckpoint.attach(
+            path, registry, config, ["a.test", "b.test"]
+        )
+        for domain, epoch in records:
+            while checkpoint.lease_epoch("default", domain) < epoch:
+                checkpoint.issue_lease("default", domain)
+            checkpoint.append(_measurement(domain), lease_epoch=epoch)
+        for _ in range(extra_leases):
+            checkpoint.issue_lease("default", records[0][0])
+        checkpoint.close()
+        return path
+
+    def test_consistent_epochs_reported_in_text(self, tmp_path,
+                                                registry, capsys):
+        path = self._fenced_run(tmp_path, registry,
+                                [("a.test", 1), ("b.test", 1)])
+        assert cli.main(["fsck", path]) == 0
+        out = capsys.readouterr().out
+        assert "lease(s) issued" in out
+        assert "lease epochs consistent" in out
+
+    def test_stale_survivor_fails_text_and_json(self, tmp_path,
+                                                registry, capsys):
+        # The duplicate's last record carries the superseded epoch —
+        # a replaced worker's late write shadowed the re-leased one.
+        path = self._fenced_run(
+            tmp_path, registry,
+            [("a.test", 2), ("a.test", 1)],
+        )
+        assert cli.main(["fsck", path]) == 1
+        assert "stale lease epoch survives" in capsys.readouterr().out
+
+        assert cli.main(["fsck", path, "--format", "json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is False
+        assert any(
+            not check["ok"] and "stale lease epoch" in check["text"]
+            for check in report["checks"]
+        )
+
+    def test_over_issued_epoch_fails(self, tmp_path, registry, capsys):
+        path = str(tmp_path / "fenced")
+        config = SurveyConfig(
+            conditions=("default",), visits_per_site=1, seed=5
+        )
+        checkpoint = SurveyCheckpoint.attach(
+            path, registry, config, ["a.test"]
+        )
+        checkpoint.issue_lease("default", "a.test")
+        checkpoint.append(_measurement("a.test"), lease_epoch=7)
+        checkpoint.close()
+        assert cli.main(["fsck", path]) == 1
+        assert "never issued" in capsys.readouterr().out
+
+
 class TestCli:
     def test_exit_codes(self, run_dir, capsys):
         assert cli.main(["fsck", run_dir]) == 0

@@ -1,0 +1,170 @@
+"""Unit tests for the framed worker IPC protocol (repro.core.ipc)."""
+
+import pickle
+
+import pytest
+
+from repro.core import ipc
+from repro.core.ipc import (
+    FRAME_HEADER_LEN,
+    KIND_FAULT,
+    KIND_RESULT,
+    MAGIC,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    encode_frame,
+)
+
+
+def _reasons(decoder):
+    return [error.reason for error in decoder.take_errors()]
+
+
+class TestEncode:
+    def test_round_trip_one_frame(self):
+        payload = pickle.dumps({"hello": "world"})
+        decoder = FrameDecoder()
+        frames = decoder.feed(encode_frame(payload))
+        assert [(f.kind, f.payload) for f in frames] == [
+            (KIND_RESULT, payload)
+        ]
+        assert decoder.take_errors() == []
+        assert decoder.frames_decoded == 1
+
+    def test_kind_is_carried(self):
+        decoder = FrameDecoder()
+        (frame,) = decoder.feed(encode_frame(b"x", kind=KIND_FAULT))
+        assert frame.kind == KIND_FAULT
+
+    def test_layout_is_stable(self):
+        frame = encode_frame(b"abc")
+        assert frame[:4] == MAGIC
+        assert frame[4] == PROTOCOL_VERSION
+        assert frame[5] == KIND_RESULT
+        assert int.from_bytes(frame[6:10], "big") == 3
+        assert len(frame) == FRAME_HEADER_LEN + 3
+
+    def test_rejects_out_of_range_kind(self):
+        with pytest.raises(ValueError):
+            encode_frame(b"", kind=256)
+
+    def test_rejects_oversize_payload(self):
+        class Huge(bytes):
+            def __len__(self):
+                return ipc.MAX_FRAME_BYTES + 1
+
+        with pytest.raises(ValueError):
+            encode_frame(Huge())
+
+
+class TestStreamingReassembly:
+    def test_frame_split_across_arbitrary_chunks(self):
+        payload = bytes(range(256)) * 4
+        wire = encode_frame(payload)
+        for cut in (1, 3, FRAME_HEADER_LEN - 1, FRAME_HEADER_LEN,
+                    FRAME_HEADER_LEN + 1, len(wire) - 1):
+            decoder = FrameDecoder()
+            assert decoder.feed(wire[:cut]) == []
+            (frame,) = decoder.feed(wire[cut:])
+            assert frame.payload == payload
+            assert decoder.take_errors() == []
+
+    def test_back_to_back_frames_in_one_feed(self):
+        decoder = FrameDecoder()
+        frames = decoder.feed(
+            encode_frame(b"one") + encode_frame(b"two")
+        )
+        assert [f.payload for f in frames] == [b"one", b"two"]
+
+    def test_magic_prefix_split_across_chunks_survives(self):
+        wire = encode_frame(b"payload")
+        decoder = FrameDecoder()
+        # Garbage, then a frame whose marker is split mid-MAGIC.
+        assert decoder.feed(b"junk" + wire[:2]) == []
+        (frame,) = decoder.feed(wire[2:])
+        assert frame.payload == b"payload"
+        assert _reasons(decoder) == ["bad-magic"]
+
+
+class TestCorruptionTaxonomy:
+    def test_leading_garbage_is_bad_magic(self):
+        decoder = FrameDecoder()
+        (frame,) = decoder.feed(b"\x00\x01\x02" + encode_frame(b"ok"))
+        assert frame.payload == b"ok"
+        assert _reasons(decoder) == ["bad-magic"]
+        assert decoder.bytes_discarded == 3
+
+    def test_unknown_version_resyncs_to_next_frame(self):
+        bad = bytearray(encode_frame(b"old"))
+        bad[4] = PROTOCOL_VERSION + 1
+        decoder = FrameDecoder()
+        (frame,) = decoder.feed(bytes(bad) + encode_frame(b"new"))
+        assert frame.payload == b"new"
+        assert "bad-version" in _reasons(decoder)
+
+    def test_oversize_length_field_resyncs(self):
+        bad = bytearray(encode_frame(b"x"))
+        bad[6:10] = (ipc.MAX_FRAME_BYTES + 1).to_bytes(4, "big")
+        decoder = FrameDecoder()
+        (frame,) = decoder.feed(bytes(bad) + encode_frame(b"good"))
+        assert frame.payload == b"good"
+        assert "oversize" in _reasons(decoder)
+
+    def test_any_flipped_bit_is_bad_crc(self):
+        wire = bytearray(encode_frame(b"sensitive"))
+        wire[FRAME_HEADER_LEN + 2] ^= 0x10
+        decoder = FrameDecoder()
+        assert decoder.feed(bytes(wire)) == []
+        decoder.finish()
+        assert "bad-crc" in _reasons(decoder)
+
+    def test_truncated_tail_reported_at_finish(self):
+        wire = encode_frame(b"torn off mid-write")
+        decoder = FrameDecoder()
+        assert decoder.feed(wire[: len(wire) - 5]) == []
+        assert decoder.finish() == []
+        assert "truncated" in _reasons(decoder)
+
+    def test_whole_frame_inside_corrupt_region_is_salvaged(self):
+        # A torn frame prefix whose buffered bytes happen to contain a
+        # complete frame: flushing must find it, not discard it.
+        inner = encode_frame(b"survivor")
+        torn_head = encode_frame(b"x" * 64)[:FRAME_HEADER_LEN]
+        decoder = FrameDecoder()
+        decoder.feed(torn_head + inner)
+        frames = decoder.finish()
+        assert [f.payload for f in frames] == [b"survivor"]
+
+    def test_never_raises_on_hostile_bytes(self):
+        decoder = FrameDecoder()
+        for blob in (b"", MAGIC, MAGIC * 5, b"\xff" * 64,
+                     MAGIC + b"\xff" * 10, encode_frame(b"")[:7]):
+            decoder.feed(blob)
+        decoder.finish()
+        decoder.take_errors()  # contents irrelevant: just no raise
+
+
+class TestMessageAligned:
+    def test_tail_is_flushed_within_the_feed(self):
+        # Supervisor mode: a torn frame in one recv_bytes message must
+        # not sit buffered waiting for bytes that will never come.
+        decoder = FrameDecoder(message_aligned=True)
+        torn = encode_frame(b"y" * 32)[: FRAME_HEADER_LEN + 8]
+        assert decoder.feed(torn) == []
+        assert "truncated" in _reasons(decoder)
+        # The next message's good frame is unaffected.
+        (frame,) = decoder.feed(encode_frame(b"next"))
+        assert frame.payload == b"next"
+        assert decoder.take_errors() == []
+
+    def test_garbage_message_fully_consumed(self):
+        decoder = FrameDecoder(message_aligned=True)
+        assert decoder.feed(b"pure line noise, no marker") == []
+        assert _reasons(decoder) == ["bad-magic"]
+        assert decoder._buffer == bytearray()
+
+    def test_whole_frames_pass_untouched(self):
+        decoder = FrameDecoder(message_aligned=True)
+        (frame,) = decoder.feed(encode_frame(b"clean"))
+        assert frame.payload == b"clean"
+        assert decoder.take_errors() == []

@@ -1,0 +1,253 @@
+"""Process-fault chaos determinism: the PR's acceptance matrix.
+
+A parallel crawl under the proc-chaos plan — worker SIGKILL
+mid-fetch, seeded MemoryError at an allocation boundary, garbage and
+torn frames on the result pipes, injected fork failures — must finish
+with measurement and trace digests bit-identical to a clean run's,
+across {fork, spawn} and across a kill+resume boundary, with zero
+duplicated site records.  Every fault arms only on a site's first
+lease epoch: the supervisor strikes and re-leases, and the epoch-2
+measurement is the one that survives.
+"""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro import obs
+from repro.core import persistence
+from repro.core.checkpoint import (
+    QUARANTINE_NAME,
+    fsck_run_dir,
+    load_shard_records,
+    shard_name,
+)
+from repro.core.procchaos import ProcChaosPlan, ProcChaosSource
+from repro.core.sandbox import ResourceBudget
+from repro.core.survey import (
+    RetryPolicy,
+    SurveyConfig,
+    resume_survey,
+    run_survey,
+)
+from repro.core.tracereport import load_trace_records
+from repro.webgen.sitegen import build_web
+from tests.test_net_chaos import KillSwitchSource
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="proc-chaos tests need real worker processes",
+)
+
+N_SITES = 6
+WEB_SEED = 44
+SURVEY_SEED = 21
+VISITS = 1
+KILL_AFTER_SITES = 3
+
+
+def proc_config(**overrides):
+    settings = dict(
+        conditions=("default",),
+        visits_per_site=VISITS,
+        seed=SURVEY_SEED,
+        retry=RetryPolicy(attempts=1, backoff_base=0.0),
+        # Limited so every visit is metered: the allocation-boundary
+        # fault hook only runs on metered visits.  The cap itself is
+        # far above anything the web allocates.
+        budget=ResourceBudget(max_allocations=10_000_000),
+        workers=2,
+        start_method="fork",
+        hang_timeout=15.0,
+        quarantine_threshold=3,
+        trace=True,
+    )
+    settings.update(overrides)
+    return SurveyConfig(**settings)
+
+
+def _skip_unless_available(method):
+    if method not in multiprocessing.get_all_start_methods():
+        pytest.skip("start method %r unavailable" % method)
+
+
+@pytest.fixture(scope="module")
+def clean_web(registry):
+    return build_web(registry, n_sites=N_SITES, seed=WEB_SEED)
+
+
+@pytest.fixture(scope="module")
+def fault_domains(clean_web):
+    """kill/memerr/garbage/truncate targets, in crawl order.
+
+    The kill and memerr domains sit in the second half of the ranking
+    so the kill+resume arm (interrupted after the first three sites)
+    still re-dispatches them under chaos.
+    """
+    ranked = [site.domain for site in clean_web.ranking.all()]
+    return {
+        "kill": ranked[3],
+        "memerr": ranked[4],
+        "garbage": ranked[5],
+        "truncate": ranked[2],
+    }
+
+
+def make_plan(fault_domains, spawn_failures=2):
+    return ProcChaosPlan(
+        seed=7,
+        kill_domains=(fault_domains["kill"],),
+        memerr_domains=(fault_domains["memerr"],),
+        garbage_domains=(fault_domains["garbage"],),
+        truncate_domains=(fault_domains["truncate"],),
+        spawn_failures=spawn_failures,
+        memerr_at_allocation=1,
+    )
+
+
+@pytest.fixture(scope="module")
+def baseline(registry, clean_web, tmp_path_factory):
+    """Serial, fault-free reference digests."""
+    run_dir = str(tmp_path_factory.mktemp("proc-baseline") / "run")
+    result = run_survey(
+        clean_web, registry, proc_config(workers=1), run_dir=run_dir
+    )
+    return {
+        "measure": persistence.survey_digest(result),
+        "trace": obs.trace_digest(load_trace_records(run_dir)),
+    }
+
+
+def _assert_no_duplicate_records(run_dir):
+    records, dropped = load_shard_records(
+        os.path.join(run_dir, shard_name("default"))
+    )
+    assert dropped == 0
+    domains = [record["domain"] for record in records]
+    assert len(domains) == len(set(domains))
+    return records
+
+
+class TestParallelProcChaos:
+    @pytest.mark.parametrize("method", ("fork", "spawn"))
+    def test_digests_bit_identical_to_clean_run(
+        self, registry, clean_web, fault_domains, baseline,
+        tmp_path, method
+    ):
+        _skip_unless_available(method)
+        run_dir = str(tmp_path / "run")
+        source = ProcChaosSource(clean_web, make_plan(fault_domains))
+        result = run_survey(
+            source, registry, proc_config(start_method=method),
+            run_dir=run_dir,
+        )
+        assert persistence.survey_digest(result) == baseline["measure"]
+        assert (obs.trace_digest(load_trace_records(run_dir))
+                == baseline["trace"])
+        # The faults genuinely fired: each injection left its typed
+        # evidence in the process-fault telemetry.
+        faults = result.process_faults
+        assert faults.get("watchdog_kills", 0) >= 1, faults
+        assert faults.get("worker_faults", 0) >= 1, faults
+        assert faults.get("frame_errors", 0) >= 2, faults
+        assert faults.get("spawn_retries", 0) >= 2, faults
+        # Exactly-once: no duplicated site records, and fsck agrees
+        # (including its lease-epoch section).
+        _assert_no_duplicate_records(run_dir)
+        ok, lines = fsck_run_dir(run_dir)
+        assert ok, lines
+
+    def test_struck_sites_carry_a_re_leased_epoch(
+        self, registry, clean_web, fault_domains, tmp_path
+    ):
+        run_dir = str(tmp_path / "run")
+        source = ProcChaosSource(clean_web, make_plan(fault_domains))
+        run_survey(
+            source, registry, proc_config(), run_dir=run_dir
+        )
+        records = _assert_no_duplicate_records(run_dir)
+        by_domain = {r["domain"]: r for r in records}
+        # The killed and memerr'd sites were re-dispatched: their
+        # surviving records carry a re-leased epoch.  (The exact
+        # number can exceed 2 — a requeued site can land on a worker
+        # that is itself mid-exit and be re-leased again — but the
+        # record that survives is always the latest lease's.)
+        with open(os.path.join(run_dir, "leases.json"),
+                  encoding="utf-8") as handle:
+            leases = json.load(handle)["leases"]["default"]
+        for key in ("kill", "memerr"):
+            domain = fault_domains[key]
+            epoch = by_domain[domain]["lease_epoch"]
+            assert epoch >= 2, (key, epoch)
+            assert epoch == leases[domain], (key, epoch)
+        # Strikes were charged and persisted.
+        with open(os.path.join(run_dir, QUARANTINE_NAME),
+                  encoding="utf-8") as handle:
+            strikes = json.load(handle)["strikes"]
+        assert strikes[fault_domains["kill"]] >= 1
+        assert strikes[fault_domains["memerr"]] >= 1
+
+
+class TestKillResumeProcChaos:
+    @pytest.mark.parametrize("method", ("fork", "spawn"))
+    def test_resumed_chaos_run_matches_clean_digests(
+        self, registry, clean_web, fault_domains, baseline,
+        tmp_path, method
+    ):
+        """Serial crawl killed after 3 sites, resumed under chaos.
+
+        The interrupted half checkpoints normally (proc faults never
+        arm outside the supervisor); the resumed half crawls in
+        parallel with every fault armed — the combined run dir must
+        still be digest-identical to the uninterrupted clean run, and
+        contain no duplicates.
+        """
+        _skip_unless_available(method)
+        run_dir = str(tmp_path / "run")
+        killer = KillSwitchSource(clean_web, KILL_AFTER_SITES, VISITS)
+        with pytest.raises(KeyboardInterrupt):
+            run_survey(killer, registry, proc_config(workers=1),
+                       run_dir=run_dir)
+        # Faults target the two sites whose *first* lease epoch comes
+        # after the crash: the interrupted run already leased (and
+        # measured, or was killed on) the earlier ones, and epoch 2+
+        # dispatches are disarmed by design.
+        ranked = [site.domain for site in clean_web.ranking.all()]
+        plan = ProcChaosPlan(
+            seed=7,
+            kill_domains=(ranked[4],),
+            memerr_domains=(ranked[5],),
+            spawn_failures=2,
+            memerr_at_allocation=1,
+        )
+        resumed = resume_survey(
+            ProcChaosSource(clean_web, plan), registry, run_dir,
+            proc_config(start_method=method),
+        )
+        assert (persistence.survey_digest(resumed)
+                == baseline["measure"])
+        assert (obs.trace_digest(load_trace_records(run_dir))
+                == baseline["trace"])
+        faults = resumed.process_faults
+        assert faults.get("watchdog_kills", 0) >= 1, faults
+        assert faults.get("worker_faults", 0) >= 1, faults
+        assert faults.get("spawn_retries", 0) >= 2, faults
+        _assert_no_duplicate_records(run_dir)
+        ok, lines = fsck_run_dir(run_dir)
+        assert ok, lines
+
+
+class TestSerialInertness:
+    def test_plan_wrapped_web_is_inert_without_a_supervisor(
+        self, registry, clean_web, fault_domains, baseline, tmp_path
+    ):
+        """Serial runs never lease workers, so no fault ever arms."""
+        run_dir = str(tmp_path / "run")
+        source = ProcChaosSource(clean_web, make_plan(fault_domains))
+        result = run_survey(
+            source, registry, proc_config(workers=1), run_dir=run_dir
+        )
+        assert persistence.survey_digest(result) == baseline["measure"]
+        assert result.process_faults == {}

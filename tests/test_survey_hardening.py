@@ -1,0 +1,114 @@
+"""Regressions for the narrowed per-site exception handler.
+
+``_measure_site_attempts`` records an exception escaping the crawl
+machinery as that site's failure cause — but only *site* failures.
+Process-level conditions (MemoryError), broken degrade paths
+(BudgetExceeded escaping the crawler), and drain interrupts must
+propagate: swallowing them as per-site failures would mask the bug or
+consume a retry the operator asked to stop.
+"""
+
+import pytest
+
+from repro.core import survey
+from repro.core.sandbox import BudgetExceeded, ScriptBudgetExceeded
+from repro.core.survey import (
+    RetryPolicy,
+    SurveyConfig,
+    SurveyInterrupted,
+    _measure_site_attempts,
+)
+
+DOMAIN = "site.test"
+
+
+def make_config(**overrides):
+    settings = dict(
+        conditions=("default",),
+        visits_per_site=1,
+        seed=3,
+        retry=RetryPolicy(attempts=2, backoff_base=0.0),
+    )
+    settings.update(overrides)
+    return SurveyConfig(**settings)
+
+
+def measure_with(monkeypatch, raiser, config=None):
+    monkeypatch.setattr(
+        survey, "_measure_site_once",
+        lambda crawler, registry, config, condition, domain: raiser()
+    )
+    return _measure_site_attempts(
+        None, None, config or make_config(), "default", DOMAIN
+    )
+
+
+class TestPropagatingExceptions:
+    def test_memory_error_propagates(self, monkeypatch):
+        def raiser():
+            raise MemoryError("allocator failed")
+
+        with pytest.raises(MemoryError):
+            measure_with(monkeypatch, raiser)
+
+    def test_budget_exceeded_propagates(self, monkeypatch):
+        # A BudgetExceeded escaping this far means the crawler's
+        # degrade-to-partial path is broken — surface the bug, never
+        # record it as a site failure.
+        def raiser():
+            raise ScriptBudgetExceeded("steps", limit=10, used=11)
+
+        with pytest.raises(BudgetExceeded):
+            measure_with(monkeypatch, raiser)
+
+    def test_survey_interrupted_propagates(self, monkeypatch):
+        def raiser():
+            raise SurveyInterrupted("drain requested")
+
+        with pytest.raises(SurveyInterrupted):
+            measure_with(monkeypatch, raiser)
+
+    def test_keyboard_interrupt_propagates(self, monkeypatch):
+        def raiser():
+            raise KeyboardInterrupt()
+
+        with pytest.raises(KeyboardInterrupt):
+            measure_with(monkeypatch, raiser)
+
+    def test_system_exit_propagates(self, monkeypatch):
+        def raiser():
+            raise SystemExit(3)
+
+        with pytest.raises(SystemExit):
+            measure_with(monkeypatch, raiser)
+
+
+class TestRecordedFailures:
+    def test_site_error_is_recorded_not_raised(self, monkeypatch):
+        def raiser():
+            raise ValueError("hostile markup")
+
+        measurement = measure_with(monkeypatch, raiser)
+        assert measurement.failure_reason == "ValueError: hostile markup"
+        assert measurement.domain == DOMAIN
+        assert not measurement.transient_failure
+        # Deterministic failures do not consume the retry budget.
+        assert measurement.attempts == 1
+
+    def test_transient_error_is_retried_to_exhaustion(self, monkeypatch):
+        calls = []
+
+        def raiser():
+            calls.append(True)
+            error = OSError("connection reset")
+            error.transient = True
+            raise error
+
+        config = make_config(
+            retry=RetryPolicy(attempts=3, backoff_base=0.0)
+        )
+        measurement = measure_with(monkeypatch, raiser, config)
+        assert len(calls) == 3
+        assert measurement.attempts == 3
+        assert measurement.transient_failure
+        assert "connection reset" in measurement.failure_reason
