@@ -1,0 +1,170 @@
+"""Overhead of the runtime metrics registry on a checkpointed crawl.
+
+Runs the same checkpointed survey with metrics off and on (alternating
+arms, best-of-N each, so ambient machine noise cannot masquerade as
+registry cost) and records both modes into ``BENCH_metrics.json`` at
+the repo root.
+
+Telemetry must be free where it matters:
+
+* the measurement digest is identical with and without the registry —
+  observability is not allowed to observe itself into the data;
+* the stable metrics digest is identical across the metrics-on runs —
+  the oracle the determinism matrix relies on;
+* the instrumented run is at most 5% slower than the metrics-off one
+  (asserted for the full configuration only; the smoke run instead
+  gates on regression against the committed same-mode overhead).
+
+Set ``REPRO_BENCH_SMOKE=1`` for the small CI configuration.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.persistence import survey_digest
+from repro.core.statusreport import run_metrics_digest
+from repro.core.survey import SurveyConfig, run_survey
+from repro.webgen.sitegen import build_web
+from repro.webidl.registry import default_registry
+
+from conftest import BENCH_SEED, emit
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+MODE = "smoke" if SMOKE else "full"
+N_SITES = 5 if SMOKE else 20
+VISITS = 1 if SMOKE else 2
+REPEATS = 2
+MAX_OVERHEAD = 0.05
+RESULT_PATH = Path(__file__).resolve().parent.parent / (
+    "BENCH_metrics.json"
+)
+
+#: Allowed drift above the committed same-mode overhead before the
+#: bench fails (the CI regression gate).
+REGRESSION_HEADROOM = 0.10
+
+
+def _config(metrics: bool) -> SurveyConfig:
+    return SurveyConfig(
+        conditions=("default",),
+        visits_per_site=VISITS,
+        seed=BENCH_SEED,
+        metrics=metrics,
+        # The production heartbeat cadence: snapshots amortize to a
+        # handful of appends per run, so the timed cost is dominated
+        # by the per-event counter updates the gate is really about.
+        metrics_interval=10.0,
+    )
+
+
+def _pages(result) -> int:
+    return sum(
+        m.pages
+        for by_domain in result.measurements.values()
+        for m in by_domain.values()
+    )
+
+
+def _load_committed() -> dict:
+    try:
+        return json.loads(RESULT_PATH.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return {}
+
+
+def test_bench_metrics_overhead():
+    registry = default_registry()
+    web = build_web(registry, n_sites=N_SITES, seed=BENCH_SEED)
+
+    plain_seconds = []
+    metered_seconds = []
+    measure_digests = set()
+    metrics_digests = set()
+    pages = 0
+
+    with tempfile.TemporaryDirectory() as scratch:
+        # One untimed pass first: the shared compile cache and every
+        # other process-level cache warm up outside the timed arms,
+        # which otherwise flatters whichever arm happens to run later.
+        run_survey(web, registry, _config(False),
+                   run_dir=os.path.join(scratch, "warmup"))
+        for repeat in range(REPEATS):
+            # Alternating arms: any slow drift in the machine hits
+            # both sides equally.
+            for metrics in (False, True):
+                run_dir = os.path.join(
+                    scratch, "run-%d-%s" % (repeat, metrics)
+                )
+                start = time.perf_counter()
+                result = run_survey(
+                    web, registry, _config(metrics), run_dir=run_dir
+                )
+                elapsed = time.perf_counter() - start
+                (metered_seconds if metrics
+                 else plain_seconds).append(elapsed)
+                measure_digests.add(survey_digest(result))
+                pages = _pages(result)
+                if metrics:
+                    metrics_digests.add(run_metrics_digest(run_dir))
+
+    # The registry is invisible in the data, and deterministic in
+    # itself.
+    assert len(measure_digests) == 1
+    assert len(metrics_digests) == 1
+
+    plain = min(plain_seconds)
+    metered = min(metered_seconds)
+    overhead = (metered - plain) / plain if plain else 0.0
+
+    committed = _load_committed()
+    payload = dict(committed)
+    payload["benchmark"] = "metrics_overhead"
+    payload[MODE] = {
+        "sites": N_SITES,
+        "visits_per_site": VISITS,
+        "repeats": REPEATS,
+        "pages_visited": pages,
+        "plain_seconds": round(plain, 3),
+        "metered_seconds": round(metered, 3),
+        "plain_pages_per_second": round(pages / plain, 2),
+        "metered_pages_per_second": round(pages / metered, 2),
+        "overhead_pct": round(overhead * 100.0, 2),
+        "max_overhead_pct": MAX_OVERHEAD * 100.0,
+        "metrics_digest": metrics_digests.pop(),
+    }
+    RESULT_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+    emit(
+        "Metrics overhead (%d sites, %d visits, best of %d, %s mode)"
+        % (N_SITES, VISITS, REPEATS, MODE),
+        "off: %.2f s (%.1f pages/s)\n"
+        "on:  %.2f s (%.1f pages/s)\n"
+        "overhead: %.2f%%" % (
+            plain, pages / plain, metered, pages / metered,
+            overhead * 100.0,
+        ),
+    )
+
+    if not SMOKE:
+        assert overhead <= MAX_OVERHEAD, (
+            "metrics cost %.2f%% (budget %.0f%%)"
+            % (overhead * 100.0, MAX_OVERHEAD * 100.0)
+        )
+    baseline = committed.get(MODE, {}).get("overhead_pct")
+    if baseline is not None:
+        ceiling = max(
+            MAX_OVERHEAD, baseline / 100.0 + REGRESSION_HEADROOM
+        )
+        assert overhead <= ceiling, (
+            "metrics overhead regressed against the committed "
+            "baseline: %.2f%% > %.2f%% (committed %.2f%%)"
+            % (overhead * 100.0, ceiling * 100.0, baseline)
+        )

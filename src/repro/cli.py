@@ -23,6 +23,12 @@ Commands:
 * ``trace``    — summarize the span trace of a ``--trace`` run
   (critical path, slowest sites/pages, phase and origin breakdowns,
   retry/breaker/quarantine timelines)
+* ``status``   — a read-only dashboard over a run directory (progress,
+  throughput and ETA, per-condition breakdown, worker heartbeats and
+  RSS, fault counters, top failure causes); ``--watch N`` polls a
+  live run without touching its lock
+* ``metrics``  — export the run's latest metrics snapshot as an
+  OpenMetrics text exposition (or the raw snapshot JSON)
 
 Exit codes: 0 on success, 1 when a check or comparison fails (this
 includes a storage failure mid-crawl — the run dir stays resumable),
@@ -268,6 +274,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="rows per ranking/timeline (default: 10)",
     )
 
+    status = commands.add_parser(
+        "status",
+        help="read-only progress/health dashboard over a run "
+        "directory (safe against a live, locked run)",
+    )
+    status.add_argument(
+        "run_dir", metavar="RUN_DIR",
+        help="a --run-dir directory from a (possibly still running) "
+        "survey run",
+    )
+    status.add_argument(
+        "--watch", type=float, default=None, metavar="SECONDS",
+        help="re-render every SECONDS until interrupted",
+    )
+    status.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="text for the terminal, json for tooling (default: text)",
+    )
+
+    metrics = commands.add_parser(
+        "metrics",
+        help="export the latest runtime-metrics snapshot of a run "
+        "directory (read-only)",
+    )
+    metrics.add_argument(
+        "run_dir", metavar="RUN_DIR",
+        help="a --run-dir directory from a survey run",
+    )
+    metrics.add_argument(
+        "--format", choices=("openmetrics", "json"),
+        default="openmetrics",
+        help="OpenMetrics text exposition, or the raw snapshot "
+        "envelope as JSON (default: openmetrics)",
+    )
+
     export_cmd = commands.add_parser(
         "export", help="export every analysis as CSV datasets"
     )
@@ -419,6 +460,17 @@ def _crawl_arguments(parser: argparse.ArgumentParser) -> None:
         "(default) or the tree-walking reference oracle; both "
         "measure bit-identically, tree just runs slower",
     )
+    parser.add_argument(
+        "--no-metrics", action="store_true",
+        help="skip the runtime metrics registry and its metrics.jsonl "
+        "snapshots (measurements are byte-identical either way)",
+    )
+    parser.add_argument(
+        "--metrics-interval", type=float, default=10.0,
+        metavar="SECONDS",
+        help="minimum seconds between durable metrics snapshots "
+        "(default: 10)",
+    )
 
 
 def _budget_from_args(args) -> "ResourceBudget":
@@ -477,6 +529,8 @@ def _run_crawl(args, quad: bool) -> tuple:
         max_worker_rss_mb=args.max_worker_rss_mb,
         trace=bool(args.trace),
         engine=args.engine,
+        metrics=not args.no_metrics,
+        metrics_interval=max(0.0, args.metrics_interval),
     )
     progress = None
     if args.run_dir:
@@ -965,6 +1019,69 @@ def _command_trace(args, out) -> int:
     return 0
 
 
+def _command_status(args, out) -> int:
+    """Render the read-only run dashboard (optionally polling)."""
+    import json as _json
+    import time as _time
+
+    from repro.core import statusreport
+
+    def render() -> None:
+        status = statusreport.build_status(args.run_dir)
+        if args.format == "json":
+            _json.dump(status, out, indent=2, sort_keys=True)
+            out.write("\n")
+        else:
+            out.write(statusreport.status_text(status))
+            out.write("\n")
+
+    if args.watch is None:
+        render()
+        return 0
+    if args.watch <= 0:
+        raise CliError("--watch needs a positive interval")
+    try:
+        while True:
+            render()
+            out.write("\n")
+            if hasattr(out, "flush"):
+                out.flush()
+            _time.sleep(args.watch)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _command_metrics(args, out) -> int:
+    """Export the latest metrics snapshot of a run directory."""
+    import json as _json
+    import os as _os
+
+    from repro.core import runmetrics, statusreport
+    from repro.core.checkpoint import MANIFEST_NAME
+
+    if not _os.path.exists(_os.path.join(args.run_dir, MANIFEST_NAME)):
+        raise statusreport.StatusError(
+            "%s: no readable %s — not a run directory"
+            % (args.run_dir, MANIFEST_NAME)
+        )
+    last = statusreport.latest_snapshot(args.run_dir)
+    if last is None:
+        # A valid run that simply never snapshotted (--no-metrics, or
+        # interrupted before the first cadence): benign, like an
+        # untraced run handed to ``repro trace``.
+        out.write(
+            "warning: %s has no metrics snapshots (crawl run with "
+            "--no-metrics?)\n" % args.run_dir
+        )
+        return 0
+    if args.format == "json":
+        _json.dump(last, out, indent=2, sort_keys=True)
+        out.write("\n")
+    else:
+        out.write(runmetrics.render_openmetrics(last["metrics"]))
+    return 0
+
+
 def _command_validate(args, out) -> int:
     web, result = _run_crawl(args, quad=False)
     out.write("== Internal validation (Table 3) ==\n")
@@ -983,6 +1100,7 @@ def _command_validate(args, out) -> int:
 
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     from repro.core.checkpoint import CheckpointError
+    from repro.core.statusreport import StatusError
     from repro.core.storage import RunLockError, StorageError
     from repro.core.survey import SurveyInterrupted
     from repro.core.tracereport import TraceReportError
@@ -1005,6 +1123,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "chaos": _command_chaos,
         "fsck": _command_fsck,
         "trace": _command_trace,
+        "status": _command_status,
+        "metrics": _command_metrics,
         "compare": _command_compare,
         "export": _command_export,
     }[args.command]
@@ -1040,6 +1160,9 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return 1
     except TraceReportError as error:
         out.write("trace error: %s\n" % error)
+        return 2
+    except StatusError as error:
+        out.write("status error: %s\n" % error)
         return 2
 
 

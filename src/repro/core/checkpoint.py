@@ -32,6 +32,7 @@ import os
 from typing import IO, Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.browser.session import TELEMETRY_COUNTERS, SiteMeasurement
+from repro.core import runmetrics
 from repro.core.persistence import (
     PersistenceError,
     measurement_from_dict,
@@ -54,6 +55,7 @@ MANIFEST_NAME = "manifest.json"
 RESULT_NAME = "survey.json"
 QUARANTINE_NAME = "quarantine.json"
 LEASES_NAME = "leases.json"
+METRICS_NAME = "metrics.jsonl"
 
 #: run lifecycle stamps recorded in the manifest's ``status`` field
 STATUS_RUNNING = "running"
@@ -102,6 +104,15 @@ def _valid_record(record: Any, payload_key: str) -> bool:
     )
 
 
+def _valid_metrics_record(record: Any) -> bool:
+    return (
+        isinstance(record, dict)
+        and isinstance(record.get("seq"), int)
+        and isinstance(record.get("kind"), str)
+        and isinstance(record.get("metrics"), dict)
+    )
+
+
 def load_shard_records(
     path: str, repair: bool = True, payload_key: str = "measurement"
 ) -> Tuple[List[Dict[str, Any]], int]:
@@ -115,6 +126,25 @@ def load_shard_records(
     good data* is not a crash artifact; that raises
     :class:`CheckpointError` instead of guessing.
     """
+    return _scan_jsonl(
+        path, repair, lambda record: _valid_record(record, payload_key)
+    )
+
+
+def load_metrics_records(
+    path: str, repair: bool = False
+) -> Tuple[List[Dict[str, Any]], int]:
+    """Read a ``metrics.jsonl`` time series of registry snapshots.
+
+    Same torn-tail contract as :func:`load_shard_records`, but the
+    records are snapshot envelopes (``kind``/``seq``/``metrics``), not
+    per-site measurements.  Read-only by default: the status and
+    metrics CLI surfaces poll live runs and must never write.
+    """
+    return _scan_jsonl(path, repair, _valid_metrics_record)
+
+
+def _scan_jsonl(path, repair, validate) -> Tuple[List[Dict[str, Any]], int]:
     with open(path, "rb") as handle:
         raw = handle.read()
     records: List[Dict[str, Any]] = []
@@ -136,7 +166,7 @@ def load_shard_records(
                 parsed = json.loads(line.decode("utf-8"))
             except (ValueError, UnicodeDecodeError):
                 parsed = None
-            if _valid_record(parsed, payload_key):
+            if validate(parsed):
                 record = parsed
         if record is not None:
             records.append(record)
@@ -185,6 +215,17 @@ class SurveyCheckpoint:
         self.recovered_tmp_files: List[str] = []
         self._handles: Dict[str, AppendHandle] = {}
         self._trace_handles: Dict[str, AppendHandle] = {}
+        self._metrics_handle: Optional[AppendHandle] = None
+        #: highest snapshot seq already durable in metrics.jsonl; the
+        #: metrics pump continues from here so a resumed run never
+        #: duplicates a snapshot sequence number
+        self._metrics_seq = 0
+        #: condition -> domain -> the per-site metrics sibling that
+        #: rode the measurement record (None when the record carried
+        #: none); re-ingested on resume to rebuild stable totals
+        self._site_metrics: Dict[str, Dict[str, Optional[Dict[str, Any]]]] = {
+            condition: {} for condition in manifest["conditions"]
+        }
         #: domain -> times this site killed or hung a crawl worker
         #: (the watchdog's poison-site strike counts; persisted so a
         #: resumed run never re-crawls a quarantined site)
@@ -313,6 +354,7 @@ class SurveyCheckpoint:
         checkpoint._clean_orphan_tmp_files()
         checkpoint._load_shards()
         checkpoint._repair_trace_shards()
+        checkpoint._load_metrics()
         checkpoint._load_quarantine()
         checkpoint._load_leases()
         if manifest.get("status") != STATUS_RUNNING:
@@ -426,11 +468,16 @@ class SurveyCheckpoint:
                     )
                 # Last good record wins (append-only semantics).
                 self._records[condition][record["domain"]] = measurement
+                metrics = record.get("metrics")
+                self._site_metrics[condition][record["domain"]] = (
+                    metrics if isinstance(metrics, dict) else None
+                )
 
     def append(
         self,
         measurement: SiteMeasurement,
         lease_epoch: Optional[int] = None,
+        metrics: Optional[Dict[str, Any]] = None,
     ) -> None:
         """Durably record one finished site-measurement.
 
@@ -438,7 +485,11 @@ class SurveyCheckpoint:
         — never inside it — so fencing provenance is auditable
         (``repro fsck`` checks that a re-leased site's surviving record
         carries the highest epoch) without perturbing the measurement
-        serialization or the survey digest.
+        serialization or the survey digest.  ``metrics`` rides the same
+        way: the site's deterministic metric delta
+        (:func:`repro.core.runmetrics.wire_delta`) travels with the
+        record so a resumed run can rebuild its stable metric totals
+        from exactly the recorded site set.
         """
         condition = measurement.condition
         handle = self._handles.get(condition)
@@ -454,8 +505,11 @@ class SurveyCheckpoint:
         }
         if lease_epoch is not None:
             record["lease_epoch"] = lease_epoch
+        if metrics is not None:
+            record["metrics"] = metrics
         self.storage.append_record(handle, record)
         self._records[condition][measurement.domain] = measurement
+        self._site_metrics[condition][measurement.domain] = metrics
 
     # -- trace shards ----------------------------------------------------
 
@@ -500,6 +554,50 @@ class SurveyCheckpoint:
             "trace": trace,
         })
 
+    # -- metrics time series ---------------------------------------------
+
+    def _metrics_path(self) -> str:
+        return os.path.join(self.run_dir, METRICS_NAME)
+
+    def _load_metrics(self) -> None:
+        """Repair the metrics tail and recover the snapshot cursor.
+
+        Like the trace shards, ``metrics.jsonl`` is append-only and
+        never read back by the crawl itself, so a torn trailing
+        snapshot must be truncated before new appends land after it.
+        The highest durable ``seq`` is kept so the resumed run's pump
+        continues the sequence instead of duplicating it.
+        """
+        path = self._metrics_path()
+        if not os.path.exists(path):
+            return
+        records, dropped = load_metrics_records(path, repair=True)
+        self.recovered_lines += dropped
+        for record in records:
+            if record["seq"] > self._metrics_seq:
+                self._metrics_seq = record["seq"]
+
+    def append_metrics(self, record: Dict[str, Any]) -> None:
+        """Durably append one registry snapshot to the time series."""
+        if self._metrics_handle is None:
+            self._metrics_handle = self.storage.open_append(
+                self._metrics_path()
+            )
+        self.storage.append_record(self._metrics_handle, record)
+        seq = record.get("seq")
+        if isinstance(seq, int) and seq > self._metrics_seq:
+            self._metrics_seq = seq
+
+    def last_metrics_seq(self) -> int:
+        """Highest snapshot seq durable so far (0 = none yet)."""
+        return self._metrics_seq
+
+    def site_metrics(
+        self, condition: str
+    ) -> Dict[str, Optional[Dict[str, Any]]]:
+        """Recorded per-site metric siblings for a condition (a copy)."""
+        return dict(self._site_metrics.get(condition, {}))
+
     def close(self) -> None:
         for handle in self._handles.values():
             handle.close()
@@ -507,6 +605,9 @@ class SurveyCheckpoint:
         for handle in self._trace_handles.values():
             handle.close()
         self._trace_handles.clear()
+        if self._metrics_handle is not None:
+            self._metrics_handle.close()
+            self._metrics_handle = None
 
     # -- poison-site quarantine ------------------------------------------
 
@@ -684,6 +785,68 @@ _MEASUREMENT_REQUIRED = (
     "features",
     "invocations",
 )
+
+
+def _stable_counter_values(
+    snapshot: Dict[str, Any]
+) -> Dict[Any, Any]:
+    """Comparable values of a snapshot's stable counters/histograms.
+
+    Keyed (name, sorted labels); gauges and unstable series are
+    excluded — they legitimately move both ways (and reset to zero
+    when a resumed process starts fresh).
+    """
+    out: Dict[Any, Any] = {}
+    for entry in snapshot.get("series", ()):
+        if not entry.get("stable"):
+            continue
+        labels = entry.get("labels") or {}
+        key = (entry.get("name"), tuple(sorted(labels.items())))
+        if entry.get("kind") == "histogram":
+            out[key] = (entry.get("count", 0), entry.get("sum", 0))
+        elif entry.get("kind") == "counter":
+            out[key] = entry.get("value", 0)
+    return out
+
+
+def _metrics_telemetry_mismatches(
+    snapshot: Dict[str, Any],
+    shard_raw: Dict[str, List[Dict[str, Any]]],
+    final: bool,
+) -> List[str]:
+    """Cross-check a snapshot's telemetry series against the shards.
+
+    Stable totals are ingested only after the matching record is
+    durable, so every snapshot must stay at-or-below the shard-derived
+    totals, and the run's *final* snapshot must equal them exactly.
+    """
+    problems: List[str] = []
+    for condition in sorted(shard_raw):
+        survivors: Dict[str, Dict[str, Any]] = {}
+        for record in shard_raw[condition]:
+            survivors[record["domain"]] = record["measurement"]
+        for counter in sorted(runmetrics.TELEMETRY_SERIES):
+            series = runmetrics.TELEMETRY_SERIES[counter]
+            expected = sum(
+                measurement[counter]
+                for measurement in survivors.values()
+                if isinstance(measurement.get(counter), int)
+            )
+            value = runmetrics.series_value(
+                snapshot, series, condition=condition
+            )
+            value = value if isinstance(value, (int, float)) else 0
+            if final and value != expected:
+                problems.append(
+                    "%s[%s]=%s != shard total %d"
+                    % (series, condition, value, expected)
+                )
+            elif not final and value > expected:
+                problems.append(
+                    "%s[%s]=%s > shard total %d"
+                    % (series, condition, value, expected)
+                )
+    return problems
 
 
 def fsck_report(run_dir: str, repair: bool = False) -> Dict[str, Any]:
@@ -1030,6 +1193,85 @@ def fsck_report(run_dir: str, repair: bool = False) -> Dict[str, Any]:
             report(True, "%s: lease epochs consistent "
                    "(%d re-leased site(s), last record carries the "
                    "highest epoch)" % (name, duplicated))
+
+    # 2d. Metrics time series (present only for metrics-on runs).
+    #     Snapshots are append-only registry dumps: a torn tail is
+    #     recoverable, sequence numbers must be unique and increasing
+    #     (a duplicated seq means a resumed run restarted the cursor),
+    #     stable counters may never decrease across snapshots, and the
+    #     telemetry series in the last snapshot must agree with the
+    #     totals the measurement shards imply — equal for a final
+    #     snapshot, never above for an intermediate one (stable totals
+    #     are ingested only after the site's record is durable).
+    metrics_path = os.path.join(run_dir, METRICS_NAME)
+    if os.path.exists(metrics_path):
+        metric_records: List[Dict[str, Any]] = []
+        readable = True
+        try:
+            metric_records, dropped = load_metrics_records(metrics_path)
+        except CheckpointError as error:
+            report(False, "%s: %s" % (METRICS_NAME, error))
+            readable = False
+        if readable:
+            if dropped and repair:
+                load_metrics_records(metrics_path, repair=True)
+                fixed("truncate-torn-tail", METRICS_NAME,
+                      "%s: %d snapshot(s), torn trailing write "
+                      "(repaired: tail truncated)"
+                      % (METRICS_NAME, len(metric_records)),
+                      records_kept=len(metric_records))
+            elif dropped:
+                report(False, "%s: %d snapshot(s), torn trailing "
+                       "write (recoverable; resume repairs it)"
+                       % (METRICS_NAME, len(metric_records)))
+            else:
+                report(True, "%s: %d snapshot(s)"
+                       % (METRICS_NAME, len(metric_records)))
+        if metric_records:
+            seqs = [record["seq"] for record in metric_records]
+            if len(set(seqs)) != len(seqs):
+                report(False, "%s: duplicated snapshot seq(s) — a "
+                       "resumed run restarted the snapshot cursor"
+                       % METRICS_NAME)
+            elif seqs != sorted(seqs):
+                report(False, "%s: snapshot seqs out of order"
+                       % METRICS_NAME)
+            ordered = sorted(metric_records, key=lambda r: r["seq"])
+            regressions = []
+            previous: Dict[Any, Any] = {}
+            for record in ordered:
+                current = _stable_counter_values(record["metrics"])
+                for key, before in previous.items():
+                    after = current.get(key)
+                    if after is not None and after < before:
+                        regressions.append("%s seq %d" % (
+                            key[0], record["seq"]))
+                previous.update(current)
+            if regressions:
+                report(False, "%s: stable counter decreased across "
+                       "snapshots (%s)" % (
+                           METRICS_NAME,
+                           ", ".join(sorted(set(regressions))[:5])))
+            else:
+                report(True, "%s: stable counters monotonic across "
+                       "%d snapshot(s)"
+                       % (METRICS_NAME, len(metric_records)))
+            if shard_raw:
+                last = ordered[-1]
+                mismatches = _metrics_telemetry_mismatches(
+                    last["metrics"], shard_raw,
+                    final=last.get("kind") == "final",
+                )
+                if mismatches:
+                    report(False, "%s: telemetry series disagree with "
+                           "the measurement shards (%s)" % (
+                               METRICS_NAME,
+                               "; ".join(mismatches[:5])))
+                else:
+                    report(True, "%s: telemetry series consistent "
+                           "with the measurement shards (%s snapshot)"
+                           % (METRICS_NAME,
+                              last.get("kind", "snapshot")))
 
     # 3. Quarantine strike table (optional file).
     quarantine_path = os.path.join(run_dir, QUARANTINE_NAME)

@@ -45,6 +45,7 @@ __all__ = [
     "FrameCorruption",
     "FrameDecoder",
     "KIND_FAULT",
+    "KIND_METRICS",
     "KIND_RESULT",
     "MAGIC",
     "MAX_FRAME_BYTES",
@@ -62,6 +63,10 @@ PROTOCOL_VERSION = 1
 KIND_RESULT = 1
 #: a typed worker fault report (pickled dict; see survey's worker loop)
 KIND_FAULT = 2
+#: a worker metrics snapshot (pickled dict; merged in the supervisor).
+#: Decoders that predate this kind ignore unknown kinds, so the frame
+#: is backward-safe on the wire.
+KIND_METRICS = 3
 
 #: magic + version + kind + length + crc32
 FRAME_HEADER_LEN = 14

@@ -33,13 +33,14 @@ from repro.blocking.extension import BrowsingCondition
 from repro.blocking.lists import builtin_filter_list, builtin_tracker_database
 from repro.browser.browser import Browser, BrowserConfig
 from repro.browser.session import TELEMETRY_COUNTERS, SiteMeasurement
-from repro.core import ipc
+from repro.core import ipc, runmetrics
 from repro.core.sandbox import (
     MEMORY_PRESSURE_CAUSE,
     QUARANTINE_CAUSE,
     BudgetExceeded,
     MemoryGovernor,
     ResourceBudget,
+    _default_rss_probe,
     set_alloc_hook,
     set_heartbeat,
     set_memory_governor,
@@ -205,6 +206,18 @@ class SurveyConfig:
     #: counts and trace digests (tests/test_engine_differential.py) —
     #: so this only selects how fast scripts run.
     engine: str = "compiled"
+    #: record runtime metrics (see :mod:`repro.core.runmetrics`).  On
+    #: by default: the stable series are harvested once per finished
+    #: site from counters the crawl keeps anyway, so the cost is noise
+    #: (``BENCH_metrics.json`` gates it at <=5%).  With a run
+    #: directory, merged registry snapshots are appended to
+    #: ``metrics.jsonl`` for ``repro status`` / ``repro metrics``;
+    #: without one the per-site deltas are computed and discarded.
+    metrics: bool = True
+    #: seconds between durable metrics snapshots (the heartbeat
+    #: cadence); site completions also snapshot when the interval has
+    #: lapsed, and a final snapshot always lands before the run ends
+    metrics_interval: float = 10.0
     #: durability layer every checkpoint write goes through (shard
     #: appends, manifest/quarantine/result write-then-rename).  The
     #: default retries transient OSErrors with torn-tail rollback;
@@ -537,8 +550,9 @@ def _measure_site(
     condition: str,
     domain: str,
     lease_epoch: Optional[int] = None,
-) -> Tuple[SiteMeasurement, Optional[Dict[str, object]]]:
-    """Measure one site; pairs the measurement with its trace.
+) -> Tuple[SiteMeasurement, Optional[Dict[str, object]],
+           Optional[Dict[str, int]]]:
+    """Measure one site; pairs the measurement with trace + metrics.
 
     The trace is the serialized ``site`` span tree when a tracer is
     installed, else None.  The site span is self-contained — no
@@ -547,23 +561,52 @@ def _measure_site(
     an *unstable* ``lease`` event: visible in the profiling trace,
     excluded from the structural digest (a re-leased site's epoch 2 is
     scheduling history, not measurement content).
+
+    The third element is the site's deterministic metrics delta
+    (:func:`repro.core.runmetrics.wire_delta`): the cumulative fetcher
+    and metered-interpreter counters snapshotted around the site in
+    the measuring process, so they cover exactly this site's work
+    whatever process measured it.  None when metrics are off.
     """
+    before = None
+    if config.metrics:
+        fetcher = crawler.browser.fetcher
+        before = (
+            fetcher.requests_issued, fetcher.requests_failed,
+            fetcher.requests_short_circuited, fetcher.bytes_fetched,
+            crawler.steps_executed, crawler.allocations_counted,
+        )
     tracer = obs.current_tracer()
+    trace = None
     if tracer is None:
-        return _measure_site_attempts(
-            crawler, registry, config, condition, domain
-        ), None
-    with tracer.span("site", domain=domain, condition=condition):
-        if lease_epoch is not None:
-            tracer.event("lease", stable=False, epoch=lease_epoch)
         measurement = _measure_site_attempts(
             crawler, registry, config, condition, domain
         )
-        tracer.set_attrs(attempts=measurement.attempts,
-                         measured=measurement.measured)
-    root = tracer.take_root()
-    trace = obs.span_to_dict(root) if root is not None else None
-    return measurement, trace
+    else:
+        with tracer.span("site", domain=domain, condition=condition):
+            if lease_epoch is not None:
+                tracer.event("lease", stable=False, epoch=lease_epoch)
+            measurement = _measure_site_attempts(
+                crawler, registry, config, condition, domain
+            )
+            tracer.set_attrs(attempts=measurement.attempts,
+                             measured=measurement.measured)
+        root = tracer.take_root()
+        trace = obs.span_to_dict(root) if root is not None else None
+    wire = None
+    if before is not None:
+        fetcher = crawler.browser.fetcher
+        wire = runmetrics.wire_delta(
+            requests=fetcher.requests_issued - before[0],
+            requests_failed=fetcher.requests_failed - before[1],
+            short_circuited=(
+                fetcher.requests_short_circuited - before[2]
+            ),
+            bytes_fetched=fetcher.bytes_fetched - before[3],
+            steps=crawler.steps_executed - before[4],
+            allocations=crawler.allocations_counted - before[5],
+        )
+    return measurement, trace, wire
 
 
 def resolve_start_method(requested: Optional[str] = None) -> str:
@@ -629,6 +672,12 @@ def _parallel_worker_init(
     # with the measurement over the result pipe.
     if config.trace:
         obs.set_tracer(obs.Tracer())
+    if config.metrics:
+        # Worker registries carry only process-local (unstable) series
+        # — RSS, compile-cache mirrors; the stable per-site deltas ride
+        # the result payloads instead, so a killed worker's registry
+        # can vanish without perturbing the deterministic totals.
+        runmetrics.set_registry(runmetrics.MetricsRegistry())
     _worker_state["crawler"] = _build_crawler(
         web, registry, config, condition
     )
@@ -640,7 +689,8 @@ def _parallel_worker_init(
 def _parallel_measure(
     domain: str,
     lease_epoch: Optional[int] = None,
-) -> Tuple[SiteMeasurement, Optional[Dict[str, object]], int,
+) -> Tuple[SiteMeasurement, Optional[Dict[str, object]],
+           Optional[Dict[str, int]], int,
            Dict[str, float], Dict[str, float]]:
     """Measure one site; piggyback this worker's cumulative stats.
 
@@ -648,7 +698,7 @@ def _parallel_measure(
     monotonic), so whichever result arrives last per worker carries
     its totals.
     """
-    measurement, trace = _measure_site(
+    measurement, trace, wire = _measure_site(
         _worker_state["crawler"],
         _worker_state["registry"],
         _worker_state["config"],
@@ -660,7 +710,7 @@ def _parallel_measure(
         shared_cache().counters(), _worker_baseline["cache"]
     )
     phases = phase_delta(_worker_baseline["phases"])
-    return measurement, trace, os.getpid(), cache_delta, phases
+    return measurement, trace, wire, os.getpid(), cache_delta, phases
 
 
 def _quarantined_measurement(
@@ -710,6 +760,31 @@ def _quarantined_trace(
 def _send_frame(conn, obj: object, kind: int = ipc.KIND_RESULT) -> None:
     """Pickle and frame one message onto a result pipe."""
     conn.send_bytes(ipc.encode_frame(pickle.dumps(obj), kind=kind))
+
+
+def _worker_metrics_snapshot(governor=None):
+    """This worker's metrics snapshot for the supervisor, or None.
+
+    Freshens the process-local mirrors first: the compile-cache
+    cumulative counters (labeled by pid, max-merged) and the RSS
+    high-water gauge — the governor's last probe when one is polling,
+    a direct probe otherwise.
+    """
+    registry = runmetrics.current_registry()
+    if registry is None:
+        return None
+    proc = str(os.getpid())
+    counters = shared_cache().counters()
+    registry.counter_floor("compile_cache_hits_total",
+                           counters.get("hits", 0), proc=proc)
+    registry.counter_floor("compile_cache_misses_total",
+                           counters.get("misses", 0), proc=proc)
+    rss = governor.rss_mb if governor is not None else 0.0
+    if not rss:
+        rss = _default_rss_probe()
+    if rss:
+        registry.set_gauge("worker_rss_mb", round(rss, 1), proc=proc)
+    return registry.snapshot()
 
 
 def _watchdog_worker_main(
@@ -811,6 +886,21 @@ def _watchdog_worker_main(
             except (BrokenPipeError, OSError):
                 pass
             break
+        if config.metrics:
+            # Ship the worker's registry (unstable series only: cache
+            # mirrors, RSS) ahead of the result.  Cumulative, so a lost
+            # frame just means the supervisor keeps a slightly staler
+            # view — never wrong totals.
+            snapshot = _worker_metrics_snapshot(governor)
+            if snapshot is not None:
+                try:
+                    _send_frame(
+                        result_conn,
+                        {"pid": os.getpid(), "metrics": snapshot},
+                        kind=ipc.KIND_METRICS,
+                    )
+                except (BrokenPipeError, OSError):
+                    pass
         if plan is not None:
             for noise in plan.pipe_noise(domain, lease_epoch):
                 try:
@@ -866,6 +956,7 @@ class _CrawlSupervisor:
         pending: List[str],
         checkpoint=None,
         drain: Optional[_DrainGuard] = None,
+        pump: Optional["_MetricsPump"] = None,
     ) -> None:
         import multiprocessing
 
@@ -876,6 +967,7 @@ class _CrawlSupervisor:
         self.pending = list(pending)
         self.checkpoint = checkpoint
         self.drain_guard = drain
+        self.metrics_pump = pump
         self.context = multiprocessing.get_context(
             resolve_start_method(config.start_method)
         )
@@ -903,12 +995,12 @@ class _CrawlSupervisor:
         #: indices already finished — dedupes the race where a struck
         #: worker's result was in the pipe when it was killed
         self.finished: Set[int] = set()
-        #: index -> (measurement, trace-or-None, lease_epoch-or-None),
-        #: flushed in order
+        #: index -> (measurement, trace-or-None, lease_epoch-or-None,
+        #: wire-metrics-delta-or-None), flushed in order
         self.buffered: Dict[
             int,
             Tuple[SiteMeasurement, Optional[Dict[str, object]],
-                  Optional[int]],
+                  Optional[int], Optional[Dict[str, int]]],
         ] = {}
         self.next_flush = 0
         #: sites a typed worker fault handed back for re-dispatch
@@ -1002,6 +1094,7 @@ class _CrawlSupervisor:
                     raise
             except OSError as error:
                 self.spawn_retries += 1
+                runmetrics.inc("supervisor_spawn_retries_total")
                 last_error = error
                 continue
             # Close the child's ends in the parent right away: later
@@ -1040,6 +1133,9 @@ class _CrawlSupervisor:
         stats: "_CrawlStats",
     ) -> None:
         todo = deque(enumerate(self.pending))
+        pump = self.metrics_pump
+        if pump is not None:
+            pump.hooks.append(self._metrics_gauges)
         try:
             for slot in range(self.n_workers):
                 self._spawn(slot)
@@ -1056,8 +1152,12 @@ class _CrawlSupervisor:
                 self._drain(block=True)
                 self._watchdog(todo)
                 self._flush(record)
+                if pump is not None:
+                    pump.maybe()
         finally:
             self._shutdown()
+            if pump is not None and self._metrics_gauges in pump.hooks:
+                pump.hooks.remove(self._metrics_gauges)
         for cache in self.worker_cache.values():
             stats.add_cache(cache)
         for phases in self.worker_phases.values():
@@ -1161,6 +1261,7 @@ class _CrawlSupervisor:
                 continue
             if decoder is None:
                 continue
+            runmetrics.observe("ipc_frame_bytes", float(len(data)))
             frames = decoder.feed(data)
             # Corruption notes first: noise preceding a good result on
             # the same pipe belongs to that result's trace.
@@ -1171,6 +1272,8 @@ class _CrawlSupervisor:
     def _note_frame_errors(self, slot: int, decoder) -> None:
         for error in decoder.take_errors():
             self.frame_errors += 1
+            runmetrics.inc("supervisor_frame_corruptions_total",
+                           reason=error.reason)
             self.frame_notes.setdefault(slot, []).append(error.reason)
 
     def _handle_frame(self, slot: int, frame) -> None:
@@ -1186,8 +1289,34 @@ class _CrawlSupervisor:
             self._handle_fault(slot, obj)
         elif frame.kind == ipc.KIND_RESULT:
             self._handle_result(slot, obj)
+        elif frame.kind == ipc.KIND_METRICS:
+            self._handle_metrics(obj)
         # Unknown kinds are ignored: a newer worker may speak frame
         # kinds this supervisor predates.
+
+    def _handle_metrics(self, report) -> None:
+        """Keep the latest registry snapshot shipped by one worker.
+
+        Worker snapshots are cumulative, so only the most recent per
+        pid matters, and it is folded into the durable view at
+        snapshot-build time — merging every frame as it arrives would
+        double-count.
+        """
+        pump = self.metrics_pump
+        if (pump is None or not isinstance(report, dict)
+                or not isinstance(report.get("metrics"), dict)):
+            return
+        pump.worker_metrics[report.get("pid", 0)] = report["metrics"]
+
+    def _metrics_gauges(self) -> None:
+        """Refresh supervisor-side gauges just before a snapshot."""
+        now = time.monotonic()
+        for slot in range(self.n_workers):
+            age = max(0.0, now - self.heartbeats[slot])
+            runmetrics.set_gauge("worker_heartbeat_age_seconds",
+                                 round(age, 3), slot=str(slot))
+        runmetrics.set_gauge("crawl_inflight_sites",
+                             float(len(self.assigned)))
 
     def _handle_result(self, slot: int, item) -> None:
         _, index, domain, epoch, payload = item
@@ -1198,11 +1327,12 @@ class _CrawlSupervisor:
             # late result.  Accepting it could double-count the site
             # or overwrite its successor's record.
             self.stale_results += 1
+            runmetrics.inc("supervisor_stale_results_total")
             return
         if index in self.finished:
             return  # a requeued duplicate landed first
         self.finished.add(index)
-        measurement, trace, pid, cache, phases = payload
+        measurement, trace, wire, pid, cache, phases = payload
         if trace is not None:
             self._annotate_frame_notes(slot, trace)
         else:
@@ -1213,8 +1343,9 @@ class _CrawlSupervisor:
             # honest, if partial); the *site* earns a strike so a
             # repeat offender is eventually quarantined.
             self.memory_recycles += 1
+            runmetrics.inc("supervisor_memory_recycles_total")
             self._strike(domain)
-        self.buffered[index] = (measurement, trace, epoch)
+        self.buffered[index] = (measurement, trace, epoch, wire)
         self.worker_cache[pid] = _elementwise_max(
             self.worker_cache.get(pid, {}), cache
         )
@@ -1251,6 +1382,7 @@ class _CrawlSupervisor:
         worker's corpse is the watchdog's to replace.
         """
         self.worker_faults += 1
+        runmetrics.inc("supervisor_worker_faults_total")
         assignment = self.assigned.pop(slot, None)
         if assignment is None:
             return
@@ -1306,8 +1438,10 @@ class _CrawlSupervisor:
             del self.assigned[slot]
             self._kill(slot)
             self.kills += 1
+            runmetrics.inc("supervisor_watchdog_kills_total")
             if overdue and not hung:
                 self.lease_releases += 1
+                runmetrics.inc("supervisor_lease_revocations_total")
             strikes = self._strike(domain)
             if index not in self.finished:
                 if strikes >= self.config.quarantine_threshold:
@@ -1320,7 +1454,7 @@ class _CrawlSupervisor:
     def _quarantine(
         self, domain: str
     ) -> Tuple[SiteMeasurement, Optional[Dict[str, object]],
-               Optional[int]]:
+               Optional[int], Optional[Dict[str, int]]]:
         threshold = self.config.quarantine_threshold
         measurement = _quarantined_measurement(
             domain, self.condition, threshold
@@ -1331,15 +1465,16 @@ class _CrawlSupervisor:
         )
         # A fresh epoch fences off any late result from the strikes
         # that led here, and gives fsck the invariant it checks: the
-        # surviving record carries the site's highest epoch.
-        return measurement, trace, self._issue_lease(domain)
+        # surviving record carries the site's highest epoch.  No wire
+        # delta: a synthesized measurement did no metered work.
+        return measurement, trace, self._issue_lease(domain), None
 
     def _flush(self, record) -> None:
         while self.next_flush in self.buffered:
-            measurement, trace, epoch = self.buffered.pop(
+            measurement, trace, epoch, wire = self.buffered.pop(
                 self.next_flush
             )
-            record(measurement, trace, epoch)
+            record(measurement, trace, epoch, wire)
             self.next_flush += 1
 
     def _shutdown(self) -> None:
@@ -1371,10 +1506,11 @@ def _crawl_condition_parallel(
     stats: "_CrawlStats",
     checkpoint=None,
     drain: Optional[_DrainGuard] = None,
+    pump=None,
 ) -> None:
     supervisor = _CrawlSupervisor(
         web, registry, config, condition, pending, checkpoint,
-        drain=drain,
+        drain=drain, pump=pump,
     )
     supervisor.run(record, stats)
 
@@ -1422,6 +1558,82 @@ class _CrawlStats:
         self.cache["entries"] = float(len(shared_cache()))
 
 
+class _MetricsPump:
+    """Durably snapshots the merged metrics registry on a cadence.
+
+    The parent registry holds the run's stable series (rehydrated from
+    the shards on resume, fed by ``record``) plus the parent's own
+    unstable gauges; each worker's latest cumulative snapshot arrives
+    over :data:`~repro.core.ipc.KIND_METRICS` frames and is folded in
+    only at snapshot-build time.  Every snapshot is appended to
+    ``metrics.jsonl`` through the checkpoint's crash-safe storage
+    path, so a torn tail is repairable and ``seq`` continues across
+    resume without duplication.
+    """
+
+    def __init__(
+        self,
+        registry: "runmetrics.MetricsRegistry",
+        checkpoint,
+        total: int,
+        interval: float,
+    ) -> None:
+        self.registry = registry
+        self.checkpoint = checkpoint
+        self.total = total
+        self.interval = interval
+        self.seq = checkpoint.last_metrics_seq()
+        self._last = time.monotonic()
+        #: pid -> latest cumulative snapshot shipped by that worker
+        self.worker_metrics: Dict[int, Dict[str, object]] = {}
+        #: pre-snapshot gauge refreshers (supervisor heartbeat ages)
+        self.hooks: List[Callable[[], None]] = []
+
+    def merged(self) -> Dict[str, object]:
+        """The run-wide snapshot: parent registry + worker views."""
+        self._parent_mirrors()
+        for hook in list(self.hooks):
+            hook()
+        snapshot = self.registry.snapshot()
+        for worker in self.worker_metrics.values():
+            snapshot = runmetrics.merge_snapshots(snapshot, worker)
+        return snapshot
+
+    def _parent_mirrors(self) -> None:
+        """Refresh the parent process's own unstable mirrors."""
+        proc = str(os.getpid())
+        counters = shared_cache().counters()
+        self.registry.counter_floor("compile_cache_hits_total",
+                                    counters.get("hits", 0), proc=proc)
+        self.registry.counter_floor("compile_cache_misses_total",
+                                    counters.get("misses", 0),
+                                    proc=proc)
+        rss = _default_rss_probe()
+        if rss:
+            self.registry.set_gauge("worker_rss_mb", round(rss, 1),
+                                    proc=proc)
+
+    def maybe(self, force: bool = False, kind: str = "snapshot") -> None:
+        """Append a snapshot if the cadence (or ``force``) says so."""
+        now = time.monotonic()
+        if not force and now - self._last < self.interval:
+            return
+        self._last = now
+        self.seq += 1
+        self.checkpoint.append_metrics({
+            "kind": kind,
+            "seq": self.seq,
+            "at": round(time.time(), 3),
+            "done": self.checkpoint.done_counts(),
+            "total": self.total,
+            "metrics": self.merged(),
+        })
+
+    def final(self) -> None:
+        """The run's last word: totals equal the durable shards'."""
+        self.maybe(force=True, kind="final")
+
+
 def _crawl_condition(
     web: SyntheticWeb,
     registry: FeatureRegistry,
@@ -1432,6 +1644,7 @@ def _crawl_condition(
     checkpoint=None,
     stats: Optional[_CrawlStats] = None,
     drain: Optional[_DrainGuard] = None,
+    pump: Optional[_MetricsPump] = None,
 ) -> Dict[str, SiteMeasurement]:
     """Measure one condition, streaming each site to the checkpoint."""
     done = checkpoint.done(condition) if checkpoint is not None else {}
@@ -1445,6 +1658,7 @@ def _crawl_condition(
         measurement: SiteMeasurement,
         trace: Optional[Dict[str, object]] = None,
         lease_epoch: Optional[int] = None,
+        site_metrics: Optional[Dict[str, int]] = None,
     ) -> None:
         nonlocal completed
         by_domain[measurement.domain] = measurement
@@ -1457,7 +1671,18 @@ def _crawl_condition(
                 checkpoint.append_trace(
                     condition, measurement.domain, trace
                 )
-            checkpoint.append(measurement, lease_epoch=lease_epoch)
+            checkpoint.append(measurement, lease_epoch=lease_epoch,
+                              metrics=site_metrics)
+        # Ingest strictly *after* the durable append: the registry's
+        # stable totals then never exceed what the shards hold, so a
+        # snapshot taken between any two sites cross-checks clean.
+        metrics_registry = runmetrics.current_registry()
+        if metrics_registry is not None:
+            metrics_registry.ingest_site(
+                condition, measurement, site_metrics
+            )
+        if pump is not None:
+            pump.maybe()
         completed += 1
         if progress is not None and completed % 50 == 0:
             progress(condition, completed, len(domains))
@@ -1487,6 +1712,7 @@ def _crawl_condition(
         _crawl_condition_parallel(
             web, registry, config, condition, pending, record,
             stats or _CrawlStats(), checkpoint, drain=drain,
+            pump=pump,
         )
     else:
         crawler = _build_crawler(web, registry, config, condition)
@@ -1497,11 +1723,11 @@ def _crawl_condition(
                 checkpoint.issue_lease(condition, domain)
                 if checkpoint is not None else None
             )
-            measurement, trace = _measure_site(
+            measurement, trace, wire = _measure_site(
                 crawler, registry, config, condition, domain,
                 lease_epoch=epoch,
             )
-            record(measurement, trace, epoch)
+            record(measurement, trace, epoch, wire)
     # Canonical domain order: resumed, parallel and serial runs must
     # serialize identically, so insertion order never leaks in.
     if drain is not None and drain.requested:
@@ -1563,10 +1789,39 @@ def run_survey(
             raise
 
     previous_tracer = obs.current_tracer()
+    metrics_installed = False
+    previous_registry: Optional[runmetrics.MetricsRegistry] = None
+    pump: Optional[_MetricsPump] = None
     guard = _DrainGuard()
     try:
         with guard:
             stats = _CrawlStats()
+            if config.metrics and checkpoint is not None:
+                # The run-wide registry lives in the parent.  Stable
+                # series are rehydrated from the durable shards (not
+                # carried over in memory), so a resumed run's totals
+                # are a pure function of the recorded site set —
+                # bit-identical to an uninterrupted run's.
+                metrics_registry = runmetrics.MetricsRegistry()
+                previous_registry = runmetrics.set_registry(
+                    metrics_registry
+                )
+                metrics_installed = True
+                for condition in config.conditions:
+                    recovered = checkpoint.done(condition)
+                    if not recovered:
+                        continue
+                    siblings = checkpoint.site_metrics(condition)
+                    for domain, measurement in recovered.items():
+                        metrics_registry.ingest_site(
+                            condition, measurement,
+                            siblings.get(domain),
+                        )
+                pump = _MetricsPump(
+                    metrics_registry, checkpoint,
+                    total=len(domains) * len(config.conditions),
+                    interval=config.metrics_interval,
+                )
             # Parse the high-reuse script bodies once, up front: the
             # serial crawl (and every fork-started worker, via
             # copy-on-write) runs against a hot cache from its first
@@ -1594,6 +1849,7 @@ def run_survey(
                 measurements[condition] = _crawl_condition(
                     web, registry, config, condition, domains,
                     progress, checkpoint, stats, drain=guard,
+                    pump=pump,
                 )
                 if guard.requested:
                     break
@@ -1601,6 +1857,8 @@ def run_survey(
             # Every in-flight visit has finished or been dropped, every
             # shard append is already fsynced; stamp the manifest so
             # operators (and fsck) can tell a drained run from a crash.
+            if pump is not None:
+                pump.final()
             if checkpoint is not None:
                 checkpoint.mark_status(STATUS_INTERRUPTED)
             raise SurveyInterrupted(
@@ -1620,6 +1878,8 @@ def run_survey(
             domain: web.ranking.visit_weight(domain)
             for domain in domains
         }
+        if pump is not None:
+            pump.final()
         stats.finish()
         result = SurveyResult(
             conditions=tuple(config.conditions),
@@ -1652,6 +1912,8 @@ def run_survey(
     finally:
         if config.trace:
             obs.set_tracer(previous_tracer)
+        if metrics_installed:
+            runmetrics.set_registry(previous_registry)
         if config.max_worker_rss_mb is not None:
             set_memory_governor(None)
         if checkpoint is not None:

@@ -82,6 +82,11 @@ class SiteCrawler:
         #: round, so the deadline and counters span all 13 pages and
         #: every phase (fetch, parse, execute, monkey) of that round
         self.budget = budget
+        #: metered interpreter work accumulated across this crawler's
+        #: rounds (virtual-clock-counted, so deterministic); harvested
+        #: at site boundaries into the runtime metrics registry
+        self.steps_executed = 0
+        self.allocations_counted = 0
 
     # ------------------------------------------------------------------
 
@@ -188,6 +193,9 @@ class SiteCrawler:
             result.breaker_opens = (
                 fetcher.breaker_opens - opens_before
             )
+            if meter is not None:
+                self.steps_executed += meter.total_steps
+                self.allocations_counted += meter.allocations
 
         if result.partial:
             # A blown budget ends the round where it stood: whatever

@@ -101,7 +101,8 @@ class Fetcher:
     * ``requests_failed`` — requests that exhausted every attempt;
     * ``requests_retried`` — extra wire attempts beyond the first;
     * ``requests_short_circuited`` — fast-failed by an open breaker;
-    * ``breaker_opens`` — origin breakers tripping open.
+    * ``breaker_opens`` — origin breakers tripping open;
+    * ``bytes_fetched`` — response body bytes delivered to callers.
     """
 
     def __init__(
@@ -118,6 +119,7 @@ class Fetcher:
         self.requests_retried = 0
         self.requests_short_circuited = 0
         self.breaker_opens = 0
+        self.bytes_fetched = 0
         self._observers: List[Callable[[Request], bool]] = []
         #: The active visit's budget meter (repro.core.sandbox),
         #: installed by the browser around each page so fetch storms
@@ -213,6 +215,7 @@ class Fetcher:
                 break
             if breaker is not None:
                 breaker.record_success()
+            self.bytes_fetched += len(response.body)
             return response
         self.requests_failed += 1
         assert failure is not None

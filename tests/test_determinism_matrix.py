@@ -11,6 +11,10 @@ One table of guarantees, enforced exhaustively:
 * the **structural trace digest** is identical across every traced
   cell of a chaos arm — span names, attributes, nesting and
   virtual-clock timestamps are execution-mode independent;
+* the **stable metrics digest** (the final ``metrics.jsonl``
+  snapshot's stable series) is identical across every cell of a
+  chaos arm — counters are a function of the recorded site set, not
+  of the process topology that produced it;
 * tracing off writes no trace shards at all;
 * a different survey seed produces *different* digests (the oracle
   can actually fail);
@@ -31,6 +35,7 @@ from repro.core.survey import (
     resume_survey,
     run_survey,
 )
+from repro.core.statusreport import run_metrics_digest
 from repro.core.tracereport import load_trace_records
 from repro.net.chaos import ChaosSource
 from repro.net.resilience import ALL_HOSTS, ResilienceConfig
@@ -113,7 +118,10 @@ def baselines(registry, clean_web, chaos_source, tmp_path_factory):
                 source, registry, matrix_config(chaos, tracing),
                 run_dir=run_dir,
             )
-            cell = {"measure": persistence.survey_digest(result)}
+            cell = {
+                "measure": persistence.survey_digest(result),
+                "metrics": run_metrics_digest(run_dir),
+            }
             if tracing:
                 records = load_trace_records(run_dir)
                 assert len(records) == N_SITES
@@ -130,6 +138,11 @@ class TestSerialBaselines:
             assert (baselines[(chaos, False)]["measure"]
                     == baselines[(chaos, True)]["measure"]), chaos
 
+    def test_tracing_does_not_change_the_metrics(self, baselines):
+        for chaos in CHAOS_ARMS:
+            assert (baselines[(chaos, False)]["metrics"]
+                    == baselines[(chaos, True)]["metrics"]), chaos
+
     def test_chaos_arm_really_differs_from_clean(self, baselines):
         # The two arms must be distinct surveys or the matrix proves
         # half of what it claims.
@@ -137,6 +150,8 @@ class TestSerialBaselines:
                 != baselines[(True, True)]["measure"])
         assert (baselines[(False, True)]["trace"]
                 != baselines[(True, True)]["trace"])
+        assert (baselines[(False, True)]["metrics"]
+                != baselines[(True, True)]["metrics"])
 
     def test_chaos_trace_records_the_pathologies(
         self, registry, chaos_source, tmp_path
@@ -178,6 +193,7 @@ class TestParallelCells:
         assert persistence.survey_digest(result) == cell["measure"]
         assert (obs.trace_digest(load_trace_records(run_dir))
                 == cell["trace"])
+        assert run_metrics_digest(run_dir) == cell["metrics"]
 
     @pytest.mark.parametrize("method", PARALLEL_METHODS)
     @pytest.mark.parametrize("chaos", CHAOS_ARMS)
@@ -196,6 +212,8 @@ class TestParallelCells:
         )
         assert (persistence.survey_digest(result)
                 == baselines[(chaos, False)]["measure"])
+        assert (run_metrics_digest(run_dir)
+                == baselines[(chaos, False)]["metrics"])
         _assert_no_trace_shards(run_dir)
 
 
@@ -224,6 +242,7 @@ class TestKillResumeCells:
         )
         cell = baselines[(chaos, tracing)]
         assert persistence.survey_digest(resumed) == cell["measure"]
+        assert run_metrics_digest(run_dir) == cell["metrics"]
         if tracing:
             assert (obs.trace_digest(load_trace_records(run_dir))
                     == cell["trace"])
@@ -272,6 +291,7 @@ class TestEngineEquivalence:
         assert persistence.survey_digest(result) == cell["measure"]
         assert (obs.trace_digest(load_trace_records(run_dir))
                 == cell["trace"])
+        assert run_metrics_digest(run_dir) == cell["metrics"]
 
 
 class TestSeedSensitivity:
@@ -287,5 +307,6 @@ class TestSeedSensitivity:
         )
         cell = baselines[(False, True)]
         assert persistence.survey_digest(result) != cell["measure"]
+        assert run_metrics_digest(run_dir) != cell["metrics"]
         assert (obs.trace_digest(load_trace_records(run_dir))
                 != cell["trace"])

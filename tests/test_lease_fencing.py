@@ -41,7 +41,7 @@ def make_measurement(domain, condition="default"):
 
 
 def result_item(index, domain, epoch, pid=123):
-    payload = (make_measurement(domain), None, pid, {}, {})
+    payload = (make_measurement(domain), None, None, pid, {}, {})
     return (0, index, domain, epoch, payload)
 
 
@@ -114,7 +114,7 @@ class TestSupervisorFencing:
         sup._handle_result(0, result_item(0, "a.test", epoch))
         assert sup.stale_results == 0
         assert sup.finished == {0}
-        measurement, trace, recorded = sup.buffered[0]
+        measurement, trace, recorded, wire = sup.buffered[0]
         assert measurement.domain == "a.test"
         assert recorded == epoch
 
